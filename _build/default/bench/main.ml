@@ -1,0 +1,497 @@
+(* Benchmark harness: regenerates every figure of the paper's evaluation on
+   the simulated 8x A100 machine and prints the same series the paper plots.
+
+   Run: dune exec bench/main.exe            (all figures)
+        dune exec bench/main.exe -- quick   (skip the largest sweeps)
+        dune exec bench/main.exe -- bechamel (also run wall-clock microbenches)
+
+   Figure index (see DESIGN.md / EXPERIMENTS.md):
+     fig2.1b  timeline of the CPU-controlled overlapping stencil
+     fig2.2a  pure communication+synchronization overhead (no compute)
+     fig2.2b  communication overlap ratio and total time
+     fig5.1b  timeline of the distributed DaCe MPI baseline
+     fig6.1   2D Jacobi weak scaling (small / medium / large)
+     fig6.2   3D Jacobi weak scaling, no-compute, strong scaling
+     fig6.3a  DaCe Jacobi 1D baseline vs CPU-Free
+     fig6.3b  DaCe Jacobi 2D baseline vs CPU-Free
+     headline paper-vs-measured speedup summary *)
+
+module E = Cpufree_engine
+module G = Cpufree_gpu
+module S = Cpufree_stencil
+module D = Cpufree_dace
+module Measure = Cpufree_core.Measure
+module Metrics = Cpufree_comm.Metrics
+module Time = E.Time
+
+let gpu_counts = [ 1; 2; 4; 8 ]
+let iterations = 50
+
+let us t = Time.to_us_float t
+let ms t = Time.to_ms_float t
+
+let header title =
+  Printf.printf "\n==================================================================\n";
+  Printf.printf "%s\n" title;
+  Printf.printf "==================================================================\n%!"
+
+let stencil_variants = S.Variants.all
+
+let run_stencil kind problem gpus = S.Harness.run kind problem ~gpus
+
+(* ---------------------------------------------------------------- *)
+(* Fig 2.1b / 5.1b: timelines                                        *)
+(* ---------------------------------------------------------------- *)
+
+let print_filtered_timeline trace =
+  let filtered = E.Trace.create () in
+  List.iter
+    (fun sp ->
+      let keep =
+        List.exists
+          (fun p -> Astring.String.is_prefix ~affix:p sp.E.Trace.lane)
+          [ "gpu0"; "gpu1"; "host" ]
+      in
+      if keep then
+        E.Trace.add filtered ~lane:sp.E.Trace.lane ~label:sp.E.Trace.label ~kind:sp.E.Trace.kind
+          ~t0:sp.E.Trace.t0 ~t1:sp.E.Trace.t1)
+    (E.Trace.spans trace);
+  print_string (E.Trace.render_ascii ~width:96 filtered)
+
+let fig2_1b () =
+  header
+    "Fig 2.1b  Nsight-style timeline: CPU-controlled overlapping stencil (2D 256^2, 8 GPUs, 3 \
+     iterations; 2 devices shown)";
+  let problem = S.Problem.make (S.Problem.D2 { nx = 256; ny = 256 }) ~iterations:3 in
+  let _, trace = S.Harness.run_traced S.Variants.Overlap problem ~gpus:8 in
+  print_filtered_timeline trace
+
+let fig3_1 () =
+  header
+    "Fig 3.1 (concept)  CPU-Free execution timeline: one cooperative launch, then only device \
+     activity (2D 256^2, 8 GPUs, 3 iterations; 2 devices shown)";
+  let problem = S.Problem.make (S.Problem.D2 { nx = 256; ny = 256 }) ~iterations:3 in
+  let _, trace = S.Harness.run_traced S.Variants.Cpu_free problem ~gpus:8 in
+  print_filtered_timeline trace
+
+let fig5_1b () =
+  header "Fig 5.1b  Timeline: distributed DaCe MPI baseline (Jacobi 2D, 4 GPUs, 2 iterations)";
+  let app = D.Pipeline.Jacobi2d { D.Programs.nx_global = 512; ny_global = 512; tsteps = 2 } in
+  let _, trace = D.Pipeline.run_traced app D.Pipeline.Baseline_mpi ~gpus:4 in
+  print_filtered_timeline trace
+
+(* ---------------------------------------------------------------- *)
+(* Fig 2.2: motivation — overheads and overlap                       *)
+(* ---------------------------------------------------------------- *)
+
+let variant_row_header () =
+  Printf.printf "%6s" "gpus";
+  List.iter (fun k -> Printf.printf " %18s" (S.Variants.name k)) stencil_variants;
+  print_newline ()
+
+let fig2_2a () =
+  header
+    "Fig 2.2a  Pure communication + synchronization overhead, no computation (2D 256^2 weak \
+     scaling, per-iteration time in us)";
+  variant_row_header ();
+  List.iter
+    (fun gpus ->
+      Printf.printf "%6d" gpus;
+      List.iter
+        (fun kind ->
+          let dims = S.Problem.weak_scale (S.Problem.D2 { nx = 256; ny = 256 }) ~gpus in
+          let problem = S.Problem.make ~compute:false dims ~iterations in
+          let r = run_stencil kind problem gpus in
+          Printf.printf " %18.2f" (us r.Measure.per_iter))
+        stencil_variants;
+      print_newline ())
+    gpu_counts
+
+let fig2_2b () =
+  header
+    "Fig 2.2b  Communication overlap ratio and total execution time (2D 256^2 per GPU, 8 GPUs)";
+  Printf.printf "%-22s %12s %14s %12s %12s %14s\n" "variant" "total(ms)" "comm-wall(ms)"
+    "overlap(%)" "comm(%)" "non-compute(%)";
+  List.iter
+    (fun kind ->
+      let dims = S.Problem.weak_scale (S.Problem.D2 { nx = 256; ny = 256 }) ~gpus:8 in
+      let problem = S.Problem.make dims ~iterations in
+      let r, trace = S.Harness.run_traced kind problem ~gpus:8 in
+      let comm_frac = Metrics.comm_fraction trace ~total:r.Measure.total *. 100.0 in
+      (* The paper's "communication takes 96% of execution" counts everything
+         that is not computation: API calls, synchronization, transfers. *)
+      let non_compute =
+        let compute = Time.to_sec_float (Metrics.compute_time trace) in
+        let total = Time.to_sec_float r.Measure.total in
+        if total = 0.0 then 0.0 else (total -. compute) /. total *. 100.0
+      in
+      Printf.printf "%-22s %12.3f %14.3f %12.1f %12.1f %14.1f\n" (S.Variants.name kind)
+        (ms r.Measure.total) (ms r.Measure.comm) (r.Measure.overlap *. 100.0) comm_frac
+        non_compute)
+    stencil_variants
+
+(* ---------------------------------------------------------------- *)
+(* Fig 6.1: 2D weak scaling, three domain classes                    *)
+(* ---------------------------------------------------------------- *)
+
+let weak_scaling_table ~title ~dims_base ~iterations =
+  header title;
+  Printf.printf "%6s %14s" "gpus" "domain";
+  List.iter (fun k -> Printf.printf " %18s" (S.Variants.name k)) stencil_variants;
+  print_newline ();
+  let results = Hashtbl.create 64 in
+  List.iter
+    (fun gpus ->
+      let dims = S.Problem.weak_scale dims_base ~gpus in
+      Printf.printf "%6d %14s" gpus (S.Problem.dims_to_string dims);
+      List.iter
+        (fun kind ->
+          let problem = S.Problem.make dims ~iterations in
+          let r = run_stencil kind problem gpus in
+          Hashtbl.replace results (S.Variants.name kind, gpus) r;
+          Printf.printf " %18.2f" (us r.Measure.per_iter))
+        stencil_variants;
+      print_newline ())
+    gpu_counts;
+  results
+
+let fig6_1 () =
+  let small =
+    weak_scaling_table
+      ~title:"Fig 6.1 (left)  2D Jacobi weak scaling, small domain 256^2/GPU (per-iter us)"
+      ~dims_base:(S.Problem.D2 { nx = 256; ny = 256 })
+      ~iterations
+  in
+  let medium =
+    weak_scaling_table
+      ~title:"Fig 6.1 (middle)  2D Jacobi weak scaling, medium domain 2048^2/GPU (per-iter us)"
+      ~dims_base:(S.Problem.D2 { nx = 2048; ny = 2048 })
+      ~iterations
+  in
+  let large =
+    weak_scaling_table
+      ~title:"Fig 6.1 (right)  2D Jacobi weak scaling, large domain 8192^2/GPU (per-iter us)"
+      ~dims_base:(S.Problem.D2 { nx = 8192; ny = 8192 })
+      ~iterations
+  in
+  (small, medium, large)
+
+(* ---------------------------------------------------------------- *)
+(* Fig 6.2: 3D Jacobi                                                *)
+(* ---------------------------------------------------------------- *)
+
+let fig6_2 () =
+  let weak =
+    weak_scaling_table
+      ~title:"Fig 6.2 (left)  3D Jacobi 7pt weak scaling, 256^3/GPU (per-iter us)"
+      ~dims_base:(S.Problem.D3 { nx = 256; ny = 256; nz = 256 })
+      ~iterations
+  in
+  header
+    "Fig 6.2 (middle)  3D Jacobi no-compute communication time at the largest domain (us/iter)";
+  variant_row_header ();
+  List.iter
+    (fun gpus ->
+      Printf.printf "%6d" gpus;
+      List.iter
+        (fun kind ->
+          let dims =
+            S.Problem.weak_scale (S.Problem.D3 { nx = 256; ny = 256; nz = 256 }) ~gpus
+          in
+          let problem = S.Problem.make ~compute:false dims ~iterations in
+          let r = run_stencil kind problem gpus in
+          Printf.printf " %18.2f" (us r.Measure.per_iter))
+        stencil_variants;
+      print_newline ())
+    gpu_counts;
+  header "Fig 6.2 (right)  3D Jacobi strong scaling, constant 512x512x512 domain (per-iter us)";
+  variant_row_header ();
+  let strong = Hashtbl.create 16 in
+  List.iter
+    (fun gpus ->
+      Printf.printf "%6d" gpus;
+      List.iter
+        (fun kind ->
+          let problem =
+            S.Problem.make (S.Problem.D3 { nx = 512; ny = 512; nz = 512 }) ~iterations
+          in
+          let r = run_stencil kind problem gpus in
+          Hashtbl.replace strong (S.Variants.name kind, gpus) r;
+          Printf.printf " %18.2f" (us r.Measure.per_iter))
+        stencil_variants;
+      print_newline ())
+    gpu_counts;
+  header "Fig 6.2 (right, no compute)  strong-scaling communication-only time (per-iter us)";
+  variant_row_header ();
+  List.iter
+    (fun gpus ->
+      Printf.printf "%6d" gpus;
+      List.iter
+        (fun kind ->
+          let problem =
+            S.Problem.make ~compute:false (S.Problem.D3 { nx = 512; ny = 512; nz = 512 })
+              ~iterations
+          in
+          let r = run_stencil kind problem gpus in
+          Printf.printf " %18.2f" (us r.Measure.per_iter))
+        stencil_variants;
+      print_newline ())
+    gpu_counts;
+  (weak, strong)
+
+(* ---------------------------------------------------------------- *)
+(* Fig 6.3: compiler-generated code                                  *)
+(* ---------------------------------------------------------------- *)
+
+let dace_arms = [ D.Pipeline.Baseline_mpi; D.Pipeline.Cpu_free ]
+
+let fig6_3a () =
+  header "Fig 6.3a  DaCe Jacobi 1D weak scaling, 2^23 elems/GPU (total ms and comm-wall ms)";
+  Printf.printf "%6s %16s %12s %12s %16s %12s %12s\n" "gpus" "" "total" "comm" "" "total" "comm";
+  let store = Hashtbl.create 16 in
+  List.iter
+    (fun gpus ->
+      Printf.printf "%6d" gpus;
+      List.iter
+        (fun arm ->
+          let app =
+            D.Pipeline.Jacobi1d { D.Programs.n_global = (1 lsl 23) * gpus; tsteps = iterations }
+          in
+          let r = D.Pipeline.run app arm ~gpus in
+          Hashtbl.replace store (D.Pipeline.arm_name arm, gpus) r;
+          Printf.printf " %16s %12.3f %12.3f" (D.Pipeline.arm_name arm) (ms r.Measure.total)
+            (ms r.Measure.comm))
+        dace_arms;
+      print_newline ())
+    gpu_counts;
+  store
+
+let fig6_3b () =
+  header "Fig 6.3b  DaCe Jacobi 2D weak scaling, 2048^2/GPU (total ms; strided columns)";
+  Printf.printf "%6s %14s %16s %12s %16s %12s\n" "gpus" "domain" "" "total" "" "total";
+  let store = Hashtbl.create 16 in
+  List.iter
+    (fun gpus ->
+      let dims = S.Problem.weak_scale (S.Problem.D2 { nx = 2048; ny = 2048 }) ~gpus in
+      let nx, ny = match dims with S.Problem.D2 { nx; ny } -> (nx, ny) | _ -> assert false in
+      Printf.printf "%6d %14s" gpus (S.Problem.dims_to_string dims);
+      List.iter
+        (fun arm ->
+          let app =
+            D.Pipeline.Jacobi2d
+              { D.Programs.nx_global = nx; ny_global = ny; tsteps = iterations }
+          in
+          let r = D.Pipeline.run app arm ~gpus in
+          Hashtbl.replace store (D.Pipeline.arm_name arm, gpus) r;
+          Printf.printf " %16s %12.3f" (D.Pipeline.arm_name arm) (ms r.Measure.total))
+        dace_arms;
+      print_newline ())
+    gpu_counts;
+  (* Weak-scaling efficiency of the CPU-Free arm (paper: 81.2%). *)
+  (match
+     (Hashtbl.find_opt store ("dace-cpu-free", 1), Hashtbl.find_opt store ("dace-cpu-free", 8))
+   with
+  | Some (r1 : Measure.result), Some r8 ->
+    Printf.printf "CPU-Free weak scaling efficiency at 8 GPUs: %.1f%%\n"
+      (Time.to_sec_float r1.Measure.total /. Time.to_sec_float r8.Measure.total *. 100.0)
+  | _ -> ());
+  store
+
+(* ---------------------------------------------------------------- *)
+(* Headline speedups                                                  *)
+(* ---------------------------------------------------------------- *)
+
+let pct_line label paper measured =
+  Printf.printf "  %-58s paper: %6.1f%%   measured: %6.1f%%\n" label paper measured
+
+let headline (small, medium, large) dace1d dace2d =
+  header "Headline speedups: paper vs measured (speedup% = (Tb - To) / Tb * 100)";
+  let get tbl kind gpus : Measure.result = Hashtbl.find tbl (S.Variants.name kind, gpus) in
+  let sp b o = Measure.speedup_pct ~baseline:b ~ours:o in
+  pct_line "2D small, CPU-Free vs best baseline (NVSHMEM), 8 GPUs" 41.6
+    (sp (get small S.Variants.Nvshmem 8) (get small S.Variants.Cpu_free 8));
+  pct_line "2D medium, CPU-Free vs best baseline (NVSHMEM), 8 GPUs" 48.2
+    (sp (get medium S.Variants.Nvshmem 8) (get medium S.Variants.Cpu_free 8));
+  pct_line "2D small, CPU-Free vs Baseline Copy (fully CPU-controlled)" 96.2
+    (sp (get small S.Variants.Copy 8) (get small S.Variants.Cpu_free 8));
+  pct_line "2D medium, CPU-Free vs Baseline Overlap" 95.7
+    (sp (get medium S.Variants.Overlap 8) (get medium S.Variants.Cpu_free 8));
+  pct_line "2D large, multi-GPU PERKS vs best baseline, 8 GPUs" 18.8
+    (sp (get large S.Variants.Nvshmem 8) (get large S.Variants.Perks 8));
+  let d1 arm g : Measure.result = Hashtbl.find dace1d (arm, g) in
+  let d2 arm g : Measure.result = Hashtbl.find dace2d (arm, g) in
+  pct_line "DaCe Jacobi 1D, CPU-Free vs MPI baseline (total), 8 GPUs" 44.5
+    (sp (d1 "dace-baseline" 8) (d1 "dace-cpu-free" 8));
+  let comm_sp =
+    let b = (d1 "dace-baseline" 8).Measure.comm and o = (d1 "dace-cpu-free" 8).Measure.comm in
+    (Time.to_sec_float b -. Time.to_sec_float o) /. Time.to_sec_float b *. 100.0
+  in
+  pct_line "DaCe Jacobi 1D, communication latency reduction, 8 GPUs" 26.8 comm_sp;
+  pct_line "DaCe Jacobi 2D, CPU-Free vs MPI baseline (total), 8 GPUs" 96.8
+    (sp (d2 "dace-baseline" 8) (d2 "dace-cpu-free" 8))
+
+(* ---------------------------------------------------------------- *)
+(* Supplementary: convergence-checked iterations                     *)
+(* ---------------------------------------------------------------- *)
+
+let supplementary_norm () =
+  header
+    "Supplementary  Residual check every iteration (NVIDIA-sample style): host-round-trip \
+     allreduce vs device-side allreduce (2D medium, 8 GPUs, per-iter us)";
+  Printf.printf "%-22s %14s %16s %12s\n" "variant" "plain" "with norm" "penalty";
+  let dims = S.Problem.weak_scale (S.Problem.D2 { nx = 2048; ny = 2048 }) ~gpus:8 in
+  List.iter
+    (fun kind ->
+      let run norm =
+        S.Harness.run kind (S.Problem.make ?norm_every:norm dims ~iterations:30) ~gpus:8
+      in
+      let plain = run None and normed = run (Some 1) in
+      Printf.printf "%-22s %14.2f %16.2f %11.2f%%\n" (S.Variants.name kind)
+        (us plain.Measure.per_iter) (us normed.Measure.per_iter)
+        ((Time.to_sec_float normed.Measure.per_iter /. Time.to_sec_float plain.Measure.per_iter
+         -. 1.0)
+        *. 100.0))
+    [ S.Variants.Copy; S.Variants.Nvshmem; S.Variants.Cpu_free ]
+
+(* ---------------------------------------------------------------- *)
+(* Ablations: design choices called out in DESIGN.md                 *)
+(* ---------------------------------------------------------------- *)
+
+let ablations () =
+  header "Ablation A  Persistent-fusion barrier placement (§5.1): relaxed vs upstream-naive";
+  let app = D.Pipeline.Jacobi2d { D.Programs.nx_global = 4096; ny_global = 4096; tsteps = 20 } in
+  let run_relax relax =
+    let built = D.Pipeline.compile ~relax app D.Pipeline.Cpu_free ~gpus:8 in
+    Measure.run ~label:(if relax then "relaxed (this work)" else "naive (upstream)")
+      ~gpus:8 ~iterations:20 built.D.Exec.program
+  in
+  let relaxed = run_relax true and naive = run_relax false in
+  Printf.printf "  %-24s per-iter %8.2f us\n" relaxed.Measure.label (us relaxed.Measure.per_iter);
+  Printf.printf "  %-24s per-iter %8.2f us\n" naive.Measure.label (us naive.Measure.per_iter);
+  Printf.printf "  relaxation speedup: %.1f%%\n"
+    (Measure.speedup_pct ~baseline:naive ~ours:relaxed);
+
+  header
+    "Ablation B  In-kernel communication scheduling (§5.3.2/§5.4): single-thread vs      thread-block-specialized (this work implements the paper's future work)";
+  let run_spec specialize_tb =
+    let built = D.Pipeline.compile ~specialize_tb app D.Pipeline.Cpu_free ~gpus:8 in
+    Measure.run
+      ~label:(if specialize_tb then "TB-specialized" else "single-thread + grid sync")
+      ~gpus:8 ~iterations:20 built.D.Exec.program
+  in
+  let conservative = run_spec false and specialized = run_spec true in
+  Printf.printf "  %-28s per-iter %8.2f us  overlap %5.1f%%\n" conservative.Measure.label
+    (us conservative.Measure.per_iter) (conservative.Measure.overlap *. 100.0);
+  Printf.printf "  %-28s per-iter %8.2f us  overlap %5.1f%%\n" specialized.Measure.label
+    (us specialized.Measure.per_iter) (specialized.Measure.overlap *. 100.0);
+  Printf.printf "  specialization speedup: %.1f%%\n"
+    (Measure.speedup_pct ~baseline:conservative ~ours:specialized);
+
+  header
+    "Ablation C  One specialized kernel vs two co-resident kernels (§4 alternative design;      paper: no significant difference)";
+  let dims = S.Problem.weak_scale (S.Problem.D2 { nx = 2048; ny = 2048 }) ~gpus:8 in
+  let problem = S.Problem.make dims ~iterations:50 in
+  List.iter
+    (fun kind ->
+      let r = run_stencil kind problem 8 in
+      Printf.printf "  %-22s per-iter %8.2f us\n" (S.Variants.name kind)
+        (us r.Measure.per_iter))
+    [ S.Variants.Cpu_free; S.Variants.Cpu_free_multi ];
+
+  header
+    "Ablation D  PERKS caching vs per-GPU domain size (2D, 8 GPUs): fitting domains are \
+     cached almost entirely; over-capacity domains fall back toward plain traffic";
+  let arch = G.Arch.a100_hgx in
+  Printf.printf "  %12s %12s %14s %14s\n" "domain/GPU" "cache-frac" "perks (us)" "cpu-free (us)";
+  List.iter
+    (fun nx ->
+      let dims = S.Problem.weak_scale (S.Problem.D2 { nx; ny = nx }) ~gpus:8 in
+      let problem = S.Problem.make dims ~iterations:20 in
+      let perks = S.Harness.run S.Variants.Perks problem ~gpus:8 in
+      let free = S.Harness.run S.Variants.Cpu_free problem ~gpus:8 in
+      Printf.printf "  %9dx%-3d %12.2f %14.2f %14.2f\n" nx nx
+        (G.Kernel.perks_cache_fraction arch ~elems:(nx * nx))
+        (us perks.Measure.per_iter) (us free.Measure.per_iter))
+    [ 1024; 2048; 4096; 8192; 16384 ]
+
+(* ---------------------------------------------------------------- *)
+(* Bechamel wall-clock microbenchmarks (one per figure regenerator)  *)
+(* ---------------------------------------------------------------- *)
+
+let bechamel_suite () =
+  header "Bechamel wall-clock benchmarks of the simulator itself (one per figure)";
+  let quick_stencil kind () =
+    let problem = S.Problem.make (S.Problem.D2 { nx = 256; ny = 256 }) ~iterations:5 in
+    ignore (run_stencil kind problem 8)
+  in
+  let quick_dace arm () =
+    let app = D.Pipeline.Jacobi1d { D.Programs.n_global = 1 lsl 16; tsteps = 5 } in
+    ignore (D.Pipeline.run app arm ~gpus:8)
+  in
+  let tests =
+    [
+      Bechamel.Test.make ~name:"fig2.2a:no-compute-cpu-free"
+        (Bechamel.Staged.stage (fun () ->
+             let problem =
+               S.Problem.make ~compute:false (S.Problem.D2 { nx = 256; ny = 256 })
+                 ~iterations:5
+             in
+             ignore (run_stencil S.Variants.Cpu_free problem 8)));
+      Bechamel.Test.make ~name:"fig6.1:baseline-copy" (Bechamel.Staged.stage (quick_stencil S.Variants.Copy));
+      Bechamel.Test.make ~name:"fig6.1:baseline-nvshmem"
+        (Bechamel.Staged.stage (quick_stencil S.Variants.Nvshmem));
+      Bechamel.Test.make ~name:"fig6.1:cpu-free" (Bechamel.Staged.stage (quick_stencil S.Variants.Cpu_free));
+      Bechamel.Test.make ~name:"fig6.2:3d-cpu-free"
+        (Bechamel.Staged.stage (fun () ->
+             let problem =
+               S.Problem.make (S.Problem.D3 { nx = 32; ny = 32; nz = 64 }) ~iterations:5
+             in
+             ignore (run_stencil S.Variants.Cpu_free problem 8)));
+      Bechamel.Test.make ~name:"fig6.3a:dace-baseline"
+        (Bechamel.Staged.stage (quick_dace D.Pipeline.Baseline_mpi));
+      Bechamel.Test.make ~name:"fig6.3a:dace-cpu-free" (Bechamel.Staged.stage (quick_dace D.Pipeline.Cpu_free));
+      Bechamel.Test.make ~name:"fig6.3b:dace-2d-cpu-free"
+        (Bechamel.Staged.stage (fun () ->
+             let app =
+               D.Pipeline.Jacobi2d { D.Programs.nx_global = 256; ny_global = 256; tsteps = 3 }
+             in
+             ignore (D.Pipeline.run app D.Pipeline.Cpu_free ~gpus:8)));
+    ]
+  in
+  let benchmark test =
+    let instance = Bechamel.Toolkit.Instance.monotonic_clock in
+    let cfg = Bechamel.Benchmark.cfg ~limit:200 ~quota:(Bechamel.Time.second 0.25) ~kde:(Some 100) () in
+    let ols = Bechamel.Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Bechamel.Measure.run |] in
+    let raw = Bechamel.Benchmark.all cfg [ instance ] (Bechamel.Test.make_grouped ~name:"g" [ test ]) in
+    let results = Bechamel.Analyze.all ols instance raw in
+    Hashtbl.iter
+      (fun name ols_result ->
+        match Bechamel.Analyze.OLS.estimates ols_result with
+        | Some [ est ] -> Printf.printf "  %-34s %14.1f ns/run\n" name est
+        | Some _ | None -> Printf.printf "  %-34s (no estimate)\n" name)
+      results
+  in
+  List.iter benchmark tests
+
+(* ---------------------------------------------------------------- *)
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let quick = List.mem "quick" args in
+  let with_bechamel = List.mem "bechamel" args in
+  fig2_1b ();
+  fig3_1 ();
+  fig2_2a ();
+  fig2_2b ();
+  fig5_1b ();
+  let fig61 = fig6_1 () in
+  if not quick then ignore (fig6_2 ());
+  let dace1d = fig6_3a () in
+  let dace2d = fig6_3b () in
+  headline fig61 dace1d dace2d;
+  if not quick then begin
+    supplementary_norm ();
+    ablations ()
+  end;
+  if with_bechamel || not quick then bechamel_suite ();
+  Printf.printf "\nDone. See EXPERIMENTS.md for the per-figure comparison with the paper.\n"

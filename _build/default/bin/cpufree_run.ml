@@ -1,0 +1,253 @@
+(* Command-line driver for the CPU-Free simulator.
+
+   cpufree_run stencil  --variant cpu-free --dims 2d:2048x2048 --gpus 8 ...
+   cpufree_run dace     --app jacobi2d --arm cpu-free --gpus 8 ...
+   cpufree_run machine  (print the simulated architecture) *)
+
+module E = Cpufree_engine
+module G = Cpufree_gpu
+module S = Cpufree_stencil
+module D = Cpufree_dace
+module Measure = Cpufree_core.Measure
+module Time = E.Time
+open Cmdliner
+
+(* --- shared argument parsers -------------------------------------------- *)
+
+let gpus_arg =
+  let doc = "Number of simulated GPUs." in
+  Arg.(value & opt int 8 & info [ "gpus"; "g" ] ~docv:"N" ~doc)
+
+let arch_arg =
+  let doc = "Simulated device architecture (a100 or h100)." in
+  Arg.(value & opt string "a100" & info [ "arch" ] ~docv:"ARCH" ~doc)
+
+let resolve_arch name =
+  match G.Arch.of_name name with
+  | Some a -> a
+  | None ->
+    Printf.eprintf "unknown architecture %S (expected one of: %s)\n" name
+      (String.concat ", " (List.map fst G.Arch.by_name));
+    exit 2
+
+let iters_arg =
+  let doc = "Jacobi iterations / time steps." in
+  Arg.(value & opt int 100 & info [ "iters"; "i" ] ~docv:"T" ~doc)
+
+let timeline_arg =
+  let doc = "Render an ASCII execution timeline after the run." in
+  Arg.(value & flag & info [ "timeline" ] ~doc)
+
+let chrome_arg =
+  let doc = "Write the execution trace as Chrome trace-event JSON to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "chrome-trace" ] ~docv:"FILE" ~doc)
+
+let maybe_write_chrome path trace =
+  match path with
+  | None -> ()
+  | Some file ->
+    let oc = open_out file in
+    output_string oc (E.Trace.to_chrome_json trace);
+    close_out oc;
+    Printf.printf "wrote %s (open in chrome://tracing or Perfetto)\n" file
+
+let verify_arg =
+  let doc = "Run with real data and check against the sequential reference." in
+  Arg.(value & flag & info [ "verify" ] ~doc)
+
+let parse_dims s =
+  let fail () =
+    `Error (Printf.sprintf "bad dims %S: expected 2d:NXxNY or 3d:NXxNYxNZ" s)
+  in
+  match String.split_on_char ':' (String.lowercase_ascii s) with
+  | [ "2d"; rest ] -> (
+    match String.split_on_char 'x' rest with
+    | [ a; b ] -> (
+      match (int_of_string_opt a, int_of_string_opt b) with
+      | Some nx, Some ny -> `Ok (S.Problem.D2 { nx; ny })
+      | _ -> fail ())
+    | _ -> fail ())
+  | [ "3d"; rest ] -> (
+    match String.split_on_char 'x' rest with
+    | [ a; b; c ] -> (
+      match (int_of_string_opt a, int_of_string_opt b, int_of_string_opt c) with
+      | Some nx, Some ny, Some nz -> `Ok (S.Problem.D3 { nx; ny; nz })
+      | _ -> fail ())
+    | _ -> fail ())
+  | _ -> fail ()
+
+let dims_conv =
+  let printer fmt d = Format.pp_print_string fmt (S.Problem.dims_to_string d) in
+  Arg.conv ((fun s -> match parse_dims s with `Ok d -> Ok d | `Error e -> Error (`Msg e)), printer)
+
+let dims_arg =
+  let doc = "Global domain: 2d:NXxNY or 3d:NXxNYxNZ." in
+  Arg.(value & opt dims_conv (S.Problem.D2 { nx = 2048; ny = 2048 })
+       & info [ "dims"; "d" ] ~docv:"DIMS" ~doc)
+
+let print_timeline trace =
+  print_string (E.Trace.render_ascii ~width:100 trace)
+
+(* --- stencil command ------------------------------------------------------ *)
+
+let variant_arg =
+  let doc = "Execution scheme; 'all' compares every scheme." in
+  Arg.(value & opt (some string) None & info [ "variant"; "v" ] ~docv:"VARIANT" ~doc)
+
+let no_compute_arg =
+  let doc = "Disable computation: measure the pure communication/sync floor." in
+  Arg.(value & flag & info [ "no-compute" ] ~doc)
+
+let run_stencil arch_name gpus iters dims variant no_compute verify timeline chrome =
+  let arch = resolve_arch arch_name in
+  let kinds =
+    match variant with
+    | None | Some "all" -> S.Variants.all
+    | Some name -> (
+      match S.Variants.of_name name with
+      | Some k -> [ k ]
+      | None ->
+        Printf.eprintf "unknown variant %S; use one of: %s, all\n" name
+          (String.concat ", " (List.map S.Variants.name S.Variants.all));
+        exit 2)
+  in
+  let problem = S.Problem.make ~compute:(not no_compute) ~backed:verify dims ~iterations:iters in
+  let results =
+    List.map
+      (fun kind ->
+        let r, trace = S.Harness.run_traced ~arch kind problem ~gpus in
+        if timeline && List.length kinds = 1 then print_timeline trace;
+        if List.length kinds = 1 then maybe_write_chrome chrome trace;
+        if verify then begin
+          match S.Harness.verify ~arch kind problem ~gpus with
+          | Ok err -> Printf.printf "%-22s verification OK (max |err| = %.2e)\n" (S.Variants.name kind) err
+          | Error m -> Printf.printf "%-22s verification FAILED: %s\n" (S.Variants.name kind) m
+        end;
+        r)
+      kinds
+  in
+  Format.printf "%a"
+    (fun fmt -> Measure.pp_table fmt ~header:(Printf.sprintf "%s on %d GPUs" (S.Problem.dims_to_string dims) gpus))
+    results;
+  0
+
+let stencil_cmd =
+  let doc = "Run the hand-written multi-GPU Jacobi stencil variants (paper §6.1)." in
+  Cmd.v
+    (Cmd.info "stencil" ~doc)
+    Term.(
+      const run_stencil $ arch_arg $ gpus_arg $ iters_arg $ dims_arg $ variant_arg
+      $ no_compute_arg $ verify_arg $ timeline_arg $ chrome_arg)
+
+(* --- dace command ---------------------------------------------------------- *)
+
+let app_arg =
+  let doc = "Benchmark program: jacobi1d, jacobi2d or heat3d." in
+  Arg.(value & opt string "jacobi2d" & info [ "app"; "a" ] ~docv:"APP" ~doc)
+
+let arm_arg =
+  let doc = "Pipeline arm: baseline (MPI, CPU-controlled) or cpu-free." in
+  Arg.(value & opt string "cpu-free" & info [ "arm" ] ~docv:"ARM" ~doc)
+
+let size_arg =
+  let doc = "Problem size: total elements (1D) or square edge (2D)." in
+  Arg.(value & opt int 4096 & info [ "size"; "n" ] ~docv:"N" ~doc)
+
+let emit_arg =
+  let doc = "Print the CUDA-like code the chosen pipeline generates." in
+  Arg.(value & flag & info [ "emit-code" ] ~doc)
+
+let specialize_arg =
+  let doc =
+    "Apply thread-block specialization to the persistent kernel (communication on a dedicated \
+     TB group, overlapping the interior computation)."
+  in
+  Arg.(value & flag & info [ "specialize-tb" ] ~doc)
+
+let run_dace gpus iters app_name arm_name size emit specialize_tb verify timeline chrome =
+  let app =
+    match app_name with
+    | "jacobi1d" -> D.Pipeline.Jacobi1d { D.Programs.n_global = size; tsteps = iters }
+    | "jacobi2d" ->
+      D.Pipeline.Jacobi2d { D.Programs.nx_global = size; ny_global = size; tsteps = iters }
+    | "heat3d" ->
+      D.Pipeline.Heat3d { D.Programs.nx3 = size; ny3 = size; nz3 = size; tsteps3 = iters }
+    | other ->
+      Printf.eprintf "unknown app %S (expected jacobi1d, jacobi2d or heat3d)\n" other;
+      exit 2
+  in
+  let arm =
+    match arm_name with
+    | "baseline" | "mpi" -> D.Pipeline.Baseline_mpi
+    | "cpu-free" | "cpufree" -> D.Pipeline.Cpu_free
+    | other ->
+      Printf.eprintf "unknown arm %S (expected baseline or cpu-free)\n" other;
+      exit 2
+  in
+  if emit then begin
+    let sdfg = D.Pipeline.compile_sdfg app arm ~gpus in
+    match arm with
+    | D.Pipeline.Baseline_mpi -> print_string (D.Codegen.emit_baseline sdfg)
+    | D.Pipeline.Cpu_free -> (
+      match D.Persistent_fusion.apply sdfg with
+      | Ok p ->
+        let p = if specialize_tb then fst (D.Persistent_fusion.specialize_tb p) else p in
+        print_string (D.Codegen.emit_persistent p)
+      | Error e ->
+        Printf.eprintf "persistent fusion failed: %s\n" e;
+        exit 1)
+  end;
+  if verify then begin
+    match D.Pipeline.verify ~specialize_tb app arm ~gpus with
+    | Ok err -> Printf.printf "verification OK (max |err| = %.2e)\n" err
+    | Error m ->
+      Printf.printf "verification FAILED: %s\n" m;
+      exit 1
+  end;
+  let built = D.Pipeline.compile ~specialize_tb app arm ~gpus in
+  let r, trace =
+    Measure.run_traced
+      ~label:(Printf.sprintf "%s/%s%s" (D.Pipeline.app_name app) (D.Pipeline.arm_name arm)
+                (if specialize_tb then "/specialized" else ""))
+      ~gpus ~iterations:iters built.D.Exec.program
+  in
+  if timeline then print_timeline trace;
+  maybe_write_chrome chrome trace;
+  Format.printf "%a@." Measure.pp_result r;
+  0
+
+let dace_cmd =
+  let doc = "Compile and run a distributed DaCe benchmark through a pipeline arm (paper §6.2)." in
+  Cmd.v
+    (Cmd.info "dace" ~doc)
+    Term.(
+      const run_dace $ gpus_arg $ iters_arg $ app_arg $ arm_arg $ size_arg $ emit_arg
+      $ specialize_arg $ verify_arg $ timeline_arg $ chrome_arg)
+
+(* --- machine command -------------------------------------------------------- *)
+
+let run_machine arch_name =
+  let arch = resolve_arch arch_name in
+  Format.printf "%a@." G.Arch.pp arch;
+  let f = Time.to_string in
+  Printf.printf "  kernel launch:          %s\n" (f arch.G.Arch.kernel_launch);
+  Printf.printf "  cooperative launch:     %s\n" (f arch.G.Arch.coop_launch);
+  Printf.printf "  stream synchronize:     %s\n" (f arch.G.Arch.stream_sync);
+  Printf.printf "  host barrier:           %s\n" (f arch.G.Arch.host_barrier);
+  Printf.printf "  grid.sync():            %s\n" (f arch.G.Arch.grid_sync);
+  Printf.printf "  host-initiated latency: %s\n" (f arch.G.Arch.host_initiated_latency);
+  Printf.printf "  GPU-initiated latency:  %s\n" (f arch.G.Arch.gpu_initiated_latency);
+  Printf.printf "  NVSHMEM signal:         %s\n" (f arch.G.Arch.nvshmem_signal);
+  Printf.printf "  co-resident blocks:     %d\n" (G.Arch.co_resident_blocks arch);
+  0
+
+let machine_cmd =
+  let doc = "Print the simulated machine's cost-model parameters." in
+  Cmd.v (Cmd.info "machine" ~doc) Term.(const run_machine $ arch_arg)
+
+(* --- entry ------------------------------------------------------------------- *)
+
+let () =
+  let doc = "CPU-Free multi-GPU execution model simulator (paper reproduction)" in
+  let info = Cmd.info "cpufree_run" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval' (Cmd.group info [ stencil_cmd; dace_cmd; machine_cmd ]))

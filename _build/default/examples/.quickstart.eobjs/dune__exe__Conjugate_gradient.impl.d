@@ -1,0 +1,1 @@
+examples/conjugate_gradient.ml: Array Cpufree_comm Cpufree_core Cpufree_engine Cpufree_gpu Printf

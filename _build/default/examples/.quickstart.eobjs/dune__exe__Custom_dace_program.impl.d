@@ -1,0 +1,1 @@
+examples/custom_dace_program.ml: Array Cpufree_core Cpufree_dace Cpufree_gpu Float Format List Printf

@@ -1,0 +1,1 @@
+examples/dace_pipeline.ml: Cpufree_core Cpufree_dace Format List Printf String

@@ -1,0 +1,1 @@
+examples/dace_pipeline.mli:

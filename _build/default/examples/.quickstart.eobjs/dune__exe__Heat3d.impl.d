@@ -1,0 +1,1 @@
+examples/heat3d.ml: Cpufree_core Cpufree_engine Cpufree_stencil List Printf

@@ -1,0 +1,1 @@
+examples/jacobi2d_scaling.ml: Cpufree_core Cpufree_stencil Format List Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cpufree_comm Cpufree_core Cpufree_engine Cpufree_gpu Printf

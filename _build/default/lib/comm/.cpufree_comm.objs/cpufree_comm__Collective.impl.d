@@ -1,0 +1,1 @@
+lib/comm/collective.ml: Array Cpufree_gpu Float Nvshmem

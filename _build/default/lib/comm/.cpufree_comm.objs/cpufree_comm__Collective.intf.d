@@ -1,0 +1,1 @@
+lib/comm/collective.mli: Nvshmem

@@ -1,0 +1,1 @@
+lib/comm/metrics.ml: Cpufree_engine List

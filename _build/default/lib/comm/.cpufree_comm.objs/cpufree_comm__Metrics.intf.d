@@ -1,0 +1,1 @@
+lib/comm/metrics.mli: Cpufree_engine

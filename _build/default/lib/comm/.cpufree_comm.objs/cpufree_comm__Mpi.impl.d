@@ -1,0 +1,1 @@
+lib/comm/mpi.ml: Cpufree_engine Cpufree_gpu Hashtbl List Printf Queue Stdlib

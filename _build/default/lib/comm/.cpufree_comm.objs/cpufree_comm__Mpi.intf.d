@@ -1,0 +1,1 @@
+lib/comm/mpi.mli: Cpufree_gpu

@@ -1,0 +1,1 @@
+lib/comm/nvshmem.ml: Array Cpufree_engine Cpufree_gpu Printf

@@ -1,0 +1,1 @@
+lib/comm/nvshmem.mli: Cpufree_gpu

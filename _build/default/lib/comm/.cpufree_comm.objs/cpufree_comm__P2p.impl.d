@@ -1,0 +1,1 @@
+lib/comm/p2p.ml: Cpufree_gpu Printf

@@ -1,0 +1,1 @@
+lib/comm/p2p.mli: Cpufree_gpu

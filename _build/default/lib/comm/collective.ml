@@ -1,0 +1,58 @@
+module G = Cpufree_gpu
+
+type t = {
+  nv : Nvshmem.t;
+  contrib : Nvshmem.sym;  (* per PE: one slot per contributor *)
+  arrived : Nvshmem.signal;  (* counts contributions delivered to this PE *)
+  round : int array;  (* completed rounds, per PE *)
+}
+
+let create nv ~label =
+  let n = Nvshmem.n_pes nv in
+  {
+    nv;
+    (* Two banks of n slots, alternating by round parity: a peer can only
+       reuse a bank after the signals of the intervening round, which every
+       PE sends only after it has read the bank — so no barrier is needed
+       between rounds. *)
+    contrib = Nvshmem.sym_malloc nv ~label:(label ^ ".contrib") (2 * n);
+    arrived = Nvshmem.signal_malloc nv ~label:(label ^ ".arrived") ();
+    round = Array.make n 0;
+  }
+
+let n t = Nvshmem.n_pes t.nv
+
+(* Scatter my value into every PE's bank slot for this round, then wait
+   until all n contributions have arrived. Arrival counting is cumulative so
+   the signal needs no reset. Returns the bank offset to read. *)
+let gather_round t ~pe value =
+  t.round.(pe) <- t.round.(pe) + 1;
+  let bank = (t.round.(pe) land 1) * n t in
+  let own = Nvshmem.local t.contrib ~pe in
+  G.Buffer.set own (bank + pe) value;
+  (* Non-blocking signaled single-element puts: all n-1 deliveries proceed
+     concurrently (put-then-signal ordering makes each arrival count a
+     data-availability guarantee). *)
+  for peer = 0 to n t - 1 do
+    if peer <> pe then
+      Nvshmem.putmem_signal_nbi t.nv ~from_pe:pe ~to_pe:peer ~src:own ~src_pos:(bank + pe)
+        ~dst:t.contrib ~dst_pos:(bank + pe) ~len:1 ~sig_var:t.arrived
+        ~sig_op:Nvshmem.Signal_add ~sig_value:1
+  done;
+  (* Each round delivers n-1 remote arrivals. *)
+  Nvshmem.signal_wait_ge t.nv ~pe ~sig_var:t.arrived (t.round.(pe) * (n t - 1));
+  bank
+
+let reduce t ~pe ~init ~f value =
+  let bank = gather_round t ~pe value in
+  let own = Nvshmem.local t.contrib ~pe in
+  let acc = ref init in
+  for peer = 0 to n t - 1 do
+    acc := f !acc (G.Buffer.get own (bank + peer))
+  done;
+  !acc
+
+let allreduce_sum t ~pe value = reduce t ~pe ~init:0.0 ~f:( +. ) value
+let allreduce_max t ~pe value = reduce t ~pe ~init:neg_infinity ~f:Float.max value
+let barrier t ~pe = Nvshmem.barrier_all t.nv ~pe
+let rounds t ~pe = t.round.(pe)

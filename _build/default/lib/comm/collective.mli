@@ -1,0 +1,29 @@
+(** Device-side collectives built on the GPU-initiated NVSHMEM primitives.
+
+    Iterative solvers beyond stencils (conjugate gradient, the other workload
+    class PERKS targets) need global reductions inside the persistent kernel
+    — with a CPU-controlled runtime these are host round-trips; here every
+    PE contributes with non-blocking signaled single-element puts and no
+    host thread is involved.
+
+    All operations are {e collective}: every PE of the group must call them,
+    from device-side (kernel) processes, once per logical round; rounds are
+    tracked internally so the scratch state is reusable. *)
+
+type t
+
+val create : Nvshmem.t -> label:string -> t
+(** Allocates the symmetric scratch (one contribution slot per PE and an
+    arrival signal). *)
+
+val allreduce_sum : t -> pe:int -> float -> float
+(** Contribute a scalar; returns the sum over all PEs' contributions of this
+    round. Deterministic summation order (by PE index). *)
+
+val allreduce_max : t -> pe:int -> float -> float
+
+val barrier : t -> pe:int -> unit
+(** [nvshmem_barrier_all] convenience re-export. *)
+
+val rounds : t -> pe:int -> int
+(** Completed reduction rounds on a PE (diagnostics). *)

@@ -1,0 +1,54 @@
+module E = Cpufree_engine
+module Time = E.Time
+
+type interval = Time.t * Time.t
+
+let merge intervals =
+  let sorted =
+    List.sort (fun (a, _) (b, _) -> Time.compare a b)
+      (List.filter (fun (a, b) -> Time.(a < b)) intervals)
+  in
+  let rec go acc = function
+    | [] -> List.rev acc
+    | iv :: rest -> (
+      match acc with
+      | (lo, hi) :: acc_rest when Time.(fst iv <= hi) ->
+        go ((lo, Time.max hi (snd iv)) :: acc_rest) rest
+      | _ -> go (iv :: acc) rest)
+  in
+  go [] sorted
+
+let intersect xs ys =
+  let rec go acc xs ys =
+    match (xs, ys) with
+    | [], _ | _, [] -> List.rev acc
+    | (xa, xb) :: xrest, (ya, yb) :: yrest ->
+      let lo = Time.max xa ya and hi = Time.min xb yb in
+      let acc = if Time.(lo < hi) then (lo, hi) :: acc else acc in
+      if Time.(xb <= yb) then go acc xrest ys else go acc xs yrest
+  in
+  go [] xs ys
+
+let total intervals =
+  List.fold_left (fun acc (a, b) -> Time.add acc (Time.sub b a)) Time.zero intervals
+
+let intervals_of_kind trace ~kind =
+  merge
+    (List.filter_map
+       (fun s -> if s.E.Trace.kind = kind then Some (s.E.Trace.t0, s.E.Trace.t1) else None)
+       (E.Trace.spans trace))
+
+let comm_time trace = total (intervals_of_kind trace ~kind:E.Trace.Communication)
+let compute_time trace = total (intervals_of_kind trace ~kind:E.Trace.Compute)
+
+let overlap_ratio trace =
+  let comm = intervals_of_kind trace ~kind:E.Trace.Communication in
+  let comp = intervals_of_kind trace ~kind:E.Trace.Compute in
+  let comm_total = total comm in
+  if Time.equal comm_total Time.zero then 0.0
+  else
+    Time.to_sec_float (total (intersect comm comp)) /. Time.to_sec_float comm_total
+
+let comm_fraction trace ~total:run_total =
+  if Time.equal run_total Time.zero then 0.0
+  else Time.to_sec_float (comm_time trace) /. Time.to_sec_float run_total

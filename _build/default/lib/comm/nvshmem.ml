@@ -1,0 +1,178 @@
+module E = Cpufree_engine
+module G = Cpufree_gpu
+module Time = E.Time
+
+type sym = { slabel : string; bufs : G.Buffer.t array }
+type signal = { glabel : string; flags : E.Sync.Flag.t array }
+type signal_op = Signal_set | Signal_add
+
+type t = {
+  ctx : G.Runtime.ctx;
+  eng : E.Engine.t;
+  n : int;
+  pending : E.Sync.Flag.t array;  (* outstanding nbi deliveries per PE *)
+  barrier : E.Sync.Barrier.t;
+  mutable next_op : int;
+}
+
+let init ctx =
+  let eng = G.Runtime.engine ctx in
+  let n = G.Runtime.num_gpus ctx in
+  {
+    ctx;
+    eng;
+    n;
+    pending = Array.init n (fun i -> E.Sync.Flag.create ~name:(Printf.sprintf "pe%d.pending" i) eng 0);
+    barrier = E.Sync.Barrier.create ~name:"nvshmem.barrier_all" eng n;
+    next_op = 0;
+  }
+
+let n_pes t = t.n
+
+let check_pe t pe op =
+  if pe < 0 || pe >= t.n then invalid_arg (Printf.sprintf "Nvshmem.%s: no such PE %d" op pe)
+
+let sym_malloc t ~label ?phantom elems =
+  {
+    slabel = label;
+    bufs =
+      Array.init t.n (fun pe ->
+          G.Buffer.create ?phantom ~device:pe ~label:(Printf.sprintf "%s@pe%d" label pe) elems);
+  }
+
+let sym_label s = s.slabel
+
+let local s ~pe =
+  if pe < 0 || pe >= Array.length s.bufs then
+    invalid_arg (Printf.sprintf "Nvshmem.local: no such PE %d" pe);
+  s.bufs.(pe)
+
+let signal_malloc t ~label () =
+  {
+    glabel = label;
+    flags =
+      Array.init t.n (fun pe ->
+          E.Sync.Flag.create ~name:(Printf.sprintf "%s@pe%d" label pe) t.eng 0);
+  }
+
+let signal_read s ~pe = E.Sync.Flag.get s.flags.(pe)
+
+let arch t = G.Runtime.arch t.ctx
+let net t = G.Runtime.net t.ctx
+
+let issue_overhead t = (arch t).G.Arch.nvshmem_put_overhead
+
+let apply_signal sig_var pe op v =
+  let flag = sig_var.flags.(pe) in
+  match op with
+  | Signal_set -> E.Sync.Flag.set flag v
+  | Signal_add -> E.Sync.Flag.add flag v
+
+(* Run a delivery asynchronously on behalf of [from_pe], tracking it in the
+   PE's outstanding-op counter so that quiet/barrier can drain it. *)
+let deliver_async t ~from_pe ~label body =
+  E.Sync.Flag.add t.pending.(from_pe) 1;
+  t.next_op <- t.next_op + 1;
+  let pname = Printf.sprintf "nvshmem.%s.pe%d.%d" label from_pe t.next_op in
+  let (_ : E.Engine.process) =
+    E.Engine.spawn t.eng ~name:pname (fun () ->
+        body ();
+        E.Sync.Flag.add t.pending.(from_pe) (-1))
+  in
+  ()
+
+let lane t pe = G.Device.lane (G.Runtime.device t.ctx pe) "nvshmem"
+
+let put_common t ~from_pe ~to_pe ~bytes ~label ~commit ~signal_after =
+  check_pe t from_pe "put";
+  check_pe t to_pe "put";
+  E.Engine.delay t.eng (issue_overhead t);
+  let a = arch t in
+  deliver_async t ~from_pe ~label (fun () ->
+      G.Interconnect.transfer (net t) ~src:(G.Interconnect.Gpu from_pe)
+        ~dst:(G.Interconnect.Gpu to_pe) ~initiator:G.Interconnect.By_device ~bytes
+        ~trace_lane:(lane t from_pe) ~label ();
+      commit ();
+      match signal_after with
+      | None -> ()
+      | Some (sig_var, sig_op, sig_value) ->
+        E.Engine.delay t.eng a.G.Arch.nvshmem_signal;
+        apply_signal sig_var to_pe sig_op sig_value)
+
+let putmem_nbi t ~from_pe ~to_pe ~src ~src_pos ~dst ~dst_pos ~len =
+  let dst_buf = local dst ~pe:to_pe in
+  put_common t ~from_pe ~to_pe
+    ~bytes:(len * G.Buffer.elem_bytes)
+    ~label:"putmem_nbi"
+    ~commit:(fun () -> G.Buffer.blit ~src ~src_pos ~dst:dst_buf ~dst_pos ~len)
+    ~signal_after:None
+
+let putmem_signal_nbi t ~from_pe ~to_pe ~src ~src_pos ~dst ~dst_pos ~len ~sig_var ~sig_op
+    ~sig_value =
+  let dst_buf = local dst ~pe:to_pe in
+  put_common t ~from_pe ~to_pe
+    ~bytes:(len * G.Buffer.elem_bytes)
+    ~label:"putmem_signal_nbi"
+    ~commit:(fun () -> G.Buffer.blit ~src ~src_pos ~dst:dst_buf ~dst_pos ~len)
+    ~signal_after:(Some (sig_var, sig_op, sig_value))
+
+let iput_nbi t ~from_pe ~to_pe ~src ~src_pos ~src_stride ~dst ~dst_pos ~dst_stride ~count =
+  check_pe t from_pe "iput";
+  check_pe t to_pe "iput";
+  E.Engine.delay t.eng (issue_overhead t);
+  let a = arch t in
+  let dst_buf = local dst ~pe:to_pe in
+  deliver_async t ~from_pe ~label:"iput_nbi" (fun () ->
+      (* Element-wise remote stores: serialization plus a per-element
+         non-coalescing penalty on top of the port booking. *)
+      E.Engine.delay t.eng (Time.scale a.G.Arch.nvshmem_strided_elem (float_of_int count));
+      G.Interconnect.transfer (net t) ~src:(G.Interconnect.Gpu from_pe)
+        ~dst:(G.Interconnect.Gpu to_pe) ~initiator:G.Interconnect.By_device
+        ~bytes:(count * G.Buffer.elem_bytes)
+        ~trace_lane:(lane t from_pe) ~label:"iput" ();
+      G.Buffer.blit_strided ~src ~src_pos ~src_stride ~dst:dst_buf ~dst_pos ~dst_stride ~count)
+
+let p t ~from_pe ~to_pe ~value ~dst ~dst_pos =
+  check_pe t from_pe "p";
+  check_pe t to_pe "p";
+  E.Engine.delay t.eng (issue_overhead t);
+  G.Interconnect.transfer (net t) ~src:(G.Interconnect.Gpu from_pe)
+    ~dst:(G.Interconnect.Gpu to_pe) ~initiator:G.Interconnect.By_device
+    ~bytes:G.Buffer.elem_bytes ~trace_lane:(lane t from_pe) ~label:"p" ();
+  G.Buffer.set (local dst ~pe:to_pe) dst_pos value
+
+let quiet t ~pe =
+  check_pe t pe "quiet";
+  E.Sync.Flag.wait_until t.pending.(pe) (fun v -> v = 0)
+
+let signal_op_remote t ~from_pe ~to_pe ~sig_var ~sig_op ~sig_value =
+  check_pe t from_pe "signal_op";
+  check_pe t to_pe "signal_op";
+  (* Ordered after prior puts from this PE: fence by waiting for them. *)
+  quiet t ~pe:from_pe;
+  let a = arch t in
+  E.Engine.delay t.eng
+    (Time.add a.G.Arch.gpu_initiated_latency
+       (Time.add a.G.Arch.nvlink_latency a.G.Arch.nvshmem_signal));
+  apply_signal sig_var to_pe sig_op sig_value
+
+let signal_wait_until t ~pe ~sig_var pred =
+  check_pe t pe "signal_wait";
+  let flag = sig_var.flags.(pe) in
+  let blocked = not (pred (E.Sync.Flag.get flag)) in
+  E.Sync.Flag.wait_until flag pred;
+  (* A wait that actually spun pays the remote-write detection latency. *)
+  if blocked then E.Engine.delay t.eng (arch t).G.Arch.nvshmem_wait_latency
+
+let signal_wait_ge t ~pe ~sig_var v = signal_wait_until t ~pe ~sig_var (fun x -> x >= v)
+
+let barrier_all t ~pe =
+  check_pe t pe "barrier_all";
+  quiet t ~pe;
+  let a = arch t in
+  E.Engine.delay t.eng (Time.add a.G.Arch.nvlink_latency a.G.Arch.nvshmem_signal);
+  E.Sync.Barrier.wait t.barrier
+
+let pending t ~pe =
+  check_pe t pe "pending";
+  E.Sync.Flag.get t.pending.(pe)

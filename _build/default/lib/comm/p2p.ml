@@ -1,0 +1,20 @@
+module G = Cpufree_gpu
+
+let endpoint dev = if dev = G.Buffer.host_device then G.Interconnect.Host else G.Interconnect.Gpu dev
+
+let copy ctx ~from_dev ~src ~src_pos ~dst ~dst_pos ~len =
+  G.Interconnect.transfer (G.Runtime.net ctx) ~src:(endpoint from_dev)
+    ~dst:(endpoint (G.Buffer.device dst))
+    ~initiator:G.Interconnect.By_device
+    ~bytes:(len * G.Buffer.elem_bytes)
+    ~trace_lane:(Printf.sprintf "gpu%d.p2p" from_dev)
+    ~label:"p2p-store" ();
+  G.Buffer.blit ~src ~src_pos ~dst ~dst_pos ~len
+
+let store ctx ~from_dev ~dst ~dst_pos value =
+  G.Interconnect.transfer (G.Runtime.net ctx) ~src:(endpoint from_dev)
+    ~dst:(endpoint (G.Buffer.device dst))
+    ~initiator:G.Interconnect.By_device ~bytes:G.Buffer.elem_bytes
+    ~trace_lane:(Printf.sprintf "gpu%d.p2p" from_dev)
+    ~label:"p2p-store1" ();
+  G.Buffer.set dst dst_pos value

@@ -1,0 +1,1 @@
+lib/core/measure.ml: Cpufree_comm Cpufree_engine Cpufree_gpu Format List Stdlib

@@ -1,0 +1,1 @@
+lib/core/nvshmem_alias.mli: Cpufree_comm

@@ -1,0 +1,1 @@
+lib/core/persistent.ml: Cpufree_gpu List

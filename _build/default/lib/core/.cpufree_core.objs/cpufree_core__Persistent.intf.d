@@ -1,0 +1,1 @@
+lib/core/persistent.mli: Cpufree_gpu

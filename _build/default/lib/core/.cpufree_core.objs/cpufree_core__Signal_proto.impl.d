@@ -1,0 +1,1 @@
+lib/core/signal_proto.ml: Nvshmem_alias

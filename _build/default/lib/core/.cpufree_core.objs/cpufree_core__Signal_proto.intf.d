@@ -1,0 +1,1 @@
+lib/core/signal_proto.mli: Cpufree_gpu Nvshmem_alias

@@ -1,0 +1,1 @@
+lib/core/specialize.ml: Stdlib

@@ -1,0 +1,71 @@
+module E = Cpufree_engine
+module G = Cpufree_gpu
+module Time = E.Time
+
+type result = {
+  label : string;
+  gpus : int;
+  iterations : int;
+  total : Time.t;
+  per_iter : Time.t;
+  comm : Time.t;
+  overlap : float;
+  bytes_moved : int;
+}
+
+let run_traced ?arch ?seed:_ ~label ~gpus ~iterations program =
+  let trace = E.Trace.create () in
+  let eng = E.Engine.create ~trace () in
+  let ctx = G.Runtime.init eng ?arch ~num_gpus:gpus () in
+  let (_ : E.Engine.process) = E.Engine.spawn eng ~name:"main" (fun () -> program ctx) in
+  E.Engine.run eng;
+  let total = E.Engine.now eng in
+  let iters = Stdlib.max 1 iterations in
+  let result =
+    {
+      label;
+      gpus;
+      iterations;
+      total;
+      per_iter = Time.of_ns_float (Time.to_sec_float total *. 1e9 /. float_of_int iters);
+      comm = Cpufree_comm.Metrics.comm_time trace;
+      overlap = Cpufree_comm.Metrics.overlap_ratio trace;
+      bytes_moved = G.Interconnect.bytes_moved (G.Runtime.net ctx);
+    }
+  in
+  (result, trace)
+
+let run ?arch ?seed ~label ~gpus ~iterations program =
+  fst (run_traced ?arch ?seed ~label ~gpus ~iterations program)
+
+let best_of ~runs f =
+  if runs < 1 then invalid_arg "Measure.best_of: need at least one run";
+  let rec go best remaining =
+    if remaining = 0 then best
+    else begin
+      let r = f () in
+      let best = if Time.(r.total < best.total) then r else best in
+      go best (remaining - 1)
+    end
+  in
+  go (f ()) (runs - 1)
+
+let speedup_pct ~baseline ~ours =
+  let tb = Time.to_sec_float baseline.total and to_ = Time.to_sec_float ours.total in
+  if tb = 0.0 then 0.0 else (tb -. to_) /. tb *. 100.0
+
+let pp_result fmt r =
+  Format.fprintf fmt "%-28s gpus=%d iters=%d total=%-10s per-iter=%-10s comm=%-10s overlap=%4.1f%%"
+    r.label r.gpus r.iterations (Time.to_string r.total) (Time.to_string r.per_iter)
+    (Time.to_string r.comm) (r.overlap *. 100.0)
+
+let pp_table fmt ~header results =
+  Format.fprintf fmt "== %s ==@." header;
+  Format.fprintf fmt "%-28s %5s %8s %12s %12s %12s %9s@." "variant" "gpus" "iters"
+    "total" "per-iter" "comm" "overlap";
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "%-28s %5d %8d %12s %12s %12s %8.1f%%@." r.label r.gpus r.iterations
+        (Time.to_string r.total) (Time.to_string r.per_iter) (Time.to_string r.comm)
+        (r.overlap *. 100.0))
+    results

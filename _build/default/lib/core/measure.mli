@@ -1,0 +1,40 @@
+(** Experiment harness: build a simulated machine, run a host program on it,
+    and report the quantities the paper's evaluation plots. *)
+
+type result = {
+  label : string;
+  gpus : int;
+  iterations : int;
+  total : Cpufree_engine.Time.t;  (** simulated wall-clock of the run *)
+  per_iter : Cpufree_engine.Time.t;
+  comm : Cpufree_engine.Time.t;  (** wall-clock with ≥1 device communicating *)
+  overlap : float;  (** fraction of comm hidden under compute *)
+  bytes_moved : int;
+}
+
+val run :
+  ?arch:Cpufree_gpu.Arch.t -> ?seed:int -> label:string -> gpus:int -> iterations:int ->
+  (Cpufree_gpu.Runtime.ctx -> unit) -> result
+(** Create an engine with tracing, a runtime context with [gpus] devices, run
+    the given host program as the "main" process to completion, and measure.
+    Deterministic for a given seed. *)
+
+val run_traced :
+  ?arch:Cpufree_gpu.Arch.t -> ?seed:int -> label:string -> gpus:int -> iterations:int ->
+  (Cpufree_gpu.Runtime.ctx -> unit) -> result * Cpufree_engine.Trace.t
+(** As {!run} but also returns the execution trace (for timelines). *)
+
+val best_of :
+  runs:int ->
+  (unit -> result) -> result
+(** Re-run an experiment and keep the fastest result — the paper reports the
+    minimum of 5 consecutive runs. (The simulator is deterministic, so this
+    is an API-fidelity convenience.) *)
+
+val speedup_pct : baseline:result -> ours:result -> float
+(** The paper's speedup formula: [(T_b - T_o) / T_b * 100]. *)
+
+val pp_result : Format.formatter -> result -> unit
+
+val pp_table : Format.formatter -> header:string -> result list -> unit
+(** Aligned text table of results (one experiment series). *)

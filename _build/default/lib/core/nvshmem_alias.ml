@@ -1,0 +1,4 @@
+(** Short alias so the core library's interfaces can name the communication
+    substrate without spelling the full library path everywhere. *)
+
+include Cpufree_comm.Nvshmem

@@ -1,0 +1,4 @@
+(** Alias of {!Cpufree_comm.Nvshmem} so the core library's interfaces can
+    name the communication substrate without the full library path. *)
+
+include module type of Cpufree_comm.Nvshmem

@@ -1,0 +1,15 @@
+module G = Cpufree_gpu
+
+type roles_of_pe = int -> (string * (G.Coop.t -> unit)) list
+
+let run_all ctx ~name ~blocks ~threads_per_block ~roles =
+  G.Host.parallel_join ctx ~name (fun gpu ->
+      let dev = G.Runtime.device ctx gpu in
+      let role_list = roles gpu in
+      let finished =
+        G.Runtime.launch_cooperative ctx ~dev ~name ~blocks ~threads_per_block
+          ~roles:role_list
+      in
+      G.Runtime.join_kernel ctx ~roles:(List.length role_list) finished)
+
+let max_blocks ctx = G.Arch.co_resident_blocks (G.Runtime.arch ctx)

@@ -1,0 +1,22 @@
+type split = { total_blocks : int; boundary_blocks : int; inner_blocks : int }
+
+let split ~total_blocks ~boundary_elems ~inner_elems =
+  if total_blocks < 3 then invalid_arg "Specialize.split: need at least 3 thread blocks";
+  if boundary_elems < 0 || inner_elems < 0 then
+    invalid_arg "Specialize.split: negative work size";
+  let denom = inner_elems + (2 * boundary_elems) in
+  (* Ceiling division: under-provisioning the boundary groups leaves small
+     unbalanced 3D domains bound by boundary processing (§4.1.2). *)
+  let raw =
+    if denom = 0 then 1 else ((total_blocks * boundary_elems) + denom - 1) / denom
+  in
+  (* Clamp: each side at least one block, and leave at least one for inner. *)
+  let boundary_blocks = Stdlib.max 1 (Stdlib.min raw ((total_blocks - 1) / 2)) in
+  { total_blocks; boundary_blocks; inner_blocks = total_blocks - (2 * boundary_blocks) }
+
+let boundary_fraction s = float_of_int s.boundary_blocks /. float_of_int s.total_blocks
+let inner_fraction s = float_of_int s.inner_blocks /. float_of_int s.total_blocks
+
+let no_boundary ~total_blocks =
+  if total_blocks < 1 then invalid_arg "Specialize.no_boundary: need at least 1 block";
+  { total_blocks; boundary_blocks = 0; inner_blocks = total_blocks }

@@ -1,0 +1,31 @@
+(** Thread block specialization (paper §3.1.3 / §4.1.2).
+
+    A persistent kernel has a fixed co-resident grid; concurrency inside it
+    comes from assigning disjoint sub-tasks to groups of thread blocks. For
+    stencils: two boundary/communication groups (top and bottom) and one
+    inner-domain group, sized proportionally to their work:
+
+    {v boundary_TB_num = TB_total * boundary_size / (inner_size + 2 * boundary_size)
+       inner_TB_num    = TB_total - 2 * boundary_TB_num v} *)
+
+type split = {
+  total_blocks : int;
+  boundary_blocks : int;  (** per boundary side *)
+  inner_blocks : int;
+}
+
+val split : total_blocks:int -> boundary_elems:int -> inner_elems:int -> split
+(** Work-proportional allocation per the paper's formula (rounded up, so
+    boundary groups are never under-provisioned); each side gets at least one
+    block, the inner region keeps at least one block.
+
+    @raise Invalid_argument if [total_blocks < 3] or any size is negative. *)
+
+val boundary_fraction : split -> float
+(** Device fraction of one boundary group: [boundary_blocks/total_blocks]. *)
+
+val inner_fraction : split -> float
+
+val no_boundary : total_blocks:int -> split
+(** Degenerate split for a single-GPU run (no halo neighbours): every block
+    does inner work. *)

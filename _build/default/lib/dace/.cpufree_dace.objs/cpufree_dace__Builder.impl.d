@@ -1,0 +1,1 @@
+lib/dace/builder.ml: List Printf Sdfg String Symbolic Validate

@@ -1,0 +1,1 @@
+lib/dace/builder.mli: Sdfg Symbolic

@@ -1,0 +1,1 @@
+lib/dace/codegen.ml: Buffer List Loop Persistent_fusion Printf Sdfg String Symbolic

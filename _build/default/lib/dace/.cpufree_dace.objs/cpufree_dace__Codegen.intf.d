@@ -1,0 +1,1 @@
+lib/dace/codegen.mli: Persistent_fusion Sdfg

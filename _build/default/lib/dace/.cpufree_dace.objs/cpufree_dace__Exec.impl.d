@@ -1,0 +1,1 @@
+lib/dace/exec.ml: Cpufree_comm Cpufree_engine Cpufree_gpu Hashtbl List Loop Option Persistent_fusion Printf Sdfg Symbolic

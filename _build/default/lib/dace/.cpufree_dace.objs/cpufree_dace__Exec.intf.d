@@ -1,0 +1,1 @@
+lib/dace/exec.mli: Cpufree_gpu Persistent_fusion Sdfg

@@ -1,0 +1,1 @@
+lib/dace/loop.ml: List Option Printf Sdfg String Symbolic

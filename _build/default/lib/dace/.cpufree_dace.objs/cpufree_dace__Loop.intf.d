@@ -1,0 +1,1 @@
+lib/dace/loop.mli: Sdfg Symbolic

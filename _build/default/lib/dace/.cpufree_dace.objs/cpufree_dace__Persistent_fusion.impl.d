@@ -1,0 +1,1 @@
+lib/dace/persistent_fusion.ml: List Loop Sdfg Symbolic

@@ -1,0 +1,1 @@
+lib/dace/persistent_fusion.mli: Loop Sdfg

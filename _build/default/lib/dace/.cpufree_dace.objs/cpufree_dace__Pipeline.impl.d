@@ -1,0 +1,1 @@
+lib/dace/pipeline.ml: Array Cpufree_core Cpufree_gpu Exec Float Persistent_fusion Printf Programs Transforms Validate

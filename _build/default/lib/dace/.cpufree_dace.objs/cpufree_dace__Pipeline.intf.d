@@ -1,0 +1,1 @@
+lib/dace/pipeline.mli: Cpufree_core Cpufree_engine Cpufree_gpu Exec Programs Sdfg

@@ -1,0 +1,1 @@
+lib/dace/programs.ml: Array Exec List Printf Sdfg Stdlib String Symbolic

@@ -1,0 +1,1 @@
+lib/dace/programs.mli: Sdfg

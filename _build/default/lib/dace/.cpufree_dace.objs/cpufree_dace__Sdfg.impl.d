@@ -1,0 +1,1 @@
+lib/dace/sdfg.ml: Format List String Symbolic

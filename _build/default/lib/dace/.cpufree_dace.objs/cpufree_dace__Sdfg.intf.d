@@ -1,0 +1,1 @@
+lib/dace/sdfg.mli: Format Symbolic

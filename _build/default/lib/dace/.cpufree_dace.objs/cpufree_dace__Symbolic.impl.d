@@ -1,0 +1,1 @@
+lib/dace/symbolic.ml: Format List Printf Stdlib String

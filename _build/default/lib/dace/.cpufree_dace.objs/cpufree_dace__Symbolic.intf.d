@@ -1,0 +1,1 @@
+lib/dace/symbolic.mli: Format

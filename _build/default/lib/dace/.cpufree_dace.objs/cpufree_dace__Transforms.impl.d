@@ -1,0 +1,1 @@
+lib/dace/transforms.ml: List Sdfg String Symbolic

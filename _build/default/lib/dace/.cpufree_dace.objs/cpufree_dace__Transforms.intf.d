@@ -1,0 +1,1 @@
+lib/dace/transforms.mli: Sdfg

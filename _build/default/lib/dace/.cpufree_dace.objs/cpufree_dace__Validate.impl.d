@@ -1,0 +1,1 @@
+lib/dace/validate.ml: List Option Printf Sdfg String Symbolic

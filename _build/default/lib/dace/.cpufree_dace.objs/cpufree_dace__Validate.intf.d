@@ -1,0 +1,1 @@
+lib/dace/validate.mli: Sdfg

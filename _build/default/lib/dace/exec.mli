@@ -1,0 +1,39 @@
+(** SDFG lowering to executable simulator programs — the counterpart of
+    DaCe's CUDA code generator, targeting the simulated machine.
+
+    Two backends, matching the paper's two experiment arms (§6.2.2):
+
+    - {!build_baseline}: CPU-controlled execution of a (GPU-transformed) SDFG.
+      Every map becomes a discrete kernel launch; MPI library nodes run on
+      the host with a stream synchronize generated before each send (what
+      upstream distributed DaCe emits, Fig. 5.1); every state ends with a
+      stream synchronize.
+    - {!build_persistent}: CPU-Free execution of a
+      {!Persistent_fusion.t}: the whole loop runs inside one cooperative
+      persistent kernel per rank. Communication and signaling execute
+      device-side; [S_grid_sync] becomes [grid.sync()]. Per §5.3.2 the
+      communication calls are single-thread-scheduled, so the kernel is one
+      sequential role per device.
+
+    Execution is SPMD: rank [r] runs on GPU [r] with symbols [rank]/[size]
+    bound. *)
+
+type built = {
+  program : Cpufree_gpu.Runtime.ctx -> unit;
+  read_array : string -> pe:int -> Cpufree_gpu.Buffer.t option;
+      (** after the program ran: a rank's instance of an array *)
+}
+
+val build_baseline : ?backed:bool -> Sdfg.t -> built
+(** @param backed allocate real data (default [false] = phantom buffers). *)
+
+val build_persistent : ?backed:bool -> Persistent_fusion.t -> built
+
+val init_value : int -> float
+(** The deterministic global initializer used by [Init_global*] semantics;
+    exposed so reference solvers can match it. *)
+
+exception Lowering_error of string
+(** Raised when an SDFG contains a construct a backend cannot lower (e.g. an
+    NVSHMEM node in host code, or a discrete-schedule map inside a persistent
+    kernel). *)

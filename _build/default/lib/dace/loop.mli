@@ -1,0 +1,25 @@
+(** Canonical loop detection on the interstate graph.
+
+    DaCe represents [for t in range(lo, hi)] as a guard state with a
+    conditional edge into the body, a complementary edge to the exit, and a
+    back edge carrying the induction update. {!detect} recognizes that shape;
+    it is the prerequisite of the GPUPersistentKernel fusion (§5.1). *)
+
+type t = {
+  l_var : string;
+  l_init : Symbolic.expr;  (** initial value, from the edge entering the guard *)
+  l_cond : Symbolic.cond;  (** continue condition *)
+  l_update : Symbolic.expr;  (** new value of [l_var] on the back edge *)
+  l_guard : string;
+  l_body : string list;  (** body states in execution order *)
+  l_exit : string;
+}
+
+val detect : Sdfg.t -> (t, string) result
+(** Find the (single) canonical loop, or explain why none was found. *)
+
+val prologue : Sdfg.t -> t -> string list
+(** States on the linear path from the start state to the guard (exclusive). *)
+
+val epilogue : Sdfg.t -> t -> string list
+(** States on the linear path from the exit state onward (inclusive). *)

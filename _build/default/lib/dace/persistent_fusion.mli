@@ -1,0 +1,36 @@
+(** The GPUPersistentKernel transformation (§5.1): fuse the program's time
+    loop into a single persistent GPU kernel.
+
+    The result is a structured persistent program: prologue states stay on
+    the host; the loop body becomes device code with every map scheduled
+    [Gpu_persistent] and grid-wide barriers inserted. Barrier placement:
+
+    - [relax = true] (this work): one barrier per {e state boundary} (the
+      subgraph edges), preserving the dataflow dependencies between states;
+    - [relax = false] (upstream DaCe's conservative behaviour): additionally
+      a barrier after {e every} statement that touches global memory. *)
+
+type t = {
+  base : Sdfg.t;  (** arrays, signals, symbols *)
+  prologue : Sdfg.state list;
+  loop : Loop.t;
+  body : Sdfg.state list;  (** rewritten loop body, barriers included *)
+  epilogue : Sdfg.state list;
+}
+
+val apply : ?relax:bool -> Sdfg.t -> (t, string) result
+(** @return [Error _] when no canonical loop exists ({!Loop.detect}). *)
+
+val barrier_count : t -> int
+(** Grid barriers per loop iteration (ablation metric). *)
+
+val specialize_tb : t -> t * int
+(** Thread-block specialization of the fused kernel — the paper's §5.4
+    future work, implemented here: every (halo-exchange state, stencil-map
+    state) pair in the loop body is fused into one state whose communication
+    and boundary-row updates run on a dedicated communication thread-block
+    group ({!Sdfg.Comm_role}) concurrently with the interior rows on the
+    rest of the grid ({!Sdfg.Compute_role}), meeting at the state-boundary
+    barrier. Interior rows read no halo data, so hoisting them before the
+    waits is safe. Returns the rewritten program and the number of fused
+    pairs (0 = nothing matched; the program is returned unchanged). *)

@@ -1,0 +1,152 @@
+module G = Cpufree_gpu
+module Measure = Cpufree_core.Measure
+
+type app =
+  | Jacobi1d of Programs.config1d
+  | Jacobi2d of Programs.config2d
+  | Heat3d of Programs.config3d
+
+type arm = Baseline_mpi | Cpu_free
+
+let app_name = function
+  | Jacobi1d _ -> "jacobi1d"
+  | Jacobi2d _ -> "jacobi2d"
+  | Heat3d _ -> "heat3d"
+
+let arm_name = function Baseline_mpi -> "dace-baseline" | Cpu_free -> "dace-cpu-free"
+
+let iterations = function
+  | Jacobi1d { tsteps; _ } -> tsteps
+  | Jacobi2d { tsteps; _ } -> tsteps
+  | Heat3d { tsteps3; _ } -> tsteps3
+
+let frontend app arm ~gpus =
+  match (app, arm) with
+  | Jacobi1d cfg, Baseline_mpi -> Programs.jacobi1d_mpi cfg ~gpus
+  | Jacobi1d cfg, Cpu_free -> Programs.jacobi1d_nvshmem cfg ~gpus
+  | Jacobi2d cfg, Baseline_mpi -> Programs.jacobi2d_mpi cfg ~gpus
+  | Jacobi2d cfg, Cpu_free -> Programs.jacobi2d_nvshmem cfg ~gpus
+  | Heat3d cfg, Baseline_mpi -> Programs.heat3d_mpi cfg ~gpus
+  | Heat3d cfg, Cpu_free -> Programs.heat3d_nvshmem cfg ~gpus
+
+let compile_sdfg app arm ~gpus =
+  let sdfg = frontend app arm ~gpus in
+  match arm with
+  | Baseline_mpi ->
+    let sdfg = Transforms.gpu_transform sdfg in
+    let sdfg, _fused = Transforms.map_fusion sdfg in
+    Validate.check_exn sdfg;
+    sdfg
+  | Cpu_free ->
+    let sdfg = Transforms.gpu_transform sdfg in
+    let sdfg = Transforms.nvshmem_array sdfg in
+    let sdfg = Transforms.expand_nvshmem sdfg in
+    (match Transforms.replace_mpi_with_nvshmem_check sdfg with
+    | Ok () -> ()
+    | Error e -> invalid_arg e);
+    Validate.check_exn ~require_symmetric:true sdfg;
+    sdfg
+
+let compile ?backed ?(relax = true) ?(specialize_tb = false) app arm ~gpus =
+  let sdfg = compile_sdfg app arm ~gpus in
+  match arm with
+  | Baseline_mpi -> Exec.build_baseline ?backed sdfg
+  | Cpu_free -> (
+    match Persistent_fusion.apply ~relax sdfg with
+    | Ok p ->
+      let p = if specialize_tb then fst (Persistent_fusion.specialize_tb p) else p in
+      Exec.build_persistent ?backed p
+    | Error e -> invalid_arg ("GPUPersistentKernel fusion failed: " ^ e))
+
+let run_traced ?arch app arm ~gpus =
+  let built = compile app arm ~gpus in
+  Measure.run_traced ?arch
+    ~label:(Printf.sprintf "%s/%s" (app_name app) (arm_name arm))
+    ~gpus ~iterations:(iterations app) built.Exec.program
+
+let run ?arch app arm ~gpus = fst (run_traced ?arch app arm ~gpus)
+
+let verify ?arch ?relax ?specialize_tb app arm ~gpus =
+  let built = compile ~backed:true ?relax ?specialize_tb app arm ~gpus in
+  let (_ : Measure.result) =
+    Measure.run ?arch
+      ~label:(Printf.sprintf "%s/%s/verify" (app_name app) (arm_name arm))
+      ~gpus ~iterations:(iterations app) built.Exec.program
+  in
+  let tolerance = 1e-9 in
+  let worst = ref 0.0 in
+  let missing = ref None in
+  let compare_rank ~pe ~local_len ~global_of_local =
+    match built.Exec.read_array "A" ~pe with
+    | None -> missing := Some (Printf.sprintf "rank %d: array A not found" pe)
+    | Some buf ->
+      if G.Buffer.is_phantom buf then missing := Some (Printf.sprintf "rank %d: phantom" pe)
+      else
+        for i = 0 to local_len - 1 do
+          match global_of_local i with
+          | None -> ()
+          | Some (gidx, expected) ->
+            let err = Float.abs (G.Buffer.get buf i -. expected) in
+            ignore gidx;
+            if err > !worst then worst := err
+        done
+  in
+  (match app with
+  | Jacobi1d cfg ->
+    let reference = Programs.reference1d cfg in
+    let n = cfg.Programs.n_global / gpus in
+    for pe = 0 to gpus - 1 do
+      compare_rank ~pe ~local_len:(n + 2) ~global_of_local:(fun i ->
+          (* Compare owned interior cells only; halos of edge ranks are
+             never written and match by construction. *)
+          if i >= 1 && i <= n then begin
+            let g = (pe * n) + i in
+            Some (g, reference.(g))
+          end
+          else None)
+    done
+  | Jacobi2d cfg ->
+    let reference = Programs.reference2d cfg in
+    let pr, pc = Programs.rank_grid gpus in
+    let h = cfg.Programs.ny_global / pr and w = cfg.Programs.nx_global / pc in
+    let wd = w + 2 and gwd = cfg.Programs.nx_global + 2 in
+    for pe = 0 to gpus - 1 do
+      let ri = pe / pc and ci = pe mod pc in
+      compare_rank ~pe
+        ~local_len:((h + 2) * wd)
+        ~global_of_local:(fun i ->
+          let r = i / wd and cx = i mod wd in
+          if r >= 1 && r <= h && cx >= 1 && cx <= w then begin
+            let g = (((ri * h) + r) * gwd) + (ci * w) + cx in
+            Some (g, reference.(g))
+          end
+          else None)
+    done
+  | Heat3d cfg ->
+    let reference = Programs.reference3d cfg in
+    let lz = cfg.Programs.nz3 / gpus in
+    let w = cfg.Programs.nx3 + 2 in
+    let plane_w = w * (cfg.Programs.ny3 + 2) in
+    for pe = 0 to gpus - 1 do
+      compare_rank ~pe
+        ~local_len:((lz + 2) * plane_w)
+        ~global_of_local:(fun i ->
+          let z = i / plane_w in
+          let rem = i mod plane_w in
+          let y = rem / w and x = rem mod w in
+          if
+            z >= 1 && z <= lz && y >= 1
+            && y <= cfg.Programs.ny3
+            && x >= 1
+            && x <= cfg.Programs.nx3
+          then begin
+            let g = ((pe * lz) * plane_w) + i in
+            Some (g, reference.(g))
+          end
+          else None)
+    done);
+  match !missing with
+  | Some m -> Error m
+  | None ->
+    if !worst <= tolerance then Ok !worst
+    else Error (Printf.sprintf "max abs error %.3e exceeds tolerance %.1e" !worst tolerance)

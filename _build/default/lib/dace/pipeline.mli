@@ -1,0 +1,48 @@
+(** End-to-end compilation pipelines (§6.2.1) and experiment drivers.
+
+    - Baseline: frontend (MPI form) → GPUTransform → MapFusion → validate →
+      CPU-controlled backend.
+    - CPU-Free: frontend (NVSHMEM form) → GPUTransform → NVSHMEMArray →
+      in-kernel expansion → validate (symmetric storage enforced) →
+      GPUPersistentKernel fusion → persistent backend. *)
+
+type app =
+  | Jacobi1d of Programs.config1d
+  | Jacobi2d of Programs.config2d
+  | Heat3d of Programs.config3d
+type arm = Baseline_mpi | Cpu_free
+
+val app_name : app -> string
+val arm_name : arm -> string
+
+val frontend : app -> arm -> gpus:int -> Sdfg.t
+(** The program as written (before any transformation). *)
+
+val compile : ?backed:bool -> ?relax:bool -> ?specialize_tb:bool -> app -> arm -> gpus:int -> Exec.built
+(** Run the full pipeline for an arm.
+
+    @param relax barrier relaxation in persistent fusion (default true)
+    @param specialize_tb apply {!Persistent_fusion.specialize_tb} so
+      communication runs on a dedicated thread-block group concurrently with
+      the interior computation (default false: the paper's conservative
+      single-thread schedule, §5.3.2)
+    @raise Invalid_argument if validation or loop detection fails. *)
+
+val compile_sdfg : app -> arm -> gpus:int -> Sdfg.t
+(** The transformed SDFG right before backend lowering (for inspection and
+    code emission). *)
+
+val run : ?arch:Cpufree_gpu.Arch.t -> app -> arm -> gpus:int -> Cpufree_core.Measure.result
+(** Compile (phantom buffers) and execute on the simulated machine. *)
+
+val run_traced :
+  ?arch:Cpufree_gpu.Arch.t -> app -> arm -> gpus:int ->
+  Cpufree_core.Measure.result * Cpufree_engine.Trace.t
+
+val verify :
+  ?arch:Cpufree_gpu.Arch.t -> ?relax:bool -> ?specialize_tb:bool -> app -> arm -> gpus:int ->
+  (float, string) result
+(** Compile with real data, run, and compare every rank's final [A] against
+    the sequential reference: [Ok max_abs_err] or [Error reason]. *)
+
+val iterations : app -> int

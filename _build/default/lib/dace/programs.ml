@@ -1,0 +1,700 @@
+open Sdfg
+
+let c = Symbolic.int
+let v = Symbolic.sym
+let rank = v "rank"
+let t_sym = v "t"
+
+(* rank-grid helpers (2D): ri = rank / pc, ci = rank mod pc *)
+let row_index ~pc = Symbolic.(rank / c pc)
+let col_index ~pc = Symbolic.(rank - (c pc * (rank / c pc)))
+
+let guarded cond stmts = S_cond { cond; then_ = stmts }
+
+let require_divisible what a b =
+  if b = 0 || a mod b <> 0 then
+    invalid_arg (Printf.sprintf "Programs: %s (%d) must divide evenly among %d" what a b)
+
+let loop_cfg ~body_states ~tsteps =
+  (* init -> (t=1) guard; guard -[t < tsteps+1]-> body...; last -(t=t+1)-> guard;
+     guard -[t >= tsteps+1]-> done *)
+  let first_body = List.hd body_states and last_body = List.hd (List.rev body_states) in
+  let rec chain = function
+    | a :: (b :: _ as rest) ->
+      { e_src = a; e_dst = b; e_cond = None; e_assign = [] } :: chain rest
+    | [ _ ] | [] -> []
+  in
+  [
+    { e_src = "init"; e_dst = "guard"; e_cond = None; e_assign = [ ("t", c 1) ] };
+    {
+      e_src = "guard";
+      e_dst = first_body;
+      e_cond = Some (Symbolic.Lt (t_sym, c (tsteps + 1)));
+      e_assign = [];
+    };
+    {
+      e_src = "guard";
+      e_dst = "done";
+      e_cond = Some (Symbolic.Ge (t_sym, c (tsteps + 1)));
+      e_assign = [];
+    };
+  ]
+  @ chain body_states
+  @ [
+      {
+        e_src = last_body;
+        e_dst = "guard";
+        e_cond = None;
+        e_assign = [ ("t", Symbolic.(t_sym + c 1)) ];
+      };
+    ]
+
+(* ---------------------------------------------------------------- *)
+(* Jacobi 1D                                                         *)
+(* ---------------------------------------------------------------- *)
+
+type config1d = { n_global : int; tsteps : int }
+
+let has_up = Symbolic.Ge (rank, c 1)
+let has_down ~size = Symbolic.Lt (rank, c (size - 1))
+
+let init_state_1d ~n =
+  let init arr =
+    S_map
+      {
+        m_var = "i";
+        m_lo = c 0;
+        m_hi = c (n + 1);
+        m_schedule = Sequential;
+        m_sem = Init_global { dst = arr; global_off = Symbolic.(rank * c n) };
+        m_work = c 1;
+      }
+  in
+  { st_name = "init"; stmts = [ init "A"; init "B" ] }
+
+let compute_state_1d ~n ~name ~src ~dst =
+  {
+    st_name = name;
+    stmts =
+      [
+        S_map
+          {
+            m_var = "i";
+            m_lo = c 1;
+            m_hi = c n;
+            m_schedule = Sequential;
+            m_sem = Jacobi1d { src; dst };
+            m_work = c 1;
+          };
+      ];
+  }
+
+let exchange_state_1d_mpi ~n ~size ~name ~arr ~tag_base =
+  let up_send =
+    S_lib
+      (Mpi_isend
+         {
+           arr;
+           region = single ~offset:(c 1);
+           dst_rank = Symbolic.(rank - c 1);
+           tag = tag_base;
+           req = "s_up";
+         })
+  in
+  let up_recv =
+    S_lib
+      (Mpi_irecv
+         {
+           arr;
+           region = single ~offset:(c 0);
+           src_rank = Symbolic.(rank - c 1);
+           tag = tag_base + 1;
+           req = "r_up";
+         })
+  in
+  let down_send =
+    S_lib
+      (Mpi_isend
+         {
+           arr;
+           region = single ~offset:(c n);
+           dst_rank = Symbolic.(rank + c 1);
+           tag = tag_base + 1;
+           req = "s_dn";
+         })
+  in
+  let down_recv =
+    S_lib
+      (Mpi_irecv
+         {
+           arr;
+           region = single ~offset:(c (n + 1));
+           src_rank = Symbolic.(rank + c 1);
+           tag = tag_base;
+           req = "r_dn";
+         })
+  in
+  {
+    st_name = name;
+    stmts =
+      [
+        guarded has_up [ up_send; up_recv ];
+        guarded (has_down ~size) [ down_send; down_recv ];
+        guarded has_up [ S_lib (Mpi_waitall [ "s_up"; "r_up" ]) ];
+        guarded (has_down ~size) [ S_lib (Mpi_waitall [ "s_dn"; "r_dn" ]) ];
+      ];
+  }
+
+let exchange_state_1d_nvshmem ~n ~size ~name ~arr ~sig_from_up ~sig_from_down =
+  let put_up =
+    S_lib
+      (Nv_put
+         {
+           src = arr;
+           src_region = single ~offset:(c 1);
+           dst = arr;
+           dst_region = single ~offset:(c (n + 1));
+           to_pe = Symbolic.(rank - c 1);
+           signal = Some (sig_from_down, Sig_set, t_sym);
+         })
+  in
+  let put_down =
+    S_lib
+      (Nv_put
+         {
+           src = arr;
+           src_region = single ~offset:(c n);
+           dst = arr;
+           dst_region = single ~offset:(c 0);
+           to_pe = Symbolic.(rank + c 1);
+           signal = Some (sig_from_up, Sig_set, t_sym);
+         })
+  in
+  {
+    st_name = name;
+    stmts =
+      [
+        guarded has_up [ put_up ];
+        guarded (has_down ~size) [ put_down ];
+        guarded has_up [ S_lib (Nv_signal_wait { signal = sig_from_up; ge_value = t_sym }) ];
+        guarded (has_down ~size)
+          [ S_lib (Nv_signal_wait { signal = sig_from_down; ge_value = t_sym }) ];
+      ];
+  }
+
+let jacobi1d_arrays ~n =
+  [
+    { arr_name = "A"; arr_size = c (n + 2); storage = Host_heap; transient = false };
+    { arr_name = "B"; arr_size = c (n + 2); storage = Host_heap; transient = false };
+  ]
+
+let jacobi1d_common cfg ~gpus ~exchange ~signals =
+  require_divisible "n_global" cfg.n_global gpus;
+  let n = cfg.n_global / gpus in
+  let body = [ "exch_A"; "comp_B"; "exch_B"; "comp_A" ] in
+  {
+    sdfg_name = "jacobi1d";
+    arrays = jacobi1d_arrays ~n;
+    sdfg_signals = signals;
+    states =
+      [
+        init_state_1d ~n;
+        { st_name = "guard"; stmts = [] };
+        exchange ~name:"exch_A" ~arr:"A" ~which:`A;
+        compute_state_1d ~n ~name:"comp_B" ~src:"A" ~dst:"B";
+        exchange ~name:"exch_B" ~arr:"B" ~which:`B;
+        compute_state_1d ~n ~name:"comp_A" ~src:"B" ~dst:"A";
+        { st_name = "done"; stmts = [] };
+      ];
+    edges = loop_cfg ~body_states:body ~tsteps:cfg.tsteps;
+    start_state = "init";
+    symbols = [ ("N", cfg.n_global); ("TSTEPS", cfg.tsteps); ("n", n) ];
+  }
+
+let jacobi1d_mpi cfg ~gpus =
+  let n = cfg.n_global / max gpus 1 in
+  jacobi1d_common cfg ~gpus ~signals:[]
+    ~exchange:(fun ~name ~arr ~which ->
+      let tag_base = match which with `A -> 10 | `B -> 20 in
+      exchange_state_1d_mpi ~n ~size:gpus ~name ~arr ~tag_base)
+
+let jacobi1d_nvshmem cfg ~gpus =
+  let n = cfg.n_global / max gpus 1 in
+  jacobi1d_common cfg ~gpus
+    ~signals:[ "sA_from_up"; "sA_from_down"; "sB_from_up"; "sB_from_down" ]
+    ~exchange:(fun ~name ~arr ~which ->
+      let sig_from_up, sig_from_down =
+        match which with
+        | `A -> ("sA_from_up", "sA_from_down")
+        | `B -> ("sB_from_up", "sB_from_down")
+      in
+      exchange_state_1d_nvshmem ~n ~size:gpus ~name ~arr ~sig_from_up ~sig_from_down)
+
+let reference1d cfg =
+  let n = cfg.n_global in
+  let a = Array.init (n + 2) Exec.init_value in
+  let b = Array.copy a in
+  let step src dst =
+    for i = 1 to n do
+      dst.(i) <- (src.(i - 1) +. src.(i) +. src.(i + 1)) /. 3.0
+    done
+  in
+  for _ = 1 to cfg.tsteps do
+    step a b;
+    step b a
+  done;
+  a
+
+(* ---------------------------------------------------------------- *)
+(* Jacobi 2D                                                         *)
+(* ---------------------------------------------------------------- *)
+
+type config2d = { nx_global : int; ny_global : int; tsteps : int }
+
+let rank_grid size =
+  if size <= 0 || size land (size - 1) <> 0 then
+    invalid_arg "Programs.rank_grid: size must be a power of two";
+  let rec log2 n = if n <= 1 then 0 else 1 + log2 (n / 2) in
+  let k = log2 size in
+  (* Split columns first (pc >= pr): at non-square counts (2, 8) the split is
+     rectangular with long strided column exchanges — the imbalance the paper
+     observes at 2 and 8 GPUs. *)
+  let pc = 1 lsl ((k + 1) / 2) in
+  (size / pc, pc)
+
+let has_north ~pc = Symbolic.Ge (rank, c pc)
+let has_south ~pc ~pr = Symbolic.Lt (rank, c (pc * (pr - 1)))
+let has_west ~pc = Symbolic.Ge (col_index ~pc, c 1)
+let has_east ~pc = Symbolic.Lt (col_index ~pc, c (pc - 1))
+
+let init_state_2d ~h ~w ~pc ~nxg =
+  let init arr =
+    S_map
+      {
+        m_var = "r";
+        m_lo = c 0;
+        m_hi = c (h + 1);
+        m_schedule = Sequential;
+        m_sem =
+          Init_global2d
+            {
+              dst = arr;
+              row_width = c (w + 2);
+              global_row0 = Symbolic.(row_index ~pc * c h);
+              global_row_width = c (nxg + 2);
+              global_col0 = Symbolic.(col_index ~pc * c w);
+            };
+        m_work = c (w + 2);
+      }
+  in
+  { st_name = "init"; stmts = [ init "A"; init "B" ] }
+
+let compute_state_2d ~h ~w ~name ~src ~dst =
+  {
+    st_name = name;
+    stmts =
+      [
+        S_map
+          {
+            m_var = "r";
+            m_lo = c 1;
+            m_hi = c h;
+            m_schedule = Sequential;
+            m_sem =
+              Jacobi2d { src; dst; row_width = c (w + 2); col_lo = c 1; col_hi = c w };
+            m_work = c w;
+          };
+      ];
+  }
+
+(* Regions for the four halo directions; local row width W = w + 2. *)
+type dir2d = { guard : Symbolic.cond; peer : Symbolic.expr; send : region; recv : region; key : string }
+
+let directions ~h ~w ~pr ~pc =
+  let wd = w + 2 in
+  [
+    {
+      key = "n";
+      guard = has_north ~pc;
+      peer = Symbolic.(rank - c pc);
+      send = contiguous ~offset:(c (wd + 1)) ~count:(c w);  (* my first owned row *)
+      recv = contiguous ~offset:(c (((h + 1) * wd) + 1)) ~count:(c w);
+          (* lands in the peer's south halo row *)
+    };
+    {
+      key = "s";
+      guard = has_south ~pc ~pr;
+      peer = Symbolic.(rank + c pc);
+      send = contiguous ~offset:(c ((h * wd) + 1)) ~count:(c w);
+      recv = contiguous ~offset:(c 1) ~count:(c w);  (* peer's north halo row *)
+    };
+    {
+      key = "w";
+      guard = has_west ~pc;
+      peer = Symbolic.(rank - c 1);
+      send = { offset = c (wd + 1); stride = c wd; count = c h };  (* my first owned column *)
+      recv = { offset = c (wd + w + 1); stride = c wd; count = c h };  (* peer's east halo col *)
+    };
+    {
+      key = "e";
+      guard = has_east ~pc;
+      peer = Symbolic.(rank + c 1);
+      send = { offset = c (wd + w); stride = c wd; count = c h };
+      recv = { offset = c wd; stride = c wd; count = c h };  (* peer's west halo col *)
+    };
+  ]
+
+(* Opposite direction: what the peer calls the message I sent. *)
+let opposite = function "n" -> "s" | "s" -> "n" | "w" -> "e" | "e" -> "w" | k -> k
+
+let tag_of = function "n" -> 0 | "s" -> 1 | "w" -> 2 | "e" -> 3 | _ -> 99
+
+let exchange_state_2d_mpi ~h ~w ~pr ~pc ~name ~arr =
+  let dirs = directions ~h ~w ~pr ~pc in
+  let posts =
+    List.map
+      (fun d ->
+        let recv_from_peer =
+          (* The region I receive into is the recv shape of the opposite
+             direction as seen from my side: the peer's send lands in my halo.
+             Reuse: my inbound halo region = (opposite dir).recv with MY
+             coordinates — which equals dirs(opposite).recv. *)
+          (List.find (fun x -> String.equal x.key (opposite d.key)) dirs).recv
+        in
+        guarded d.guard
+          [
+            S_lib
+              (Mpi_isend
+                 { arr; region = d.send; dst_rank = d.peer; tag = tag_of d.key; req = "s_" ^ d.key });
+            S_lib
+              (Mpi_irecv
+                 {
+                   arr;
+                   region = recv_from_peer;
+                   src_rank = d.peer;
+                   tag = tag_of (opposite d.key);
+                   req = "r_" ^ d.key;
+                 });
+          ])
+      dirs
+  in
+  let waits =
+    List.map
+      (fun d -> guarded d.guard [ S_lib (Mpi_waitall [ "s_" ^ d.key; "r_" ^ d.key ]) ])
+      dirs
+  in
+  { st_name = name; stmts = posts @ waits }
+
+let exchange_state_2d_nvshmem ~h ~w ~pr ~pc ~name ~arr ~sig_prefix =
+  let dirs = directions ~h ~w ~pr ~pc in
+  let puts =
+    List.map
+      (fun d ->
+        (* Signaling: my "d"-ward put raises the peer's "from-opposite" flag. *)
+        let peer_flag = Printf.sprintf "%s_from_%s" sig_prefix (opposite d.key) in
+        guarded d.guard
+          [
+            S_lib
+              (Nv_put
+                 {
+                   src = arr;
+                   src_region = d.send;
+                   dst = arr;
+                   dst_region = d.recv;
+                   to_pe = d.peer;
+                   signal = Some (peer_flag, Sig_set, t_sym);
+                 });
+          ])
+      dirs
+  in
+  let waits =
+    List.map
+      (fun d ->
+        let my_flag = Printf.sprintf "%s_from_%s" sig_prefix d.key in
+        guarded d.guard [ S_lib (Nv_signal_wait { signal = my_flag; ge_value = t_sym }) ])
+      dirs
+  in
+  { st_name = name; stmts = puts @ waits }
+
+let jacobi2d_arrays ~h ~w =
+  let size = c ((h + 2) * (w + 2)) in
+  [
+    { arr_name = "A"; arr_size = size; storage = Host_heap; transient = false };
+    { arr_name = "B"; arr_size = size; storage = Host_heap; transient = false };
+  ]
+
+let jacobi2d_common cfg ~gpus ~exchange ~signals =
+  let pr, pc = rank_grid gpus in
+  require_divisible "ny_global" cfg.ny_global pr;
+  require_divisible "nx_global" cfg.nx_global pc;
+  let h = cfg.ny_global / pr and w = cfg.nx_global / pc in
+  let body = [ "exch_A"; "comp_B"; "exch_B"; "comp_A" ] in
+  {
+    sdfg_name = "jacobi2d";
+    arrays = jacobi2d_arrays ~h ~w;
+    sdfg_signals = signals;
+    states =
+      [
+        init_state_2d ~h ~w ~pc ~nxg:cfg.nx_global;
+        { st_name = "guard"; stmts = [] };
+        exchange ~name:"exch_A" ~arr:"A" ~which:`A ~h ~w ~pr ~pc;
+        compute_state_2d ~h ~w ~name:"comp_B" ~src:"A" ~dst:"B";
+        exchange ~name:"exch_B" ~arr:"B" ~which:`B ~h ~w ~pr ~pc;
+        compute_state_2d ~h ~w ~name:"comp_A" ~src:"B" ~dst:"A";
+        { st_name = "done"; stmts = [] };
+      ];
+    edges = loop_cfg ~body_states:body ~tsteps:cfg.tsteps;
+    start_state = "init";
+    symbols =
+      [
+        ("NX", cfg.nx_global);
+        ("NY", cfg.ny_global);
+        ("TSTEPS", cfg.tsteps);
+        ("h", h);
+        ("w", w);
+        ("pr", pr);
+        ("pc", pc);
+      ];
+  }
+
+let jacobi2d_mpi cfg ~gpus =
+  jacobi2d_common cfg ~gpus ~signals:[]
+    ~exchange:(fun ~name ~arr ~which:_ ~h ~w ~pr ~pc ->
+      exchange_state_2d_mpi ~h ~w ~pr ~pc ~name ~arr)
+
+let jacobi2d_nvshmem cfg ~gpus =
+  let dirs = [ "n"; "s"; "w"; "e" ] in
+  let signals =
+    List.concat_map (fun p -> List.map (fun d -> Printf.sprintf "%s_from_%s" p d) dirs)
+      [ "sA"; "sB" ]
+  in
+  jacobi2d_common cfg ~gpus ~signals
+    ~exchange:(fun ~name ~arr ~which ~h ~w ~pr ~pc ->
+      let sig_prefix = match which with `A -> "sA" | `B -> "sB" in
+      exchange_state_2d_nvshmem ~h ~w ~pr ~pc ~name ~arr ~sig_prefix)
+
+let reference2d cfg =
+  let wd = cfg.nx_global + 2 in
+  let size = (cfg.ny_global + 2) * wd in
+  let a = Array.init size Exec.init_value in
+  let b = Array.copy a in
+  let step src dst =
+    for r = 1 to cfg.ny_global do
+      for cx = 1 to cfg.nx_global do
+        let k = (r * wd) + cx in
+        dst.(k) <- 0.25 *. (src.(k - wd) +. src.(k + wd) +. src.(k - 1) +. src.(k + 1))
+      done
+    done
+  in
+  for _ = 1 to cfg.tsteps do
+    step a b;
+    step b a
+  done;
+  a
+
+
+(* ---------------------------------------------------------------- *)
+(* Heat 3D                                                           *)
+(* ---------------------------------------------------------------- *)
+
+type config3d = { nx3 : int; ny3 : int; nz3 : int; tsteps3 : int }
+
+(* z-decomposed 3D 7-point Jacobi (transient heat conduction). Each rank owns
+   nz3/size padded planes plus one halo plane per side; halo planes are
+   contiguous, so the NVSHMEM form uses the combined putmem+signal and the
+   MPI form plain contiguous messages — the 3D analogue of the paper's
+   hand-written stencil (§6.1), here as a compiler benchmark. *)
+
+let heat3d_exchange_mpi ~plane_w ~lz ~size ~name ~arr ~tag_base =
+  let send_up =
+    S_lib
+      (Mpi_isend
+         {
+           arr;
+           region = contiguous ~offset:(c plane_w) ~count:(c plane_w);
+           dst_rank = Symbolic.(rank - c 1);
+           tag = tag_base;
+           req = "s_up";
+         })
+  in
+  let recv_up =
+    S_lib
+      (Mpi_irecv
+         {
+           arr;
+           region = contiguous ~offset:(c 0) ~count:(c plane_w);
+           src_rank = Symbolic.(rank - c 1);
+           tag = tag_base + 1;
+           req = "r_up";
+         })
+  in
+  let send_down =
+    S_lib
+      (Mpi_isend
+         {
+           arr;
+           region = contiguous ~offset:(c (lz * plane_w)) ~count:(c plane_w);
+           dst_rank = Symbolic.(rank + c 1);
+           tag = tag_base + 1;
+           req = "s_dn";
+         })
+  in
+  let recv_down =
+    S_lib
+      (Mpi_irecv
+         {
+           arr;
+           region = contiguous ~offset:(c ((lz + 1) * plane_w)) ~count:(c plane_w);
+           src_rank = Symbolic.(rank + c 1);
+           tag = tag_base;
+           req = "r_dn";
+         })
+  in
+  {
+    st_name = name;
+    stmts =
+      [
+        guarded has_up [ send_up; recv_up ];
+        guarded (has_down ~size) [ send_down; recv_down ];
+        guarded has_up [ S_lib (Mpi_waitall [ "s_up"; "r_up" ]) ];
+        guarded (has_down ~size) [ S_lib (Mpi_waitall [ "s_dn"; "r_dn" ]) ];
+      ];
+  }
+
+let heat3d_exchange_nvshmem ~plane_w ~lz ~size ~name ~arr ~sig_from_up ~sig_from_down =
+  let put_up =
+    S_lib
+      (Nv_put
+         {
+           src = arr;
+           src_region = contiguous ~offset:(c plane_w) ~count:(c plane_w);
+           dst = arr;
+           dst_region = contiguous ~offset:(c ((lz + 1) * plane_w)) ~count:(c plane_w);
+           to_pe = Symbolic.(rank - c 1);
+           signal = Some (sig_from_down, Sig_set, t_sym);
+         })
+  in
+  let put_down =
+    S_lib
+      (Nv_put
+         {
+           src = arr;
+           src_region = contiguous ~offset:(c (lz * plane_w)) ~count:(c plane_w);
+           dst = arr;
+           dst_region = contiguous ~offset:(c 0) ~count:(c plane_w);
+           to_pe = Symbolic.(rank + c 1);
+           signal = Some (sig_from_up, Sig_set, t_sym);
+         })
+  in
+  {
+    st_name = name;
+    stmts =
+      [
+        guarded has_up [ put_up ];
+        guarded (has_down ~size) [ put_down ];
+        guarded has_up [ S_lib (Nv_signal_wait { signal = sig_from_up; ge_value = t_sym }) ];
+        guarded (has_down ~size)
+          [ S_lib (Nv_signal_wait { signal = sig_from_down; ge_value = t_sym }) ];
+      ];
+  }
+
+let heat3d_common cfg ~gpus ~exchange ~signals =
+  require_divisible "nz3" cfg.nz3 gpus;
+  let lz = cfg.nz3 / gpus in
+  let w = cfg.nx3 + 2 and plane_w = (cfg.nx3 + 2) * (cfg.ny3 + 2) in
+  let init arr =
+    S_map
+      {
+        m_var = "i";
+        m_lo = c 0;
+        m_hi = c (((lz + 2) * plane_w) - 1);
+        m_schedule = Sequential;
+        m_sem = Init_global { dst = arr; global_off = Symbolic.(rank * c Stdlib.(lz * plane_w)) };
+        m_work = c 1;
+      }
+  in
+  let compute name src dst =
+    {
+      st_name = name;
+      stmts =
+        [
+          S_map
+            {
+              m_var = "z";
+              m_lo = c 1;
+              m_hi = c lz;
+              m_schedule = Sequential;
+              m_sem =
+                Jacobi3d
+                  { src; dst; row_width = c w; plane_width = c plane_w; ny = c cfg.ny3 };
+              m_work = c (cfg.nx3 * cfg.ny3);
+            };
+        ];
+    }
+  in
+  let size_expr = c ((lz + 2) * plane_w) in
+  {
+    sdfg_name = "heat3d";
+    arrays =
+      [
+        { arr_name = "A"; arr_size = size_expr; storage = Host_heap; transient = false };
+        { arr_name = "B"; arr_size = size_expr; storage = Host_heap; transient = false };
+      ];
+    sdfg_signals = signals;
+    states =
+      [
+        { st_name = "init"; stmts = [ init "A"; init "B" ] };
+        { st_name = "guard"; stmts = [] };
+        exchange ~name:"exch_A" ~arr:"A" ~which:`A ~plane_w ~lz;
+        compute "comp_B" "A" "B";
+        exchange ~name:"exch_B" ~arr:"B" ~which:`B ~plane_w ~lz;
+        compute "comp_A" "B" "A";
+        { st_name = "done"; stmts = [] };
+      ];
+    edges = loop_cfg ~body_states:[ "exch_A"; "comp_B"; "exch_B"; "comp_A" ] ~tsteps:cfg.tsteps3;
+    start_state = "init";
+    symbols =
+      [ ("NX", cfg.nx3); ("NY", cfg.ny3); ("NZ", cfg.nz3); ("TSTEPS", cfg.tsteps3); ("lz", lz) ];
+  }
+
+let heat3d_mpi cfg ~gpus =
+  heat3d_common cfg ~gpus ~signals:[]
+    ~exchange:(fun ~name ~arr ~which ~plane_w ~lz ->
+      let tag_base = match which with `A -> 30 | `B -> 40 in
+      heat3d_exchange_mpi ~plane_w ~lz ~size:gpus ~name ~arr ~tag_base)
+
+let heat3d_nvshmem cfg ~gpus =
+  heat3d_common cfg ~gpus
+    ~signals:[ "hA_from_up"; "hA_from_down"; "hB_from_up"; "hB_from_down" ]
+    ~exchange:(fun ~name ~arr ~which ~plane_w ~lz ->
+      let sig_from_up, sig_from_down =
+        match which with
+        | `A -> ("hA_from_up", "hA_from_down")
+        | `B -> ("hB_from_up", "hB_from_down")
+      in
+      heat3d_exchange_nvshmem ~plane_w ~lz ~size:gpus ~name ~arr ~sig_from_up ~sig_from_down)
+
+let reference3d cfg =
+  let w = cfg.nx3 + 2 in
+  let plane_w = w * (cfg.ny3 + 2) in
+  let size = (cfg.nz3 + 2) * plane_w in
+  let a = Array.init size Exec.init_value in
+  let b = Array.copy a in
+  let step src dst =
+    for z = 1 to cfg.nz3 do
+      for y = 1 to cfg.ny3 do
+        for x = 1 to cfg.nx3 do
+          let k = (z * plane_w) + (y * w) + x in
+          dst.(k) <-
+            (src.(k - plane_w) +. src.(k + plane_w) +. src.(k - w) +. src.(k + w)
+            +. src.(k - 1) +. src.(k + 1))
+            /. 6.0
+        done
+      done
+    done
+  in
+  for _ = 1 to cfg.tsteps3 do
+    step a b;
+    step b a
+  done;
+  a

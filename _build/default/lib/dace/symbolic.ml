@@ -1,0 +1,87 @@
+type expr =
+  | Const of int
+  | Sym of string
+  | Add of expr * expr
+  | Sub of expr * expr
+  | Mul of expr * expr
+  | Div of expr * expr
+
+type cond = Lt of expr * expr | Le of expr * expr | Eq of expr * expr | Ge of expr * expr
+
+let int n = Const n
+let sym s = Sym s
+let ( + ) a b = Add (a, b)
+let ( - ) a b = Sub (a, b)
+let ( * ) a b = Mul (a, b)
+let ( / ) a b = Div (a, b)
+
+exception Unbound_symbol of string
+
+let rec eval ~env = function
+  | Const n -> n
+  | Sym s -> (
+    match env s with Some v -> v | None -> raise (Unbound_symbol s))
+  | Add (a, b) -> Stdlib.( + ) (eval ~env a) (eval ~env b)
+  | Sub (a, b) -> Stdlib.( - ) (eval ~env a) (eval ~env b)
+  | Mul (a, b) -> Stdlib.( * ) (eval ~env a) (eval ~env b)
+  | Div (a, b) ->
+    let d = eval ~env b in
+    if d = 0 then raise Division_by_zero else Stdlib.( / ) (eval ~env a) d
+
+let eval_cond ~env = function
+  | Lt (a, b) -> eval ~env a < eval ~env b
+  | Le (a, b) -> eval ~env a <= eval ~env b
+  | Eq (a, b) -> eval ~env a = eval ~env b
+  | Ge (a, b) -> eval ~env a >= eval ~env b
+
+let rec simplify e =
+  match e with
+  | Const _ | Sym _ -> e
+  | Add (a, b) -> (
+    match (simplify a, simplify b) with
+    | Const x, Const y -> Const (Stdlib.( + ) x y)
+    | Const 0, s | s, Const 0 -> s
+    | a, b -> Add (a, b))
+  | Sub (a, b) -> (
+    match (simplify a, simplify b) with
+    | Const x, Const y -> Const (Stdlib.( - ) x y)
+    | s, Const 0 -> s
+    | a, b -> if a = b then Const 0 else Sub (a, b))
+  | Mul (a, b) -> (
+    match (simplify a, simplify b) with
+    | Const x, Const y -> Const (Stdlib.( * ) x y)
+    | Const 0, _ | _, Const 0 -> Const 0
+    | Const 1, s | s, Const 1 -> s
+    | a, b -> Mul (a, b))
+  | Div (a, b) -> (
+    match (simplify a, simplify b) with
+    | Const x, Const y when y <> 0 -> Const (Stdlib.( / ) x y)
+    | s, Const 1 -> s
+    | a, b -> Div (a, b))
+
+let free_symbols e =
+  let rec go acc = function
+    | Const _ -> acc
+    | Sym s -> s :: acc
+    | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) -> go (go acc a) b
+  in
+  List.sort_uniq String.compare (go [] e)
+
+let is_const e = match simplify e with Const n -> Some n | _ -> None
+
+let rec to_string = function
+  | Const n -> string_of_int n
+  | Sym s -> s
+  | Add (a, b) -> Printf.sprintf "(%s + %s)" (to_string a) (to_string b)
+  | Sub (a, b) -> Printf.sprintf "(%s - %s)" (to_string a) (to_string b)
+  | Mul (a, b) -> Printf.sprintf "(%s * %s)" (to_string a) (to_string b)
+  | Div (a, b) -> Printf.sprintf "(%s / %s)" (to_string a) (to_string b)
+
+let cond_to_string = function
+  | Lt (a, b) -> Printf.sprintf "%s < %s" (to_string a) (to_string b)
+  | Le (a, b) -> Printf.sprintf "%s <= %s" (to_string a) (to_string b)
+  | Eq (a, b) -> Printf.sprintf "%s == %s" (to_string a) (to_string b)
+  | Ge (a, b) -> Printf.sprintf "%s >= %s" (to_string a) (to_string b)
+
+let pp fmt e = Format.pp_print_string fmt (to_string e)
+let equal a b = simplify a = simplify b

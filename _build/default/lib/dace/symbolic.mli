@@ -1,0 +1,38 @@
+(** Integer symbolic expressions for SDFG map ranges, memlet subsets and
+    interstate assignments (the role SymPy plays in DaCe). *)
+
+type expr =
+  | Const of int
+  | Sym of string
+  | Add of expr * expr
+  | Sub of expr * expr
+  | Mul of expr * expr
+  | Div of expr * expr  (** integer division *)
+
+type cond = Lt of expr * expr | Le of expr * expr | Eq of expr * expr | Ge of expr * expr
+
+val int : int -> expr
+val sym : string -> expr
+val ( + ) : expr -> expr -> expr
+val ( - ) : expr -> expr -> expr
+val ( * ) : expr -> expr -> expr
+val ( / ) : expr -> expr -> expr
+
+exception Unbound_symbol of string
+
+val eval : env:(string -> int option) -> expr -> int
+(** @raise Unbound_symbol when a symbol has no binding.
+    @raise Division_by_zero on division by an expression evaluating to 0. *)
+
+val eval_cond : env:(string -> int option) -> cond -> bool
+
+val simplify : expr -> expr
+(** Constant folding and arithmetic identities ([x+0], [x*1], [x*0]...). *)
+
+val free_symbols : expr -> string list
+val is_const : expr -> int option
+val to_string : expr -> string
+val cond_to_string : cond -> string
+val pp : Format.formatter -> expr -> unit
+val equal : expr -> expr -> bool
+(** Structural equality modulo simplification. *)

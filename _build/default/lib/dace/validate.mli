@@ -1,0 +1,16 @@
+(** Structural SDFG validation.
+
+    Checks the invariants lowering relies on: the start state exists, edges
+    reference existing states, statements reference declared arrays and
+    signals, map ranges/regions only use bound symbols or well-known runtime
+    symbols ([rank], [size], loop variables assigned on some edge), and —
+    when [require_symmetric] is set, i.e. after the {!Transforms.nvshmem_array}
+    pass — that every NVSHMEM node touches only [Gpu_nvshmem] storage. *)
+
+type error = { in_state : string option; message : string }
+
+val check : ?require_symmetric:bool -> Sdfg.t -> (unit, error list) result
+val error_to_string : error -> string
+
+val check_exn : ?require_symmetric:bool -> Sdfg.t -> unit
+(** @raise Invalid_argument with a joined message on failure. *)

@@ -1,0 +1,1 @@
+lib/engine/engine.ml: Effect Heap Int List Printf Time Trace

@@ -1,0 +1,1 @@
+lib/engine/sync.ml: Engine List Printf Queue Time

@@ -1,0 +1,1 @@
+lib/engine/trace.ml: Buffer Bytes Hashtbl List Printf Stdlib String Time

@@ -1,0 +1,135 @@
+type state = Ready | Running | Blocked of string | Finished
+
+type process = { pid : int; name : string; daemon : bool; mutable state : state }
+
+type event = { at : Time.t; seq : int; thunk : unit -> unit }
+
+type t = {
+  mutable clock : Time.t;
+  mutable seq : int;
+  queue : event Heap.t;
+  mutable live : int;
+  mutable next_pid : int;
+  mutable procs : process list;
+  trace_sink : Trace.t option;
+}
+
+exception Deadlock of string list
+
+type _ Effect.t +=
+  | Delay : t * Time.t -> unit Effect.t
+  | Suspend : t * string * ((unit -> unit) -> unit) -> unit Effect.t
+
+let cmp_event a b =
+  let c = Time.compare a.at b.at in
+  if c <> 0 then c else Int.compare a.seq b.seq
+
+let create ?trace () =
+  {
+    clock = Time.zero;
+    seq = 0;
+    queue = Heap.create ~cmp:cmp_event;
+    live = 0;
+    next_pid = 0;
+    procs = [];
+    trace_sink = trace;
+  }
+
+let now t = t.clock
+let trace t = t.trace_sink
+
+let push_event t at thunk =
+  t.seq <- t.seq + 1;
+  Heap.push t.queue { at; seq = t.seq; thunk }
+
+let schedule_at t at thunk =
+  if Time.(at < t.clock) then invalid_arg "Engine.schedule_at: time in the past";
+  push_event t at thunk
+
+let exec_process t proc body =
+  let open Effect.Deep in
+  let finish () =
+    proc.state <- Finished;
+    if not proc.daemon then t.live <- t.live - 1
+  in
+  match_with body ()
+    {
+      retc = (fun () -> finish ());
+      exnc = (fun e -> finish (); raise e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Delay (eng, d) when eng == t ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                proc.state <- Blocked "delay";
+                push_event t (Time.add t.clock d) (fun () ->
+                    proc.state <- Running;
+                    continue k ()))
+          | Suspend (eng, reason, register) when eng == t ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                proc.state <- Blocked reason;
+                let woken = ref false in
+                register (fun () ->
+                    if not !woken then begin
+                      woken := true;
+                      push_event t t.clock (fun () ->
+                          proc.state <- Running;
+                          continue k ())
+                    end))
+          | _ -> None);
+    }
+
+let spawn t ?(name = "proc") ?(daemon = false) body =
+  t.next_pid <- t.next_pid + 1;
+  let proc = { pid = t.next_pid; name; daemon; state = Ready } in
+  if not daemon then t.live <- t.live + 1;
+  t.procs <- proc :: t.procs;
+  push_event t t.clock (fun () ->
+      proc.state <- Running;
+      exec_process t proc body);
+  proc
+
+let process_name p = p.name
+let process_done p = p.state = Finished
+
+let delay t d = Effect.perform (Delay (t, d))
+let yield t = delay t Time.zero
+let suspend t ~reason register = Effect.perform (Suspend (t, reason, register))
+
+let blocked_descriptions t =
+  List.filter_map
+    (fun p ->
+      match p.state with
+      | Blocked reason when not p.daemon ->
+        Some (Printf.sprintf "%s(#%d): %s" p.name p.pid reason)
+      | Blocked _ | Ready | Running | Finished -> None)
+    (List.rev t.procs)
+
+let run ?until t =
+  let stop_requested = ref false in
+  let rec loop () =
+    if !stop_requested then ()
+    else begin
+      match Heap.pop t.queue with
+      | None -> if t.live > 0 then raise (Deadlock (blocked_descriptions t))
+      | Some ev ->
+        (match until with
+        | Some limit when Time.(ev.at > limit) ->
+          (* Put the event back so a later [run] can resume seamlessly. *)
+          Heap.push t.queue ev;
+          t.clock <- limit;
+          stop_requested := true
+        | Some _ | None ->
+          t.clock <- ev.at;
+          ev.thunk ());
+        loop ()
+    end
+  in
+  loop ()
+
+let elapse t f =
+  let t0 = t.clock in
+  f ();
+  Time.sub t.clock t0

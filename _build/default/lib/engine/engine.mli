@@ -1,0 +1,65 @@
+(** Discrete-event simulation engine with cooperative processes.
+
+    A simulation is a set of processes — plain OCaml functions — that run
+    under an effect handler and advance a shared virtual clock by performing
+    blocking operations: {!delay} and the suspension primitives built on
+    {!suspend} in {!Sync}. The engine executes events in strict
+    (timestamp, sequence) order, so every run is deterministic.
+
+    Blocking operations may only be called from inside a process body started
+    with {!spawn} and driven by {!run}; calling them elsewhere raises
+    [Effect.Unhandled]. *)
+
+type t
+
+type process
+(** Handle to a spawned process. *)
+
+exception Deadlock of string list
+(** Raised by {!run} when no event is pending but processes remain blocked.
+    Carries "name: reason" descriptions of the blocked processes — this is
+    how lost-signal bugs in communication protocols surface in tests. *)
+
+val create : ?trace:Trace.t -> unit -> t
+val now : t -> Time.t
+val trace : t -> Trace.t option
+
+val spawn : t -> ?name:string -> ?daemon:bool -> (unit -> unit) -> process
+(** Register a process to start at the current simulation time. May be called
+    before [run] or from inside another process.
+
+    A [daemon] process (default [false]) serves other processes forever — a
+    stream server, a NIC proxy. Daemons do not keep the simulation alive and
+    are exempt from deadlock detection: when only daemons remain blocked,
+    {!run} returns normally. *)
+
+val process_name : process -> string
+val process_done : process -> bool
+
+val delay : t -> Time.t -> unit
+(** Block the calling process for a simulated duration. *)
+
+val yield : t -> unit
+(** Re-enqueue the calling process at the current time, letting other events
+    scheduled at this instant run first. *)
+
+val suspend : t -> reason:string -> ((unit -> unit) -> unit) -> unit
+(** [suspend t ~reason register] blocks the calling process. [register] is
+    called immediately with a waker; invoking the waker (from any other
+    process, at any later time) resumes the suspended process at the
+    simulation time of the waker call. Calling the waker more than once is
+    harmless. This is the primitive from which all of {!Sync} is built. *)
+
+val schedule_at : t -> Time.t -> (unit -> unit) -> unit
+(** Run a plain callback (not a process: it must not block) at an absolute
+    time, which must not be in the past. *)
+
+val run : ?until:Time.t -> t -> unit
+(** Execute events until the queue is empty or the clock passes [until].
+
+    @raise Deadlock if the queue drains while processes are still blocked
+    (unless [until] was given and reached). *)
+
+val elapse : t -> (unit -> unit) -> Time.t
+(** [elapse t f] runs [f ()] inside a process and returns the simulated time
+    it took — a convenience for timing a code section from within a process. *)

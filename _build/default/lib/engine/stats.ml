@@ -1,0 +1,93 @@
+type t = { mutable data : float array; mutable size : int }
+
+let create () = { data = [||]; size = 0 }
+
+let add t x =
+  let cap = Array.length t.data in
+  if t.size = cap then begin
+    let ndata = Array.make (Stdlib.max 16 (2 * cap)) 0.0 in
+    Array.blit t.data 0 ndata 0 t.size;
+    t.data <- ndata
+  end;
+  t.data.(t.size) <- x;
+  t.size <- t.size + 1
+
+let add_time t d = add t (Time.to_sec_float d)
+let count t = t.size
+
+let fold f init t =
+  let acc = ref init in
+  for i = 0 to t.size - 1 do
+    acc := f !acc t.data.(i)
+  done;
+  !acc
+
+let require_nonempty t name =
+  if t.size = 0 then invalid_arg (Printf.sprintf "Stats.%s: empty" name)
+
+let min t =
+  require_nonempty t "min";
+  fold Stdlib.min infinity t
+
+let max t =
+  require_nonempty t "max";
+  fold Stdlib.max neg_infinity t
+
+let sum t = fold ( +. ) 0.0 t
+
+let mean t =
+  require_nonempty t "mean";
+  sum t /. float_of_int t.size
+
+let stddev t =
+  require_nonempty t "stddev";
+  if t.size < 2 then 0.0
+  else begin
+    let m = mean t in
+    let ss = fold (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 t in
+    sqrt (ss /. float_of_int (t.size - 1))
+  end
+
+let samples t = Array.sub t.data 0 t.size
+
+let percentile t p =
+  require_nonempty t "percentile";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let sorted = samples t in
+  Array.sort Float.compare sorted;
+  let n = Array.length sorted in
+  if n = 1 then sorted.(0)
+  else begin
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.of_int (int_of_float rank)) in
+    let hi = Stdlib.min (n - 1) (lo + 1) in
+    let frac = rank -. float_of_int lo in
+    sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+  end
+
+let median t = percentile t 50.0
+
+type summary = {
+  n : int;
+  s_min : float;
+  s_max : float;
+  s_mean : float;
+  s_stddev : float;
+  s_median : float;
+  s_p95 : float;
+}
+
+let summarize t =
+  {
+    n = count t;
+    s_min = min t;
+    s_max = max t;
+    s_mean = mean t;
+    s_stddev = stddev t;
+    s_median = median t;
+    s_p95 = percentile t 95.0;
+  }
+
+let pp_summary fmt s =
+  Format.fprintf fmt "n=%d min=%.6g mean=%.6g median=%.6g p95=%.6g max=%.6g sd=%.3g" s.n s.s_min
+    s.s_mean s.s_median s.s_p95 s.s_max s.s_stddev

@@ -1,0 +1,40 @@
+(** Sample accumulation and summary statistics.
+
+    Experiments collect per-iteration or per-run durations here and report
+    minima (the paper reports the minimum of 5 consecutive runs), means and
+    percentiles. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val add_time : t -> Time.t -> unit
+(** Record a duration as fractional seconds. *)
+
+val count : t -> int
+val min : t -> float
+val max : t -> float
+val mean : t -> float
+val stddev : t -> float
+val sum : t -> float
+
+val percentile : t -> float -> float
+(** [percentile t p] for [p] in [0, 100], by linear interpolation between
+    order statistics. Raises [Invalid_argument] on an empty accumulator. *)
+
+val median : t -> float
+val samples : t -> float array
+(** Samples in insertion order. *)
+
+type summary = {
+  n : int;
+  s_min : float;
+  s_max : float;
+  s_mean : float;
+  s_stddev : float;
+  s_median : float;
+  s_p95 : float;
+}
+
+val summarize : t -> summary
+val pp_summary : Format.formatter -> summary -> unit

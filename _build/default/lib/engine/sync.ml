@@ -1,0 +1,175 @@
+module Flag = struct
+  type waiter = { pred : int -> bool; wake : unit -> unit }
+
+  type t = {
+    eng : Engine.t;
+    fname : string;
+    mutable value : int;
+    mutable waiters : waiter list;
+  }
+
+  let create ?(name = "flag") eng v = { eng; fname = name; value = v; waiters = [] }
+  let name t = t.fname
+  let get t = t.value
+
+  let wake_satisfied t =
+    let ready, still = List.partition (fun w -> w.pred t.value) t.waiters in
+    t.waiters <- still;
+    List.iter (fun w -> w.wake ()) ready
+
+  let set t v =
+    t.value <- v;
+    wake_satisfied t
+
+  let add t d = set t (t.value + d)
+
+  (* Re-check after waking: another process scheduled at the same instant may
+     have changed the value between the wake and the resume. *)
+  let rec wait_until t pred =
+    if not (pred t.value) then begin
+      Engine.suspend t.eng
+        ~reason:(Printf.sprintf "flag %s (value %d)" t.fname t.value)
+        (fun wake -> t.waiters <- { pred; wake } :: t.waiters);
+      wait_until t pred
+    end
+
+  let wait_ge t v = wait_until t (fun x -> x >= v)
+  let wait_eq t v = wait_until t (fun x -> x = v)
+end
+
+module Barrier = struct
+  type t = {
+    eng : Engine.t;
+    bname : string;
+    parties : int;
+    mutable arrived : int;
+    mutable gen : int;
+    mutable waiters : (unit -> unit) list;
+  }
+
+  let create ?(name = "barrier") eng parties =
+    if parties <= 0 then invalid_arg "Barrier.create: parties must be positive";
+    { eng; bname = name; parties; arrived = 0; gen = 0; waiters = [] }
+
+  let parties t = t.parties
+  let generation t = t.gen
+
+  let wait t =
+    t.arrived <- t.arrived + 1;
+    if t.arrived > t.parties then
+      invalid_arg (Printf.sprintf "Barrier %s: more arrivals than parties" t.bname);
+    if t.arrived = t.parties then begin
+      let to_wake = t.waiters in
+      t.waiters <- [];
+      t.arrived <- 0;
+      t.gen <- t.gen + 1;
+      List.iter (fun wake -> wake ()) to_wake
+    end
+    else
+      Engine.suspend t.eng
+        ~reason:(Printf.sprintf "barrier %s (gen %d, %d/%d)" t.bname t.gen t.arrived t.parties)
+        (fun wake -> t.waiters <- wake :: t.waiters)
+end
+
+module Mailbox = struct
+  type 'a t = {
+    eng : Engine.t;
+    mname : string;
+    items : 'a Queue.t;
+    mutable waiters : (unit -> unit) list;
+  }
+
+  let create ?(name = "mailbox") eng () =
+    { eng; mname = name; items = Queue.create (); waiters = [] }
+
+  let send t x =
+    Queue.push x t.items;
+    match t.waiters with
+    | [] -> ()
+    | wake :: rest ->
+      t.waiters <- rest;
+      wake ()
+
+  let try_recv t = Queue.take_opt t.items
+
+  let rec recv t =
+    match Queue.take_opt t.items with
+    | Some x -> x
+    | None ->
+      Engine.suspend t.eng
+        ~reason:(Printf.sprintf "mailbox %s" t.mname)
+        (fun wake -> t.waiters <- t.waiters @ [ wake ]);
+      recv t
+
+  let length t = Queue.length t.items
+end
+
+module Resource = struct
+  type t = {
+    eng : Engine.t;
+    rname : string;
+    mutable free_from : Time.t;
+    mutable total_busy : Time.t;
+  }
+
+  let create ?(name = "resource") eng () =
+    { eng; rname = name; free_from = Time.zero; total_busy = Time.zero }
+
+  let name t = t.rname
+  let free_at t = t.free_from
+
+  let book t ~duration =
+    let start = Time.max (Engine.now t.eng) t.free_from in
+    t.free_from <- Time.add start duration;
+    t.total_busy <- Time.add t.total_busy duration;
+    start
+
+  let book_many resources ~duration =
+    match resources with
+    | [] -> invalid_arg "Resource.book_many: empty resource list"
+    | first :: _ ->
+      let now = Engine.now first.eng in
+      let start =
+        List.fold_left (fun acc r -> Time.max acc r.free_from) now resources
+      in
+      List.iter
+        (fun r ->
+          r.free_from <- Time.add start duration;
+          r.total_busy <- Time.add r.total_busy duration)
+        resources;
+      start
+
+  let busy t = t.total_busy
+end
+
+module Semaphore = struct
+  type t = {
+    eng : Engine.t;
+    sname : string;
+    mutable count : int;
+    mutable waiters : (unit -> unit) list;
+  }
+
+  let create ?(name = "semaphore") eng count =
+    if count < 0 then invalid_arg "Semaphore.create: negative count";
+    { eng; sname = name; count; waiters = [] }
+
+  let rec acquire t =
+    if t.count > 0 then t.count <- t.count - 1
+    else begin
+      Engine.suspend t.eng
+        ~reason:(Printf.sprintf "semaphore %s" t.sname)
+        (fun wake -> t.waiters <- t.waiters @ [ wake ]);
+      acquire t
+    end
+
+  let release t =
+    t.count <- t.count + 1;
+    match t.waiters with
+    | [] -> ()
+    | wake :: rest ->
+      t.waiters <- rest;
+      wake ()
+
+  let available t = t.count
+end

@@ -1,0 +1,151 @@
+type kind = Compute | Communication | Synchronization | Api | Idle | Marker
+
+type span = {
+  lane : string;
+  label : string;
+  kind : kind;
+  t0 : Time.t;
+  t1 : Time.t;
+}
+
+type t = { mutable rev_spans : span list; mutable n : int }
+
+let create () = { rev_spans = []; n = 0 }
+let enabled = function Some _ -> true | None -> false
+
+let add t ~lane ~label ~kind ~t0 ~t1 =
+  if Time.(t1 < t0) then invalid_arg "Trace.add: span ends before it starts";
+  t.rev_spans <- { lane; label; kind; t0; t1 } :: t.rev_spans;
+  t.n <- t.n + 1
+
+let add_opt t ~lane ~label ~kind ~t0 ~t1 =
+  match t with None -> () | Some t -> add t ~lane ~label ~kind ~t0 ~t1
+
+let spans t = List.rev t.rev_spans
+
+let lanes t =
+  List.sort_uniq String.compare (List.map (fun s -> s.lane) t.rev_spans)
+
+let busy_time t ~lane =
+  List.fold_left
+    (fun acc s -> if String.equal s.lane lane then Time.add acc (Time.sub s.t1 s.t0) else acc)
+    Time.zero t.rev_spans
+
+let busy_time_kind t ~kind =
+  List.fold_left
+    (fun acc s -> if s.kind = kind then Time.add acc (Time.sub s.t1 s.t0) else acc)
+    Time.zero t.rev_spans
+
+let window t =
+  match t.rev_spans with
+  | [] -> None
+  | first :: rest ->
+    let lo, hi =
+      List.fold_left
+        (fun (lo, hi) s -> (Time.min lo s.t0, Time.max hi s.t1))
+        (first.t0, first.t1) rest
+    in
+    Some (lo, hi)
+
+let char_of_kind = function
+  | Compute -> '#'
+  | Communication -> '='
+  | Synchronization -> '|'
+  | Api -> 'a'
+  | Idle -> '.'
+  | Marker -> '!'
+
+(* Later spans overwrite earlier ones in a cell; kinds other than Idle win
+   over Idle so a busy instant is never hidden by background idling. *)
+let render_ascii ?(width = 100) t =
+  match window t with
+  | None -> "(empty trace)"
+  | Some (lo, hi) ->
+    let total = Stdlib.max 1 (Time.to_ns (Time.sub hi lo)) in
+    let cell_of_time time = Time.to_ns (Time.sub time lo) * width / total in
+    let buf = Buffer.create 1024 in
+    let all = spans t in
+    let label_width =
+      List.fold_left (fun acc l -> Stdlib.max acc (String.length l)) 4 (lanes t)
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "timeline: %s .. %s  (1 cell = %s)\n" (Time.to_string lo)
+         (Time.to_string hi)
+         (Time.to_string (Time.ns (total / width))));
+    List.iter
+      (fun lane ->
+        let row = Bytes.make width ' ' in
+        List.iter
+          (fun s ->
+            if String.equal s.lane lane then begin
+              let c0 = Stdlib.max 0 (Stdlib.min (width - 1) (cell_of_time s.t0)) in
+              let c1 = Stdlib.max c0 (Stdlib.min (width - 1) (cell_of_time s.t1 - 1)) in
+              let ch = char_of_kind s.kind in
+              for c = c0 to c1 do
+                if s.kind <> Idle || Bytes.get row c = ' ' then Bytes.set row c ch
+              done
+            end)
+          all;
+        Buffer.add_string buf (Printf.sprintf "%-*s [%s]\n" label_width lane (Bytes.to_string row)))
+      (lanes t);
+    Buffer.add_string buf "legend: # compute  = communication  | sync  a api-call  . idle\n";
+    Buffer.contents buf
+
+let string_of_kind = function
+  | Compute -> "compute"
+  | Communication -> "communication"
+  | Synchronization -> "synchronization"
+  | Api -> "api"
+  | Idle -> "idle"
+  | Marker -> "marker"
+
+let to_csv t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "lane,label,kind,start_ns,end_ns\n";
+  List.iter
+    (fun s ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s,%s,%s,%d,%d\n" s.lane s.label (string_of_kind s.kind)
+           (Time.to_ns s.t0) (Time.to_ns s.t1)))
+    (spans t);
+  Buffer.contents buf
+
+let to_chrome_json t =
+  let buf = Buffer.create 4096 in
+  let lane_ids = Hashtbl.create 16 in
+  let lane_id lane =
+    match Hashtbl.find_opt lane_ids lane with
+    | Some id -> id
+    | None ->
+      let id = Hashtbl.length lane_ids in
+      Hashtbl.replace lane_ids lane id;
+      id
+  in
+  (* Assign ids in sorted-lane order for a stable layout. *)
+  List.iter (fun lane -> ignore (lane_id lane)) (lanes t);
+  Buffer.add_string buf "[";
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_string buf ",";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":0,\"tid\":%d}"
+           s.label (string_of_kind s.kind)
+           (Time.to_us_float s.t0)
+           (Time.to_us_float (Time.sub s.t1 s.t0))
+           (lane_id s.lane)))
+    (spans t);
+  (* Thread-name metadata rows. *)
+  Hashtbl.iter
+    (fun lane id ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"args\":{\"name\":\"%s\"}}"
+           id lane))
+    lane_ids;
+  Buffer.add_string buf "]";
+  Buffer.contents buf
+
+let clear t =
+  t.rev_spans <- [];
+  t.n <- 0

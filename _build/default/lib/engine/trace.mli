@@ -1,0 +1,53 @@
+(** Execution timeline, standing in for the paper's Nsight screenshots.
+
+    Spans are recorded per lane ("gpu0.comp", "gpu0.comm", "host", ...) and
+    can be rendered as an ASCII timeline (Figures 2.1b and 5.1b) or exported
+    as CSV for external plotting. *)
+
+type kind = Compute | Communication | Synchronization | Api | Idle | Marker
+
+type span = {
+  lane : string;
+  label : string;
+  kind : kind;
+  t0 : Time.t;
+  t1 : Time.t;
+}
+
+type t
+
+val create : unit -> t
+val enabled : t option -> bool
+
+val add : t -> lane:string -> label:string -> kind:kind -> t0:Time.t -> t1:Time.t -> unit
+
+val add_opt :
+  t option -> lane:string -> label:string -> kind:kind -> t0:Time.t -> t1:Time.t -> unit
+(** No-op when the trace is [None]; lets instrumented code avoid branching. *)
+
+val spans : t -> span list
+(** All spans in recording order. *)
+
+val lanes : t -> string list
+(** Distinct lanes, sorted. *)
+
+val busy_time : t -> lane:string -> Time.t
+(** Sum of span durations on a lane (overlaps on the same lane count twice). *)
+
+val busy_time_kind : t -> kind:kind -> Time.t
+
+val window : t -> (Time.t * Time.t) option
+(** Earliest start and latest end over all spans. *)
+
+val render_ascii : ?width:int -> t -> string
+(** One row per lane, time flowing left to right. Each cell shows the kind of
+    the span covering that instant: [#] compute, [=] communication,
+    [|] synchronization, [a] API call, [.] idle. *)
+
+val to_csv : t -> string
+
+val to_chrome_json : t -> string
+(** Chrome trace-event format ("X" complete events, microsecond timestamps,
+    one thread row per lane): load in chrome://tracing or Perfetto. *)
+
+val clear : t -> unit

@@ -1,0 +1,1 @@
+lib/gpu/arch.ml: Cpufree_engine Format List String

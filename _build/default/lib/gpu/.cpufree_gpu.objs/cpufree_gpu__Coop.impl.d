@@ -1,0 +1,1 @@
+lib/gpu/coop.ml: Arch Cpufree_engine Device Printf

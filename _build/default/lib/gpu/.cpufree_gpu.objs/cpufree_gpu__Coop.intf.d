@@ -1,0 +1,1 @@
+lib/gpu/coop.mli: Cpufree_engine Device

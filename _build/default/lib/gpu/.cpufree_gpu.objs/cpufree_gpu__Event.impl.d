@@ -1,0 +1,1 @@
+lib/gpu/event.ml: Cpufree_engine Printf Stream

@@ -1,0 +1,1 @@
+lib/gpu/event.mli: Cpufree_engine Stream

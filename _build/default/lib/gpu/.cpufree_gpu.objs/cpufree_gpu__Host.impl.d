@@ -1,0 +1,1 @@
+lib/gpu/host.ml: Arch Cpufree_engine Printf Runtime

@@ -1,0 +1,1 @@
+lib/gpu/host.mli: Cpufree_engine Runtime

@@ -1,0 +1,1 @@
+lib/gpu/interconnect.ml: Arch Array Cpufree_engine Printf

@@ -1,0 +1,1 @@
+lib/gpu/interconnect.mli: Arch Cpufree_engine

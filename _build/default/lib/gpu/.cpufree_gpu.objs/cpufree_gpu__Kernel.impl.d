@@ -1,0 +1,1 @@
+lib/gpu/kernel.ml: Arch Buffer Cpufree_engine Float

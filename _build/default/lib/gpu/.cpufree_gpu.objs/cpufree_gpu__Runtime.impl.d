@@ -1,0 +1,1 @@
+lib/gpu/runtime.ml: Arch Array Buffer Coop Cpufree_engine Device Event Interconnect List Printf Stream

@@ -1,0 +1,1 @@
+lib/gpu/runtime.mli: Arch Buffer Coop Cpufree_engine Device Event Interconnect Stream

@@ -1,0 +1,1 @@
+lib/gpu/stream.ml: Cpufree_engine Device Printf

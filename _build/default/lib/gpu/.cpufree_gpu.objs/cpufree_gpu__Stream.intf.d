@@ -1,0 +1,1 @@
+lib/gpu/stream.mli: Cpufree_engine Device

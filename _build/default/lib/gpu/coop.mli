@@ -1,0 +1,27 @@
+(** Cooperative groups: the grid handle visible inside a persistent kernel.
+
+    A cooperatively launched kernel's thread blocks are all co-resident, so a
+    device-wide barrier — [grid.sync()] — is possible. The simulator runs a
+    persistent kernel as one process per {e role} (a group of specialized
+    thread blocks behaving identically: "comm-top", "comm-bottom", "inner");
+    [sync] is a barrier across the roles plus the measured grid-sync
+    latency. *)
+
+type t
+
+val make :
+  Cpufree_engine.Engine.t -> dev:Device.t -> roles:int -> total_blocks:int -> threads_per_block:int ->
+  t
+
+val device : t -> Device.t
+val total_blocks : t -> int
+val threads_per_block : t -> int
+val roles : t -> int
+
+val sync : t -> unit
+(** [grid.sync()]: block until every role of this grid arrives, charging the
+    architecture's grid-sync latency. *)
+
+val sync_count : t -> int
+(** Completed grid-wide barriers (equals the iteration count in the stencil
+    kernels; used by tests). *)

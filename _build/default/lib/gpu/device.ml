@@ -1,0 +1,12 @@
+type t = { id : int; arch : Arch.t; eng : Cpufree_engine.Engine.t }
+
+let create eng ~arch ~id =
+  if id < 0 then invalid_arg "Device.create: negative id";
+  { id; arch; eng }
+
+let id t = t.id
+let arch t = t.arch
+let engine t = t.eng
+let lane t sub = Printf.sprintf "gpu%d.%s" t.id sub
+let main_lane t = Printf.sprintf "gpu%d" t.id
+let co_resident_blocks t = Arch.co_resident_blocks t.arch

@@ -1,0 +1,18 @@
+(** A simulated GPU: identity, architecture and trace-lane naming. *)
+
+type t
+
+val create : Cpufree_engine.Engine.t -> arch:Arch.t -> id:int -> t
+val id : t -> int
+val arch : t -> Arch.t
+val engine : t -> Cpufree_engine.Engine.t
+
+val lane : t -> string -> string
+(** [lane dev "comp"] is ["gpu<id>.comp"] — the timeline lane for a
+    sub-activity of this device. *)
+
+val main_lane : t -> string
+(** ["gpu<id>"]. *)
+
+val co_resident_blocks : t -> int
+(** Maximum cooperative grid size (paper §4.1.4 limitation). *)

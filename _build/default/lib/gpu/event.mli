@@ -1,0 +1,24 @@
+(** CUDA events: completion markers recorded into streams.
+
+    [record ev stream] completes when every operation enqueued to [stream]
+    before the record has finished; other streams or the host can then wait
+    on it. This is the host-side synchronization vehicle of the
+    Baseline-Overlap variant. *)
+
+type t
+
+val create : Cpufree_engine.Engine.t -> name:string -> t
+val name : t -> string
+
+val record : t -> Stream.t -> unit
+(** Enqueue a completion marker. Does not block. *)
+
+val query : t -> bool
+(** Has the most recent record completed? [true] if never recorded. *)
+
+val synchronize : t -> unit
+(** Block the calling process until the most recent record completes. *)
+
+val stream_wait : Stream.t -> t -> unit
+(** Make [stream] wait (in-order, on-device) for the most recent record at
+    the time of this call — [cudaStreamWaitEvent]. *)

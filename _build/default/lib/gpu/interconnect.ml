@@ -1,0 +1,108 @@
+module E = Cpufree_engine
+module Time = E.Time
+
+type endpoint = Gpu of int | Host
+type initiator = By_host | By_device
+
+type t = {
+  eng : E.Engine.t;
+  arch : Arch.t;
+  n : int;
+  egress : E.Sync.Resource.t array;
+  ingress : E.Sync.Resource.t array;
+  host_port : E.Sync.Resource.t;
+  mutable total_bytes : int;
+  mutable total_transfers : int;
+}
+
+let create eng ~arch ~num_gpus =
+  if num_gpus <= 0 then invalid_arg "Interconnect.create: need at least one GPU";
+  let port kind i = E.Sync.Resource.create ~name:(Printf.sprintf "gpu%d.%s" i kind) eng () in
+  {
+    eng;
+    arch;
+    n = num_gpus;
+    egress = Array.init num_gpus (port "egress");
+    ingress = Array.init num_gpus (port "ingress");
+    host_port = E.Sync.Resource.create ~name:"host.pcie" eng ();
+    total_bytes = 0;
+    total_transfers = 0;
+  }
+
+let num_gpus t = t.n
+let arch t = t.arch
+
+let check_endpoint t = function
+  | Host -> ()
+  | Gpu i ->
+    if i < 0 || i >= t.n then invalid_arg (Printf.sprintf "Interconnect: no such GPU %d" i)
+
+(* Bandwidth of the narrowest segment the transfer crosses, in bytes/ns. *)
+let path_bandwidth t ~src ~dst =
+  match (src, dst) with
+  | Gpu a, Gpu b when a = b -> Arch.hbm_bytes_per_ns t.arch
+  | Gpu _, Gpu _ -> Arch.nvlink_bytes_per_ns t.arch
+  | Host, Gpu _ | Gpu _, Host -> Arch.pcie_bytes_per_ns t.arch
+  | Host, Host -> Arch.hbm_bytes_per_ns t.arch
+
+let path_latency t ~src ~dst ~initiator =
+  let base =
+    match (src, dst) with
+    | Gpu a, Gpu b when a = b -> Time.zero
+    | Gpu _, Gpu _ -> t.arch.Arch.nvlink_latency
+    | Host, Gpu _ | Gpu _, Host -> t.arch.Arch.pcie_latency
+    | Host, Host -> Time.zero
+  in
+  let setup =
+    match initiator with
+    | By_host -> t.arch.Arch.host_initiated_latency
+    | By_device -> t.arch.Arch.gpu_initiated_latency
+  in
+  Time.add base setup
+
+let ports t ~src ~dst =
+  match (src, dst) with
+  | Gpu a, Gpu b when a = b -> []
+  | Gpu a, Gpu b -> [ t.egress.(a); t.ingress.(b) ]
+  | Host, Gpu b -> [ t.host_port; t.ingress.(b) ]
+  | Gpu a, Host -> [ t.egress.(a); t.host_port ]
+  | Host, Host -> []
+
+let serialization_time t ~src ~dst ~bytes =
+  if bytes = 0 then Time.zero
+  else Time.of_ns_float (float_of_int bytes /. path_bandwidth t ~src ~dst)
+
+let transfer_time t ~src ~dst ~initiator ~bytes =
+  check_endpoint t src;
+  check_endpoint t dst;
+  Time.add (path_latency t ~src ~dst ~initiator) (serialization_time t ~src ~dst ~bytes)
+
+let transfer t ~src ~dst ~initiator ~bytes ?trace_lane ?(label = "xfer") () =
+  check_endpoint t src;
+  check_endpoint t dst;
+  if bytes < 0 then invalid_arg "Interconnect.transfer: negative size";
+  let latency = path_latency t ~src ~dst ~initiator in
+  let dur = serialization_time t ~src ~dst ~bytes in
+  let t0 = E.Engine.now t.eng in
+  let finish =
+    match ports t ~src ~dst with
+    | [] -> Time.add (Time.add t0 latency) dur
+    | ps ->
+      let start = E.Sync.Resource.book_many ps ~duration:dur in
+      Time.add (Time.add start latency) dur
+  in
+  t.total_bytes <- t.total_bytes + bytes;
+  t.total_transfers <- t.total_transfers + 1;
+  E.Engine.delay t.eng (Time.sub finish t0);
+  match trace_lane with
+  | None -> ()
+  | Some lane ->
+    E.Trace.add_opt (E.Engine.trace t.eng) ~lane ~label ~kind:E.Trace.Communication ~t0
+      ~t1:(E.Engine.now t.eng)
+
+let bytes_moved t = t.total_bytes
+let transfers t = t.total_transfers
+
+let port_busy t ~gpu =
+  if gpu < 0 || gpu >= t.n then invalid_arg "Interconnect.port_busy: no such GPU";
+  (E.Sync.Resource.busy t.egress.(gpu), E.Sync.Resource.busy t.ingress.(gpu))

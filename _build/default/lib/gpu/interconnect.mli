@@ -1,0 +1,37 @@
+(** The node's data fabric: NVSwitch all-to-all between GPUs and PCIe to the
+    host.
+
+    Each GPU owns an egress and an ingress port modeled as serially reusable
+    bandwidth resources; a peer transfer occupies the source's egress and the
+    destination's ingress for its serialization time, so simultaneous
+    transfers that share a port queue behind each other — the contention an
+    NVSwitch exhibits. Latency depends on who initiated the transfer: the
+    paper's central quantitative point is that a GPU-initiated transfer skips
+    microseconds of host-side setup. *)
+
+type endpoint = Gpu of int | Host
+
+type initiator = By_host | By_device
+
+type t
+
+val create : Cpufree_engine.Engine.t -> arch:Arch.t -> num_gpus:int -> t
+val num_gpus : t -> int
+val arch : t -> Arch.t
+
+val transfer_time : t -> src:endpoint -> dst:endpoint -> initiator:initiator -> bytes:int -> Cpufree_engine.Time.t
+(** Uncontended duration (latency + serialization) of a transfer; pure. *)
+
+val transfer :
+  t -> src:endpoint -> dst:endpoint -> initiator:initiator -> bytes:int ->
+  ?trace_lane:string -> ?label:string -> unit -> unit
+(** Perform a transfer from the calling process: books the ports and blocks
+    until the last byte lands. Same-device "transfers" cost HBM time only;
+    zero-byte transfers cost only latency. *)
+
+val bytes_moved : t -> int
+(** Total payload bytes transported so far. *)
+
+val transfers : t -> int
+val port_busy : t -> gpu:int -> Cpufree_engine.Time.t * Cpufree_engine.Time.t
+(** (egress, ingress) cumulative busy time of a GPU's ports. *)

@@ -1,0 +1,34 @@
+module Time = Cpufree_engine.Time
+
+let memory_bound_time arch ~elems ~bytes_per_elem ~sm_fraction ~efficiency =
+  if elems < 0 then invalid_arg "Kernel.memory_bound_time: negative element count";
+  if sm_fraction <= 0.0 || sm_fraction > 1.0 then
+    invalid_arg "Kernel.memory_bound_time: sm_fraction must be in (0, 1]";
+  if efficiency <= 0.0 || efficiency > 1.0 then
+    invalid_arg "Kernel.memory_bound_time: efficiency must be in (0, 1]";
+  let bw = Arch.hbm_bytes_per_ns arch *. sm_fraction *. efficiency in
+  Time.of_ns_float (float_of_int elems *. bytes_per_elem /. bw)
+
+let stencil_bytes_per_elem () = 2.0 *. float_of_int Buffer.elem_bytes
+
+let perks_cache_elems arch =
+  let kb = arch.Arch.sm_count * (arch.Arch.reg_cache_kb_per_sm + arch.Arch.smem_cache_kb_per_sm) in
+  kb * 1024 / Buffer.elem_bytes
+
+let perks_cache_fraction arch ~elems =
+  if elems <= 0 then 0.0
+  else Float.min 0.95 (float_of_int (perks_cache_elems arch) /. float_of_int elems)
+
+let perks_bytes_per_elem arch ~elems =
+  (* The cached portion of the domain lives in registers/shared memory across
+     iterations: it is read from DRAM once and written back once at kernel
+     exit, so its per-iteration DRAM traffic vanishes. On-chip accesses are
+     not free — floor the effective traffic at a quarter of the uncached
+     cost. *)
+  let f = perks_cache_fraction arch ~elems in
+  Float.max (0.4 *. stencil_bytes_per_elem ()) (stencil_bytes_per_elem () *. (1.0 -. f))
+
+let tiling_efficiency arch ~elems ~threads =
+  let resident_threads = Arch.co_resident_blocks arch * threads in
+  if elems <= resident_threads * arch.Arch.persistent_tile_threshold then 1.0
+  else arch.Arch.persistent_tile_efficiency

@@ -1,0 +1,43 @@
+(** Kernel execution cost model.
+
+    The stencils of the paper are memory-bound, so kernel time follows a
+    roofline in device-memory traffic:
+
+    {v time = elems * bytes_per_elem / (HBM_bw * sm_fraction * efficiency) v}
+
+    [sm_fraction] is the share of the device executing this work — thread
+    block specialization gives the inner-domain computation
+    [inner_blocks/total_blocks] of the machine and each boundary block
+    [1/total_blocks]. [efficiency] models code generation quality: discrete
+    kernels with hardware scheduling run at 1.0; a co-residency-limited
+    persistent kernel that software-tiles an over-saturating domain runs at
+    [Arch.persistent_tile_efficiency] (paper §4.1.4 / §6.1.2); PERKS removes
+    that penalty and additionally cuts read traffic by its cached fraction. *)
+
+val memory_bound_time :
+  Arch.t -> elems:int -> bytes_per_elem:float -> sm_fraction:float -> efficiency:float ->
+  Cpufree_engine.Time.t
+
+val stencil_bytes_per_elem : unit -> float
+(** DRAM traffic per grid point of a Jacobi update with ideal neighbour
+    caching: one compulsory read plus one write of a 4-byte element. *)
+
+val perks_cache_elems : Arch.t -> int
+(** Domain elements the PERKS register/shared-memory cache can hold. *)
+
+val perks_cache_fraction : Arch.t -> elems:int -> float
+(** Fraction of an [elems]-point per-device domain that fits the cache
+    (capped below 1: working buffers and halos are never cached). *)
+
+val perks_bytes_per_elem : Arch.t -> elems:int -> float
+(** Effective DRAM traffic per grid point under PERKS caching: the cached
+    fraction round-trips to DRAM once per kernel instead of once per
+    iteration, floored at 0.4x the uncached traffic (on-chip accesses,
+    halo reads and synchronization bound fitting-domain gains to the
+    ~2-2.6x range the PERKS paper measures). *)
+
+val tiling_efficiency : Arch.t -> elems:int -> threads:int -> float
+(** 1.0 while each resident thread owns at most [persistent_tile_threshold]
+    grid points; [persistent_tile_efficiency] beyond that, when manual
+    software tiling degrades the persistent kernel (paper §6.1.2's
+    large-domain dropoff). *)

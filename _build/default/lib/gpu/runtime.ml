@@ -1,0 +1,113 @@
+module E = Cpufree_engine
+module Time = E.Time
+
+type ctx = {
+  eng : E.Engine.t;
+  arch : Arch.t;
+  n : int;
+  net : Interconnect.t;
+  devices : Device.t array;
+}
+
+exception Coop_launch_error of string
+
+let init eng ?(arch = Arch.a100_hgx) ~num_gpus () =
+  if num_gpus <= 0 then invalid_arg "Runtime.init: need at least one GPU";
+  {
+    eng;
+    arch;
+    n = num_gpus;
+    net = Interconnect.create eng ~arch ~num_gpus;
+    devices = Array.init num_gpus (fun id -> Device.create eng ~arch ~id);
+  }
+
+let engine t = t.eng
+let arch t = t.arch
+let num_gpus t = t.n
+
+let device t i =
+  if i < 0 || i >= t.n then invalid_arg (Printf.sprintf "Runtime.device: no such GPU %d" i);
+  t.devices.(i)
+
+let net t = t.net
+
+let endpoint_of_buffer b =
+  let d = Buffer.device b in
+  if d = Buffer.host_device then Interconnect.Host else Interconnect.Gpu d
+
+let api t ?(lane = "host") ~label cost =
+  let t0 = E.Engine.now t.eng in
+  E.Engine.delay t.eng cost;
+  E.Trace.add_opt (E.Engine.trace t.eng) ~lane ~label ~kind:E.Trace.Api ~t0
+    ~t1:(E.Engine.now t.eng)
+
+let launch t ~stream ~name ?(cost = Time.zero) body =
+  let dev = Stream.device stream in
+  api t ~label:(Printf.sprintf "launch:%s" name) t.arch.Arch.kernel_launch;
+  Stream.enqueue stream ~label:name (fun () ->
+      let t0 = E.Engine.now t.eng in
+      E.Engine.delay t.eng t.arch.Arch.kernel_teardown;
+      E.Engine.delay t.eng cost;
+      body ();
+      E.Trace.add_opt (E.Engine.trace t.eng)
+        ~lane:(Device.lane dev (Stream.name stream))
+        ~label:name ~kind:E.Trace.Compute ~t0 ~t1:(E.Engine.now t.eng))
+
+let memcpy_async t ~stream ~src ~src_pos ~dst ~dst_pos ~len =
+  let dev = Stream.device stream in
+  api t ~label:"cudaMemcpyAsync" t.arch.Arch.memcpy_api;
+  let src_ep = endpoint_of_buffer src and dst_ep = endpoint_of_buffer dst in
+  Stream.enqueue stream ~label:"memcpy" (fun () ->
+      Interconnect.transfer t.net ~src:src_ep ~dst:dst_ep ~initiator:Interconnect.By_host
+        ~bytes:(len * Buffer.elem_bytes)
+        ~trace_lane:(Device.lane dev (Stream.name stream))
+        ~label:"memcpy" ();
+      Buffer.blit ~src ~src_pos ~dst ~dst_pos ~len)
+
+let stream_synchronize t stream =
+  api t ~label:(Printf.sprintf "sync:%s" (Stream.name stream)) t.arch.Arch.stream_sync;
+  Stream.await_idle stream
+
+let event_record t ev stream =
+  api t ~label:(Printf.sprintf "record:%s" (Event.name ev)) t.arch.Arch.event_record;
+  Event.record ev stream
+
+let event_synchronize t ev =
+  api t ~label:(Printf.sprintf "eventSync:%s" (Event.name ev)) t.arch.Arch.event_sync;
+  Event.synchronize ev
+
+let stream_wait_event t stream ev =
+  api t ~label:"streamWaitEvent" t.arch.Arch.stream_wait_event;
+  Event.stream_wait stream ev
+
+let launch_cooperative t ~dev ~name ~blocks ~threads_per_block ~roles =
+  if roles = [] then raise (Coop_launch_error (name ^ ": no roles"));
+  let capacity = Device.co_resident_blocks dev in
+  if blocks > capacity then
+    raise
+      (Coop_launch_error
+         (Printf.sprintf
+            "%s: %d blocks requested but only %d can be co-resident on gpu%d \
+             (cooperative launch forbids oversubscription)"
+            name blocks capacity (Device.id dev)));
+  api t ~label:(Printf.sprintf "coopLaunch:%s" name) t.arch.Arch.coop_launch;
+  let grid =
+    Coop.make t.eng ~dev ~roles:(List.length roles) ~total_blocks:blocks ~threads_per_block
+  in
+  let finished =
+    E.Sync.Flag.create ~name:(Printf.sprintf "%s.gpu%d.done" name (Device.id dev)) t.eng 0
+  in
+  List.iter
+    (fun (role_name, role_body) ->
+      let pname = Printf.sprintf "%s.gpu%d.%s" name (Device.id dev) role_name in
+      let (_ : E.Engine.process) =
+        E.Engine.spawn t.eng ~name:pname (fun () ->
+            E.Engine.delay t.eng t.arch.Arch.kernel_teardown;
+            role_body grid;
+            E.Sync.Flag.add finished 1)
+      in
+      ())
+    roles;
+  finished
+
+let join_kernel _t ~roles finished = E.Sync.Flag.wait_ge finished roles

@@ -1,0 +1,1 @@
+lib/stencil/compute.ml: Cpufree_gpu Problem

@@ -1,0 +1,1 @@
+lib/stencil/compute.mli: Cpufree_gpu Problem

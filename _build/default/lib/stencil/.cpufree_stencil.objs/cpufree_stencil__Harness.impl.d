@@ -1,0 +1,1 @@
+lib/stencil/harness.ml: Array Compute Cpufree_core Cpufree_engine Float List Printf Problem Slab Variants

@@ -1,0 +1,1 @@
+lib/stencil/harness.mli: Cpufree_core Cpufree_engine Cpufree_gpu Problem Variants

@@ -1,0 +1,1 @@
+lib/stencil/problem.ml: Printf

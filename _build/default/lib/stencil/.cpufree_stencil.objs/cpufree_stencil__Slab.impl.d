@@ -1,0 +1,1 @@
+lib/stencil/slab.ml: Array Cpufree_gpu Problem Stdlib

@@ -1,0 +1,1 @@
+lib/stencil/slab.mli: Cpufree_gpu Problem

@@ -1,0 +1,1 @@
+lib/stencil/variants.ml: Array Compute Cpufree_comm Cpufree_core Cpufree_engine Cpufree_gpu List Printf Problem Slab Stdlib String

@@ -1,0 +1,1 @@
+lib/stencil/variants.mli: Cpufree_gpu Problem

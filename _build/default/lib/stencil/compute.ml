@@ -1,0 +1,67 @@
+module G = Cpufree_gpu
+
+let apply_2d ~src ~dst ~nx ~p0 ~p1 =
+  if not (G.Buffer.is_phantom src || G.Buffer.is_phantom dst) then begin
+    let s = G.Buffer.get src and d = G.Buffer.set dst in
+    for plane = p0 to p1 do
+      let row = plane * nx in
+      d row (s row);
+      d (row + nx - 1) (s (row + nx - 1));
+      for x = 1 to nx - 2 do
+        let i = row + x in
+        d i (0.25 *. (s (i - nx) +. s (i + nx) +. s (i - 1) +. s (i + 1)))
+      done
+    done
+  end
+
+let apply_3d ~src ~dst ~nx ~ny ~p0 ~p1 =
+  if not (G.Buffer.is_phantom src || G.Buffer.is_phantom dst) then begin
+    let s = G.Buffer.get src and d = G.Buffer.set dst in
+    let plane = nx * ny in
+    for pz = p0 to p1 do
+      let zbase = pz * plane in
+      for y = 0 to ny - 1 do
+        let row = zbase + (y * nx) in
+        if y = 0 || y = ny - 1 then
+          for x = 0 to nx - 1 do
+            d (row + x) (s (row + x))
+          done
+        else begin
+          d row (s row);
+          d (row + nx - 1) (s (row + nx - 1));
+          for x = 1 to nx - 2 do
+            let i = row + x in
+            d i
+              ((s (i - plane) +. s (i + plane) +. s (i - nx) +. s (i + nx) +. s (i - 1)
+               +. s (i + 1))
+              /. 6.0)
+          done
+        end
+      done
+    done
+  end
+
+let apply dims ~src ~dst ~p0 ~p1 =
+  match dims with
+  | Problem.D2 { nx; _ } -> apply_2d ~src ~dst ~nx ~p0 ~p1
+  | Problem.D3 { nx; ny; _ } -> apply_3d ~src ~dst ~nx ~ny ~p0 ~p1
+
+let global_storage_size problem =
+  (Problem.planes_global problem + 2) * Problem.plane_elems problem
+
+let reference problem =
+  let size = global_storage_size problem in
+  let planes = Problem.planes_global problem in
+  let mk label =
+    let b = G.Buffer.create ~device:G.Buffer.host_device ~label size in
+    G.Buffer.init b Problem.init_value;
+    b
+  in
+  let a = ref (mk "ref.a") and b = ref (mk "ref.b") in
+  for _ = 1 to problem.Problem.iterations do
+    apply problem.Problem.dims ~src:!a ~dst:!b ~p0:1 ~p1:planes;
+    let tmp = !a in
+    a := !b;
+    b := tmp
+  done;
+  G.Buffer.to_array !a

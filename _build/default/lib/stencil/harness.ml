@@ -1,0 +1,71 @@
+module Measure = Cpufree_core.Measure
+
+let run_traced ?arch kind problem ~gpus =
+  let built = Variants.build kind problem ~gpus in
+  Measure.run_traced ?arch
+    ~label:(Variants.name kind)
+    ~gpus ~iterations:problem.Problem.iterations built.Variants.program
+
+let run ?arch kind problem ~gpus = fst (run_traced ?arch kind problem ~gpus)
+
+let tolerance = 1e-9
+
+let verify ?arch kind problem ~gpus =
+  if not problem.Problem.backed then Error "verify requires backed buffers"
+  else begin
+    let built = Variants.build kind problem ~gpus in
+    let (_ : Measure.result) =
+      Measure.run ?arch
+        ~label:(Variants.name kind)
+        ~gpus ~iterations:problem.Problem.iterations built.Variants.program
+    in
+    match built.Variants.final () with
+    | None -> Error "variant did not record final buffers"
+    | Some buffers ->
+      let reference = Compute.reference problem in
+      let plane = Problem.plane_elems problem in
+      let worst = ref 0.0 in
+      let mismatch = ref None in
+      Array.iteri
+        (fun pe buf ->
+          let slab = Slab.make problem ~n_pes:gpus ~pe in
+          match Slab.extract_owned slab buf with
+          | None -> mismatch := Some (Printf.sprintf "PE %d returned a phantom buffer" pe)
+          | Some (offset, values) ->
+            Array.iteri
+              (fun i v ->
+                let expected = reference.(plane + offset + i) in
+                let err = Float.abs (v -. expected) in
+                if err > !worst then worst := err)
+              values)
+        buffers;
+      match !mismatch with
+      | Some msg -> Error msg
+      | None ->
+        if !worst <= tolerance then Ok !worst
+        else Error (Printf.sprintf "max abs error %.3e exceeds tolerance %.1e" !worst tolerance)
+  end
+
+type scaling_point = { gpus : int; result : Measure.result }
+
+let weak_scaling ?arch kind ~base ~gpu_counts =
+  List.map
+    (fun gpus ->
+      let dims = Problem.weak_scale base.Problem.dims ~gpus in
+      let problem = { base with Problem.dims } in
+      { gpus; result = run ?arch kind problem ~gpus })
+    gpu_counts
+
+let strong_scaling ?arch kind problem ~gpu_counts =
+  List.map (fun gpus -> { gpus; result = run ?arch kind problem ~gpus }) gpu_counts
+
+let weak_efficiency points =
+  match points with
+  | [] -> []
+  | first :: _ ->
+    let t1 = Cpufree_engine.Time.to_sec_float first.result.Measure.total in
+    List.map
+      (fun p ->
+        let tn = Cpufree_engine.Time.to_sec_float p.result.Measure.total in
+        (p.gpus, if tn = 0.0 then 1.0 else t1 /. tn))
+      points

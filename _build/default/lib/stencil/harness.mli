@@ -1,0 +1,35 @@
+(** Drivers for the stencil experiments: run a variant on a simulated
+    machine, verify it against the sequential reference, and produce the
+    weak/strong scaling series of Figures 6.1 and 6.2. *)
+
+val run :
+  ?arch:Cpufree_gpu.Arch.t -> Variants.kind -> Problem.t -> gpus:int -> Cpufree_core.Measure.result
+
+val run_traced :
+  ?arch:Cpufree_gpu.Arch.t -> Variants.kind -> Problem.t -> gpus:int ->
+  Cpufree_core.Measure.result * Cpufree_engine.Trace.t
+
+val verify : ?arch:Cpufree_gpu.Arch.t -> Variants.kind -> Problem.t -> gpus:int -> (float, string) result
+(** Run with backed buffers and compare the distributed result against
+    {!Compute.reference}: [Ok max_abs_error] (should be ~1e-6 of magnitude)
+    or [Error description]. The problem must have [backed = true]. *)
+
+val tolerance : float
+(** Acceptance threshold for {!verify} (single-precision-style slack on
+    accumulated double arithmetic). *)
+
+type scaling_point = { gpus : int; result : Cpufree_core.Measure.result }
+
+val weak_scaling :
+  ?arch:Cpufree_gpu.Arch.t -> Variants.kind -> base:Problem.t -> gpu_counts:int list ->
+  scaling_point list
+(** Weak scaling: grow the base (1-GPU) domain by {!Problem.weak_scale} for
+    each GPU count. Counts must be powers of two. *)
+
+val strong_scaling :
+  ?arch:Cpufree_gpu.Arch.t -> Variants.kind -> Problem.t -> gpu_counts:int list ->
+  scaling_point list
+(** Strong scaling: the same global domain at every GPU count. *)
+
+val weak_efficiency : scaling_point list -> (int * float) list
+(** Per point: time(1 GPU) / time(n GPUs) — 1.0 is perfect weak scaling. *)

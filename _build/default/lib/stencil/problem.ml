@@ -1,0 +1,61 @@
+type dims = D2 of { nx : int; ny : int } | D3 of { nx : int; ny : int; nz : int }
+
+type t = {
+  dims : dims;
+  iterations : int;
+  compute : bool;
+  backed : bool;
+  norm_every : int option;
+}
+
+let make ?(compute = true) ?(backed = false) ?norm_every dims ~iterations =
+  (match norm_every with
+  | Some k when k <= 0 -> invalid_arg "Problem.make: norm_every must be positive"
+  | Some _ | None -> ());
+  let positive = function
+    | D2 { nx; ny } -> nx > 0 && ny > 0
+    | D3 { nx; ny; nz } -> nx > 0 && ny > 0 && nz > 0
+  in
+  if not (positive dims) then invalid_arg "Problem.make: non-positive dimension";
+  if iterations < 0 then invalid_arg "Problem.make: negative iteration count";
+  { dims; iterations; compute; backed; norm_every }
+
+let plane_elems t = match t.dims with D2 { nx; _ } -> nx | D3 { nx; ny; _ } -> nx * ny
+let planes_global t = match t.dims with D2 { ny; _ } -> ny | D3 { nz; _ } -> nz
+let total_elems t = plane_elems t * planes_global t
+
+let dims_to_string = function
+  | D2 { nx; ny } -> Printf.sprintf "%dx%d" ny nx
+  | D3 { nx; ny; nz } -> Printf.sprintf "%dx%dx%d" nz ny nx
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let weak_scale dims ~gpus =
+  if not (is_power_of_two gpus) then invalid_arg "Problem.weak_scale: gpus must be a power of two";
+  let doublings =
+    let rec log2 n = if n <= 1 then 0 else 1 + log2 (n / 2) in
+    log2 gpus
+  in
+  let rec grow dims k =
+    if k = 0 then dims
+    else begin
+      let step = doublings - k in
+      match dims with
+      | D2 { nx; ny } ->
+        let dims = if step mod 2 = 0 then D2 { nx; ny = ny * 2 } else D2 { nx = nx * 2; ny } in
+        grow dims (k - 1)
+      | D3 { nx; ny; nz } ->
+        let dims =
+          match step mod 3 with
+          | 0 -> D3 { nx; ny; nz = nz * 2 }
+          | 1 -> D3 { nx; ny = ny * 2; nz }
+          | _ -> D3 { nx = nx * 2; ny; nz }
+        in
+        grow dims (k - 1)
+    end
+  in
+  grow dims doublings
+
+let init_value idx =
+  let x = float_of_int idx in
+  sin (x *. 0.013) +. (0.5 *. cos (x *. 0.007))

@@ -1,0 +1,46 @@
+(** Stencil experiment definition: geometry, iteration count, and execution
+    mode flags.
+
+    Domains decompose across GPUs along the slowest axis (rows in 2D, the z
+    axis in 3D, as in the paper §6.1.1), so both dimensionalities reduce to a
+    chunk of {e planes}: a plane is a row of [nx] elements in 2D and an
+    [nx*ny] slice in 3D. *)
+
+type dims = D2 of { nx : int; ny : int } | D3 of { nx : int; ny : int; nz : int }
+
+type t = {
+  dims : dims;  (** global interior extent (excludes the fixed outer shell) *)
+  iterations : int;
+  compute : bool;
+      (** charge compute-kernel cost: [false] reproduces the paper's
+          "no compute" communication-overhead experiments *)
+  backed : bool;
+      (** allocate real data so kernels do verifiable arithmetic; [false]
+          (phantom buffers) keeps huge benchmark domains cheap to host *)
+  norm_every : int option;
+      (** check the residual norm every [k] iterations, as the NVIDIA sample
+          codes do: CPU-controlled variants pay a device norm kernel, a
+          device-to-host copy of the partial norm and a host allreduce;
+          CPU-Free variants reduce entirely on device *)
+}
+
+val make : ?compute:bool -> ?backed:bool -> ?norm_every:int -> dims -> iterations:int -> t
+
+val plane_elems : t -> int
+(** Elements per plane: [nx] (2D) or [nx*ny] (3D). *)
+
+val planes_global : t -> int
+(** Interior planes along the decomposed axis: [ny] (2D) or [nz] (3D). *)
+
+val total_elems : t -> int
+val dims_to_string : dims -> string
+
+val weak_scale : dims -> gpus:int -> dims
+(** Grow a single-GPU base domain for a weak-scaling run by doubling one axis
+    per doubling of GPUs, alternating axes (paper §6.1.2), starting with the
+    decomposed axis. [gpus] must be a power of two. *)
+
+val init_value : int -> float
+(** Deterministic initial value for a global storage index; shared by the
+    distributed slabs and the sequential reference so results are
+    comparable. *)

@@ -1,0 +1,48 @@
+module G = Cpufree_gpu
+
+type t = { pe : int; n_pes : int; plane : int; planes : int; global_start : int }
+
+let make problem ~n_pes ~pe =
+  if n_pes <= 0 then invalid_arg "Slab.make: need at least one PE";
+  if pe < 0 || pe >= n_pes then invalid_arg "Slab.make: PE out of range";
+  let total = Problem.planes_global problem in
+  if total < n_pes then invalid_arg "Slab.make: fewer planes than PEs";
+  let base = total / n_pes and rem = total mod n_pes in
+  let planes = base + if pe < rem then 1 else 0 in
+  let start_owned = (pe * base) + Stdlib.min pe rem in
+  { pe; n_pes; plane = Problem.plane_elems problem; planes; global_start = start_owned }
+
+let storage_elems t = (t.planes + 2) * t.plane
+let top_halo_off _t = 0
+let bottom_halo_off t = (t.planes + 1) * t.plane
+let top_own_off t = t.plane
+let bottom_own_off t = t.planes * t.plane
+let boundary_planes t = if t.planes = 1 then [ 1 ] else [ 1; t.planes ]
+let inner_planes t = if t.planes <= 2 then None else Some (2, t.planes - 1)
+
+let inner_elems t =
+  match inner_planes t with None -> 0 | Some (a, b) -> (b - a + 1) * t.plane
+
+let boundary_elems t = t.plane
+
+let init_buffer t buf =
+  (* Symmetric allocations are sized for the largest chunk, so the buffer may
+     exceed this slab's storage; only the slab's prefix is meaningful. *)
+  if G.Buffer.length buf < storage_elems t then invalid_arg "Slab.init_buffer: buffer too small";
+  if not (G.Buffer.is_phantom buf) then
+    (* Storage plane s holds global storage plane global_start + s; the
+       global storage index of local element i is that plane's base plus the
+       in-plane offset. *)
+    for i = 0 to storage_elems t - 1 do
+      G.Buffer.set buf i (Problem.init_value ((t.global_start * t.plane) + i))
+    done
+
+let extract_owned t buf =
+  if G.Buffer.is_phantom buf then None
+  else begin
+    let values = Array.make (t.planes * t.plane) 0.0 in
+    for i = 0 to Array.length values - 1 do
+      values.(i) <- G.Buffer.get buf (t.plane + i)
+    done;
+    Some (t.global_start * t.plane, values)
+  end

@@ -1,0 +1,44 @@
+(** Per-GPU slab of a plane-decomposed domain (paper Figure 4.1).
+
+    PE [g] owns a contiguous run of global planes plus one halo plane on each
+    side. The decomposition is balanced: the first [planes_global mod n_pes]
+    PEs receive one extra plane. *)
+
+type t = {
+  pe : int;
+  n_pes : int;
+  plane : int;  (** elements per plane *)
+  planes : int;  (** owned planes [p] *)
+  global_start : int;
+      (** global storage plane index of this slab's storage plane 0 (the
+          upper halo) *)
+}
+
+val make : Problem.t -> n_pes:int -> pe:int -> t
+val storage_elems : t -> int
+
+(** Offsets (in elements) into slab storage: *)
+
+val top_halo_off : t -> int
+val bottom_halo_off : t -> int
+val top_own_off : t -> int
+val bottom_own_off : t -> int
+
+val boundary_planes : t -> int list
+(** Owned planes adjacent to halos: [[1; p]], or [[1]] when [p = 1]. *)
+
+val inner_planes : t -> (int * int) option
+(** Inclusive owned-plane range excluding boundaries; [None] when [p <= 2]. *)
+
+val inner_elems : t -> int
+val boundary_elems : t -> int
+(** Elements of one boundary plane. *)
+
+val init_buffer : t -> Cpufree_gpu.Buffer.t -> unit
+(** Fill this slab's storage prefix with {!Problem.init_value} at the
+    matching global indices; the buffer may be larger than the slab. *)
+
+val extract_owned : t -> Cpufree_gpu.Buffer.t -> (int * float array) option
+(** (global interior offset, owned-plane values) for verification; [None] for
+    phantom buffers. The offset is in elements from the start of global
+    {e interior} storage (plane 1). *)

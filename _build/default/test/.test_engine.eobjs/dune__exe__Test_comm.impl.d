@@ -1,0 +1,1 @@
+test/test_comm.ml: Alcotest Array Cpufree_comm Cpufree_engine Cpufree_gpu Float Gen List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Astring Cpufree_comm Cpufree_core Cpufree_engine Cpufree_gpu Format Int List QCheck QCheck_alcotest

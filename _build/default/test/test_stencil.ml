@@ -1,0 +1,394 @@
+(* Tests for the stencil application library: problem geometry, compute
+   kernels, slab decomposition, all six execution variants (verified against
+   the sequential reference across GPU counts and dimensionalities), and the
+   scaling harness. *)
+
+module E = Cpufree_engine
+module G = Cpufree_gpu
+module S = Cpufree_stencil
+module Problem = S.Problem
+module Compute = S.Compute
+module Slab = S.Slab
+module Variants = S.Variants
+module Harness = S.Harness
+module Measure = Cpufree_core.Measure
+module Time = E.Time
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+let check_float msg = check (Alcotest.float 1e-9) msg
+
+let d2 nx ny = Problem.D2 { nx; ny }
+let d3 nx ny nz = Problem.D3 { nx; ny; nz }
+
+(* --- Problem ------------------------------------------------------------ *)
+
+let problem_tests =
+  [
+    Alcotest.test_case "plane geometry 2D" `Quick (fun () ->
+        let p = Problem.make (d2 16 8) ~iterations:1 in
+        check_int "plane" 16 (Problem.plane_elems p);
+        check_int "planes" 8 (Problem.planes_global p);
+        check_int "total" 128 (Problem.total_elems p));
+    Alcotest.test_case "plane geometry 3D" `Quick (fun () ->
+        let p = Problem.make (d3 4 5 6) ~iterations:1 in
+        check_int "plane" 20 (Problem.plane_elems p);
+        check_int "planes" 6 (Problem.planes_global p));
+    Alcotest.test_case "non-positive dims rejected" `Quick (fun () ->
+        Alcotest.check_raises "bad" (Invalid_argument "Problem.make: non-positive dimension")
+          (fun () -> ignore (Problem.make (d2 0 4) ~iterations:1)));
+    Alcotest.test_case "negative iterations rejected" `Quick (fun () ->
+        Alcotest.check_raises "bad" (Invalid_argument "Problem.make: negative iteration count")
+          (fun () -> ignore (Problem.make (d2 4 4) ~iterations:(-1))));
+    Alcotest.test_case "weak scaling alternates axes in 2D" `Quick (fun () ->
+        check Alcotest.string "x1" "256x256"
+          (Problem.dims_to_string (Problem.weak_scale (d2 256 256) ~gpus:1));
+        check Alcotest.string "x2" "512x256"
+          (Problem.dims_to_string (Problem.weak_scale (d2 256 256) ~gpus:2));
+        check Alcotest.string "x4" "512x512"
+          (Problem.dims_to_string (Problem.weak_scale (d2 256 256) ~gpus:4));
+        check Alcotest.string "x8" "1024x512"
+          (Problem.dims_to_string (Problem.weak_scale (d2 256 256) ~gpus:8)));
+    Alcotest.test_case "weak scaling alternates axes in 3D" `Quick (fun () ->
+        check Alcotest.string "x8" "128x128x128"
+          (Problem.dims_to_string (Problem.weak_scale (d3 64 64 64) ~gpus:8)));
+    Alcotest.test_case "weak scaling keeps per-GPU volume constant" `Quick (fun () ->
+        let base = Problem.make (d2 256 256) ~iterations:1 in
+        List.iter
+          (fun g ->
+            let p = { base with Problem.dims = Problem.weak_scale base.Problem.dims ~gpus:g } in
+            check_int "volume" (Problem.total_elems base) (Problem.total_elems p / g))
+          [ 1; 2; 4; 8; 16 ]);
+    Alcotest.test_case "weak scaling requires a power of two" `Quick (fun () ->
+        Alcotest.check_raises "bad"
+          (Invalid_argument "Problem.weak_scale: gpus must be a power of two") (fun () ->
+            ignore (Problem.weak_scale (d2 4 4) ~gpus:3)));
+    Alcotest.test_case "init_value is deterministic" `Quick (fun () ->
+        check_float "same" (Problem.init_value 1234) (Problem.init_value 1234));
+  ]
+
+(* --- Compute ------------------------------------------------------------ *)
+
+let mk_buf label n f =
+  let b = G.Buffer.create ~device:G.Buffer.host_device ~label n in
+  G.Buffer.init b f;
+  b
+
+let compute_tests =
+  [
+    Alcotest.test_case "2D update of one interior point" `Quick (fun () ->
+        (* 3 columns x (1 plane + 2 halos): interior cell gets the average of
+           its 4 neighbours; edge columns copy through. *)
+        let src = mk_buf "s" 9 float_of_int in
+        let dst = mk_buf "d" 9 (fun _ -> 0.0) in
+        Compute.apply (Problem.D2 { nx = 3; ny = 1 }) ~src ~dst ~p0:1 ~p1:1;
+        check_float "interior" (0.25 *. (1.0 +. 7.0 +. 3.0 +. 5.0)) (G.Buffer.get dst 4);
+        check_float "left edge copied" 3.0 (G.Buffer.get dst 3);
+        check_float "right edge copied" 5.0 (G.Buffer.get dst 5);
+        check_float "halo untouched" 0.0 (G.Buffer.get dst 0));
+    Alcotest.test_case "3D update averages six neighbours" `Quick (fun () ->
+        (* 3x3 planes, 3 planes of storage: only the very centre is interior. *)
+        let src = mk_buf "s" 27 float_of_int in
+        let dst = mk_buf "d" 27 (fun _ -> 0.0) in
+        Compute.apply (Problem.D3 { nx = 3; ny = 3; nz = 1 }) ~src ~dst ~p0:1 ~p1:1;
+        let expected = (4.0 +. 22.0 +. 10.0 +. 16.0 +. 12.0 +. 14.0) /. 6.0 in
+        check_float "centre" expected (G.Buffer.get dst 13);
+        (* y-edge rows copy through *)
+        check_float "y edge" 10.0 (G.Buffer.get dst 10));
+    Alcotest.test_case "phantom buffers short-circuit" `Quick (fun () ->
+        let src = G.Buffer.create ~phantom:true ~device:0 ~label:"s" 9 in
+        let dst = G.Buffer.create ~device:0 ~label:"d" 9 in
+        Compute.apply (Problem.D2 { nx = 3; ny = 1 }) ~src ~dst ~p0:1 ~p1:1;
+        check_float "untouched" 0.0 (G.Buffer.get dst 4));
+    Alcotest.test_case "reference preserves the fixed shell" `Quick (fun () ->
+        let p = Problem.make ~backed:true (d2 6 4) ~iterations:3 in
+        let r = Compute.reference p in
+        check_int "size" (Compute.global_storage_size p) (Array.length r);
+        (* Fixed top shell cell keeps its initial value. *)
+        check_float "shell" (Problem.init_value 2) r.(2));
+    Alcotest.test_case "reference converges toward smoothness" `Quick (fun () ->
+        (* Jacobi averaging must shrink the discrete range of the interior. *)
+        let p0 = Problem.make ~backed:true (d2 8 8) ~iterations:0 in
+        let p50 = { p0 with Problem.iterations = 50 } in
+        let range arr =
+          let lo = ref infinity and hi = ref neg_infinity in
+          let wd = 8 in
+          for r = 1 to 8 do
+            for c = 1 to 6 do
+              let v = arr.((r * wd) + c) in
+              if v < !lo then lo := v;
+              if v > !hi then hi := v
+            done
+          done;
+          !hi -. !lo
+        in
+        check_bool "smoother" true (range (Compute.reference p50) < range (Compute.reference p0)));
+  ]
+
+(* --- Slab --------------------------------------------------------------- *)
+
+let slab_tests =
+  [
+    Alcotest.test_case "balanced decomposition with remainder" `Quick (fun () ->
+        let p = Problem.make (d2 4 13) ~iterations:1 in
+        let slabs = List.init 4 (fun pe -> Slab.make p ~n_pes:4 ~pe) in
+        check (Alcotest.list Alcotest.int) "planes" [ 4; 3; 3; 3 ]
+          (List.map (fun s -> s.Slab.planes) slabs);
+        check (Alcotest.list Alcotest.int) "starts" [ 0; 4; 7; 10 ]
+          (List.map (fun s -> s.Slab.global_start) slabs));
+    Alcotest.test_case "offsets" `Quick (fun () ->
+        let p = Problem.make (d2 8 16) ~iterations:1 in
+        let s = Slab.make p ~n_pes:4 ~pe:1 in
+        check_int "storage" (6 * 8) (Slab.storage_elems s);
+        check_int "top halo" 0 (Slab.top_halo_off s);
+        check_int "top own" 8 (Slab.top_own_off s);
+        check_int "bottom own" 32 (Slab.bottom_own_off s);
+        check_int "bottom halo" 40 (Slab.bottom_halo_off s));
+    Alcotest.test_case "boundary and inner planes" `Quick (fun () ->
+        let p = Problem.make (d2 8 16) ~iterations:1 in
+        let s = Slab.make p ~n_pes:4 ~pe:0 in
+        check (Alcotest.list Alcotest.int) "boundary" [ 1; 4 ] (Slab.boundary_planes s);
+        check_bool "inner" true (Slab.inner_planes s = Some (2, 3));
+        check_int "inner elems" 16 (Slab.inner_elems s));
+    Alcotest.test_case "single-plane slab" `Quick (fun () ->
+        let p = Problem.make (d2 8 4) ~iterations:1 in
+        let s = Slab.make p ~n_pes:4 ~pe:2 in
+        check (Alcotest.list Alcotest.int) "boundary" [ 1 ] (Slab.boundary_planes s);
+        check_bool "no inner" true (Slab.inner_planes s = None));
+    Alcotest.test_case "more PEs than planes rejected" `Quick (fun () ->
+        let p = Problem.make (d2 8 2) ~iterations:1 in
+        Alcotest.check_raises "bad" (Invalid_argument "Slab.make: fewer planes than PEs")
+          (fun () -> ignore (Slab.make p ~n_pes:4 ~pe:0)));
+    Alcotest.test_case "init matches the global initializer" `Quick (fun () ->
+        let p = Problem.make ~backed:true (d2 4 8) ~iterations:1 in
+        let s = Slab.make p ~n_pes:2 ~pe:1 in
+        let b = G.Buffer.create ~device:1 ~label:"b" (Slab.storage_elems s) in
+        Slab.init_buffer s b;
+        (* Local element 0 is global plane 4 (pe 1's halo), index 16. *)
+        check_float "first" (Problem.init_value 16) (G.Buffer.get b 0);
+        check_float "mid" (Problem.init_value 21) (G.Buffer.get b 5));
+    Alcotest.test_case "extract_owned returns interior offset" `Quick (fun () ->
+        let p = Problem.make ~backed:true (d2 4 8) ~iterations:1 in
+        let s = Slab.make p ~n_pes:2 ~pe:1 in
+        let b = G.Buffer.create ~device:1 ~label:"b" (Slab.storage_elems s) in
+        Slab.init_buffer s b;
+        match Slab.extract_owned s b with
+        | None -> Alcotest.fail "no data"
+        | Some (off, values) ->
+          check_int "offset" 16 off;
+          check_int "len" 16 (Array.length values);
+          check_float "first owned" (Problem.init_value 20) values.(0));
+  ]
+
+(* --- Variants: verification matrix --------------------------------------- *)
+
+let verify_case kind dims gpus iterations =
+  let name =
+    Printf.sprintf "%s %s gpus=%d iters=%d" (Variants.name kind)
+      (Problem.dims_to_string dims) gpus iterations
+  in
+  Alcotest.test_case name `Quick (fun () ->
+      let problem = Problem.make ~backed:true dims ~iterations in
+      match Harness.verify kind problem ~gpus with
+      | Ok err -> check_bool "small error" true (err <= Harness.tolerance)
+      | Error m -> Alcotest.fail m)
+
+let verification_tests =
+  List.concat_map
+    (fun kind ->
+      [
+        verify_case kind (d2 24 24) 1 4;
+        verify_case kind (d2 24 24) 2 4;
+        verify_case kind (d2 24 24) 4 5;
+        verify_case kind (d2 24 24) 8 3;
+        verify_case kind (d3 8 8 16) 4 3;
+        verify_case kind (d3 6 6 24) 8 2;
+      ])
+    Variants.all
+  @ (* Uneven plane split exercises remainder handling (baselines only need
+       one plane per PE; cpu-free needs two). *)
+  List.concat_map
+    (fun kind -> [ verify_case kind (d2 16 13) 4 3 ])
+    [ Variants.Copy; Variants.Overlap; Variants.P2p; Variants.Nvshmem ]
+  @ [ verify_case Variants.Cpu_free (d2 16 13) 4 3 ]
+
+let variant_misc_tests =
+  [
+    Alcotest.test_case "names round-trip" `Quick (fun () ->
+        List.iter
+          (fun k -> check_bool "found" true (Variants.of_name (Variants.name k) = Some k))
+          Variants.extended;
+        check_bool "unknown" true (Variants.of_name "nope" = None));
+    Alcotest.test_case "two-kernel cpu-free matches the reference" `Quick (fun () ->
+        let problem = Problem.make ~backed:true (d2 24 24) ~iterations:4 in
+        match Harness.verify Variants.Cpu_free_multi problem ~gpus:4 with
+        | Ok err -> check_bool "small error" true (err <= Harness.tolerance)
+        | Error m -> Alcotest.fail m);
+    Alcotest.test_case "two-kernel cpu-free matches in 3D too" `Quick (fun () ->
+        let problem = Problem.make ~backed:true (d3 6 6 16) ~iterations:3 in
+        match Harness.verify Variants.Cpu_free_multi problem ~gpus:4 with
+        | Ok err -> check_bool "small error" true (err <= Harness.tolerance)
+        | Error m -> Alcotest.fail m);
+    Alcotest.test_case "two-kernel design performs close to single-kernel (the paper's claim)"
+      `Quick (fun () ->
+        (* Section 4: "We did not observe any significant performance
+           improvement or degradation from this design". *)
+        let problem = Problem.make (d2 2048 2048) ~iterations:20 in
+        let single = Harness.run Variants.Cpu_free problem ~gpus:8 in
+        let multi = Harness.run Variants.Cpu_free_multi problem ~gpus:8 in
+        let ratio =
+          Time.to_sec_float multi.Measure.total /. Time.to_sec_float single.Measure.total
+        in
+        check_bool "within 25%" true (ratio > 0.75 && ratio < 1.25));
+    Alcotest.test_case "zero iterations leaves the initial state" `Quick (fun () ->
+        let problem = Problem.make ~backed:true (d2 8 8) ~iterations:0 in
+        match Harness.verify Variants.Cpu_free problem ~gpus:2 with
+        | Ok err -> check_float "exact" 0.0 err
+        | Error m -> Alcotest.fail m);
+    Alcotest.test_case "cpu-free needs two planes per PE" `Quick (fun () ->
+        let problem = Problem.make (d2 8 4) ~iterations:1 in
+        let built = Variants.build Variants.Cpu_free problem ~gpus:4 in
+        match
+          Measure.run ~label:"x" ~gpus:4 ~iterations:1 built.Variants.program
+        with
+        | (_ : Measure.result) -> Alcotest.fail "expected Invalid_argument"
+        | exception Invalid_argument _ -> ());
+    Alcotest.test_case "no-compute mode still communicates (every variant)" `Quick (fun () ->
+        let problem = Problem.make ~compute:false (d2 64 64) ~iterations:5 in
+        List.iter
+          (fun kind ->
+            let r = Harness.run kind problem ~gpus:4 in
+            check_bool (Variants.name kind ^ " comm") true Time.(r.Measure.comm > Time.zero);
+            check_bool (Variants.name kind ^ " bytes") true (r.Measure.bytes_moved > 0))
+          Variants.extended);
+    Alcotest.test_case "cpu-free weak scaling stays near-flat" `Quick (fun () ->
+        let base = Problem.make (d2 256 256) ~iterations:20 in
+        let pts = Harness.weak_scaling Variants.Cpu_free ~base ~gpu_counts:[ 1; 2; 4; 8 ] in
+        List.iter
+          (fun (g, eff) ->
+            check_bool (Printf.sprintf "efficiency at %d" g) true (eff > 0.8))
+          (Harness.weak_efficiency pts));
+    Alcotest.test_case "phantom mode moves no data but same simulated time" `Quick (fun () ->
+        let run backed =
+          Harness.run Variants.Nvshmem
+            (Problem.make ~backed (d2 32 32) ~iterations:4)
+            ~gpus:4
+        in
+        let a = run true and b = run false in
+        check_int "identical timing" (Time.to_ns a.Measure.total) (Time.to_ns b.Measure.total));
+  ]
+
+(* Property: on random small domains the CPU-Free result equals the
+   CPU-controlled Copy baseline result bit for bit (they implement the same
+   numerical method). *)
+let variant_props =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"cpu-free matches reference on random domains" ~count:20
+         QCheck.(triple (int_range 4 20) (int_range 8 24) (int_range 0 6))
+         (fun (nx, ny, iterations) ->
+           let problem = Problem.make ~backed:true (Problem.D2 { nx; ny }) ~iterations in
+           match Harness.verify Variants.Cpu_free problem ~gpus:4 with
+           | Ok _ -> true
+           | Error _ -> false));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"nvshmem baseline matches reference on random 3D domains"
+         ~count:12
+         QCheck.(triple (int_range 3 8) (int_range 8 16) (int_range 1 4))
+         (fun (nx, nz, iterations) ->
+           let problem =
+             Problem.make ~backed:true (Problem.D3 { nx; ny = nx; nz }) ~iterations
+           in
+           match Harness.verify Variants.Nvshmem problem ~gpus:2 with
+           | Ok _ -> true
+           | Error _ -> false));
+  ]
+
+(* --- Harness / scaling ---------------------------------------------------- *)
+
+let scaling_tests =
+  [
+    Alcotest.test_case "weak scaling produces one point per count" `Quick (fun () ->
+        let base = Problem.make (d2 64 64) ~iterations:3 in
+        let pts = Harness.weak_scaling Variants.Nvshmem ~base ~gpu_counts:[ 1; 2; 4 ] in
+        check_int "points" 3 (List.length pts);
+        check (Alcotest.list Alcotest.int) "counts" [ 1; 2; 4 ]
+          (List.map (fun p -> p.Harness.gpus) pts));
+    Alcotest.test_case "weak efficiency starts at 1" `Quick (fun () ->
+        let base = Problem.make (d2 64 64) ~iterations:3 in
+        let pts = Harness.weak_scaling Variants.Cpu_free ~base ~gpu_counts:[ 1; 2 ] in
+        match Harness.weak_efficiency pts with
+        | (1, e) :: _ -> check_float "unity" 1.0 e
+        | _ -> Alcotest.fail "missing first point");
+    Alcotest.test_case "strong scaling keeps the domain fixed" `Quick (fun () ->
+        let problem = Problem.make (d2 64 64) ~iterations:3 in
+        let pts = Harness.strong_scaling Variants.Nvshmem problem ~gpu_counts:[ 2; 4 ] in
+        check_int "points" 2 (List.length pts));
+    Alcotest.test_case "verify requires backed buffers" `Quick (fun () ->
+        let problem = Problem.make (d2 16 16) ~iterations:1 in
+        match Harness.verify Variants.Copy problem ~gpus:2 with
+        | Ok _ -> Alcotest.fail "should refuse phantom"
+        | Error m -> check_bool "explains" true (Astring.String.is_infix ~affix:"backed" m));
+    Alcotest.test_case "cpu-free beats the fully CPU-controlled baseline (small domain)"
+      `Quick (fun () ->
+        let problem = Problem.make (d2 256 256) ~iterations:50 in
+        let copy = Harness.run Variants.Copy problem ~gpus:8 in
+        let free = Harness.run Variants.Cpu_free problem ~gpus:8 in
+        check_bool "faster" true Time.(free.Measure.total < copy.Measure.total);
+        let speedup = Measure.speedup_pct ~baseline:copy ~ours:free in
+        check_bool "large speedup" true (speedup > 50.0));
+    Alcotest.test_case "norm checking costs more under CPU control" `Quick (fun () ->
+        (* With a residual check every iteration, baselines pay a device
+           kernel + D2H copy + host allreduce; CPU-Free reduces on device. *)
+        let run kind norm =
+          let problem =
+            Problem.make ?norm_every:norm (d2 512 512) ~iterations:20
+          in
+          Harness.run kind problem ~gpus:4
+        in
+        let base_plain = run Variants.Nvshmem None in
+        let base_norm = run Variants.Nvshmem (Some 1) in
+        let free_plain = run Variants.Cpu_free None in
+        let free_norm = run Variants.Cpu_free (Some 1) in
+        check_bool "baseline pays" true
+          Time.(base_norm.Measure.total > base_plain.Measure.total);
+        check_bool "cpu-free pays" true
+          Time.(free_norm.Measure.total > free_plain.Measure.total);
+        let overhead r0 r1 =
+          Time.to_sec_float r1.Measure.total -. Time.to_sec_float r0.Measure.total
+        in
+        check_bool "cpu-free norm is cheaper" true
+          (overhead free_plain free_norm < overhead base_plain base_norm));
+    Alcotest.test_case "norm checking does not disturb the numerics" `Quick (fun () ->
+        let problem = Problem.make ~backed:true ~norm_every:2 (d2 16 16) ~iterations:4 in
+        List.iter
+          (fun kind ->
+            match Harness.verify kind problem ~gpus:4 with
+            | Ok _ -> ()
+            | Error m -> Alcotest.fail (Variants.name kind ^ ": " ^ m))
+          [ Variants.Copy; Variants.Nvshmem; Variants.Cpu_free; Variants.Cpu_free_multi ]);
+    Alcotest.test_case "norm_every must be positive" `Quick (fun () ->
+        Alcotest.check_raises "zero" (Invalid_argument "Problem.make: norm_every must be positive")
+          (fun () -> ignore (Problem.make ~norm_every:0 (d2 4 4) ~iterations:1)));
+    Alcotest.test_case "H100 runs the same workload faster" `Quick (fun () ->
+        let problem = Problem.make (d2 2048 2048) ~iterations:10 in
+        let a100 = Harness.run ~arch:G.Arch.a100_hgx Variants.Cpu_free problem ~gpus:4 in
+        let h100 = Harness.run ~arch:G.Arch.h100_hgx Variants.Cpu_free problem ~gpus:4 in
+        check_bool "faster" true Time.(h100.Measure.total < a100.Measure.total));
+    Alcotest.test_case "traced run produces device lanes" `Quick (fun () ->
+        let problem = Problem.make (d2 64 64) ~iterations:2 in
+        let _, trace = Harness.run_traced Variants.Overlap problem ~gpus:2 in
+        check_bool "lanes" true (List.length (E.Trace.lanes trace) >= 2));
+  ]
+
+let () =
+  Alcotest.run "stencil"
+    [
+      ("problem", problem_tests);
+      ("compute", compute_tests);
+      ("slab", slab_tests);
+      ("variants-verify", verification_tests);
+      ("variants-misc", variant_misc_tests @ variant_props);
+      ("harness", scaling_tests);
+    ]
