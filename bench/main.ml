@@ -1,8 +1,16 @@
 (* Benchmark harness: regenerates every figure of the paper's evaluation on
    the simulated 8x A100 machine and prints the same series the paper plots.
 
+   Every figure sweep is a list of independent scenarios (each owns its own
+   engine) executed on the Parallel domain pool, so the harness scales with
+   host cores while the simulated results stay bit-identical to a
+   sequential run. Pool size: CPUFREE_JOBS env var, default the host core
+   count. Wall-clock chatter goes to stderr so stdout is byte-identical
+   across pool sizes.
+
    Run: dune exec bench/main.exe            (all figures)
         dune exec bench/main.exe -- quick   (skip the largest sweeps)
+        dune exec bench/main.exe -- json    (also write BENCH_results.json)
         dune exec bench/main.exe -- bechamel (also run wall-clock microbenches)
 
    Figure index (see DESIGN.md / EXPERIMENTS.md):
@@ -21,6 +29,8 @@ module G = Cpufree_gpu
 module S = Cpufree_stencil
 module D = Cpufree_dace
 module Measure = Cpufree_core.Measure
+module Parallel = Cpufree_core.Parallel
+module J = Cpufree_core.Json
 module Metrics = Cpufree_comm.Metrics
 module Time = E.Time
 
@@ -30,6 +40,8 @@ let iterations = 50
 let us t = Time.to_us_float t
 let ms t = Time.to_ms_float t
 
+let wall () = Unix.gettimeofday ()
+
 let header title =
   Printf.printf "\n==================================================================\n";
   Printf.printf "%s\n" title;
@@ -37,10 +49,88 @@ let header title =
 
 let stencil_variants = S.Variants.all
 
-let run_stencil kind problem gpus = S.Harness.run kind problem ~gpus
+(* ---------------------------------------------------------------- *)
+(* JSON result collection (`-- json` mode)                           *)
+(* ---------------------------------------------------------------- *)
+
+let json_figures : J.t list ref = ref []
+
+(* One JSON point per scenario: simulated times are integer nanoseconds so
+   the series is exact, not a formatting artifact. *)
+let point ?(extra = []) ~label ~gpus (r : Measure.result) =
+  J.Obj
+    ([
+       ("label", J.String label);
+       ("gpus", J.Int gpus);
+       ("iterations", J.Int r.Measure.iterations);
+       ("total_ns", J.Int (Time.to_ns r.Measure.total));
+       ("per_iter_ns", J.Int (Time.to_ns r.Measure.per_iter));
+       ("comm_ns", J.Int (Time.to_ns r.Measure.comm));
+       ("overlap_pct", J.Float (r.Measure.overlap *. 100.0));
+       ("bytes_moved", J.Int r.Measure.bytes_moved);
+     ]
+    @ extra)
+
+(* Run [f] as one named figure: record its points and wall-clock. *)
+let figure name f =
+  let t0 = wall () in
+  let points, value = f () in
+  json_figures :=
+    J.Obj
+      [
+        ("figure", J.String name);
+        ("wall_clock_sec", J.Float (wall () -. t0));
+        ("points", J.List points);
+      ]
+    :: !json_figures;
+  value
 
 (* ---------------------------------------------------------------- *)
-(* Fig 2.1b / 5.1b: timelines                                        *)
+(* Scenario-grid helpers: gpus × variant sweeps through the pool     *)
+(* ---------------------------------------------------------------- *)
+
+(* Cross product in row-major (gpus-major) order, matching the printed
+   tables; the pool preserves this order in its result list. *)
+let stencil_grid ~problem_of =
+  let cells =
+    List.concat_map
+      (fun gpus -> List.map (fun kind -> (gpus, kind)) stencil_variants)
+      gpu_counts
+  in
+  let scenarios =
+    List.map (fun (gpus, kind) -> S.Harness.scenario kind (problem_of ~gpus ~kind) ~gpus) cells
+  in
+  List.combine cells (S.Harness.run_many scenarios)
+
+let variant_row_header () =
+  Printf.printf "%6s" "gpus";
+  List.iter (fun k -> Printf.printf " %18s" (S.Variants.name k)) stencil_variants;
+  print_newline ()
+
+(* Print a grid as one row per GPU count, one column per variant, and turn
+   it into JSON points. [domain_of] adds the domain column of Fig 6.1. *)
+let print_grid ?domain_of grid =
+  (match domain_of with
+  | None -> variant_row_header ()
+  | Some _ ->
+    Printf.printf "%6s %14s" "gpus" "domain";
+    List.iter (fun k -> Printf.printf " %18s" (S.Variants.name k)) stencil_variants;
+    print_newline ());
+  List.iter
+    (fun gpus ->
+      Printf.printf "%6d" gpus;
+      (match domain_of with
+      | None -> ()
+      | Some f -> Printf.printf " %14s" (S.Problem.dims_to_string (f ~gpus)));
+      List.iter
+        (fun ((_, _), r) -> Printf.printf " %18.2f" (us r.Measure.per_iter))
+        (List.filter (fun ((g, _), _) -> g = gpus) grid);
+      print_newline ())
+    gpu_counts;
+  List.map (fun ((gpus, kind), r) -> point ~label:(S.Variants.name kind) ~gpus r) grid
+
+(* ---------------------------------------------------------------- *)
+(* Fig 2.1b / 3.1 / 5.1b: timelines                                  *)
 (* ---------------------------------------------------------------- *)
 
 let print_filtered_timeline trace =
@@ -58,118 +148,131 @@ let print_filtered_timeline trace =
     (E.Trace.spans trace);
   print_string (E.Trace.render_ascii ~width:96 filtered)
 
-let fig2_1b () =
-  header
-    "Fig 2.1b  Nsight-style timeline: CPU-controlled overlapping stencil (2D 256^2, 8 GPUs, 3 \
-     iterations; 2 devices shown)";
-  let problem = S.Problem.make (S.Problem.D2 { nx = 256; ny = 256 }) ~iterations:3 in
-  let _, trace = S.Harness.run_traced S.Variants.Overlap problem ~gpus:8 in
-  print_filtered_timeline trace
+let timeline_points label (r, trace) =
+  [
+    point ~label ~gpus:r.Measure.gpus r
+      ~extra:[ ("spans", J.Int (List.length (E.Trace.spans trace))) ];
+  ]
 
-let fig3_1 () =
-  header
-    "Fig 3.1 (concept)  CPU-Free execution timeline: one cooperative launch, then only device \
-     activity (2D 256^2, 8 GPUs, 3 iterations; 2 devices shown)";
-  let problem = S.Problem.make (S.Problem.D2 { nx = 256; ny = 256 }) ~iterations:3 in
-  let _, trace = S.Harness.run_traced S.Variants.Cpu_free problem ~gpus:8 in
-  print_filtered_timeline trace
-
-let fig5_1b () =
-  header "Fig 5.1b  Timeline: distributed DaCe MPI baseline (Jacobi 2D, 4 GPUs, 2 iterations)";
-  let app = D.Pipeline.Jacobi2d { D.Programs.nx_global = 512; ny_global = 512; tsteps = 2 } in
-  let _, trace = D.Pipeline.run_traced app D.Pipeline.Baseline_mpi ~gpus:4 in
-  print_filtered_timeline trace
+(* The three timeline figures are single traced scenarios; they still go
+   through the pool, as one batch of three. *)
+let timelines () =
+  let p2d iters = S.Problem.make (S.Problem.D2 { nx = 256; ny = 256 }) ~iterations:iters in
+  let run_thunks =
+    [
+      (fun () -> S.Harness.run_traced S.Variants.Overlap (p2d 3) ~gpus:8);
+      (fun () -> S.Harness.run_traced S.Variants.Cpu_free (p2d 3) ~gpus:8);
+      (fun () ->
+        let app = D.Pipeline.Jacobi2d { D.Programs.nx_global = 512; ny_global = 512; tsteps = 2 } in
+        D.Pipeline.run_traced app D.Pipeline.Baseline_mpi ~gpus:4);
+    ]
+  in
+  match Parallel.map (fun f -> f ()) run_thunks with
+  | [ overlap; cpu_free; dace ] ->
+    figure "fig2.1b" (fun () ->
+        header
+          "Fig 2.1b  Nsight-style timeline: CPU-controlled overlapping stencil (2D 256^2, 8 \
+           GPUs, 3 iterations; 2 devices shown)";
+        print_filtered_timeline (snd overlap);
+        (timeline_points "baseline-overlap" overlap, ()));
+    figure "fig3.1" (fun () ->
+        header
+          "Fig 3.1 (concept)  CPU-Free execution timeline: one cooperative launch, then only \
+           device activity (2D 256^2, 8 GPUs, 3 iterations; 2 devices shown)";
+        print_filtered_timeline (snd cpu_free);
+        (timeline_points "cpu-free" cpu_free, ()));
+    figure "fig5.1b" (fun () ->
+        header
+          "Fig 5.1b  Timeline: distributed DaCe MPI baseline (Jacobi 2D, 4 GPUs, 2 iterations)";
+        print_filtered_timeline (snd dace);
+        (timeline_points "dace-baseline" dace, ()))
+  | _ -> assert false
 
 (* ---------------------------------------------------------------- *)
 (* Fig 2.2: motivation — overheads and overlap                       *)
 (* ---------------------------------------------------------------- *)
 
-let variant_row_header () =
-  Printf.printf "%6s" "gpus";
-  List.iter (fun k -> Printf.printf " %18s" (S.Variants.name k)) stencil_variants;
-  print_newline ()
-
 let fig2_2a () =
-  header
-    "Fig 2.2a  Pure communication + synchronization overhead, no computation (2D 256^2 weak \
-     scaling, per-iteration time in us)";
-  variant_row_header ();
-  List.iter
-    (fun gpus ->
-      Printf.printf "%6d" gpus;
-      List.iter
-        (fun kind ->
-          let dims = S.Problem.weak_scale (S.Problem.D2 { nx = 256; ny = 256 }) ~gpus in
-          let problem = S.Problem.make ~compute:false dims ~iterations in
-          let r = run_stencil kind problem gpus in
-          Printf.printf " %18.2f" (us r.Measure.per_iter))
-        stencil_variants;
-      print_newline ())
-    gpu_counts
+  figure "fig2.2a" (fun () ->
+      let grid =
+        stencil_grid ~problem_of:(fun ~gpus ~kind:_ ->
+            let dims = S.Problem.weak_scale (S.Problem.D2 { nx = 256; ny = 256 }) ~gpus in
+            S.Problem.make ~compute:false dims ~iterations)
+      in
+      header
+        "Fig 2.2a  Pure communication + synchronization overhead, no computation (2D 256^2 \
+         weak scaling, per-iteration time in us)";
+      (print_grid grid, ()))
 
 let fig2_2b () =
-  header
-    "Fig 2.2b  Communication overlap ratio and total execution time (2D 256^2 per GPU, 8 GPUs)";
-  Printf.printf "%-22s %12s %14s %12s %12s %14s\n" "variant" "total(ms)" "comm-wall(ms)"
-    "overlap(%)" "comm(%)" "non-compute(%)";
-  List.iter
-    (fun kind ->
+  figure "fig2.2b" (fun () ->
       let dims = S.Problem.weak_scale (S.Problem.D2 { nx = 256; ny = 256 }) ~gpus:8 in
       let problem = S.Problem.make dims ~iterations in
-      let r, trace = S.Harness.run_traced kind problem ~gpus:8 in
-      let comm_frac = Metrics.comm_fraction trace ~total:r.Measure.total *. 100.0 in
-      (* The paper's "communication takes 96% of execution" counts everything
-         that is not computation: API calls, synchronization, transfers. *)
-      let non_compute =
-        let compute = Time.to_sec_float (Metrics.compute_time trace) in
-        let total = Time.to_sec_float r.Measure.total in
-        if total = 0.0 then 0.0 else (total -. compute) /. total *. 100.0
+      let traced =
+        S.Harness.run_many_traced
+          (List.map (fun kind -> S.Harness.scenario kind problem ~gpus:8) stencil_variants)
       in
-      Printf.printf "%-22s %12.3f %14.3f %12.1f %12.1f %14.1f\n" (S.Variants.name kind)
-        (ms r.Measure.total) (ms r.Measure.comm) (r.Measure.overlap *. 100.0) comm_frac
-        non_compute)
-    stencil_variants
+      header
+        "Fig 2.2b  Communication overlap ratio and total execution time (2D 256^2 per GPU, 8 \
+         GPUs)";
+      Printf.printf "%-22s %12s %14s %12s %12s %14s\n" "variant" "total(ms)" "comm-wall(ms)"
+        "overlap(%)" "comm(%)" "non-compute(%)";
+      let points =
+        List.map2
+          (fun kind (r, trace) ->
+            let comm_frac = Metrics.comm_fraction trace ~total:r.Measure.total *. 100.0 in
+            (* The paper's "communication takes 96% of execution" counts everything
+               that is not computation: API calls, synchronization, transfers. *)
+            let non_compute =
+              let compute = Time.to_sec_float (Metrics.compute_time trace) in
+              let total = Time.to_sec_float r.Measure.total in
+              if total = 0.0 then 0.0 else (total -. compute) /. total *. 100.0
+            in
+            Printf.printf "%-22s %12.3f %14.3f %12.1f %12.1f %14.1f\n" (S.Variants.name kind)
+              (ms r.Measure.total) (ms r.Measure.comm) (r.Measure.overlap *. 100.0) comm_frac
+              non_compute;
+            point ~label:(S.Variants.name kind) ~gpus:8 r
+              ~extra:
+                [
+                  ("comm_frac_pct", J.Float comm_frac); ("non_compute_pct", J.Float non_compute);
+                ])
+          stencil_variants traced
+      in
+      (points, ()))
 
 (* ---------------------------------------------------------------- *)
 (* Fig 6.1: 2D weak scaling, three domain classes                    *)
 (* ---------------------------------------------------------------- *)
 
-let weak_scaling_table ~title ~dims_base ~iterations =
-  header title;
-  Printf.printf "%6s %14s" "gpus" "domain";
-  List.iter (fun k -> Printf.printf " %18s" (S.Variants.name k)) stencil_variants;
-  print_newline ();
-  let results = Hashtbl.create 64 in
-  List.iter
-    (fun gpus ->
-      let dims = S.Problem.weak_scale dims_base ~gpus in
-      Printf.printf "%6d %14s" gpus (S.Problem.dims_to_string dims);
+let weak_scaling_table ~figure_name ~title ~dims_base ~iterations =
+  figure figure_name (fun () ->
+      let grid =
+        stencil_grid ~problem_of:(fun ~gpus ~kind:_ ->
+            S.Problem.make (S.Problem.weak_scale dims_base ~gpus) ~iterations)
+      in
+      header title;
+      let points = print_grid ~domain_of:(fun ~gpus -> S.Problem.weak_scale dims_base ~gpus) grid in
+      let results = Hashtbl.create 64 in
       List.iter
-        (fun kind ->
-          let problem = S.Problem.make dims ~iterations in
-          let r = run_stencil kind problem gpus in
-          Hashtbl.replace results (S.Variants.name kind, gpus) r;
-          Printf.printf " %18.2f" (us r.Measure.per_iter))
-        stencil_variants;
-      print_newline ())
-    gpu_counts;
-  results
+        (fun ((gpus, kind), r) -> Hashtbl.replace results (S.Variants.name kind, gpus) r)
+        grid;
+      (points, results))
 
 let fig6_1 () =
   let small =
-    weak_scaling_table
+    weak_scaling_table ~figure_name:"fig6.1.small"
       ~title:"Fig 6.1 (left)  2D Jacobi weak scaling, small domain 256^2/GPU (per-iter us)"
       ~dims_base:(S.Problem.D2 { nx = 256; ny = 256 })
       ~iterations
   in
   let medium =
-    weak_scaling_table
+    weak_scaling_table ~figure_name:"fig6.1.medium"
       ~title:"Fig 6.1 (middle)  2D Jacobi weak scaling, medium domain 2048^2/GPU (per-iter us)"
       ~dims_base:(S.Problem.D2 { nx = 2048; ny = 2048 })
       ~iterations
   in
   let large =
-    weak_scaling_table
+    weak_scaling_table ~figure_name:"fig6.1.large"
       ~title:"Fig 6.1 (right)  2D Jacobi weak scaling, large domain 8192^2/GPU (per-iter us)"
       ~dims_base:(S.Problem.D2 { nx = 8192; ny = 8192 })
       ~iterations
@@ -182,61 +285,47 @@ let fig6_1 () =
 
 let fig6_2 () =
   let weak =
-    weak_scaling_table
+    weak_scaling_table ~figure_name:"fig6.2.weak"
       ~title:"Fig 6.2 (left)  3D Jacobi 7pt weak scaling, 256^3/GPU (per-iter us)"
       ~dims_base:(S.Problem.D3 { nx = 256; ny = 256; nz = 256 })
       ~iterations
   in
-  header
-    "Fig 6.2 (middle)  3D Jacobi no-compute communication time at the largest domain (us/iter)";
-  variant_row_header ();
-  List.iter
-    (fun gpus ->
-      Printf.printf "%6d" gpus;
-      List.iter
-        (fun kind ->
-          let dims =
-            S.Problem.weak_scale (S.Problem.D3 { nx = 256; ny = 256; nz = 256 }) ~gpus
-          in
-          let problem = S.Problem.make ~compute:false dims ~iterations in
-          let r = run_stencil kind problem gpus in
-          Printf.printf " %18.2f" (us r.Measure.per_iter))
-        stencil_variants;
-      print_newline ())
-    gpu_counts;
-  header "Fig 6.2 (right)  3D Jacobi strong scaling, constant 512x512x512 domain (per-iter us)";
-  variant_row_header ();
-  let strong = Hashtbl.create 16 in
-  List.iter
-    (fun gpus ->
-      Printf.printf "%6d" gpus;
-      List.iter
-        (fun kind ->
-          let problem =
-            S.Problem.make (S.Problem.D3 { nx = 512; ny = 512; nz = 512 }) ~iterations
-          in
-          let r = run_stencil kind problem gpus in
-          Hashtbl.replace strong (S.Variants.name kind, gpus) r;
-          Printf.printf " %18.2f" (us r.Measure.per_iter))
-        stencil_variants;
-      print_newline ())
-    gpu_counts;
-  header "Fig 6.2 (right, no compute)  strong-scaling communication-only time (per-iter us)";
-  variant_row_header ();
-  List.iter
-    (fun gpus ->
-      Printf.printf "%6d" gpus;
-      List.iter
-        (fun kind ->
-          let problem =
+  figure "fig6.2.nocompute" (fun () ->
+      let grid =
+        stencil_grid ~problem_of:(fun ~gpus ~kind:_ ->
+            let dims =
+              S.Problem.weak_scale (S.Problem.D3 { nx = 256; ny = 256; nz = 256 }) ~gpus
+            in
+            S.Problem.make ~compute:false dims ~iterations)
+      in
+      header
+        "Fig 6.2 (middle)  3D Jacobi no-compute communication time at the largest domain \
+         (us/iter)";
+      (print_grid grid, ()));
+  let strong =
+    figure "fig6.2.strong" (fun () ->
+        let grid =
+          stencil_grid ~problem_of:(fun ~gpus:_ ~kind:_ ->
+              S.Problem.make (S.Problem.D3 { nx = 512; ny = 512; nz = 512 }) ~iterations)
+        in
+        header
+          "Fig 6.2 (right)  3D Jacobi strong scaling, constant 512x512x512 domain (per-iter us)";
+        let points = print_grid grid in
+        let strong = Hashtbl.create 16 in
+        List.iter
+          (fun ((gpus, kind), r) -> Hashtbl.replace strong (S.Variants.name kind, gpus) r)
+          grid;
+        (points, strong))
+  in
+  figure "fig6.2.strong-nocompute" (fun () ->
+      let grid =
+        stencil_grid ~problem_of:(fun ~gpus:_ ~kind:_ ->
             S.Problem.make ~compute:false (S.Problem.D3 { nx = 512; ny = 512; nz = 512 })
-              ~iterations
-          in
-          let r = run_stencil kind problem gpus in
-          Printf.printf " %18.2f" (us r.Measure.per_iter))
-        stencil_variants;
-      print_newline ())
-    gpu_counts;
+              ~iterations)
+      in
+      header
+        "Fig 6.2 (right, no compute)  strong-scaling communication-only time (per-iter us)";
+      (print_grid grid, ()));
   (weak, strong)
 
 (* ---------------------------------------------------------------- *)
@@ -245,174 +334,268 @@ let fig6_2 () =
 
 let dace_arms = [ D.Pipeline.Baseline_mpi; D.Pipeline.Cpu_free ]
 
+(* gpus × arm sweep through the pool, row-major like the tables. *)
+let dace_grid ~app_of =
+  let cells =
+    List.concat_map (fun gpus -> List.map (fun arm -> (gpus, arm)) dace_arms) gpu_counts
+  in
+  let results = Parallel.map (fun (gpus, arm) -> D.Pipeline.run (app_of ~gpus) arm ~gpus) cells in
+  List.combine cells results
+
 let fig6_3a () =
-  header "Fig 6.3a  DaCe Jacobi 1D weak scaling, 2^23 elems/GPU (total ms and comm-wall ms)";
-  Printf.printf "%6s %16s %12s %12s %16s %12s %12s\n" "gpus" "" "total" "comm" "" "total" "comm";
-  let store = Hashtbl.create 16 in
-  List.iter
-    (fun gpus ->
-      Printf.printf "%6d" gpus;
+  figure "fig6.3a" (fun () ->
+      let grid =
+        dace_grid ~app_of:(fun ~gpus ->
+            D.Pipeline.Jacobi1d { D.Programs.n_global = (1 lsl 23) * gpus; tsteps = iterations })
+      in
+      header "Fig 6.3a  DaCe Jacobi 1D weak scaling, 2^23 elems/GPU (total ms and comm-wall ms)";
+      Printf.printf "%6s %16s %12s %12s %16s %12s %12s\n" "gpus" "" "total" "comm" "" "total"
+        "comm";
+      let store = Hashtbl.create 16 in
       List.iter
-        (fun arm ->
-          let app =
-            D.Pipeline.Jacobi1d { D.Programs.n_global = (1 lsl 23) * gpus; tsteps = iterations }
-          in
-          let r = D.Pipeline.run app arm ~gpus in
-          Hashtbl.replace store (D.Pipeline.arm_name arm, gpus) r;
-          Printf.printf " %16s %12.3f %12.3f" (D.Pipeline.arm_name arm) (ms r.Measure.total)
-            (ms r.Measure.comm))
-        dace_arms;
-      print_newline ())
-    gpu_counts;
-  store
+        (fun gpus ->
+          Printf.printf "%6d" gpus;
+          List.iter
+            (fun ((_, arm), r) ->
+              Hashtbl.replace store (D.Pipeline.arm_name arm, gpus) r;
+              Printf.printf " %16s %12.3f %12.3f" (D.Pipeline.arm_name arm) (ms r.Measure.total)
+                (ms r.Measure.comm))
+            (List.filter (fun ((g, _), _) -> g = gpus) grid);
+          print_newline ())
+        gpu_counts;
+      let points =
+        List.map (fun ((gpus, arm), r) -> point ~label:(D.Pipeline.arm_name arm) ~gpus r) grid
+      in
+      (points, store))
 
 let fig6_3b () =
-  header "Fig 6.3b  DaCe Jacobi 2D weak scaling, 2048^2/GPU (total ms; strided columns)";
-  Printf.printf "%6s %14s %16s %12s %16s %12s\n" "gpus" "domain" "" "total" "" "total";
-  let store = Hashtbl.create 16 in
-  List.iter
-    (fun gpus ->
-      let dims = S.Problem.weak_scale (S.Problem.D2 { nx = 2048; ny = 2048 }) ~gpus in
-      let nx, ny = match dims with S.Problem.D2 { nx; ny } -> (nx, ny) | _ -> assert false in
-      Printf.printf "%6d %14s" gpus (S.Problem.dims_to_string dims);
+  figure "fig6.3b" (fun () ->
+      let dims_of gpus = S.Problem.weak_scale (S.Problem.D2 { nx = 2048; ny = 2048 }) ~gpus in
+      let grid =
+        dace_grid ~app_of:(fun ~gpus ->
+            let nx, ny =
+              match dims_of gpus with S.Problem.D2 { nx; ny } -> (nx, ny) | _ -> assert false
+            in
+            D.Pipeline.Jacobi2d { D.Programs.nx_global = nx; ny_global = ny; tsteps = iterations })
+      in
+      header "Fig 6.3b  DaCe Jacobi 2D weak scaling, 2048^2/GPU (total ms; strided columns)";
+      Printf.printf "%6s %14s %16s %12s %16s %12s\n" "gpus" "domain" "" "total" "" "total";
+      let store = Hashtbl.create 16 in
       List.iter
-        (fun arm ->
-          let app =
-            D.Pipeline.Jacobi2d
-              { D.Programs.nx_global = nx; ny_global = ny; tsteps = iterations }
-          in
-          let r = D.Pipeline.run app arm ~gpus in
-          Hashtbl.replace store (D.Pipeline.arm_name arm, gpus) r;
-          Printf.printf " %16s %12.3f" (D.Pipeline.arm_name arm) (ms r.Measure.total))
-        dace_arms;
-      print_newline ())
-    gpu_counts;
-  (* Weak-scaling efficiency of the CPU-Free arm (paper: 81.2%). *)
-  (match
-     (Hashtbl.find_opt store ("dace-cpu-free", 1), Hashtbl.find_opt store ("dace-cpu-free", 8))
-   with
-  | Some (r1 : Measure.result), Some r8 ->
-    Printf.printf "CPU-Free weak scaling efficiency at 8 GPUs: %.1f%%\n"
-      (Time.to_sec_float r1.Measure.total /. Time.to_sec_float r8.Measure.total *. 100.0)
-  | _ -> ());
-  store
+        (fun gpus ->
+          Printf.printf "%6d %14s" gpus (S.Problem.dims_to_string (dims_of gpus));
+          List.iter
+            (fun ((_, arm), r) ->
+              Hashtbl.replace store (D.Pipeline.arm_name arm, gpus) r;
+              Printf.printf " %16s %12.3f" (D.Pipeline.arm_name arm) (ms r.Measure.total))
+            (List.filter (fun ((g, _), _) -> g = gpus) grid);
+          print_newline ())
+        gpu_counts;
+      (* Weak-scaling efficiency of the CPU-Free arm (paper: 81.2%). *)
+      (match
+         (Hashtbl.find_opt store ("dace-cpu-free", 1), Hashtbl.find_opt store ("dace-cpu-free", 8))
+       with
+      | Some (r1 : Measure.result), Some r8 ->
+        Printf.printf "CPU-Free weak scaling efficiency at 8 GPUs: %.1f%%\n"
+          (Time.to_sec_float r1.Measure.total /. Time.to_sec_float r8.Measure.total *. 100.0)
+      | _ -> ());
+      let points =
+        List.map (fun ((gpus, arm), r) -> point ~label:(D.Pipeline.arm_name arm) ~gpus r) grid
+      in
+      (points, store))
 
 (* ---------------------------------------------------------------- *)
 (* Headline speedups                                                  *)
 (* ---------------------------------------------------------------- *)
 
 let pct_line label paper measured =
-  Printf.printf "  %-58s paper: %6.1f%%   measured: %6.1f%%\n" label paper measured
+  Printf.printf "  %-58s paper: %6.1f%%   measured: %6.1f%%\n" label paper measured;
+  J.Obj
+    [ ("comparison", J.String label); ("paper_pct", J.Float paper); ("measured_pct", J.Float measured) ]
 
 let headline (small, medium, large) dace1d dace2d =
-  header "Headline speedups: paper vs measured (speedup% = (Tb - To) / Tb * 100)";
-  let get tbl kind gpus : Measure.result = Hashtbl.find tbl (S.Variants.name kind, gpus) in
-  let sp b o = Measure.speedup_pct ~baseline:b ~ours:o in
-  pct_line "2D small, CPU-Free vs best baseline (NVSHMEM), 8 GPUs" 41.6
-    (sp (get small S.Variants.Nvshmem 8) (get small S.Variants.Cpu_free 8));
-  pct_line "2D medium, CPU-Free vs best baseline (NVSHMEM), 8 GPUs" 48.2
-    (sp (get medium S.Variants.Nvshmem 8) (get medium S.Variants.Cpu_free 8));
-  pct_line "2D small, CPU-Free vs Baseline Copy (fully CPU-controlled)" 96.2
-    (sp (get small S.Variants.Copy 8) (get small S.Variants.Cpu_free 8));
-  pct_line "2D medium, CPU-Free vs Baseline Overlap" 95.7
-    (sp (get medium S.Variants.Overlap 8) (get medium S.Variants.Cpu_free 8));
-  pct_line "2D large, multi-GPU PERKS vs best baseline, 8 GPUs" 18.8
-    (sp (get large S.Variants.Nvshmem 8) (get large S.Variants.Perks 8));
-  let d1 arm g : Measure.result = Hashtbl.find dace1d (arm, g) in
-  let d2 arm g : Measure.result = Hashtbl.find dace2d (arm, g) in
-  pct_line "DaCe Jacobi 1D, CPU-Free vs MPI baseline (total), 8 GPUs" 44.5
-    (sp (d1 "dace-baseline" 8) (d1 "dace-cpu-free" 8));
-  let comm_sp =
-    let b = (d1 "dace-baseline" 8).Measure.comm and o = (d1 "dace-cpu-free" 8).Measure.comm in
-    (Time.to_sec_float b -. Time.to_sec_float o) /. Time.to_sec_float b *. 100.0
-  in
-  pct_line "DaCe Jacobi 1D, communication latency reduction, 8 GPUs" 26.8 comm_sp;
-  pct_line "DaCe Jacobi 2D, CPU-Free vs MPI baseline (total), 8 GPUs" 96.8
-    (sp (d2 "dace-baseline" 8) (d2 "dace-cpu-free" 8))
+  figure "headline" (fun () ->
+      header "Headline speedups: paper vs measured (speedup% = (Tb - To) / Tb * 100)";
+      let get tbl kind gpus : Measure.result = Hashtbl.find tbl (S.Variants.name kind, gpus) in
+      let sp b o = Measure.speedup_pct ~baseline:b ~ours:o in
+      let points = ref [] in
+      let line label paper measured = points := pct_line label paper measured :: !points in
+      line "2D small, CPU-Free vs best baseline (NVSHMEM), 8 GPUs" 41.6
+        (sp (get small S.Variants.Nvshmem 8) (get small S.Variants.Cpu_free 8));
+      line "2D medium, CPU-Free vs best baseline (NVSHMEM), 8 GPUs" 48.2
+        (sp (get medium S.Variants.Nvshmem 8) (get medium S.Variants.Cpu_free 8));
+      line "2D small, CPU-Free vs Baseline Copy (fully CPU-controlled)" 96.2
+        (sp (get small S.Variants.Copy 8) (get small S.Variants.Cpu_free 8));
+      line "2D medium, CPU-Free vs Baseline Overlap" 95.7
+        (sp (get medium S.Variants.Overlap 8) (get medium S.Variants.Cpu_free 8));
+      line "2D large, multi-GPU PERKS vs best baseline, 8 GPUs" 18.8
+        (sp (get large S.Variants.Nvshmem 8) (get large S.Variants.Perks 8));
+      let d1 arm g : Measure.result = Hashtbl.find dace1d (arm, g) in
+      let d2 arm g : Measure.result = Hashtbl.find dace2d (arm, g) in
+      line "DaCe Jacobi 1D, CPU-Free vs MPI baseline (total), 8 GPUs" 44.5
+        (sp (d1 "dace-baseline" 8) (d1 "dace-cpu-free" 8));
+      let comm_sp =
+        let b = (d1 "dace-baseline" 8).Measure.comm and o = (d1 "dace-cpu-free" 8).Measure.comm in
+        (Time.to_sec_float b -. Time.to_sec_float o) /. Time.to_sec_float b *. 100.0
+      in
+      line "DaCe Jacobi 1D, communication latency reduction, 8 GPUs" 26.8 comm_sp;
+      line "DaCe Jacobi 2D, CPU-Free vs MPI baseline (total), 8 GPUs" 96.8
+        (sp (d2 "dace-baseline" 8) (d2 "dace-cpu-free" 8));
+      (List.rev !points, ()))
 
 (* ---------------------------------------------------------------- *)
 (* Supplementary: convergence-checked iterations                     *)
 (* ---------------------------------------------------------------- *)
 
 let supplementary_norm () =
-  header
-    "Supplementary  Residual check every iteration (NVIDIA-sample style): host-round-trip \
-     allreduce vs device-side allreduce (2D medium, 8 GPUs, per-iter us)";
-  Printf.printf "%-22s %14s %16s %12s\n" "variant" "plain" "with norm" "penalty";
-  let dims = S.Problem.weak_scale (S.Problem.D2 { nx = 2048; ny = 2048 }) ~gpus:8 in
-  List.iter
-    (fun kind ->
-      let run norm =
-        S.Harness.run kind (S.Problem.make ?norm_every:norm dims ~iterations:30) ~gpus:8
+  figure "supplementary.norm" (fun () ->
+      let kinds = [ S.Variants.Copy; S.Variants.Nvshmem; S.Variants.Cpu_free ] in
+      let dims = S.Problem.weak_scale (S.Problem.D2 { nx = 2048; ny = 2048 }) ~gpus:8 in
+      let cells = List.concat_map (fun kind -> [ (kind, None); (kind, Some 1) ]) kinds in
+      let results =
+        S.Harness.run_many
+          (List.map
+             (fun (kind, norm) ->
+               S.Harness.scenario kind (S.Problem.make ?norm_every:norm dims ~iterations:30)
+                 ~gpus:8)
+             cells)
       in
-      let plain = run None and normed = run (Some 1) in
-      Printf.printf "%-22s %14.2f %16.2f %11.2f%%\n" (S.Variants.name kind)
-        (us plain.Measure.per_iter) (us normed.Measure.per_iter)
-        ((Time.to_sec_float normed.Measure.per_iter /. Time.to_sec_float plain.Measure.per_iter
-         -. 1.0)
-        *. 100.0))
-    [ S.Variants.Copy; S.Variants.Nvshmem; S.Variants.Cpu_free ]
+      header
+        "Supplementary  Residual check every iteration (NVIDIA-sample style): host-round-trip \
+         allreduce vs device-side allreduce (2D medium, 8 GPUs, per-iter us)";
+      Printf.printf "%-22s %14s %16s %12s\n" "variant" "plain" "with norm" "penalty";
+      let grid = List.combine cells results in
+      let find kind norm = List.assoc (kind, norm) grid in
+      let points =
+        List.concat_map
+          (fun kind ->
+            let plain = find kind None and normed = find kind (Some 1) in
+            Printf.printf "%-22s %14.2f %16.2f %11.2f%%\n" (S.Variants.name kind)
+              (us plain.Measure.per_iter) (us normed.Measure.per_iter)
+              ((Time.to_sec_float normed.Measure.per_iter
+               /. Time.to_sec_float plain.Measure.per_iter
+               -. 1.0)
+              *. 100.0);
+            [
+              point ~label:(S.Variants.name kind) ~gpus:8 plain;
+              point ~label:(S.Variants.name kind ^ "+norm") ~gpus:8 normed;
+            ])
+          kinds
+      in
+      (points, ()))
 
 (* ---------------------------------------------------------------- *)
 (* Ablations: design choices called out in DESIGN.md                 *)
 (* ---------------------------------------------------------------- *)
 
 let ablations () =
-  header "Ablation A  Persistent-fusion barrier placement (§5.1): relaxed vs upstream-naive";
   let app = D.Pipeline.Jacobi2d { D.Programs.nx_global = 4096; ny_global = 4096; tsteps = 20 } in
-  let run_relax relax =
-    let built = D.Pipeline.compile ~relax app D.Pipeline.Cpu_free ~gpus:8 in
-    Measure.run ~label:(if relax then "relaxed (this work)" else "naive (upstream)")
-      ~gpus:8 ~iterations:20 built.D.Exec.program
-  in
-  let relaxed = run_relax true and naive = run_relax false in
-  Printf.printf "  %-24s per-iter %8.2f us\n" relaxed.Measure.label (us relaxed.Measure.per_iter);
-  Printf.printf "  %-24s per-iter %8.2f us\n" naive.Measure.label (us naive.Measure.per_iter);
-  Printf.printf "  relaxation speedup: %.1f%%\n"
-    (Measure.speedup_pct ~baseline:naive ~ours:relaxed);
-
-  header
-    "Ablation B  In-kernel communication scheduling (§5.3.2/§5.4): single-thread vs      thread-block-specialized (this work implements the paper's future work)";
-  let run_spec specialize_tb =
-    let built = D.Pipeline.compile ~specialize_tb app D.Pipeline.Cpu_free ~gpus:8 in
-    Measure.run
-      ~label:(if specialize_tb then "TB-specialized" else "single-thread + grid sync")
-      ~gpus:8 ~iterations:20 built.D.Exec.program
-  in
-  let conservative = run_spec false and specialized = run_spec true in
-  Printf.printf "  %-28s per-iter %8.2f us  overlap %5.1f%%\n" conservative.Measure.label
-    (us conservative.Measure.per_iter) (conservative.Measure.overlap *. 100.0);
-  Printf.printf "  %-28s per-iter %8.2f us  overlap %5.1f%%\n" specialized.Measure.label
-    (us specialized.Measure.per_iter) (specialized.Measure.overlap *. 100.0);
-  Printf.printf "  specialization speedup: %.1f%%\n"
-    (Measure.speedup_pct ~baseline:conservative ~ours:specialized);
-
-  header
-    "Ablation C  One specialized kernel vs two co-resident kernels (§4 alternative design;      paper: no significant difference)";
-  let dims = S.Problem.weak_scale (S.Problem.D2 { nx = 2048; ny = 2048 }) ~gpus:8 in
-  let problem = S.Problem.make dims ~iterations:50 in
-  List.iter
-    (fun kind ->
-      let r = run_stencil kind problem 8 in
-      Printf.printf "  %-22s per-iter %8.2f us\n" (S.Variants.name kind)
-        (us r.Measure.per_iter))
-    [ S.Variants.Cpu_free; S.Variants.Cpu_free_multi ];
-
-  header
-    "Ablation D  PERKS caching vs per-GPU domain size (2D, 8 GPUs): fitting domains are \
-     cached almost entirely; over-capacity domains fall back toward plain traffic";
-  let arch = G.Arch.a100_hgx in
-  Printf.printf "  %12s %12s %14s %14s\n" "domain/GPU" "cache-frac" "perks (us)" "cpu-free (us)";
-  List.iter
-    (fun nx ->
-      let dims = S.Problem.weak_scale (S.Problem.D2 { nx; ny = nx }) ~gpus:8 in
-      let problem = S.Problem.make dims ~iterations:20 in
-      let perks = S.Harness.run S.Variants.Perks problem ~gpus:8 in
-      let free = S.Harness.run S.Variants.Cpu_free problem ~gpus:8 in
-      Printf.printf "  %9dx%-3d %12.2f %14.2f %14.2f\n" nx nx
-        (G.Kernel.perks_cache_fraction arch ~elems:(nx * nx))
-        (us perks.Measure.per_iter) (us free.Measure.per_iter))
-    [ 1024; 2048; 4096; 8192; 16384 ]
+  figure "ablation.A.relaxed-barriers" (fun () ->
+      let run_relax relax =
+        let built = D.Pipeline.compile ~relax app D.Pipeline.Cpu_free ~gpus:8 in
+        Measure.run
+          ~label:(if relax then "relaxed (this work)" else "naive (upstream)")
+          ~gpus:8 ~iterations:20 built.D.Exec.program
+      in
+      match Parallel.map run_relax [ true; false ] with
+      | [ relaxed; naive ] ->
+        header "Ablation A  Persistent-fusion barrier placement (§5.1): relaxed vs upstream-naive";
+        Printf.printf "  %-24s per-iter %8.2f us\n" relaxed.Measure.label
+          (us relaxed.Measure.per_iter);
+        Printf.printf "  %-24s per-iter %8.2f us\n" naive.Measure.label (us naive.Measure.per_iter);
+        Printf.printf "  relaxation speedup: %.1f%%\n"
+          (Measure.speedup_pct ~baseline:naive ~ours:relaxed);
+        ( [
+            point ~label:relaxed.Measure.label ~gpus:8 relaxed;
+            point ~label:naive.Measure.label ~gpus:8 naive;
+          ],
+          () )
+      | _ -> assert false);
+  figure "ablation.B.tb-specialization" (fun () ->
+      let run_spec specialize_tb =
+        let built = D.Pipeline.compile ~specialize_tb app D.Pipeline.Cpu_free ~gpus:8 in
+        Measure.run
+          ~label:(if specialize_tb then "TB-specialized" else "single-thread + grid sync")
+          ~gpus:8 ~iterations:20 built.D.Exec.program
+      in
+      match Parallel.map run_spec [ false; true ] with
+      | [ conservative; specialized ] ->
+        header
+          "Ablation B  In-kernel communication scheduling (§5.3.2/§5.4): single-thread vs      \
+           thread-block-specialized (this work implements the paper's future work)";
+        Printf.printf "  %-28s per-iter %8.2f us  overlap %5.1f%%\n" conservative.Measure.label
+          (us conservative.Measure.per_iter)
+          (conservative.Measure.overlap *. 100.0);
+        Printf.printf "  %-28s per-iter %8.2f us  overlap %5.1f%%\n" specialized.Measure.label
+          (us specialized.Measure.per_iter)
+          (specialized.Measure.overlap *. 100.0);
+        Printf.printf "  specialization speedup: %.1f%%\n"
+          (Measure.speedup_pct ~baseline:conservative ~ours:specialized);
+        ( [
+            point ~label:conservative.Measure.label ~gpus:8 conservative;
+            point ~label:specialized.Measure.label ~gpus:8 specialized;
+          ],
+          () )
+      | _ -> assert false);
+  figure "ablation.C.co-resident-kernels" (fun () ->
+      let kinds = [ S.Variants.Cpu_free; S.Variants.Cpu_free_multi ] in
+      let dims = S.Problem.weak_scale (S.Problem.D2 { nx = 2048; ny = 2048 }) ~gpus:8 in
+      let problem = S.Problem.make dims ~iterations:50 in
+      let results =
+        S.Harness.run_many (List.map (fun kind -> S.Harness.scenario kind problem ~gpus:8) kinds)
+      in
+      header
+        "Ablation C  One specialized kernel vs two co-resident kernels (§4 alternative design;  \
+            paper: no significant difference)";
+      let points =
+        List.map2
+          (fun kind r ->
+            Printf.printf "  %-22s per-iter %8.2f us\n" (S.Variants.name kind)
+              (us r.Measure.per_iter);
+            point ~label:(S.Variants.name kind) ~gpus:8 r)
+          kinds results
+      in
+      (points, ()));
+  figure "ablation.D.perks-capacity" (fun () ->
+      let arch = G.Arch.a100_hgx in
+      let sizes = [ 1024; 2048; 4096; 8192; 16384 ] in
+      let cells =
+        List.concat_map
+          (fun nx -> [ (nx, S.Variants.Perks); (nx, S.Variants.Cpu_free) ])
+          sizes
+      in
+      let results =
+        S.Harness.run_many
+          (List.map
+             (fun (nx, kind) ->
+               let dims = S.Problem.weak_scale (S.Problem.D2 { nx; ny = nx }) ~gpus:8 in
+               S.Harness.scenario kind (S.Problem.make dims ~iterations:20) ~gpus:8)
+             cells)
+      in
+      header
+        "Ablation D  PERKS caching vs per-GPU domain size (2D, 8 GPUs): fitting domains are \
+         cached almost entirely; over-capacity domains fall back toward plain traffic";
+      Printf.printf "  %12s %12s %14s %14s\n" "domain/GPU" "cache-frac" "perks (us)"
+        "cpu-free (us)";
+      let grid = List.combine cells results in
+      let points =
+        List.concat_map
+          (fun nx ->
+            let perks = List.assoc (nx, S.Variants.Perks) grid in
+            let free = List.assoc (nx, S.Variants.Cpu_free) grid in
+            let cache_frac = G.Kernel.perks_cache_fraction arch ~elems:(nx * nx) in
+            Printf.printf "  %9dx%-3d %12.2f %14.2f %14.2f\n" nx nx cache_frac
+              (us perks.Measure.per_iter) (us free.Measure.per_iter);
+            [
+              point
+                ~label:(Printf.sprintf "perks/%d" nx)
+                ~gpus:8 perks
+                ~extra:[ ("cache_frac", J.Float cache_frac) ];
+              point ~label:(Printf.sprintf "cpu-free/%d" nx) ~gpus:8 free;
+            ])
+          sizes
+      in
+      (points, ()))
 
 (* ---------------------------------------------------------------- *)
 (* Bechamel wall-clock microbenchmarks (one per figure regenerator)  *)
@@ -420,6 +603,7 @@ let ablations () =
 
 let bechamel_suite () =
   header "Bechamel wall-clock benchmarks of the simulator itself (one per figure)";
+  let run_stencil kind problem gpus = S.Harness.run kind problem ~gpus in
   let quick_stencil kind () =
     let problem = S.Problem.make (S.Problem.D2 { nx = 256; ny = 256 }) ~iterations:5 in
     ignore (run_stencil kind problem 8)
@@ -478,12 +662,12 @@ let bechamel_suite () =
 let () =
   let args = Array.to_list Sys.argv in
   let quick = List.mem "quick" args in
+  let json = List.mem "json" args in
   let with_bechamel = List.mem "bechamel" args in
-  fig2_1b ();
-  fig3_1 ();
+  let t_start = wall () in
+  timelines ();
   fig2_2a ();
   fig2_2b ();
-  fig5_1b ();
   let fig61 = fig6_1 () in
   if not quick then ignore (fig6_2 ());
   let dace1d = fig6_3a () in
@@ -494,4 +678,25 @@ let () =
     ablations ()
   end;
   if with_bechamel || not quick then bechamel_suite ();
+  let elapsed = wall () -. t_start in
+  if json then begin
+    let doc =
+      J.Obj
+        [
+          ("schema_version", J.Int 1);
+          ("generator", J.String "cpufree bench/main.exe");
+          ("mode", J.String (if quick then "quick" else "full"));
+          ("jobs", J.Int (Parallel.default_jobs ()));
+          ("gpu_counts", J.List (List.map (fun g -> J.Int g) gpu_counts));
+          ("wall_clock_sec", J.Float elapsed);
+          ("figures", J.List (List.rev !json_figures));
+        ]
+    in
+    let oc = open_out "BENCH_results.json" in
+    J.to_channel oc doc;
+    close_out oc;
+    Printf.eprintf "[bench] wrote BENCH_results.json (%d figures)\n%!"
+      (List.length !json_figures)
+  end;
+  Printf.eprintf "[bench] jobs=%d wall-clock %.2fs\n%!" (Parallel.default_jobs ()) elapsed;
   Printf.printf "\nDone. See EXPERIMENTS.md for the per-figure comparison with the paper.\n"

@@ -1,0 +1,88 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let float_repr x =
+  if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.1f" x
+  else if Float.is_nan x || Float.is_finite x = false then "null"
+  else
+    (* Shortest representation that round-trips. *)
+    let s = Printf.sprintf "%.12g" x in
+    if float_of_string s = x then s else Printf.sprintf "%.17g" x
+
+let rec emit buf ~indent ~level v =
+  let pad n = if indent > 0 then Buffer.add_string buf (String.make (n * indent) ' ') in
+  let newline () = if indent > 0 then Buffer.add_char buf '\n' in
+  match v with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float x -> Buffer.add_string buf (float_repr x)
+  | String s ->
+    Buffer.add_char buf '"';
+    Buffer.add_string buf (escape s);
+    Buffer.add_char buf '"'
+  | List [] -> Buffer.add_string buf "[]"
+  | List items ->
+    Buffer.add_char buf '[';
+    newline ();
+    List.iteri
+      (fun i item ->
+        if i > 0 then begin
+          Buffer.add_char buf ',';
+          newline ()
+        end;
+        pad (level + 1);
+        emit buf ~indent ~level:(level + 1) item)
+      items;
+    newline ();
+    pad level;
+    Buffer.add_char buf ']'
+  | Obj [] -> Buffer.add_string buf "{}"
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    newline ();
+    List.iteri
+      (fun i (k, item) ->
+        if i > 0 then begin
+          Buffer.add_char buf ',';
+          newline ()
+        end;
+        pad (level + 1);
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (escape k);
+        Buffer.add_string buf (if indent > 0 then "\": " else "\":");
+        emit buf ~indent ~level:(level + 1) item)
+      fields;
+    newline ();
+    pad level;
+    Buffer.add_char buf '}'
+
+let to_string ?(indent = 2) v =
+  let buf = Buffer.create 4096 in
+  emit buf ~indent ~level:0 v;
+  Buffer.contents buf
+
+let to_channel ?indent oc v =
+  output_string oc (to_string ?indent v);
+  output_char oc '\n'

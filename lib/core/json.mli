@@ -1,0 +1,21 @@
+(** Minimal JSON document builder and printer.
+
+    Just enough to emit machine-readable benchmark results
+    ([BENCH_results.json]) without an external dependency. Strings are
+    escaped per RFC 8259; non-finite floats print as [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?indent:int -> t -> string
+(** Render a document. [indent] spaces per nesting level (default 2);
+    [~indent:0] produces compact single-line output. *)
+
+val to_channel : ?indent:int -> out_channel -> t -> unit
+(** [to_string] plus a trailing newline, written to the channel. *)

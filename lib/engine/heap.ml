@@ -17,28 +17,43 @@ let grow h x =
     h.data <- ndata
   end
 
-let rec sift_up h i =
-  if i > 0 then begin
-    let parent = (i - 1) / 2 in
-    if h.cmp h.data.(i) h.data.(parent) < 0 then begin
-      let tmp = h.data.(i) in
-      h.data.(i) <- h.data.(parent);
-      h.data.(parent) <- tmp;
-      sift_up h parent
-    end
-  end
+(* Both sifts use hole insertion: the moved element is held aside while
+   parents (or children) shift into the hole, and is written back exactly
+   once — one array store per level instead of the three a swap costs. *)
+let sift_up h i0 =
+  let x = h.data.(i0) in
+  let i = ref i0 in
+  while
+    !i > 0
+    &&
+    let parent = (!i - 1) / 2 in
+    h.cmp x h.data.(parent) < 0
+  do
+    let parent = (!i - 1) / 2 in
+    h.data.(!i) <- h.data.(parent);
+    i := parent
+  done;
+  h.data.(!i) <- x
 
-let rec sift_down h i =
-  let l = (2 * i) + 1 and r = (2 * i) + 2 in
-  let smallest = ref i in
-  if l < h.size && h.cmp h.data.(l) h.data.(!smallest) < 0 then smallest := l;
-  if r < h.size && h.cmp h.data.(r) h.data.(!smallest) < 0 then smallest := r;
-  if !smallest <> i then begin
-    let tmp = h.data.(i) in
-    h.data.(i) <- h.data.(!smallest);
-    h.data.(!smallest) <- tmp;
-    sift_down h !smallest
-  end
+let sift_down h i0 =
+  let x = h.data.(i0) in
+  let n = h.size in
+  let i = ref i0 in
+  let moving = ref true in
+  while !moving do
+    let l = (2 * !i) + 1 in
+    if l >= n then moving := false
+    else begin
+      let r = l + 1 in
+      let c = if r < n && h.cmp h.data.(r) h.data.(l) < 0 then r else l in
+      if h.cmp h.data.(c) x < 0 then begin
+        h.data.(!i) <- h.data.(c);
+        i := c
+      end
+      else moving := false
+    end
+  done;
+  h.data.(!i) <- x
 
 let push h x =
   grow h x;

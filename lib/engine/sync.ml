@@ -54,7 +54,13 @@ module Barrier = struct
   let parties t = t.parties
   let generation t = t.gen
 
+  (* Waiters are released by generation, not by the [arrived] count: each
+     waiter re-checks [gen] after every wake, so a process that re-arrives
+     for the next round at the same simulated instant (and bumps [arrived]
+     before the released waiters have resumed) can never strand or
+     prematurely release a stale waiter. *)
   let wait t =
+    let gen = t.gen in
     t.arrived <- t.arrived + 1;
     if t.arrived > t.parties then
       invalid_arg (Printf.sprintf "Barrier %s: more arrivals than parties" t.bname);
@@ -66,29 +72,30 @@ module Barrier = struct
       List.iter (fun wake -> wake ()) to_wake
     end
     else
-      Engine.suspend t.eng
-        ~reason:(Printf.sprintf "barrier %s (gen %d, %d/%d)" t.bname t.gen t.arrived t.parties)
-        (fun wake -> t.waiters <- wake :: t.waiters)
+      while t.gen = gen do
+        Engine.suspend t.eng
+          ~reason:
+            (Printf.sprintf "barrier %s (gen %d, %d/%d)" t.bname t.gen t.arrived t.parties)
+          (fun wake -> t.waiters <- wake :: t.waiters)
+      done
 end
 
 module Mailbox = struct
+  (* Waiters queue in a [Queue.t]: enqueue and dequeue are O(1) where the
+     previous list tail-append made n blocked receivers cost O(n²). *)
   type 'a t = {
     eng : Engine.t;
     mname : string;
     items : 'a Queue.t;
-    mutable waiters : (unit -> unit) list;
+    waiters : (unit -> unit) Queue.t;
   }
 
   let create ?(name = "mailbox") eng () =
-    { eng; mname = name; items = Queue.create (); waiters = [] }
+    { eng; mname = name; items = Queue.create (); waiters = Queue.create () }
 
   let send t x =
     Queue.push x t.items;
-    match t.waiters with
-    | [] -> ()
-    | wake :: rest ->
-      t.waiters <- rest;
-      wake ()
+    match Queue.take_opt t.waiters with None -> () | Some wake -> wake ()
 
   let try_recv t = Queue.take_opt t.items
 
@@ -98,7 +105,7 @@ module Mailbox = struct
     | None ->
       Engine.suspend t.eng
         ~reason:(Printf.sprintf "mailbox %s" t.mname)
-        (fun wake -> t.waiters <- t.waiters @ [ wake ]);
+        (fun wake -> Queue.push wake t.waiters);
       recv t
 
   let length t = Queue.length t.items
@@ -143,33 +150,30 @@ module Resource = struct
 end
 
 module Semaphore = struct
+  (* Same FIFO wake order as before, but O(1) enqueue (see {!Mailbox}). *)
   type t = {
     eng : Engine.t;
     sname : string;
     mutable count : int;
-    mutable waiters : (unit -> unit) list;
+    waiters : (unit -> unit) Queue.t;
   }
 
   let create ?(name = "semaphore") eng count =
     if count < 0 then invalid_arg "Semaphore.create: negative count";
-    { eng; sname = name; count; waiters = [] }
+    { eng; sname = name; count; waiters = Queue.create () }
 
   let rec acquire t =
     if t.count > 0 then t.count <- t.count - 1
     else begin
       Engine.suspend t.eng
         ~reason:(Printf.sprintf "semaphore %s" t.sname)
-        (fun wake -> t.waiters <- t.waiters @ [ wake ]);
+        (fun wake -> Queue.push wake t.waiters);
       acquire t
     end
 
   let release t =
     t.count <- t.count + 1;
-    match t.waiters with
-    | [] -> ()
-    | wake :: rest ->
-      t.waiters <- rest;
-      wake ()
+    match Queue.take_opt t.waiters with None -> () | Some wake -> wake ()
 
   let available t = t.count
 end

@@ -8,44 +8,98 @@ type span = {
   t1 : Time.t;
 }
 
-type t = { mutable rev_spans : span list; mutable n : int }
+(* Growable vector of span indices: the per-lane index of [t.store]. *)
+type lane_idx = { mutable idx : int array; mutable len : int }
 
-let create () = { rev_spans = []; n = 0 }
+(* Spans live in one growable array in recording order; a hashtable maps
+   each lane to the store indices of its spans so per-lane queries
+   ([busy_time], one timeline row of [render_ascii]) touch only that lane's
+   spans instead of rescanning the whole trace. The window is maintained
+   incrementally on [add]. *)
+type t = {
+  mutable store : span array;
+  mutable n : int;
+  by_lane : (string, lane_idx) Hashtbl.t;
+  mutable lo : Time.t;
+  mutable hi : Time.t;
+}
+
+let create () =
+  { store = [||]; n = 0; by_lane = Hashtbl.create 16; lo = Time.zero; hi = Time.zero }
+
 let enabled = function Some _ -> true | None -> false
+
+let lane_push li i =
+  let cap = Array.length li.idx in
+  if li.len = cap then begin
+    let nidx = Array.make (Stdlib.max 8 (2 * cap)) 0 in
+    Array.blit li.idx 0 nidx 0 li.len;
+    li.idx <- nidx
+  end;
+  li.idx.(li.len) <- i;
+  li.len <- li.len + 1
 
 let add t ~lane ~label ~kind ~t0 ~t1 =
   if Time.(t1 < t0) then invalid_arg "Trace.add: span ends before it starts";
-  t.rev_spans <- { lane; label; kind; t0; t1 } :: t.rev_spans;
+  let s = { lane; label; kind; t0; t1 } in
+  let cap = Array.length t.store in
+  if t.n = cap then begin
+    let nstore = Array.make (Stdlib.max 64 (2 * cap)) s in
+    Array.blit t.store 0 nstore 0 t.n;
+    t.store <- nstore
+  end;
+  t.store.(t.n) <- s;
+  let li =
+    match Hashtbl.find_opt t.by_lane lane with
+    | Some li -> li
+    | None ->
+      let li = { idx = [||]; len = 0 } in
+      Hashtbl.replace t.by_lane lane li;
+      li
+  in
+  lane_push li t.n;
+  if t.n = 0 then begin
+    t.lo <- t0;
+    t.hi <- t1
+  end
+  else begin
+    t.lo <- Time.min t.lo t0;
+    t.hi <- Time.max t.hi t1
+  end;
   t.n <- t.n + 1
 
 let add_opt t ~lane ~label ~kind ~t0 ~t1 =
   match t with None -> () | Some t -> add t ~lane ~label ~kind ~t0 ~t1
 
-let spans t = List.rev t.rev_spans
+let spans t =
+  let rec collect i acc = if i < 0 then acc else collect (i - 1) (t.store.(i) :: acc) in
+  collect (t.n - 1) []
+
+let iter_lane t lane f =
+  match Hashtbl.find_opt t.by_lane lane with
+  | None -> ()
+  | Some li ->
+    for k = 0 to li.len - 1 do
+      f t.store.(li.idx.(k))
+    done
 
 let lanes t =
-  List.sort_uniq String.compare (List.map (fun s -> s.lane) t.rev_spans)
+  List.sort String.compare (Hashtbl.fold (fun lane _ acc -> lane :: acc) t.by_lane [])
 
 let busy_time t ~lane =
-  List.fold_left
-    (fun acc s -> if String.equal s.lane lane then Time.add acc (Time.sub s.t1 s.t0) else acc)
-    Time.zero t.rev_spans
+  let acc = ref Time.zero in
+  iter_lane t lane (fun s -> acc := Time.add !acc (Time.sub s.t1 s.t0));
+  !acc
 
 let busy_time_kind t ~kind =
-  List.fold_left
-    (fun acc s -> if s.kind = kind then Time.add acc (Time.sub s.t1 s.t0) else acc)
-    Time.zero t.rev_spans
+  let acc = ref Time.zero in
+  for i = 0 to t.n - 1 do
+    let s = t.store.(i) in
+    if s.kind = kind then acc := Time.add !acc (Time.sub s.t1 s.t0)
+  done;
+  !acc
 
-let window t =
-  match t.rev_spans with
-  | [] -> None
-  | first :: rest ->
-    let lo, hi =
-      List.fold_left
-        (fun (lo, hi) s -> (Time.min lo s.t0, Time.max hi s.t1))
-        (first.t0, first.t1) rest
-    in
-    Some (lo, hi)
+let window t = if t.n = 0 then None else Some (t.lo, t.hi)
 
 let char_of_kind = function
   | Compute -> '#'
@@ -64,7 +118,6 @@ let render_ascii ?(width = 100) t =
     let total = Stdlib.max 1 (Time.to_ns (Time.sub hi lo)) in
     let cell_of_time time = Time.to_ns (Time.sub time lo) * width / total in
     let buf = Buffer.create 1024 in
-    let all = spans t in
     let label_width =
       List.fold_left (fun acc l -> Stdlib.max acc (String.length l)) 4 (lanes t)
     in
@@ -75,17 +128,13 @@ let render_ascii ?(width = 100) t =
     List.iter
       (fun lane ->
         let row = Bytes.make width ' ' in
-        List.iter
-          (fun s ->
-            if String.equal s.lane lane then begin
-              let c0 = Stdlib.max 0 (Stdlib.min (width - 1) (cell_of_time s.t0)) in
-              let c1 = Stdlib.max c0 (Stdlib.min (width - 1) (cell_of_time s.t1 - 1)) in
-              let ch = char_of_kind s.kind in
-              for c = c0 to c1 do
-                if s.kind <> Idle || Bytes.get row c = ' ' then Bytes.set row c ch
-              done
-            end)
-          all;
+        iter_lane t lane (fun s ->
+            let c0 = Stdlib.max 0 (Stdlib.min (width - 1) (cell_of_time s.t0)) in
+            let c1 = Stdlib.max c0 (Stdlib.min (width - 1) (cell_of_time s.t1 - 1)) in
+            let ch = char_of_kind s.kind in
+            for c = c0 to c1 do
+              if s.kind <> Idle || Bytes.get row c = ' ' then Bytes.set row c ch
+            done);
         Buffer.add_string buf (Printf.sprintf "%-*s [%s]\n" label_width lane (Bytes.to_string row)))
       (lanes t);
     Buffer.add_string buf "legend: # compute  = communication  | sync  a api-call  . idle\n";
@@ -102,12 +151,12 @@ let string_of_kind = function
 let to_csv t =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "lane,label,kind,start_ns,end_ns\n";
-  List.iter
-    (fun s ->
-      Buffer.add_string buf
-        (Printf.sprintf "%s,%s,%s,%d,%d\n" s.lane s.label (string_of_kind s.kind)
-           (Time.to_ns s.t0) (Time.to_ns s.t1)))
-    (spans t);
+  for i = 0 to t.n - 1 do
+    let s = t.store.(i) in
+    Buffer.add_string buf
+      (Printf.sprintf "%s,%s,%s,%d,%d\n" s.lane s.label (string_of_kind s.kind)
+         (Time.to_ns s.t0) (Time.to_ns s.t1))
+  done;
   Buffer.contents buf
 
 let to_chrome_json t =
@@ -124,17 +173,17 @@ let to_chrome_json t =
   (* Assign ids in sorted-lane order for a stable layout. *)
   List.iter (fun lane -> ignore (lane_id lane)) (lanes t);
   Buffer.add_string buf "[";
-  List.iteri
-    (fun i s ->
-      if i > 0 then Buffer.add_string buf ",";
-      Buffer.add_string buf
-        (Printf.sprintf
-           "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":0,\"tid\":%d}"
-           s.label (string_of_kind s.kind)
-           (Time.to_us_float s.t0)
-           (Time.to_us_float (Time.sub s.t1 s.t0))
-           (lane_id s.lane)))
-    (spans t);
+  for i = 0 to t.n - 1 do
+    let s = t.store.(i) in
+    if i > 0 then Buffer.add_string buf ",";
+    Buffer.add_string buf
+      (Printf.sprintf
+         "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":0,\"tid\":%d}"
+         s.label (string_of_kind s.kind)
+         (Time.to_us_float s.t0)
+         (Time.to_us_float (Time.sub s.t1 s.t0))
+         (lane_id s.lane))
+  done;
   (* Thread-name metadata rows. *)
   Hashtbl.iter
     (fun lane id ->
@@ -147,5 +196,8 @@ let to_chrome_json t =
   Buffer.contents buf
 
 let clear t =
-  t.rev_spans <- [];
-  t.n <- 0
+  t.store <- [||];
+  t.n <- 0;
+  Hashtbl.reset t.by_lane;
+  t.lo <- Time.zero;
+  t.hi <- Time.zero

@@ -1,4 +1,5 @@
 module Measure = Cpufree_core.Measure
+module Parallel = Cpufree_core.Parallel
 
 let run_traced ?arch kind problem ~gpus =
   let built = Variants.build kind problem ~gpus in
@@ -7,6 +8,25 @@ let run_traced ?arch kind problem ~gpus =
     ~gpus ~iterations:problem.Problem.iterations built.Variants.program
 
 let run ?arch kind problem ~gpus = fst (run_traced ?arch kind problem ~gpus)
+
+type scenario = {
+  sc_kind : Variants.kind;
+  sc_problem : Problem.t;
+  sc_gpus : int;
+  sc_arch : Cpufree_gpu.Arch.t option;
+}
+
+let scenario ?arch kind problem ~gpus =
+  { sc_kind = kind; sc_problem = problem; sc_gpus = gpus; sc_arch = arch }
+
+let run_scenario s = run ?arch:s.sc_arch s.sc_kind s.sc_problem ~gpus:s.sc_gpus
+
+let run_many ?jobs scenarios = Parallel.map ?jobs run_scenario scenarios
+
+let run_many_traced ?jobs scenarios =
+  Parallel.map ?jobs
+    (fun s -> run_traced ?arch:s.sc_arch s.sc_kind s.sc_problem ~gpus:s.sc_gpus)
+    scenarios
 
 let tolerance = 1e-9
 
@@ -48,16 +68,19 @@ let verify ?arch kind problem ~gpus =
 
 type scaling_point = { gpus : int; result : Measure.result }
 
-let weak_scaling ?arch kind ~base ~gpu_counts =
-  List.map
-    (fun gpus ->
-      let dims = Problem.weak_scale base.Problem.dims ~gpus in
-      let problem = { base with Problem.dims } in
-      { gpus; result = run ?arch kind problem ~gpus })
-    gpu_counts
+let weak_scaling ?jobs ?arch kind ~base ~gpu_counts =
+  let scenarios =
+    List.map
+      (fun gpus ->
+        let dims = Problem.weak_scale base.Problem.dims ~gpus in
+        scenario ?arch kind { base with Problem.dims } ~gpus)
+      gpu_counts
+  in
+  List.map2 (fun gpus result -> { gpus; result }) gpu_counts (run_many ?jobs scenarios)
 
-let strong_scaling ?arch kind problem ~gpu_counts =
-  List.map (fun gpus -> { gpus; result = run ?arch kind problem ~gpus }) gpu_counts
+let strong_scaling ?jobs ?arch kind problem ~gpu_counts =
+  let scenarios = List.map (fun gpus -> scenario ?arch kind problem ~gpus) gpu_counts in
+  List.map2 (fun gpus result -> { gpus; result }) gpu_counts (run_many ?jobs scenarios)
 
 let weak_efficiency points =
   match points with

@@ -18,17 +18,41 @@ val tolerance : float
 (** Acceptance threshold for {!verify} (single-precision-style slack on
     accumulated double arithmetic). *)
 
+(** {2 Scenario lists}
+
+    A scenario is one fully specified simulation (variant × problem × GPU
+    count, plus an optional machine model). Scenarios share nothing — each
+    run builds a private engine — so lists of them execute through the
+    {!Cpufree_core.Parallel} domain pool with results in list order,
+    bit-identical to running them sequentially. *)
+
+type scenario
+
+val scenario :
+  ?arch:Cpufree_gpu.Arch.t -> Variants.kind -> Problem.t -> gpus:int -> scenario
+
+val run_scenario : scenario -> Cpufree_core.Measure.result
+
+val run_many : ?jobs:int -> scenario list -> Cpufree_core.Measure.result list
+(** Execute every scenario on the domain pool ([?jobs] as in
+    {!Cpufree_core.Parallel.map}; defaults to [CPUFREE_JOBS] or the host
+    core count). Results are in input order. *)
+
+val run_many_traced :
+  ?jobs:int -> scenario list -> (Cpufree_core.Measure.result * Cpufree_engine.Trace.t) list
+
 type scaling_point = { gpus : int; result : Cpufree_core.Measure.result }
 
 val weak_scaling :
-  ?arch:Cpufree_gpu.Arch.t -> Variants.kind -> base:Problem.t -> gpu_counts:int list ->
-  scaling_point list
+  ?jobs:int -> ?arch:Cpufree_gpu.Arch.t -> Variants.kind -> base:Problem.t ->
+  gpu_counts:int list -> scaling_point list
 (** Weak scaling: grow the base (1-GPU) domain by {!Problem.weak_scale} for
-    each GPU count. Counts must be powers of two. *)
+    each GPU count. Counts must be powers of two. Points run on the domain
+    pool. *)
 
 val strong_scaling :
-  ?arch:Cpufree_gpu.Arch.t -> Variants.kind -> Problem.t -> gpu_counts:int list ->
-  scaling_point list
+  ?jobs:int -> ?arch:Cpufree_gpu.Arch.t -> Variants.kind -> Problem.t ->
+  gpu_counts:int list -> scaling_point list
 (** Strong scaling: the same global domain at every GPU count. *)
 
 val weak_efficiency : scaling_point list -> (int * float) list

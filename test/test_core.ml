@@ -316,6 +316,99 @@ let determinism_tests =
         check_bool "identical" true (a = b));
   ]
 
+(* --- Parallel -------------------------------------------------------------- *)
+
+module Parallel = Core.Parallel
+
+exception Boom of int
+
+let parallel_tests =
+  [
+    Alcotest.test_case "empty list" `Quick (fun () ->
+        check (Alcotest.list Alcotest.int) "empty" [] (Parallel.map ~jobs:4 (fun x -> x) []));
+    Alcotest.test_case "sequential fallback at one job" `Quick (fun () ->
+        check (Alcotest.list Alcotest.int) "same" [ 2; 4; 6 ]
+          (Parallel.map ~jobs:1 (fun x -> 2 * x) [ 1; 2; 3 ]));
+    Alcotest.test_case "pool larger than the work list" `Quick (fun () ->
+        check (Alcotest.list Alcotest.int) "same" [ 1 ] (Parallel.map ~jobs:16 succ [ 0 ]));
+    Alcotest.test_case "lowest-index exception wins" `Quick (fun () ->
+        let f x = if x >= 10 then raise (Boom x) else x in
+        (match Parallel.map ~jobs:4 f [ 1; 12; 3; 11; 5 ] with
+        | _ -> Alcotest.fail "expected Boom"
+        | exception Boom x -> check_int "first failing index" 12 x));
+    Alcotest.test_case "map_reduce folds in input order" `Quick (fun () ->
+        let s =
+          Parallel.map_reduce ~jobs:4 ~map:string_of_int
+            ~reduce:(fun acc x -> acc ^ x)
+            ~init:"" [ 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+        in
+        check Alcotest.string "ordered" "123456789" s);
+    Alcotest.test_case "parallel simulations match sequential results" `Quick (fun () ->
+        (* Each scenario builds a private engine; fanning them across
+           domains must not change any simulated time. *)
+        let scenario gpus =
+          Measure.run ~label:"p" ~gpus ~iterations:4 (fun ctx ->
+              let eng = G.Runtime.engine ctx in
+              G.Host.parallel_join ctx ~name:"w" (fun pe ->
+                  for _ = 1 to 4 do
+                    Engine.delay eng (Time.ns (100 * (pe + 1)))
+                  done))
+        in
+        let inputs = [ 1; 2; 4; 8; 8; 4; 2; 1 ] in
+        let seq = List.map scenario inputs in
+        let par = Parallel.map ~jobs:4 scenario inputs in
+        List.iter2
+          (fun (a : Measure.result) (b : Measure.result) ->
+            check_int "total" (Time.to_ns a.Measure.total) (Time.to_ns b.Measure.total))
+          seq par);
+  ]
+
+let parallel_props =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"map equals List.map for any pool size" ~count:100
+         QCheck.(pair (int_range 1 8) (list small_int))
+         (fun (jobs, xs) ->
+           Parallel.map ~jobs (fun x -> (x * 37) land 255) xs
+           = List.map (fun x -> (x * 37) land 255) xs));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"map_reduce equals fold of List.map" ~count:100
+         QCheck.(pair (int_range 1 8) (list (int_bound 1000)))
+         (fun (jobs, xs) ->
+           Parallel.map_reduce ~jobs ~map:succ ~reduce:( + ) ~init:0 xs
+           = List.fold_left ( + ) 0 (List.map succ xs)));
+  ]
+
+(* --- Json ------------------------------------------------------------------ *)
+
+module Json = Core.Json
+
+let json_tests =
+  [
+    Alcotest.test_case "compact scalars" `Quick (fun () ->
+        check Alcotest.string "null" "null" (Json.to_string ~indent:0 Json.Null);
+        check Alcotest.string "bool" "true" (Json.to_string ~indent:0 (Json.Bool true));
+        check Alcotest.string "int" "-3" (Json.to_string ~indent:0 (Json.Int (-3)));
+        check Alcotest.string "whole float" "2.0" (Json.to_string ~indent:0 (Json.Float 2.0));
+        check Alcotest.string "frac float" "2.5" (Json.to_string ~indent:0 (Json.Float 2.5)));
+    Alcotest.test_case "string escaping" `Quick (fun () ->
+        check Alcotest.string "quotes" "\"a\\\"b\\\\c\\nd\""
+          (Json.to_string ~indent:0 (Json.String "a\"b\\c\nd")));
+    Alcotest.test_case "compact containers" `Quick (fun () ->
+        check Alcotest.string "obj"
+          "{\"xs\":[1,2],\"e\":{}}"
+          (Json.to_string ~indent:0
+             (Json.Obj [ ("xs", Json.List [ Json.Int 1; Json.Int 2 ]); ("e", Json.Obj []) ])));
+    Alcotest.test_case "indented output nests" `Quick (fun () ->
+        let s = Json.to_string ~indent:2 (Json.Obj [ ("a", Json.List [ Json.Int 1 ]) ]) in
+        check_bool "multiline" true (String.contains s '\n');
+        check_bool "indented" true (Astring.String.is_infix ~affix:"\n  \"a\"" s));
+    Alcotest.test_case "non-finite floats become null" `Quick (fun () ->
+        check Alcotest.string "nan" "null" (Json.to_string ~indent:0 (Json.Float Float.nan));
+        check Alcotest.string "inf" "null"
+          (Json.to_string ~indent:0 (Json.Float Float.infinity)));
+  ]
+
 let () =
   Alcotest.run "core"
     [
@@ -324,4 +417,6 @@ let () =
       ("persistent", persistent_tests);
       ("measure", measure_tests);
       ("determinism", determinism_tests);
+      ("parallel", parallel_tests @ parallel_props);
+      ("json", json_tests);
     ]

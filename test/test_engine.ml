@@ -126,6 +126,29 @@ let heap_props =
              match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
            in
            drain [] = List.sort Int.compare xs));
+    (* Interleaved pushes and pops against a sorted-list model: every pop
+       must yield the minimum of what has been pushed and not yet popped. *)
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"random push/pop ops match a sorted model" ~count:200
+         QCheck.(list_of_size Gen.(0 -- 60) (option small_int))
+         (fun ops ->
+           let h = Heap.create ~cmp:Int.compare in
+           let model = ref [] in
+           List.for_all
+             (fun op ->
+               match op with
+               | Some x ->
+                 Heap.push h x;
+                 model := List.sort Int.compare (x :: !model);
+                 Heap.length h = List.length !model
+               | None -> (
+                 match (Heap.pop h, !model) with
+                 | None, [] -> true
+                 | Some got, expected :: rest ->
+                   model := rest;
+                   got = expected
+                 | None, _ :: _ | Some _, [] -> false))
+             ops));
   ]
 
 (* --- Rng --------------------------------------------------------------- *)
@@ -541,6 +564,56 @@ let sync_tests =
         done;
         Engine.run eng;
         check_int "two generations" 2 (Sync.Barrier.generation b));
+    Alcotest.test_case "back-to-back rounds at the same instant" `Quick (fun () ->
+        (* Both parties hit the barrier twice with no intervening delay, so
+           the second round's arrivals land at the same simulated instant as
+           the first round's release. With count-based wake-ups a released
+           waiter could observe the re-armed [arrived] count and stall (or
+           release early); the generation counter must carry each waiter
+           through exactly two rounds. *)
+        let eng = Engine.create () in
+        let b = Sync.Barrier.create eng 2 in
+        let rounds = ref [] in
+        for i = 1 to 2 do
+          let (_ : Engine.process) =
+            Engine.spawn eng ~name:(Printf.sprintf "p%d" i) (fun () ->
+                Sync.Barrier.wait b;
+                rounds := (i, 1, Time.to_ns (Engine.now eng)) :: !rounds;
+                Sync.Barrier.wait b;
+                rounds := (i, 2, Time.to_ns (Engine.now eng)) :: !rounds)
+          in
+          ()
+        done;
+        Engine.run eng;
+        check_int "generations" 2 (Sync.Barrier.generation b);
+        check_int "four releases" 4 (List.length !rounds);
+        List.iter (fun (_, _, t) -> check_int "all at t=0" 0 t) !rounds;
+        (* Every process must have completed both rounds. *)
+        List.iter
+          (fun i ->
+            check_bool "round 1" true (List.exists (fun (p, r, _) -> p = i && r = 1) !rounds);
+            check_bool "round 2" true (List.exists (fun (p, r, _) -> p = i && r = 2) !rounds))
+          [ 1; 2 ]);
+    Alcotest.test_case "straggler joining a same-instant re-arm is not lost" `Quick (fun () ->
+        (* One fast process loops the barrier twice while the slow partner
+           arrives once per round at the same timestamps; a stale [arrived]
+           observation would deadlock the sweep. *)
+        let eng = Engine.create () in
+        let b = Sync.Barrier.create eng 3 in
+        let finished = ref 0 in
+        for _ = 1 to 3 do
+          let (_ : Engine.process) =
+            Engine.spawn eng ~name:"p" (fun () ->
+                for _ = 1 to 5 do
+                  Sync.Barrier.wait b
+                done;
+                incr finished)
+          in
+          ()
+        done;
+        Engine.run eng;
+        check_int "five generations" 5 (Sync.Barrier.generation b);
+        check_int "all finished" 3 !finished);
     Alcotest.test_case "barrier rejects non-positive parties" `Quick (fun () ->
         let eng = Engine.create () in
         Alcotest.check_raises "zero" (Invalid_argument "Barrier.create: parties must be positive")
