@@ -598,6 +598,140 @@ let ablations () =
       (points, ()))
 
 (* ---------------------------------------------------------------- *)
+(* Engine-throughput microbenchmark (`-- micro`)                     *)
+(* ---------------------------------------------------------------- *)
+
+module Microbench = Cpufree_core.Microbench
+
+let micro_point (r : Microbench.report) ~speedup =
+  let windows, fallback =
+    match r.Microbench.outcome with
+    | E.Engine.Windowed { windows; jobs = _ } -> (windows, J.Null)
+    | E.Engine.Sequential reason -> (0, J.String reason)
+  in
+  J.Obj
+    [
+      ("mode", J.String r.Microbench.label);
+      ("jobs", J.Int r.Microbench.jobs);
+      ("events", J.Int r.Microbench.out.Microbench.events);
+      ("events_per_sec", J.Float (Microbench.events_per_sec r));
+      ("wall_sec", J.Float r.Microbench.wall_sec);
+      ("major_gc_words", J.Float r.Microbench.major_words);
+      ("windows", J.Int windows);
+      ("sim_ns", J.Int r.Microbench.out.Microbench.sim_ns);
+      ("bytes", J.Int r.Microbench.out.Microbench.bytes);
+      ("speedup_vs_seq", J.Float speedup);
+      ("fallback", fallback);
+    ]
+
+(* The documented schema of the micro.engine figure (EXPERIMENTS.md): every
+   point must carry exactly these fields with these JSON types. The
+   micro-smoke alias fails the build if a refactor drifts from it. *)
+let micro_required_fields =
+  [
+    ("mode", `String);
+    ("jobs", `Int);
+    ("events", `Int);
+    ("events_per_sec", `Float);
+    ("wall_sec", `Float);
+    ("major_gc_words", `Float);
+    ("windows", `Int);
+    ("sim_ns", `Int);
+    ("bytes", `Int);
+    ("speedup_vs_seq", `Float);
+  ]
+
+let validate_micro_doc doc =
+  let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let field kvs name = List.assoc_opt name kvs in
+  let check_point i p =
+    match p with
+    | J.Obj kvs ->
+      List.fold_left
+        (fun acc (name, ty) ->
+          match acc with
+          | Error _ -> acc
+          | Ok () ->
+            (match (field kvs name, ty) with
+            | None, _ -> fail "point %d: missing field %S" i name
+            | Some (J.String _), `String | Some (J.Int _), `Int | Some (J.Float _), `Float ->
+              Ok ()
+            | Some _, _ -> fail "point %d: field %S has the wrong JSON type" i name))
+        (Ok ()) micro_required_fields
+    | _ -> fail "point %d: not an object" i
+  in
+  match doc with
+  | J.Obj kvs ->
+    (match field kvs "figures" with
+    | Some (J.List figs) ->
+      let micro =
+        List.filter_map
+          (function
+            | J.Obj f when field f "figure" = Some (J.String "micro.engine") -> Some f
+            | _ -> None)
+          figs
+      in
+      (match micro with
+      | [ fig ] ->
+        (match field fig "points" with
+        | Some (J.List (_ :: _ as pts)) ->
+          let rec go i = function
+            | [] -> Ok ()
+            | p :: rest -> (match check_point i p with Ok () -> go (i + 1) rest | e -> e)
+          in
+          go 0 pts
+        | _ -> fail "micro.engine: missing or empty points list")
+      | l -> fail "expected exactly one micro.engine figure, found %d" (List.length l))
+    | _ -> fail "document has no figures list")
+  | _ -> fail "document is not an object"
+
+let micro_fallback (r : Microbench.report) =
+  match r.Microbench.outcome with
+  | E.Engine.Sequential reason -> Some reason
+  | E.Engine.Windowed _ -> None
+
+let run_micro ~smoke =
+  header "Engine throughput: sequential vs conservative windowed partitioned execution";
+  let cfg =
+    if smoke then
+      { Microbench.default with Microbench.gpus = 4; iters = 10; ticks_per_iter = 2 }
+    else Microbench.default
+  in
+  let jobs = Parallel.default_jobs () in
+  figure "micro.engine" (fun () ->
+      let seq = Microbench.run_seq cfg in
+      let win = Microbench.run_windowed ~jobs cfg in
+      if not (Microbench.equal_output seq.Microbench.out win.Microbench.out) then begin
+        Printf.eprintf "[micro] FATAL: windowed output differs from sequential output\n%!";
+        exit 1
+      end;
+      let speedup =
+        let s = Microbench.events_per_sec seq in
+        if s = 0.0 then 0.0 else Microbench.events_per_sec win /. s
+      in
+      Printf.printf "scenario: %d GPUs, %d rounds, ring halo exchange (outputs verified equal)\n"
+        cfg.Microbench.gpus cfg.Microbench.iters;
+      Printf.printf "%-10s %5s %8s %12s %14s %12s %16s\n" "mode" "jobs" "windows" "events"
+        "events/sec" "wall(s)" "major-GC-words";
+      let row (r : Microbench.report) =
+        let windows =
+          match r.Microbench.outcome with
+          | E.Engine.Windowed { windows; _ } -> string_of_int windows
+          | E.Engine.Sequential _ -> "-"
+        in
+        Printf.printf "%-10s %5d %8s %12d %14.0f %12.4f %16.0f\n" r.Microbench.label
+          r.Microbench.jobs windows r.Microbench.out.Microbench.events
+          (Microbench.events_per_sec r) r.Microbench.wall_sec r.Microbench.major_words
+      in
+      row seq;
+      row win;
+      Printf.printf "windowed speedup vs sequential: %.2fx (host cores: %d)\n" speedup jobs;
+      (match micro_fallback win with
+      | Some reason -> Printf.printf "note: windowed run fell back to sequential (%s)\n" reason
+      | None -> ());
+      ([ micro_point seq ~speedup:1.0; micro_point win ~speedup ], ()))
+
+(* ---------------------------------------------------------------- *)
 (* Bechamel wall-clock microbenchmarks (one per figure regenerator)  *)
 (* ---------------------------------------------------------------- *)
 
@@ -659,11 +793,44 @@ let bechamel_suite () =
 
 (* ---------------------------------------------------------------- *)
 
+let write_results ~mode ~elapsed =
+  let doc =
+    J.Obj
+      [
+        ("schema_version", J.Int 1);
+        ("generator", J.String "cpufree bench/main.exe");
+        ("mode", J.String mode);
+        ("jobs", J.Int (Parallel.default_jobs ()));
+        ("gpu_counts", J.List (List.map (fun g -> J.Int g) gpu_counts));
+        ("wall_clock_sec", J.Float elapsed);
+        ("figures", J.List (List.rev !json_figures));
+      ]
+  in
+  if mode = "micro" || mode = "micro-smoke" then begin
+    match validate_micro_doc doc with
+    | Ok () -> ()
+    | Error msg ->
+      Printf.eprintf "[micro] FATAL: BENCH_results.json violates the documented schema: %s\n%!"
+        msg;
+      exit 1
+  end;
+  let oc = open_out "BENCH_results.json" in
+  J.to_channel oc doc;
+  close_out oc;
+  Printf.eprintf "[bench] wrote BENCH_results.json (%d figures)\n%!" (List.length !json_figures)
+
 let () =
   let args = Array.to_list Sys.argv in
   let quick = List.mem "quick" args in
   let json = List.mem "json" args in
   let with_bechamel = List.mem "bechamel" args in
+  if List.mem "micro" args then begin
+    let smoke = List.mem "smoke" args in
+    let t_start = wall () in
+    run_micro ~smoke;
+    write_results ~mode:(if smoke then "micro-smoke" else "micro") ~elapsed:(wall () -. t_start);
+    exit 0
+  end;
   let t_start = wall () in
   timelines ();
   fig2_2a ();
@@ -679,24 +846,6 @@ let () =
   end;
   if with_bechamel || not quick then bechamel_suite ();
   let elapsed = wall () -. t_start in
-  if json then begin
-    let doc =
-      J.Obj
-        [
-          ("schema_version", J.Int 1);
-          ("generator", J.String "cpufree bench/main.exe");
-          ("mode", J.String (if quick then "quick" else "full"));
-          ("jobs", J.Int (Parallel.default_jobs ()));
-          ("gpu_counts", J.List (List.map (fun g -> J.Int g) gpu_counts));
-          ("wall_clock_sec", J.Float elapsed);
-          ("figures", J.List (List.rev !json_figures));
-        ]
-    in
-    let oc = open_out "BENCH_results.json" in
-    J.to_channel oc doc;
-    close_out oc;
-    Printf.eprintf "[bench] wrote BENCH_results.json (%d figures)\n%!"
-      (List.length !json_figures)
-  end;
+  if json then write_results ~mode:(if quick then "quick" else "full") ~elapsed;
   Printf.eprintf "[bench] jobs=%d wall-clock %.2fs\n%!" (Parallel.default_jobs ()) elapsed;
   Printf.printf "\nDone. See EXPERIMENTS.md for the per-figure comparison with the paper.\n"

@@ -75,7 +75,9 @@ let deliver_async t ~from_pe ~label body =
   t.next_op <- t.next_op + 1;
   let pname = Printf.sprintf "nvshmem.%s.pe%d.%d" label from_pe t.next_op in
   let (_ : E.Engine.process) =
-    E.Engine.spawn t.eng ~name:pname (fun () ->
+    E.Engine.spawn t.eng ~name:pname
+      ~partition:(G.Runtime.gpu_partition t.ctx from_pe)
+      (fun () ->
         body ();
         E.Sync.Flag.add t.pending.(from_pe) (-1))
   in

@@ -13,12 +13,39 @@ type result = {
   bytes_moved : int;
 }
 
+type pdes = [ `Seq | `Windowed ]
+
+let pdes_mode () : pdes =
+  match Sys.getenv_opt "CPUFREE_PDES" with
+  | None -> `Seq
+  | Some s ->
+    (match String.lowercase_ascii (String.trim s) with
+    | "" | "seq" | "sequential" -> `Seq
+    | "windowed" | "pdes" -> `Windowed
+    | other ->
+      invalid_arg (Printf.sprintf "CPUFREE_PDES=%S: expected \"seq\" or \"windowed\"" other))
+
 let run_traced ?arch ?seed:_ ~label ~gpus ~iterations program =
+  let mode = pdes_mode () in
   let trace = E.Trace.create () in
-  let eng = E.Engine.create ~trace () in
-  let ctx = G.Runtime.init eng ?arch ~num_gpus:gpus () in
+  let eng =
+    match mode with
+    | `Seq -> E.Engine.create ~trace ()
+    | `Windowed -> E.Engine.create ~trace ~partitions:(gpus + 1) ()
+  in
+  let ctx = G.Runtime.init eng ?arch ~partitioned:(mode = `Windowed) ~num_gpus:gpus () in
   let (_ : E.Engine.process) = E.Engine.spawn eng ~name:"main" (fun () -> program ctx) in
-  E.Engine.run eng;
+  (match mode with
+  | `Seq -> E.Engine.run eng
+  | `Windowed ->
+    (* The figure models share flags and resources across devices, so they do
+       not declare [~isolated] and this resolves to the sequential driver on a
+       partitioned engine — same global event order, bit-identical output.
+       Isolated models (e.g. {!Microbench}) take the parallel path. *)
+    let (_ : E.Engine.outcome) =
+      E.Engine.run_windowed ~lookahead:(G.Runtime.lookahead ctx) eng
+    in
+    ());
   let total = E.Engine.now eng in
   let iters = Stdlib.max 1 iterations in
   let result =

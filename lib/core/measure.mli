@@ -12,6 +12,18 @@ type result = {
   bytes_moved : int;
 }
 
+type pdes = [ `Seq | `Windowed ]
+
+val pdes_mode : unit -> pdes
+(** The execution mode selected by the [CPUFREE_PDES] environment variable:
+    unset, [""], ["seq"] or ["sequential"] select the classic sequential
+    driver; ["windowed"] or ["pdes"] select conservative time-windowed
+    partitioned execution (one partition per GPU plus a host/interconnect
+    partition, lookahead from {!Cpufree_gpu.Runtime.lookahead}). Windowed
+    mode automatically falls back to sequential — with identical results —
+    when the model does not guarantee partition isolation or the lookahead is
+    zero. Any other value raises [Invalid_argument]. *)
+
 val run :
   ?arch:Cpufree_gpu.Arch.t -> ?seed:int -> label:string -> gpus:int -> iterations:int ->
   (Cpufree_gpu.Runtime.ctx -> unit) -> result

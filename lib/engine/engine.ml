@@ -1,20 +1,56 @@
 type state = Ready | Running | Blocked of string | Finished
 
-type process = { pid : int; name : string; daemon : bool; mutable state : state }
+type process = {
+  pid : int;
+  name : string;
+  daemon : bool;
+  part : int;
+  mutable state : state;
+}
 
-type event = { at : Time.t; seq : int; thunk : unit -> unit }
+type event = { at : Time.t; seq : int; part : int; thunk : unit -> unit }
+
+(* Cross-partition message, buffered in the sender's outbox during a window
+   and applied at the barrier in canonical (time, sender, index) order. *)
+type msg = {
+  m_at : Time.t;
+  m_src : int;
+  m_idx : int;
+  m_dst : int;
+  m_thunk : unit -> unit;
+}
+
+type partition = {
+  id : int;
+  queue : event Heap.t;
+  mutable pclock : Time.t; (* partition-local clock (windowed mode) *)
+  mutable pseq : int; (* partition-local tie-break counter (windowed mode) *)
+  mutable pexec : int; (* events executed in this partition *)
+  mutable plive : int; (* non-daemon, unfinished processes *)
+  procs : (int, process) Hashtbl.t; (* live processes only; finished drop out *)
+  mutable outbox : msg list; (* reversed send order, windowed mode only *)
+  mutable out_idx : int;
+  mutable ptrace : Trace.t option; (* partition-local sink (windowed mode) *)
+  mutable pexn : (exn * Printexc.raw_backtrace) option;
+}
+
+(* Idle: between runs (setup / teardown). Seq: inside [run]. Win: inside the
+   windowed driver, where clocks, queues and trace sinks are per-partition. *)
+type phase = Idle | Seq | Win
 
 type t = {
   mutable clock : Time.t;
-  mutable seq : int;
-  queue : event Heap.t;
-  mutable live : int;
-  mutable next_pid : int;
-  mutable procs : process list;
+  mutable seq : int; (* global tie-break counter (Idle and Seq phases) *)
+  parts : partition array;
+  isolated : bool;
+  next_pid : int Atomic.t;
   trace_sink : Trace.t option;
+  mutable phase : phase;
+  mutable wend : Time.t; (* exclusive end of the current window (Win phase) *)
 }
 
 exception Deadlock of string list
+exception Lookahead_violation of string
 
 type _ Effect.t +=
   | Delay : t * Time.t -> unit Effect.t
@@ -22,35 +58,123 @@ type _ Effect.t +=
 
 let cmp_event a b =
   let c = Time.compare a.at b.at in
-  if c <> 0 then c else Int.compare a.seq b.seq
+  if c <> 0 then c
+  else
+    let c = Int.compare a.seq b.seq in
+    if c <> 0 then c else Int.compare a.part b.part
 
-let create ?trace () =
+let make_partition id =
+  {
+    id;
+    queue = Heap.create ~cmp:cmp_event;
+    pclock = Time.zero;
+    pseq = 0;
+    pexec = 0;
+    plive = 0;
+    procs = Hashtbl.create 32;
+    outbox = [];
+    out_idx = 0;
+    ptrace = None;
+    pexn = None;
+  }
+
+let create ?trace ?(partitions = 1) ?(isolated = false) () =
+  if partitions < 1 then invalid_arg "Engine.create: partitions must be positive";
   {
     clock = Time.zero;
     seq = 0;
-    queue = Heap.create ~cmp:cmp_event;
-    live = 0;
-    next_pid = 0;
-    procs = [];
+    parts = Array.init partitions make_partition;
+    isolated;
+    next_pid = Atomic.make 0;
     trace_sink = trace;
+    phase = Idle;
+    wend = Time.zero;
   }
 
-let now t = t.clock
-let trace t = t.trace_sink
+let num_partitions t = Array.length t.parts
 
-let push_event t at thunk =
-  t.seq <- t.seq + 1;
-  Heap.push t.queue { at; seq = t.seq; thunk }
+(* The partition whose events the calling domain is currently executing.
+   Per-domain state because windowed execution runs partitions on worker
+   domains; outside any run (and on single-partition engines) it is 0. *)
+let dls_part : int Domain.DLS.key = Domain.DLS.new_key (fun () -> 0)
+
+let cur_part t =
+  match t.phase with
+  | Idle -> 0
+  | Seq -> if Array.length t.parts = 1 then 0 else Domain.DLS.get dls_part
+  | Win -> Domain.DLS.get dls_part
+
+let current_partition = cur_part
+
+let now t =
+  match t.phase with Win -> t.parts.(Domain.DLS.get dls_part).pclock | Idle | Seq -> t.clock
+
+let trace t =
+  match t.phase with
+  | Win -> t.parts.(Domain.DLS.get dls_part).ptrace
+  | Idle | Seq -> t.trace_sink
+
+(* Push into a specific partition's queue. The tie-break counter is global
+   outside windowed execution — so a partitioned engine driven by [run]
+   executes in exactly the order an unpartitioned engine would — and
+   partition-local inside a window, where partitions must not share mutable
+   counters. *)
+let push_into t p at thunk =
+  let seq =
+    match t.phase with
+    | Win ->
+      p.pseq <- p.pseq + 1;
+      p.pseq
+    | Idle | Seq ->
+      t.seq <- t.seq + 1;
+      t.seq
+  in
+  Heap.push p.queue { at; seq; part = p.id; thunk }
 
 let schedule_at t at thunk =
-  if Time.(at < t.clock) then invalid_arg "Engine.schedule_at: time in the past";
-  push_event t at thunk
+  if Time.(at < now t) then invalid_arg "Engine.schedule_at: time in the past";
+  push_into t t.parts.(cur_part t) at thunk
+
+let check_partition t p fn =
+  if p < 0 || p >= Array.length t.parts then
+    invalid_arg (Printf.sprintf "Engine.%s: no such partition %d" fn p)
+
+let post t ~partition ~at thunk =
+  check_partition t partition "post";
+  match t.phase with
+  | Win ->
+    let src = Domain.DLS.get dls_part in
+    if partition = src then begin
+      let p = t.parts.(src) in
+      if Time.(at < p.pclock) then invalid_arg "Engine.post: time in the past";
+      push_into t p at thunk
+    end
+    else if Time.(at < t.wend) then
+      raise
+        (Lookahead_violation
+           (Printf.sprintf
+              "post from partition %d to %d at %s lands inside the current window (ends %s)"
+              src partition (Time.to_string at) (Time.to_string t.wend)))
+    else begin
+      let p = t.parts.(src) in
+      p.out_idx <- p.out_idx + 1;
+      p.outbox <-
+        { m_at = at; m_src = src; m_idx = p.out_idx; m_dst = partition; m_thunk = thunk }
+        :: p.outbox
+    end
+  | Idle | Seq ->
+    if Time.(at < t.clock) then invalid_arg "Engine.post: time in the past";
+    push_into t t.parts.(partition) at thunk
 
 let exec_process t proc body =
   let open Effect.Deep in
   let finish () =
     proc.state <- Finished;
-    if not proc.daemon then t.live <- t.live - 1
+    let p = t.parts.(proc.part) in
+    if not proc.daemon then p.plive <- p.plive - 1;
+    (* Drop the record so long sweeps don't retain one per spawned kernel;
+       [blocked_descriptions] only ever reports live processes. *)
+    Hashtbl.remove p.procs proc.pid
   in
   match_with body ()
     {
@@ -63,7 +187,9 @@ let exec_process t proc body =
             Some
               (fun (k : (a, unit) continuation) ->
                 proc.state <- Blocked "delay";
-                push_event t (Time.add t.clock d) (fun () ->
+                let p = t.parts.(proc.part) in
+                let base = match t.phase with Win -> p.pclock | Idle | Seq -> t.clock in
+                push_into t p (Time.add base d) (fun () ->
                     proc.state <- Running;
                     continue k ()))
           | Suspend (eng, reason, register) when eng == t ->
@@ -74,62 +200,272 @@ let exec_process t proc body =
                 register (fun () ->
                     if not !woken then begin
                       woken := true;
-                      push_event t t.clock (fun () ->
+                      let p = t.parts.(proc.part) in
+                      (match t.phase with
+                      | Win ->
+                        if Domain.DLS.get dls_part <> proc.part then
+                          raise
+                            (Lookahead_violation
+                               (Printf.sprintf
+                                  "partition %d woke process %s(#%d) of partition %d inside \
+                                   a window; cross-partition signalling must go through \
+                                   Engine.post"
+                                  (Domain.DLS.get dls_part) proc.name proc.pid proc.part))
+                      | Idle | Seq -> ());
+                      let at = match t.phase with Win -> p.pclock | Idle | Seq -> t.clock in
+                      push_into t p at (fun () ->
                           proc.state <- Running;
                           continue k ())
                     end))
           | _ -> None);
     }
 
-let spawn t ?(name = "proc") ?(daemon = false) body =
-  t.next_pid <- t.next_pid + 1;
-  let proc = { pid = t.next_pid; name; daemon; state = Ready } in
-  if not daemon then t.live <- t.live + 1;
-  t.procs <- proc :: t.procs;
-  push_event t t.clock (fun () ->
+let spawn t ?(name = "proc") ?(daemon = false) ?partition body =
+  let np = Array.length t.parts in
+  let part =
+    match partition with
+    | None -> cur_part t
+    | Some p ->
+      (* Partition hints are advisory on unpartitioned engines so model code
+         can tag its processes unconditionally. *)
+      if np = 1 then 0
+      else begin
+        check_partition t p "spawn";
+        p
+      end
+  in
+  (match t.phase with
+  | Win ->
+    if part <> Domain.DLS.get dls_part then
+      raise
+        (Lookahead_violation
+           (Printf.sprintf
+              "spawn of %s into partition %d from partition %d inside a window; post a \
+               message that spawns locally instead"
+              name part (Domain.DLS.get dls_part)))
+  | Idle | Seq -> ());
+  let pid = Atomic.fetch_and_add t.next_pid 1 + 1 in
+  let proc = { pid; name; daemon; part; state = Ready } in
+  let p = t.parts.(part) in
+  if not daemon then p.plive <- p.plive + 1;
+  Hashtbl.replace p.procs pid proc;
+  let base = match t.phase with Win -> p.pclock | Idle | Seq -> t.clock in
+  push_into t p base (fun () ->
       proc.state <- Running;
       exec_process t proc body);
   proc
 
 let process_name p = p.name
 let process_done p = p.state = Finished
+let process_partition (p : process) = p.part
 
 let delay t d = Effect.perform (Delay (t, d))
 let yield t = delay t Time.zero
 let suspend t ~reason register = Effect.perform (Suspend (t, reason, register))
 
+let live t = Array.fold_left (fun acc p -> acc + p.plive) 0 t.parts
+let events_executed t = Array.fold_left (fun acc p -> acc + p.pexec) 0 t.parts
+
+let registered_processes t =
+  Array.fold_left (fun acc p -> acc + Hashtbl.length p.procs) 0 t.parts
+
 let blocked_descriptions t =
-  List.filter_map
+  let acc = ref [] in
+  Array.iter
     (fun p ->
-      match p.state with
-      | Blocked reason when not p.daemon ->
-        Some (Printf.sprintf "%s(#%d): %s" p.name p.pid reason)
-      | Blocked _ | Ready | Running | Finished -> None)
-    (List.rev t.procs)
+      Hashtbl.iter
+        (fun _ proc ->
+          match proc.state with
+          | Blocked reason when not proc.daemon -> acc := (proc.pid, proc, reason) :: !acc
+          | Blocked _ | Ready | Running | Finished -> ())
+        p.procs)
+    t.parts;
+  !acc
+  |> List.sort (fun (a, _, _) (b, _, _) -> Int.compare a b)
+  |> List.map (fun (_, proc, reason) ->
+         Printf.sprintf "%s(#%d): %s" proc.name proc.pid reason)
+
+(* Smallest (at, seq, part) head across all partition queues. *)
+let pop_global t =
+  if Array.length t.parts = 1 then Heap.pop t.parts.(0).queue
+  else begin
+    let best = ref None in
+    Array.iter
+      (fun p ->
+        match Heap.peek p.queue with
+        | None -> ()
+        | Some ev -> (
+          match !best with
+          | Some b when cmp_event b ev <= 0 -> ()
+          | Some _ | None -> best := Some ev))
+      t.parts;
+    match !best with None -> None | Some ev -> Heap.pop t.parts.(ev.part).queue
+  end
 
 let run ?until t =
+  if t.phase <> Idle then invalid_arg "Engine.run: engine is already running";
+  t.phase <- Seq;
+  let multi = Array.length t.parts > 1 in
+  if multi then Domain.DLS.set dls_part 0;
+  let finish () = t.phase <- Idle in
   let stop_requested = ref false in
   let rec loop () =
     if !stop_requested then ()
-    else begin
-      match Heap.pop t.queue with
-      | None -> if t.live > 0 then raise (Deadlock (blocked_descriptions t))
+    else
+      match pop_global t with
+      | None -> if live t > 0 then raise (Deadlock (blocked_descriptions t))
       | Some ev ->
         (match until with
         | Some limit when Time.(ev.at > limit) ->
           (* Put the event back so a later [run] can resume seamlessly. *)
-          Heap.push t.queue ev;
+          Heap.push t.parts.(ev.part).queue ev;
           t.clock <- limit;
           stop_requested := true
         | Some _ | None ->
           t.clock <- ev.at;
+          if multi then Domain.DLS.set dls_part ev.part;
+          let p = t.parts.(ev.part) in
+          p.pexec <- p.pexec + 1;
           ev.thunk ());
         loop ()
-    end
   in
-  loop ()
+  Fun.protect ~finally:finish loop
+
+type outcome = Windowed of { windows : int; jobs : int } | Sequential of string
+
+let cmp_msg a b =
+  let c = Time.compare a.m_at b.m_at in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.m_src b.m_src in
+    if c <> 0 then c else Int.compare a.m_idx b.m_idx
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let run_windowed ?jobs ~lookahead t =
+  if t.phase <> Idle then invalid_arg "Engine.run_windowed: engine is already running";
+  let np = Array.length t.parts in
+  let fallback reason =
+    run t;
+    Sequential reason
+  in
+  if np = 1 then fallback "single partition"
+  else if Time.equal lookahead Time.zero then fallback "zero lookahead"
+  else if not t.isolated then fallback "engine not created with ~isolated:true"
+  else begin
+    let jobs =
+      match jobs with
+      | Some j -> Stdlib.max 1 (Stdlib.min j np)
+      | None -> Stdlib.max 1 (Stdlib.min (default_jobs ()) np)
+    in
+    Array.iter
+      (fun p ->
+        p.pclock <- t.clock;
+        p.pseq <- t.seq;
+        p.outbox <- [];
+        p.out_idx <- 0;
+        p.pexn <- None;
+        p.ptrace <- (match t.trace_sink with Some _ -> Some (Trace.create ()) | None -> None))
+      t.parts;
+    t.phase <- Win;
+    let pool = if jobs > 1 then Some (Dpool.create ~jobs) else None in
+    let windows = ref 0 in
+    (* Drain one partition's share of the current window. Exceptions (model
+       errors, lookahead violations) are stashed per partition and re-raised
+       deterministically — lowest partition id first — after the barrier. *)
+    let exec_partition i =
+      let p = t.parts.(i) in
+      Domain.DLS.set dls_part i;
+      try
+        let continue_ = ref true in
+        while !continue_ do
+          match Heap.peek p.queue with
+          | Some ev when Time.(ev.at < t.wend) ->
+            ignore (Heap.pop p.queue : event option);
+            p.pclock <- ev.at;
+            p.pexec <- p.pexec + 1;
+            ev.thunk ()
+          | Some _ | None -> continue_ := false
+        done
+      with e -> p.pexn <- Some (e, Printexc.get_raw_backtrace ())
+    in
+    let teardown () =
+      (match pool with Some pool -> Dpool.shutdown pool | None -> ());
+      t.phase <- Idle;
+      Array.iter
+        (fun p ->
+          t.clock <- Time.max t.clock p.pclock;
+          t.seq <- Stdlib.max t.seq p.pseq)
+        t.parts;
+      (* Merge the per-partition traces into the engine's sink in canonical
+         (t0, t1, lane, label, kind) order: deterministic for any window
+         schedule and any worker count. *)
+      match t.trace_sink with
+      | None -> ()
+      | Some sink ->
+        let locals =
+          Array.to_list t.parts
+          |> List.filter_map (fun p ->
+                 let tr = p.ptrace in
+                 p.ptrace <- None;
+                 tr)
+        in
+        Trace.merge_into ~into:sink locals
+    in
+    Fun.protect ~finally:teardown (fun () ->
+        let running = ref true in
+        while !running do
+          let floor =
+            Array.fold_left
+              (fun acc p ->
+                match Heap.peek p.queue with
+                | None -> acc
+                | Some ev -> (
+                  match acc with
+                  | None -> Some ev.at
+                  | Some a -> Some (Time.min a ev.at)))
+              None t.parts
+          in
+          match floor with
+          | None ->
+            if live t > 0 then raise (Deadlock (blocked_descriptions t));
+            running := false
+          | Some floor ->
+            t.wend <- Time.add floor lookahead;
+            incr windows;
+            (match pool with
+            | Some pool -> Dpool.run pool ~n:np exec_partition
+            | None ->
+              for i = 0 to np - 1 do
+                exec_partition i
+              done);
+            Array.iter
+              (fun p ->
+                match p.pexn with
+                | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+                | None -> ())
+              t.parts;
+            (* Barrier: apply cross-partition messages in canonical order so
+               every target queue ends up byte-identical regardless of how
+               partitions were scheduled onto domains. *)
+            let msgs =
+              Array.fold_left (fun acc p ->
+                  let o = p.outbox in
+                  p.outbox <- [];
+                  List.rev_append o acc)
+                [] t.parts
+            in
+            (match msgs with
+            | [] -> ()
+            | msgs ->
+              List.iter
+                (fun m -> push_into t t.parts.(m.m_dst) m.m_at m.m_thunk)
+                (List.sort cmp_msg msgs))
+        done);
+    Windowed { windows = !windows; jobs }
+  end
 
 let elapse t f =
-  let t0 = t.clock in
+  let t0 = now t in
   f ();
-  Time.sub t.clock t0
+  Time.sub (now t) t0

@@ -8,7 +8,23 @@
 
     Blocking operations may only be called from inside a process body started
     with {!spawn} and driven by {!run}; calling them elsewhere raises
-    [Effect.Unhandled]. *)
+    [Effect.Unhandled].
+
+    {1 Partitions}
+
+    An engine may be created with [~partitions:n]. Every process and event
+    then belongs to one partition (a simulated device, or the host plus
+    interconnect), each with its own event queue. Under {!run} this changes
+    nothing observable: events are still executed in one global
+    (timestamp, sequence) order. Under {!run_windowed} the partitions execute
+    concurrently in conservative, barrier-synchronized time windows whose
+    width is the minimum cross-partition latency (the {e lookahead}): within
+    a window no partition can affect another, so their event queues can be
+    drained in parallel. Cross-partition interactions must be expressed as
+    timestamped messages ({!post}) that arrive at least one lookahead in the
+    future; they are applied at window barriers in a canonical
+    (time, sender, sequence) order, keeping the run deterministic for any
+    worker count. *)
 
 type t
 
@@ -20,13 +36,44 @@ exception Deadlock of string list
     Carries "name: reason" descriptions of the blocked processes — this is
     how lost-signal bugs in communication protocols surface in tests. *)
 
-val create : ?trace:Trace.t -> unit -> t
-val now : t -> Time.t
-val trace : t -> Trace.t option
+exception Lookahead_violation of string
+(** Raised during {!run_windowed} when model code breaks partition isolation
+    inside a window: a {!post} closer than the window end, a cross-partition
+    {!spawn}, or a cross-partition waker invocation (a {!Sync} primitive
+    shared between partitions). Such a model must either repair its
+    partitioning or run sequentially. *)
 
-val spawn : t -> ?name:string -> ?daemon:bool -> (unit -> unit) -> process
+val create : ?trace:Trace.t -> ?partitions:int -> ?isolated:bool -> unit -> t
+(** [partitions] (default 1) declares the partition count. [isolated]
+    (default [false]) is the model's promise that partitions share no mutable
+    state within a window — i.e. every cross-partition interaction goes
+    through {!post} with at least the lookahead of delay. {!run_windowed}
+    only executes partitions in parallel when this promise was given;
+    otherwise it falls back to sequential execution. *)
+
+val num_partitions : t -> int
+
+val current_partition : t -> int
+(** Partition of the event currently executing (0 outside a run). *)
+
+val now : t -> Time.t
+(** Current simulation time: the executing partition's clock during a
+    windowed run, the global clock otherwise. *)
+
+val trace : t -> Trace.t option
+(** The sink spans should be recorded to: a partition-local sink during a
+    windowed run (merged canonically at the end of the run), the engine's
+    global sink otherwise. *)
+
+val spawn : t -> ?name:string -> ?daemon:bool -> ?partition:int -> (unit -> unit) -> process
 (** Register a process to start at the current simulation time. May be called
     before [run] or from inside another process.
+
+    [partition] assigns the process to a partition (default: the partition of
+    the spawning process, or 0). On a single-partition engine the hint is
+    ignored, so model code can tag processes unconditionally. During a
+    windowed run, spawning into another partition raises
+    {!Lookahead_violation} — post a message that spawns locally instead.
 
     A [daemon] process (default [false]) serves other processes forever — a
     stream server, a NIC proxy. Daemons do not keep the simulation alive and
@@ -35,6 +82,7 @@ val spawn : t -> ?name:string -> ?daemon:bool -> (unit -> unit) -> process
 
 val process_name : process -> string
 val process_done : process -> bool
+val process_partition : process -> int
 
 val delay : t -> Time.t -> unit
 (** Block the calling process for a simulated duration. *)
@@ -52,13 +100,53 @@ val suspend : t -> reason:string -> ((unit -> unit) -> unit) -> unit
 
 val schedule_at : t -> Time.t -> (unit -> unit) -> unit
 (** Run a plain callback (not a process: it must not block) at an absolute
-    time, which must not be in the past. *)
+    time, which must not be in the past. The callback runs in the calling
+    partition. *)
+
+val post : t -> partition:int -> at:Time.t -> (unit -> unit) -> unit
+(** [post t ~partition ~at thunk] schedules [thunk] to run in [partition] at
+    absolute time [at] — the cross-partition communication primitive. The
+    thunk executes as an event of the target partition, so it may freely
+    touch that partition's state (set its flags, spawn its processes).
+    During a windowed run a cross-partition [at] must be no earlier than the
+    current window's end — guaranteed by construction when the posting delay
+    is at least the lookahead — else {!Lookahead_violation} is raised. *)
 
 val run : ?until:Time.t -> t -> unit
-(** Execute events until the queue is empty or the clock passes [until].
+(** Execute events until the queue is empty or the clock passes [until], in
+    one global deterministic (timestamp, sequence) order — partitioned or
+    not.
 
     @raise Deadlock if the queue drains while processes are still blocked
     (unless [until] was given and reached). *)
+
+type outcome =
+  | Windowed of { windows : int; jobs : int }  (** windows executed, workers used *)
+  | Sequential of string  (** fell back to {!run}; the reason why *)
+
+val run_windowed : ?jobs:int -> lookahead:Time.t -> t -> outcome
+(** Drain the simulation in conservative time windows of width [lookahead],
+    executing partitions concurrently on [jobs] domains (default: the
+    recommended domain count, capped at the partition count). Requires a
+    multi-partition engine created with [~isolated:true] and a positive
+    lookahead; otherwise it automatically falls back to {!run} and reports
+    why. The simulated result is deterministic: independent of [jobs] and of
+    how windows land on domains.
+
+    @raise Deadlock as {!run}.
+    @raise Lookahead_violation if the model breaks partition isolation. *)
+
+val events_executed : t -> int
+(** Total events executed so far, across all partitions and runs — the
+    numerator of the engine-throughput (events/sec) microbenchmark. *)
+
+val registered_processes : t -> int
+(** Live (not yet finished) processes currently in the registry. Finished
+    processes are dropped eagerly, so this stays bounded on long sweeps. *)
+
+val blocked_descriptions : t -> string list
+(** "name(#pid): reason" for every blocked non-daemon process, sorted by pid.
+    What {!Deadlock} carries. *)
 
 val elapse : t -> (unit -> unit) -> Time.t
 (** [elapse t f] runs [f ()] inside a process and returns the simulated time

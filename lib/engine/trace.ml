@@ -75,6 +75,38 @@ let spans t =
   let rec collect i acc = if i < 0 then acc else collect (i - 1) (t.store.(i) :: acc) in
   collect (t.n - 1) []
 
+let rank_of_kind = function
+  | Compute -> 0
+  | Communication -> 1
+  | Synchronization -> 2
+  | Api -> 3
+  | Idle -> 4
+  | Marker -> 5
+
+(* Canonical span order: by interval, then lane, label and kind. Recording
+   order is a scheduling artifact (it differs between the sequential and the
+   windowed engine drivers), the canonical order is not. *)
+let compare_span a b =
+  let c = Time.compare a.t0 b.t0 in
+  if c <> 0 then c
+  else
+    let c = Time.compare a.t1 b.t1 in
+    if c <> 0 then c
+    else
+      let c = String.compare a.lane b.lane in
+      if c <> 0 then c
+      else
+        let c = String.compare a.label b.label in
+        if c <> 0 then c else Int.compare (rank_of_kind a.kind) (rank_of_kind b.kind)
+
+let sorted_spans t = List.stable_sort compare_span (spans t)
+
+let merge_into ~into sources =
+  let all = List.concat_map spans sources in
+  List.iter
+    (fun s -> add into ~lane:s.lane ~label:s.label ~kind:s.kind ~t0:s.t0 ~t1:s.t1)
+    (List.stable_sort compare_span all)
+
 let iter_lane t lane f =
   match Hashtbl.find_opt t.by_lane lane with
   | None -> ()

@@ -28,6 +28,19 @@ val add_opt :
 val spans : t -> span list
 (** All spans in recording order. *)
 
+val compare_span : span -> span -> int
+(** Canonical span order: (t0, t1, lane, label, kind). Recording order is a
+    scheduling artifact of the engine driver; this order is not. *)
+
+val sorted_spans : t -> span list
+(** All spans in canonical {!compare_span} order — the representation to use
+    when comparing traces across engine execution modes. *)
+
+val merge_into : into:t -> t list -> unit
+(** Append every span of [sources] to [into] in canonical order. Used by the
+    windowed engine driver to fold partition-local traces into the main sink
+    deterministically, independent of worker count and window schedule. *)
+
 val lanes : t -> string list
 (** Distinct lanes, sorted. *)
 

@@ -94,6 +94,19 @@ let by_name = [ ("a100", a100_hgx); ("h100", h100_hgx) ]
 let of_name name = List.assoc_opt (String.lowercase_ascii name) by_name
 
 let co_resident_blocks t = t.sm_count * t.coop_blocks_per_sm
+
+(* Conservative lookahead for partitioned (per-device) simulation: the
+   smallest latency any cross-device or host<->device interaction can have —
+   wire latency of the cheapest link plus the cheapest initiation cost.
+   Within a time window narrower than this, no partition can affect another,
+   which is what licenses executing device partitions concurrently. *)
+let lookahead_bound t =
+  let dev_dev = Engine_time.add t.nvlink_latency t.gpu_initiated_latency in
+  let host_dev =
+    Engine_time.add t.pcie_latency
+      (Engine_time.min t.host_initiated_latency t.gpu_initiated_latency)
+  in
+  Engine_time.min dev_dev host_dev
 let hbm_bytes_per_ns t = t.hbm_bw_gbs
 let nvlink_bytes_per_ns t = t.nvlink_bw_gbs
 let pcie_bytes_per_ns t = t.pcie_bw_gbs

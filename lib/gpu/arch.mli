@@ -77,6 +77,14 @@ val of_name : string -> t option
 val co_resident_blocks : t -> int
 (** Maximum grid size for a cooperative (persistent) launch. *)
 
+val lookahead_bound : t -> Engine_time.t
+(** Minimum latency of any cross-device or host<->device interaction: the
+    cheapest link latency plus the cheapest initiation cost. This is the
+    conservative window width ("lookahead") for partitioned simulation —
+    within a window this wide, one device cannot affect another. Zero when
+    the architecture models free signalling, in which case windowed execution
+    falls back to sequential. *)
+
 val hbm_bytes_per_ns : t -> float
 val nvlink_bytes_per_ns : t -> float
 val pcie_bytes_per_ns : t -> float

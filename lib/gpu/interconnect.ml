@@ -4,6 +4,16 @@ module Time = E.Time
 type endpoint = Gpu of int | Host
 type initiator = By_host | By_device
 
+(* Every transfer crosses one of three path classes; latency additionally
+   depends on who initiated it. Both are memoized at [create] into flat
+   arrays so the hot path of a stencil halo exchange — millions of
+   [transfer_time] calls per sweep — does no float division and no repeated
+   [Time] arithmetic, just two array reads. *)
+let n_classes = 3
+let class_local = 0 (* same GPU, or host-to-host: HBM *)
+let class_nvlink = 1
+let class_pcie = 2
+
 type t = {
   eng : E.Engine.t;
   arch : Arch.t;
@@ -11,13 +21,22 @@ type t = {
   egress : E.Sync.Resource.t array;
   ingress : E.Sync.Resource.t array;
   host_port : E.Sync.Resource.t;
+  lat : Time.t array; (* indexed class * 2 + initiator *)
+  ns_per_byte : float array; (* indexed by class *)
   mutable total_bytes : int;
   mutable total_transfers : int;
 }
 
+let init_idx = function By_host -> 0 | By_device -> 1
+
 let create eng ~arch ~num_gpus =
   if num_gpus <= 0 then invalid_arg "Interconnect.create: need at least one GPU";
   let port kind i = E.Sync.Resource.create ~name:(Printf.sprintf "gpu%d.%s" i kind) eng () in
+  let wire = [| Time.zero; arch.Arch.nvlink_latency; arch.Arch.pcie_latency |] in
+  let setup = [| arch.Arch.host_initiated_latency; arch.Arch.gpu_initiated_latency |] in
+  let bw =
+    [| Arch.hbm_bytes_per_ns arch; Arch.nvlink_bytes_per_ns arch; Arch.pcie_bytes_per_ns arch |]
+  in
   {
     eng;
     arch;
@@ -25,6 +44,9 @@ let create eng ~arch ~num_gpus =
     egress = Array.init num_gpus (port "egress");
     ingress = Array.init num_gpus (port "ingress");
     host_port = E.Sync.Resource.create ~name:"host.pcie" eng ();
+    lat =
+      Array.init (n_classes * 2) (fun i -> Time.add wire.(i / 2) setup.(i mod 2));
+    ns_per_byte = Array.map (fun b -> 1.0 /. b) bw;
     total_bytes = 0;
     total_transfers = 0;
   }
@@ -37,28 +59,15 @@ let check_endpoint t = function
   | Gpu i ->
     if i < 0 || i >= t.n then invalid_arg (Printf.sprintf "Interconnect: no such GPU %d" i)
 
-(* Bandwidth of the narrowest segment the transfer crosses, in bytes/ns. *)
-let path_bandwidth t ~src ~dst =
+let path_class ~src ~dst =
   match (src, dst) with
-  | Gpu a, Gpu b when a = b -> Arch.hbm_bytes_per_ns t.arch
-  | Gpu _, Gpu _ -> Arch.nvlink_bytes_per_ns t.arch
-  | Host, Gpu _ | Gpu _, Host -> Arch.pcie_bytes_per_ns t.arch
-  | Host, Host -> Arch.hbm_bytes_per_ns t.arch
+  | Gpu a, Gpu b when a = b -> class_local
+  | Gpu _, Gpu _ -> class_nvlink
+  | Host, Gpu _ | Gpu _, Host -> class_pcie
+  | Host, Host -> class_local
 
 let path_latency t ~src ~dst ~initiator =
-  let base =
-    match (src, dst) with
-    | Gpu a, Gpu b when a = b -> Time.zero
-    | Gpu _, Gpu _ -> t.arch.Arch.nvlink_latency
-    | Host, Gpu _ | Gpu _, Host -> t.arch.Arch.pcie_latency
-    | Host, Host -> Time.zero
-  in
-  let setup =
-    match initiator with
-    | By_host -> t.arch.Arch.host_initiated_latency
-    | By_device -> t.arch.Arch.gpu_initiated_latency
-  in
-  Time.add base setup
+  t.lat.((path_class ~src ~dst * 2) + init_idx initiator)
 
 let ports t ~src ~dst =
   match (src, dst) with
@@ -70,7 +79,12 @@ let ports t ~src ~dst =
 
 let serialization_time t ~src ~dst ~bytes =
   if bytes = 0 then Time.zero
-  else Time.of_ns_float (float_of_int bytes /. path_bandwidth t ~src ~dst)
+  else Time.of_ns_float (float_of_int bytes *. t.ns_per_byte.(path_class ~src ~dst))
+
+(* Cheapest latency of any interaction that crosses partitions (device
+   partitions plus the host/interconnect partition): the conservative window
+   width for {!Cpufree_engine.Engine.run_windowed}. *)
+let lookahead t = Arch.lookahead_bound t.arch
 
 let transfer_time t ~src ~dst ~initiator ~bytes =
   check_endpoint t src;

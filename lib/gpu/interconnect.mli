@@ -16,8 +16,17 @@ type initiator = By_host | By_device
 type t
 
 val create : Cpufree_engine.Engine.t -> arch:Arch.t -> num_gpus:int -> t
+(** Path latencies (per (path class, initiator)) and inverse bandwidths are
+    memoized here, once, so the per-transfer hot path does no float division
+    and no repeated [Time] conversions. *)
+
 val num_gpus : t -> int
 val arch : t -> Arch.t
+
+val lookahead : t -> Cpufree_engine.Time.t
+(** Conservative lookahead for windowed partitioned simulation: the minimum
+    latency of any cross-partition interaction this fabric can carry. Equals
+    {!Arch.lookahead_bound} of the fabric's architecture. *)
 
 val transfer_time : t -> src:endpoint -> dst:endpoint -> initiator:initiator -> bytes:int -> Cpufree_engine.Time.t
 (** Uncontended duration (latency + serialization) of a transfer; pure. *)

@@ -7,11 +7,12 @@ type ctx = {
   n : int;
   net : Interconnect.t;
   devices : Device.t array;
+  partitioned : bool;
 }
 
 exception Coop_launch_error of string
 
-let init eng ?(arch = Arch.a100_hgx) ~num_gpus () =
+let init eng ?(arch = Arch.a100_hgx) ?(partitioned = false) ~num_gpus () =
   if num_gpus <= 0 then invalid_arg "Runtime.init: need at least one GPU";
   {
     eng;
@@ -19,11 +20,19 @@ let init eng ?(arch = Arch.a100_hgx) ~num_gpus () =
     n = num_gpus;
     net = Interconnect.create eng ~arch ~num_gpus;
     devices = Array.init num_gpus (fun id -> Device.create eng ~arch ~id);
+    partitioned;
   }
 
 let engine t = t.eng
 let arch t = t.arch
 let num_gpus t = t.n
+let partitioned t = t.partitioned
+
+(* Partition 0 hosts the host threads and the interconnect; device [g] work
+   goes to partition [g + 1] when the context is partitioned, else everything
+   shares partition 0. *)
+let gpu_partition t g = if t.partitioned then g + 1 else 0
+let lookahead t = Interconnect.lookahead t.net
 
 let device t i =
   if i < 0 || i >= t.n then invalid_arg (Printf.sprintf "Runtime.device: no such GPU %d" i);
@@ -101,7 +110,9 @@ let launch_cooperative t ~dev ~name ~blocks ~threads_per_block ~roles =
     (fun (role_name, role_body) ->
       let pname = Printf.sprintf "%s.gpu%d.%s" name (Device.id dev) role_name in
       let (_ : E.Engine.process) =
-        E.Engine.spawn t.eng ~name:pname (fun () ->
+        E.Engine.spawn t.eng ~name:pname
+          ~partition:(gpu_partition t (Device.id dev))
+          (fun () ->
             E.Engine.delay t.eng t.arch.Arch.kernel_teardown;
             role_body grid;
             E.Sync.Flag.add finished 1)

@@ -11,12 +11,29 @@ exception Coop_launch_error of string
 (** Cooperative launch rejected: requested grid exceeds the co-residency
     limit (paper §4.1.4). *)
 
-val init : Cpufree_engine.Engine.t -> ?arch:Arch.t -> num_gpus:int -> unit -> ctx
+val init :
+  Cpufree_engine.Engine.t -> ?arch:Arch.t -> ?partitioned:bool -> num_gpus:int -> unit -> ctx
+(** [partitioned] declares that the engine was created with one partition per
+    GPU plus a host/interconnect partition (partition 0) and that device
+    processes should be tagged accordingly; default [false] puts everything
+    in partition 0 (the classic sequential layout). *)
+
 val engine : ctx -> Cpufree_engine.Engine.t
 val arch : ctx -> Arch.t
 val num_gpus : ctx -> int
 val device : ctx -> int -> Device.t
 val net : ctx -> Interconnect.t
+
+val partitioned : ctx -> bool
+
+val gpu_partition : ctx -> int -> int
+(** The engine partition for device [g]'s processes: [g + 1] when the context
+    is partitioned, else [0]. Host threads and interconnect bookkeeping stay
+    on partition [0]. *)
+
+val lookahead : ctx -> Cpufree_engine.Time.t
+(** Conservative windowed-execution lookahead: {!Interconnect.lookahead} of
+    the context's fabric. *)
 
 val endpoint_of_buffer : Buffer.t -> Interconnect.endpoint
 

@@ -20,7 +20,7 @@ let serve t () =
   in
   loop ()
 
-let create eng ~dev ~name =
+let create ?partition eng ~dev ~name =
   let t =
     {
       eng;
@@ -32,7 +32,7 @@ let create eng ~dev ~name =
     }
   in
   let (_ : E.Engine.process) =
-    E.Engine.spawn eng ~name:(Printf.sprintf "stream:%s" name) ~daemon:true (serve t)
+    E.Engine.spawn eng ~name:(Printf.sprintf "stream:%s" name) ~daemon:true ?partition (serve t)
   in
   t
 

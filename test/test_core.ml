@@ -409,6 +409,75 @@ let json_tests =
           (Json.to_string ~indent:0 (Json.Float Float.infinity)));
   ]
 
+(* --- PDES mode and the microbenchmark ----------------------------------- *)
+
+module Microbench = Core.Microbench
+module S = Cpufree_stencil
+
+let with_pdes value f =
+  Unix.putenv "CPUFREE_PDES" value;
+  Fun.protect ~finally:(fun () -> Unix.putenv "CPUFREE_PDES" "") f
+
+let small_micro =
+  { Microbench.default with Microbench.gpus = 4; iters = 12; ticks_per_iter = 2; traced = true }
+
+let pdes_tests =
+  [
+    Alcotest.test_case "pdes_mode parses the CPUFREE_PDES knob" `Quick (fun () ->
+        let mode v = with_pdes v Measure.pdes_mode in
+        check_bool "empty is seq" true (mode "" = `Seq);
+        check_bool "seq" true (mode "seq" = `Seq);
+        check_bool "sequential" true (mode "Sequential" = `Seq);
+        check_bool "windowed" true (mode "windowed" = `Windowed);
+        check_bool "pdes" true (mode "PDES" = `Windowed);
+        Alcotest.check_raises "garbage rejected"
+          (Invalid_argument "CPUFREE_PDES=\"turbo\": expected \"seq\" or \"windowed\"")
+          (fun () -> ignore (mode "turbo")));
+    Alcotest.test_case "windowed env is bit-identical on a figure scenario" `Quick (fun () ->
+        let problem =
+          S.Problem.make (S.Problem.D2 { nx = 64; ny = 64 }) ~iterations:3
+        in
+        let run () = S.Harness.run_traced S.Variants.Nvshmem problem ~gpus:2 in
+        let r_seq, tr_seq = with_pdes "seq" run in
+        let r_win, tr_win = with_pdes "windowed" run in
+        check_bool "results identical" true (r_seq = r_win);
+        check_bool "traces identical" true
+          (E.Trace.sorted_spans tr_seq = E.Trace.sorted_spans tr_win));
+    Alcotest.test_case "microbench windowed output equals sequential" `Quick (fun () ->
+        let seq = Microbench.run_seq small_micro in
+        let win = Microbench.run_windowed ~jobs:2 small_micro in
+        (match win.Microbench.outcome with
+        | Engine.Windowed { windows; _ } -> check_bool "ran windows" true (windows > 0)
+        | Engine.Sequential r -> Alcotest.fail ("unexpected fallback: " ^ r));
+        check_bool "equal output" true
+          (Microbench.equal_output seq.Microbench.out win.Microbench.out);
+        check_bool "spans recorded" true (seq.Microbench.out.Microbench.spans <> []));
+    Alcotest.test_case "microbench shift pattern agrees across drivers" `Quick (fun () ->
+        let cfg = { small_micro with Microbench.pattern = Microbench.Shift 2; gpus = 5 } in
+        let seq = Microbench.run_seq cfg in
+        let win = Microbench.run_windowed ~jobs:3 cfg in
+        check_bool "equal output" true
+          (Microbench.equal_output seq.Microbench.out win.Microbench.out));
+    Alcotest.test_case "zero-lookahead arch falls back to sequential" `Quick (fun () ->
+        let free_signal =
+          {
+            G.Arch.a100_hgx with
+            G.Arch.nvlink_latency = Time.zero;
+            gpu_initiated_latency = Time.zero;
+          }
+        in
+        let cfg = { small_micro with Microbench.arch = free_signal } in
+        let seq = Microbench.run_seq cfg in
+        let win = Microbench.run_windowed ~jobs:2 cfg in
+        (match win.Microbench.outcome with
+        | Engine.Sequential reason ->
+          check_bool "reason mentions lookahead" true
+            (Astring.String.is_infix ~affix:"lookahead" reason)
+        | Engine.Windowed _ -> Alcotest.fail "expected sequential fallback");
+        check_bool "fallback output identical" true
+          (Microbench.equal_output seq.Microbench.out win.Microbench.out));
+  ]
+
 let () =
   Alcotest.run "core"
     [
@@ -419,4 +488,5 @@ let () =
       ("determinism", determinism_tests);
       ("parallel", parallel_tests @ parallel_props);
       ("json", json_tests);
+      ("pdes", pdes_tests);
     ]

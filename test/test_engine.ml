@@ -698,6 +698,172 @@ let sync_tests =
           (fun () -> ignore (Sync.Semaphore.create eng (-1))));
   ]
 
+(* --- Partitions and windowed execution ---------------------------------- *)
+
+let lookahead = Time.ns 1000
+
+(* A ring model whose every cross-partition interaction is a [post] one
+   lookahead in the future — the shape [run_windowed] is sound for. Rank [g]
+   lives on partition [g + 1]; partition 0 (the "host") stays empty. Delays
+   are a seed-dependent arithmetic hash so partitions drift apart and windows
+   cut the event streams at irregular points. *)
+let build_ring ?trace ~parts ~iters ~seed () =
+  let eng = Engine.create ?trace ~partitions:parts ~isolated:true () in
+  let ranks = parts - 1 in
+  let flags = Array.init ranks (fun g -> Sync.Flag.create ~name:(Printf.sprintf "f%d" g) eng 0) in
+  let totals = Array.make ranks 0 in
+  for g = 0 to ranks - 1 do
+    let (_ : Engine.process) =
+      Engine.spawn eng ~name:(Printf.sprintf "rank%d" g) ~partition:(g + 1) (fun () ->
+          for it = 1 to iters do
+            let t0 = Engine.now eng in
+            let d = 1 + ((seed + (g * 37) + (it * 11)) mod 97) in
+            Engine.delay eng (Time.ns d);
+            Trace.add_opt (Engine.trace eng) ~lane:(Printf.sprintf "p%d" g) ~label:"work"
+              ~kind:Trace.Compute ~t0 ~t1:(Engine.now eng);
+            let dst = (g + 1) mod ranks in
+            if dst <> g then begin
+              let payload = (g * 1000) + it in
+              Engine.post eng ~partition:(dst + 1)
+                ~at:(Time.add (Engine.now eng) lookahead)
+                (fun () ->
+                  totals.(dst) <- totals.(dst) + payload;
+                  Sync.Flag.add flags.(dst) 1);
+              Sync.Flag.wait_ge flags.(g) it
+            end
+          done)
+    in
+    ()
+  done;
+  (eng, totals)
+
+(* Everything a driver may not change: final clock, event count, delivered
+   payload sums, and (when traced) the canonical span list. *)
+let ring_output eng totals =
+  ( Time.to_ns (Engine.now eng),
+    Engine.events_executed eng,
+    Array.to_list totals,
+    match Engine.trace eng with None -> [] | Some tr -> Trace.sorted_spans tr )
+
+let run_ring_seq ~parts ~iters ~seed =
+  let eng, totals = build_ring ~trace:(Trace.create ()) ~parts ~iters ~seed () in
+  Engine.run eng;
+  ring_output eng totals
+
+let run_ring_windowed ~jobs ~parts ~iters ~seed =
+  let eng, totals = build_ring ~trace:(Trace.create ()) ~parts ~iters ~seed () in
+  let outcome = Engine.run_windowed ~jobs ~lookahead eng in
+  (outcome, ring_output eng totals)
+
+let partition_tests =
+  [
+    Alcotest.test_case "post crosses partitions under the sequential driver" `Quick (fun () ->
+        let eng = Engine.create ~partitions:3 () in
+        let hits = ref [] in
+        let (_ : Engine.process) =
+          Engine.spawn eng ~name:"src" ~partition:1 (fun () ->
+              Engine.delay eng (Time.ns 10);
+              Engine.post eng ~partition:2 ~at:(Time.ns 50) (fun () -> hits := 2 :: !hits);
+              Engine.post eng ~partition:0 ~at:(Time.ns 40) (fun () -> hits := 0 :: !hits))
+        in
+        Engine.run eng;
+        check (Alcotest.list Alcotest.int) "in time order" [ 2; 0 ] !hits;
+        check_int "clock at last event" 50 (Time.to_ns (Engine.now eng)));
+    Alcotest.test_case "partition hint ignored on a single-partition engine" `Quick (fun () ->
+        let eng = Engine.create () in
+        let p = Engine.spawn eng ~name:"p" ~partition:7 (fun () -> ()) in
+        check_int "clamped to 0" 0 (Engine.process_partition p);
+        Engine.run eng);
+    Alcotest.test_case "windowed run matches sequential bit-for-bit" `Quick (fun () ->
+        let seq = run_ring_seq ~parts:4 ~iters:6 ~seed:5 in
+        let outcome, win = run_ring_windowed ~jobs:2 ~parts:4 ~iters:6 ~seed:5 in
+        (match outcome with
+        | Engine.Windowed { windows; _ } -> check_bool "ran windows" true (windows > 0)
+        | Engine.Sequential r -> Alcotest.fail ("unexpected fallback: " ^ r));
+        check_bool "identical output" true (seq = win));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"windowed equals sequential for any config and worker count"
+         ~count:40
+         QCheck.(triple (int_range 2 5) (int_range 1 8) small_int)
+         (fun (parts, iters, seed) ->
+           let seq = run_ring_seq ~parts ~iters ~seed in
+           let _, win1 = run_ring_windowed ~jobs:1 ~parts ~iters ~seed in
+           let _, win3 = run_ring_windowed ~jobs:3 ~parts ~iters ~seed in
+           seq = win1 && seq = win3));
+    Alcotest.test_case "zero lookahead falls back to sequential" `Quick (fun () ->
+        let eng, totals = build_ring ~parts:3 ~iters:4 ~seed:1 () in
+        (match Engine.run_windowed ~lookahead:Time.zero eng with
+        | Engine.Sequential reason ->
+          check_bool "reason mentions lookahead" true
+            (Astring.String.is_infix ~affix:"lookahead" reason)
+        | Engine.Windowed _ -> Alcotest.fail "expected sequential fallback");
+        let seq_eng, seq_totals = build_ring ~parts:3 ~iters:4 ~seed:1 () in
+        Engine.run seq_eng;
+        check_bool "fallback output identical" true
+          (ring_output eng totals = ring_output seq_eng seq_totals));
+    Alcotest.test_case "engine without the isolation promise falls back" `Quick (fun () ->
+        let eng = Engine.create ~partitions:3 () in
+        let (_ : Engine.process) =
+          Engine.spawn eng ~name:"p" ~partition:1 (fun () -> Engine.delay eng (Time.ns 5))
+        in
+        match Engine.run_windowed ~lookahead eng with
+        | Engine.Sequential reason ->
+          check_bool "reason mentions isolation" true
+            (Astring.String.is_infix ~affix:"isolated" reason)
+        | Engine.Windowed _ -> Alcotest.fail "expected sequential fallback");
+    Alcotest.test_case "single-partition engine falls back" `Quick (fun () ->
+        let eng = Engine.create ~isolated:true () in
+        let (_ : Engine.process) = Engine.spawn eng ~name:"p" (fun () -> ()) in
+        match Engine.run_windowed ~lookahead eng with
+        | Engine.Sequential _ -> ()
+        | Engine.Windowed _ -> Alcotest.fail "expected sequential fallback");
+    Alcotest.test_case "cross-partition post inside the window raises" `Quick (fun () ->
+        let eng = Engine.create ~partitions:3 ~isolated:true () in
+        let (_ : Engine.process) =
+          Engine.spawn eng ~name:"p" ~partition:1 (fun () ->
+              Engine.delay eng (Time.ns 5);
+              Engine.post eng ~partition:2 ~at:(Engine.now eng) (fun () -> ()))
+        in
+        match Engine.run_windowed ~lookahead eng with
+        | exception Engine.Lookahead_violation _ -> ()
+        | _ -> Alcotest.fail "expected Lookahead_violation");
+    Alcotest.test_case "cross-partition spawn inside the window raises" `Quick (fun () ->
+        let eng = Engine.create ~partitions:3 ~isolated:true () in
+        let (_ : Engine.process) =
+          Engine.spawn eng ~name:"p" ~partition:1 (fun () ->
+              let (_ : Engine.process) =
+                Engine.spawn eng ~name:"q" ~partition:2 (fun () -> ())
+              in
+              ())
+        in
+        match Engine.run_windowed ~lookahead eng with
+        | exception Engine.Lookahead_violation _ -> ()
+        | _ -> Alcotest.fail "expected Lookahead_violation");
+    Alcotest.test_case "finished processes leave the registry" `Quick (fun () ->
+        let eng = Engine.create () in
+        for i = 1 to 50 do
+          let (_ : Engine.process) =
+            Engine.spawn eng ~name:(Printf.sprintf "p%d" i) (fun () ->
+                Engine.delay eng (Time.ns i))
+          in
+          ()
+        done;
+        Engine.run eng;
+        check_int "registry drained" 0 (Engine.registered_processes eng);
+        check (Alcotest.list Alcotest.string) "nothing blocked" []
+          (Engine.blocked_descriptions eng));
+    Alcotest.test_case "blocked daemons stay registered, finished ones do not" `Quick
+      (fun () ->
+        let eng = Engine.create () in
+        let f = Sync.Flag.create ~name:"never" eng 0 in
+        let (_ : Engine.process) =
+          Engine.spawn eng ~name:"d" ~daemon:true (fun () -> Sync.Flag.wait_ge f 1)
+        in
+        let (_ : Engine.process) = Engine.spawn eng ~name:"p" (fun () -> ()) in
+        Engine.run eng;
+        check_int "daemon still live" 1 (Engine.registered_processes eng));
+  ]
+
 let () =
   Alcotest.run "engine"
     [
@@ -708,4 +874,5 @@ let () =
       ("trace", trace_tests);
       ("engine", engine_tests);
       ("sync", sync_tests);
+      ("partitions", partition_tests);
     ]

@@ -481,12 +481,74 @@ let runtime_tests =
         check Alcotest.string "main" "gpu3" (G.Device.main_lane dev));
   ]
 
+(* --- Lookahead and memoized path costs ---------------------------------- *)
+
+let lookahead_tests =
+  [
+    Alcotest.test_case "a100 lookahead bound is nvlink + device initiation" `Quick (fun () ->
+        (* min(1500 + 250, 2500 + min(1900, 250)) = 1750 ns *)
+        check_int "arch bound" 1750 (Time.to_ns (G.Arch.lookahead_bound arch));
+        let eng = Engine.create () in
+        let net = G.Interconnect.create eng ~arch ~num_gpus:4 in
+        check_int "fabric delegates" 1750 (Time.to_ns (G.Interconnect.lookahead net)));
+    Alcotest.test_case "zeroed-latency arch has zero lookahead" `Quick (fun () ->
+        let free =
+          {
+            arch with
+            G.Arch.nvlink_latency = Time.zero;
+            gpu_initiated_latency = Time.zero;
+          }
+        in
+        check_int "zero" 0 (Time.to_ns (G.Arch.lookahead_bound free)));
+    Alcotest.test_case "memoized latencies match analytic values on every path" `Quick
+      (fun () ->
+        let eng = Engine.create () in
+        let net = G.Interconnect.create eng ~arch ~num_gpus:2 in
+        let lat ~src ~dst ~initiator =
+          Time.to_ns (G.Interconnect.transfer_time net ~src ~dst ~initiator ~bytes:0)
+        in
+        let wire_nvlink = Time.to_ns arch.G.Arch.nvlink_latency in
+        let wire_pcie = Time.to_ns arch.G.Arch.pcie_latency in
+        let by_host = Time.to_ns arch.G.Arch.host_initiated_latency in
+        let by_dev = Time.to_ns arch.G.Arch.gpu_initiated_latency in
+        let open G.Interconnect in
+        check_int "gpu-gpu by device" (wire_nvlink + by_dev)
+          (lat ~src:(Gpu 0) ~dst:(Gpu 1) ~initiator:By_device);
+        check_int "gpu-gpu by host" (wire_nvlink + by_host)
+          (lat ~src:(Gpu 0) ~dst:(Gpu 1) ~initiator:By_host);
+        check_int "gpu-host by device" (wire_pcie + by_dev)
+          (lat ~src:(Gpu 0) ~dst:Host ~initiator:By_device);
+        check_int "host-gpu by host" (wire_pcie + by_host)
+          (lat ~src:Host ~dst:(Gpu 1) ~initiator:By_host);
+        check_int "local by device" by_dev
+          (lat ~src:(Gpu 1) ~dst:(Gpu 1) ~initiator:By_device);
+        check_int "host-host by host" by_host (lat ~src:Host ~dst:Host ~initiator:By_host));
+    Alcotest.test_case "memoized inverse bandwidths preserve serialization times" `Quick
+      (fun () ->
+        let eng = Engine.create () in
+        let net = G.Interconnect.create eng ~arch ~num_gpus:2 in
+        let ser ~src ~dst ~bytes =
+          Time.to_ns
+            (G.Interconnect.transfer_time net ~src ~dst ~initiator:G.Interconnect.By_device
+               ~bytes)
+          - Time.to_ns
+              (G.Interconnect.transfer_time net ~src ~dst ~initiator:G.Interconnect.By_device
+                 ~bytes:0)
+        in
+        let open G.Interconnect in
+        (* Byte counts divisible by the link rates, so expectations are exact. *)
+        check_int "nvlink 300 B/ns" 1_000 (ser ~src:(Gpu 0) ~dst:(Gpu 1) ~bytes:300_000);
+        check_int "pcie 25 B/ns" 4_000 (ser ~src:(Gpu 0) ~dst:Host ~bytes:100_000);
+        check_int "hbm 1555 B/ns" 100 (ser ~src:(Gpu 0) ~dst:(Gpu 0) ~bytes:155_500);
+        check_int "zero bytes free" 0 (ser ~src:(Gpu 0) ~dst:(Gpu 1) ~bytes:0));
+  ]
+
 let () =
   Alcotest.run "gpu"
     [
       ("arch", arch_tests);
       ("buffer", buffer_tests);
-      ("interconnect", net_tests);
+      ("interconnect", net_tests @ lookahead_tests);
       ("kernel", kernel_tests);
       ("stream", stream_tests);
       ("runtime", runtime_tests);
