@@ -405,6 +405,130 @@ let fig6_3b () =
       (points, store))
 
 (* ---------------------------------------------------------------- *)
+(* Fig S: inter- vs intra-node scale-out                             *)
+(* ---------------------------------------------------------------- *)
+
+module Topology = Cpufree_machine.Topology
+
+(* The device-initiated arms, where fabric latency is the dominant term and
+   the single-switch vs NIC+InfiniBand difference shows undiluted. *)
+let scaleout_variants = [ S.Variants.Nvshmem; S.Variants.Cpu_free ]
+
+(* Weak-scale the small 2D domain past one NVSwitch: the same GPU count on a
+   single (idealized) switch vs split across DGX nodes at 8 GPUs/node. Halo
+   pairs that land on different nodes pay the PCIe attach twice plus the IB
+   hop and contend for the NIC, so the gap between the two series is the
+   price of scale-out that Figure 6.1 (single-node by construction) cannot
+   show. *)
+let fig_scaleout ~smoke () =
+  figure "fig.scaleout" (fun () ->
+      let counts = if smoke then [ 8; 16 ] else [ 8; 16; 32 ] in
+      let iters = if smoke then 10 else 20 in
+      let base = S.Problem.D2 { nx = 256; ny = 256 } in
+      let cells =
+        List.concat_map
+          (fun gpus ->
+            let topologies =
+              (Topology.Hgx, 1)
+              ::
+              (if gpus >= 16 then [ (Topology.Dgx { nodes = gpus / 8 }, gpus / 8) ] else [])
+            in
+            List.concat_map
+              (fun (topology, nodes) ->
+                List.map (fun kind -> (gpus, topology, nodes, kind)) scaleout_variants)
+              topologies)
+          counts
+      in
+      let scenarios =
+        List.map
+          (fun (gpus, topology, _nodes, kind) ->
+            let dims = S.Problem.weak_scale base ~gpus in
+            S.Harness.scenario ~topology kind (S.Problem.make dims ~iterations:iters) ~gpus)
+          cells
+      in
+      let grid = List.combine cells (S.Harness.run_many scenarios) in
+      header
+        "Fig S  Scale-out: 2D Jacobi weak scaling, 256^2/GPU, single NVSwitch vs DGX cluster \
+         (8 GPUs/node, InfiniBand spine; per-iter us)";
+      Printf.printf "%6s %6s %10s" "gpus" "nodes" "topology";
+      List.iter (fun k -> Printf.printf " %18s" (S.Variants.name k)) scaleout_variants;
+      print_newline ();
+      let row_keys =
+        List.sort_uniq compare (List.map (fun (g, t, n, _) -> (g, t, n)) cells)
+      in
+      List.iter
+        (fun (gpus, topology, nodes) ->
+          Printf.printf "%6d %6d %10s" gpus nodes (Topology.spec_to_string topology);
+          List.iter
+            (fun ((_, _, _, _), r) -> Printf.printf " %18.2f" (us r.Measure.per_iter))
+            (List.filter (fun ((g, t, n, _), _) -> (g, t, n) = (gpus, topology, nodes)) grid);
+          print_newline ())
+        row_keys;
+      let points =
+        List.map
+          (fun ((gpus, topology, nodes, kind), r) ->
+            point ~label:(S.Variants.name kind) ~gpus r
+              ~extra:
+                [
+                  ("topology", J.String (Topology.spec_to_string topology));
+                  ("nodes", J.Int nodes);
+                ])
+          grid
+      in
+      (points, ()))
+
+(* Documented schema of the fig.scaleout series: every point carries the
+   machine shape, and the figure must actually exercise scale-out — at least
+   one point with >= 16 GPUs spread across >= 2 nodes. *)
+let validate_scaleout_doc doc =
+  let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let field kvs name = List.assoc_opt name kvs in
+  let point_shape i p =
+    match p with
+    | J.Obj kvs -> (
+      match (field kvs "topology", field kvs "nodes", field kvs "gpus") with
+      | Some (J.String _), Some (J.Int _), Some (J.Int _) -> Ok ()
+      | _ -> fail "scaleout point %d: needs string \"topology\" and int \"nodes\"/\"gpus\"" i)
+    | _ -> fail "scaleout point %d: not an object" i
+  in
+  let multi_node p =
+    match p with
+    | J.Obj kvs -> (
+      match (field kvs "nodes", field kvs "gpus") with
+      | Some (J.Int n), Some (J.Int g) -> n >= 2 && g >= 16
+      | _ -> false)
+    | _ -> false
+  in
+  match doc with
+  | J.Obj kvs -> (
+    match field kvs "figures" with
+    | Some (J.List figs) -> (
+      let scaleout =
+        List.filter_map
+          (function
+            | J.Obj f when field f "figure" = Some (J.String "fig.scaleout") -> Some f
+            | _ -> None)
+          figs
+      in
+      match scaleout with
+      | [ fig ] -> (
+        match field fig "points" with
+        | Some (J.List (_ :: _ as pts)) ->
+          let rec go i = function
+            | [] -> Ok ()
+            | p :: rest -> (match point_shape i p with Ok () -> go (i + 1) rest | e -> e)
+          in
+          (match go 0 pts with
+          | Error _ as e -> e
+          | Ok () ->
+            if List.exists multi_node pts then Ok ()
+            else fail "fig.scaleout has no multi-node point (>= 16 GPUs on >= 2 nodes)")
+        | _ -> fail "fig.scaleout: missing or empty points list")
+      | l -> fail "expected exactly one fig.scaleout figure, found %d" (List.length l))
+    | _ -> fail "document has no figures list")
+  | _ -> fail "document is not an object"
+
+(* ---------------------------------------------------------------- *)
 (* Headline speedups                                                  *)
 (* ---------------------------------------------------------------- *)
 
@@ -814,6 +938,21 @@ let write_results ~mode ~elapsed =
         msg;
       exit 1
   end;
+  let has_scaleout =
+    List.exists
+      (function
+        | J.Obj f -> List.assoc_opt "figure" f = Some (J.String "fig.scaleout")
+        | _ -> false)
+      !json_figures
+  in
+  if has_scaleout then begin
+    match validate_scaleout_doc doc with
+    | Ok () -> ()
+    | Error msg ->
+      Printf.eprintf
+        "[scaleout] FATAL: BENCH_results.json violates the documented schema: %s\n%!" msg;
+      exit 1
+  end;
   let oc = open_out "BENCH_results.json" in
   J.to_channel oc doc;
   close_out oc;
@@ -831,6 +970,15 @@ let () =
     write_results ~mode:(if smoke then "micro-smoke" else "micro") ~elapsed:(wall () -. t_start);
     exit 0
   end;
+  if List.mem "scaleout" args then begin
+    let smoke = List.mem "smoke" args in
+    let t_start = wall () in
+    fig_scaleout ~smoke ();
+    write_results
+      ~mode:(if smoke then "scaleout-smoke" else "scaleout")
+      ~elapsed:(wall () -. t_start);
+    exit 0
+  end;
   let t_start = wall () in
   timelines ();
   fig2_2a ();
@@ -844,6 +992,7 @@ let () =
     supplementary_norm ();
     ablations ()
   end;
+  fig_scaleout ~smoke:quick ();
   if with_bechamel || not quick then bechamel_suite ();
   let elapsed = wall () -. t_start in
   if json then write_results ~mode:(if quick then "quick" else "full") ~elapsed;

@@ -30,6 +30,20 @@ let resolve_arch name =
       (String.concat ", " (List.map fst G.Arch.by_name));
     exit 2
 
+let topology_arg =
+  let doc =
+    "Machine topology: hgx (single-node NVSwitch all-to-all, the default), ring, pcie, or \
+     dgx[:NODES] (multi-node cluster joined by InfiniBand; GPUs split evenly across nodes)."
+  in
+  Arg.(value & opt string "hgx" & info [ "topology"; "t" ] ~docv:"TOPO" ~doc)
+
+let resolve_topology name =
+  match Cpufree_machine.Topology.spec_of_string name with
+  | Ok spec -> spec
+  | Error msg ->
+    Printf.eprintf "%s\n" msg;
+    exit 2
+
 let iters_arg =
   let doc = "Jacobi iterations / time steps." in
   Arg.(value & opt int 100 & info [ "iters"; "i" ] ~docv:"T" ~doc)
@@ -98,8 +112,9 @@ let no_compute_arg =
   let doc = "Disable computation: measure the pure communication/sync floor." in
   Arg.(value & flag & info [ "no-compute" ] ~doc)
 
-let run_stencil arch_name gpus iters dims variant no_compute verify timeline chrome =
+let run_stencil arch_name topo_name gpus iters dims variant no_compute verify timeline chrome =
   let arch = resolve_arch arch_name in
+  let topology = resolve_topology topo_name in
   let kinds =
     match variant with
     | None | Some "all" -> S.Variants.all
@@ -115,11 +130,11 @@ let run_stencil arch_name gpus iters dims variant no_compute verify timeline chr
   let results =
     List.map
       (fun kind ->
-        let r, trace = S.Harness.run_traced ~arch kind problem ~gpus in
+        let r, trace = S.Harness.run_traced ~arch ~topology kind problem ~gpus in
         if timeline && List.length kinds = 1 then print_timeline trace;
         if List.length kinds = 1 then maybe_write_chrome chrome trace;
         if verify then begin
-          match S.Harness.verify ~arch kind problem ~gpus with
+          match S.Harness.verify ~arch ~topology kind problem ~gpus with
           | Ok err -> Printf.printf "%-22s verification OK (max |err| = %.2e)\n" (S.Variants.name kind) err
           | Error m -> Printf.printf "%-22s verification FAILED: %s\n" (S.Variants.name kind) m
         end;
@@ -136,7 +151,7 @@ let stencil_cmd =
   Cmd.v
     (Cmd.info "stencil" ~doc)
     Term.(
-      const run_stencil $ arch_arg $ gpus_arg $ iters_arg $ dims_arg $ variant_arg
+      const run_stencil $ arch_arg $ topology_arg $ gpus_arg $ iters_arg $ dims_arg $ variant_arg
       $ no_compute_arg $ verify_arg $ timeline_arg $ chrome_arg)
 
 (* --- dace command ---------------------------------------------------------- *)
@@ -164,7 +179,8 @@ let specialize_arg =
   in
   Arg.(value & flag & info [ "specialize-tb" ] ~doc)
 
-let run_dace gpus iters app_name arm_name size emit specialize_tb verify timeline chrome =
+let run_dace topo_name gpus iters app_name arm_name size emit specialize_tb verify timeline chrome =
+  let topology = resolve_topology topo_name in
   let app =
     match app_name with
     | "jacobi1d" -> D.Pipeline.Jacobi1d { D.Programs.n_global = size; tsteps = iters }
@@ -206,7 +222,7 @@ let run_dace gpus iters app_name arm_name size emit specialize_tb verify timelin
   end;
   let built = D.Pipeline.compile ~specialize_tb app arm ~gpus in
   let r, trace =
-    Measure.run_traced
+    Measure.run_traced ~topology
       ~label:(Printf.sprintf "%s/%s%s" (D.Pipeline.app_name app) (D.Pipeline.arm_name arm)
                 (if specialize_tb then "/specialized" else ""))
       ~gpus ~iterations:iters built.D.Exec.program
@@ -221,29 +237,53 @@ let dace_cmd =
   Cmd.v
     (Cmd.info "dace" ~doc)
     Term.(
-      const run_dace $ gpus_arg $ iters_arg $ app_arg $ arm_arg $ size_arg $ emit_arg
-      $ specialize_arg $ verify_arg $ timeline_arg $ chrome_arg)
+      const run_dace $ topology_arg $ gpus_arg $ iters_arg $ app_arg $ arm_arg $ size_arg
+      $ emit_arg $ specialize_arg $ verify_arg $ timeline_arg $ chrome_arg)
 
 (* --- machine command -------------------------------------------------------- *)
 
-let run_machine arch_name =
+let json_arg =
+  let doc =
+    "Emit the machine description (endpoints, links, routes) as schema-checked JSON instead of \
+     the text summary."
+  in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let run_machine arch_name topo_name gpus json =
   let arch = resolve_arch arch_name in
-  Format.printf "%a@." G.Arch.pp arch;
-  let f = Time.to_string in
-  Printf.printf "  kernel launch:          %s\n" (f arch.G.Arch.kernel_launch);
-  Printf.printf "  cooperative launch:     %s\n" (f arch.G.Arch.coop_launch);
-  Printf.printf "  stream synchronize:     %s\n" (f arch.G.Arch.stream_sync);
-  Printf.printf "  host barrier:           %s\n" (f arch.G.Arch.host_barrier);
-  Printf.printf "  grid.sync():            %s\n" (f arch.G.Arch.grid_sync);
-  Printf.printf "  host-initiated latency: %s\n" (f arch.G.Arch.host_initiated_latency);
-  Printf.printf "  GPU-initiated latency:  %s\n" (f arch.G.Arch.gpu_initiated_latency);
-  Printf.printf "  NVSHMEM signal:         %s\n" (f arch.G.Arch.nvshmem_signal);
-  Printf.printf "  co-resident blocks:     %d\n" (G.Arch.co_resident_blocks arch);
-  0
+  let spec = resolve_topology topo_name in
+  let topo = Cpufree_machine.Topology.instantiate spec ~profile:(G.Arch.fabric_profile arch) ~gpus in
+  if json then begin
+    match Cpufree_core.Machine_json.emit stdout topo with
+    | Ok () -> 0
+    | Error msg ->
+      Printf.eprintf "machine description failed schema validation: %s\n" msg;
+      1
+  end
+  else begin
+    Format.printf "%a@." G.Arch.pp arch;
+    let f = Time.to_string in
+    Printf.printf "  kernel launch:          %s\n" (f arch.G.Arch.kernel_launch);
+    Printf.printf "  cooperative launch:     %s\n" (f arch.G.Arch.coop_launch);
+    Printf.printf "  stream synchronize:     %s\n" (f arch.G.Arch.stream_sync);
+    Printf.printf "  host barrier:           %s\n" (f arch.G.Arch.host_barrier);
+    Printf.printf "  grid.sync():            %s\n" (f arch.G.Arch.grid_sync);
+    Printf.printf "  host-initiated latency: %s\n" (f arch.G.Arch.host_initiated_latency);
+    Printf.printf "  GPU-initiated latency:  %s\n" (f arch.G.Arch.gpu_initiated_latency);
+    Printf.printf "  NVSHMEM signal:         %s\n" (f arch.G.Arch.nvshmem_signal);
+    Printf.printf "  co-resident blocks:     %d\n" (G.Arch.co_resident_blocks arch);
+    Format.printf "%a@." Cpufree_machine.Topology.pp topo;
+    Format.printf "%a" Cpufree_machine.Topology.pp_links topo;
+    0
+  end
 
 let machine_cmd =
-  let doc = "Print the simulated machine's cost-model parameters." in
-  Cmd.v (Cmd.info "machine" ~doc) Term.(const run_machine $ arch_arg)
+  let doc =
+    "Print the simulated machine: cost-model parameters and the topology graph (or the full \
+     description as JSON with --json)."
+  in
+  Cmd.v (Cmd.info "machine" ~doc)
+    Term.(const run_machine $ arch_arg $ topology_arg $ gpus_arg $ json_arg)
 
 (* --- entry ------------------------------------------------------------------- *)
 

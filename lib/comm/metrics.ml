@@ -3,34 +3,12 @@ module Time = E.Time
 
 type interval = Time.t * Time.t
 
-let merge intervals =
-  let sorted =
-    List.sort (fun (a, _) (b, _) -> Time.compare a b)
-      (List.filter (fun (a, b) -> Time.(a < b)) intervals)
-  in
-  let rec go acc = function
-    | [] -> List.rev acc
-    | iv :: rest -> (
-      match acc with
-      | (lo, hi) :: acc_rest when Time.(fst iv <= hi) ->
-        go ((lo, Time.max hi (snd iv)) :: acc_rest) rest
-      | _ -> go (iv :: acc) rest)
-  in
-  go [] sorted
-
-let intersect xs ys =
-  let rec go acc xs ys =
-    match (xs, ys) with
-    | [], _ | _, [] -> List.rev acc
-    | (xa, xb) :: xrest, (ya, yb) :: yrest ->
-      let lo = Time.max xa ya and hi = Time.min xb yb in
-      let acc = if Time.(lo < hi) then (lo, hi) :: acc else acc in
-      if Time.(xb <= yb) then go acc xrest ys else go acc xs yrest
-  in
-  go [] xs ys
-
-let total intervals =
-  List.fold_left (fun acc (a, b) -> Time.add acc (Time.sub b a)) Time.zero intervals
+(* The interval algebra lives in {!Cpufree_engine.Intervals} now; these
+   aliases keep every existing caller of [Metrics.merge] and friends
+   compiling unchanged. *)
+let merge = E.Intervals.merge
+let intersect = E.Intervals.intersect
+let total = E.Intervals.total
 
 let intervals_of_kind trace ~kind =
   merge

@@ -147,6 +147,17 @@ let quiet t ~pe =
   check_pe t pe "quiet";
   E.Sync.Flag.wait_until t.pending.(pe) (fun v -> v = 0)
 
+(* Wire latency a fabric signal rides: the routed path between the PEs (the
+   NVLink hop on a single switch, NIC + IB on an inter-node pair); a PE
+   signalling itself still loops through the fabric at the cheapest pair
+   latency, as the flat model charged. *)
+let signal_wire t ~from_pe ~to_pe =
+  let net = net t in
+  if from_pe = to_pe then G.Interconnect.min_gpu_wire_latency net
+  else
+    G.Interconnect.wire_latency net ~src:(G.Interconnect.Gpu from_pe)
+      ~dst:(G.Interconnect.Gpu to_pe)
+
 let signal_op_remote t ~from_pe ~to_pe ~sig_var ~sig_op ~sig_value =
   check_pe t from_pe "signal_op";
   check_pe t to_pe "signal_op";
@@ -155,7 +166,7 @@ let signal_op_remote t ~from_pe ~to_pe ~sig_var ~sig_op ~sig_value =
   let a = arch t in
   E.Engine.delay t.eng
     (Time.add a.G.Arch.gpu_initiated_latency
-       (Time.add a.G.Arch.nvlink_latency a.G.Arch.nvshmem_signal));
+       (Time.add (signal_wire t ~from_pe ~to_pe) a.G.Arch.nvshmem_signal));
   apply_signal sig_var to_pe sig_op sig_value
 
 let signal_wait_until t ~pe ~sig_var pred =
@@ -172,7 +183,11 @@ let barrier_all t ~pe =
   check_pe t pe "barrier_all";
   quiet t ~pe;
   let a = arch t in
-  E.Engine.delay t.eng (Time.add a.G.Arch.nvlink_latency a.G.Arch.nvshmem_signal);
+  (* A fabric-wide barrier must cover the machine's worst routed GPU pair —
+     on a single switch that is the NVLink hop (as the flat model charged);
+     on a cluster it is the inter-node path. *)
+  E.Engine.delay t.eng
+    (Time.add (G.Interconnect.max_gpu_wire_latency (net t)) a.G.Arch.nvshmem_signal);
   E.Sync.Barrier.wait t.barrier
 
 let pending t ~pe =

@@ -25,7 +25,7 @@ let pdes_mode () : pdes =
     | other ->
       invalid_arg (Printf.sprintf "CPUFREE_PDES=%S: expected \"seq\" or \"windowed\"" other))
 
-let run_traced ?arch ?seed:_ ~label ~gpus ~iterations program =
+let run_traced ?arch ?topology ?seed:_ ~label ~gpus ~iterations program =
   let mode = pdes_mode () in
   let trace = E.Trace.create () in
   let eng =
@@ -33,7 +33,7 @@ let run_traced ?arch ?seed:_ ~label ~gpus ~iterations program =
     | `Seq -> E.Engine.create ~trace ()
     | `Windowed -> E.Engine.create ~trace ~partitions:(gpus + 1) ()
   in
-  let ctx = G.Runtime.init eng ?arch ~partitioned:(mode = `Windowed) ~num_gpus:gpus () in
+  let ctx = G.Runtime.init eng ?arch ?topology ~partitioned:(mode = `Windowed) ~num_gpus:gpus () in
   let (_ : E.Engine.process) = E.Engine.spawn eng ~name:"main" (fun () -> program ctx) in
   (match mode with
   | `Seq -> E.Engine.run eng
@@ -62,8 +62,8 @@ let run_traced ?arch ?seed:_ ~label ~gpus ~iterations program =
   in
   (result, trace)
 
-let run ?arch ?seed ~label ~gpus ~iterations program =
-  fst (run_traced ?arch ?seed ~label ~gpus ~iterations program)
+let run ?arch ?topology ?seed ~label ~gpus ~iterations program =
+  fst (run_traced ?arch ?topology ?seed ~label ~gpus ~iterations program)
 
 let best_of ~runs f =
   if runs < 1 then invalid_arg "Measure.best_of: need at least one run";

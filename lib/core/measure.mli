@@ -25,14 +25,19 @@ val pdes_mode : unit -> pdes
     zero. Any other value raises [Invalid_argument]. *)
 
 val run :
-  ?arch:Cpufree_gpu.Arch.t -> ?seed:int -> label:string -> gpus:int -> iterations:int ->
+  ?arch:Cpufree_gpu.Arch.t ->
+  ?topology:Cpufree_machine.Topology.spec ->
+  ?seed:int -> label:string -> gpus:int -> iterations:int ->
   (Cpufree_gpu.Runtime.ctx -> unit) -> result
-(** Create an engine with tracing, a runtime context with [gpus] devices, run
-    the given host program as the "main" process to completion, and measure.
+(** Create an engine with tracing, a runtime context with [gpus] devices
+    arranged per [topology] (default: single-node NVSwitch HGX), run the
+    given host program as the "main" process to completion, and measure.
     Deterministic for a given seed. *)
 
 val run_traced :
-  ?arch:Cpufree_gpu.Arch.t -> ?seed:int -> label:string -> gpus:int -> iterations:int ->
+  ?arch:Cpufree_gpu.Arch.t ->
+  ?topology:Cpufree_machine.Topology.spec ->
+  ?seed:int -> label:string -> gpus:int -> iterations:int ->
   (Cpufree_gpu.Runtime.ctx -> unit) -> result * Cpufree_engine.Trace.t
 (** As {!run} but also returns the execution trace (for timelines). *)
 

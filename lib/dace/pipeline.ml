@@ -58,13 +58,13 @@ let compile ?backed ?(relax = true) ?(specialize_tb = false) app arm ~gpus =
       Exec.build_persistent ?backed p
     | Error e -> invalid_arg ("GPUPersistentKernel fusion failed: " ^ e))
 
-let run_traced ?arch app arm ~gpus =
+let run_traced ?arch ?topology app arm ~gpus =
   let built = compile app arm ~gpus in
-  Measure.run_traced ?arch
+  Measure.run_traced ?arch ?topology
     ~label:(Printf.sprintf "%s/%s" (app_name app) (arm_name arm))
     ~gpus ~iterations:(iterations app) built.Exec.program
 
-let run ?arch app arm ~gpus = fst (run_traced ?arch app arm ~gpus)
+let run ?arch ?topology app arm ~gpus = fst (run_traced ?arch ?topology app arm ~gpus)
 
 let verify ?arch ?relax ?specialize_tb app arm ~gpus =
   let built = compile ~backed:true ?relax ?specialize_tb app arm ~gpus in

@@ -32,11 +32,15 @@ val compile_sdfg : app -> arm -> gpus:int -> Sdfg.t
 (** The transformed SDFG right before backend lowering (for inspection and
     code emission). *)
 
-val run : ?arch:Cpufree_gpu.Arch.t -> app -> arm -> gpus:int -> Cpufree_core.Measure.result
-(** Compile (phantom buffers) and execute on the simulated machine. *)
+val run :
+  ?arch:Cpufree_gpu.Arch.t -> ?topology:Cpufree_machine.Topology.spec ->
+  app -> arm -> gpus:int -> Cpufree_core.Measure.result
+(** Compile (phantom buffers) and execute on the simulated machine
+    ([?topology] as in {!Cpufree_core.Measure.run}). *)
 
 val run_traced :
-  ?arch:Cpufree_gpu.Arch.t -> app -> arm -> gpus:int ->
+  ?arch:Cpufree_gpu.Arch.t -> ?topology:Cpufree_machine.Topology.spec ->
+  app -> arm -> gpus:int ->
   Cpufree_core.Measure.result * Cpufree_engine.Trace.t
 
 val verify :

@@ -1,0 +1,28 @@
+(** Interval algebra over simulated time.
+
+    The primitive every wall-clock accounting question reduces to: turn a bag
+    of (start, end) spans into a sorted disjoint cover, intersect two covers,
+    and sum their lengths. Hoisted out of the communication metrics so the
+    trace layer and any future accounting can share one implementation.
+
+    Representation invariant for the outputs of {!merge} and {!intersect}:
+    sorted by start, pairwise disjoint, every interval non-empty. [merge]
+    accepts arbitrary input (unsorted, overlapping, empty intervals);
+    [intersect] requires both arguments to already satisfy the invariant. *)
+
+type t = Time.t * Time.t
+(** A half-open interval [(start, end)]; empty when [end <= start]. *)
+
+val merge : t list -> t list
+(** Union of intervals as a sorted, disjoint list. Empty intervals vanish. *)
+
+val intersect : t list -> t list -> t list
+(** Intersection of two sorted, disjoint interval lists. *)
+
+val total : t list -> Time.t
+(** Sum of interval lengths — only a measure of the union when the list is
+    disjoint (e.g. a {!merge} result). *)
+
+val covered : t list -> Time.t
+(** [total (merge intervals)]: the measure of the union of an arbitrary bag
+    of intervals, counting overlapping stretches once. *)

@@ -123,6 +123,11 @@ let busy_time t ~lane =
   iter_lane t lane (fun s -> acc := Time.add !acc (Time.sub s.t1 s.t0));
   !acc
 
+let busy_time_merged t ~lane =
+  let acc = ref [] in
+  iter_lane t lane (fun s -> acc := (s.t0, s.t1) :: !acc);
+  Intervals.covered !acc
+
 let busy_time_kind t ~kind =
   let acc = ref Time.zero in
   for i = 0 to t.n - 1 do

@@ -47,6 +47,12 @@ val lanes : t -> string list
 val busy_time : t -> lane:string -> Time.t
 (** Sum of span durations on a lane (overlaps on the same lane count twice). *)
 
+val busy_time_merged : t -> lane:string -> Time.t
+(** Wall-clock during which the lane has at least one span in flight:
+    overlapping spans are merged ({!Intervals.covered}) and count once, so
+    this never exceeds the lane's observed window. Use this for utilization;
+    {!busy_time} remains the raw per-span sum. *)
+
 val busy_time_kind : t -> kind:kind -> Time.t
 
 val window : t -> (Time.t * Time.t) option

@@ -10,6 +10,8 @@ type t = {
   nvlink_latency : Engine_time.t;
   pcie_bw_gbs : float;
   pcie_latency : Engine_time.t;
+  ib_bw_gbs : float;
+  ib_latency : Engine_time.t;
   kernel_launch : Engine_time.t;
   kernel_teardown : Engine_time.t;
   coop_launch : Engine_time.t;
@@ -46,6 +48,8 @@ let a100_hgx =
     nvlink_latency = ns 1_500;
     pcie_bw_gbs = 25.0;
     pcie_latency = ns 2_500;
+    ib_bw_gbs = 25.0;
+    ib_latency = ns 1_300;
     kernel_launch = ns 6_500;
     kernel_teardown = ns 2_200;
     coop_launch = ns 9_000;
@@ -82,6 +86,8 @@ let h100_hgx =
     hbm_bw_gbs = 3350.0;
     nvlink_bw_gbs = 450.0;
     nvlink_latency = ns 1_200;
+    ib_bw_gbs = 50.0;
+    ib_latency = ns 1_000;
     grid_sync = ns 2_400;
     gpu_initiated_latency = ns 200;
     nvshmem_wait_latency = ns 1_600;
@@ -108,6 +114,26 @@ let lookahead_bound t =
   in
   Engine_time.min dev_dev host_dev
 let hbm_bytes_per_ns t = t.hbm_bw_gbs
+
+(* The link numbers the topology layer instantiates a machine graph from.
+   The short name feeds topology naming; fall back to the display name for
+   custom architectures. *)
+let fabric_profile t =
+  let pname =
+    match List.find_opt (fun (_, a) -> a = t) by_name with
+    | Some (short, _) -> short
+    | None -> t.name
+  in
+  {
+    Cpufree_machine.Topology.pname;
+    nvlink_latency = t.nvlink_latency;
+    nvlink_gbs = t.nvlink_bw_gbs;
+    pcie_latency = t.pcie_latency;
+    pcie_gbs = t.pcie_bw_gbs;
+    hbm_gbs = t.hbm_bw_gbs;
+    ib_latency = t.ib_latency;
+    ib_gbs = t.ib_bw_gbs;
+  }
 let nvlink_bytes_per_ns t = t.nvlink_bw_gbs
 let pcie_bytes_per_ns t = t.pcie_bw_gbs
 

@@ -21,6 +21,8 @@ type t = {
   nvlink_latency : Engine_time.t;  (** wire + fabric first-byte latency *)
   pcie_bw_gbs : float;
   pcie_latency : Engine_time.t;
+  ib_bw_gbs : float;  (** per-NIC InfiniBand line rate, GB/s (scale-out) *)
+  ib_latency : Engine_time.t;  (** inter-node IB first-byte latency *)
   kernel_launch : Engine_time.t;  (** host-side cost of a kernel launch *)
   kernel_teardown : Engine_time.t;
       (** device-side scheduling cost paid by every discrete kernel instance *)
@@ -84,6 +86,11 @@ val lookahead_bound : t -> Engine_time.t
     within a window this wide, one device cannot affect another. Zero when
     the architecture models free signalling, in which case windowed execution
     falls back to sequential. *)
+
+val fabric_profile : t -> Cpufree_machine.Topology.profile
+(** The architecture's link numbers as a topology-layer profile, ready to
+    instantiate a machine graph. The profile's short name is the {!by_name}
+    key when the architecture is a stock one. *)
 
 val hbm_bytes_per_ns : t -> float
 val nvlink_bytes_per_ns : t -> float

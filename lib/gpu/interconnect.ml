@@ -1,108 +1,174 @@
 module E = Cpufree_engine
+module M = Cpufree_machine
 module Time = E.Time
 
 type endpoint = Gpu of int | Host
 type initiator = By_host | By_device
 
-(* Every transfer crosses one of three path classes; latency additionally
-   depends on who initiated it. Both are memoized at [create] into flat
-   arrays so the hot path of a stencil halo exchange — millions of
-   [transfer_time] calls per sweep — does no float division and no repeated
-   [Time] arithmetic, just two array reads. *)
-let n_classes = 3
-let class_local = 0 (* same GPU, or host-to-host: HBM *)
-let class_nvlink = 1
-let class_pcie = 2
+(* The fabric is a thin façade over a routed {!Cpufree_machine.Topology}
+   graph: every endpoint pair's static route is folded at [create] into a
+   (wire latency, bottleneck inverse bandwidth, port resources) triple, so
+   the hot path of a stencil halo exchange — millions of [transfer_time]
+   calls per sweep — does no routing, no float division and no repeated
+   [Time] arithmetic, just array reads. Initiator setup cost is added on
+   top of the routed wire latency, exactly as the flat model did. *)
 
 type t = {
   eng : E.Engine.t;
   arch : Arch.t;
   n : int;
-  egress : E.Sync.Resource.t array;
-  ingress : E.Sync.Resource.t array;
-  host_port : E.Sync.Resource.t;
-  lat : Time.t array; (* indexed class * 2 + initiator *)
-  ns_per_byte : float array; (* indexed by class *)
+  topo : M.Topology.t;
+  ports : E.Sync.Resource.t array; (* one per topology port, indexed by pid *)
+  setup : Time.t array; (* indexed by initiator *)
+  pair_lat : Time.t array; (* (src_idx * (n+1)) + dst_idx; wire only *)
+  pair_nsb : float array;
+  pair_ports : E.Sync.Resource.t array array;
+  look : Time.t;
+  min_gpu_wire : Time.t;
+  max_gpu_wire : Time.t;
   mutable total_bytes : int;
   mutable total_transfers : int;
 }
 
 let init_idx = function By_host -> 0 | By_device -> 1
 
-let create eng ~arch ~num_gpus =
+(* Endpoint index for the memo tables: GPU [g] is [g], the host is [n]. On a
+   multi-node machine "the host" is relative — it resolves to the host of the
+   peer GPU's node (a host-staged copy talks to the local host), and
+   host-to-host means node 0 talking to itself. *)
+let vertex_pair topo ~src ~dst =
+  let gv g = M.Topology.gpu_vertex topo g in
+  let hv g = M.Topology.host_vertex topo ~node:(M.Topology.node_of_gpu topo g) in
+  match (src, dst) with
+  | Gpu a, Gpu b -> (gv a, gv b)
+  | Host, Gpu b -> (hv b, gv b)
+  | Gpu a, Host -> (gv a, hv a)
+  | Host, Host ->
+    let h = M.Topology.host_vertex topo ~node:0 in
+    (h, h)
+
+let endpoint_of_idx n i = if i = n then Host else Gpu i
+
+let create ?(topology = M.Topology.Hgx) eng ~arch ~num_gpus =
   if num_gpus <= 0 then invalid_arg "Interconnect.create: need at least one GPU";
-  let port kind i = E.Sync.Resource.create ~name:(Printf.sprintf "gpu%d.%s" i kind) eng () in
-  let wire = [| Time.zero; arch.Arch.nvlink_latency; arch.Arch.pcie_latency |] in
-  let setup = [| arch.Arch.host_initiated_latency; arch.Arch.gpu_initiated_latency |] in
-  let bw =
-    [| Arch.hbm_bytes_per_ns arch; Arch.nvlink_bytes_per_ns arch; Arch.pcie_bytes_per_ns arch |]
+  let topo = M.Topology.instantiate topology ~profile:(Arch.fabric_profile arch) ~gpus:num_gpus in
+  let ports =
+    Array.of_list
+      (List.map
+         (fun p -> E.Sync.Resource.create ~name:p.M.Topology.pname eng ())
+         (M.Topology.ports topo))
+  in
+  let n = num_gpus in
+  let m = n + 1 in
+  let pair_lat = Array.make (m * m) Time.zero in
+  let pair_nsb = Array.make (m * m) 0.0 in
+  let pair_ports = Array.make (m * m) [||] in
+  for si = 0 to m - 1 do
+    for di = 0 to m - 1 do
+      let src = endpoint_of_idx n si and dst = endpoint_of_idx n di in
+      let vs, vd = vertex_pair topo ~src ~dst in
+      let k = (si * m) + di in
+      pair_lat.(k) <- M.Topology.route_latency topo ~src:vs ~dst:vd;
+      pair_nsb.(k) <- M.Topology.route_ns_per_byte topo ~src:vs ~dst:vd;
+      pair_ports.(k) <-
+        Array.of_list
+          (List.map (fun p -> ports.(p)) (M.Topology.route_ports topo ~src:vs ~dst:vd))
+    done
+  done;
+  (* Conservative lookahead: cheapest cross-partition interaction the fabric
+     can carry — the cheapest GPU pair plus device initiation, or the
+     cheapest host attach plus the cheapest initiation. Mirrors
+     {!Arch.lookahead_bound}, which assumed the flat single-switch fabric. *)
+  let look =
+    let host_dev =
+      match M.Topology.min_host_gpu_latency topo with
+      | Some l ->
+        Some
+          (Time.add l (Time.min arch.Arch.host_initiated_latency arch.Arch.gpu_initiated_latency))
+      | None -> None
+    in
+    let dev_dev =
+      match M.Topology.min_gpu_pair_latency topo with
+      | Some l -> Some (Time.add l arch.Arch.gpu_initiated_latency)
+      | None -> None
+    in
+    match (dev_dev, host_dev) with
+    | Some a, Some b -> Time.min a b
+    | Some a, None | None, Some a -> a
+    | None, None -> Arch.lookahead_bound arch
+  in
+  let gpu_wire pick fallback =
+    match pick topo with Some l -> l | None -> fallback
   in
   {
     eng;
     arch;
-    n = num_gpus;
-    egress = Array.init num_gpus (port "egress");
-    ingress = Array.init num_gpus (port "ingress");
-    host_port = E.Sync.Resource.create ~name:"host.pcie" eng ();
-    lat =
-      Array.init (n_classes * 2) (fun i -> Time.add wire.(i / 2) setup.(i mod 2));
-    ns_per_byte = Array.map (fun b -> 1.0 /. b) bw;
+    n;
+    topo;
+    ports;
+    setup = [| arch.Arch.host_initiated_latency; arch.Arch.gpu_initiated_latency |];
+    pair_lat;
+    pair_nsb;
+    pair_ports;
+    look;
+    min_gpu_wire = gpu_wire M.Topology.min_gpu_pair_latency arch.Arch.nvlink_latency;
+    max_gpu_wire = gpu_wire M.Topology.max_gpu_pair_latency arch.Arch.nvlink_latency;
     total_bytes = 0;
     total_transfers = 0;
   }
 
 let num_gpus t = t.n
 let arch t = t.arch
+let topology t = t.topo
+let num_nodes t = M.Topology.num_nodes t.topo
+let node_of_gpu t g = M.Topology.node_of_gpu t.topo g
 
 let check_endpoint t = function
   | Host -> ()
   | Gpu i ->
     if i < 0 || i >= t.n then invalid_arg (Printf.sprintf "Interconnect: no such GPU %d" i)
 
-let path_class ~src ~dst =
-  match (src, dst) with
-  | Gpu a, Gpu b when a = b -> class_local
-  | Gpu _, Gpu _ -> class_nvlink
-  | Host, Gpu _ | Gpu _, Host -> class_pcie
-  | Host, Host -> class_local
+let pair_idx t ~src ~dst =
+  let idx = function Gpu g -> g | Host -> t.n in
+  (idx src * (t.n + 1)) + idx dst
 
-let path_latency t ~src ~dst ~initiator =
-  t.lat.((path_class ~src ~dst * 2) + init_idx initiator)
+let wire_latency t ~src ~dst =
+  check_endpoint t src;
+  check_endpoint t dst;
+  t.pair_lat.(pair_idx t ~src ~dst)
 
-let ports t ~src ~dst =
-  match (src, dst) with
-  | Gpu a, Gpu b when a = b -> []
-  | Gpu a, Gpu b -> [ t.egress.(a); t.ingress.(b) ]
-  | Host, Gpu b -> [ t.host_port; t.ingress.(b) ]
-  | Gpu a, Host -> [ t.egress.(a); t.host_port ]
-  | Host, Host -> []
+let min_gpu_wire_latency t = t.min_gpu_wire
+let max_gpu_wire_latency t = t.max_gpu_wire
 
-let serialization_time t ~src ~dst ~bytes =
-  if bytes = 0 then Time.zero
-  else Time.of_ns_float (float_of_int bytes *. t.ns_per_byte.(path_class ~src ~dst))
+let path_latency t ~k ~initiator = Time.add t.pair_lat.(k) t.setup.(init_idx initiator)
+
+let serialization_time t ~k ~bytes =
+  if bytes = 0 then Time.zero else Time.of_ns_float (float_of_int bytes *. t.pair_nsb.(k))
 
 (* Cheapest latency of any interaction that crosses partitions (device
    partitions plus the host/interconnect partition): the conservative window
    width for {!Cpufree_engine.Engine.run_windowed}. *)
-let lookahead t = Arch.lookahead_bound t.arch
+let lookahead t = t.look
 
 let transfer_time t ~src ~dst ~initiator ~bytes =
   check_endpoint t src;
   check_endpoint t dst;
-  Time.add (path_latency t ~src ~dst ~initiator) (serialization_time t ~src ~dst ~bytes)
+  let k = pair_idx t ~src ~dst in
+  Time.add (path_latency t ~k ~initiator) (serialization_time t ~k ~bytes)
 
 let transfer t ~src ~dst ~initiator ~bytes ?trace_lane ?(label = "xfer") () =
   check_endpoint t src;
   check_endpoint t dst;
   if bytes < 0 then invalid_arg "Interconnect.transfer: negative size";
-  let latency = path_latency t ~src ~dst ~initiator in
-  let dur = serialization_time t ~src ~dst ~bytes in
+  let k = pair_idx t ~src ~dst in
+  let latency = path_latency t ~k ~initiator in
+  let dur = serialization_time t ~k ~bytes in
   let t0 = E.Engine.now t.eng in
   let finish =
-    match ports t ~src ~dst with
-    | [] -> Time.add (Time.add t0 latency) dur
+    match t.pair_ports.(k) with
+    | [||] -> Time.add (Time.add t0 latency) dur
     | ps ->
-      let start = E.Sync.Resource.book_many ps ~duration:dur in
+      let start = E.Sync.Resource.book_many (Array.to_list ps) ~duration:dur in
       Time.add (Time.add start latency) dur
   in
   t.total_bytes <- t.total_bytes + bytes;
@@ -119,4 +185,5 @@ let transfers t = t.total_transfers
 
 let port_busy t ~gpu =
   if gpu < 0 || gpu >= t.n then invalid_arg "Interconnect.port_busy: no such GPU";
-  (E.Sync.Resource.busy t.egress.(gpu), E.Sync.Resource.busy t.ingress.(gpu))
+  ( E.Sync.Resource.busy t.ports.(M.Topology.gpu_egress_port t.topo gpu),
+    E.Sync.Resource.busy t.ports.(M.Topology.gpu_ingress_port t.topo gpu) )

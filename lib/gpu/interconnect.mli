@@ -1,13 +1,21 @@
-(** The node's data fabric: NVSwitch all-to-all between GPUs and PCIe to the
-    host.
+(** The machine's data fabric: a façade over a routed topology graph.
 
-    Each GPU owns an egress and an ingress port modeled as serially reusable
-    bandwidth resources; a peer transfer occupies the source's egress and the
-    destination's ingress for its serialization time, so simultaneous
-    transfers that share a port queue behind each other — the contention an
-    NVSwitch exhibits. Latency depends on who initiated the transfer: the
-    paper's central quantitative point is that a GPU-initiated transfer skips
-    microseconds of host-side setup. *)
+    The fabric instantiates a {!Cpufree_machine.Topology} (NVSwitch HGX node
+    by default — the flat all-to-all of the paper's evaluation — or a ring,
+    a PCIe-only box, or a multi-node DGX cluster joined by InfiniBand) and
+    folds every endpoint pair's static route into memoized wire latency,
+    bottleneck inverse bandwidth and contention ports, so the per-transfer
+    hot path stays table lookups.
+
+    Each contention point (a GPU's egress/ingress engine, a host PCIe port,
+    a NIC direction, a shared PCIe root) is a serially reusable bandwidth
+    resource; a transfer books every port along its route for its
+    serialization time, so simultaneous transfers that share any link of
+    their paths queue behind each other — single-switch contention as
+    before, plus NIC contention on inter-node routes. Latency additionally
+    depends on who initiated the transfer: the paper's central quantitative
+    point is that a GPU-initiated transfer skips microseconds of host-side
+    setup. *)
 
 type endpoint = Gpu of int | Host
 
@@ -15,18 +23,43 @@ type initiator = By_host | By_device
 
 type t
 
-val create : Cpufree_engine.Engine.t -> arch:Arch.t -> num_gpus:int -> t
-(** Path latencies (per (path class, initiator)) and inverse bandwidths are
-    memoized here, once, so the per-transfer hot path does no float division
-    and no repeated [Time] conversions. *)
+val create :
+  ?topology:Cpufree_machine.Topology.spec ->
+  Cpufree_engine.Engine.t ->
+  arch:Arch.t ->
+  num_gpus:int ->
+  t
+(** Build the fabric for [num_gpus] GPUs arranged per [topology] (default
+    {!Cpufree_machine.Topology.Hgx}, which reproduces the flat NVSwitch
+    model path for path). Per-pair routed latencies, inverse bandwidths and
+    port sets are memoized here, once. *)
 
 val num_gpus : t -> int
 val arch : t -> Arch.t
 
+val topology : t -> Cpufree_machine.Topology.t
+(** The instantiated machine graph behind the façade. *)
+
+val num_nodes : t -> int
+val node_of_gpu : t -> int -> int
+
 val lookahead : t -> Cpufree_engine.Time.t
 (** Conservative lookahead for windowed partitioned simulation: the minimum
-    latency of any cross-partition interaction this fabric can carry. Equals
-    {!Arch.lookahead_bound} of the fabric's architecture. *)
+    latency of any cross-partition interaction this fabric can carry — the
+    cheapest routed GPU pair plus device initiation, or the cheapest host
+    attach plus the cheapest initiation cost. On the default single-node
+    NVSwitch topology this equals {!Arch.lookahead_bound}. *)
+
+val wire_latency : t -> src:endpoint -> dst:endpoint -> Cpufree_engine.Time.t
+(** Routed wire latency between two endpoints, without initiator setup. *)
+
+val min_gpu_wire_latency : t -> Cpufree_engine.Time.t
+(** Cheapest routed GPU-pair wire latency; the architecture's NVLink latency
+    when the machine has fewer than two GPUs. *)
+
+val max_gpu_wire_latency : t -> Cpufree_engine.Time.t
+(** Worst routed GPU-pair wire latency (the inter-node path on a cluster) —
+    what a fabric-wide barrier must cover. *)
 
 val transfer_time : t -> src:endpoint -> dst:endpoint -> initiator:initiator -> bytes:int -> Cpufree_engine.Time.t
 (** Uncontended duration (latency + serialization) of a transfer; pure. *)
@@ -34,9 +67,9 @@ val transfer_time : t -> src:endpoint -> dst:endpoint -> initiator:initiator -> 
 val transfer :
   t -> src:endpoint -> dst:endpoint -> initiator:initiator -> bytes:int ->
   ?trace_lane:string -> ?label:string -> unit -> unit
-(** Perform a transfer from the calling process: books the ports and blocks
-    until the last byte lands. Same-device "transfers" cost HBM time only;
-    zero-byte transfers cost only latency. *)
+(** Perform a transfer from the calling process: books every port on the
+    route and blocks until the last byte lands. Same-device "transfers" cost
+    HBM time only; zero-byte transfers cost only latency. *)
 
 val bytes_moved : t -> int
 (** Total payload bytes transported so far. *)

@@ -12,13 +12,13 @@ type ctx = {
 
 exception Coop_launch_error of string
 
-let init eng ?(arch = Arch.a100_hgx) ?(partitioned = false) ~num_gpus () =
+let init eng ?(arch = Arch.a100_hgx) ?topology ?(partitioned = false) ~num_gpus () =
   if num_gpus <= 0 then invalid_arg "Runtime.init: need at least one GPU";
   {
     eng;
     arch;
     n = num_gpus;
-    net = Interconnect.create eng ~arch ~num_gpus;
+    net = Interconnect.create ?topology eng ~arch ~num_gpus;
     devices = Array.init num_gpus (fun id -> Device.create eng ~arch ~id);
     partitioned;
   }

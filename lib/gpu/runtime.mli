@@ -12,11 +12,19 @@ exception Coop_launch_error of string
     limit (paper §4.1.4). *)
 
 val init :
-  Cpufree_engine.Engine.t -> ?arch:Arch.t -> ?partitioned:bool -> num_gpus:int -> unit -> ctx
-(** [partitioned] declares that the engine was created with one partition per
-    GPU plus a host/interconnect partition (partition 0) and that device
-    processes should be tagged accordingly; default [false] puts everything
-    in partition 0 (the classic sequential layout). *)
+  Cpufree_engine.Engine.t ->
+  ?arch:Arch.t ->
+  ?topology:Cpufree_machine.Topology.spec ->
+  ?partitioned:bool ->
+  num_gpus:int ->
+  unit ->
+  ctx
+(** [topology] selects the machine graph the fabric instantiates (default:
+    the single-node NVSwitch HGX of the paper's evaluation). [partitioned]
+    declares that the engine was created with one partition per GPU plus a
+    host/interconnect partition (partition 0) and that device processes
+    should be tagged accordingly; default [false] puts everything in
+    partition 0 (the classic sequential layout). *)
 
 val engine : ctx -> Cpufree_engine.Engine.t
 val arch : ctx -> Arch.t

@@ -1,0 +1,628 @@
+module Time = Cpufree_engine.Time
+
+type profile = {
+  pname : string;
+  nvlink_latency : Time.t;
+  nvlink_gbs : float;
+  pcie_latency : Time.t;
+  pcie_gbs : float;
+  hbm_gbs : float;
+  ib_latency : Time.t;
+  ib_gbs : float;
+}
+
+(* Same published numbers as [Cpufree_gpu.Arch.a100_hgx]/[h100_hgx]; the gpu
+   library's test suite pins the two copies together. *)
+let a100 =
+  {
+    pname = "a100";
+    nvlink_latency = Time.ns 1_500;
+    nvlink_gbs = 300.0;
+    pcie_latency = Time.ns 2_500;
+    pcie_gbs = 25.0;
+    hbm_gbs = 1555.0;
+    ib_latency = Time.ns 1_300;
+    ib_gbs = 25.0;
+  }
+
+let h100 =
+  {
+    pname = "h100";
+    nvlink_latency = Time.ns 1_200;
+    nvlink_gbs = 450.0;
+    pcie_latency = Time.ns 2_500;
+    pcie_gbs = 25.0;
+    hbm_gbs = 3350.0;
+    ib_latency = Time.ns 1_000;
+    ib_gbs = 50.0;
+  }
+
+type vertex_kind =
+  | Gpu of { node : int; device : int }
+  | Host of { node : int }
+  | Nic of { node : int }
+  | Switch of { node : int option }
+
+type vertex = {
+  vid : int;
+  kind : vertex_kind;
+  vname : string;
+  local_ns_per_byte : float;
+}
+
+type link_kind = Nvlink | Pcie | Infiniband
+
+type port = { pid : int; pname : string }
+
+type link = {
+  lid : int;
+  lsrc : int;
+  ldst : int;
+  lkind : link_kind;
+  llatency : Time.t;
+  lns_per_byte : float;
+  lports : int list;
+}
+
+type t = {
+  tname : string;
+  nodes : int;
+  gpus : int;
+  vs : vertex array;
+  ps : port array;
+  ls : link array;
+  gpu_vid : int array;
+  host_vid : int array;
+  gpu_eport : int array;
+  gpu_iport : int array;
+  (* Flattened (src_vid * nv + dst_vid) routing tables, filled at build. *)
+  routes : int array array;  (** link ids in travel order; [||] when self *)
+  r_lat : Time.t array;
+  r_nsb : float array;
+  r_ok : bool array;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Builder                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type builder = {
+  mutable bvs : vertex list;
+  mutable bps : port list;
+  mutable bls : link list;
+  mutable nv : int;
+  mutable np : int;
+  mutable nl : int;
+}
+
+let builder () = { bvs = []; bps = []; bls = []; nv = 0; np = 0; nl = 0 }
+
+let add_vertex b ~kind ~name ~local_ns_per_byte =
+  let vid = b.nv in
+  b.nv <- vid + 1;
+  b.bvs <- { vid; kind; vname = name; local_ns_per_byte } :: b.bvs;
+  vid
+
+let add_port b ~name =
+  let pid = b.np in
+  b.np <- pid + 1;
+  b.bps <- { pid; pname = name } :: b.bps;
+  pid
+
+let add_link b ~src ~dst ~kind ~latency ~ns_per_byte ~ports =
+  let lid = b.nl in
+  b.nl <- lid + 1;
+  b.bls <-
+    { lid; lsrc = src; ldst = dst; lkind = kind; llatency = latency; lns_per_byte = ns_per_byte; lports = ports }
+    :: b.bls;
+  lid
+
+(* Deterministic Dijkstra from every source: shortest total latency, ties
+   broken by fewest hops, then by the incoming link id — so the routing
+   table is a pure function of the graph, independent of hash order. *)
+let compute_routes ~nv (ls : link array) =
+  let out = Array.make nv [] in
+  Array.iter (fun l -> out.(l.lsrc) <- l :: out.(l.lsrc)) ls;
+  (* Adjacency in ascending link id so exploration order is stable. *)
+  Array.iteri (fun i adj -> out.(i) <- List.sort (fun a b -> compare a.lid b.lid) adj) out;
+  let routes = Array.make (nv * nv) [||] in
+  let r_lat = Array.make (nv * nv) Time.zero in
+  let r_ok = Array.make (nv * nv) false in
+  let inf = max_int in
+  for src = 0 to nv - 1 do
+    let dist = Array.make nv inf in
+    let hops = Array.make nv inf in
+    let pred = Array.make nv (-1) (* incoming link id *) in
+    let visited = Array.make nv false in
+    dist.(src) <- 0;
+    hops.(src) <- 0;
+    let rec loop () =
+      (* Linear-scan extract-min: graphs here have tens of vertices. *)
+      let u = ref (-1) in
+      for v = 0 to nv - 1 do
+        if (not visited.(v)) && dist.(v) < inf then
+          if
+            !u < 0
+            || dist.(v) < dist.(!u)
+            || (dist.(v) = dist.(!u) && (hops.(v) < hops.(!u) || (hops.(v) = hops.(!u) && v < !u)))
+          then u := v
+      done;
+      if !u >= 0 then begin
+        let u = !u in
+        visited.(u) <- true;
+        List.iter
+          (fun l ->
+            let v = l.ldst in
+            if not visited.(v) then begin
+              let nd = dist.(u) + Time.to_ns l.llatency in
+              let nh = hops.(u) + 1 in
+              let better =
+                nd < dist.(v)
+                || (nd = dist.(v)
+                   && (nh < hops.(v) || (nh = hops.(v) && (pred.(v) < 0 || l.lid < pred.(v)))))
+              in
+              if better then begin
+                dist.(v) <- nd;
+                hops.(v) <- nh;
+                pred.(v) <- l.lid
+              end
+            end)
+          out.(u);
+        loop ()
+      end
+    in
+    loop ();
+    for dst = 0 to nv - 1 do
+      let k = (src * nv) + dst in
+      if dst = src then begin
+        r_ok.(k) <- true;
+        r_lat.(k) <- Time.zero
+      end
+      else if dist.(dst) < inf then begin
+        r_ok.(k) <- true;
+        r_lat.(k) <- Time.ns dist.(dst);
+        let rec walk v acc =
+          if v = src then acc
+          else
+            let l = ls.(pred.(v)) in
+            walk l.lsrc (l.lid :: acc)
+        in
+        routes.(k) <- Array.of_list (walk dst [])
+      end
+    done
+  done;
+  (routes, r_lat, r_ok)
+
+let build b ~name ~nodes ~gpu_vid ~host_vid ~gpu_eport ~gpu_iport =
+  let vs = Array.make b.nv (List.hd b.bvs) in
+  List.iter (fun v -> vs.(v.vid) <- v) b.bvs;
+  let ps = Array.of_list (List.sort (fun a b -> compare a.pid b.pid) b.bps) in
+  let ls = Array.of_list (List.sort (fun a b -> compare a.lid b.lid) b.bls) in
+  let nv = b.nv in
+  let routes, r_lat, r_ok = compute_routes ~nv ls in
+  let r_nsb =
+    Array.init (nv * nv) (fun k ->
+        if Array.length routes.(k) = 0 then vs.(k / nv).local_ns_per_byte
+        else
+          Array.fold_left
+            (fun acc lid -> Float.max acc ls.(lid).lns_per_byte)
+            0.0 routes.(k))
+  in
+  (* Every public endpoint must be able to reach every other one. *)
+  let publics =
+    Array.to_list gpu_vid @ Array.to_list host_vid
+    @ List.filter_map
+        (fun v -> match v.kind with Nic _ -> Some v.vid | _ -> None)
+        (Array.to_list vs |> Array.of_list |> Array.to_list)
+  in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun c ->
+          if not r_ok.((a * nv) + c) then
+            invalid_arg
+              (Printf.sprintf "Topology.%s: %s cannot reach %s" name vs.(a).vname vs.(c).vname))
+        publics)
+    publics;
+  {
+    tname = name;
+    nodes;
+    gpus = Array.length gpu_vid;
+    vs;
+    ps;
+    ls;
+    gpu_vid;
+    host_vid;
+    gpu_eport;
+    gpu_iport;
+    routes;
+    r_lat;
+    r_nsb;
+    r_ok;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Constructors                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let check_gpus name gpus =
+  if gpus <= 0 then invalid_arg (Printf.sprintf "Topology.%s: need at least one GPU" name)
+
+(* Split a latency across the two hops of a switch crossing so the pair sums
+   back exactly even when the total is odd. *)
+let halves l =
+  let dn = Time.ns (Time.to_ns l / 2) in
+  (dn, Time.sub l dn)
+
+let nsb gbs = 1.0 /. gbs
+
+(* One HGX node: GPUs around an NVSwitch, host on PCIe. [gpu0] is the global
+   index of the node's first GPU; returns (switch vid, host vid). The hop
+   latencies are chosen so every two-hop route sums to exactly the profile's
+   wire latency: egress + ingress = nvlink, egress + switch-to-host = pcie,
+   host-to-switch + ingress = pcie. *)
+let add_hgx_node b ~profile:p ~node ~gpu0 ~gpus ~gpu_vid ~gpu_eport ~gpu_iport =
+  let e_lat, i_lat = halves p.nvlink_latency in
+  let sw =
+    add_vertex b
+      ~kind:(Switch { node = Some node })
+      ~name:(Printf.sprintf "node%d.nvswitch" node)
+      ~local_ns_per_byte:(nsb p.hbm_gbs)
+  in
+  for d = 0 to gpus - 1 do
+    let g = gpu0 + d in
+    let v =
+      add_vertex b ~kind:(Gpu { node; device = d }) ~name:(Printf.sprintf "gpu%d" g)
+        ~local_ns_per_byte:(nsb p.hbm_gbs)
+    in
+    gpu_vid.(g) <- v;
+    let ep = add_port b ~name:(Printf.sprintf "gpu%d.egress" g) in
+    let ip = add_port b ~name:(Printf.sprintf "gpu%d.ingress" g) in
+    gpu_eport.(g) <- ep;
+    gpu_iport.(g) <- ip;
+    ignore
+      (add_link b ~src:v ~dst:sw ~kind:Nvlink ~latency:e_lat ~ns_per_byte:(nsb p.nvlink_gbs)
+         ~ports:[ ep ]);
+    ignore
+      (add_link b ~src:sw ~dst:v ~kind:Nvlink ~latency:i_lat ~ns_per_byte:(nsb p.nvlink_gbs)
+         ~ports:[ ip ])
+  done;
+  let host =
+    add_vertex b ~kind:(Host { node })
+      ~name:(if node = 0 then "host" else Printf.sprintf "node%d.host" node)
+      ~local_ns_per_byte:(nsb p.hbm_gbs)
+  in
+  let hp =
+    add_port b ~name:(if node = 0 then "host.pcie" else Printf.sprintf "node%d.host.pcie" node)
+  in
+  ignore
+    (add_link b ~src:host ~dst:sw ~kind:Pcie ~latency:(Time.sub p.pcie_latency i_lat)
+       ~ns_per_byte:(nsb p.pcie_gbs) ~ports:[ hp ]);
+  ignore
+    (add_link b ~src:sw ~dst:host ~kind:Pcie ~latency:(Time.sub p.pcie_latency e_lat)
+       ~ns_per_byte:(nsb p.pcie_gbs) ~ports:[ hp ]);
+  (sw, host)
+
+let hgx ~profile ~gpus =
+  check_gpus "hgx" gpus;
+  let b = builder () in
+  let gpu_vid = Array.make gpus (-1)
+  and gpu_eport = Array.make gpus (-1)
+  and gpu_iport = Array.make gpus (-1) in
+  let _, host =
+    add_hgx_node b ~profile ~node:0 ~gpu0:0 ~gpus ~gpu_vid ~gpu_eport ~gpu_iport
+  in
+  build b
+    ~name:(Printf.sprintf "hgx_%s" profile.pname)
+    ~nodes:1 ~gpu_vid ~host_vid:[| host |] ~gpu_eport ~gpu_iport
+
+let dgx_cluster ~profile:p ~nodes ~gpus_per_node =
+  if nodes <= 0 then invalid_arg "Topology.dgx_cluster: need at least one node";
+  check_gpus "dgx_cluster" gpus_per_node;
+  let gpus = nodes * gpus_per_node in
+  let b = builder () in
+  let gpu_vid = Array.make gpus (-1)
+  and gpu_eport = Array.make gpus (-1)
+  and gpu_iport = Array.make gpus (-1) in
+  let host_vid = Array.make nodes (-1) in
+  let e_lat, i_lat = halves p.nvlink_latency in
+  let ib_dn, ib_up = halves p.ib_latency in
+  let spine =
+    add_vertex b ~kind:(Switch { node = None }) ~name:"ib.spine"
+      ~local_ns_per_byte:(nsb p.hbm_gbs)
+  in
+  for node = 0 to nodes - 1 do
+    let sw, host =
+      add_hgx_node b ~profile:p ~node ~gpu0:(node * gpus_per_node) ~gpus:gpus_per_node ~gpu_vid
+        ~gpu_eport ~gpu_iport
+    in
+    host_vid.(node) <- host;
+    let nic =
+      add_vertex b ~kind:(Nic { node })
+        ~name:(Printf.sprintf "node%d.nic" node)
+        ~local_ns_per_byte:(nsb p.hbm_gbs)
+    in
+    let tx = add_port b ~name:(Printf.sprintf "node%d.nic.tx" node) in
+    let rx = add_port b ~name:(Printf.sprintf "node%d.nic.rx" node) in
+    (* NIC attach at PCIe latency (shared with nothing: contention lives on
+       the NIC's tx/rx ports), line rate of the NIC. *)
+    ignore
+      (add_link b ~src:sw ~dst:nic ~kind:Pcie ~latency:(Time.sub p.pcie_latency e_lat)
+         ~ns_per_byte:(nsb p.ib_gbs) ~ports:[]);
+    ignore
+      (add_link b ~src:nic ~dst:sw ~kind:Pcie ~latency:(Time.sub p.pcie_latency i_lat)
+         ~ns_per_byte:(nsb p.ib_gbs) ~ports:[]);
+    ignore
+      (add_link b ~src:nic ~dst:spine ~kind:Infiniband ~latency:ib_dn
+         ~ns_per_byte:(nsb p.ib_gbs) ~ports:[ tx ]);
+    ignore
+      (add_link b ~src:spine ~dst:nic ~kind:Infiniband ~latency:ib_up
+         ~ns_per_byte:(nsb p.ib_gbs) ~ports:[ rx ])
+  done;
+  build b
+    ~name:(Printf.sprintf "dgx_%s_%dx%d" p.pname nodes gpus_per_node)
+    ~nodes ~gpu_vid ~host_vid ~gpu_eport ~gpu_iport
+
+let ring ~profile:p ~gpus =
+  check_gpus "ring" gpus;
+  let b = builder () in
+  let gpu_vid = Array.make gpus (-1)
+  and gpu_eport = Array.make gpus (-1)
+  and gpu_iport = Array.make gpus (-1) in
+  for g = 0 to gpus - 1 do
+    gpu_vid.(g) <-
+      add_vertex b ~kind:(Gpu { node = 0; device = g }) ~name:(Printf.sprintf "gpu%d" g)
+        ~local_ns_per_byte:(nsb p.hbm_gbs);
+    gpu_eport.(g) <- add_port b ~name:(Printf.sprintf "gpu%d.egress" g);
+    gpu_iport.(g) <- add_port b ~name:(Printf.sprintf "gpu%d.ingress" g)
+  done;
+  for g = 0 to gpus - 1 do
+    let neighbours =
+      List.sort_uniq compare [ (g + 1) mod gpus; (g + gpus - 1) mod gpus ]
+    in
+    List.iter
+      (fun n ->
+        if n <> g then
+          ignore
+            (add_link b ~src:gpu_vid.(g) ~dst:gpu_vid.(n) ~kind:Nvlink
+               ~latency:p.nvlink_latency ~ns_per_byte:(nsb p.nvlink_gbs)
+               ~ports:[ gpu_eport.(g); gpu_iport.(n) ]))
+      neighbours
+  done;
+  let host =
+    add_vertex b ~kind:(Host { node = 0 }) ~name:"host" ~local_ns_per_byte:(nsb p.hbm_gbs)
+  in
+  let hp = add_port b ~name:"host.pcie" in
+  (* Head-node attach: the host reaches the ring through GPU 0 only, so
+     GPU-to-GPU routes can never shortcut through the host. *)
+  ignore
+    (add_link b ~src:host ~dst:gpu_vid.(0) ~kind:Pcie ~latency:p.pcie_latency
+       ~ns_per_byte:(nsb p.pcie_gbs) ~ports:[ hp; gpu_iport.(0) ]);
+  ignore
+    (add_link b ~src:gpu_vid.(0) ~dst:host ~kind:Pcie ~latency:p.pcie_latency
+       ~ns_per_byte:(nsb p.pcie_gbs) ~ports:[ gpu_eport.(0); hp ]);
+  build b
+    ~name:(Printf.sprintf "ring_%s" p.pname)
+    ~nodes:1 ~gpu_vid ~host_vid:[| host |] ~gpu_eport ~gpu_iport
+
+let pcie_only ~profile:p ~gpus =
+  check_gpus "pcie_only" gpus;
+  let b = builder () in
+  let gpu_vid = Array.make gpus (-1)
+  and gpu_eport = Array.make gpus (-1)
+  and gpu_iport = Array.make gpus (-1) in
+  let dn, up = halves p.pcie_latency in
+  let root =
+    add_vertex b ~kind:(Switch { node = Some 0 }) ~name:"pcie.root"
+      ~local_ns_per_byte:(nsb p.hbm_gbs)
+  in
+  let root_port = add_port b ~name:"pcie.root" in
+  for g = 0 to gpus - 1 do
+    let v =
+      add_vertex b ~kind:(Gpu { node = 0; device = g }) ~name:(Printf.sprintf "gpu%d" g)
+        ~local_ns_per_byte:(nsb p.hbm_gbs)
+    in
+    gpu_vid.(g) <- v;
+    let ep = add_port b ~name:(Printf.sprintf "gpu%d.egress" g) in
+    let ip = add_port b ~name:(Printf.sprintf "gpu%d.ingress" g) in
+    gpu_eport.(g) <- ep;
+    gpu_iport.(g) <- ip;
+    (* The shared root complex is booked once, on the upstream hop. *)
+    ignore
+      (add_link b ~src:v ~dst:root ~kind:Pcie ~latency:dn ~ns_per_byte:(nsb p.pcie_gbs)
+         ~ports:[ ep; root_port ]);
+    ignore
+      (add_link b ~src:root ~dst:v ~kind:Pcie ~latency:up ~ns_per_byte:(nsb p.pcie_gbs)
+         ~ports:[ ip ])
+  done;
+  let host =
+    add_vertex b ~kind:(Host { node = 0 }) ~name:"host" ~local_ns_per_byte:(nsb p.hbm_gbs)
+  in
+  let hp = add_port b ~name:"host.pcie" in
+  ignore
+    (add_link b ~src:host ~dst:root ~kind:Pcie ~latency:dn ~ns_per_byte:(nsb p.pcie_gbs)
+       ~ports:[ hp; root_port ]);
+  ignore
+    (add_link b ~src:root ~dst:host ~kind:Pcie ~latency:up ~ns_per_byte:(nsb p.pcie_gbs)
+       ~ports:[ hp ]);
+  build b
+    ~name:(Printf.sprintf "pcie_%s" p.pname)
+    ~nodes:1 ~gpu_vid ~host_vid:[| host |] ~gpu_eport ~gpu_iport
+
+(* ------------------------------------------------------------------ *)
+(* Specs                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type spec = Hgx | Ring | Pcie_only | Dgx of { nodes : int }
+
+let spec_of_string s =
+  match String.split_on_char ':' (String.lowercase_ascii (String.trim s)) with
+  | [ ("hgx" | "nvswitch") ] -> Ok Hgx
+  | [ "ring" ] -> Ok Ring
+  | [ ("pcie" | "pcie_only" | "pcie-only") ] -> Ok Pcie_only
+  | [ "dgx" ] -> Ok (Dgx { nodes = 2 })
+  | [ "dgx"; n ] -> (
+    match int_of_string_opt n with
+    | Some nodes when nodes > 0 -> Ok (Dgx { nodes })
+    | _ -> Error (Printf.sprintf "bad node count %S in topology spec" n))
+  | _ ->
+    Error
+      (Printf.sprintf "unknown topology %S (expected hgx, ring, pcie or dgx[:NODES])" s)
+
+let spec_to_string = function
+  | Hgx -> "hgx"
+  | Ring -> "ring"
+  | Pcie_only -> "pcie"
+  | Dgx { nodes } -> Printf.sprintf "dgx:%d" nodes
+
+let instantiate spec ~profile ~gpus =
+  match spec with
+  | Hgx -> hgx ~profile ~gpus
+  | Ring -> ring ~profile ~gpus
+  | Pcie_only -> pcie_only ~profile ~gpus
+  | Dgx { nodes } ->
+    if gpus mod nodes <> 0 || gpus <= 0 then
+      invalid_arg
+        (Printf.sprintf "Topology.instantiate: %d GPUs do not split across %d nodes" gpus nodes);
+    dgx_cluster ~profile ~nodes ~gpus_per_node:(gpus / nodes)
+
+(* ------------------------------------------------------------------ *)
+(* Accessors                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let name t = t.tname
+let num_gpus t = t.gpus
+let num_nodes t = t.nodes
+let num_vertices t = Array.length t.vs
+let vertices t = Array.to_list t.vs
+let links t = Array.to_list t.ls
+let ports t = Array.to_list t.ps
+
+let check_gpu t g op =
+  if g < 0 || g >= t.gpus then invalid_arg (Printf.sprintf "Topology.%s: no such GPU %d" op g)
+
+let node_of_gpu t g =
+  check_gpu t g "node_of_gpu";
+  match t.vs.(t.gpu_vid.(g)).kind with Gpu { node; _ } -> node | _ -> assert false
+
+let gpu_vertex t g =
+  check_gpu t g "gpu_vertex";
+  t.gpu_vid.(g)
+
+let host_vertex t ~node =
+  if node < 0 || node >= t.nodes then
+    invalid_arg (Printf.sprintf "Topology.host_vertex: no such node %d" node);
+  t.host_vid.(node)
+
+let gpu_egress_port t g =
+  check_gpu t g "gpu_egress_port";
+  t.gpu_eport.(g)
+
+let gpu_ingress_port t g =
+  check_gpu t g "gpu_ingress_port";
+  t.gpu_iport.(g)
+
+let check_vid t v op =
+  if v < 0 || v >= Array.length t.vs then
+    invalid_arg (Printf.sprintf "Topology.%s: no such vertex %d" op v)
+
+let key t ~src ~dst = (src * Array.length t.vs) + dst
+
+let reachable t ~src ~dst =
+  check_vid t src "reachable";
+  check_vid t dst "reachable";
+  t.r_ok.(key t ~src ~dst)
+
+let check_route t ~src ~dst op =
+  check_vid t src op;
+  check_vid t dst op;
+  if not t.r_ok.(key t ~src ~dst) then
+    invalid_arg
+      (Printf.sprintf "Topology.%s: no route from %s to %s" op t.vs.(src).vname t.vs.(dst).vname)
+
+let route t ~src ~dst =
+  check_route t ~src ~dst "route";
+  Array.to_list (Array.map (fun lid -> t.ls.(lid)) t.routes.(key t ~src ~dst))
+
+let route_latency t ~src ~dst =
+  check_route t ~src ~dst "route_latency";
+  t.r_lat.(key t ~src ~dst)
+
+let route_ns_per_byte t ~src ~dst =
+  check_route t ~src ~dst "route_ns_per_byte";
+  t.r_nsb.(key t ~src ~dst)
+
+let route_ports t ~src ~dst =
+  check_route t ~src ~dst "route_ports";
+  let seen = Hashtbl.create 8 in
+  Array.fold_left
+    (fun acc lid ->
+      List.fold_left
+        (fun acc p ->
+          if Hashtbl.mem seen p then acc
+          else begin
+            Hashtbl.replace seen p ();
+            p :: acc
+          end)
+        acc t.ls.(lid).lports)
+    [] t.routes.(key t ~src ~dst)
+  |> List.rev
+
+let fold_pairs xs ys f =
+  List.fold_left
+    (fun acc a ->
+      List.fold_left
+        (fun acc c -> if a = c then acc else f acc ~src:a ~dst:c)
+        acc ys)
+    None xs
+
+let min_gpu_pair_latency t =
+  let g = Array.to_list t.gpu_vid in
+  fold_pairs g g (fun acc ~src ~dst ->
+      let l = route_latency t ~src ~dst in
+      match acc with Some m when Time.(m <= l) -> acc | _ -> Some l)
+
+let max_gpu_pair_latency t =
+  let g = Array.to_list t.gpu_vid in
+  fold_pairs g g (fun acc ~src ~dst ->
+      let l = route_latency t ~src ~dst in
+      match acc with Some m when Time.(m >= l) -> acc | _ -> Some l)
+
+let min_host_gpu_latency t =
+  let g = Array.to_list t.gpu_vid and h = Array.to_list t.host_vid in
+  let min2 a b = match (a, b) with Some x, Some y -> Some (Time.min x y) | x, None -> x | None, y -> y in
+  min2
+    (fold_pairs h g (fun acc ~src ~dst ->
+         let l = route_latency t ~src ~dst in
+         match acc with Some m when Time.(m <= l) -> acc | _ -> Some l))
+    (fold_pairs g h (fun acc ~src ~dst ->
+         let l = route_latency t ~src ~dst in
+         match acc with Some m when Time.(m <= l) -> acc | _ -> Some l))
+
+let string_of_link_kind = function
+  | Nvlink -> "nvlink"
+  | Pcie -> "pcie"
+  | Infiniband -> "infiniband"
+
+let string_of_vertex_kind = function
+  | Gpu _ -> "gpu"
+  | Host _ -> "host"
+  | Nic _ -> "nic"
+  | Switch _ -> "switch"
+
+let pp fmt t =
+  Format.fprintf fmt "%s: %d GPU%s across %d node%s (%d vertices, %d links, %d ports)" t.tname
+    t.gpus
+    (if t.gpus = 1 then "" else "s")
+    t.nodes
+    (if t.nodes = 1 then "" else "s")
+    (Array.length t.vs) (Array.length t.ls) (Array.length t.ps)
+
+let pp_links fmt t =
+  Array.iter
+    (fun l ->
+      Format.fprintf fmt "  %-28s %-10s %8s %7.0f GB/s  [%s]@."
+        (Printf.sprintf "%s -> %s" t.vs.(l.lsrc).vname t.vs.(l.ldst).vname)
+        (string_of_link_kind l.lkind) (Time.to_string l.llatency) (1.0 /. l.lns_per_byte)
+        (String.concat ", " (List.map (fun p -> t.ps.(p).pname) l.lports)))
+    t.ls

@@ -1,0 +1,166 @@
+(** Machine description: a typed, routed topology graph.
+
+    A machine is a directed graph of vertices (GPUs, hosts, NICs and internal
+    switch fabric) connected by links (NVLink ports, PCIe lanes, InfiniBand
+    hops). Every link carries its own first-byte latency, inverse bandwidth
+    and the contention ports a transfer crossing it must book. Static
+    shortest-latency routes between all vertex pairs are computed once at
+    build time (deterministic Dijkstra: ties broken by hop count, then link
+    id), so the per-transfer hot path is a table lookup.
+
+    The single-node HGX constructor reproduces the flat NVSwitch all-to-all
+    the paper evaluates on, link for link: a GPU-to-GPU route totals exactly
+    the architecture's NVLink latency and books exactly the source egress and
+    destination ingress ports, which is what keeps every single-node figure
+    byte-identical to the pre-graph fabric model. *)
+
+module Time = Cpufree_engine.Time
+
+(** {1 Link profile} *)
+
+(** The latency/bandwidth numbers a constructor instantiates links from.
+    Decoupled from [Cpufree_gpu.Arch] so the graph layer has no dependency on
+    the GPU cost model; [Cpufree_gpu.Interconnect] derives a profile from its
+    architecture, and {!a100}/{!h100} are standalone copies of the same
+    published numbers. *)
+type profile = {
+  pname : string;
+  nvlink_latency : Time.t;  (** GPU-to-GPU wire + fabric first-byte latency *)
+  nvlink_gbs : float;  (** per-direction NVLink port bandwidth, GB/s *)
+  pcie_latency : Time.t;
+  pcie_gbs : float;
+  hbm_gbs : float;  (** local (same-endpoint) bandwidth *)
+  ib_latency : Time.t;  (** inter-node InfiniBand first-byte latency *)
+  ib_gbs : float;  (** NIC line rate, GB/s *)
+}
+
+val a100 : profile
+val h100 : profile
+
+(** {1 Graph} *)
+
+type vertex_kind =
+  | Gpu of { node : int; device : int }  (** [device] is the index within the node *)
+  | Host of { node : int }
+  | Nic of { node : int }
+  | Switch of { node : int option }  (** [None]: the global inter-node spine *)
+
+type vertex = {
+  vid : int;
+  kind : vertex_kind;
+  vname : string;
+  local_ns_per_byte : float;  (** serialization rate of a self-transfer *)
+}
+
+type link_kind = Nvlink | Pcie | Infiniband
+
+type port = { pid : int; pname : string }
+(** A contention point (an egress/ingress engine, a PCIe root, a NIC
+    direction). Several links may share one port; a transfer books every
+    port of every link on its route, once each. *)
+
+type link = {
+  lid : int;
+  lsrc : int;  (** vertex id *)
+  ldst : int;
+  lkind : link_kind;
+  llatency : Time.t;
+  lns_per_byte : float;
+  lports : int list;  (** port ids; may be empty for contention-free hops *)
+}
+
+type t
+
+(** {1 Constructors} *)
+
+val hgx : profile:profile -> gpus:int -> t
+(** Single node: [gpus] GPUs on an NVSwitch all-to-all, host on PCIe.
+    The shape of the paper's 8-GPU HGX box, for any GPU count. *)
+
+val dgx_cluster : profile:profile -> nodes:int -> gpus_per_node:int -> t
+(** [nodes] HGX nodes, each with its own host and an InfiniBand NIC hanging
+    off the node switch; NICs meet at a global spine. An inter-node route
+    pays the NIC attach on both sides plus the IB hop and books both NIC
+    direction ports in addition to the GPU ports. *)
+
+val ring : profile:profile -> gpus:int -> t
+(** No switch: each GPU links only to its two ring neighbours (full NVLink
+    latency per hop); multi-hop routes book every intermediate GPU's egress
+    and ingress ports. The host attaches to GPU 0 over PCIe (a head-node
+    attach, so GPU-to-GPU routes never shortcut through the host). *)
+
+val pcie_only : profile:profile -> gpus:int -> t
+(** No NVLink at all: every GPU and the host hang off one PCIe root complex.
+    All peer traffic shares the root port — the pre-NVLink worst case. *)
+
+(** {1 Specs (CLI-facing)} *)
+
+type spec = Hgx | Ring | Pcie_only | Dgx of { nodes : int }
+
+val spec_of_string : string -> (spec, string) result
+(** ["hgx"], ["ring"], ["pcie"]/["pcie_only"], ["dgx"] (2 nodes) or
+    ["dgx:N"]. Case-insensitive. *)
+
+val spec_to_string : spec -> string
+
+val instantiate : spec -> profile:profile -> gpus:int -> t
+(** Build the spec's graph for a total of [gpus] GPUs. For [Dgx] the GPUs are
+    split evenly across nodes; raises [Invalid_argument] if [gpus] is not a
+    positive multiple of the node count. *)
+
+(** {1 Accessors} *)
+
+val name : t -> string
+val num_gpus : t -> int
+val num_nodes : t -> int
+val node_of_gpu : t -> int -> int
+
+val vertices : t -> vertex list
+val links : t -> link list
+val ports : t -> port list
+val num_vertices : t -> int
+
+val gpu_vertex : t -> int -> int
+(** Vertex id of a global GPU index. *)
+
+val host_vertex : t -> node:int -> int
+val gpu_egress_port : t -> int -> int
+val gpu_ingress_port : t -> int -> int
+
+(** {1 Routes}
+
+    All functions below take vertex ids and raise [Invalid_argument] for an
+    id out of range. A route from a vertex to itself is empty with zero
+    latency and the vertex's local serialization rate. *)
+
+val reachable : t -> src:int -> dst:int -> bool
+
+val route : t -> src:int -> dst:int -> link list
+(** The links of the static shortest-latency route, in travel order. *)
+
+val route_latency : t -> src:int -> dst:int -> Time.t
+(** Sum of link latencies along the route. *)
+
+val route_ns_per_byte : t -> src:int -> dst:int -> float
+(** Bottleneck inverse bandwidth along the route. *)
+
+val route_ports : t -> src:int -> dst:int -> int list
+(** Port ids booked by a transfer on this route, deduplicated, in travel
+    order. *)
+
+val min_gpu_pair_latency : t -> Time.t option
+(** Cheapest routed latency between two distinct GPUs ([None] with < 2). *)
+
+val max_gpu_pair_latency : t -> Time.t option
+
+val min_host_gpu_latency : t -> Time.t option
+(** Cheapest routed latency of any host-to-GPU or GPU-to-host route. *)
+
+val string_of_link_kind : link_kind -> string
+val string_of_vertex_kind : vertex_kind -> string
+
+val pp : Format.formatter -> t -> unit
+(** One-line summary: name, GPU/node counts, graph size. *)
+
+val pp_links : Format.formatter -> t -> unit
+(** Per-link table (kind, endpoints, latency, bandwidth, ports). *)

@@ -1,41 +1,45 @@
 module Measure = Cpufree_core.Measure
 module Parallel = Cpufree_core.Parallel
 
-let run_traced ?arch kind problem ~gpus =
+let run_traced ?arch ?topology kind problem ~gpus =
   let built = Variants.build kind problem ~gpus in
-  Measure.run_traced ?arch
+  Measure.run_traced ?arch ?topology
     ~label:(Variants.name kind)
     ~gpus ~iterations:problem.Problem.iterations built.Variants.program
 
-let run ?arch kind problem ~gpus = fst (run_traced ?arch kind problem ~gpus)
+let run ?arch ?topology kind problem ~gpus =
+  fst (run_traced ?arch ?topology kind problem ~gpus)
 
 type scenario = {
   sc_kind : Variants.kind;
   sc_problem : Problem.t;
   sc_gpus : int;
   sc_arch : Cpufree_gpu.Arch.t option;
+  sc_topology : Cpufree_machine.Topology.spec option;
 }
 
-let scenario ?arch kind problem ~gpus =
-  { sc_kind = kind; sc_problem = problem; sc_gpus = gpus; sc_arch = arch }
+let scenario ?arch ?topology kind problem ~gpus =
+  { sc_kind = kind; sc_problem = problem; sc_gpus = gpus; sc_arch = arch; sc_topology = topology }
 
-let run_scenario s = run ?arch:s.sc_arch s.sc_kind s.sc_problem ~gpus:s.sc_gpus
+let run_scenario s =
+  run ?arch:s.sc_arch ?topology:s.sc_topology s.sc_kind s.sc_problem ~gpus:s.sc_gpus
 
 let run_many ?jobs scenarios = Parallel.map ?jobs run_scenario scenarios
 
 let run_many_traced ?jobs scenarios =
   Parallel.map ?jobs
-    (fun s -> run_traced ?arch:s.sc_arch s.sc_kind s.sc_problem ~gpus:s.sc_gpus)
+    (fun s ->
+      run_traced ?arch:s.sc_arch ?topology:s.sc_topology s.sc_kind s.sc_problem ~gpus:s.sc_gpus)
     scenarios
 
 let tolerance = 1e-9
 
-let verify ?arch kind problem ~gpus =
+let verify ?arch ?topology kind problem ~gpus =
   if not problem.Problem.backed then Error "verify requires backed buffers"
   else begin
     let built = Variants.build kind problem ~gpus in
     let (_ : Measure.result) =
-      Measure.run ?arch
+      Measure.run ?arch ?topology
         ~label:(Variants.name kind)
         ~gpus ~iterations:problem.Problem.iterations built.Variants.program
     in
@@ -68,18 +72,20 @@ let verify ?arch kind problem ~gpus =
 
 type scaling_point = { gpus : int; result : Measure.result }
 
-let weak_scaling ?jobs ?arch kind ~base ~gpu_counts =
+let weak_scaling ?jobs ?arch ?topology kind ~base ~gpu_counts =
   let scenarios =
     List.map
       (fun gpus ->
         let dims = Problem.weak_scale base.Problem.dims ~gpus in
-        scenario ?arch kind { base with Problem.dims } ~gpus)
+        scenario ?arch ?topology kind { base with Problem.dims } ~gpus)
       gpu_counts
   in
   List.map2 (fun gpus result -> { gpus; result }) gpu_counts (run_many ?jobs scenarios)
 
-let strong_scaling ?jobs ?arch kind problem ~gpu_counts =
-  let scenarios = List.map (fun gpus -> scenario ?arch kind problem ~gpus) gpu_counts in
+let strong_scaling ?jobs ?arch ?topology kind problem ~gpu_counts =
+  let scenarios =
+    List.map (fun gpus -> scenario ?arch ?topology kind problem ~gpus) gpu_counts
+  in
   List.map2 (fun gpus result -> { gpus; result }) gpu_counts (run_many ?jobs scenarios)
 
 let weak_efficiency points =

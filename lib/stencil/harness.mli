@@ -3,13 +3,17 @@
     weak/strong scaling series of Figures 6.1 and 6.2. *)
 
 val run :
-  ?arch:Cpufree_gpu.Arch.t -> Variants.kind -> Problem.t -> gpus:int -> Cpufree_core.Measure.result
+  ?arch:Cpufree_gpu.Arch.t -> ?topology:Cpufree_machine.Topology.spec ->
+  Variants.kind -> Problem.t -> gpus:int -> Cpufree_core.Measure.result
 
 val run_traced :
-  ?arch:Cpufree_gpu.Arch.t -> Variants.kind -> Problem.t -> gpus:int ->
+  ?arch:Cpufree_gpu.Arch.t -> ?topology:Cpufree_machine.Topology.spec ->
+  Variants.kind -> Problem.t -> gpus:int ->
   Cpufree_core.Measure.result * Cpufree_engine.Trace.t
 
-val verify : ?arch:Cpufree_gpu.Arch.t -> Variants.kind -> Problem.t -> gpus:int -> (float, string) result
+val verify :
+  ?arch:Cpufree_gpu.Arch.t -> ?topology:Cpufree_machine.Topology.spec ->
+  Variants.kind -> Problem.t -> gpus:int -> (float, string) result
 (** Run with backed buffers and compare the distributed result against
     {!Compute.reference}: [Ok max_abs_error] (should be ~1e-6 of magnitude)
     or [Error description]. The problem must have [backed = true]. *)
@@ -29,7 +33,8 @@ val tolerance : float
 type scenario
 
 val scenario :
-  ?arch:Cpufree_gpu.Arch.t -> Variants.kind -> Problem.t -> gpus:int -> scenario
+  ?arch:Cpufree_gpu.Arch.t -> ?topology:Cpufree_machine.Topology.spec ->
+  Variants.kind -> Problem.t -> gpus:int -> scenario
 
 val run_scenario : scenario -> Cpufree_core.Measure.result
 
@@ -44,14 +49,16 @@ val run_many_traced :
 type scaling_point = { gpus : int; result : Cpufree_core.Measure.result }
 
 val weak_scaling :
-  ?jobs:int -> ?arch:Cpufree_gpu.Arch.t -> Variants.kind -> base:Problem.t ->
+  ?jobs:int -> ?arch:Cpufree_gpu.Arch.t -> ?topology:Cpufree_machine.Topology.spec ->
+  Variants.kind -> base:Problem.t ->
   gpu_counts:int list -> scaling_point list
 (** Weak scaling: grow the base (1-GPU) domain by {!Problem.weak_scale} for
     each GPU count. Counts must be powers of two. Points run on the domain
     pool. *)
 
 val strong_scaling :
-  ?jobs:int -> ?arch:Cpufree_gpu.Arch.t -> Variants.kind -> Problem.t ->
+  ?jobs:int -> ?arch:Cpufree_gpu.Arch.t -> ?topology:Cpufree_machine.Topology.spec ->
+  Variants.kind -> Problem.t ->
   gpu_counts:int list -> scaling_point list
 (** Strong scaling: the same global domain at every GPU count. *)
 

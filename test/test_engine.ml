@@ -279,6 +279,74 @@ let stats_props =
 let span lane kind t0 t1 trace =
   Trace.add trace ~lane ~label:"x" ~kind ~t0:(Time.ns t0) ~t1:(Time.ns t1)
 
+(* --- Intervals --------------------------------------------------------- *)
+
+module Intervals = E.Intervals
+
+let ivals = List.map (fun (a, b) -> (Time.ns a, Time.ns b))
+
+(* The representation invariant merge/intersect promise: sorted by start,
+   non-empty, pairwise disjoint with strict gaps (touching spans coalesce). *)
+let rec well_formed = function
+  | [] -> true
+  | [ (a, b) ] -> Time.(a < b)
+  | (a, b) :: ((c, _) :: _ as rest) -> Time.(a < b) && Time.(b < c) && well_formed rest
+
+let interval_tests =
+  [
+    Alcotest.test_case "merge coalesces overlap and adjacency" `Quick (fun () ->
+        let m = Intervals.merge (ivals [ (5, 7); (0, 2); (2, 4); (6, 9) ]) in
+        check_bool "cover" true (m = ivals [ (0, 4); (5, 9) ]);
+        check_int "total" 8 (Time.to_ns (Intervals.total m)));
+    Alcotest.test_case "merge drops empty intervals" `Quick (fun () ->
+        check_bool "empty" true (Intervals.merge (ivals [ (3, 3); (9, 4) ]) = []));
+    Alcotest.test_case "intersect overlapping covers" `Quick (fun () ->
+        let a = ivals [ (0, 10); (20, 30) ] and b = ivals [ (5, 25) ] in
+        check_bool "meet" true (Intervals.intersect a b = ivals [ (5, 10); (20, 25) ]));
+    Alcotest.test_case "covered counts overlap once" `Quick (fun () ->
+        let bag = ivals [ (0, 10); (5, 15) ] in
+        check_int "sum" 20 (Time.to_ns (Intervals.total bag));
+        check_int "union" 15 (Time.to_ns (Intervals.covered bag)));
+  ]
+
+let gen_intervals = QCheck.(list_of_size Gen.(0 -- 30) (pair (int_bound 120) (int_bound 120)))
+
+let interval_props =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"merge output is sorted, disjoint, non-empty" ~count:300
+         gen_intervals (fun xs -> well_formed (Intervals.merge (ivals xs))));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"covered never exceeds the raw sum" ~count:300 gen_intervals
+         (fun xs ->
+           let bag = List.filter (fun (a, b) -> a < b) (ivals xs) in
+           Time.(Intervals.covered bag <= Intervals.total bag)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"intersect is idempotent on merged covers" ~count:300
+         gen_intervals (fun xs ->
+           let m = Intervals.merge (ivals xs) in
+           Intervals.intersect m m = m));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"intersect commutes" ~count:300
+         QCheck.(pair gen_intervals gen_intervals)
+         (fun (xs, ys) ->
+           let a = Intervals.merge (ivals xs) and b = Intervals.merge (ivals ys) in
+           Intervals.intersect a b = Intervals.intersect b a));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"merging merged halves equals merging the bag" ~count:300
+         QCheck.(pair gen_intervals gen_intervals)
+         (fun (xs, ys) ->
+           Intervals.merge (ivals xs @ ivals ys)
+           = Intervals.merge (Intervals.merge (ivals xs) @ Intervals.merge (ivals ys))));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"intersection measure bounded by both sides" ~count:300
+         QCheck.(pair gen_intervals gen_intervals)
+         (fun (xs, ys) ->
+           let a = Intervals.merge (ivals xs) and b = Intervals.merge (ivals ys) in
+           let m = Intervals.total (Intervals.intersect a b) in
+           Time.(m <= Intervals.total a) && Time.(m <= Intervals.total b)));
+  ]
+
 let trace_tests =
   [
     Alcotest.test_case "lanes sorted and distinct" `Quick (fun () ->
@@ -292,6 +360,15 @@ let trace_tests =
         span "a" Trace.Compute 0 10 t;
         span "a" Trace.Communication 20 25 t;
         check_int "busy" 15 (Time.to_ns (Trace.busy_time t ~lane:"a")));
+    Alcotest.test_case "merged busy time counts overlap once" `Quick (fun () ->
+        let t = Trace.create () in
+        span "a" Trace.Compute 0 10 t;
+        span "a" Trace.Communication 5 15 t;
+        span "a" Trace.Api 20 22 t;
+        span "b" Trace.Compute 0 100 t;
+        check_int "raw sum double-counts" 22 (Time.to_ns (Trace.busy_time t ~lane:"a"));
+        check_int "merged wall-clock" 17 (Time.to_ns (Trace.busy_time_merged t ~lane:"a"));
+        check_int "other lanes untouched" 100 (Time.to_ns (Trace.busy_time_merged t ~lane:"b")));
     Alcotest.test_case "busy time per kind" `Quick (fun () ->
         let t = Trace.create () in
         span "a" Trace.Compute 0 10 t;
@@ -871,6 +948,7 @@ let () =
       ("heap", heap_tests @ heap_props);
       ("rng", rng_tests @ rng_props);
       ("stats", stats_tests @ stats_props);
+      ("intervals", interval_tests @ interval_props);
       ("trace", trace_tests);
       ("engine", engine_tests);
       ("sync", sync_tests);

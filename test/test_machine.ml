@@ -1,0 +1,279 @@
+(* Topology graph: exact routed latencies/ports on the named machines, plus
+   qcheck laws (route symmetry, triangle inequality) over random specs. *)
+
+module M = Cpufree_machine
+module T = M.Topology
+module Time = Cpufree_engine.Time
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+let check_float = Alcotest.(check (float 0.0))
+
+let lat t ~src ~dst = Time.to_ns (T.route_latency t ~src ~dst)
+
+let port_names t ~src ~dst =
+  let ps = Array.of_list (T.ports t) in
+  List.map (fun p -> ps.(p).T.pname) (T.route_ports t ~src ~dst)
+
+(* ---------------- hgx: must reproduce the flat NVSwitch model ------------- *)
+
+let test_hgx_gpu_pair () =
+  let t = T.hgx ~profile:T.a100 ~gpus:8 in
+  let src = T.gpu_vertex t 0 and dst = T.gpu_vertex t 3 in
+  check_int "gpu-gpu wire latency is exactly nvlink" 1_500 (lat t ~src ~dst);
+  check_float "gpu-gpu bottleneck is the nvlink rate" (1.0 /. 300.0)
+    (T.route_ns_per_byte t ~src ~dst);
+  Alcotest.(check (list string))
+    "books exactly source egress + destination ingress"
+    [ "gpu0.egress"; "gpu3.ingress" ] (port_names t ~src ~dst)
+
+let test_hgx_host_paths () =
+  let t = T.hgx ~profile:T.a100 ~gpus:4 in
+  let h = T.host_vertex t ~node:0 and g = T.gpu_vertex t 2 in
+  check_int "host-to-gpu is exactly pcie" 2_500 (lat t ~src:h ~dst:g);
+  check_int "gpu-to-host is exactly pcie" 2_500 (lat t ~src:g ~dst:h);
+  check_float "host path bottleneck is the pcie rate" (1.0 /. 25.0)
+    (T.route_ns_per_byte t ~src:h ~dst:g);
+  Alcotest.(check (list string))
+    "host-to-gpu books host port + gpu ingress"
+    [ "host.pcie"; "gpu2.ingress" ] (port_names t ~src:h ~dst:g);
+  Alcotest.(check (list string))
+    "gpu-to-host books gpu egress + host port"
+    [ "gpu2.egress"; "host.pcie" ] (port_names t ~src:g ~dst:h)
+
+let test_hgx_self () =
+  let t = T.hgx ~profile:T.a100 ~gpus:2 in
+  let g = T.gpu_vertex t 1 in
+  check_int "self route has zero latency" 0 (lat t ~src:g ~dst:g);
+  check_int "self route is empty" 0 (List.length (T.route t ~src:g ~dst:g));
+  check_float "self route serializes at hbm rate" (1.0 /. 1555.0)
+    (T.route_ns_per_byte t ~src:g ~dst:g)
+
+let test_hgx_pair_stats () =
+  let t = T.hgx ~profile:T.h100 ~gpus:8 in
+  check_int "h100 min gpu pair"
+    1_200
+    (match T.min_gpu_pair_latency t with Some l -> Time.to_ns l | None -> -1);
+  check_int "h100 max gpu pair = min on a switch"
+    1_200
+    (match T.max_gpu_pair_latency t with Some l -> Time.to_ns l | None -> -1);
+  check_int "h100 host attach"
+    2_500
+    (match T.min_host_gpu_latency t with Some l -> Time.to_ns l | None -> -1)
+
+(* ---------------- dgx: inter-node routes pay NIC + IB --------------------- *)
+
+let test_dgx_internode () =
+  let t = T.dgx_cluster ~profile:T.a100 ~nodes:2 ~gpus_per_node:8 in
+  check_int "16 GPUs" 16 (T.num_gpus t);
+  check_int "2 nodes" 2 (T.num_nodes t);
+  check_int "gpu 11 lives on node 1" 1 (T.node_of_gpu t 11);
+  let a = T.gpu_vertex t 1 and b = T.gpu_vertex t 9 in
+  (* egress + switch-to-NIC + IB up + IB down + NIC-to-switch + ingress
+     = nvlink + 2*(pcie - nvlink/2) + ib = 2*pcie + ib. *)
+  check_int "inter-node gpu pair costs 2*pcie + ib" 6_300 (lat t ~src:a ~dst:b);
+  check_float "inter-node bottleneck is the NIC line rate" (1.0 /. 25.0)
+    (T.route_ns_per_byte t ~src:a ~dst:b);
+  Alcotest.(check (list string))
+    "inter-node route books both NIC directions"
+    [ "gpu1.egress"; "node0.nic.tx"; "node1.nic.rx"; "gpu9.ingress" ]
+    (port_names t ~src:a ~dst:b);
+  let c = T.gpu_vertex t 8 in
+  check_int "intra-node pair unchanged by scale-out" 1_500 (lat t ~src:b ~dst:c);
+  check_int "min gpu pair is the intra-node one"
+    1_500
+    (match T.min_gpu_pair_latency t with Some l -> Time.to_ns l | None -> -1);
+  check_int "max gpu pair is the inter-node one"
+    6_300
+    (match T.max_gpu_pair_latency t with Some l -> Time.to_ns l | None -> -1)
+
+let test_dgx_hosts () =
+  let t = T.dgx_cluster ~profile:T.a100 ~nodes:2 ~gpus_per_node:4 in
+  let h0 = T.host_vertex t ~node:0 and h1 = T.host_vertex t ~node:1 in
+  let g_far = T.gpu_vertex t 5 in
+  check_int "local host attach still pcie" 2_500 (lat t ~src:h1 ~dst:g_far);
+  check_bool "remote host reaches remote gpu" true
+    (lat t ~src:h0 ~dst:g_far > 2_500);
+  check_bool "host-to-host crosses the spine" true (T.reachable t ~src:h0 ~dst:h1)
+
+(* ---------------- ring and pcie_only -------------------------------------- *)
+
+let test_ring_multihop () =
+  let t = T.ring ~profile:T.a100 ~gpus:8 in
+  let a = T.gpu_vertex t 0 in
+  check_int "neighbour is one hop" 1_500 (lat t ~src:a ~dst:(T.gpu_vertex t 1));
+  check_int "opposite gpu is four hops" 6_000 (lat t ~src:a ~dst:(T.gpu_vertex t 4));
+  Alcotest.(check (list string))
+    "two-hop route books the relay's ports too"
+    [ "gpu0.egress"; "gpu1.ingress"; "gpu1.egress"; "gpu2.ingress" ]
+    (port_names t ~src:a ~dst:(T.gpu_vertex t 2))
+
+let test_pcie_only () =
+  let t = T.pcie_only ~profile:T.a100 ~gpus:4 in
+  let a = T.gpu_vertex t 0 and b = T.gpu_vertex t 3 in
+  check_int "peer traffic pays full pcie" 2_500 (lat t ~src:a ~dst:b);
+  check_float "peer traffic at pcie rate" (1.0 /. 25.0) (T.route_ns_per_byte t ~src:a ~dst:b);
+  Alcotest.(check (list string))
+    "peer route shares the root complex"
+    [ "gpu0.egress"; "pcie.root"; "gpu3.ingress" ]
+    (port_names t ~src:a ~dst:b)
+
+(* ---------------- specs --------------------------------------------------- *)
+
+let test_spec_parsing () =
+  let ok s v =
+    match T.spec_of_string s with
+    | Ok got -> check_bool (Printf.sprintf "parse %S" s) true (got = v)
+    | Error e -> Alcotest.failf "parse %S: %s" s e
+  in
+  ok "hgx" T.Hgx;
+  ok "RING" T.Ring;
+  ok "pcie" T.Pcie_only;
+  ok "pcie_only" T.Pcie_only;
+  ok "dgx" (T.Dgx { nodes = 2 });
+  ok "dgx:4" (T.Dgx { nodes = 4 });
+  check_bool "garbage rejected" true
+    (match T.spec_of_string "torus" with Error _ -> true | Ok _ -> false);
+  check_bool "dgx:0 rejected" true
+    (match T.spec_of_string "dgx:0" with Error _ -> true | Ok _ -> false);
+  check_str "dgx roundtrip" "dgx:3" (T.spec_to_string (T.Dgx { nodes = 3 }));
+  check_bool "uneven dgx split rejected" true
+    (try
+       ignore (T.instantiate (T.Dgx { nodes = 3 }) ~profile:T.a100 ~gpus:8);
+       false
+     with Invalid_argument _ -> true)
+
+let test_bad_lookups () =
+  let t = T.hgx ~profile:T.a100 ~gpus:2 in
+  check_bool "gpu_vertex range-checked" true
+    (try
+       ignore (T.gpu_vertex t 5);
+       false
+     with Invalid_argument _ -> true);
+  check_bool "route vid range-checked" true
+    (try
+       ignore (T.route_latency t ~src:0 ~dst:999);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------------- qcheck laws --------------------------------------------- *)
+
+let gen_topology =
+  QCheck.Gen.(
+    let* profile = oneofl [ T.a100; T.h100 ] in
+    let* spec =
+      oneof
+        [
+          return T.Hgx;
+          return T.Ring;
+          return T.Pcie_only;
+          map (fun n -> T.Dgx { nodes = n }) (int_range 2 4);
+        ]
+    in
+    let* per = int_range 1 6 in
+    let gpus = match spec with T.Dgx { nodes } -> nodes * per | _ -> per + 1 in
+    return (T.instantiate spec ~profile ~gpus))
+
+let arb_topology =
+  QCheck.make ~print:(fun t -> Format.asprintf "%a" T.pp t) gen_topology
+
+(* All named constructors build symmetric graphs: every routed cost must be
+   direction-independent. *)
+let prop_route_symmetry =
+  QCheck.Test.make ~name:"routed latency is symmetric" ~count:100 arb_topology (fun t ->
+      let n = T.num_vertices t in
+      let ok = ref true in
+      for a = 0 to n - 1 do
+        for b = 0 to n - 1 do
+          if T.reachable t ~src:a ~dst:b then
+            ok :=
+              !ok
+              && T.reachable t ~src:b ~dst:a
+              && Time.equal (T.route_latency t ~src:a ~dst:b) (T.route_latency t ~src:b ~dst:a)
+        done
+      done;
+      !ok)
+
+let prop_triangle =
+  QCheck.Test.make ~name:"routed latency obeys the triangle inequality" ~count:100 arb_topology
+    (fun t ->
+      let n = T.num_vertices t in
+      let ok = ref true in
+      for a = 0 to n - 1 do
+        for b = 0 to n - 1 do
+          for c = 0 to n - 1 do
+            if
+              T.reachable t ~src:a ~dst:b && T.reachable t ~src:b ~dst:c
+              && T.reachable t ~src:a ~dst:c
+            then
+              ok :=
+                !ok
+                && Time.to_ns (T.route_latency t ~src:a ~dst:c)
+                   <= Time.to_ns (T.route_latency t ~src:a ~dst:b)
+                      + Time.to_ns (T.route_latency t ~src:b ~dst:c)
+          done
+        done
+      done;
+      !ok)
+
+let prop_route_well_formed =
+  QCheck.Test.make ~name:"routes are contiguous and latency-additive" ~count:100 arb_topology
+    (fun t ->
+      let n = T.num_vertices t in
+      let ok = ref true in
+      for a = 0 to n - 1 do
+        for b = 0 to n - 1 do
+          if a <> b && T.reachable t ~src:a ~dst:b then begin
+            let r = T.route t ~src:a ~dst:b in
+            let contiguous =
+              match r with
+              | [] -> false
+              | first :: _ ->
+                first.T.lsrc = a
+                && (List.rev r |> List.hd).T.ldst = b
+                && fst
+                     (List.fold_left
+                        (fun (good, prev) l -> (good && l.T.lsrc = prev, l.T.ldst))
+                        (true, a) r)
+            in
+            let additive =
+              List.fold_left (fun acc l -> acc + Time.to_ns l.T.llatency) 0 r
+              = Time.to_ns (T.route_latency t ~src:a ~dst:b)
+            in
+            ok := !ok && contiguous && additive
+          end
+        done
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "machine"
+    [
+      ( "hgx",
+        [
+          Alcotest.test_case "gpu pair" `Quick test_hgx_gpu_pair;
+          Alcotest.test_case "host paths" `Quick test_hgx_host_paths;
+          Alcotest.test_case "self route" `Quick test_hgx_self;
+          Alcotest.test_case "pair stats" `Quick test_hgx_pair_stats;
+        ] );
+      ( "dgx",
+        [
+          Alcotest.test_case "inter-node" `Quick test_dgx_internode;
+          Alcotest.test_case "hosts" `Quick test_dgx_hosts;
+        ] );
+      ( "alt fabrics",
+        [
+          Alcotest.test_case "ring multi-hop" `Quick test_ring_multihop;
+          Alcotest.test_case "pcie only" `Quick test_pcie_only;
+        ] );
+      ( "specs",
+        [
+          Alcotest.test_case "parsing" `Quick test_spec_parsing;
+          Alcotest.test_case "bad lookups" `Quick test_bad_lookups;
+        ] );
+      ( "laws",
+        List.map
+          (fun p -> QCheck_alcotest.to_alcotest p)
+          [ prop_route_symmetry; prop_triangle; prop_route_well_formed ] );
+    ]
