@@ -529,6 +529,161 @@ let validate_scaleout_doc doc =
   | _ -> fail "document is not an object"
 
 (* ---------------------------------------------------------------- *)
+(* Fig C: chaos — fault intensity vs completion time / recovery       *)
+(* ---------------------------------------------------------------- *)
+
+module Fault = Cpufree_fault.Fault
+
+(* One host-driven scheme, one discrete device-initiated scheme, and the
+   persistent CPU-free scheme: the sweep shows how each degrades as the
+   fabric gets lossier and one device lags. *)
+let chaos_variants = [ S.Variants.Copy; S.Variants.Nvshmem; S.Variants.Cpu_free ]
+
+let chaos_seed = 1234
+
+(* Sweep {!Fault.preset} intensity over the three schemes on a fixed seed.
+   Intensity 0 is a fault-free control run through the same chaos machinery
+   (plan active, nothing fires), so the "recovery overhead" column reads
+   directly as time relative to that row. Every cell is bit-identical across
+   repeats and across CPUFREE_PDES modes. *)
+let fig_chaos ~smoke () =
+  figure "fig.chaos" (fun () ->
+      let intensities = if smoke then [ 0.0; 1.0 ] else [ 0.0; 0.5; 1.0; 2.0; 4.0 ] in
+      let iters = if smoke then 10 else 30 in
+      let gpus = if smoke then 4 else 8 in
+      let problem = S.Problem.make (S.Problem.D2 { nx = 512; ny = 512 }) ~iterations:iters in
+      let cells =
+        List.concat_map (fun i -> List.map (fun k -> (i, k)) chaos_variants) intensities
+      in
+      let runs =
+        Parallel.map
+          (fun (intensity, kind) ->
+            S.Harness.run_chaos ~faults:(Fault.preset ~intensity) ~fault_seed:chaos_seed kind
+              problem ~gpus)
+          cells
+      in
+      let grid = List.combine cells runs in
+      header
+        (Printf.sprintf
+           "Fig C  Chaos: 2D Jacobi 512^2 on %d GPUs under injected faults (seed %d); total us \
+            (ok|AB), deliveries resent"
+           gpus chaos_seed);
+      Printf.printf "%9s" "intensity";
+      List.iter (fun k -> Printf.printf " %22s" (S.Variants.name k)) chaos_variants;
+      print_newline ();
+      List.iter
+        (fun intensity ->
+          Printf.printf "%9.2f" intensity;
+          List.iter
+            (fun ((i, _), cr) ->
+              if i = intensity then begin
+                let c = cr.S.Harness.chaos in
+                Printf.printf " %12.2f %s r=%-4d" (us c.Measure.base.Measure.total)
+                  (if c.Measure.completed then "ok" else "AB")
+                  c.Measure.resent
+              end)
+            grid;
+          print_newline ())
+        intensities;
+      let points =
+        List.map
+          (fun ((intensity, kind), cr) ->
+            let c = cr.S.Harness.chaos in
+            let min_progress =
+              Array.fold_left Stdlib.min c.Measure.base.Measure.iterations cr.S.Harness.progress
+            in
+            point ~label:(S.Variants.name kind) ~gpus c.Measure.base
+              ~extra:
+                [
+                  ("intensity", J.Float intensity);
+                  ("fault_seed", J.Int chaos_seed);
+                  ("completed", J.Bool c.Measure.completed);
+                  ("min_progress", J.Int min_progress);
+                  ("dropped", J.Int c.Measure.dropped);
+                  ("delayed", J.Int c.Measure.delayed);
+                  ("resent", J.Int c.Measure.resent);
+                  ("retried", J.Int c.Measure.retried);
+                ])
+          grid
+      in
+      (points, ()))
+
+(* Documented schema of the fig.chaos series: every point carries the fault
+   intensity, seed, completion flag and recovery counters; the sweep must
+   include a fault-free control (intensity 0, completed) and at least one
+   genuinely faulty point. *)
+let validate_chaos_doc doc =
+  let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let field kvs name = List.assoc_opt name kvs in
+  let point_shape i p =
+    match p with
+    | J.Obj kvs -> (
+      match
+        ( field kvs "intensity",
+          field kvs "fault_seed",
+          field kvs "completed",
+          field kvs "dropped",
+          field kvs "resent",
+          field kvs "retried",
+          field kvs "min_progress" )
+      with
+      | ( Some (J.Float _),
+          Some (J.Int _),
+          Some (J.Bool _),
+          Some (J.Int _),
+          Some (J.Int _),
+          Some (J.Int _),
+          Some (J.Int _) ) ->
+        Ok ()
+      | _ ->
+        fail
+          "chaos point %d: needs float \"intensity\", int \"fault_seed\", bool \"completed\", \
+           int \"dropped\"/\"resent\"/\"retried\"/\"min_progress\""
+          i)
+    | _ -> fail "chaos point %d: not an object" i
+  in
+  let has pred pts = List.exists pred pts in
+  let control = function
+    | J.Obj kvs ->
+      field kvs "intensity" = Some (J.Float 0.0) && field kvs "completed" = Some (J.Bool true)
+    | _ -> false
+  in
+  let faulty = function
+    | J.Obj kvs -> (match field kvs "intensity" with Some (J.Float i) -> i > 0.0 | _ -> false)
+    | _ -> false
+  in
+  match doc with
+  | J.Obj kvs -> (
+    match field kvs "figures" with
+    | Some (J.List figs) -> (
+      let chaos =
+        List.filter_map
+          (function
+            | J.Obj f when field f "figure" = Some (J.String "fig.chaos") -> Some f
+            | _ -> None)
+          figs
+      in
+      match chaos with
+      | [ fig ] -> (
+        match field fig "points" with
+        | Some (J.List (_ :: _ as pts)) ->
+          let rec go i = function
+            | [] -> Ok ()
+            | p :: rest -> (match point_shape i p with Ok () -> go (i + 1) rest | e -> e)
+          in
+          (match go 0 pts with
+          | Error _ as e -> e
+          | Ok () ->
+            if not (has control pts) then
+              fail "fig.chaos has no completed fault-free control point (intensity 0)"
+            else if not (has faulty pts) then fail "fig.chaos has no point with intensity > 0"
+            else Ok ())
+        | _ -> fail "fig.chaos: missing or empty points list")
+      | l -> fail "expected exactly one fig.chaos figure, found %d" (List.length l))
+    | _ -> fail "document has no figures list")
+  | _ -> fail "document is not an object"
+
+(* ---------------------------------------------------------------- *)
 (* Headline speedups                                                  *)
 (* ---------------------------------------------------------------- *)
 
@@ -953,6 +1108,21 @@ let write_results ~mode ~elapsed =
         "[scaleout] FATAL: BENCH_results.json violates the documented schema: %s\n%!" msg;
       exit 1
   end;
+  let has_chaos =
+    List.exists
+      (function
+        | J.Obj f -> List.assoc_opt "figure" f = Some (J.String "fig.chaos")
+        | _ -> false)
+      !json_figures
+  in
+  if has_chaos then begin
+    match validate_chaos_doc doc with
+    | Ok () -> ()
+    | Error msg ->
+      Printf.eprintf "[chaos] FATAL: BENCH_results.json violates the documented schema: %s\n%!"
+        msg;
+      exit 1
+  end;
   let oc = open_out "BENCH_results.json" in
   J.to_channel oc doc;
   close_out oc;
@@ -977,6 +1147,13 @@ let () =
     write_results
       ~mode:(if smoke then "scaleout-smoke" else "scaleout")
       ~elapsed:(wall () -. t_start);
+    exit 0
+  end;
+  if List.mem "chaos" args then begin
+    let smoke = List.mem "smoke" args in
+    let t_start = wall () in
+    fig_chaos ~smoke ();
+    write_results ~mode:(if smoke then "chaos-smoke" else "chaos") ~elapsed:(wall () -. t_start);
     exit 0
   end;
   let t_start = wall () in

@@ -37,12 +37,56 @@ let topology_arg =
   in
   Arg.(value & opt string "hgx" & info [ "topology"; "t" ] ~docv:"TOPO" ~doc)
 
-let resolve_topology name =
+(* Parse AND validate against the GPU count so a bad combination (e.g.
+   "--topology dgx:3 --gpus 8") exits with a usage message instead of an
+   uncaught exception mid-run. *)
+let resolve_topology name ~gpus =
   match Cpufree_machine.Topology.spec_of_string name with
-  | Ok spec -> spec
   | Error msg ->
     Printf.eprintf "%s\n" msg;
     exit 2
+  | Ok spec -> (
+    match Cpufree_machine.Topology.validate spec ~gpus with
+    | Ok () -> spec
+    | Error msg ->
+      Printf.eprintf "bad --topology/--gpus combination: %s\n" msg;
+      exit 2)
+
+(* --- fault injection ------------------------------------------------------ *)
+
+module Fault = Cpufree_fault.Fault
+
+let faults_arg =
+  let doc =
+    "Deterministic fault-injection spec: comma-separated clauses drop=P, delay=P@NS, \
+     straggler=GxM, flap=PERIOD_US@DUTYxM, nic=START_US+DUR_US, retry=TIMEOUT_USxN, backoff=F \
+     (or 'none'). Example: drop=0.02,delay=0.1@2000,straggler=1x1.5."
+  in
+  Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"SPEC" ~doc)
+
+let fault_seed_arg =
+  let doc = "Fault-plan seed: a fixed seed makes repeated chaos runs bit-identical." in
+  Arg.(value & opt int 1 & info [ "fault-seed" ] ~docv:"N" ~doc)
+
+let resolve_faults spec =
+  match Fault.of_string spec with
+  | Ok s -> s
+  | Error msg ->
+    Printf.eprintf "bad --faults spec: %s\n" msg;
+    exit 2
+
+let print_chaos_report (c : Measure.chaos) ~progress =
+  let r = c.Measure.base in
+  Printf.printf "%-22s %s after %s  (dropped=%d delayed=%d resent=%d retries=%d)\n"
+    r.Measure.label
+    (if c.Measure.completed then "completed" else "ABORTED")
+    (Time.to_string r.Measure.total) c.Measure.dropped c.Measure.delayed c.Measure.resent
+    c.Measure.retried;
+  if Array.length progress > 0 then
+    Printf.printf "  progress: [%s] / %d iterations\n"
+      (String.concat "; " (Array.to_list (Array.map string_of_int progress)))
+      r.Measure.iterations;
+  List.iter (fun line -> Printf.printf "  %s\n" line) c.Measure.failure
 
 let iters_arg =
   let doc = "Jacobi iterations / time steps." in
@@ -112,9 +156,10 @@ let no_compute_arg =
   let doc = "Disable computation: measure the pure communication/sync floor." in
   Arg.(value & flag & info [ "no-compute" ] ~doc)
 
-let run_stencil arch_name topo_name gpus iters dims variant no_compute verify timeline chrome =
+let run_stencil arch_name topo_name gpus iters dims variant no_compute verify timeline chrome
+    faults fault_seed =
   let arch = resolve_arch arch_name in
-  let topology = resolve_topology topo_name in
+  let topology = resolve_topology topo_name ~gpus in
   let kinds =
     match variant with
     | None | Some "all" -> S.Variants.all
@@ -127,6 +172,17 @@ let run_stencil arch_name topo_name gpus iters dims variant no_compute verify ti
         exit 2)
   in
   let problem = S.Problem.make ~compute:(not no_compute) ~backed:verify dims ~iterations:iters in
+  match faults with
+  | Some spec_str ->
+    let spec = resolve_faults spec_str in
+    Printf.printf "chaos run: faults=%s seed=%d\n" (Fault.to_string spec) fault_seed;
+    List.iter
+      (fun kind ->
+        let cr = S.Harness.run_chaos ~arch ~topology ~faults:spec ~fault_seed kind problem ~gpus in
+        print_chaos_report cr.S.Harness.chaos ~progress:cr.S.Harness.progress)
+      kinds;
+    0
+  | None ->
   let results =
     List.map
       (fun kind ->
@@ -152,7 +208,7 @@ let stencil_cmd =
     (Cmd.info "stencil" ~doc)
     Term.(
       const run_stencil $ arch_arg $ topology_arg $ gpus_arg $ iters_arg $ dims_arg $ variant_arg
-      $ no_compute_arg $ verify_arg $ timeline_arg $ chrome_arg)
+      $ no_compute_arg $ verify_arg $ timeline_arg $ chrome_arg $ faults_arg $ fault_seed_arg)
 
 (* --- dace command ---------------------------------------------------------- *)
 
@@ -179,8 +235,9 @@ let specialize_arg =
   in
   Arg.(value & flag & info [ "specialize-tb" ] ~doc)
 
-let run_dace topo_name gpus iters app_name arm_name size emit specialize_tb verify timeline chrome =
-  let topology = resolve_topology topo_name in
+let run_dace topo_name gpus iters app_name arm_name size emit specialize_tb verify timeline chrome
+    faults fault_seed =
+  let topology = resolve_topology topo_name ~gpus in
   let app =
     match app_name with
     | "jacobi1d" -> D.Pipeline.Jacobi1d { D.Programs.n_global = size; tsteps = iters }
@@ -221,16 +278,26 @@ let run_dace topo_name gpus iters app_name arm_name size emit specialize_tb veri
       exit 1
   end;
   let built = D.Pipeline.compile ~specialize_tb app arm ~gpus in
-  let r, trace =
-    Measure.run_traced ~topology
-      ~label:(Printf.sprintf "%s/%s%s" (D.Pipeline.app_name app) (D.Pipeline.arm_name arm)
-                (if specialize_tb then "/specialized" else ""))
-      ~gpus ~iterations:iters built.D.Exec.program
+  let label =
+    Printf.sprintf "%s/%s%s" (D.Pipeline.app_name app) (D.Pipeline.arm_name arm)
+      (if specialize_tb then "/specialized" else "")
   in
-  if timeline then print_timeline trace;
-  maybe_write_chrome chrome trace;
-  Format.printf "%a@." Measure.pp_result r;
-  0
+  match faults with
+  | Some spec_str ->
+    let spec = resolve_faults spec_str in
+    Printf.printf "chaos run: faults=%s seed=%d\n" (Fault.to_string spec) fault_seed;
+    let c =
+      Measure.run_chaos ~topology ~faults:spec ~fault_seed ~label ~gpus ~iterations:iters
+        built.D.Exec.program
+    in
+    print_chaos_report c ~progress:[||];
+    0
+  | None ->
+    let r, trace = Measure.run_traced ~topology ~label ~gpus ~iterations:iters built.D.Exec.program in
+    if timeline then print_timeline trace;
+    maybe_write_chrome chrome trace;
+    Format.printf "%a@." Measure.pp_result r;
+    0
 
 let dace_cmd =
   let doc = "Compile and run a distributed DaCe benchmark through a pipeline arm (paper §6.2)." in
@@ -238,7 +305,8 @@ let dace_cmd =
     (Cmd.info "dace" ~doc)
     Term.(
       const run_dace $ topology_arg $ gpus_arg $ iters_arg $ app_arg $ arm_arg $ size_arg
-      $ emit_arg $ specialize_arg $ verify_arg $ timeline_arg $ chrome_arg)
+      $ emit_arg $ specialize_arg $ verify_arg $ timeline_arg $ chrome_arg $ faults_arg
+      $ fault_seed_arg)
 
 (* --- machine command -------------------------------------------------------- *)
 
@@ -251,7 +319,7 @@ let json_arg =
 
 let run_machine arch_name topo_name gpus json =
   let arch = resolve_arch arch_name in
-  let spec = resolve_topology topo_name in
+  let spec = resolve_topology topo_name ~gpus in
   let topo = Cpufree_machine.Topology.instantiate spec ~profile:(G.Arch.fabric_profile arch) ~gpus in
   if json then begin
     match Cpufree_core.Machine_json.emit stdout topo with

@@ -1,5 +1,6 @@
 module E = Cpufree_engine
 module G = Cpufree_gpu
+module F = Cpufree_fault.Fault
 module Time = E.Time
 
 type sym = { slabel : string; bufs : G.Buffer.t array }
@@ -12,6 +13,7 @@ type t = {
   n : int;
   pending : E.Sync.Flag.t array;  (* outstanding nbi deliveries per PE *)
   barrier : E.Sync.Barrier.t;
+  faults : F.plan option;  (* the runtime context's plan, if any *)
   mutable next_op : int;
 }
 
@@ -24,8 +26,16 @@ let init ctx =
     n;
     pending = Array.init n (fun i -> E.Sync.Flag.create ~name:(Printf.sprintf "pe%d.pending" i) eng 0);
     barrier = E.Sync.Barrier.create ~name:"nvshmem.barrier_all" eng n;
+    faults = G.Runtime.faults ctx;
     next_op = 0;
   }
+
+(* Lost-delivery registry keys: a dropped put+signal is filed under the
+   destination flag instance its arrival would have raised (that flag's
+   resilient waiter recovers it); a dropped plain put under the sender,
+   whose [quiet] fence recovers it. *)
+let sig_key sig_var ~to_pe = Printf.sprintf "sig:%s@pe%d" sig_var.glabel to_pe
+let put_key ~from_pe = Printf.sprintf "put:pe%d" from_pe
 
 let n_pes t = t.n
 
@@ -85,21 +95,52 @@ let deliver_async t ~from_pe ~label body =
 
 let lane t pe = G.Device.lane (G.Runtime.device t.ctx pe) "nvshmem"
 
+(* One fabric delivery: wire transfer, data commit, then any attached
+   signal — NVSHMEM's data-before-signal order, preserved verbatim when a
+   recovery replays the delivery. *)
+let delivery t ~from_pe ~to_pe ~bytes ~label ~commit ~signal_after () =
+  let a = arch t in
+  G.Interconnect.transfer (net t) ~src:(G.Interconnect.Gpu from_pe)
+    ~dst:(G.Interconnect.Gpu to_pe) ~initiator:G.Interconnect.By_device ~bytes
+    ~trace_lane:(lane t from_pe) ~label ();
+  commit ();
+  match signal_after with
+  | None -> ()
+  | Some (sig_var, sig_op, sig_value) ->
+    E.Engine.delay t.eng a.G.Arch.nvshmem_signal;
+    apply_signal sig_var to_pe sig_op sig_value
+
+(* The fate of the sender's next delivery, drawn (deterministically, in the
+   sender's program order) at issue time. *)
+let draw_fate t ~from_pe =
+  match t.faults with None -> F.Deliver | Some plan -> F.delivery_fate plan ~from_pe
+
 let put_common t ~from_pe ~to_pe ~bytes ~label ~commit ~signal_after =
   check_pe t from_pe "put";
   check_pe t to_pe "put";
   E.Engine.delay t.eng (issue_overhead t);
-  let a = arch t in
-  deliver_async t ~from_pe ~label (fun () ->
-      G.Interconnect.transfer (net t) ~src:(G.Interconnect.Gpu from_pe)
-        ~dst:(G.Interconnect.Gpu to_pe) ~initiator:G.Interconnect.By_device ~bytes
-        ~trace_lane:(lane t from_pe) ~label ();
-      commit ();
+  let fate = draw_fate t ~from_pe in
+  let deliver = delivery t ~from_pe ~to_pe ~bytes ~label ~commit ~signal_after in
+  match fate with
+  | F.Deliver -> deliver_async t ~from_pe ~label deliver
+  | F.Delayed d ->
+    deliver_async t ~from_pe ~label (fun () ->
+        E.Engine.delay t.eng d;
+        deliver ())
+  | F.Dropped ->
+    (* The fabric loses the packet: neither data nor signal arrives. The
+       sender's queue slot still drains (so quiet on an unrelated path
+       does not hang forever on a ghost op) and the delivery is filed for
+       retransmission by whoever waits on what it carried. *)
+    let plan = Option.get t.faults in
+    let key =
       match signal_after with
-      | None -> ()
-      | Some (sig_var, sig_op, sig_value) ->
-        E.Engine.delay t.eng a.G.Arch.nvshmem_signal;
-        apply_signal sig_var to_pe sig_op sig_value)
+      | Some (sig_var, _, _) -> sig_key sig_var ~to_pe
+      | None -> put_key ~from_pe
+    in
+    F.record_lost plan ~key
+      (delivery t ~from_pe ~to_pe ~bytes ~label:(label ^ ".resend") ~commit ~signal_after);
+    deliver_async t ~from_pe ~label (fun () -> ())
 
 let putmem_nbi t ~from_pe ~to_pe ~src ~src_pos ~dst ~dst_pos ~len =
   let dst_buf = local dst ~pe:to_pe in
@@ -124,15 +165,25 @@ let iput_nbi t ~from_pe ~to_pe ~src ~src_pos ~src_stride ~dst ~dst_pos ~dst_stri
   E.Engine.delay t.eng (issue_overhead t);
   let a = arch t in
   let dst_buf = local dst ~pe:to_pe in
-  deliver_async t ~from_pe ~label:"iput_nbi" (fun () ->
-      (* Element-wise remote stores: serialization plus a per-element
-         non-coalescing penalty on top of the port booking. *)
-      E.Engine.delay t.eng (Time.scale a.G.Arch.nvshmem_strided_elem (float_of_int count));
-      G.Interconnect.transfer (net t) ~src:(G.Interconnect.Gpu from_pe)
-        ~dst:(G.Interconnect.Gpu to_pe) ~initiator:G.Interconnect.By_device
-        ~bytes:(count * G.Buffer.elem_bytes)
-        ~trace_lane:(lane t from_pe) ~label:"iput" ();
-      G.Buffer.blit_strided ~src ~src_pos ~src_stride ~dst:dst_buf ~dst_pos ~dst_stride ~count)
+  let deliver () =
+    (* Element-wise remote stores: serialization plus a per-element
+       non-coalescing penalty on top of the port booking. *)
+    E.Engine.delay t.eng (Time.scale a.G.Arch.nvshmem_strided_elem (float_of_int count));
+    G.Interconnect.transfer (net t) ~src:(G.Interconnect.Gpu from_pe)
+      ~dst:(G.Interconnect.Gpu to_pe) ~initiator:G.Interconnect.By_device
+      ~bytes:(count * G.Buffer.elem_bytes)
+      ~trace_lane:(lane t from_pe) ~label:"iput" ();
+    G.Buffer.blit_strided ~src ~src_pos ~src_stride ~dst:dst_buf ~dst_pos ~dst_stride ~count
+  in
+  match draw_fate t ~from_pe with
+  | F.Deliver -> deliver_async t ~from_pe ~label:"iput_nbi" deliver
+  | F.Delayed d ->
+    deliver_async t ~from_pe ~label:"iput_nbi" (fun () ->
+        E.Engine.delay t.eng d;
+        deliver ())
+  | F.Dropped ->
+    F.record_lost (Option.get t.faults) ~key:(put_key ~from_pe) deliver;
+    deliver_async t ~from_pe ~label:"iput_nbi" (fun () -> ())
 
 let p t ~from_pe ~to_pe ~value ~dst ~dst_pos =
   check_pe t from_pe "p";
@@ -145,7 +196,18 @@ let p t ~from_pe ~to_pe ~value ~dst ~dst_pos =
 
 let quiet t ~pe =
   check_pe t pe "quiet";
-  E.Sync.Flag.wait_until t.pending.(pe) (fun v -> v = 0)
+  E.Sync.Flag.wait_until t.pending.(pe) (fun v -> v = 0);
+  (* The fence knows its plain (signal-less) puts never completed — the
+     NIC reports undelivered queue slots — so it retransmits them before
+     declaring the PE quiet, charging itself the wire time. *)
+  match t.faults with
+  | None -> ()
+  | Some plan -> (
+    match F.recover_lost plan ~key:(put_key ~from_pe:pe) with
+    | [] -> ()
+    | lost ->
+      F.note_resent plan (List.length lost);
+      List.iter (fun resend -> resend ()) lost)
 
 (* Wire latency a fabric signal rides: the routed path between the PEs (the
    NVLink hop on a single switch, NIC + IB on an inter-node pair); a PE
@@ -164,20 +226,86 @@ let signal_op_remote t ~from_pe ~to_pe ~sig_var ~sig_op ~sig_value =
   (* Ordered after prior puts from this PE: fence by waiting for them. *)
   quiet t ~pe:from_pe;
   let a = arch t in
-  E.Engine.delay t.eng
-    (Time.add a.G.Arch.gpu_initiated_latency
-       (Time.add (signal_wire t ~from_pe ~to_pe) a.G.Arch.nvshmem_signal));
-  apply_signal sig_var to_pe sig_op sig_value
+  let wire () =
+    E.Engine.delay t.eng
+      (Time.add
+         (G.Interconnect.fault_hold (net t) ~src:(G.Interconnect.Gpu from_pe)
+            ~dst:(G.Interconnect.Gpu to_pe))
+         (Time.add a.G.Arch.gpu_initiated_latency
+            (Time.add (signal_wire t ~from_pe ~to_pe) a.G.Arch.nvshmem_signal)))
+  in
+  match draw_fate t ~from_pe with
+  | F.Deliver ->
+    wire ();
+    apply_signal sig_var to_pe sig_op sig_value
+  | F.Delayed d ->
+    wire ();
+    E.Engine.delay t.eng d;
+    apply_signal sig_var to_pe sig_op sig_value
+  | F.Dropped ->
+    (* The update vanishes in the fabric; the issue cost was paid. File it
+       for the destination's resilient waiter. *)
+    F.record_lost (Option.get t.faults)
+      ~key:(sig_key sig_var ~to_pe)
+      (fun () ->
+        wire ();
+        apply_signal sig_var to_pe sig_op sig_value)
 
-let signal_wait_until t ~pe ~sig_var pred =
+(* Timeout/retry/resend wait (fault runs only): each timeout first asks the
+   fabric to retransmit any delivery lost on the way to this flag, then
+   backs off; a wait that exhausts its retries raises a fully diagnosed
+   {!Cpufree_engine.Engine.Stall} instead of spinning forever. *)
+let resilient_wait t ~pe ~waits_on ~plan ~sig_var pred =
+  let spec = F.spec_of plan in
+  let flag = sig_var.flags.(pe) in
+  let key = sig_key sig_var ~to_pe:pe in
+  let started = E.Engine.now t.eng in
+  let rec attempt retries timeout =
+    let deadline = Time.add (E.Engine.now t.eng) timeout in
+    match E.Sync.Flag.await ?waits_on flag ~deadline pred with
+    | `Ok -> ()
+    | `Timeout -> (
+      match F.recover_lost plan ~key with
+      | [] ->
+        if retries >= spec.F.max_retries then
+          raise
+            (E.Engine.Stall
+               (E.Engine.stall_report t.eng
+                  ~trigger:
+                    (Printf.sprintf
+                       "signal %s@pe%d: %d retries exhausted after %s (value %d)"
+                       sig_var.glabel pe retries
+                       (Time.to_string (Time.sub (E.Engine.now t.eng) started))
+                       (E.Sync.Flag.get flag))))
+        else begin
+          F.note_retry plan;
+          attempt (retries + 1) (Time.scale timeout spec.F.backoff)
+        end
+      | lost ->
+        (* Replay lost deliveries — data first, then signal, as the
+           originals would have arrived — charging the retransmission
+           wire time to the recovering waiter. *)
+        F.note_resent plan (List.length lost);
+        List.iter (fun resend -> resend ()) lost;
+        F.note_retry plan;
+        attempt (retries + 1) (Time.scale timeout spec.F.backoff))
+  in
+  attempt 0 spec.F.retry_timeout
+
+let signal_wait_until t ?expect_from ~pe ~sig_var pred =
   check_pe t pe "signal_wait";
   let flag = sig_var.flags.(pe) in
   let blocked = not (pred (E.Sync.Flag.get flag)) in
-  E.Sync.Flag.wait_until flag pred;
+  let waits_on = Option.map G.Runtime.gpu_group expect_from in
+  (match t.faults with
+  | Some plan when blocked && F.is_active (F.spec_of plan) ->
+    resilient_wait t ~pe ~waits_on ~plan ~sig_var pred
+  | Some _ | None -> E.Sync.Flag.wait_until ?waits_on flag pred);
   (* A wait that actually spun pays the remote-write detection latency. *)
   if blocked then E.Engine.delay t.eng (arch t).G.Arch.nvshmem_wait_latency
 
-let signal_wait_ge t ~pe ~sig_var v = signal_wait_until t ~pe ~sig_var (fun x -> x >= v)
+let signal_wait_ge t ?expect_from ~pe ~sig_var v =
+  signal_wait_until t ?expect_from ~pe ~sig_var (fun x -> x >= v)
 
 let barrier_all t ~pe =
   check_pe t pe "barrier_all";

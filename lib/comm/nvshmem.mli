@@ -62,14 +62,26 @@ val signal_op_remote :
 (** Standalone remote signal update ([nvshmem_signal_op]); ordered after the
     caller's previously issued puts to the same PE (fence semantics). *)
 
-val signal_wait_until : t -> pe:int -> sig_var:signal -> (int -> bool) -> unit
-(** [nvshmem_signal_wait_until] on the local instance of [sig_var]. *)
+val signal_wait_until :
+  t -> ?expect_from:int -> pe:int -> sig_var:signal -> (int -> bool) -> unit
+(** [nvshmem_signal_wait_until] on the local instance of [sig_var].
 
-val signal_wait_ge : t -> pe:int -> sig_var:signal -> int -> unit
+    [expect_from] names the PE whose signal update this wait depends on; it
+    tags the wait-for graph edge used by stall/deadlock diagnostics. Under an
+    active fault plan the wait is {e resilient}: it times out after the
+    plan's [retry] budget, asks the fabric to retransmit any delivery lost on
+    the way to this signal (data replayed before the signal, preserving
+    ordering), and backs off exponentially; a wait that exhausts its retries
+    raises {!Cpufree_engine.Engine.Stall} with a full diagnosis instead of
+    spinning forever. Without faults the wait is the plain spin of the
+    baseline model. *)
+
+val signal_wait_ge : t -> ?expect_from:int -> pe:int -> sig_var:signal -> int -> unit
 
 val quiet : t -> pe:int -> unit
 (** Block until all of [pe]'s outstanding non-blocking operations have been
-    delivered remotely. *)
+    delivered remotely. Under an active fault plan the fence additionally
+    detects and retransmits the PE's dropped signal-less puts. *)
 
 val barrier_all : t -> pe:int -> unit
 (** Device-side barrier across all PEs (includes an implicit quiet). *)

@@ -25,6 +25,33 @@ let pdes_mode () : pdes =
     | other ->
       invalid_arg (Printf.sprintf "CPUFREE_PDES=%S: expected \"seq\" or \"windowed\"" other))
 
+let measure ~label ~gpus ~iterations eng ctx trace =
+  let total = E.Engine.now eng in
+  let iters = Stdlib.max 1 iterations in
+  {
+    label;
+    gpus;
+    iterations;
+    total;
+    per_iter = Time.of_ns_float (Time.to_sec_float total *. 1e9 /. float_of_int iters);
+    comm = Cpufree_comm.Metrics.comm_time trace;
+    overlap = Cpufree_comm.Metrics.overlap_ratio trace;
+    bytes_moved = G.Interconnect.bytes_moved (G.Runtime.net ctx);
+  }
+
+let drive mode eng ctx =
+  match mode with
+  | `Seq -> E.Engine.run eng
+  | `Windowed ->
+    (* The figure models share flags and resources across devices, so they do
+       not declare [~isolated] and this resolves to the sequential driver on a
+       partitioned engine — same global event order, bit-identical output.
+       Isolated models (e.g. {!Microbench}) take the parallel path. *)
+    let (_ : E.Engine.outcome) =
+      E.Engine.run_windowed ~lookahead:(G.Runtime.lookahead ctx) eng
+    in
+    ()
+
 let run_traced ?arch ?topology ?seed:_ ~label ~gpus ~iterations program =
   let mode = pdes_mode () in
   let trace = E.Trace.create () in
@@ -35,32 +62,59 @@ let run_traced ?arch ?topology ?seed:_ ~label ~gpus ~iterations program =
   in
   let ctx = G.Runtime.init eng ?arch ?topology ~partitioned:(mode = `Windowed) ~num_gpus:gpus () in
   let (_ : E.Engine.process) = E.Engine.spawn eng ~name:"main" (fun () -> program ctx) in
-  (match mode with
-  | `Seq -> E.Engine.run eng
-  | `Windowed ->
-    (* The figure models share flags and resources across devices, so they do
-       not declare [~isolated] and this resolves to the sequential driver on a
-       partitioned engine — same global event order, bit-identical output.
-       Isolated models (e.g. {!Microbench}) take the parallel path. *)
-    let (_ : E.Engine.outcome) =
-      E.Engine.run_windowed ~lookahead:(G.Runtime.lookahead ctx) eng
-    in
-    ());
-  let total = E.Engine.now eng in
-  let iters = Stdlib.max 1 iterations in
-  let result =
-    {
-      label;
-      gpus;
-      iterations;
-      total;
-      per_iter = Time.of_ns_float (Time.to_sec_float total *. 1e9 /. float_of_int iters);
-      comm = Cpufree_comm.Metrics.comm_time trace;
-      overlap = Cpufree_comm.Metrics.overlap_ratio trace;
-      bytes_moved = G.Interconnect.bytes_moved (G.Runtime.net ctx);
-    }
+  drive mode eng ctx;
+  (measure ~label ~gpus ~iterations eng ctx trace, trace)
+
+module F = Cpufree_fault.Fault
+
+type chaos = {
+  base : result;  (** metrics up to the point the run ended (partial on abort) *)
+  completed : bool;
+  failure : string list;
+  trigger : string option;
+  dropped : int;
+  delayed : int;
+  resent : int;
+  retried : int;
+}
+
+let run_chaos ?arch ?topology ?watchdog ~faults ~fault_seed ~label ~gpus ~iterations program =
+  let mode = pdes_mode () in
+  let plan = F.activate faults ~seed:fault_seed ~gpus in
+  let watchdog =
+    match watchdog with
+    | Some w -> w
+    | None -> F.default_watchdog faults
   in
-  (result, trace)
+  let trace = E.Trace.create () in
+  let eng =
+    match mode with
+    | `Seq -> E.Engine.create ~trace ~watchdog ()
+    | `Windowed -> E.Engine.create ~trace ~partitions:(gpus + 1) ~watchdog ()
+  in
+  let ctx =
+    G.Runtime.init eng ?arch ?topology ~faults:plan ~partitioned:(mode = `Windowed)
+      ~num_gpus:gpus ()
+  in
+  let (_ : E.Engine.process) = E.Engine.spawn eng ~name:"main" (fun () -> program ctx) in
+  let completed, failure, trigger =
+    match drive mode eng ctx with
+    | () -> (true, [], None)
+    | exception E.Engine.Stall report ->
+      (false, E.Engine.stall_lines report, Some report.E.Engine.stall_trigger)
+    | exception E.Engine.Deadlock lines -> (false, "deadlock:" :: lines, Some "deadlock")
+  in
+  let stats = F.stats plan in
+  {
+    base = measure ~label ~gpus ~iterations eng ctx trace;
+    completed;
+    failure;
+    trigger;
+    dropped = stats.F.dropped;
+    delayed = stats.F.delayed;
+    resent = stats.F.resent;
+    retried = stats.F.retried;
+  }
 
 let run ?arch ?topology ?seed ~label ~gpus ~iterations program =
   fst (run_traced ?arch ?topology ?seed ~label ~gpus ~iterations program)

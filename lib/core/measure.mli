@@ -41,6 +41,37 @@ val run_traced :
   (Cpufree_gpu.Runtime.ctx -> unit) -> result * Cpufree_engine.Trace.t
 (** As {!run} but also returns the execution trace (for timelines). *)
 
+type chaos = {
+  base : result;
+      (** Metrics up to the point the run ended — partial when aborted, so a
+          chaos figure can still plot how far a scheme got. *)
+  completed : bool;  (** [false] when the run aborted on a {!Cpufree_engine.Engine.Stall}
+                         or deadlock. *)
+  failure : string list;  (** Diagnosis lines when aborted (stall report / deadlock). *)
+  trigger : string option;  (** The stall trigger, or ["deadlock"]. *)
+  dropped : int;  (** Deliveries the fault plan dropped. *)
+  delayed : int;  (** Deliveries the fault plan delayed. *)
+  resent : int;  (** Lost deliveries recovered by retransmission. *)
+  retried : int;  (** Resilient-wait timeout/backoff rounds. *)
+}
+
+val run_chaos :
+  ?arch:Cpufree_gpu.Arch.t ->
+  ?topology:Cpufree_machine.Topology.spec ->
+  ?watchdog:Cpufree_engine.Time.t ->
+  faults:Cpufree_fault.Fault.spec ->
+  fault_seed:int ->
+  label:string -> gpus:int -> iterations:int ->
+  (Cpufree_gpu.Runtime.ctx -> unit) -> chaos
+(** As {!run}, but under a deterministic fault-injection plan:
+    [Fault.activate faults ~seed:fault_seed ~gpus] drives link degradation,
+    stragglers, and signal/put delivery faults, and the engine runs with a
+    stall watchdog (default {!Cpufree_fault.Fault.default_watchdog} of the
+    spec). A run that livelocks is converted into a diagnosed abort rather
+    than exhausting the event queue; metrics accumulated up to the abort are
+    still reported. Bit-identical across repeats for a fixed [fault_seed] in
+    both [CPUFREE_PDES] modes. *)
+
 val best_of :
   runs:int ->
   (unit -> result) -> result

@@ -32,9 +32,9 @@ let outbound_flag t = function Up -> t.from_below | Down -> t.from_above
 let wait_halo t ~pe ~dir ~iter =
   match neighbor t ~pe dir with
   | None -> ()
-  | Some _ ->
+  | Some src ->
     (* iter is 1-based; iteration 1's halos are the initial contents. *)
-    Nv.signal_wait_ge t.nv ~pe ~sig_var:(inbound_flag t dir) (iter - 1)
+    Nv.signal_wait_ge t.nv ~expect_from:src ~pe ~sig_var:(inbound_flag t dir) (iter - 1)
 
 let put_boundary t ~from_pe ~dir ~src ~src_pos ~dst ~dst_pos ~len ~iter =
   match neighbor t ~pe:from_pe dir with

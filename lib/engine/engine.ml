@@ -1,10 +1,18 @@
-type state = Ready | Running | Blocked of string | Finished
+(* Why a process is blocked: the human-readable reason, the group it
+   waits on (a wait-for edge, when the caller knows who must resolve the
+   wait), when it blocked, and whether the wake is already scheduled (a
+   delay or a deadline — exempt from the stall watchdog, which hunts
+   waits that nothing pending can resolve). *)
+type waitinfo = { why : string; on_group : string option; since : Time.t; timed : bool }
+
+type state = Ready | Running | Blocked of waitinfo | Finished
 
 type process = {
   pid : int;
   name : string;
   daemon : bool;
   part : int;
+  group : string option;
   mutable state : state;
 }
 
@@ -47,14 +55,25 @@ type t = {
   trace_sink : Trace.t option;
   mutable phase : phase;
   mutable wend : Time.t; (* exclusive end of the current window (Win phase) *)
+  watchdog : Time.t option;
+  mutable watch_next : Time.t; (* next time the watchdog scans for stalls *)
 }
 
 exception Deadlock of string list
 exception Lookahead_violation of string
 
+type stall_report = {
+  stall_at : Time.t;
+  stall_trigger : string;
+  stall_blocked : string list;
+  stall_cycle : string list option;
+}
+
+exception Stall of stall_report
+
 type _ Effect.t +=
   | Delay : t * Time.t -> unit Effect.t
-  | Suspend : t * string * ((unit -> unit) -> unit) -> unit Effect.t
+  | Suspend : t * string * string option * ((unit -> unit) -> unit) -> unit Effect.t
 
 let cmp_event a b =
   let c = Time.compare a.at b.at in
@@ -78,8 +97,12 @@ let make_partition id =
     pexn = None;
   }
 
-let create ?trace ?(partitions = 1) ?(isolated = false) () =
+let create ?trace ?(partitions = 1) ?(isolated = false) ?watchdog () =
   if partitions < 1 then invalid_arg "Engine.create: partitions must be positive";
+  (match watchdog with
+  | Some w when Time.(w <= Time.zero) ->
+    invalid_arg "Engine.create: watchdog must be positive"
+  | Some _ | None -> ());
   {
     clock = Time.zero;
     seq = 0;
@@ -89,6 +112,8 @@ let create ?trace ?(partitions = 1) ?(isolated = false) () =
     trace_sink = trace;
     phase = Idle;
     wend = Time.zero;
+    watchdog;
+    watch_next = Time.zero;
   }
 
 let num_partitions t = Array.length t.parts
@@ -186,16 +211,20 @@ let exec_process t proc body =
           | Delay (eng, d) when eng == t ->
             Some
               (fun (k : (a, unit) continuation) ->
-                proc.state <- Blocked "delay";
                 let p = t.parts.(proc.part) in
                 let base = match t.phase with Win -> p.pclock | Idle | Seq -> t.clock in
+                proc.state <-
+                  Blocked { why = "delay"; on_group = None; since = base; timed = true };
                 push_into t p (Time.add base d) (fun () ->
                     proc.state <- Running;
                     continue k ()))
-          | Suspend (eng, reason, register) when eng == t ->
+          | Suspend (eng, reason, waits_on, register) when eng == t ->
             Some
               (fun (k : (a, unit) continuation) ->
-                proc.state <- Blocked reason;
+                let since =
+                  match t.phase with Win -> t.parts.(proc.part).pclock | Idle | Seq -> t.clock
+                in
+                proc.state <- Blocked { why = reason; on_group = waits_on; since; timed = false };
                 let woken = ref false in
                 register (fun () ->
                     if not !woken then begin
@@ -220,7 +249,7 @@ let exec_process t proc body =
           | _ -> None);
     }
 
-let spawn t ?(name = "proc") ?(daemon = false) ?partition body =
+let spawn t ?(name = "proc") ?(daemon = false) ?partition ?group body =
   let np = Array.length t.parts in
   let part =
     match partition with
@@ -245,7 +274,7 @@ let spawn t ?(name = "proc") ?(daemon = false) ?partition body =
               name part (Domain.DLS.get dls_part)))
   | Idle | Seq -> ());
   let pid = Atomic.fetch_and_add t.next_pid 1 + 1 in
-  let proc = { pid; name; daemon; part; state = Ready } in
+  let proc = { pid; name; daemon; part; group; state = Ready } in
   let p = t.parts.(part) in
   if not daemon then p.plive <- p.plive + 1;
   Hashtbl.replace p.procs pid proc;
@@ -261,7 +290,11 @@ let process_partition (p : process) = p.part
 
 let delay t d = Effect.perform (Delay (t, d))
 let yield t = delay t Time.zero
-let suspend t ~reason register = Effect.perform (Suspend (t, reason, register))
+
+let suspend t ~reason ?waits_on register =
+  Effect.perform (Suspend (t, reason, waits_on, register))
+
+let process_group p = p.group
 
 let live t = Array.fold_left (fun acc p -> acc + p.plive) 0 t.parts
 let events_executed t = Array.fold_left (fun acc p -> acc + p.pexec) 0 t.parts
@@ -269,21 +302,132 @@ let events_executed t = Array.fold_left (fun acc p -> acc + p.pexec) 0 t.parts
 let registered_processes t =
   Array.fold_left (fun acc p -> acc + Hashtbl.length p.procs) 0 t.parts
 
-let blocked_descriptions t =
+let blocked_procs t =
   let acc = ref [] in
   Array.iter
     (fun p ->
       Hashtbl.iter
         (fun _ proc ->
           match proc.state with
-          | Blocked reason when not proc.daemon -> acc := (proc.pid, proc, reason) :: !acc
+          | Blocked w when not proc.daemon -> acc := (proc, w) :: !acc
           | Blocked _ | Ready | Running | Finished -> ())
         p.procs)
     t.parts;
-  !acc
-  |> List.sort (fun (a, _, _) (b, _, _) -> Int.compare a b)
-  |> List.map (fun (_, proc, reason) ->
-         Printf.sprintf "%s(#%d): %s" proc.name proc.pid reason)
+  List.sort (fun (a, _) (b, _) -> Int.compare a.pid b.pid) !acc
+
+let blocked_descriptions t =
+  blocked_procs t
+  |> List.map (fun (proc, w) ->
+         let where =
+           match proc.group with
+           | Some g -> Printf.sprintf " [p%d %s]" proc.part g
+           | None -> Printf.sprintf " [p%d]" proc.part
+         in
+         let edge =
+           match w.on_group with Some g -> Printf.sprintf " <- waits on %s" g | None -> ""
+         in
+         Printf.sprintf "%s(#%d)%s: %s (since %s)%s" proc.name proc.pid where w.why
+           (Time.to_string w.since) edge)
+
+(* Wait-for cycle over process groups: an edge [g -> h] for every blocked
+   process of group [g] waiting on group [h]. Deterministic: nodes are
+   visited in sorted order, successors likewise. *)
+let wait_cycle t =
+  let edges =
+    blocked_procs t
+    |> List.filter_map (fun (proc, w) ->
+           match (proc.group, w.on_group) with
+           | Some g, Some h -> Some (g, h)
+           | _ -> None)
+    |> List.sort_uniq compare
+  in
+  if edges = [] then None
+  else begin
+    let succ g = List.filter_map (fun (a, b) -> if String.equal a g then Some b else None) edges in
+    let nodes = List.sort_uniq String.compare (List.concat_map (fun (a, b) -> [ a; b ]) edges) in
+    let visited = Hashtbl.create 16 in
+    (* DFS with an explicit path; the first back-edge found (in sorted
+       order) closes the reported cycle. *)
+    let rec dfs path g =
+      match List.find_index (String.equal g) path with
+      | Some i ->
+        (* [path] is newest-first: the cycle is its first (i+1) entries. *)
+        let rec take n = function
+          | x :: rest when n > 0 -> x :: take (n - 1) rest
+          | _ -> []
+        in
+        Some (List.rev (g :: take (i + 1) path))
+      | None ->
+        if Hashtbl.mem visited g then None
+        else begin
+          Hashtbl.add visited g ();
+          List.fold_left
+            (fun acc h -> match acc with Some _ -> acc | None -> dfs (g :: path) h)
+            None (succ g)
+        end
+    in
+    List.fold_left
+      (fun acc g -> match acc with Some _ -> acc | None -> dfs [] g)
+      None nodes
+  end
+
+let deadlock_report t =
+  let descr = blocked_descriptions t in
+  match wait_cycle t with
+  | Some cyc -> descr @ [ "wait-for cycle: " ^ String.concat " -> " cyc ]
+  | None -> descr
+
+let global_now t =
+  match t.phase with
+  | Win -> Array.fold_left (fun acc p -> Time.max acc p.pclock) t.clock t.parts
+  | Idle | Seq -> t.clock
+
+let stall_report t ~trigger =
+  {
+    stall_at = global_now t;
+    stall_trigger = trigger;
+    stall_blocked = blocked_descriptions t;
+    stall_cycle = wait_cycle t;
+  }
+
+let stall_lines r =
+  (Printf.sprintf "stall at %s: %s" (Time.to_string r.stall_at) r.stall_trigger)
+  :: r.stall_blocked
+  @ match r.stall_cycle with
+    | Some cyc -> [ "wait-for cycle: " ^ String.concat " -> " cyc ]
+    | None -> []
+
+(* Earliest [since] among watchdog-relevant blocked processes: non-daemon,
+   and not waiting on an already-scheduled wake (a delay or deadline). *)
+let oldest_untimed_blocked t =
+  List.fold_left
+    (fun acc (proc, w) ->
+      if proc.daemon || w.timed then acc
+      else
+        match acc with
+        | Some since when Time.(since <= w.since) -> acc
+        | Some _ | None -> Some w.since)
+    None (blocked_procs t)
+
+let watchdog_fire t w =
+  raise
+    (Stall
+       (stall_report t
+          ~trigger:
+            (Printf.sprintf "watchdog: a blocked process made no progress for %s"
+               (Time.to_string w))))
+
+(* Amortized stall scan for the sequential driver: only look when the
+   clock passes [watch_next], and push [watch_next] out to the earliest
+   time the oldest wait could become a stall. *)
+let watchdog_check t now_ =
+  match t.watchdog with
+  | Some w when Time.(now_ >= t.watch_next) -> (
+    match oldest_untimed_blocked t with
+    | Some since when Time.(Time.add since w <= now_) -> watchdog_fire t w
+    | Some since -> t.watch_next <- Time.add since w
+    | None -> t.watch_next <- Time.add now_ w)
+  | Some _ | None -> ()
 
 (* Smallest (at, seq, part) head across all partition queues. *)
 let pop_global t =
@@ -309,11 +453,14 @@ let run ?until t =
   if multi then Domain.DLS.set dls_part 0;
   let finish () = t.phase <- Idle in
   let stop_requested = ref false in
+  (match t.watchdog with
+  | Some w -> t.watch_next <- Time.add t.clock w
+  | None -> ());
   let rec loop () =
     if !stop_requested then ()
     else
       match pop_global t with
-      | None -> if live t > 0 then raise (Deadlock (blocked_descriptions t))
+      | None -> if live t > 0 then raise (Deadlock (deadlock_report t))
       | Some ev ->
         (match until with
         | Some limit when Time.(ev.at > limit) ->
@@ -323,6 +470,7 @@ let run ?until t =
           stop_requested := true
         | Some _ | None ->
           t.clock <- ev.at;
+          watchdog_check t ev.at;
           if multi then Domain.DLS.set dls_part ev.part;
           let p = t.parts.(ev.part) in
           p.pexec <- p.pexec + 1;
@@ -428,7 +576,7 @@ let run_windowed ?jobs ~lookahead t =
           in
           match floor with
           | None ->
-            if live t > 0 then raise (Deadlock (blocked_descriptions t));
+            if live t > 0 then raise (Deadlock (deadlock_report t));
             running := false
           | Some floor ->
             t.wend <- Time.add floor lookahead;
@@ -460,7 +608,15 @@ let run_windowed ?jobs ~lookahead t =
             | msgs ->
               List.iter
                 (fun m -> push_into t t.parts.(m.m_dst) m.m_at m.m_thunk)
-                (List.sort cmp_msg msgs))
+                (List.sort cmp_msg msgs));
+            (* Stall scan at the barrier: a wait older than the watchdog
+               bound relative to the window just drained is a livelock. *)
+            (match t.watchdog with
+            | Some w -> (
+              match oldest_untimed_blocked t with
+              | Some since when Time.(Time.add since w <= t.wend) -> watchdog_fire t w
+              | Some _ | None -> ())
+            | None -> ())
         done);
     Windowed { windows = !windows; jobs }
   end

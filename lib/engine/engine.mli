@@ -33,8 +33,37 @@ type process
 
 exception Deadlock of string list
 (** Raised by {!run} when no event is pending but processes remain blocked.
-    Carries "name: reason" descriptions of the blocked processes — this is
-    how lost-signal bugs in communication protocols surface in tests. *)
+    Carries a description of each blocked process — name, pid, partition,
+    group, reason and its wait-for edge when one was declared — plus a final
+    "wait-for cycle: a -> b -> a" line when the declared edges close a
+    cycle. This is how lost-signal bugs in communication protocols surface
+    in tests. *)
+
+type stall_report = {
+  stall_at : Time.t;  (** simulated time the stall was diagnosed *)
+  stall_trigger : string;  (** what gave up: the watchdog, or a resilient waiter *)
+  stall_blocked : string list;  (** as {!blocked_descriptions} *)
+  stall_cycle : string list option;  (** closed wait-for cycle, when one exists *)
+}
+
+exception Stall of stall_report
+(** A diagnosed livelock: unlike {!Deadlock} (which needs the event queue to
+    drain), a [Stall] is raised while events are still flowing — by the
+    watchdog (see {!create}) when some process has been blocked on an
+    unscheduled wake for longer than the bound, or directly by a resilient
+    waiter that exhausted its retries. *)
+
+val stall_report : t -> trigger:string -> stall_report
+(** Snapshot the current blocked set (and any wait-for cycle) into a report
+    — for model code that detects a stall itself and wants to raise
+    {!Stall} with full diagnostics. *)
+
+val stall_lines : stall_report -> string list
+(** Human-readable rendering of a report, one line per fact. *)
+
+val wait_cycle : t -> string list option
+(** The first wait-for cycle among blocked processes' group edges (a list
+    of group names, first repeated last), if any — deterministic. *)
 
 exception Lookahead_violation of string
 (** Raised during {!run_windowed} when model code breaks partition isolation
@@ -43,13 +72,23 @@ exception Lookahead_violation of string
     shared between partitions). Such a model must either repair its
     partitioning or run sequentially. *)
 
-val create : ?trace:Trace.t -> ?partitions:int -> ?isolated:bool -> unit -> t
+val create :
+  ?trace:Trace.t -> ?partitions:int -> ?isolated:bool -> ?watchdog:Time.t -> unit -> t
 (** [partitions] (default 1) declares the partition count. [isolated]
     (default [false]) is the model's promise that partitions share no mutable
     state within a window — i.e. every cross-partition interaction goes
     through {!post} with at least the lookahead of delay. {!run_windowed}
     only executes partitions in parallel when this promise was given;
-    otherwise it falls back to sequential execution. *)
+    otherwise it falls back to sequential execution.
+
+    [watchdog] (default: none) arms the stall watchdog: if any non-daemon
+    process stays blocked for at least that much {e simulated} time on a
+    wake nothing has scheduled (i.e. not a [delay] and not a deadline wait),
+    the driver raises {!Stall} instead of spinning the event queue forever.
+    The scan is amortized — it runs only when the clock passes the earliest
+    possible stall time — and deterministic. Pick a bound comfortably above
+    the longest legitimate wait of the model (the fault layer derives one
+    from its retry budget). *)
 
 val num_partitions : t -> int
 
@@ -65,7 +104,9 @@ val trace : t -> Trace.t option
     windowed run (merged canonically at the end of the run), the engine's
     global sink otherwise. *)
 
-val spawn : t -> ?name:string -> ?daemon:bool -> ?partition:int -> (unit -> unit) -> process
+val spawn :
+  t -> ?name:string -> ?daemon:bool -> ?partition:int -> ?group:string ->
+  (unit -> unit) -> process
 (** Register a process to start at the current simulation time. May be called
     before [run] or from inside another process.
 
@@ -75,6 +116,11 @@ val spawn : t -> ?name:string -> ?daemon:bool -> ?partition:int -> (unit -> unit
     windowed run, spawning into another partition raises
     {!Lookahead_violation} — post a message that spawns locally instead.
 
+    [group] tags the process with the model entity it acts for ("gpu3",
+    "host"): the node name used in wait-for graphs. Wait-for edges declared
+    via [?waits_on] (see {!suspend}) connect groups, and {!Deadlock} /
+    {!Stall} diagnostics report cycles over them.
+
     A [daemon] process (default [false]) serves other processes forever — a
     stream server, a NIC proxy. Daemons do not keep the simulation alive and
     are exempt from deadlock detection: when only daemons remain blocked,
@@ -83,6 +129,7 @@ val spawn : t -> ?name:string -> ?daemon:bool -> ?partition:int -> (unit -> unit
 val process_name : process -> string
 val process_done : process -> bool
 val process_partition : process -> int
+val process_group : process -> string option
 
 val delay : t -> Time.t -> unit
 (** Block the calling process for a simulated duration. *)
@@ -91,12 +138,16 @@ val yield : t -> unit
 (** Re-enqueue the calling process at the current time, letting other events
     scheduled at this instant run first. *)
 
-val suspend : t -> reason:string -> ((unit -> unit) -> unit) -> unit
+val suspend : t -> reason:string -> ?waits_on:string -> ((unit -> unit) -> unit) -> unit
 (** [suspend t ~reason register] blocks the calling process. [register] is
     called immediately with a waker; invoking the waker (from any other
     process, at any later time) resumes the suspended process at the
     simulation time of the waker call. Calling the waker more than once is
-    harmless. This is the primitive from which all of {!Sync} is built. *)
+    harmless. This is the primitive from which all of {!Sync} is built.
+
+    [waits_on] optionally names the process {e group} expected to resolve
+    this wait (the peer GPU a signal must come from) — the wait-for edge
+    {!Deadlock} and {!Stall} diagnostics build their cycle reports from. *)
 
 val schedule_at : t -> Time.t -> (unit -> unit) -> unit
 (** Run a plain callback (not a process: it must not block) at an absolute
@@ -145,8 +196,10 @@ val registered_processes : t -> int
     processes are dropped eagerly, so this stays bounded on long sweeps. *)
 
 val blocked_descriptions : t -> string list
-(** "name(#pid): reason" for every blocked non-daemon process, sorted by pid.
-    What {!Deadlock} carries. *)
+(** One line per blocked non-daemon process, sorted by pid:
+    "name(#pid) [pN group]: reason (since T) <- waits on peer". The body of
+    what {!Deadlock} carries (which appends a wait-for cycle line when the
+    declared edges close one). *)
 
 val elapse : t -> (unit -> unit) -> Time.t
 (** [elapse t f] runs [f ()] inside a process and returns the simulated time

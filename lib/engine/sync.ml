@@ -25,16 +25,41 @@ module Flag = struct
 
   (* Re-check after waking: another process scheduled at the same instant may
      have changed the value between the wake and the resume. *)
-  let rec wait_until t pred =
+  let rec wait_until ?waits_on t pred =
     if not (pred t.value) then begin
       Engine.suspend t.eng
         ~reason:(Printf.sprintf "flag %s (value %d)" t.fname t.value)
+        ?waits_on
         (fun wake -> t.waiters <- { pred; wake } :: t.waiters);
-      wait_until t pred
+      wait_until ?waits_on t pred
     end
 
-  let wait_ge t v = wait_until t (fun x -> x >= v)
-  let wait_eq t v = wait_until t (fun x -> x = v)
+  let wait_ge ?waits_on t v = wait_until ?waits_on t (fun x -> x >= v)
+  let wait_eq ?waits_on t v = wait_until ?waits_on t (fun x -> x = v)
+
+  (* Deadline wait: registers both a flag waiter and a timer at [deadline]
+     on the suspension's waker (idempotent, so whichever fires second is a
+     no-op). On timeout the stale flag waiter is defused — its predicate
+     starts answering [true] — and the next flag mutation purges it. *)
+  let await ?waits_on t ~deadline pred =
+    let rec go () =
+      if pred t.value then `Ok
+      else if Time.(Engine.now t.eng >= deadline) then `Timeout
+      else begin
+        let timed_out = ref false in
+        Engine.suspend t.eng
+          ~reason:
+            (Printf.sprintf "flag %s (value %d, deadline %s)" t.fname t.value
+               (Time.to_string deadline))
+          ?waits_on
+          (fun wake ->
+            t.waiters <- { pred = (fun v -> !timed_out || pred v); wake } :: t.waiters;
+            Engine.schedule_at t.eng deadline wake);
+        if (not (pred t.value)) && Time.(Engine.now t.eng >= deadline) then timed_out := true;
+        go ()
+      end
+    in
+    go ()
 end
 
 module Barrier = struct

@@ -18,12 +18,19 @@ module Flag : sig
 
   val add : t -> int -> unit
 
-  val wait_until : t -> (int -> bool) -> unit
+  val wait_until : ?waits_on:string -> t -> (int -> bool) -> unit
   (** Block the calling process until the predicate holds for the flag value.
-      Returns immediately if it already holds. *)
+      Returns immediately if it already holds. [waits_on] names the process
+      group expected to satisfy the wait (see {!Engine.suspend}). *)
 
-  val wait_ge : t -> int -> unit
-  val wait_eq : t -> int -> unit
+  val wait_ge : ?waits_on:string -> t -> int -> unit
+  val wait_eq : ?waits_on:string -> t -> int -> unit
+
+  val await : ?waits_on:string -> t -> deadline:Time.t -> (int -> bool) -> [ `Ok | `Timeout ]
+  (** As {!wait_until}, but give up at the absolute simulated [deadline]:
+      [`Ok] as soon as the predicate holds, [`Timeout] at the deadline
+      otherwise. The timeout path is what the fault-aware NVSHMEM wait
+      builds its retry/backoff/resend loop on. *)
 end
 
 (** Reusable n-party barrier, the simulated counterpart of

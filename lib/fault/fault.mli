@@ -1,0 +1,131 @@
+(** Deterministic, virtual-time fault injection.
+
+    A {!spec} describes a perturbed machine: delivery drop/delay
+    probabilities on the NVSHMEM fabric, straggler GPUs (per-device
+    compute-latency multipliers), periodic link degradation ("flap")
+    windows, NIC outage intervals on inter-node paths, and the retry
+    policy the hardened runtime uses to survive them. Specs are pure
+    data — parse one from the CLI grammar with {!of_string}, or build
+    one with {!preset} for the chaos figure.
+
+    A {!plan} is one run's activation of a spec: it owns the seeded
+    random streams every stochastic decision draws from, the registry
+    of lost deliveries awaiting retransmission, and the fault/recovery
+    counters. Randomness is structured for reproducibility under both
+    execution drivers: straggler multipliers, flap phase and outage
+    windows are fixed at activation, and per-delivery fates draw from a
+    per-PE splitmix stream in the sender's program order — a quantity
+    identical in sequential and windowed execution. A fixed
+    [(spec, seed)] therefore yields bit-identical runs in both
+    [CPUFREE_PDES] modes. Plans are single-run and must never be shared
+    across concurrently executing engines; activate one per run. *)
+
+module Time = Cpufree_engine.Time
+
+(** {1 Specs} *)
+
+type flap = {
+  flap_period : Time.t;  (** cycle length of the degradation pattern *)
+  flap_duty : float;  (** fraction of each period spent degraded, in [\[0,1\]] *)
+  flap_mult : float;  (** serialization multiplier while degraded, >= 1 *)
+}
+
+type spec = {
+  drop_prob : float;  (** probability a fabric delivery is lost *)
+  delay_prob : float;  (** probability a delivery is delayed (if not lost) *)
+  delay_ns : int;  (** mean extra delivery latency, in ns *)
+  stragglers : (int * float) list;  (** per-GPU compute multipliers, >= 1 *)
+  flap : flap option;
+  nic_outages : (Time.t * Time.t) list;  (** (start, duration) intervals *)
+  retry_timeout : Time.t;  (** first resilient-wait timeout *)
+  max_retries : int;  (** retries before a diagnosed stall *)
+  backoff : float;  (** timeout multiplier per retry, >= 1 *)
+}
+
+val none : spec
+(** The identity spec: no faults, default retry policy. *)
+
+val is_active : spec -> bool
+(** Whether the spec injects anything at all. [none] (and any spec that
+    only tunes the retry policy) is inactive; inactive specs leave every
+    run byte-identical to an unfaulted one. *)
+
+val of_string : string -> (spec, string) result
+(** Parse the CLI fault grammar: semicolon-separated clauses
+    [drop=P], [delay=P\@NS], [straggler=GxM], [flap=PERIOD_US\@DUTYxM],
+    [nic=START_US+DUR_US], [retry=TIMEOUT_USxN], [backoff=F], or [none].
+    Example: ["drop=0.02;delay=0.1\@2000;straggler=3x1.5;nic=100+200"]. *)
+
+val to_string : spec -> string
+(** Canonical rendering; [of_string (to_string s)] round-trips. *)
+
+val preset : intensity:float -> spec
+(** The chaos-figure family: a machine perturbed proportionally to
+    [intensity] (0 = pristine = {!none}; 1 = moderately hostile —
+    ~1% drops, ~8% delayed deliveries, one straggler GPU, periodic link
+    flapping; larger values scale up from there). *)
+
+val default_watchdog : spec -> Time.t
+(** A stall-watchdog bound safely above the spec's full retry budget, so
+    the watchdog only fires on genuine livelock (never on a recoverable
+    wait that retries are still pacing). *)
+
+(** {1 Plans} *)
+
+type plan
+
+val activate : spec -> seed:int -> gpus:int -> plan
+(** Instantiate the spec for one run on a [gpus]-device machine. All
+    precomputed randomness (straggler noise, flap phase) derives from
+    [seed]. *)
+
+val spec_of : plan -> spec
+val seed_of : plan -> int
+
+(** {1 Queries made by the hardened runtime} *)
+
+type fate =
+  | Deliver  (** arrives normally *)
+  | Delayed of Time.t  (** arrives after an extra fabric delay *)
+  | Dropped  (** never arrives; recorded for retransmission *)
+
+val delivery_fate : plan -> from_pe:int -> fate
+(** Draw the fate of the sender's next fabric delivery from its per-PE
+    stream. Counts drops/delays in {!stats}. *)
+
+val compute_scale : plan -> gpu:int -> float
+(** The device's compute-latency multiplier (1.0 when not a straggler). *)
+
+val fabric_penalty : plan -> now:Time.t -> inter_node:bool -> Time.t * float
+(** [(extra_latency, serialization_mult)] the fabric imposes at [now]:
+    flap windows multiply serialization on every path; a NIC outage
+    holds inter-node transfers until the outage interval ends. *)
+
+(** {1 Lost-delivery registry}
+
+    A dropped delivery's replay closure is filed under a key naming what
+    its arrival would have satisfied (a destination signal flag, or the
+    sender's plain-put set). The resilient waiter that times out on that
+    key recovers and replays them — data before signal, like the
+    original — charging the retransmission to itself. *)
+
+val record_lost : plan -> key:string -> (unit -> unit) -> unit
+
+val recover_lost : plan -> key:string -> (unit -> unit) list
+(** Remove and return the key's lost deliveries, oldest first. *)
+
+val lost_count : plan -> int
+(** Lost deliveries not yet recovered (diagnostics). *)
+
+(** {1 Fault and recovery accounting} *)
+
+type stats = {
+  dropped : int;  (** deliveries lost by the fabric *)
+  delayed : int;  (** deliveries that drew an extra delay *)
+  resent : int;  (** lost deliveries replayed by resilient waiters *)
+  retried : int;  (** resilient-wait timeouts that led to a retry *)
+}
+
+val stats : plan -> stats
+val note_retry : plan -> unit
+val note_resent : plan -> int -> unit

@@ -18,7 +18,7 @@ let spawn_threads ctx ~name f =
   let finished = E.Sync.Flag.create ~name:(name ^ ".joined") eng 0 in
   for g = 0 to n - 1 do
     let (_ : E.Engine.process) =
-      E.Engine.spawn eng ~name:(Printf.sprintf "%s.host%d" name g) (fun () ->
+      E.Engine.spawn eng ~name:(Printf.sprintf "%s.host%d" name g) ~group:"host" (fun () ->
           f g;
           E.Sync.Flag.add finished 1)
     in

@@ -1,5 +1,6 @@
 module E = Cpufree_engine
 module M = Cpufree_machine
+module F = Cpufree_fault.Fault
 module Time = E.Time
 
 type endpoint = Gpu of int | Host
@@ -26,6 +27,7 @@ type t = {
   look : Time.t;
   min_gpu_wire : Time.t;
   max_gpu_wire : Time.t;
+  faults : F.plan option;
   mutable total_bytes : int;
   mutable total_transfers : int;
 }
@@ -49,7 +51,7 @@ let vertex_pair topo ~src ~dst =
 
 let endpoint_of_idx n i = if i = n then Host else Gpu i
 
-let create ?(topology = M.Topology.Hgx) eng ~arch ~num_gpus =
+let create ?(topology = M.Topology.Hgx) ?faults eng ~arch ~num_gpus =
   if num_gpus <= 0 then invalid_arg "Interconnect.create: need at least one GPU";
   let topo = M.Topology.instantiate topology ~profile:(Arch.fabric_profile arch) ~gpus:num_gpus in
   let ports =
@@ -113,6 +115,7 @@ let create ?(topology = M.Topology.Hgx) eng ~arch ~num_gpus =
     look;
     min_gpu_wire = gpu_wire M.Topology.min_gpu_pair_latency arch.Arch.nvlink_latency;
     max_gpu_wire = gpu_wire M.Topology.max_gpu_pair_latency arch.Arch.nvlink_latency;
+    faults;
     total_bytes = 0;
     total_transfers = 0;
   }
@@ -156,6 +159,21 @@ let transfer_time t ~src ~dst ~initiator ~bytes =
   let k = pair_idx t ~src ~dst in
   Time.add (path_latency t ~k ~initiator) (serialization_time t ~k ~bytes)
 
+(* Whether a transfer crosses node boundaries (and therefore rides a NIC). *)
+let inter_node t ~src ~dst =
+  match (src, dst) with
+  | Gpu a, Gpu b -> M.Topology.node_of_gpu t.topo a <> M.Topology.node_of_gpu t.topo b
+  | Gpu _, Host | Host, Gpu _ | Host, Host -> false
+
+(* Extra latency the fault plan holds a path for right now: a NIC outage
+   stalls inter-node traffic until the outage interval ends. Zero without
+   an active plan, so fault-free runs stay byte-identical. *)
+let fault_hold t ~src ~dst =
+  match t.faults with
+  | None -> Time.zero
+  | Some plan ->
+    fst (F.fabric_penalty plan ~now:(E.Engine.now t.eng) ~inter_node:(inter_node t ~src ~dst))
+
 let transfer t ~src ~dst ~initiator ~bytes ?trace_lane ?(label = "xfer") () =
   check_endpoint t src;
   check_endpoint t dst;
@@ -163,6 +181,18 @@ let transfer t ~src ~dst ~initiator ~bytes ?trace_lane ?(label = "xfer") () =
   let k = pair_idx t ~src ~dst in
   let latency = path_latency t ~k ~initiator in
   let dur = serialization_time t ~k ~bytes in
+  (* Fault-plan degradation: link-flap windows multiply serialization on
+     every path; a NIC outage holds inter-node transfers to its end. *)
+  let latency, dur =
+    match t.faults with
+    | None -> (latency, dur)
+    | Some plan ->
+      let extra, mult =
+        F.fabric_penalty plan ~now:(E.Engine.now t.eng) ~inter_node:(inter_node t ~src ~dst)
+      in
+      ( Time.add latency extra,
+        if Float.equal mult 1.0 then dur else Time.scale dur mult )
+  in
   let t0 = E.Engine.now t.eng in
   let finish =
     match t.pair_ports.(k) with

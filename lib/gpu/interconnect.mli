@@ -25,6 +25,7 @@ type t
 
 val create :
   ?topology:Cpufree_machine.Topology.spec ->
+  ?faults:Cpufree_fault.Fault.plan ->
   Cpufree_engine.Engine.t ->
   arch:Arch.t ->
   num_gpus:int ->
@@ -32,7 +33,9 @@ val create :
 (** Build the fabric for [num_gpus] GPUs arranged per [topology] (default
     {!Cpufree_machine.Topology.Hgx}, which reproduces the flat NVSwitch
     model path for path). Per-pair routed latencies, inverse bandwidths and
-    port sets are memoized here, once. *)
+    port sets are memoized here, once. [faults] activates fault-plan
+    degradation on every transfer: link-flap serialization multipliers and
+    NIC-outage holds on inter-node paths. *)
 
 val num_gpus : t -> int
 val arch : t -> Arch.t
@@ -62,7 +65,14 @@ val max_gpu_wire_latency : t -> Cpufree_engine.Time.t
     what a fabric-wide barrier must cover. *)
 
 val transfer_time : t -> src:endpoint -> dst:endpoint -> initiator:initiator -> bytes:int -> Cpufree_engine.Time.t
-(** Uncontended duration (latency + serialization) of a transfer; pure. *)
+(** Uncontended duration (latency + serialization) of a transfer; pure
+    (never includes fault-plan degradation). *)
+
+val fault_hold : t -> src:endpoint -> dst:endpoint -> Cpufree_engine.Time.t
+(** Extra latency the fault plan imposes on this path right now (a NIC
+    outage holding inter-node traffic); {!Cpufree_engine.Time.zero} without
+    an active plan. Used by the NVSHMEM layer for standalone signal ops,
+    which bypass {!transfer}. *)
 
 val transfer :
   t -> src:endpoint -> dst:endpoint -> initiator:initiator -> bytes:int ->

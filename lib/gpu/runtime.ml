@@ -1,4 +1,5 @@
 module E = Cpufree_engine
+module F = Cpufree_fault.Fault
 module Time = E.Time
 
 type ctx = {
@@ -8,25 +9,43 @@ type ctx = {
   net : Interconnect.t;
   devices : Device.t array;
   partitioned : bool;
+  faults : F.plan option;
 }
 
 exception Coop_launch_error of string
 
-let init eng ?(arch = Arch.a100_hgx) ?topology ?(partitioned = false) ~num_gpus () =
+let init eng ?(arch = Arch.a100_hgx) ?topology ?faults ?(partitioned = false) ~num_gpus () =
   if num_gpus <= 0 then invalid_arg "Runtime.init: need at least one GPU";
   {
     eng;
     arch;
     n = num_gpus;
-    net = Interconnect.create ?topology eng ~arch ~num_gpus;
+    net = Interconnect.create ?topology ?faults eng ~arch ~num_gpus;
     devices = Array.init num_gpus (fun id -> Device.create eng ~arch ~id);
     partitioned;
+    faults;
   }
 
 let engine t = t.eng
 let arch t = t.arch
 let num_gpus t = t.n
 let partitioned t = t.partitioned
+let faults t = t.faults
+
+(* Group tag for wait-for graphs: the model entity a process acts for. *)
+let gpu_group g = Printf.sprintf "gpu%d" g
+
+(* Straggler multiplier on device [gpu]'s compute latencies (1.0 when the
+   fault plan is absent or silent about the device). Callers scale costs
+   only when a plan is present, keeping fault-free runs byte-identical. *)
+let compute_scale t ~gpu = match t.faults with None -> 1.0 | Some p -> F.compute_scale p ~gpu
+
+let scaled_cost t ~gpu cost =
+  match t.faults with
+  | None -> cost
+  | Some p ->
+    let s = F.compute_scale p ~gpu in
+    if Float.equal s 1.0 then cost else Time.scale cost s
 
 (* Partition 0 hosts the host threads and the interconnect; device [g] work
    goes to partition [g + 1] when the context is partitioned, else everything
@@ -52,6 +71,7 @@ let api t ?(lane = "host") ~label cost =
 
 let launch t ~stream ~name ?(cost = Time.zero) body =
   let dev = Stream.device stream in
+  let cost = scaled_cost t ~gpu:(Device.id dev) cost in
   api t ~label:(Printf.sprintf "launch:%s" name) t.arch.Arch.kernel_launch;
   Stream.enqueue stream ~label:name (fun () ->
       let t0 = E.Engine.now t.eng in
@@ -112,6 +132,7 @@ let launch_cooperative t ~dev ~name ~blocks ~threads_per_block ~roles =
       let (_ : E.Engine.process) =
         E.Engine.spawn t.eng ~name:pname
           ~partition:(gpu_partition t (Device.id dev))
+          ~group:(gpu_group (Device.id dev))
           (fun () ->
             E.Engine.delay t.eng t.arch.Arch.kernel_teardown;
             role_body grid;

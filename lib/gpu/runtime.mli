@@ -15,6 +15,7 @@ val init :
   Cpufree_engine.Engine.t ->
   ?arch:Arch.t ->
   ?topology:Cpufree_machine.Topology.spec ->
+  ?faults:Cpufree_fault.Fault.plan ->
   ?partitioned:bool ->
   num_gpus:int ->
   unit ->
@@ -24,7 +25,9 @@ val init :
     declares that the engine was created with one partition per GPU plus a
     host/interconnect partition (partition 0) and that device processes
     should be tagged accordingly; default [false] puts everything in
-    partition 0 (the classic sequential layout). *)
+    partition 0 (the classic sequential layout). [faults] activates a
+    fault-injection plan for this run: the fabric degrades per the plan, and
+    kernel costs on straggler devices are scaled by {!compute_scale}. *)
 
 val engine : ctx -> Cpufree_engine.Engine.t
 val arch : ctx -> Arch.t
@@ -33,6 +36,21 @@ val device : ctx -> int -> Device.t
 val net : ctx -> Interconnect.t
 
 val partitioned : ctx -> bool
+
+val faults : ctx -> Cpufree_fault.Fault.plan option
+(** The active fault plan, if this run injects faults. *)
+
+val gpu_group : int -> string
+(** Canonical wait-for-graph group tag for device [g]'s processes
+    (["gpu3"]); host threads use ["host"]. *)
+
+val compute_scale : ctx -> gpu:int -> float
+(** Straggler compute-latency multiplier for a device: 1.0 unless the
+    fault plan says otherwise. *)
+
+val scaled_cost : ctx -> gpu:int -> Cpufree_engine.Time.t -> Cpufree_engine.Time.t
+(** [cost] scaled by {!compute_scale} — the identity (not even a float
+    round-trip) when no plan is active. *)
 
 val gpu_partition : ctx -> int -> int
 (** The engine partition for device [g]'s processes: [g + 1] when the context

@@ -32,7 +32,11 @@ let create ?partition eng ~dev ~name =
     }
   in
   let (_ : E.Engine.process) =
-    E.Engine.spawn eng ~name:(Printf.sprintf "stream:%s" name) ~daemon:true ?partition (serve t)
+    E.Engine.spawn eng
+      ~name:(Printf.sprintf "stream:%s" name)
+      ~daemon:true ?partition
+      ~group:(Printf.sprintf "gpu%d" (Device.id dev))
+      (serve t)
   in
   t
 

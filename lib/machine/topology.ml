@@ -475,16 +475,28 @@ let spec_to_string = function
   | Pcie_only -> "pcie"
   | Dgx { nodes } -> Printf.sprintf "dgx:%d" nodes
 
+let validate spec ~gpus =
+  if gpus <= 0 then Error (Printf.sprintf "need at least one GPU, got %d" gpus)
+  else
+    match spec with
+    | Hgx | Ring | Pcie_only -> Ok ()
+    | Dgx { nodes } ->
+      if gpus mod nodes <> 0 then
+        Error
+          (Printf.sprintf "%d GPUs do not split evenly across %d nodes (try --gpus %d)" gpus
+             nodes
+             (gpus + nodes - (gpus mod nodes)))
+      else Ok ()
+
 let instantiate spec ~profile ~gpus =
-  match spec with
-  | Hgx -> hgx ~profile ~gpus
-  | Ring -> ring ~profile ~gpus
-  | Pcie_only -> pcie_only ~profile ~gpus
-  | Dgx { nodes } ->
-    if gpus mod nodes <> 0 || gpus <= 0 then
-      invalid_arg
-        (Printf.sprintf "Topology.instantiate: %d GPUs do not split across %d nodes" gpus nodes);
-    dgx_cluster ~profile ~nodes ~gpus_per_node:(gpus / nodes)
+  match validate spec ~gpus with
+  | Error msg -> invalid_arg ("Topology.instantiate: " ^ msg)
+  | Ok () -> (
+    match spec with
+    | Hgx -> hgx ~profile ~gpus
+    | Ring -> ring ~profile ~gpus
+    | Pcie_only -> pcie_only ~profile ~gpus
+    | Dgx { nodes } -> dgx_cluster ~profile ~nodes ~gpus_per_node:(gpus / nodes))
 
 (* ------------------------------------------------------------------ *)
 (* Accessors                                                           *)

@@ -103,6 +103,12 @@ val spec_of_string : string -> (spec, string) result
 
 val spec_to_string : spec -> string
 
+val validate : spec -> gpus:int -> (unit, string) result
+(** Check that the spec can be instantiated for [gpus] GPUs — a positive
+    count, splitting evenly across [Dgx] nodes. Lets a CLI reject a bad
+    combination with a friendly message instead of the [Invalid_argument]
+    that {!instantiate} raises. *)
+
 val instantiate : spec -> profile:profile -> gpus:int -> t
 (** Build the spec's graph for a total of [gpus] GPUs. For [Dgx] the GPUs are
     split evenly across nodes; raises [Invalid_argument] if [gpus] is not a

@@ -10,6 +10,20 @@ let run_traced ?arch ?topology kind problem ~gpus =
 let run ?arch ?topology kind problem ~gpus =
   fst (run_traced ?arch ?topology kind problem ~gpus)
 
+type chaos_run = { chaos : Measure.chaos; progress : int array }
+
+let run_chaos ?arch ?topology ?watchdog ~faults ~fault_seed kind problem ~gpus =
+  let built = Variants.build kind problem ~gpus in
+  let chaos =
+    Measure.run_chaos ?arch ?topology ?watchdog ~faults ~fault_seed
+      ~label:(Variants.name kind)
+      ~gpus ~iterations:problem.Problem.iterations built.Variants.program
+  in
+  let progress =
+    match built.Variants.progress () with Some p -> Array.copy p | None -> Array.make gpus 0
+  in
+  { chaos; progress }
+
 type scenario = {
   sc_kind : Variants.kind;
   sc_problem : Problem.t;

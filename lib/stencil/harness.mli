@@ -11,6 +11,23 @@ val run_traced :
   Variants.kind -> Problem.t -> gpus:int ->
   Cpufree_core.Measure.result * Cpufree_engine.Trace.t
 
+type chaos_run = {
+  chaos : Cpufree_core.Measure.chaos;
+  progress : int array;
+      (** per-PE last completed iteration at termination — partial when the
+          run aborted (graceful degradation) *)
+}
+
+val run_chaos :
+  ?arch:Cpufree_gpu.Arch.t -> ?topology:Cpufree_machine.Topology.spec ->
+  ?watchdog:Cpufree_engine.Time.t ->
+  faults:Cpufree_fault.Fault.spec -> fault_seed:int ->
+  Variants.kind -> Problem.t -> gpus:int -> chaos_run
+(** Run a variant under a deterministic fault-injection plan
+    ({!Cpufree_core.Measure.run_chaos}). A run that livelocks on a lost
+    signal is converted by the stall watchdog into a diagnosed abort; the
+    per-iteration progress each PE reached is reported either way. *)
+
 val verify :
   ?arch:Cpufree_gpu.Arch.t -> ?topology:Cpufree_machine.Topology.spec ->
   Variants.kind -> Problem.t -> gpus:int -> (float, string) result

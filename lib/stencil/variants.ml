@@ -27,6 +27,7 @@ let of_name s = List.find_opt (fun k -> String.equal (name k) s) extended
 type built = {
   program : G.Runtime.ctx -> unit;
   final : unit -> G.Buffer.t array option;
+  progress : unit -> int array option;
 }
 
 (* Shared per-run state: slab geometry, the double-buffered symmetric domain
@@ -40,6 +41,7 @@ type state = {
   sym_a : Nv.sym;
   sym_b : Nv.sym;
   host_scratch : G.Buffer.t array;  (* 1-element D2H landing zone per rank *)
+  progress : int array;  (* last fully completed iteration per PE *)
 }
 
 let setup problem ctx =
@@ -68,7 +70,12 @@ let setup problem ctx =
     host_scratch =
       Array.init n (fun pe ->
           G.Buffer.create ~device:G.Buffer.host_device ~label:(Printf.sprintf "norm%d" pe) 1);
+    progress = Array.make n 0;
   }
+
+(* Progress is recorded as each PE finishes an iteration, so an aborted chaos
+   run can still report how far every rank got (graceful degradation). *)
+let tick st ~pe ~t = st.progress.(pe) <- t
 
 (* Iteration t (1-based) reads the parity-t source and writes the other
    buffer; roles derive buffers from t so no cross-process swap is needed. *)
@@ -196,7 +203,7 @@ let device_norm_check st ctx ~pe ~t ~fraction =
       kernel_cost st ctx ~elems:(slab.Slab.planes * slab.Slab.plane) ~fraction ~efficiency:1.0
         ~bytes_per_elem:(float_of_int G.Buffer.elem_bytes)
     in
-    E.Engine.delay (G.Runtime.engine ctx) cost;
+    E.Engine.delay (G.Runtime.engine ctx) (G.Runtime.scaled_cost ctx ~gpu:pe cost);
     let (_ : float) = Collective.allreduce_sum st.coll ~pe 0.0 in
     ()
   end
@@ -222,7 +229,8 @@ let run_copy st ctx =
         memcpy_exchange st ctx ~stream ~pe ~t;
         G.Runtime.stream_synchronize ctx stream;
         host_norm_check st ctx ~stream ~barrier ~pe ~t;
-        G.Host.barrier_wait ctx barrier
+        G.Host.barrier_wait ctx barrier;
+        tick st ~pe ~t
       done)
 
 let run_overlap st ctx =
@@ -257,7 +265,8 @@ let run_overlap st ctx =
         G.Runtime.stream_synchronize ctx comm;
         G.Runtime.stream_synchronize ctx comp;
         host_norm_check st ctx ~stream:comp ~barrier ~pe ~t;
-        G.Host.barrier_wait ctx barrier
+        G.Host.barrier_wait ctx barrier;
+        tick st ~pe ~t
       done)
 
 let run_p2p st ctx =
@@ -292,7 +301,8 @@ let run_p2p st ctx =
         G.Runtime.stream_synchronize ctx comm;
         G.Runtime.stream_synchronize ctx comp;
         host_norm_check st ctx ~stream:comp ~barrier ~pe ~t;
-        G.Host.barrier_wait ctx barrier
+        G.Host.barrier_wait ctx barrier;
+        tick st ~pe ~t
       done)
 
 let run_nvshmem st ctx =
@@ -319,7 +329,8 @@ let run_nvshmem st ctx =
            baseline reproduces still synchronizes its stream every iteration
            (residual-norm check) — host control is reduced, not gone. *)
         G.Runtime.stream_synchronize ctx stream;
-        host_norm_check st ctx ~stream ~barrier ~pe ~t
+        host_norm_check st ctx ~stream ~barrier ~pe ~t;
+        tick st ~pe ~t
       done;
       Nv.quiet st.nv ~pe)
 
@@ -348,15 +359,19 @@ let run_persistent st ctx ~label ~inner_bpe ~inner_efficiency =
       if split.Specialize.boundary_blocks = 0 then 1.0 /. float_of_int split.Specialize.total_blocks
       else Specialize.boundary_fraction split
     in
+    (* Persistent-kernel role costs are charged with direct delays (no
+       {!G.Runtime.launch} in the loop), so straggler scaling applies here. *)
     let boundary_cost =
-      kernel_cost st ctx ~elems:slab.Slab.plane ~fraction:boundary_fraction ~efficiency:1.0
-        ~bytes_per_elem:stencil_bpe
+      G.Runtime.scaled_cost ctx ~gpu:pe
+        (kernel_cost st ctx ~elems:slab.Slab.plane ~fraction:boundary_fraction ~efficiency:1.0
+           ~bytes_per_elem:stencil_bpe)
     in
     let inner_cost =
-      kernel_cost st ctx ~elems:(Slab.inner_elems slab)
-        ~fraction:(Stdlib.max (Specialize.inner_fraction split) 0.01)
-        ~efficiency:(inner_efficiency ~elems:(Slab.inner_elems slab))
-        ~bytes_per_elem:(inner_bpe ~elems:(Slab.inner_elems slab))
+      G.Runtime.scaled_cost ctx ~gpu:pe
+        (kernel_cost st ctx ~elems:(Slab.inner_elems slab)
+           ~fraction:(Stdlib.max (Specialize.inner_fraction split) 0.01)
+           ~efficiency:(inner_efficiency ~elems:(Slab.inner_elems slab))
+           ~bytes_per_elem:(inner_bpe ~elems:(Slab.inner_elems slab)))
     in
     let eng = G.Runtime.engine ctx in
     let single = Array.length st.slabs = 1 && slab.Slab.planes = 1 in
@@ -400,7 +415,8 @@ let run_persistent st ctx ~label ~inner_bpe ~inner_efficiency =
           ~label:"inner" ~kind:E.Trace.Compute ~t0 ~t1:(E.Engine.now eng);
         G.Coop.sync grid;
         device_norm_check st ctx ~pe ~t
-          ~fraction:(Stdlib.max (Specialize.inner_fraction split) 0.01)
+          ~fraction:(Stdlib.max (Specialize.inner_fraction split) 0.01);
+        tick st ~pe ~t
       done
     in
     if single then [ ("comm_top", top_role); ("inner", inner_role) ]
@@ -455,15 +471,17 @@ let run_cpu_free_multi st ctx =
         else Specialize.boundary_fraction split
       in
       let boundary_cost =
-        kernel_cost st ctx ~elems:slab.Slab.plane ~fraction:boundary_fraction ~efficiency:1.0
-          ~bytes_per_elem:stencil_bpe
+        G.Runtime.scaled_cost ctx ~gpu:pe
+          (kernel_cost st ctx ~elems:slab.Slab.plane ~fraction:boundary_fraction ~efficiency:1.0
+             ~bytes_per_elem:stencil_bpe)
       in
       let inner_cost =
-        kernel_cost st ctx ~elems:(Slab.inner_elems slab)
-          ~fraction:(Stdlib.max (Specialize.inner_fraction split) 0.01)
-          ~efficiency:
-            (G.Kernel.tiling_efficiency arch ~elems:(Slab.inner_elems slab) ~threads:1024)
-          ~bytes_per_elem:stencil_bpe
+        G.Runtime.scaled_cost ctx ~gpu:pe
+          (kernel_cost st ctx ~elems:(Slab.inner_elems slab)
+             ~fraction:(Stdlib.max (Specialize.inner_fraction split) 0.01)
+             ~efficiency:
+               (G.Kernel.tiling_efficiency arch ~elems:(Slab.inner_elems slab) ~threads:1024)
+             ~bytes_per_elem:stencil_bpe)
       in
       let comm_side dir plane_idx own_off halo_off grid =
         for t = 1 to iterations do
@@ -507,7 +525,8 @@ let run_cpu_free_multi st ctx =
                 G.Coop.sync grid;
                 cross_kernel_sync ~pe ~mine:comp_done ~other:comm_done ~t;
                 device_norm_check st ctx ~pe ~t
-                  ~fraction:(Stdlib.max (Specialize.inner_fraction split) 0.01)
+                  ~fraction:(Stdlib.max (Specialize.inner_fraction split) 0.01);
+                tick st ~pe ~t
               done );
         ]
       in
@@ -532,8 +551,10 @@ let run_cpu_free_multi st ctx =
 let build kind problem ~gpus =
   if gpus <= 0 then invalid_arg "Variants.build: need at least one GPU";
   let store = ref None in
+  let progress_store = ref None in
   let program ctx =
     let st = setup problem ctx in
+    progress_store := Some st.progress;
     (match kind with
     | Copy -> run_copy st ctx
     | Overlap -> run_overlap st ctx
@@ -545,4 +566,4 @@ let build kind problem ~gpus =
     let sym = final_sym st in
     store := Some (Array.init gpus (fun pe -> Nv.local sym ~pe))
   in
-  { program; final = (fun () -> !store) }
+  { program; final = (fun () -> !store); progress = (fun () -> !progress_store) }

@@ -39,6 +39,10 @@ type built = {
   program : Cpufree_gpu.Runtime.ctx -> unit;  (** complete host program *)
   final : unit -> Cpufree_gpu.Buffer.t array option;
       (** after the program has run: per-PE buffer holding the final state *)
+  progress : unit -> int array option;
+      (** per-PE last fully completed iteration — populated as soon as the
+          program starts, so it reports partial progress even when a chaos
+          run aborts on a stall (graceful degradation) *)
 }
 
 val build : kind -> Problem.t -> gpus:int -> built
