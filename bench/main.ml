@@ -98,7 +98,7 @@ let stencil_grid ~problem_of =
       gpu_counts
   in
   let scenarios =
-    List.map (fun (gpus, kind) -> S.Harness.scenario kind (problem_of ~gpus ~kind) ~gpus) cells
+    List.map (fun (gpus, kind) -> S.Harness.scenario_env kind (problem_of ~gpus ~kind) ~gpus) cells
   in
   List.combine cells (S.Harness.run_many scenarios)
 
@@ -160,11 +160,11 @@ let timelines () =
   let p2d iters = S.Problem.make (S.Problem.D2 { nx = 256; ny = 256 }) ~iterations:iters in
   let run_thunks =
     [
-      (fun () -> S.Harness.run_traced S.Variants.Overlap (p2d 3) ~gpus:8);
-      (fun () -> S.Harness.run_traced S.Variants.Cpu_free (p2d 3) ~gpus:8);
+      (fun () -> S.Harness.run_traced_env S.Variants.Overlap (p2d 3) ~gpus:8);
+      (fun () -> S.Harness.run_traced_env S.Variants.Cpu_free (p2d 3) ~gpus:8);
       (fun () ->
         let app = D.Pipeline.Jacobi2d { D.Programs.nx_global = 512; ny_global = 512; tsteps = 2 } in
-        D.Pipeline.run_traced app D.Pipeline.Baseline_mpi ~gpus:4);
+        D.Pipeline.run_traced_env app D.Pipeline.Baseline_mpi ~gpus:4);
     ]
   in
   match Parallel.map (fun f -> f ()) run_thunks with
@@ -210,7 +210,7 @@ let fig2_2b () =
       let problem = S.Problem.make dims ~iterations in
       let traced =
         S.Harness.run_many_traced
-          (List.map (fun kind -> S.Harness.scenario kind problem ~gpus:8) stencil_variants)
+          (List.map (fun kind -> S.Harness.scenario_env kind problem ~gpus:8) stencil_variants)
       in
       header
         "Fig 2.2b  Communication overlap ratio and total execution time (2D 256^2 per GPU, 8 \
@@ -339,7 +339,7 @@ let dace_grid ~app_of =
   let cells =
     List.concat_map (fun gpus -> List.map (fun arm -> (gpus, arm)) dace_arms) gpu_counts
   in
-  let results = Parallel.map (fun (gpus, arm) -> D.Pipeline.run (app_of ~gpus) arm ~gpus) cells in
+  let results = Parallel.map (fun (gpus, arm) -> D.Pipeline.run_env (app_of ~gpus) arm ~gpus) cells in
   List.combine cells results
 
 let fig6_3a () =
@@ -443,7 +443,9 @@ let fig_scaleout ~smoke () =
         List.map
           (fun (gpus, topology, _nodes, kind) ->
             let dims = S.Problem.weak_scale base ~gpus in
-            S.Harness.scenario ~topology kind (S.Problem.make dims ~iterations:iters) ~gpus)
+            S.Harness.scenario_env
+              ~env:(Cpufree_core.Sim_env.make ~topology ())
+              kind (S.Problem.make dims ~iterations:iters) ~gpus)
           cells
       in
       let grid = List.combine cells (S.Harness.run_many scenarios) in
@@ -558,8 +560,10 @@ let fig_chaos ~smoke () =
       let runs =
         Parallel.map
           (fun (intensity, kind) ->
-            S.Harness.run_chaos ~faults:(Fault.preset ~intensity) ~fault_seed:chaos_seed kind
-              problem ~gpus)
+            S.Harness.run_chaos_env
+              ~env:(Cpufree_core.Sim_env.make ~faults:(Fault.preset ~intensity)
+                      ~fault_seed:chaos_seed ())
+              kind problem ~gpus)
           cells
       in
       let grid = List.combine cells runs in
@@ -735,7 +739,7 @@ let supplementary_norm () =
         S.Harness.run_many
           (List.map
              (fun (kind, norm) ->
-               S.Harness.scenario kind (S.Problem.make ?norm_every:norm dims ~iterations:30)
+               S.Harness.scenario_env kind (S.Problem.make ?norm_every:norm dims ~iterations:30)
                  ~gpus:8)
              cells)
       in
@@ -772,7 +776,7 @@ let ablations () =
   figure "ablation.A.relaxed-barriers" (fun () ->
       let run_relax relax =
         let built = D.Pipeline.compile ~relax app D.Pipeline.Cpu_free ~gpus:8 in
-        Measure.run
+        Measure.run_env
           ~label:(if relax then "relaxed (this work)" else "naive (upstream)")
           ~gpus:8 ~iterations:20 built.D.Exec.program
       in
@@ -793,7 +797,7 @@ let ablations () =
   figure "ablation.B.tb-specialization" (fun () ->
       let run_spec specialize_tb =
         let built = D.Pipeline.compile ~specialize_tb app D.Pipeline.Cpu_free ~gpus:8 in
-        Measure.run
+        Measure.run_env
           ~label:(if specialize_tb then "TB-specialized" else "single-thread + grid sync")
           ~gpus:8 ~iterations:20 built.D.Exec.program
       in
@@ -821,7 +825,7 @@ let ablations () =
       let dims = S.Problem.weak_scale (S.Problem.D2 { nx = 2048; ny = 2048 }) ~gpus:8 in
       let problem = S.Problem.make dims ~iterations:50 in
       let results =
-        S.Harness.run_many (List.map (fun kind -> S.Harness.scenario kind problem ~gpus:8) kinds)
+        S.Harness.run_many (List.map (fun kind -> S.Harness.scenario_env kind problem ~gpus:8) kinds)
       in
       header
         "Ablation C  One specialized kernel vs two co-resident kernels (§4 alternative design;  \
@@ -848,7 +852,7 @@ let ablations () =
           (List.map
              (fun (nx, kind) ->
                let dims = S.Problem.weak_scale (S.Problem.D2 { nx; ny = nx }) ~gpus:8 in
-               S.Harness.scenario kind (S.Problem.make dims ~iterations:20) ~gpus:8)
+               S.Harness.scenario_env kind (S.Problem.make dims ~iterations:20) ~gpus:8)
              cells)
       in
       header
@@ -1011,19 +1015,230 @@ let run_micro ~smoke =
       ([ micro_point seq ~speedup:1.0; micro_point win ~speedup ], ()))
 
 (* ---------------------------------------------------------------- *)
+(* Instrumentation-overhead figure (`-- profile`)                    *)
+(* ---------------------------------------------------------------- *)
+
+module Obs = Cpufree_obs
+
+(* Sum one counter over every label set (the micro counters are per-rank). *)
+let metric_total reg name =
+  List.fold_left
+    (fun acc (it : Obs.Metrics.item) ->
+      if it.Obs.Metrics.name = name then
+        match it.Obs.Metrics.value with Obs.Metrics.Counter_v v -> acc + v | _ -> acc
+      else acc)
+    0 (Obs.Metrics.items reg)
+
+let profile_point ~mode ~metered ~overhead_pct ~ticks ~msgs (r : Microbench.report) =
+  J.Obj
+    [
+      ("mode", J.String mode);
+      ("metrics", J.String (if metered then "on" else "off"));
+      ("events", J.Int r.Microbench.out.Microbench.events);
+      ("events_per_sec", J.Float (Microbench.events_per_sec r));
+      ("wall_sec", J.Float r.Microbench.wall_sec);
+      ("sim_ns", J.Int r.Microbench.out.Microbench.sim_ns);
+      ("ticks_total", J.Int ticks);
+      ("msgs_total", J.Int msgs);
+      ("overhead_pct", J.Float overhead_pct);
+    ]
+
+let profile_required_fields =
+  [
+    ("mode", `String);
+    ("metrics", `String);
+    ("events", `Int);
+    ("events_per_sec", `Float);
+    ("wall_sec", `Float);
+    ("sim_ns", `Int);
+    ("ticks_total", `Int);
+    ("msgs_total", `Int);
+    ("overhead_pct", `Float);
+  ]
+
+(* The documented schema of fig.profile (EXPERIMENTS.md): the 2x2 grid
+   {seq,windowed} x {metrics off,on}, both metered cells carrying non-zero
+   counter totals. The profile-smoke alias fails the build on drift. *)
+let validate_profile_doc doc =
+  let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let field kvs name = List.assoc_opt name kvs in
+  let check_point i p =
+    match p with
+    | J.Obj kvs ->
+      List.fold_left
+        (fun acc (name, ty) ->
+          match acc with
+          | Error _ -> acc
+          | Ok () ->
+            (match (field kvs name, ty) with
+            | None, _ -> fail "point %d: missing field %S" i name
+            | Some (J.String _), `String | Some (J.Int _), `Int | Some (J.Float _), `Float ->
+              Ok ()
+            | Some _, _ -> fail "point %d: field %S has the wrong JSON type" i name))
+        (Ok ()) profile_required_fields
+    | _ -> fail "point %d: not an object" i
+  in
+  match doc with
+  | J.Obj kvs ->
+    (match field kvs "figures" with
+    | Some (J.List figs) ->
+      let profile =
+        List.filter_map
+          (function
+            | J.Obj f when field f "figure" = Some (J.String "fig.profile") -> Some f
+            | _ -> None)
+          figs
+      in
+      (match profile with
+      | [ fig ] ->
+        (match field fig "points" with
+        | Some (J.List pts) when List.length pts = 4 ->
+          let rec go i = function
+            | [] -> Ok ()
+            | p :: rest -> (match check_point i p with Ok () -> go (i + 1) rest | e -> e)
+          in
+          (match go 0 pts with
+          | Error _ as e -> e
+          | Ok () ->
+            let metered_ok =
+              List.for_all
+                (function
+                  | J.Obj p when field p "metrics" = Some (J.String "on") ->
+                    (match (field p "ticks_total", field p "msgs_total") with
+                    | Some (J.Int t), Some (J.Int m) -> t > 0 && m > 0
+                    | _ -> false)
+                  | _ -> true)
+                pts
+            in
+            if metered_ok then Ok ()
+            else fail "fig.profile: a metered point has zero counter totals")
+        | Some (J.List pts) -> fail "fig.profile: expected 4 points, found %d" (List.length pts)
+        | _ -> fail "fig.profile: missing points list")
+      | l -> fail "expected exactly one fig.profile figure, found %d" (List.length l))
+    | _ -> fail "document has no figures list")
+  | _ -> fail "document is not an object"
+
+let fig_profile ~smoke () =
+  header
+    "Fig P  Instrumentation overhead: partition-sharded metrics on the engine hot path (ring \
+     microbenchmark)";
+  let cfg =
+    if smoke then
+      { Microbench.default with Microbench.gpus = 4; iters = 50; ticks_per_iter = 2 }
+    else { Microbench.default with Microbench.iters = 2000 }
+  in
+  let reps = if smoke then 1 else 5 in
+  let jobs = Parallel.default_jobs () in
+  figure "fig.profile" (fun () ->
+      (* Best-of-N wall clock per cell (the simulated output is asserted
+         identical in every cell, so only the wall cost can differ); the
+         metered cells keep their last registry for the totals check. *)
+      let run_cell ~mode ~metered =
+        let best = ref None and reg = ref None in
+        for _ = 1 to reps do
+          let metrics = if metered then Some (Obs.Metrics.create ()) else None in
+          let cfg = { cfg with Microbench.metrics } in
+          let r =
+            match mode with
+            | `Seq -> Microbench.run_seq cfg
+            | `Win -> Microbench.run_windowed ~jobs cfg
+          in
+          reg := metrics;
+          match !best with
+          | Some (b : Microbench.report) when b.Microbench.wall_sec <= r.Microbench.wall_sec ->
+            ()
+          | _ -> best := Some r
+        done;
+        (Option.get !best, !reg)
+      in
+      let seq_off, _ = run_cell ~mode:`Seq ~metered:false in
+      let seq_on, seq_reg = run_cell ~mode:`Seq ~metered:true in
+      let win_off, _ = run_cell ~mode:`Win ~metered:false in
+      let win_on, win_reg = run_cell ~mode:`Win ~metered:true in
+      (* Gate 1: neither the driver nor the instrumentation may change the
+         simulation (times, event counts, payload checksum). *)
+      List.iter
+        (fun (label, r) ->
+          if not (Microbench.equal_output seq_off.Microbench.out r.Microbench.out) then begin
+            Printf.eprintf "[profile] FATAL: %s output differs from seq/unmetered\n%!" label;
+            exit 1
+          end)
+        [ ("seq/metered", seq_on); ("windowed/unmetered", win_off); ("windowed/metered", win_on) ];
+      (* Gate 2: counter totals are schedule-independent — the windowed run,
+         bumping partition-local slots from concurrent domains, must read
+         back exactly the sequential totals, and they must be non-zero. *)
+      let totals reg =
+        match reg with
+        | None -> (0, 0)
+        | Some reg -> (metric_total reg "micro.ticks", metric_total reg "micro.msgs")
+      in
+      let seq_ticks, seq_msgs = totals seq_reg in
+      let win_ticks, win_msgs = totals win_reg in
+      if seq_ticks = 0 || seq_msgs = 0 then begin
+        Printf.eprintf "[profile] FATAL: metered run recorded zero ticks/msgs\n%!";
+        exit 1
+      end;
+      if (seq_ticks, seq_msgs) <> (win_ticks, win_msgs) then begin
+        Printf.eprintf
+          "[profile] FATAL: windowed metric totals (%d, %d) differ from sequential (%d, %d)\n%!"
+          win_ticks win_msgs seq_ticks seq_msgs;
+        exit 1
+      end;
+      let overhead ~off ~on =
+        let a = off.Microbench.wall_sec and b = on.Microbench.wall_sec in
+        if a <= 0.0 then 0.0 else (b -. a) /. a *. 100.0
+      in
+      let seq_ov = overhead ~off:seq_off ~on:seq_on in
+      let win_ov = overhead ~off:win_off ~on:win_on in
+      Printf.printf
+        "scenario: %d GPUs, %d rounds, ring halo exchange; best of %d rep(s) per cell\n"
+        cfg.Microbench.gpus cfg.Microbench.iters reps;
+      Printf.printf "%-10s %-8s %12s %14s %12s %14s\n" "mode" "metrics" "events" "events/sec"
+        "wall(s)" "overhead(%)";
+      let row label metered ov (r : Microbench.report) =
+        Printf.printf "%-10s %-8s %12d %14.0f %12.4f %14.2f\n" label
+          (if metered then "on" else "off")
+          r.Microbench.out.Microbench.events (Microbench.events_per_sec r)
+          r.Microbench.wall_sec ov
+      in
+      row "seq" false 0.0 seq_off;
+      row "seq" true seq_ov seq_on;
+      row "windowed" false 0.0 win_off;
+      row "windowed" true win_ov win_on;
+      Printf.printf
+        "counter totals (schedule-independent): ticks=%d msgs=%d; disabled runs carry no \
+         instruments at all\n"
+        seq_ticks seq_msgs;
+      if (not smoke) && (seq_ov > 5.0 || win_ov > 5.0) then
+        Printf.eprintf
+          "[profile] WARNING: instrumentation overhead above the 5%% budget (seq %.2f%%, \
+           windowed %.2f%%)\n%!"
+          seq_ov win_ov;
+      ( [
+          profile_point ~mode:"seq" ~metered:false ~overhead_pct:0.0 ~ticks:0 ~msgs:0 seq_off;
+          profile_point ~mode:"seq" ~metered:true ~overhead_pct:seq_ov ~ticks:seq_ticks
+            ~msgs:seq_msgs seq_on;
+          profile_point ~mode:"windowed" ~metered:false ~overhead_pct:0.0 ~ticks:0 ~msgs:0
+            win_off;
+          profile_point ~mode:"windowed" ~metered:true ~overhead_pct:win_ov ~ticks:win_ticks
+            ~msgs:win_msgs win_on;
+        ],
+        () ))
+
+(* ---------------------------------------------------------------- *)
 (* Bechamel wall-clock microbenchmarks (one per figure regenerator)  *)
 (* ---------------------------------------------------------------- *)
 
 let bechamel_suite () =
   header "Bechamel wall-clock benchmarks of the simulator itself (one per figure)";
-  let run_stencil kind problem gpus = S.Harness.run kind problem ~gpus in
+  let run_stencil kind problem gpus = S.Harness.run_env kind problem ~gpus in
   let quick_stencil kind () =
     let problem = S.Problem.make (S.Problem.D2 { nx = 256; ny = 256 }) ~iterations:5 in
     ignore (run_stencil kind problem 8)
   in
   let quick_dace arm () =
     let app = D.Pipeline.Jacobi1d { D.Programs.n_global = 1 lsl 16; tsteps = 5 } in
-    ignore (D.Pipeline.run app arm ~gpus:8)
+    ignore (D.Pipeline.run_env app arm ~gpus:8)
   in
   let tests =
     [
@@ -1052,7 +1267,7 @@ let bechamel_suite () =
              let app =
                D.Pipeline.Jacobi2d { D.Programs.nx_global = 256; ny_global = 256; tsteps = 3 }
              in
-             ignore (D.Pipeline.run app D.Pipeline.Cpu_free ~gpus:8)));
+             ignore (D.Pipeline.run_env app D.Pipeline.Cpu_free ~gpus:8)));
     ]
   in
   let benchmark test =
@@ -1123,6 +1338,21 @@ let write_results ~mode ~elapsed =
         msg;
       exit 1
   end;
+  let has_profile =
+    List.exists
+      (function
+        | J.Obj f -> List.assoc_opt "figure" f = Some (J.String "fig.profile")
+        | _ -> false)
+      !json_figures
+  in
+  if has_profile then begin
+    match validate_profile_doc doc with
+    | Ok () -> ()
+    | Error msg ->
+      Printf.eprintf "[profile] FATAL: BENCH_results.json violates the documented schema: %s\n%!"
+        msg;
+      exit 1
+  end;
   let oc = open_out "BENCH_results.json" in
   J.to_channel oc doc;
   close_out oc;
@@ -1154,6 +1384,15 @@ let () =
     let t_start = wall () in
     fig_chaos ~smoke ();
     write_results ~mode:(if smoke then "chaos-smoke" else "chaos") ~elapsed:(wall () -. t_start);
+    exit 0
+  end;
+  if List.mem "profile" args then begin
+    let smoke = List.mem "smoke" args in
+    let t_start = wall () in
+    fig_profile ~smoke ();
+    write_results
+      ~mode:(if smoke then "profile-smoke" else "profile")
+      ~elapsed:(wall () -. t_start);
     exit 0
   end;
   let t_start = wall () in

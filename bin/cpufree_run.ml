@@ -2,17 +2,38 @@
 
    cpufree_run stencil  --variant cpu-free --dims 2d:2048x2048 --gpus 8 ...
    cpufree_run dace     --app jacobi2d --arm cpu-free --gpus 8 ...
-   cpufree_run machine  (print the simulated architecture) *)
+   cpufree_run machine  (print the simulated architecture)
+
+   Every subcommand parses the same machine/fault/observability options
+   (--arch, --topology, --gpus, --faults, --fault-seed, --trace-out,
+   --metrics-out) through one shared spec table, resolved into a
+   [Cpufree_core.Sim_env.t]. *)
 
 module E = Cpufree_engine
 module G = Cpufree_gpu
 module S = Cpufree_stencil
 module D = Cpufree_dace
+module Obs = Cpufree_obs
 module Measure = Cpufree_core.Measure
+module Env = Cpufree_core.Sim_env
+module Fault = Cpufree_fault.Fault
 module Time = E.Time
 open Cmdliner
 
-(* --- shared argument parsers -------------------------------------------- *)
+(* --- shared machine/fault/observability options --------------------------- *)
+
+(* Every subcommand sees the same option set, resolved and validated in one
+   place so a bad combination (e.g. "--topology dgx:3 --gpus 8") exits with
+   the same usage message everywhere. *)
+type common = {
+  arch : G.Arch.t;
+  topology : Cpufree_machine.Topology.spec;
+  gpus : int;
+  faults : Fault.spec option;
+  fault_seed : int;
+  trace_out : string option;
+  metrics_out : string option;
+}
 
 let gpus_arg =
   let doc = "Number of simulated GPUs." in
@@ -22,39 +43,12 @@ let arch_arg =
   let doc = "Simulated device architecture (a100 or h100)." in
   Arg.(value & opt string "a100" & info [ "arch" ] ~docv:"ARCH" ~doc)
 
-let resolve_arch name =
-  match G.Arch.of_name name with
-  | Some a -> a
-  | None ->
-    Printf.eprintf "unknown architecture %S (expected one of: %s)\n" name
-      (String.concat ", " (List.map fst G.Arch.by_name));
-    exit 2
-
 let topology_arg =
   let doc =
     "Machine topology: hgx (single-node NVSwitch all-to-all, the default), ring, pcie, or \
      dgx[:NODES] (multi-node cluster joined by InfiniBand; GPUs split evenly across nodes)."
   in
   Arg.(value & opt string "hgx" & info [ "topology"; "t" ] ~docv:"TOPO" ~doc)
-
-(* Parse AND validate against the GPU count so a bad combination (e.g.
-   "--topology dgx:3 --gpus 8") exits with a usage message instead of an
-   uncaught exception mid-run. *)
-let resolve_topology name ~gpus =
-  match Cpufree_machine.Topology.spec_of_string name with
-  | Error msg ->
-    Printf.eprintf "%s\n" msg;
-    exit 2
-  | Ok spec -> (
-    match Cpufree_machine.Topology.validate spec ~gpus with
-    | Ok () -> spec
-    | Error msg ->
-      Printf.eprintf "bad --topology/--gpus combination: %s\n" msg;
-      exit 2)
-
-(* --- fault injection ------------------------------------------------------ *)
-
-module Fault = Cpufree_fault.Fault
 
 let faults_arg =
   let doc =
@@ -68,12 +62,101 @@ let fault_seed_arg =
   let doc = "Fault-plan seed: a fixed seed makes repeated chaos runs bit-identical." in
   Arg.(value & opt int 1 & info [ "fault-seed" ] ~docv:"N" ~doc)
 
+let trace_out_arg =
+  let doc =
+    "Write the run as Chrome/Perfetto trace-event JSON to $(docv): spans per lane, \
+     put-to-delivery flow arrows, fault/stall instants, counter tracks. Load in \
+     ui.perfetto.dev."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
+let metrics_out_arg =
+  let doc = "Write the run's metrics registry as schema-validated JSON to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+
+let resolve_arch name =
+  match G.Arch.of_name name with
+  | Some a -> a
+  | None ->
+    Printf.eprintf "unknown architecture %S (expected one of: %s)\n" name
+      (String.concat ", " (List.map fst G.Arch.by_name));
+    exit 2
+
+(* Parse AND validate against the GPU count so a bad combination exits with a
+   usage message instead of an uncaught exception mid-run. *)
+let resolve_topology name ~gpus =
+  match Cpufree_machine.Topology.spec_of_string name with
+  | Error msg ->
+    Printf.eprintf "%s\n" msg;
+    exit 2
+  | Ok spec -> (
+    match Cpufree_machine.Topology.validate spec ~gpus with
+    | Ok () -> spec
+    | Error msg ->
+      Printf.eprintf "bad --topology/--gpus combination: %s\n" msg;
+      exit 2)
+
 let resolve_faults spec =
   match Fault.of_string spec with
   | Ok s -> s
   | Error msg ->
     Printf.eprintf "bad --faults spec: %s\n" msg;
     exit 2
+
+let common_term =
+  let make arch_name topo_name gpus faults fault_seed trace_out metrics_out =
+    {
+      arch = resolve_arch arch_name;
+      topology = resolve_topology topo_name ~gpus;
+      gpus;
+      faults = Option.map resolve_faults faults;
+      fault_seed;
+      trace_out;
+      metrics_out;
+    }
+  in
+  Term.(
+    const make $ arch_arg $ topology_arg $ gpus_arg $ faults_arg $ fault_seed_arg
+    $ trace_out_arg $ metrics_out_arg)
+
+(* A fresh simulation environment for one run under these options: trace and
+   metrics sinks exist exactly when an output file was requested, so runs
+   without --trace-out/--metrics-out stay on the uninstrumented path. *)
+let env_of_common c =
+  let trace = if c.trace_out = None then None else Some (E.Trace.create ~flows:true ()) in
+  let metrics = if c.metrics_out = None then None else Some (Obs.Metrics.create ()) in
+  Env.make ~topology:c.topology ?faults:c.faults ~fault_seed:c.fault_seed ?trace ?metrics ()
+
+(* The same environment minus the observability sinks, for auxiliary runs
+   (verification) that must not pollute the main run's artifacts. *)
+let quiet_env c = Env.make ~topology:c.topology ()
+
+(* Write (and self-validate) whatever sinks the environment carries. *)
+let write_observability c (env : Env.t) =
+  (match (c.trace_out, env.Env.trace) with
+  | Some file, Some tr ->
+    let s = Obs.Perfetto.to_json_string ?metrics:env.Env.metrics tr in
+    (match Cpufree_core.Trace_json.validate_string s with
+    | Ok () -> ()
+    | Error msg ->
+      Printf.eprintf "internal error: %s failed trace-schema validation: %s\n" file msg;
+      exit 1);
+    let oc = open_out file in
+    output_string oc s;
+    close_out oc;
+    Printf.printf "wrote %s (load in ui.perfetto.dev)\n" file
+  | _ -> ());
+  match (c.metrics_out, env.Env.metrics) with
+  | Some file, Some reg ->
+    let oc = open_out file in
+    let r = Cpufree_core.Metrics_json.emit ~indent:2 oc reg in
+    close_out oc;
+    (match r with
+    | Ok () -> Printf.printf "wrote %s\n" file
+    | Error msg ->
+      Printf.eprintf "internal error: %s failed metrics-schema validation: %s\n" file msg;
+      exit 1)
+  | _ -> ()
 
 let print_chaos_report (c : Measure.chaos) ~progress =
   let r = c.Measure.base in
@@ -97,7 +180,10 @@ let timeline_arg =
   Arg.(value & flag & info [ "timeline" ] ~doc)
 
 let chrome_arg =
-  let doc = "Write the execution trace as Chrome trace-event JSON to $(docv)." in
+  let doc =
+    "Write the execution trace as Chrome trace-event JSON to $(docv) (legacy spans-only \
+     format; prefer --trace-out)."
+  in
   Arg.(value & opt (some string) None & info [ "chrome-trace" ] ~docv:"FILE" ~doc)
 
 let maybe_write_chrome path trace =
@@ -156,10 +242,8 @@ let no_compute_arg =
   let doc = "Disable computation: measure the pure communication/sync floor." in
   Arg.(value & flag & info [ "no-compute" ] ~doc)
 
-let run_stencil arch_name topo_name gpus iters dims variant no_compute verify timeline chrome
-    faults fault_seed =
-  let arch = resolve_arch arch_name in
-  let topology = resolve_topology topo_name ~gpus in
+let run_stencil common iters dims variant no_compute verify timeline chrome =
+  let arch = common.arch and gpus = common.gpus in
   let kinds =
     match variant with
     | None | Some "all" -> S.Variants.all
@@ -171,44 +255,55 @@ let run_stencil arch_name topo_name gpus iters dims variant no_compute verify ti
           (String.concat ", " (List.map S.Variants.name S.Variants.all));
         exit 2)
   in
+  let single = List.length kinds = 1 in
   let problem = S.Problem.make ~compute:(not no_compute) ~backed:verify dims ~iterations:iters in
-  match faults with
-  | Some spec_str ->
-    let spec = resolve_faults spec_str in
-    Printf.printf "chaos run: faults=%s seed=%d\n" (Fault.to_string spec) fault_seed;
+  match common.faults with
+  | Some spec ->
+    Printf.printf "chaos run: faults=%s seed=%d\n" (Fault.to_string spec) common.fault_seed;
     List.iter
       (fun kind ->
-        let cr = S.Harness.run_chaos ~arch ~topology ~faults:spec ~fault_seed kind problem ~gpus in
-        print_chaos_report cr.S.Harness.chaos ~progress:cr.S.Harness.progress)
+        let env = if single then env_of_common common else quiet_env common in
+        let cr = S.Harness.run_chaos_env ~arch ~env kind problem ~gpus in
+        print_chaos_report cr.S.Harness.chaos ~progress:cr.S.Harness.progress;
+        if single then write_observability common env)
       kinds;
     0
   | None ->
-  let results =
-    List.map
-      (fun kind ->
-        let r, trace = S.Harness.run_traced ~arch ~topology kind problem ~gpus in
-        if timeline && List.length kinds = 1 then print_timeline trace;
-        if List.length kinds = 1 then maybe_write_chrome chrome trace;
-        if verify then begin
-          match S.Harness.verify ~arch ~topology kind problem ~gpus with
-          | Ok err -> Printf.printf "%-22s verification OK (max |err| = %.2e)\n" (S.Variants.name kind) err
-          | Error m -> Printf.printf "%-22s verification FAILED: %s\n" (S.Variants.name kind) m
-        end;
-        r)
-      kinds
-  in
-  Format.printf "%a"
-    (fun fmt -> Measure.pp_table fmt ~header:(Printf.sprintf "%s on %d GPUs" (S.Problem.dims_to_string dims) gpus))
-    results;
-  0
+    let results =
+      List.map
+        (fun kind ->
+          let env = if single then env_of_common common else quiet_env common in
+          let r, trace = S.Harness.run_traced_env ~arch ~env kind problem ~gpus in
+          if timeline && single then print_timeline trace;
+          if single then begin
+            maybe_write_chrome chrome trace;
+            write_observability common env
+          end;
+          if verify then begin
+            match S.Harness.verify_env ~arch ~env:(quiet_env common) kind problem ~gpus with
+            | Ok err ->
+              Printf.printf "%-22s verification OK (max |err| = %.2e)\n" (S.Variants.name kind)
+                err
+            | Error m ->
+              Printf.printf "%-22s verification FAILED: %s\n" (S.Variants.name kind) m
+          end;
+          r)
+        kinds
+    in
+    Format.printf "%a"
+      (fun fmt ->
+        Measure.pp_table fmt
+          ~header:(Printf.sprintf "%s on %d GPUs" (S.Problem.dims_to_string dims) gpus))
+      results;
+    0
 
 let stencil_cmd =
   let doc = "Run the hand-written multi-GPU Jacobi stencil variants (paper §6.1)." in
   Cmd.v
     (Cmd.info "stencil" ~doc)
     Term.(
-      const run_stencil $ arch_arg $ topology_arg $ gpus_arg $ iters_arg $ dims_arg $ variant_arg
-      $ no_compute_arg $ verify_arg $ timeline_arg $ chrome_arg $ faults_arg $ fault_seed_arg)
+      const run_stencil $ common_term $ iters_arg $ dims_arg $ variant_arg $ no_compute_arg
+      $ verify_arg $ timeline_arg $ chrome_arg)
 
 (* --- dace command ---------------------------------------------------------- *)
 
@@ -235,9 +330,8 @@ let specialize_arg =
   in
   Arg.(value & flag & info [ "specialize-tb" ] ~doc)
 
-let run_dace topo_name gpus iters app_name arm_name size emit specialize_tb verify timeline chrome
-    faults fault_seed =
-  let topology = resolve_topology topo_name ~gpus in
+let run_dace common iters app_name arm_name size emit specialize_tb verify timeline chrome =
+  let gpus = common.gpus in
   let app =
     match app_name with
     | "jacobi1d" -> D.Pipeline.Jacobi1d { D.Programs.n_global = size; tsteps = iters }
@@ -271,7 +365,7 @@ let run_dace topo_name gpus iters app_name arm_name size emit specialize_tb veri
         exit 1)
   end;
   if verify then begin
-    match D.Pipeline.verify ~specialize_tb app arm ~gpus with
+    match D.Pipeline.verify_env ~env:(quiet_env common) ~specialize_tb app arm ~gpus with
     | Ok err -> Printf.printf "verification OK (max |err| = %.2e)\n" err
     | Error m ->
       Printf.printf "verification FAILED: %s\n" m;
@@ -282,20 +376,22 @@ let run_dace topo_name gpus iters app_name arm_name size emit specialize_tb veri
     Printf.sprintf "%s/%s%s" (D.Pipeline.app_name app) (D.Pipeline.arm_name arm)
       (if specialize_tb then "/specialized" else "")
   in
-  match faults with
-  | Some spec_str ->
-    let spec = resolve_faults spec_str in
-    Printf.printf "chaos run: faults=%s seed=%d\n" (Fault.to_string spec) fault_seed;
-    let c =
-      Measure.run_chaos ~topology ~faults:spec ~fault_seed ~label ~gpus ~iterations:iters
-        built.D.Exec.program
-    in
+  match common.faults with
+  | Some spec ->
+    Printf.printf "chaos run: faults=%s seed=%d\n" (Fault.to_string spec) common.fault_seed;
+    let env = env_of_common common in
+    let c = Measure.run_chaos_env ~env ~label ~gpus ~iterations:iters built.D.Exec.program in
     print_chaos_report c ~progress:[||];
+    write_observability common env;
     0
   | None ->
-    let r, trace = Measure.run_traced ~topology ~label ~gpus ~iterations:iters built.D.Exec.program in
+    let env = env_of_common common in
+    let r, trace =
+      Measure.run_traced_env ~env ~label ~gpus ~iterations:iters built.D.Exec.program
+    in
     if timeline then print_timeline trace;
     maybe_write_chrome chrome trace;
+    write_observability common env;
     Format.printf "%a@." Measure.pp_result r;
     0
 
@@ -304,9 +400,8 @@ let dace_cmd =
   Cmd.v
     (Cmd.info "dace" ~doc)
     Term.(
-      const run_dace $ topology_arg $ gpus_arg $ iters_arg $ app_arg $ arm_arg $ size_arg
-      $ emit_arg $ specialize_arg $ verify_arg $ timeline_arg $ chrome_arg $ faults_arg
-      $ fault_seed_arg)
+      const run_dace $ common_term $ iters_arg $ app_arg $ arm_arg $ size_arg $ emit_arg
+      $ specialize_arg $ verify_arg $ timeline_arg $ chrome_arg)
 
 (* --- machine command -------------------------------------------------------- *)
 
@@ -317,10 +412,12 @@ let json_arg =
   in
   Arg.(value & flag & info [ "json" ] ~doc)
 
-let run_machine arch_name topo_name gpus json =
-  let arch = resolve_arch arch_name in
-  let spec = resolve_topology topo_name ~gpus in
-  let topo = Cpufree_machine.Topology.instantiate spec ~profile:(G.Arch.fabric_profile arch) ~gpus in
+let run_machine common json =
+  let arch = common.arch in
+  let topo =
+    Cpufree_machine.Topology.instantiate common.topology
+      ~profile:(G.Arch.fabric_profile arch) ~gpus:common.gpus
+  in
   if json then begin
     match Cpufree_core.Machine_json.emit stdout topo with
     | Ok () -> 0
@@ -350,8 +447,7 @@ let machine_cmd =
     "Print the simulated machine: cost-model parameters and the topology graph (or the full \
      description as JSON with --json)."
   in
-  Cmd.v (Cmd.info "machine" ~doc)
-    Term.(const run_machine $ arch_arg $ topology_arg $ gpus_arg $ json_arg)
+  Cmd.v (Cmd.info "machine" ~doc) Term.(const run_machine $ common_term $ json_arg)
 
 (* --- entry ------------------------------------------------------------------- *)
 

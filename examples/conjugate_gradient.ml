@@ -32,7 +32,7 @@ let b_value gi = sin (float_of_int (gi + 1) *. 0.37) +. 1.1
 
 let () =
   let eng = E.Engine.create () in
-  let ctx = G.Runtime.init eng ~num_gpus:gpus () in
+  let ctx = G.Runtime.create eng ~num_gpus:gpus () in
   let nv = Nv.init ctx in
   let coll = Collective.create nv ~label:"cg" in
   let arch = G.Runtime.arch ctx in

@@ -119,7 +119,7 @@ let () =
 
     (* Execute with real data and spot-check against a sequential smoother. *)
     let built = D.Exec.build_persistent ~backed:true specialized in
-    let r = Measure.run ~label:"smoother" ~gpus ~iterations:steps built.D.Exec.program in
+    let r = Measure.run_env ~label:"smoother" ~gpus ~iterations:steps built.D.Exec.program in
     Format.printf "@.%a@." Measure.pp_result r;
 
     let reference =

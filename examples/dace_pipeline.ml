@@ -32,8 +32,8 @@ let () =
   | Error e -> failwith e);
 
   banner "4. Race on the simulated machine";
-  let b = D.Pipeline.run app D.Pipeline.Baseline_mpi ~gpus in
-  let f = D.Pipeline.run app D.Pipeline.Cpu_free ~gpus in
+  let b = D.Pipeline.run_env app D.Pipeline.Baseline_mpi ~gpus in
+  let f = D.Pipeline.run_env app D.Pipeline.Cpu_free ~gpus in
   Format.printf "%a@.%a@." Measure.pp_result b Measure.pp_result f;
   Printf.printf "speedup: %.1f%%\n" (Measure.speedup_pct ~baseline:b ~ours:f);
 
@@ -41,7 +41,7 @@ let () =
   List.iter
     (fun arm ->
       let small = D.Pipeline.Jacobi2d { D.Programs.nx_global = 32; ny_global = 32; tsteps = 4 } in
-      match D.Pipeline.verify small arm ~gpus with
+      match D.Pipeline.verify_env small arm ~gpus with
       | Ok err -> Printf.printf "%-15s OK (max |err| = %.1e)\n" (D.Pipeline.arm_name arm) err
       | Error m -> Printf.printf "%-15s FAILED: %s\n" (D.Pipeline.arm_name arm) m)
     [ D.Pipeline.Baseline_mpi; D.Pipeline.Cpu_free ]

@@ -24,8 +24,8 @@ let () =
   List.iter
     (fun gpus ->
       let problem = S.Problem.make dims ~iterations in
-      let base = S.Harness.run S.Variants.Nvshmem problem ~gpus in
-      let free = S.Harness.run S.Variants.Cpu_free problem ~gpus in
+      let base = S.Harness.run_env S.Variants.Nvshmem problem ~gpus in
+      let free = S.Harness.run_env S.Variants.Cpu_free problem ~gpus in
       Printf.printf "%6d %18.2f %18.2f %11.1f%%\n" gpus
         (Time.to_us_float base.Measure.per_iter)
         (Time.to_us_float free.Measure.per_iter)
@@ -39,8 +39,8 @@ let () =
   List.iter
     (fun gpus ->
       let problem = S.Problem.make ~compute:false dims ~iterations in
-      let base = S.Harness.run S.Variants.Nvshmem problem ~gpus in
-      let free = S.Harness.run S.Variants.Cpu_free problem ~gpus in
+      let base = S.Harness.run_env S.Variants.Nvshmem problem ~gpus in
+      let free = S.Harness.run_env S.Variants.Cpu_free problem ~gpus in
       Printf.printf "%6d %18.2f %18.2f\n" gpus
         (Time.to_us_float base.Measure.per_iter)
         (Time.to_us_float free.Measure.per_iter))
@@ -52,7 +52,7 @@ let () =
   let small =
     S.Problem.make ~backed:true (S.Problem.D3 { nx = 12; ny = 12; nz = 24 }) ~iterations:8
   in
-  match S.Harness.verify S.Variants.Cpu_free small ~gpus:4 with
+  match S.Harness.verify_env S.Variants.Cpu_free small ~gpus:4 with
   | Ok err ->
     Printf.printf "\nVerification of the distributed solve: OK (max |err| = %.1e)\n" err
   | Error m -> Printf.printf "\nVerification FAILED: %s\n" m

@@ -18,7 +18,7 @@ let run_class name nx =
   let dims = S.Problem.weak_scale (S.Problem.D2 { nx; ny = nx }) ~gpus in
   let problem = S.Problem.make dims ~iterations in
   let results =
-    List.map (fun kind -> S.Harness.run kind problem ~gpus) S.Variants.all
+    List.map (fun kind -> S.Harness.run_env kind problem ~gpus) S.Variants.all
   in
   Format.printf "%a" (fun fmt -> Measure.pp_table fmt ~header:(class_of name nx)) results;
   match results with
@@ -35,6 +35,6 @@ let () =
   (* Numerical sanity: the CPU-Free scheme computes exactly what a sequential
      Jacobi solve computes. *)
   let problem = S.Problem.make ~backed:true (S.Problem.D2 { nx = 64; ny = 64 }) ~iterations:10 in
-  match S.Harness.verify S.Variants.Cpu_free problem ~gpus with
+  match S.Harness.verify_env S.Variants.Cpu_free problem ~gpus with
   | Ok err -> Printf.printf "\nVerification vs sequential reference: OK (max |err| = %.1e)\n" err
   | Error m -> Printf.printf "\nVerification FAILED: %s\n" m

@@ -22,7 +22,7 @@ let () =
      four A100-like devices on an NVSwitch fabric. *)
   let trace = E.Trace.create () in
   let eng = E.Engine.create ~trace () in
-  let ctx = G.Runtime.init eng ~num_gpus:gpus () in
+  let ctx = G.Runtime.create eng ~num_gpus:gpus () in
 
   (* 2. Symmetric state: a one-element token buffer and a signal per PE. *)
   let nv = Nv.init ctx in

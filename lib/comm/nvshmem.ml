@@ -1,11 +1,26 @@
 module E = Cpufree_engine
 module G = Cpufree_gpu
 module F = Cpufree_fault.Fault
+module Mx = Cpufree_obs.Metrics
 module Time = E.Time
 
 type sym = { slabel : string; bufs : G.Buffer.t array }
 type signal = { glabel : string; flags : E.Sync.Flag.t array }
 type signal_op = Signal_set | Signal_add
+
+(* Metrics instruments (when the runtime context carries a registry):
+   per-source-PE put/byte counters plus run totals for signal traffic,
+   blocked-wait time and fault-path events, sharded per engine partition. *)
+type instr = {
+  m_puts : Mx.Counter.h array; (* indexed by source PE *)
+  m_put_bytes : Mx.Counter.h array;
+  m_signal_ops : Mx.Counter.h;
+  m_signal_waits : Mx.Counter.h;
+  m_wait_blocked : Mx.Histogram.h; (* ns a signal wait actually spun *)
+  m_retries : Mx.Counter.h;
+  m_resends : Mx.Counter.h;
+  m_drops : Mx.Counter.h;
+}
 
 type t = {
   ctx : G.Runtime.ctx;
@@ -14,12 +29,35 @@ type t = {
   pending : E.Sync.Flag.t array;  (* outstanding nbi deliveries per PE *)
   barrier : E.Sync.Barrier.t;
   faults : F.plan option;  (* the runtime context's plan, if any *)
+  obs : instr option;
+  op_seq : int array;  (* per-PE issue counter for deterministic flow ids *)
   mutable next_op : int;
 }
 
 let init ctx =
   let eng = G.Runtime.engine ctx in
   let n = G.Runtime.num_gpus ctx in
+  let obs =
+    match G.Runtime.metrics ctx with
+    | None -> None
+    | Some reg ->
+      let slots = E.Engine.num_partitions eng in
+      let per_pe name =
+        Array.init n (fun pe ->
+            Mx.counter reg ~name ~labels:[ ("pe", string_of_int pe) ] ~slots ())
+      in
+      Some
+        {
+          m_puts = per_pe "nvshmem.puts";
+          m_put_bytes = per_pe "nvshmem.put_bytes";
+          m_signal_ops = Mx.counter reg ~name:"nvshmem.signal_ops" ~slots ();
+          m_signal_waits = Mx.counter reg ~name:"nvshmem.signal_waits" ~slots ();
+          m_wait_blocked = Mx.histogram reg ~name:"nvshmem.wait_blocked_ns" ~slots ();
+          m_retries = Mx.counter reg ~name:"nvshmem.retries" ~slots ();
+          m_resends = Mx.counter reg ~name:"nvshmem.resends" ~slots ();
+          m_drops = Mx.counter reg ~name:"nvshmem.drops" ~slots ();
+        }
+  in
   {
     ctx;
     eng;
@@ -27,8 +65,26 @@ let init ctx =
     pending = Array.init n (fun i -> E.Sync.Flag.create ~name:(Printf.sprintf "pe%d.pending" i) eng 0);
     barrier = E.Sync.Barrier.create ~name:"nvshmem.barrier_all" eng n;
     faults = G.Runtime.faults ctx;
+    obs;
+    op_seq = Array.make n 0;
     next_op = 0;
   }
+
+let slot t = E.Engine.current_partition t.eng
+
+let bump t sel =
+  match t.obs with None -> () | Some o -> Mx.Counter.incr ~slot:(slot t) (sel o)
+
+let note_put t ~from_pe ~bytes =
+  match t.obs with
+  | None -> ()
+  | Some o ->
+    let s = slot t in
+    Mx.Counter.incr ~slot:s o.m_puts.(from_pe);
+    Mx.Counter.add ~slot:s o.m_put_bytes.(from_pe) bytes
+
+let count_resends t k =
+  match t.obs with None -> () | Some o -> Mx.Counter.add ~slot:(slot t) o.m_resends k
 
 (* Lost-delivery registry keys: a dropped put+signal is filed under the
    destination flag instance its arrival would have raised (that flag's
@@ -95,6 +151,41 @@ let deliver_async t ~from_pe ~label body =
 
 let lane t pe = G.Device.lane (G.Runtime.device t.ctx pe) "nvshmem"
 
+(* Flow-arrow context drawn at issue time, when the trace records flows:
+   a deterministic id unique across PEs in sender program order (issue
+   index interleaved with the source PE), plus the departure coordinates.
+   The per-PE sequence only advances when flows are on, so legacy runs
+   stay byte-identical. *)
+let flow_ctx t ~from_pe =
+  if not (E.Trace.flows_enabled (E.Engine.trace t.eng)) then None
+  else begin
+    let fid = (t.op_seq.(from_pe) * t.n) + from_pe in
+    t.op_seq.(from_pe) <- t.op_seq.(from_pe) + 1;
+    Some (fid, lane t from_pe, E.Engine.now t.eng)
+  end
+
+(* Wrap a delivery body so its remote arrival is traced as a span on the
+   destination's nvshmem lane and tied back to the issuing put by a flow
+   arrow. Runs in whatever process replays the delivery (the async
+   delivery process, or a recovering waiter on the fault path). *)
+let with_flow t fc ~to_pe ~label body () =
+  match fc with
+  | None -> body ()
+  | Some (fid, src_lane, src_t) ->
+    let d0 = E.Engine.now t.eng in
+    body ();
+    let d1 = E.Engine.now t.eng in
+    let tr = E.Engine.trace t.eng in
+    E.Trace.add_opt tr ~lane:(lane t to_pe) ~label:("deliver:" ^ label)
+      ~kind:E.Trace.Communication ~t0:d0 ~t1:d1;
+    E.Trace.add_flow_opt tr ~id:fid ~label ~src_lane ~src_t ~dst_lane:(lane t to_pe)
+      ~dst_t:d1
+
+let mark_fault t ~pe ~label =
+  let tr = E.Engine.trace t.eng in
+  if E.Trace.flows_enabled tr then
+    E.Trace.add_instant_opt tr ~lane:(lane t pe) ~label ~at:(E.Engine.now t.eng)
+
 (* One fabric delivery: wire transfer, data commit, then any attached
    signal — NVSHMEM's data-before-signal order, preserved verbatim when a
    recovery replays the delivery. *)
@@ -119,8 +210,13 @@ let put_common t ~from_pe ~to_pe ~bytes ~label ~commit ~signal_after =
   check_pe t from_pe "put";
   check_pe t to_pe "put";
   E.Engine.delay t.eng (issue_overhead t);
+  note_put t ~from_pe ~bytes;
+  let fc = flow_ctx t ~from_pe in
   let fate = draw_fate t ~from_pe in
-  let deliver = delivery t ~from_pe ~to_pe ~bytes ~label ~commit ~signal_after in
+  let deliver =
+    with_flow t fc ~to_pe ~label
+      (delivery t ~from_pe ~to_pe ~bytes ~label ~commit ~signal_after)
+  in
   match fate with
   | F.Deliver -> deliver_async t ~from_pe ~label deliver
   | F.Delayed d ->
@@ -132,6 +228,8 @@ let put_common t ~from_pe ~to_pe ~bytes ~label ~commit ~signal_after =
        sender's queue slot still drains (so quiet on an unrelated path
        does not hang forever on a ghost op) and the delivery is filed for
        retransmission by whoever waits on what it carried. *)
+    bump t (fun o -> o.m_drops);
+    mark_fault t ~pe:from_pe ~label:("fault:drop:" ^ label);
     let plan = Option.get t.faults in
     let key =
       match signal_after with
@@ -139,7 +237,9 @@ let put_common t ~from_pe ~to_pe ~bytes ~label ~commit ~signal_after =
       | None -> put_key ~from_pe
     in
     F.record_lost plan ~key
-      (delivery t ~from_pe ~to_pe ~bytes ~label:(label ^ ".resend") ~commit ~signal_after);
+      (with_flow t fc ~to_pe ~label
+         (delivery t ~from_pe ~to_pe ~bytes ~label:(label ^ ".resend") ~commit
+            ~signal_after));
     deliver_async t ~from_pe ~label (fun () -> ())
 
 let putmem_nbi t ~from_pe ~to_pe ~src ~src_pos ~dst ~dst_pos ~len =
@@ -163,17 +263,21 @@ let iput_nbi t ~from_pe ~to_pe ~src ~src_pos ~src_stride ~dst ~dst_pos ~dst_stri
   check_pe t from_pe "iput";
   check_pe t to_pe "iput";
   E.Engine.delay t.eng (issue_overhead t);
+  note_put t ~from_pe ~bytes:(count * G.Buffer.elem_bytes);
   let a = arch t in
   let dst_buf = local dst ~pe:to_pe in
-  let deliver () =
-    (* Element-wise remote stores: serialization plus a per-element
-       non-coalescing penalty on top of the port booking. *)
-    E.Engine.delay t.eng (Time.scale a.G.Arch.nvshmem_strided_elem (float_of_int count));
-    G.Interconnect.transfer (net t) ~src:(G.Interconnect.Gpu from_pe)
-      ~dst:(G.Interconnect.Gpu to_pe) ~initiator:G.Interconnect.By_device
-      ~bytes:(count * G.Buffer.elem_bytes)
-      ~trace_lane:(lane t from_pe) ~label:"iput" ();
-    G.Buffer.blit_strided ~src ~src_pos ~src_stride ~dst:dst_buf ~dst_pos ~dst_stride ~count
+  let fc = flow_ctx t ~from_pe in
+  let deliver =
+    with_flow t fc ~to_pe ~label:"iput" (fun () ->
+        (* Element-wise remote stores: serialization plus a per-element
+           non-coalescing penalty on top of the port booking. *)
+        E.Engine.delay t.eng (Time.scale a.G.Arch.nvshmem_strided_elem (float_of_int count));
+        G.Interconnect.transfer (net t) ~src:(G.Interconnect.Gpu from_pe)
+          ~dst:(G.Interconnect.Gpu to_pe) ~initiator:G.Interconnect.By_device
+          ~bytes:(count * G.Buffer.elem_bytes)
+          ~trace_lane:(lane t from_pe) ~label:"iput" ();
+        G.Buffer.blit_strided ~src ~src_pos ~src_stride ~dst:dst_buf ~dst_pos ~dst_stride
+          ~count)
   in
   match draw_fate t ~from_pe with
   | F.Deliver -> deliver_async t ~from_pe ~label:"iput_nbi" deliver
@@ -182,6 +286,8 @@ let iput_nbi t ~from_pe ~to_pe ~src ~src_pos ~src_stride ~dst ~dst_pos ~dst_stri
         E.Engine.delay t.eng d;
         deliver ())
   | F.Dropped ->
+    bump t (fun o -> o.m_drops);
+    mark_fault t ~pe:from_pe ~label:"fault:drop:iput";
     F.record_lost (Option.get t.faults) ~key:(put_key ~from_pe) deliver;
     deliver_async t ~from_pe ~label:"iput_nbi" (fun () -> ())
 
@@ -189,6 +295,7 @@ let p t ~from_pe ~to_pe ~value ~dst ~dst_pos =
   check_pe t from_pe "p";
   check_pe t to_pe "p";
   E.Engine.delay t.eng (issue_overhead t);
+  note_put t ~from_pe ~bytes:G.Buffer.elem_bytes;
   G.Interconnect.transfer (net t) ~src:(G.Interconnect.Gpu from_pe)
     ~dst:(G.Interconnect.Gpu to_pe) ~initiator:G.Interconnect.By_device
     ~bytes:G.Buffer.elem_bytes ~trace_lane:(lane t from_pe) ~label:"p" ();
@@ -207,6 +314,8 @@ let quiet t ~pe =
     | [] -> ()
     | lost ->
       F.note_resent plan (List.length lost);
+      count_resends t (List.length lost);
+      mark_fault t ~pe ~label:"fault:resend:quiet";
       List.iter (fun resend -> resend ()) lost)
 
 (* Wire latency a fabric signal rides: the routed path between the PEs (the
@@ -225,6 +334,7 @@ let signal_op_remote t ~from_pe ~to_pe ~sig_var ~sig_op ~sig_value =
   check_pe t to_pe "signal_op";
   (* Ordered after prior puts from this PE: fence by waiting for them. *)
   quiet t ~pe:from_pe;
+  bump t (fun o -> o.m_signal_ops);
   let a = arch t in
   let wire () =
     E.Engine.delay t.eng
@@ -245,6 +355,8 @@ let signal_op_remote t ~from_pe ~to_pe ~sig_var ~sig_op ~sig_value =
   | F.Dropped ->
     (* The update vanishes in the fabric; the issue cost was paid. File it
        for the destination's resilient waiter. *)
+    bump t (fun o -> o.m_drops);
+    mark_fault t ~pe:from_pe ~label:"fault:drop:signal_op";
     F.record_lost (Option.get t.faults)
       ~key:(sig_key sig_var ~to_pe)
       (fun () ->
@@ -279,6 +391,8 @@ let resilient_wait t ~pe ~waits_on ~plan ~sig_var pred =
                        (E.Sync.Flag.get flag))))
         else begin
           F.note_retry plan;
+          bump t (fun o -> o.m_retries);
+          mark_fault t ~pe ~label:("fault:retry:" ^ sig_var.glabel);
           attempt (retries + 1) (Time.scale timeout spec.F.backoff)
         end
       | lost ->
@@ -286,23 +400,35 @@ let resilient_wait t ~pe ~waits_on ~plan ~sig_var pred =
            originals would have arrived — charging the retransmission
            wire time to the recovering waiter. *)
         F.note_resent plan (List.length lost);
+        count_resends t (List.length lost);
+        mark_fault t ~pe ~label:("fault:resend:" ^ sig_var.glabel);
         List.iter (fun resend -> resend ()) lost;
         F.note_retry plan;
+        bump t (fun o -> o.m_retries);
         attempt (retries + 1) (Time.scale timeout spec.F.backoff))
   in
   attempt 0 spec.F.retry_timeout
 
 let signal_wait_until t ?expect_from ~pe ~sig_var pred =
   check_pe t pe "signal_wait";
+  bump t (fun o -> o.m_signal_waits);
   let flag = sig_var.flags.(pe) in
   let blocked = not (pred (E.Sync.Flag.get flag)) in
+  let t0 = E.Engine.now t.eng in
   let waits_on = Option.map G.Runtime.gpu_group expect_from in
   (match t.faults with
   | Some plan when blocked && F.is_active (F.spec_of plan) ->
     resilient_wait t ~pe ~waits_on ~plan ~sig_var pred
   | Some _ | None -> E.Sync.Flag.wait_until ?waits_on flag pred);
   (* A wait that actually spun pays the remote-write detection latency. *)
-  if blocked then E.Engine.delay t.eng (arch t).G.Arch.nvshmem_wait_latency
+  if blocked then begin
+    E.Engine.delay t.eng (arch t).G.Arch.nvshmem_wait_latency;
+    match t.obs with
+    | None -> ()
+    | Some o ->
+      Mx.Histogram.observe ~slot:(slot t) o.m_wait_blocked
+        (Time.to_ns (Time.sub (E.Engine.now t.eng) t0))
+  end
 
 let signal_wait_ge t ?expect_from ~pe ~sig_var v =
   signal_wait_until t ?expect_from ~pe ~sig_var (fun x -> x >= v)

@@ -86,3 +86,204 @@ let to_string ?(indent = 2) v =
 let to_channel ?indent oc v =
   output_string oc (to_string ?indent v);
   output_char oc '\n'
+
+let member k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
+
+(* Recursive-descent parser for the validators. *)
+
+exception Parse_error of int * string
+
+let of_string s =
+  let len = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (!pos, msg)) in
+  let peek () = if !pos < len then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let expect c =
+    match peek () with
+    | Some d when d = c -> advance ()
+    | Some d -> fail (Printf.sprintf "expected %C, found %C" c d)
+    | None -> fail (Printf.sprintf "expected %C, found end of input" c)
+  in
+  let skip_ws () =
+    while
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        true
+      | _ -> false
+    do
+      ()
+    done
+  in
+  let literal word v =
+    let n = String.length word in
+    if !pos + n <= len && String.sub s !pos n = word then begin
+      pos := !pos + n;
+      v
+    end
+    else fail (Printf.sprintf "invalid literal (expected %s)" word)
+  in
+  let parse_hex4 () =
+    if !pos + 4 > len then fail "truncated \\u escape";
+    let v = ref 0 in
+    for _ = 1 to 4 do
+      let c = s.[!pos] in
+      let d =
+        match c with
+        | '0' .. '9' -> Char.code c - Char.code '0'
+        | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+        | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+        | _ -> fail "invalid \\u escape"
+      in
+      v := (!v * 16) + d;
+      advance ()
+    done;
+    !v
+  in
+  let utf8_add buf cp =
+    if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+    else if cp < 0x800 then begin
+      Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= len then fail "unterminated string";
+      let c = s.[!pos] in
+      advance ();
+      match c with
+      | '"' -> Buffer.contents buf
+      | '\\' -> (
+        if !pos >= len then fail "unterminated escape";
+        let e = s.[!pos] in
+        advance ();
+        match e with
+        | '"' | '\\' | '/' ->
+          Buffer.add_char buf e;
+          go ()
+        | 'b' ->
+          Buffer.add_char buf '\b';
+          go ()
+        | 'f' ->
+          Buffer.add_char buf '\012';
+          go ()
+        | 'n' ->
+          Buffer.add_char buf '\n';
+          go ()
+        | 'r' ->
+          Buffer.add_char buf '\r';
+          go ()
+        | 't' ->
+          Buffer.add_char buf '\t';
+          go ()
+        | 'u' ->
+          utf8_add buf (parse_hex4 ());
+          go ()
+        | _ -> fail "invalid escape")
+      | c when Char.code c < 0x20 -> fail "unescaped control character in string"
+      | c ->
+        Buffer.add_char buf c;
+        go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_int = ref true in
+    if peek () = Some '-' then advance ();
+    while
+      match peek () with
+      | Some ('0' .. '9') ->
+        advance ();
+        true
+      | Some ('.' | 'e' | 'E' | '+' | '-') ->
+        is_int := false;
+        advance ();
+        true
+      | _ -> false
+    do
+      ()
+    done;
+    let text = String.sub s start (!pos - start) in
+    if !is_int then
+      match int_of_string_opt text with
+      | Some n -> Int n
+      | None -> fail "invalid number"
+    else
+      match float_of_string_opt text with
+      | Some f -> Float f
+      | None -> fail "invalid number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some 'n' -> literal "null" Null
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some '"' -> String (parse_string ())
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        List []
+      end
+      else begin
+        let items = ref [ parse_value () ] in
+        skip_ws ();
+        while peek () = Some ',' do
+          advance ();
+          items := parse_value () :: !items;
+          skip_ws ()
+        done;
+        expect ']';
+        List (List.rev !items)
+      end
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let field () =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          (k, v)
+        in
+        let fields = ref [ field () ] in
+        skip_ws ();
+        while peek () = Some ',' do
+          advance ();
+          fields := field () :: !fields;
+          skip_ws ()
+        done;
+        expect '}';
+        Obj (List.rev !fields)
+      end
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some c -> fail (Printf.sprintf "unexpected character %C" c)
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> len then fail "trailing garbage after document";
+    v
+  with
+  | v -> Ok v
+  | exception Parse_error (at, msg) -> Error (Printf.sprintf "JSON parse error at byte %d: %s" at msg)
+

@@ -19,3 +19,14 @@ val to_string : ?indent:int -> t -> string
 
 val to_channel : ?indent:int -> out_channel -> t -> unit
 (** [to_string] plus a trailing newline, written to the channel. *)
+
+val of_string : string -> (t, string) result
+(** Parse a JSON document — the inverse of {!to_string}, used by the schema
+    validators to check emitted artifacts ([trace.json], [metrics.json])
+    structurally. Accepts standard RFC 8259 JSON; numbers without a
+    fraction or exponent that fit an OCaml [int] parse as [Int], everything
+    else as [Float]. [Error] carries a message with the byte offset. *)
+
+val member : string -> t -> t option
+(** [member k (Obj ...)] is the value bound to [k], if any; [None] on
+    non-objects. *)

@@ -1,5 +1,7 @@
 module E = Cpufree_engine
 module G = Cpufree_gpu
+module Obs = Cpufree_obs
+module Mx = Obs.Metrics
 module Time = E.Time
 
 type result = {
@@ -13,17 +15,9 @@ type result = {
   bytes_moved : int;
 }
 
-type pdes = [ `Seq | `Windowed ]
+type pdes = Obs.Sim_env.pdes
 
-let pdes_mode () : pdes =
-  match Sys.getenv_opt "CPUFREE_PDES" with
-  | None -> `Seq
-  | Some s ->
-    (match String.lowercase_ascii (String.trim s) with
-    | "" | "seq" | "sequential" -> `Seq
-    | "windowed" | "pdes" -> `Windowed
-    | other ->
-      invalid_arg (Printf.sprintf "CPUFREE_PDES=%S: expected \"seq\" or \"windowed\"" other))
+let pdes_mode () : pdes = Obs.Sim_env.pdes_of_env_var ()
 
 let measure ~label ~gpus ~iterations eng ctx trace =
   let total = E.Engine.now eng in
@@ -52,18 +46,55 @@ let drive mode eng ctx =
     in
     ()
 
-let run_traced ?arch ?topology ?seed:_ ~label ~gpus ~iterations program =
-  let mode = pdes_mode () in
-  let trace = E.Trace.create () in
+(* End-of-run observability hand-off: merge the engine's trace into the
+   environment's sink (spans and flows, canonically ordered) and fold the
+   engine's own counters into the environment's registry. A run with neither
+   attached skips both — zero cost on the legacy path. *)
+let publish env eng trace =
+  (match env.Obs.Sim_env.trace with
+  | None -> ()
+  | Some sink -> E.Trace.merge_into ~into:sink [ trace ]);
+  match env.Obs.Sim_env.metrics with
+  | None -> ()
+  | Some reg ->
+    let c name v = Mx.Counter.add (Mx.counter reg ~name ()) v in
+    c "engine.events" (E.Engine.events_executed eng);
+    c "engine.windows" (E.Engine.windows_executed eng);
+    c "engine.stall_scans" (E.Engine.stall_scans eng);
+    Mx.Gauge.set (Mx.gauge reg ~name:"engine.partitions" ()) (E.Engine.num_partitions eng)
+
+(* Shared run core: engine + runtime context from the environment, program as
+   the "main" process, sequential or windowed drive, then measurement. The
+   engine's own trace doubles as the comm-accounting source; it records flow
+   arrows only when the environment's sink does, so legacy runs (no sink, or
+   a sink without flows) stay byte-identical. *)
+let run_core ?arch ~env ~label ~gpus ~iterations program =
+  let mode = Obs.Sim_env.resolve_pdes env in
+  let flows = E.Trace.flows_enabled env.Obs.Sim_env.trace in
+  let trace = E.Trace.create ~flows () in
   let eng =
     match mode with
     | `Seq -> E.Engine.create ~trace ()
     | `Windowed -> E.Engine.create ~trace ~partitions:(gpus + 1) ()
   in
-  let ctx = G.Runtime.init eng ?arch ?topology ~partitioned:(mode = `Windowed) ~num_gpus:gpus () in
+  let ctx = G.Runtime.create eng ?arch ~env ~num_gpus:gpus () in
   let (_ : E.Engine.process) = E.Engine.spawn eng ~name:"main" (fun () -> program ctx) in
   drive mode eng ctx;
-  (measure ~label ~gpus ~iterations eng ctx trace, trace)
+  let r = measure ~label ~gpus ~iterations eng ctx trace in
+  publish env eng trace;
+  (r, trace)
+
+let run_env ?arch ?(env = Obs.Sim_env.default) ~label ~gpus ~iterations program =
+  fst (run_core ?arch ~env ~label ~gpus ~iterations program)
+
+let run_traced_env ?arch ?(env = Obs.Sim_env.default) ~label ~gpus ~iterations program =
+  run_core ?arch ~env ~label ~gpus ~iterations program
+
+let run_traced ?arch ?topology ?seed:_ ~label ~gpus ~iterations program =
+  run_core ?arch ~env:(Obs.Sim_env.make ?topology ()) ~label ~gpus ~iterations program
+
+let run ?arch ?topology ?seed:_ ~label ~gpus ~iterations program =
+  run_env ?arch ~env:(Obs.Sim_env.make ?topology ()) ~label ~gpus ~iterations program
 
 module F = Cpufree_fault.Fault
 
@@ -78,35 +109,57 @@ type chaos = {
   retried : int;
 }
 
-let run_chaos ?arch ?topology ?watchdog ~faults ~fault_seed ~label ~gpus ~iterations program =
-  let mode = pdes_mode () in
-  let plan = F.activate faults ~seed:fault_seed ~gpus in
+let run_chaos_env ?arch ?watchdog ?(env = Obs.Sim_env.default) ~label ~gpus ~iterations
+    program =
+  let spec =
+    match env.Obs.Sim_env.faults with
+    | Some s -> s
+    | None -> invalid_arg "Measure.run_chaos_env: env carries no fault spec"
+  in
+  let mode = Obs.Sim_env.resolve_pdes env in
   let watchdog =
     match watchdog with
     | Some w -> w
-    | None -> F.default_watchdog faults
+    | None -> F.default_watchdog spec
   in
-  let trace = E.Trace.create () in
+  let flows = E.Trace.flows_enabled env.Obs.Sim_env.trace in
+  let trace = E.Trace.create ~flows () in
   let eng =
     match mode with
     | `Seq -> E.Engine.create ~trace ~watchdog ()
     | `Windowed -> E.Engine.create ~trace ~partitions:(gpus + 1) ~watchdog ()
   in
-  let ctx =
-    G.Runtime.init eng ?arch ?topology ~faults:plan ~partitioned:(mode = `Windowed)
-      ~num_gpus:gpus ()
+  let ctx = G.Runtime.create eng ?arch ~env ~num_gpus:gpus () in
+  let plan =
+    match G.Runtime.faults ctx with
+    | Some p -> p
+    | None -> assert false (* env.faults is Some, so create activated a plan *)
   in
   let (_ : E.Engine.process) = E.Engine.spawn eng ~name:"main" (fun () -> program ctx) in
   let completed, failure, trigger =
     match drive mode eng ctx with
     | () -> (true, [], None)
     | exception E.Engine.Stall report ->
+      if flows then
+        E.Trace.add_instant trace ~lane:"host"
+          ~label:("stall:" ^ report.E.Engine.stall_trigger)
+          ~at:report.E.Engine.stall_at;
       (false, E.Engine.stall_lines report, Some report.E.Engine.stall_trigger)
     | exception E.Engine.Deadlock lines -> (false, "deadlock:" :: lines, Some "deadlock")
   in
   let stats = F.stats plan in
+  let base = measure ~label ~gpus ~iterations eng ctx trace in
+  publish env eng trace;
+  (match env.Obs.Sim_env.metrics with
+  | None -> ()
+  | Some reg ->
+    let c name v = Mx.Counter.add (Mx.counter reg ~name ()) v in
+    c "fault.dropped" stats.F.dropped;
+    c "fault.delayed" stats.F.delayed;
+    c "fault.resent" stats.F.resent;
+    c "fault.retried" stats.F.retried);
   {
-    base = measure ~label ~gpus ~iterations eng ctx trace;
+    base;
     completed;
     failure;
     trigger;
@@ -116,8 +169,10 @@ let run_chaos ?arch ?topology ?watchdog ~faults ~fault_seed ~label ~gpus ~iterat
     retried = stats.F.retried;
   }
 
-let run ?arch ?topology ?seed ~label ~gpus ~iterations program =
-  fst (run_traced ?arch ?topology ?seed ~label ~gpus ~iterations program)
+let run_chaos ?arch ?topology ?watchdog ~faults ~fault_seed ~label ~gpus ~iterations program =
+  run_chaos_env ?arch ?watchdog
+    ~env:(Obs.Sim_env.make ?topology ~faults ~fault_seed ())
+    ~label ~gpus ~iterations program
 
 let best_of ~runs f =
   if runs < 1 then invalid_arg "Measure.best_of: need at least one run";

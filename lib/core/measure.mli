@@ -1,5 +1,11 @@
 (** Experiment harness: build a simulated machine, run a host program on it,
-    and report the quantities the paper's evaluation plots. *)
+    and report the quantities the paper's evaluation plots.
+
+    Entry points come in two flavours. The canonical ones ([run_env],
+    [run_chaos_env]) take a {!Cpufree_obs.Sim_env.t} bundling topology,
+    fault plan, observability sinks and PDES mode; the older per-field
+    optional-argument forms are kept as deprecated thin wrappers with
+    byte-identical outputs. *)
 
 type result = {
   label : string;
@@ -12,7 +18,7 @@ type result = {
   bytes_moved : int;
 }
 
-type pdes = [ `Seq | `Windowed ]
+type pdes = Cpufree_obs.Sim_env.pdes
 
 val pdes_mode : unit -> pdes
 (** The execution mode selected by the [CPUFREE_PDES] environment variable:
@@ -22,24 +28,58 @@ val pdes_mode : unit -> pdes
     partition, lookahead from {!Cpufree_gpu.Runtime.lookahead}). Windowed
     mode automatically falls back to sequential — with identical results —
     when the model does not guarantee partition isolation or the lookahead is
-    zero. Any other value raises [Invalid_argument]. *)
+    zero. Any other value raises [Invalid_argument]. Equivalent to
+    {!Cpufree_obs.Sim_env.pdes_of_env_var}. *)
+
+val run_env :
+  ?arch:Cpufree_gpu.Arch.t ->
+  ?env:Cpufree_obs.Sim_env.t ->
+  label:string -> gpus:int -> iterations:int ->
+  (Cpufree_gpu.Runtime.ctx -> unit) -> result
+(** Create an engine, a runtime context with [gpus] devices arranged per
+    [env] (topology, fault plan, observability, PDES mode — default
+    {!Cpufree_obs.Sim_env.default}: NVSwitch HGX, no faults, no sinks, mode
+    from [CPUFREE_PDES]), run the given host program as the "main" process
+    to completion, and measure. Deterministic.
+
+    When [env.trace] is set, the run's spans (and, if the sink was created
+    with [~flows:true], put→delivery flow arrows and fault instant markers)
+    are merged into it in canonical order. When [env.metrics] is set, the
+    simulated layers register and update instruments in it and the engine's
+    own counters ([engine.events], [engine.windows], [engine.stall_scans],
+    [engine.partitions]) are folded in at the end. With neither set the run
+    is byte-identical to the legacy path. Note that a flow-enabled sink adds
+    remote-delivery spans on destination lanes, which participate in the
+    comm/overlap accounting of the returned {!result}. *)
+
+val run_traced_env :
+  ?arch:Cpufree_gpu.Arch.t ->
+  ?env:Cpufree_obs.Sim_env.t ->
+  label:string -> gpus:int -> iterations:int ->
+  (Cpufree_gpu.Runtime.ctx -> unit) -> result * Cpufree_engine.Trace.t
+(** As {!run_env}, additionally returning the engine's own execution trace
+    (spans in recording order — what the timeline renderers consume). The
+    environment's sinks are still honoured. *)
 
 val run :
   ?arch:Cpufree_gpu.Arch.t ->
   ?topology:Cpufree_machine.Topology.spec ->
   ?seed:int -> label:string -> gpus:int -> iterations:int ->
   (Cpufree_gpu.Runtime.ctx -> unit) -> result
-(** Create an engine with tracing, a runtime context with [gpus] devices
-    arranged per [topology] (default: single-node NVSwitch HGX), run the
-    given host program as the "main" process to completion, and measure.
-    Deterministic for a given seed. *)
+[@@alert deprecated "Use Measure.run_env with a Cpufree_obs.Sim_env.t instead."]
+(** Deprecated pre-{!Cpufree_obs.Sim_env} form of {!run_env}; byte-identical
+    output. [seed] is accepted and ignored (the simulator is deterministic). *)
 
 val run_traced :
   ?arch:Cpufree_gpu.Arch.t ->
   ?topology:Cpufree_machine.Topology.spec ->
   ?seed:int -> label:string -> gpus:int -> iterations:int ->
   (Cpufree_gpu.Runtime.ctx -> unit) -> result * Cpufree_engine.Trace.t
-(** As {!run} but also returns the execution trace (for timelines). *)
+[@@alert deprecated
+    "Use Measure.run_env with an env carrying a Trace.t sink instead."]
+(** Deprecated: as the old [run] but also returns the execution trace (for
+    timelines). New code should pass a trace sink via [env.trace] on
+    {!run_env} instead. *)
 
 type chaos = {
   base : result;
@@ -55,6 +95,26 @@ type chaos = {
   retried : int;  (** Resilient-wait timeout/backoff rounds. *)
 }
 
+val run_chaos_env :
+  ?arch:Cpufree_gpu.Arch.t ->
+  ?watchdog:Cpufree_engine.Time.t ->
+  ?env:Cpufree_obs.Sim_env.t ->
+  label:string -> gpus:int -> iterations:int ->
+  (Cpufree_gpu.Runtime.ctx -> unit) -> chaos
+(** As {!run_env}, but under the environment's deterministic fault-injection
+    plan: [Fault.activate env.faults ~seed:env.fault_seed ~gpus] drives link
+    degradation, stragglers, and signal/put delivery faults, and the engine
+    runs with a stall watchdog (default
+    {!Cpufree_fault.Fault.default_watchdog} of the spec). A run that
+    livelocks is converted into a diagnosed abort rather than exhausting the
+    event queue; metrics accumulated up to the abort are still reported, the
+    abort is marked with a [stall:] instant on the host lane of a
+    flow-enabled sink, and fault-path totals ([fault.dropped] etc.) are
+    folded into [env.metrics]. Bit-identical across repeats for a fixed
+    [env.fault_seed] in both [CPUFREE_PDES] modes.
+
+    @raise Invalid_argument when [env.faults] is [None]. *)
+
 val run_chaos :
   ?arch:Cpufree_gpu.Arch.t ->
   ?topology:Cpufree_machine.Topology.spec ->
@@ -63,14 +123,9 @@ val run_chaos :
   fault_seed:int ->
   label:string -> gpus:int -> iterations:int ->
   (Cpufree_gpu.Runtime.ctx -> unit) -> chaos
-(** As {!run}, but under a deterministic fault-injection plan:
-    [Fault.activate faults ~seed:fault_seed ~gpus] drives link degradation,
-    stragglers, and signal/put delivery faults, and the engine runs with a
-    stall watchdog (default {!Cpufree_fault.Fault.default_watchdog} of the
-    spec). A run that livelocks is converted into a diagnosed abort rather
-    than exhausting the event queue; metrics accumulated up to the abort are
-    still reported. Bit-identical across repeats for a fixed [fault_seed] in
-    both [CPUFREE_PDES] modes. *)
+[@@alert deprecated "Use Measure.run_chaos_env with a Cpufree_obs.Sim_env.t instead."]
+(** Deprecated pre-{!Cpufree_obs.Sim_env} form of {!run_chaos_env};
+    byte-identical output. *)
 
 val best_of :
   runs:int ->

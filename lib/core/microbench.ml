@@ -1,5 +1,6 @@
 module E = Cpufree_engine
 module G = Cpufree_gpu
+module Mx = Cpufree_obs.Metrics
 module Time = E.Time
 
 (* Synthetic isolated multi-GPU model for the engine-throughput
@@ -31,6 +32,7 @@ type config = {
   pattern : pattern;  (** who each rank sends to *)
   arch : G.Arch.t;  (** supplies the lookahead bound *)
   traced : bool;  (** record compute spans (for equivalence checks) *)
+  metrics : Mx.t option;  (** hot-loop instruments (for overhead measurement) *)
 }
 
 let default =
@@ -43,6 +45,7 @@ let default =
     pattern = Ring;
     arch = G.Arch.a100_hgx;
     traced = false;
+    metrics = None;
   }
 
 type output = {
@@ -89,6 +92,21 @@ let build cfg =
   let inbox = Array.make cfg.gpus 0 in
   let final = Array.make cfg.gpus 0 in
   let tick = Time.ns cfg.tick_ns in
+  (* Per-rank hot-loop instruments; this is the honest vehicle for the
+     fig.profile overhead measurement, so the counters sit exactly where a
+     production model would put them — inside the tick and send loops,
+     sharded on the rank's own partition. *)
+  let obs =
+    match cfg.metrics with
+    | None -> None
+    | Some reg ->
+      let slots = cfg.gpus + 1 in
+      let per_rank name =
+        Array.init cfg.gpus (fun g ->
+            Mx.counter reg ~name ~labels:[ ("rank", string_of_int g) ] ~slots ())
+      in
+      Some (per_rank "micro.ticks", per_rank "micro.msgs", per_rank "micro.msg_bytes")
+  in
   for g = 0 to cfg.gpus - 1 do
     let (_ : E.Engine.process) =
       E.Engine.spawn eng
@@ -101,12 +119,20 @@ let build cfg =
             let t0 = E.Engine.now eng in
             for _k = 1 to cfg.ticks_per_iter do
               E.Engine.delay eng tick;
-              state := mix !state it
+              state := mix !state it;
+              match obs with
+              | None -> ()
+              | Some (ticks, _, _) -> Mx.Counter.incr ~slot:(g + 1) ticks.(g)
             done;
             E.Trace.add_opt (E.Engine.trace eng)
               ~lane:(Printf.sprintf "gpu%d" g)
               ~label:"tick" ~kind:E.Trace.Compute ~t0 ~t1:(E.Engine.now eng);
             if dst <> g then begin
+              (match obs with
+              | None -> ()
+              | Some (_, msgs, mbytes) ->
+                Mx.Counter.incr ~slot:(g + 1) msgs.(g);
+                Mx.Counter.add ~slot:(g + 1) mbytes.(g) cfg.bytes_per_msg);
               let payload = !state in
               (* One lookahead of delay makes the post legal in any window. *)
               E.Engine.post eng ~partition:(dst + 1)

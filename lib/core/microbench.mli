@@ -26,11 +26,16 @@ type config = {
   pattern : pattern;
   arch : Cpufree_gpu.Arch.t;  (** supplies the lookahead bound *)
   traced : bool;  (** record compute spans (for equivalence checks) *)
+  metrics : Cpufree_obs.Metrics.t option;
+      (** When set, each rank updates per-rank [micro.ticks] / [micro.msgs] /
+          [micro.msg_bytes] counters inside the hot loops, partition-sharded —
+          the honest vehicle for the instrumentation-overhead figure. Never
+          changes simulated behaviour or {!output}. *)
 }
 
 val default : config
 (** 8 GPUs, 200 rounds, 4 ticks of 400 ns, 4 KiB messages, ring pattern on
-    the A100 HGX architecture, untraced. *)
+    the A100 HGX architecture, untraced, unmetered. *)
 
 type output = {
   sim_ns : int;  (** final simulated clock *)

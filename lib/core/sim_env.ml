@@ -1,0 +1,1 @@
+include Cpufree_obs.Sim_env

@@ -1,0 +1,8 @@
+(** Re-export of {!Cpufree_obs.Sim_env}: the unified simulation environment
+    the core entry points ({!Measure} and everything above it) accept as
+    [?env]. Build one with {!make} and thread it instead of separate
+    [?topology]/[?faults]/[?trace] arguments. *)
+
+include module type of struct
+  include Cpufree_obs.Sim_env
+end

@@ -1,0 +1,101 @@
+(* Validates the Perfetto documents {!Cpufree_obs.Perfetto} writes: phase
+   vocabulary, per-lane span monotonicity, and flow-arrow pairing. *)
+
+let validate doc =
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e in
+  let* kvs =
+    match doc with Json.Obj kvs -> Ok kvs | _ -> err "trace document is not an object"
+  in
+  let* events =
+    match List.assoc_opt "traceEvents" kvs with
+    | Some (Json.List es) -> Ok es
+    | Some _ -> err "\"traceEvents\" is not a list"
+    | None -> err "missing \"traceEvents\""
+  in
+  (* last X-event timestamp seen per (pid, tid) *)
+  let last_ts : (int * int, float) Hashtbl.t = Hashtbl.create 16 in
+  (* flow id -> (starts seen, finishes seen, start ts, finish ts) *)
+  let flows : (int, int * int * float * float) Hashtbl.t = Hashtbl.create 16 in
+  let num = function
+    | Some (Json.Int n) -> Some (float_of_int n)
+    | Some (Json.Float f) -> Some f
+    | _ -> None
+  in
+  let check_event i ev =
+    let what = Printf.sprintf "traceEvents[%d]" i in
+    let* fields =
+      match ev with Json.Obj kvs -> Ok kvs | _ -> err "%s is not an object" what
+    in
+    let* () =
+      match List.assoc_opt "name" fields with
+      | Some (Json.String _) -> Ok ()
+      | _ -> err "%s has no string \"name\"" what
+    in
+    let* pid =
+      match List.assoc_opt "pid" fields with
+      | Some (Json.Int p) -> Ok p
+      | _ -> err "%s has no integer \"pid\"" what
+    in
+    let tid = match List.assoc_opt "tid" fields with Some (Json.Int t) -> Some t | _ -> None in
+    let ts = num (List.assoc_opt "ts" fields) in
+    match List.assoc_opt "ph" fields with
+    | Some (Json.String "M") -> Ok ()
+    | Some (Json.String "X") -> (
+      let* tid = match tid with Some t -> Ok t | None -> err "%s has no \"tid\"" what in
+      let* ts = match ts with Some t -> Ok t | None -> err "%s has no \"ts\"" what in
+      let* () = if ts >= 0.0 then Ok () else err "%s has negative \"ts\"" what in
+      match num (List.assoc_opt "dur" fields) with
+      | Some d when d >= 0.0 ->
+        let lane = (pid, tid) in
+        let* () =
+          match Hashtbl.find_opt last_ts lane with
+          | Some prev when ts < prev ->
+            err "%s breaks per-lane monotonicity (ts %g after %g on pid=%d tid=%d)" what ts prev
+              pid tid
+          | Some _ | None -> Ok ()
+        in
+        Hashtbl.replace last_ts lane ts;
+        Ok ()
+      | Some _ -> err "%s has negative \"dur\"" what
+      | None -> err "%s has no numeric \"dur\"" what)
+    | Some (Json.String "i") ->
+      let* _ = match tid with Some t -> Ok t | None -> err "%s has no \"tid\"" what in
+      (match ts with Some _ -> Ok () | None -> err "%s has no \"ts\"" what)
+    | Some (Json.String (("s" | "f") as ph)) -> (
+      let* _ = match tid with Some t -> Ok t | None -> err "%s has no \"tid\"" what in
+      let* ts = match ts with Some t -> Ok t | None -> err "%s has no \"ts\"" what in
+      match List.assoc_opt "id" fields with
+      | Some (Json.Int id) ->
+        let s, f, sts, fts =
+          match Hashtbl.find_opt flows id with
+          | Some q -> q
+          | None -> (0, 0, 0.0, 0.0)
+        in
+        if ph = "s" then Hashtbl.replace flows id (s + 1, f, ts, fts)
+        else Hashtbl.replace flows id (s, f + 1, sts, ts);
+        Ok ()
+      | _ -> err "%s flow event has no integer \"id\"" what)
+    | Some (Json.String "C") -> (
+      match ts with Some _ -> Ok () | None -> err "%s has no \"ts\"" what)
+    | Some (Json.String ph) -> err "%s has unexpected phase %S" what ph
+    | _ -> err "%s has no string \"ph\"" what
+  in
+  let rec go i = function
+    | [] -> Ok ()
+    | ev :: rest ->
+      let* () = check_event i ev in
+      go (i + 1) rest
+  in
+  let* () = go 0 events in
+  Hashtbl.fold
+    (fun id (s, f, sts, fts) acc ->
+      let* () = acc in
+      if s <> 1 || f <> 1 then
+        err "flow id %d has %d start(s) and %d finish(es) (want exactly one of each)" id s f
+      else if fts < sts then err "flow id %d finishes (%g) before it starts (%g)" id fts sts
+      else Ok ())
+    flows (Ok ())
+
+let validate_string s =
+  match Json.of_string s with Ok doc -> validate doc | Error _ as e -> e

@@ -1,0 +1,19 @@
+(** Structural validator for exported Perfetto trace documents
+    ({!Cpufree_obs.Perfetto}) — the [trace.json] artifact behind
+    [--trace-out].
+
+    A valid document is a JSON object whose ["traceEvents"] list contains
+    only the phases the exporter emits, with:
+    - every event carrying a string ["name"], a ["pid"] and (except counter
+      samples) a ["tid"],
+    - ["X"] duration events carrying non-negative ["ts"]/["dur"], with
+      monotone ["ts"] per (pid, tid) lane in document order,
+    - flow events pairing up: every flow id has exactly one ["s"] start and
+      one ["f"] finish, with the finish no earlier than the start —
+      put → delivery arrows are never dangling. *)
+
+val validate : Json.t -> (unit, string) result
+
+val validate_string : string -> (unit, string) result
+(** Parse with {!Json.of_string}, then {!validate} — one call to check a
+    written artifact end to end. *)

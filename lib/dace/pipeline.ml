@@ -58,18 +58,24 @@ let compile ?backed ?(relax = true) ?(specialize_tb = false) app arm ~gpus =
       Exec.build_persistent ?backed p
     | Error e -> invalid_arg ("GPUPersistentKernel fusion failed: " ^ e))
 
-let run_traced ?arch ?topology app arm ~gpus =
+let run_traced_env ?arch ?env app arm ~gpus =
   let built = compile app arm ~gpus in
-  Measure.run_traced ?arch ?topology
+  Measure.run_traced_env ?arch ?env
     ~label:(Printf.sprintf "%s/%s" (app_name app) (arm_name arm))
     ~gpus ~iterations:(iterations app) built.Exec.program
 
-let run ?arch ?topology app arm ~gpus = fst (run_traced ?arch ?topology app arm ~gpus)
+let run_env ?arch ?env app arm ~gpus = fst (run_traced_env ?arch ?env app arm ~gpus)
 
-let verify ?arch ?relax ?specialize_tb app arm ~gpus =
+let run_traced ?arch ?topology app arm ~gpus =
+  run_traced_env ?arch ~env:(Cpufree_obs.Sim_env.make ?topology ()) app arm ~gpus
+
+let run ?arch ?topology app arm ~gpus =
+  run_env ?arch ~env:(Cpufree_obs.Sim_env.make ?topology ()) app arm ~gpus
+
+let verify_env ?arch ?env ?relax ?specialize_tb app arm ~gpus =
   let built = compile ~backed:true ?relax ?specialize_tb app arm ~gpus in
   let (_ : Measure.result) =
-    Measure.run ?arch
+    Measure.run_env ?arch ?env
       ~label:(Printf.sprintf "%s/%s/verify" (app_name app) (arm_name arm))
       ~gpus ~iterations:(iterations app) built.Exec.program
   in
@@ -150,3 +156,6 @@ let verify ?arch ?relax ?specialize_tb app arm ~gpus =
   | None ->
     if !worst <= tolerance then Ok !worst
     else Error (Printf.sprintf "max abs error %.3e exceeds tolerance %.1e" !worst tolerance)
+
+let verify ?arch ?relax ?specialize_tb app arm ~gpus =
+  verify_env ?arch ?relax ?specialize_tb app arm ~gpus

@@ -32,21 +32,43 @@ val compile_sdfg : app -> arm -> gpus:int -> Sdfg.t
 (** The transformed SDFG right before backend lowering (for inspection and
     code emission). *)
 
+val run_env :
+  ?arch:Cpufree_gpu.Arch.t -> ?env:Cpufree_obs.Sim_env.t ->
+  app -> arm -> gpus:int -> Cpufree_core.Measure.result
+(** Compile (phantom buffers) and execute on the simulated machine under
+    [env] (topology, fault plan, observability sinks, PDES mode — default
+    {!Cpufree_obs.Sim_env.default}), via {!Cpufree_core.Measure.run_env}. *)
+
+val run_traced_env :
+  ?arch:Cpufree_gpu.Arch.t -> ?env:Cpufree_obs.Sim_env.t ->
+  app -> arm -> gpus:int ->
+  Cpufree_core.Measure.result * Cpufree_engine.Trace.t
+(** As {!run_env}, additionally returning the engine's execution trace. *)
+
+val verify_env :
+  ?arch:Cpufree_gpu.Arch.t -> ?env:Cpufree_obs.Sim_env.t ->
+  ?relax:bool -> ?specialize_tb:bool -> app -> arm -> gpus:int ->
+  (float, string) result
+(** Compile with real data, run under [env], and compare every rank's final
+    [A] against the sequential reference: [Ok max_abs_err] or
+    [Error reason]. *)
+
 val run :
   ?arch:Cpufree_gpu.Arch.t -> ?topology:Cpufree_machine.Topology.spec ->
   app -> arm -> gpus:int -> Cpufree_core.Measure.result
-(** Compile (phantom buffers) and execute on the simulated machine
-    ([?topology] as in {!Cpufree_core.Measure.run}). *)
+[@@alert deprecated "Use Pipeline.run_env with a Cpufree_obs.Sim_env.t instead."]
+(** Deprecated pre-[Sim_env] form of {!run_env}; byte-identical output. *)
 
 val run_traced :
   ?arch:Cpufree_gpu.Arch.t -> ?topology:Cpufree_machine.Topology.spec ->
   app -> arm -> gpus:int ->
   Cpufree_core.Measure.result * Cpufree_engine.Trace.t
+[@@alert deprecated "Use Pipeline.run_traced_env instead."]
 
 val verify :
   ?arch:Cpufree_gpu.Arch.t -> ?relax:bool -> ?specialize_tb:bool -> app -> arm -> gpus:int ->
   (float, string) result
-(** Compile with real data, run, and compare every rank's final [A] against
-    the sequential reference: [Ok max_abs_err] or [Error reason]. *)
+[@@alert deprecated "Use Pipeline.verify_env instead."]
+(** Deprecated pre-[Sim_env] form of {!verify_env}; byte-identical output. *)
 
 val iterations : app -> int

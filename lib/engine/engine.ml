@@ -57,6 +57,8 @@ type t = {
   mutable wend : Time.t; (* exclusive end of the current window (Win phase) *)
   watchdog : Time.t option;
   mutable watch_next : Time.t; (* next time the watchdog scans for stalls *)
+  mutable windows_total : int; (* windows executed across all windowed runs *)
+  mutable stall_scan_count : int; (* watchdog scans actually performed *)
 }
 
 exception Deadlock of string list
@@ -114,6 +116,8 @@ let create ?trace ?(partitions = 1) ?(isolated = false) ?watchdog () =
     wend = Time.zero;
     watchdog;
     watch_next = Time.zero;
+    windows_total = 0;
+    stall_scan_count = 0;
   }
 
 let num_partitions t = Array.length t.parts
@@ -298,6 +302,8 @@ let process_group p = p.group
 
 let live t = Array.fold_left (fun acc p -> acc + p.plive) 0 t.parts
 let events_executed t = Array.fold_left (fun acc p -> acc + p.pexec) 0 t.parts
+let windows_executed t = t.windows_total
+let stall_scans t = t.stall_scan_count
 
 let registered_processes t =
   Array.fold_left (fun acc p -> acc + Hashtbl.length p.procs) 0 t.parts
@@ -423,6 +429,7 @@ let watchdog_fire t w =
 let watchdog_check t now_ =
   match t.watchdog with
   | Some w when Time.(now_ >= t.watch_next) -> (
+    t.stall_scan_count <- t.stall_scan_count + 1;
     match oldest_untimed_blocked t with
     | Some since when Time.(Time.add since w <= now_) -> watchdog_fire t w
     | Some since -> t.watch_next <- Time.add since w
@@ -513,7 +520,10 @@ let run_windowed ?jobs ~lookahead t =
         p.outbox <- [];
         p.out_idx <- 0;
         p.pexn <- None;
-        p.ptrace <- (match t.trace_sink with Some _ -> Some (Trace.create ()) | None -> None))
+        p.ptrace <-
+          (match t.trace_sink with
+          | Some _ -> Some (Trace.create ~flows:(Trace.flows_enabled t.trace_sink) ())
+          | None -> None))
       t.parts;
     t.phase <- Win;
     let pool = if jobs > 1 then Some (Dpool.create ~jobs) else None in
@@ -581,6 +591,7 @@ let run_windowed ?jobs ~lookahead t =
           | Some floor ->
             t.wend <- Time.add floor lookahead;
             incr windows;
+            t.windows_total <- t.windows_total + 1;
             (match pool with
             | Some pool -> Dpool.run pool ~n:np exec_partition
             | None ->
@@ -613,6 +624,7 @@ let run_windowed ?jobs ~lookahead t =
                bound relative to the window just drained is a livelock. *)
             (match t.watchdog with
             | Some w -> (
+              t.stall_scan_count <- t.stall_scan_count + 1;
               match oldest_untimed_blocked t with
               | Some since when Time.(Time.add since w <= t.wend) -> watchdog_fire t w
               | Some _ | None -> ())

@@ -191,6 +191,14 @@ val events_executed : t -> int
 (** Total events executed so far, across all partitions and runs — the
     numerator of the engine-throughput (events/sec) microbenchmark. *)
 
+val windows_executed : t -> int
+(** Time windows the windowed driver has drained so far, across all
+    {!run_windowed} calls on this engine (0 under the sequential driver). *)
+
+val stall_scans : t -> int
+(** Stall-watchdog scans actually performed (the amortized check plus the
+    per-window barrier scan); 0 when no watchdog is armed. *)
+
 val registered_processes : t -> int
 (** Live (not yet finished) processes currently in the registry. Finished
     processes are dropped eagerly, so this stays bounded on long sweeps. *)

@@ -8,6 +8,15 @@ type span = {
   t1 : Time.t;
 }
 
+type flow = {
+  fid : int;
+  flabel : string;
+  f_src_lane : string;
+  f_src_t : Time.t;
+  f_dst_lane : string;
+  f_dst_t : Time.t;
+}
+
 (* Growable vector of span indices: the per-lane index of [t.store]. *)
 type lane_idx = { mutable idx : int array; mutable len : int }
 
@@ -15,19 +24,34 @@ type lane_idx = { mutable idx : int array; mutable len : int }
    each lane to the store indices of its spans so per-lane queries
    ([busy_time], one timeline row of [render_ascii]) touch only that lane's
    spans instead of rescanning the whole trace. The window is maintained
-   incrementally on [add]. *)
+   incrementally on [add]. Flow arrows live in their own growable array:
+   they are a v2 feature gated by [flows_on], so legacy span streams (and
+   everything derived from them) are untouched when it is off. *)
 type t = {
   mutable store : span array;
   mutable n : int;
   by_lane : (string, lane_idx) Hashtbl.t;
   mutable lo : Time.t;
   mutable hi : Time.t;
+  flows_on : bool;
+  mutable fstore : flow array;
+  mutable fn : int;
 }
 
-let create () =
-  { store = [||]; n = 0; by_lane = Hashtbl.create 16; lo = Time.zero; hi = Time.zero }
+let create ?(flows = false) () =
+  {
+    store = [||];
+    n = 0;
+    by_lane = Hashtbl.create 16;
+    lo = Time.zero;
+    hi = Time.zero;
+    flows_on = flows;
+    fstore = [||];
+    fn = 0;
+  }
 
 let enabled = function Some _ -> true | None -> false
+let flows_enabled = function Some t -> t.flows_on | None -> false
 
 let lane_push li i =
   let cap = Array.length li.idx in
@@ -71,6 +95,55 @@ let add t ~lane ~label ~kind ~t0 ~t1 =
 let add_opt t ~lane ~label ~kind ~t0 ~t1 =
   match t with None -> () | Some t -> add t ~lane ~label ~kind ~t0 ~t1
 
+let add_instant t ~lane ~label ~at = add t ~lane ~label ~kind:Marker ~t0:at ~t1:at
+
+let add_instant_opt t ~lane ~label ~at =
+  match t with None -> () | Some t -> add_instant t ~lane ~label ~at
+
+let add_flow t ~id ~label ~src_lane ~src_t ~dst_lane ~dst_t =
+  if t.flows_on then begin
+    if Time.(dst_t < src_t) then invalid_arg "Trace.add_flow: arrow arrives before it departs";
+    let f =
+      { fid = id; flabel = label; f_src_lane = src_lane; f_src_t = src_t;
+        f_dst_lane = dst_lane; f_dst_t = dst_t }
+    in
+    let cap = Array.length t.fstore in
+    if t.fn = cap then begin
+      let nstore = Array.make (Stdlib.max 16 (2 * cap)) f in
+      Array.blit t.fstore 0 nstore 0 t.fn;
+      t.fstore <- nstore
+    end;
+    t.fstore.(t.fn) <- f;
+    t.fn <- t.fn + 1
+  end
+
+let add_flow_opt t ~id ~label ~src_lane ~src_t ~dst_lane ~dst_t =
+  match t with
+  | None -> ()
+  | Some t -> add_flow t ~id ~label ~src_lane ~src_t ~dst_lane ~dst_t
+
+let flows t =
+  let rec collect i acc = if i < 0 then acc else collect (i - 1) (t.fstore.(i) :: acc) in
+  collect (t.fn - 1) []
+
+let compare_flow a b =
+  let c = Time.compare a.f_src_t b.f_src_t in
+  if c <> 0 then c
+  else
+    let c = Time.compare a.f_dst_t b.f_dst_t in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.fid b.fid in
+      if c <> 0 then c
+      else
+        let c = String.compare a.flabel b.flabel in
+        if c <> 0 then c
+        else
+          let c = String.compare a.f_src_lane b.f_src_lane in
+          if c <> 0 then c else String.compare a.f_dst_lane b.f_dst_lane
+
+let sorted_flows t = List.stable_sort compare_flow (flows t)
+
 let spans t =
   let rec collect i acc = if i < 0 then acc else collect (i - 1) (t.store.(i) :: acc) in
   collect (t.n - 1) []
@@ -105,7 +178,13 @@ let merge_into ~into sources =
   let all = List.concat_map spans sources in
   List.iter
     (fun s -> add into ~lane:s.lane ~label:s.label ~kind:s.kind ~t0:s.t0 ~t1:s.t1)
-    (List.stable_sort compare_span all)
+    (List.stable_sort compare_span all);
+  let all_flows = List.concat_map flows sources in
+  List.iter
+    (fun f ->
+      add_flow into ~id:f.fid ~label:f.flabel ~src_lane:f.f_src_lane ~src_t:f.f_src_t
+        ~dst_lane:f.f_dst_lane ~dst_t:f.f_dst_t)
+    (List.stable_sort compare_flow all_flows)
 
 let iter_lane t lane f =
   match Hashtbl.find_opt t.by_lane lane with
@@ -237,4 +316,6 @@ let clear t =
   t.n <- 0;
   Hashtbl.reset t.by_lane;
   t.lo <- Time.zero;
-  t.hi <- Time.zero
+  t.hi <- Time.zero;
+  t.fstore <- [||];
+  t.fn <- 0

@@ -1,6 +1,7 @@
 module E = Cpufree_engine
 module M = Cpufree_machine
 module F = Cpufree_fault.Fault
+module Mx = Cpufree_obs.Metrics
 module Time = E.Time
 
 type endpoint = Gpu of int | Host
@@ -14,6 +15,16 @@ type initiator = By_host | By_device
    [Time] arithmetic, just array reads. Initiator setup cost is added on
    top of the routed wire latency, exactly as the flat model did. *)
 
+(* Metrics instruments (when a registry is attached): run totals plus
+   per-port byte and occupancy counters, sharded per engine partition so the
+   windowed driver's concurrent partitions never share a cell. *)
+type instr = {
+  m_transfers : Mx.Counter.h;
+  m_bytes : Mx.Counter.h;
+  m_port_bytes : Mx.Counter.h array; (* indexed by topology port id *)
+  m_port_busy : Mx.Counter.h array; (* occupied ns per port *)
+}
+
 type t = {
   eng : E.Engine.t;
   arch : Arch.t;
@@ -24,10 +35,12 @@ type t = {
   pair_lat : Time.t array; (* (src_idx * (n+1)) + dst_idx; wire only *)
   pair_nsb : float array;
   pair_ports : E.Sync.Resource.t array array;
+  pair_pids : int array array; (* topology port ids along each pair's route *)
   look : Time.t;
   min_gpu_wire : Time.t;
   max_gpu_wire : Time.t;
   faults : F.plan option;
+  obs : instr option;
   mutable total_bytes : int;
   mutable total_transfers : int;
 }
@@ -51,20 +64,20 @@ let vertex_pair topo ~src ~dst =
 
 let endpoint_of_idx n i = if i = n then Host else Gpu i
 
-let create ?(topology = M.Topology.Hgx) ?faults eng ~arch ~num_gpus =
+let create ?(topology = M.Topology.Hgx) ?faults ?metrics eng ~arch ~num_gpus =
   if num_gpus <= 0 then invalid_arg "Interconnect.create: need at least one GPU";
   let topo = M.Topology.instantiate topology ~profile:(Arch.fabric_profile arch) ~gpus:num_gpus in
+  let port_list = M.Topology.ports topo in
   let ports =
     Array.of_list
-      (List.map
-         (fun p -> E.Sync.Resource.create ~name:p.M.Topology.pname eng ())
-         (M.Topology.ports topo))
+      (List.map (fun p -> E.Sync.Resource.create ~name:p.M.Topology.pname eng ()) port_list)
   in
   let n = num_gpus in
   let m = n + 1 in
   let pair_lat = Array.make (m * m) Time.zero in
   let pair_nsb = Array.make (m * m) 0.0 in
   let pair_ports = Array.make (m * m) [||] in
+  let pair_pids = Array.make (m * m) [||] in
   for si = 0 to m - 1 do
     for di = 0 to m - 1 do
       let src = endpoint_of_idx n si and dst = endpoint_of_idx n di in
@@ -72,11 +85,27 @@ let create ?(topology = M.Topology.Hgx) ?faults eng ~arch ~num_gpus =
       let k = (si * m) + di in
       pair_lat.(k) <- M.Topology.route_latency topo ~src:vs ~dst:vd;
       pair_nsb.(k) <- M.Topology.route_ns_per_byte topo ~src:vs ~dst:vd;
-      pair_ports.(k) <-
-        Array.of_list
-          (List.map (fun p -> ports.(p)) (M.Topology.route_ports topo ~src:vs ~dst:vd))
+      let route_pids = M.Topology.route_ports topo ~src:vs ~dst:vd in
+      pair_ports.(k) <- Array.of_list (List.map (fun p -> ports.(p)) route_pids);
+      pair_pids.(k) <- Array.of_list route_pids
     done
   done;
+  let obs =
+    match metrics with
+    | None -> None
+    | Some reg ->
+      let slots = E.Engine.num_partitions eng in
+      let port_counter what p =
+        Mx.counter reg ~name:what ~labels:[ ("port", p.M.Topology.pname) ] ~slots ()
+      in
+      Some
+        {
+          m_transfers = Mx.counter reg ~name:"fabric.transfers" ~slots ();
+          m_bytes = Mx.counter reg ~name:"fabric.bytes" ~slots ();
+          m_port_bytes = Array.of_list (List.map (port_counter "fabric.port.bytes") port_list);
+          m_port_busy = Array.of_list (List.map (port_counter "fabric.port.busy_ns") port_list);
+        }
+  in
   (* Conservative lookahead: cheapest cross-partition interaction the fabric
      can carry — the cheapest GPU pair plus device initiation, or the
      cheapest host attach plus the cheapest initiation. Mirrors
@@ -112,10 +141,12 @@ let create ?(topology = M.Topology.Hgx) ?faults eng ~arch ~num_gpus =
     pair_lat;
     pair_nsb;
     pair_ports;
+    pair_pids;
     look;
     min_gpu_wire = gpu_wire M.Topology.min_gpu_pair_latency arch.Arch.nvlink_latency;
     max_gpu_wire = gpu_wire M.Topology.max_gpu_pair_latency arch.Arch.nvlink_latency;
     faults;
+    obs;
     total_bytes = 0;
     total_transfers = 0;
   }
@@ -203,6 +234,18 @@ let transfer t ~src ~dst ~initiator ~bytes ?trace_lane ?(label = "xfer") () =
   in
   t.total_bytes <- t.total_bytes + bytes;
   t.total_transfers <- t.total_transfers + 1;
+  (match t.obs with
+  | None -> ()
+  | Some o ->
+    let slot = E.Engine.current_partition t.eng in
+    Mx.Counter.incr ~slot o.m_transfers;
+    Mx.Counter.add ~slot o.m_bytes bytes;
+    let dur_ns = Time.to_ns dur in
+    Array.iter
+      (fun pid ->
+        Mx.Counter.add ~slot o.m_port_bytes.(pid) bytes;
+        Mx.Counter.add ~slot o.m_port_busy.(pid) dur_ns)
+      t.pair_pids.(k));
   E.Engine.delay t.eng (Time.sub finish t0);
   match trace_lane with
   | None -> ()

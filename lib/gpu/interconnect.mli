@@ -26,6 +26,7 @@ type t
 val create :
   ?topology:Cpufree_machine.Topology.spec ->
   ?faults:Cpufree_fault.Fault.plan ->
+  ?metrics:Cpufree_obs.Metrics.t ->
   Cpufree_engine.Engine.t ->
   arch:Arch.t ->
   num_gpus:int ->
@@ -35,7 +36,10 @@ val create :
     model path for path). Per-pair routed latencies, inverse bandwidths and
     port sets are memoized here, once. [faults] activates fault-plan
     degradation on every transfer: link-flap serialization multipliers and
-    NIC-outage holds on inter-node paths. *)
+    NIC-outage holds on inter-node paths. [metrics] registers fabric
+    instruments in the given registry — run totals ([fabric.transfers],
+    [fabric.bytes]) plus per-port byte and busy-ns counters labelled with
+    the port name — updated on every transfer, partition-sharded. *)
 
 val num_gpus : t -> int
 val arch : t -> Arch.t

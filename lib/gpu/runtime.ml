@@ -1,6 +1,18 @@
 module E = Cpufree_engine
 module F = Cpufree_fault.Fault
+module Obs = Cpufree_obs
+module Mx = Obs.Metrics
 module Time = E.Time
+
+(* Metrics instruments for the host API surface (when a registry is
+   attached): launches, cooperative launches, stream-ordered operations and
+   raw API calls. *)
+type instr = {
+  m_api_calls : Mx.Counter.h;
+  m_launches : Mx.Counter.h;
+  m_coop_launches : Mx.Counter.h;
+  m_stream_ops : Mx.Counter.h;
+}
 
 type ctx = {
   eng : E.Engine.t;
@@ -10,30 +22,68 @@ type ctx = {
   devices : Device.t array;
   partitioned : bool;
   faults : F.plan option;
+  metrics : Mx.t option;
+  obs : instr option;
 }
 
 exception Coop_launch_error of string
 
-let init eng ?(arch = Arch.a100_hgx) ?topology ?faults ?(partitioned = false) ~num_gpus () =
-  if num_gpus <= 0 then invalid_arg "Runtime.init: need at least one GPU";
+let build eng ~arch ?topology ?faults ?metrics ~partitioned ~num_gpus () =
+  if num_gpus <= 0 then invalid_arg "Runtime.create: need at least one GPU";
+  let obs =
+    match metrics with
+    | None -> None
+    | Some reg ->
+      let slots = E.Engine.num_partitions eng in
+      let c name = Mx.counter reg ~name ~slots () in
+      Some
+        {
+          m_api_calls = c "runtime.api_calls";
+          m_launches = c "runtime.launches";
+          m_coop_launches = c "runtime.coop_launches";
+          m_stream_ops = c "runtime.stream_ops";
+        }
+  in
   {
     eng;
     arch;
     n = num_gpus;
-    net = Interconnect.create ?topology ?faults eng ~arch ~num_gpus;
+    net = Interconnect.create ?topology ?faults ?metrics eng ~arch ~num_gpus;
     devices = Array.init num_gpus (fun id -> Device.create eng ~arch ~id);
     partitioned;
     faults;
+    metrics;
+    obs;
   }
+
+let create eng ?(arch = Arch.a100_hgx) ?(env = Obs.Sim_env.default) ~num_gpus () =
+  let faults =
+    match env.Obs.Sim_env.faults with
+    | None -> None
+    | Some spec -> Some (F.activate spec ~seed:env.Obs.Sim_env.fault_seed ~gpus:num_gpus)
+  in
+  build eng ~arch ?topology:env.Obs.Sim_env.topology ?faults
+    ?metrics:env.Obs.Sim_env.metrics
+    ~partitioned:(E.Engine.num_partitions eng > 1)
+    ~num_gpus ()
+
+let init eng ?(arch = Arch.a100_hgx) ?topology ?faults ?(partitioned = false) ~num_gpus () =
+  build eng ~arch ?topology ?faults ~partitioned ~num_gpus ()
 
 let engine t = t.eng
 let arch t = t.arch
 let num_gpus t = t.n
 let partitioned t = t.partitioned
 let faults t = t.faults
+let metrics t = t.metrics
 
 (* Group tag for wait-for graphs: the model entity a process acts for. *)
 let gpu_group g = Printf.sprintf "gpu%d" g
+
+let bump t c =
+  match t.obs with
+  | None -> ()
+  | Some o -> Mx.Counter.incr ~slot:(E.Engine.current_partition t.eng) (c o)
 
 (* Straggler multiplier on device [gpu]'s compute latencies (1.0 when the
    fault plan is absent or silent about the device). Callers scale costs
@@ -64,6 +114,7 @@ let endpoint_of_buffer b =
   if d = Buffer.host_device then Interconnect.Host else Interconnect.Gpu d
 
 let api t ?(lane = "host") ~label cost =
+  bump t (fun o -> o.m_api_calls);
   let t0 = E.Engine.now t.eng in
   E.Engine.delay t.eng cost;
   E.Trace.add_opt (E.Engine.trace t.eng) ~lane ~label ~kind:E.Trace.Api ~t0
@@ -72,6 +123,7 @@ let api t ?(lane = "host") ~label cost =
 let launch t ~stream ~name ?(cost = Time.zero) body =
   let dev = Stream.device stream in
   let cost = scaled_cost t ~gpu:(Device.id dev) cost in
+  bump t (fun o -> o.m_launches);
   api t ~label:(Printf.sprintf "launch:%s" name) t.arch.Arch.kernel_launch;
   Stream.enqueue stream ~label:name (fun () ->
       let t0 = E.Engine.now t.eng in
@@ -84,6 +136,7 @@ let launch t ~stream ~name ?(cost = Time.zero) body =
 
 let memcpy_async t ~stream ~src ~src_pos ~dst ~dst_pos ~len =
   let dev = Stream.device stream in
+  bump t (fun o -> o.m_stream_ops);
   api t ~label:"cudaMemcpyAsync" t.arch.Arch.memcpy_api;
   let src_ep = endpoint_of_buffer src and dst_ep = endpoint_of_buffer dst in
   Stream.enqueue stream ~label:"memcpy" (fun () ->
@@ -94,18 +147,22 @@ let memcpy_async t ~stream ~src ~src_pos ~dst ~dst_pos ~len =
       Buffer.blit ~src ~src_pos ~dst ~dst_pos ~len)
 
 let stream_synchronize t stream =
+  bump t (fun o -> o.m_stream_ops);
   api t ~label:(Printf.sprintf "sync:%s" (Stream.name stream)) t.arch.Arch.stream_sync;
   Stream.await_idle stream
 
 let event_record t ev stream =
+  bump t (fun o -> o.m_stream_ops);
   api t ~label:(Printf.sprintf "record:%s" (Event.name ev)) t.arch.Arch.event_record;
   Event.record ev stream
 
 let event_synchronize t ev =
+  bump t (fun o -> o.m_stream_ops);
   api t ~label:(Printf.sprintf "eventSync:%s" (Event.name ev)) t.arch.Arch.event_sync;
   Event.synchronize ev
 
 let stream_wait_event t stream ev =
+  bump t (fun o -> o.m_stream_ops);
   api t ~label:"streamWaitEvent" t.arch.Arch.stream_wait_event;
   Event.stream_wait stream ev
 
@@ -119,6 +176,7 @@ let launch_cooperative t ~dev ~name ~blocks ~threads_per_block ~roles =
             "%s: %d blocks requested but only %d can be co-resident on gpu%d \
              (cooperative launch forbids oversubscription)"
             name blocks capacity (Device.id dev)));
+  bump t (fun o -> o.m_coop_launches);
   api t ~label:(Printf.sprintf "coopLaunch:%s" name) t.arch.Arch.coop_launch;
   let grid =
     Coop.make t.eng ~dev ~roles:(List.length roles) ~total_blocks:blocks ~threads_per_block

@@ -11,6 +11,26 @@ exception Coop_launch_error of string
 (** Cooperative launch rejected: requested grid exceeds the co-residency
     limit (paper §4.1.4). *)
 
+val create :
+  Cpufree_engine.Engine.t ->
+  ?arch:Arch.t ->
+  ?env:Cpufree_obs.Sim_env.t ->
+  num_gpus:int ->
+  unit ->
+  ctx
+(** Build a runtime context from a simulation environment. [env.topology]
+    selects the machine graph the fabric instantiates (default: the
+    single-node NVSwitch HGX of the paper's evaluation). [env.faults] is
+    activated here with [env.fault_seed] and [num_gpus]: the fabric degrades
+    per the plan, and kernel costs on straggler devices are scaled by
+    {!compute_scale}. [env.metrics] attaches observability instruments to
+    the fabric ({!Interconnect.create}) and to this API surface
+    ([runtime.api_calls], [runtime.launches], [runtime.coop_launches],
+    [runtime.stream_ops]), partition-sharded. Whether device processes get
+    per-GPU partition tags is derived from the engine: more than one engine
+    partition means the windowed layout (partition 0 = host + fabric,
+    partition [g+1] = device [g]). *)
+
 val init :
   Cpufree_engine.Engine.t ->
   ?arch:Arch.t ->
@@ -20,14 +40,17 @@ val init :
   num_gpus:int ->
   unit ->
   ctx
-(** [topology] selects the machine graph the fabric instantiates (default:
-    the single-node NVSwitch HGX of the paper's evaluation). [partitioned]
+[@@alert deprecated "Use Runtime.create with a Cpufree_obs.Sim_env.t instead."]
+(** Deprecated constructor predating {!Cpufree_obs.Sim_env}. [topology]
+    selects the machine graph the fabric instantiates (default: the
+    single-node NVSwitch HGX of the paper's evaluation). [partitioned]
     declares that the engine was created with one partition per GPU plus a
     host/interconnect partition (partition 0) and that device processes
     should be tagged accordingly; default [false] puts everything in
     partition 0 (the classic sequential layout). [faults] activates a
     fault-injection plan for this run: the fabric degrades per the plan, and
-    kernel costs on straggler devices are scaled by {!compute_scale}. *)
+    kernel costs on straggler devices are scaled by {!compute_scale}.
+    Byte-identical to {!create} for equivalent inputs. *)
 
 val engine : ctx -> Cpufree_engine.Engine.t
 val arch : ctx -> Arch.t
@@ -39,6 +62,9 @@ val partitioned : ctx -> bool
 
 val faults : ctx -> Cpufree_fault.Fault.plan option
 (** The active fault plan, if this run injects faults. *)
+
+val metrics : ctx -> Cpufree_obs.Metrics.t option
+(** The metrics registry this context reports into, if one was attached. *)
 
 val gpu_group : int -> string
 (** Canonical wait-for-graph group tag for device [g]'s processes

@@ -1,0 +1,40 @@
+type pdes = [ `Seq | `Windowed ]
+
+type t = {
+  topology : Cpufree_machine.Topology.spec option;
+  faults : Cpufree_fault.Fault.spec option;
+  fault_seed : int;
+  trace : Cpufree_engine.Trace.t option;
+  metrics : Metrics.t option;
+  pdes : pdes option;
+}
+
+let default =
+  { topology = None; faults = None; fault_seed = 0; trace = None; metrics = None; pdes = None }
+
+let make ?topology ?faults ?(fault_seed = 0) ?trace ?metrics ?pdes () =
+  { topology; faults; fault_seed; trace; metrics; pdes }
+
+let override ?topology ?faults ?fault_seed ?trace ?metrics ?pdes env =
+  {
+    topology = (match topology with Some _ -> topology | None -> env.topology);
+    faults = (match faults with Some _ -> faults | None -> env.faults);
+    fault_seed = (match fault_seed with Some s -> s | None -> env.fault_seed);
+    trace = (match trace with Some _ -> trace | None -> env.trace);
+    metrics = (match metrics with Some _ -> metrics | None -> env.metrics);
+    pdes = (match pdes with Some _ -> pdes | None -> env.pdes);
+  }
+
+let pdes_of_env_var () : pdes =
+  match Stdlib.Sys.getenv_opt "CPUFREE_PDES" with
+  | None -> `Seq
+  | Some s ->
+    (match String.lowercase_ascii (String.trim s) with
+    | "" | "seq" | "sequential" -> `Seq
+    | "windowed" | "pdes" -> `Windowed
+    | other ->
+      invalid_arg (Printf.sprintf "CPUFREE_PDES=%S: expected \"seq\" or \"windowed\"" other))
+
+let resolve_pdes env = match env.pdes with Some m -> m | None -> pdes_of_env_var ()
+
+let observed env = env.trace <> None || env.metrics <> None

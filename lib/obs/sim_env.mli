@@ -1,0 +1,63 @@
+(** The simulation environment: one record bundling every cross-cutting knob
+    that used to thread through the stack as separate optional arguments —
+    machine topology, fault plan and seed, trace and metrics sinks, and the
+    PDES execution mode.
+
+    [Cpufree_core.Sim_env] re-exports this module; entry points across
+    [Measure], the stencil [Harness], [Dace.Pipeline] and [Runtime.create]
+    accept a [?env] built here. An absent field means "default": no faults,
+    no observability, HGX topology, execution mode from the [CPUFREE_PDES]
+    environment variable. *)
+
+type pdes = [ `Seq | `Windowed ]
+
+type t = {
+  topology : Cpufree_machine.Topology.spec option;
+      (** machine graph (default: single-node NVSwitch HGX) *)
+  faults : Cpufree_fault.Fault.spec option;  (** fault-injection spec, if any *)
+  fault_seed : int;  (** seed for activating [faults] (default 0) *)
+  trace : Cpufree_engine.Trace.t option;
+      (** user trace sink: when present, runs record v2 traces (flows,
+          delivery spans, fault/stall markers) and merge them here
+          canonically at the end of the run *)
+  metrics : Metrics.t option;
+      (** metrics registry: when present, every layer registers and bumps
+          its instruments here *)
+  pdes : pdes option;
+      (** execution mode; [None] defers to the [CPUFREE_PDES] variable *)
+}
+
+val default : t
+(** All fields absent / zero: plain sequential-or-env-var HGX run. *)
+
+val make :
+  ?topology:Cpufree_machine.Topology.spec ->
+  ?faults:Cpufree_fault.Fault.spec ->
+  ?fault_seed:int ->
+  ?trace:Cpufree_engine.Trace.t ->
+  ?metrics:Metrics.t ->
+  ?pdes:pdes ->
+  unit -> t
+
+val override :
+  ?topology:Cpufree_machine.Topology.spec ->
+  ?faults:Cpufree_fault.Fault.spec ->
+  ?fault_seed:int ->
+  ?trace:Cpufree_engine.Trace.t ->
+  ?metrics:Metrics.t ->
+  ?pdes:pdes ->
+  t -> t
+(** [override ... env]: [env] with the given fields replaced — how the
+    deprecated per-field optional arguments fold into an environment. *)
+
+val pdes_of_env_var : unit -> pdes
+(** Parse [CPUFREE_PDES]: unset, [""], ["seq"], ["sequential"] are [`Seq];
+    ["windowed"], ["pdes"] are [`Windowed].
+    @raise Invalid_argument on anything else. *)
+
+val resolve_pdes : t -> pdes
+(** The environment's execution mode, falling back to {!pdes_of_env_var}
+    when the [pdes] field is [None]. *)
+
+val observed : t -> bool
+(** Whether a trace or metrics sink is attached. *)

@@ -1,21 +1,25 @@
 module Measure = Cpufree_core.Measure
 module Parallel = Cpufree_core.Parallel
+module Env = Cpufree_obs.Sim_env
 
-let run_traced ?arch ?topology kind problem ~gpus =
+let run_env ?arch ?env kind problem ~gpus =
   let built = Variants.build kind problem ~gpus in
-  Measure.run_traced ?arch ?topology
+  Measure.run_env ?arch ?env
     ~label:(Variants.name kind)
     ~gpus ~iterations:problem.Problem.iterations built.Variants.program
 
-let run ?arch ?topology kind problem ~gpus =
-  fst (run_traced ?arch ?topology kind problem ~gpus)
+let run_traced_env ?arch ?env kind problem ~gpus =
+  let built = Variants.build kind problem ~gpus in
+  Measure.run_traced_env ?arch ?env
+    ~label:(Variants.name kind)
+    ~gpus ~iterations:problem.Problem.iterations built.Variants.program
 
 type chaos_run = { chaos : Measure.chaos; progress : int array }
 
-let run_chaos ?arch ?topology ?watchdog ~faults ~fault_seed kind problem ~gpus =
+let run_chaos_env ?arch ?watchdog ?env kind problem ~gpus =
   let built = Variants.build kind problem ~gpus in
   let chaos =
-    Measure.run_chaos ?arch ?topology ?watchdog ~faults ~fault_seed
+    Measure.run_chaos_env ?arch ?watchdog ?env
       ~label:(Variants.name kind)
       ~gpus ~iterations:problem.Problem.iterations built.Variants.program
   in
@@ -29,31 +33,31 @@ type scenario = {
   sc_problem : Problem.t;
   sc_gpus : int;
   sc_arch : Cpufree_gpu.Arch.t option;
-  sc_topology : Cpufree_machine.Topology.spec option;
+  sc_env : Env.t;
 }
 
-let scenario ?arch ?topology kind problem ~gpus =
-  { sc_kind = kind; sc_problem = problem; sc_gpus = gpus; sc_arch = arch; sc_topology = topology }
+let scenario_env ?arch ?(env = Env.default) kind problem ~gpus =
+  { sc_kind = kind; sc_problem = problem; sc_gpus = gpus; sc_arch = arch; sc_env = env }
 
 let run_scenario s =
-  run ?arch:s.sc_arch ?topology:s.sc_topology s.sc_kind s.sc_problem ~gpus:s.sc_gpus
+  run_env ?arch:s.sc_arch ~env:s.sc_env s.sc_kind s.sc_problem ~gpus:s.sc_gpus
 
 let run_many ?jobs scenarios = Parallel.map ?jobs run_scenario scenarios
 
 let run_many_traced ?jobs scenarios =
   Parallel.map ?jobs
     (fun s ->
-      run_traced ?arch:s.sc_arch ?topology:s.sc_topology s.sc_kind s.sc_problem ~gpus:s.sc_gpus)
+      run_traced_env ?arch:s.sc_arch ~env:s.sc_env s.sc_kind s.sc_problem ~gpus:s.sc_gpus)
     scenarios
 
 let tolerance = 1e-9
 
-let verify ?arch ?topology kind problem ~gpus =
+let verify_env ?arch ?env kind problem ~gpus =
   if not problem.Problem.backed then Error "verify requires backed buffers"
   else begin
     let built = Variants.build kind problem ~gpus in
     let (_ : Measure.result) =
-      Measure.run ?arch ?topology
+      Measure.run_env ?arch ?env
         ~label:(Variants.name kind)
         ~gpus ~iterations:problem.Problem.iterations built.Variants.program
     in
@@ -86,19 +90,26 @@ let verify ?arch ?topology kind problem ~gpus =
 
 type scaling_point = { gpus : int; result : Measure.result }
 
-let weak_scaling ?jobs ?arch ?topology kind ~base ~gpu_counts =
+(* [topology] (deprecated spelling) overrides the env's field when both are
+   given, preserving the pre-Sim_env call sites unchanged. *)
+let effective_env ?topology ?(env = Env.default) () =
+  match topology with None -> env | Some t -> { env with Env.topology = Some t }
+
+let weak_scaling ?jobs ?arch ?topology ?env kind ~base ~gpu_counts =
+  let env = effective_env ?topology ?env () in
   let scenarios =
     List.map
       (fun gpus ->
         let dims = Problem.weak_scale base.Problem.dims ~gpus in
-        scenario ?arch ?topology kind { base with Problem.dims } ~gpus)
+        scenario_env ?arch ~env kind { base with Problem.dims } ~gpus)
       gpu_counts
   in
   List.map2 (fun gpus result -> { gpus; result }) gpu_counts (run_many ?jobs scenarios)
 
-let strong_scaling ?jobs ?arch ?topology kind problem ~gpu_counts =
+let strong_scaling ?jobs ?arch ?topology ?env kind problem ~gpu_counts =
+  let env = effective_env ?topology ?env () in
   let scenarios =
-    List.map (fun gpus -> scenario ?arch ?topology kind problem ~gpus) gpu_counts
+    List.map (fun gpus -> scenario_env ?arch ~env kind problem ~gpus) gpu_counts
   in
   List.map2 (fun gpus result -> { gpus; result }) gpu_counts (run_many ?jobs scenarios)
 
@@ -112,3 +123,22 @@ let weak_efficiency points =
         let tn = Cpufree_engine.Time.to_sec_float p.result.Measure.total in
         (p.gpus, if tn = 0.0 then 1.0 else t1 /. tn))
       points
+
+(* Deprecated pre-Sim_env entry points: thin wrappers, byte-identical. *)
+
+let run ?arch ?topology kind problem ~gpus =
+  run_env ?arch ~env:(Env.make ?topology ()) kind problem ~gpus
+
+let run_traced ?arch ?topology kind problem ~gpus =
+  run_traced_env ?arch ~env:(Env.make ?topology ()) kind problem ~gpus
+
+let run_chaos ?arch ?topology ?watchdog ~faults ~fault_seed kind problem ~gpus =
+  run_chaos_env ?arch ?watchdog
+    ~env:(Env.make ?topology ~faults ~fault_seed ())
+    kind problem ~gpus
+
+let scenario ?arch ?topology kind problem ~gpus =
+  scenario_env ?arch ~env:(Env.make ?topology ()) kind problem ~gpus
+
+let verify ?arch ?topology kind problem ~gpus =
+  verify_env ?arch ~env:(Env.make ?topology ()) kind problem ~gpus

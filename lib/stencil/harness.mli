@@ -1,15 +1,22 @@
 (** Drivers for the stencil experiments: run a variant on a simulated
     machine, verify it against the sequential reference, and produce the
-    weak/strong scaling series of Figures 6.1 and 6.2. *)
+    weak/strong scaling series of Figures 6.1 and 6.2.
 
-val run :
-  ?arch:Cpufree_gpu.Arch.t -> ?topology:Cpufree_machine.Topology.spec ->
+    Canonical entry points take a {!Cpufree_obs.Sim_env.t} (topology, fault
+    plan, observability sinks, PDES mode); the pre-[Sim_env] per-field forms
+    are kept as deprecated thin wrappers with byte-identical outputs. *)
+
+val run_env :
+  ?arch:Cpufree_gpu.Arch.t -> ?env:Cpufree_obs.Sim_env.t ->
   Variants.kind -> Problem.t -> gpus:int -> Cpufree_core.Measure.result
+(** Build the variant and run it through {!Cpufree_core.Measure.run_env}
+    under [env] (default {!Cpufree_obs.Sim_env.default}). *)
 
-val run_traced :
-  ?arch:Cpufree_gpu.Arch.t -> ?topology:Cpufree_machine.Topology.spec ->
+val run_traced_env :
+  ?arch:Cpufree_gpu.Arch.t -> ?env:Cpufree_obs.Sim_env.t ->
   Variants.kind -> Problem.t -> gpus:int ->
   Cpufree_core.Measure.result * Cpufree_engine.Trace.t
+(** As {!run_env}, additionally returning the engine's execution trace. *)
 
 type chaos_run = {
   chaos : Cpufree_core.Measure.chaos;
@@ -18,39 +25,41 @@ type chaos_run = {
           run aborted (graceful degradation) *)
 }
 
-val run_chaos :
-  ?arch:Cpufree_gpu.Arch.t -> ?topology:Cpufree_machine.Topology.spec ->
-  ?watchdog:Cpufree_engine.Time.t ->
-  faults:Cpufree_fault.Fault.spec -> fault_seed:int ->
+val run_chaos_env :
+  ?arch:Cpufree_gpu.Arch.t -> ?watchdog:Cpufree_engine.Time.t ->
+  ?env:Cpufree_obs.Sim_env.t ->
   Variants.kind -> Problem.t -> gpus:int -> chaos_run
-(** Run a variant under a deterministic fault-injection plan
-    ({!Cpufree_core.Measure.run_chaos}). A run that livelocks on a lost
-    signal is converted by the stall watchdog into a diagnosed abort; the
-    per-iteration progress each PE reached is reported either way. *)
+(** Run a variant under the environment's deterministic fault-injection plan
+    ({!Cpufree_core.Measure.run_chaos_env}; [env.faults] must be set). A run
+    that livelocks on a lost signal is converted by the stall watchdog into a
+    diagnosed abort; the per-iteration progress each PE reached is reported
+    either way. *)
 
-val verify :
-  ?arch:Cpufree_gpu.Arch.t -> ?topology:Cpufree_machine.Topology.spec ->
+val verify_env :
+  ?arch:Cpufree_gpu.Arch.t -> ?env:Cpufree_obs.Sim_env.t ->
   Variants.kind -> Problem.t -> gpus:int -> (float, string) result
 (** Run with backed buffers and compare the distributed result against
     {!Compute.reference}: [Ok max_abs_error] (should be ~1e-6 of magnitude)
     or [Error description]. The problem must have [backed = true]. *)
 
 val tolerance : float
-(** Acceptance threshold for {!verify} (single-precision-style slack on
+(** Acceptance threshold for {!verify_env} (single-precision-style slack on
     accumulated double arithmetic). *)
 
 (** {2 Scenario lists}
 
     A scenario is one fully specified simulation (variant × problem × GPU
-    count, plus an optional machine model). Scenarios share nothing — each
-    run builds a private engine — so lists of them execute through the
-    {!Cpufree_core.Parallel} domain pool with results in list order,
-    bit-identical to running them sequentially. *)
+    count, plus an optional machine/fault environment). Scenarios share
+    nothing — each run builds a private engine — so lists of them execute
+    through the {!Cpufree_core.Parallel} domain pool with results in list
+    order, bit-identical to running them sequentially. An [env] carrying
+    trace/metrics sinks must not be shared between scenarios of one
+    parallel batch: each worker mutates its scenario's sinks. *)
 
 type scenario
 
-val scenario :
-  ?arch:Cpufree_gpu.Arch.t -> ?topology:Cpufree_machine.Topology.spec ->
+val scenario_env :
+  ?arch:Cpufree_gpu.Arch.t -> ?env:Cpufree_obs.Sim_env.t ->
   Variants.kind -> Problem.t -> gpus:int -> scenario
 
 val run_scenario : scenario -> Cpufree_core.Measure.result
@@ -67,17 +76,50 @@ type scaling_point = { gpus : int; result : Cpufree_core.Measure.result }
 
 val weak_scaling :
   ?jobs:int -> ?arch:Cpufree_gpu.Arch.t -> ?topology:Cpufree_machine.Topology.spec ->
+  ?env:Cpufree_obs.Sim_env.t ->
   Variants.kind -> base:Problem.t ->
   gpu_counts:int list -> scaling_point list
 (** Weak scaling: grow the base (1-GPU) domain by {!Problem.weak_scale} for
     each GPU count. Counts must be powers of two. Points run on the domain
-    pool. *)
+    pool under [env] ([topology], the pre-[Sim_env] spelling, overrides the
+    env's field when both are given). *)
 
 val strong_scaling :
   ?jobs:int -> ?arch:Cpufree_gpu.Arch.t -> ?topology:Cpufree_machine.Topology.spec ->
+  ?env:Cpufree_obs.Sim_env.t ->
   Variants.kind -> Problem.t ->
   gpu_counts:int list -> scaling_point list
 (** Strong scaling: the same global domain at every GPU count. *)
 
 val weak_efficiency : scaling_point list -> (int * float) list
 (** Per point: time(1 GPU) / time(n GPUs) — 1.0 is perfect weak scaling. *)
+
+(** {2 Deprecated pre-[Sim_env] entry points} *)
+
+val run :
+  ?arch:Cpufree_gpu.Arch.t -> ?topology:Cpufree_machine.Topology.spec ->
+  Variants.kind -> Problem.t -> gpus:int -> Cpufree_core.Measure.result
+[@@alert deprecated "Use Harness.run_env with a Cpufree_obs.Sim_env.t instead."]
+
+val run_traced :
+  ?arch:Cpufree_gpu.Arch.t -> ?topology:Cpufree_machine.Topology.spec ->
+  Variants.kind -> Problem.t -> gpus:int ->
+  Cpufree_core.Measure.result * Cpufree_engine.Trace.t
+[@@alert deprecated "Use Harness.run_traced_env instead."]
+
+val run_chaos :
+  ?arch:Cpufree_gpu.Arch.t -> ?topology:Cpufree_machine.Topology.spec ->
+  ?watchdog:Cpufree_engine.Time.t ->
+  faults:Cpufree_fault.Fault.spec -> fault_seed:int ->
+  Variants.kind -> Problem.t -> gpus:int -> chaos_run
+[@@alert deprecated "Use Harness.run_chaos_env with a Cpufree_obs.Sim_env.t instead."]
+
+val scenario :
+  ?arch:Cpufree_gpu.Arch.t -> ?topology:Cpufree_machine.Topology.spec ->
+  Variants.kind -> Problem.t -> gpus:int -> scenario
+[@@alert deprecated "Use Harness.scenario_env with a Cpufree_obs.Sim_env.t instead."]
+
+val verify :
+  ?arch:Cpufree_gpu.Arch.t -> ?topology:Cpufree_machine.Topology.spec ->
+  Variants.kind -> Problem.t -> gpus:int -> (float, string) result
+[@@alert deprecated "Use Harness.verify_env with a Cpufree_obs.Sim_env.t instead."]

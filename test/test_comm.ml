@@ -18,7 +18,7 @@ let check_float msg = check (Alcotest.float 1e-9) msg
 
 let with_machine ?(gpus = 2) f =
   let eng = Engine.create () in
-  let ctx = G.Runtime.init eng ~num_gpus:gpus () in
+  let ctx = G.Runtime.create eng ~num_gpus:gpus () in
   let (_ : Engine.process) = Engine.spawn eng ~name:"main" (fun () -> f eng ctx) in
   Engine.run eng;
   (eng, ctx)
@@ -124,7 +124,7 @@ let nvshmem_tests =
     Alcotest.test_case "barrier_all joins every PE" `Quick (fun () ->
         let released = ref [] in
         let eng = Engine.create () in
-        let ctx = G.Runtime.init eng ~num_gpus:3 () in
+        let ctx = G.Runtime.create eng ~num_gpus:3 () in
         let nv = Nv.init ctx in
         for pe = 0 to 2 do
           let (_ : Engine.process) =
@@ -287,7 +287,7 @@ let host_path_tests =
     Alcotest.test_case "strided MPI messages stage through the host" `Quick (fun () ->
         let time_of region_of =
           let eng = Engine.create () in
-          let ctx = G.Runtime.init eng ~num_gpus:2 () in
+          let ctx = G.Runtime.create eng ~num_gpus:2 () in
           let mpi = Mpi.init ctx in
           let a = G.Buffer.create ~device:0 ~label:"a" 4096 in
           let b = G.Buffer.create ~device:1 ~label:"b" 4096 in
@@ -373,7 +373,7 @@ let metrics_tests =
 
 let run_on_all_pes ~gpus f =
   let eng = Engine.create () in
-  let ctx = G.Runtime.init eng ~num_gpus:gpus () in
+  let ctx = G.Runtime.create eng ~num_gpus:gpus () in
   let nv = Nv.init ctx in
   let coll = Collective.create nv ~label:"c" in
   for pe = 0 to gpus - 1 do
@@ -410,7 +410,7 @@ let collective_tests =
           seen);
     Alcotest.test_case "skewed arrival still agrees" `Quick (fun () ->
         let eng = Engine.create () in
-        let ctx = G.Runtime.init eng ~num_gpus:3 () in
+        let ctx = G.Runtime.create eng ~num_gpus:3 () in
         let nv = Nv.init ctx in
         let coll = Collective.create nv ~label:"c" in
         let results = Array.make 3 nan in

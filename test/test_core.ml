@@ -20,7 +20,7 @@ let check_float msg = check (Alcotest.float 1e-9) msg
 
 let with_machine ?(gpus = 2) f =
   let eng = Engine.create () in
-  let ctx = G.Runtime.init eng ~num_gpus:gpus () in
+  let ctx = G.Runtime.create eng ~num_gpus:gpus () in
   let (_ : Engine.process) = Engine.spawn eng ~name:"main" (fun () -> f eng ctx) in
   Engine.run eng;
   (eng, ctx)
@@ -147,7 +147,7 @@ let proto_failure_tests =
         (* PE 1 waits for a halo PE 0 never sends: the engine's deadlock
            report must name the stuck process and the flag it waits on. *)
         let eng = Engine.create () in
-        let ctx = G.Runtime.init eng ~num_gpus:2 () in
+        let ctx = G.Runtime.create eng ~num_gpus:2 () in
         let nv = Nv.init ctx in
         let p = Proto.create nv ~label:"halo" in
         let (_ : Engine.process) =
@@ -163,7 +163,7 @@ let proto_failure_tests =
           check_bool "names the flag" true (Astring.String.is_infix ~affix:"from_above" d));
     Alcotest.test_case "a signal for the wrong iteration does not unblock" `Quick (fun () ->
         let eng = Engine.create () in
-        let ctx = G.Runtime.init eng ~num_gpus:2 () in
+        let ctx = G.Runtime.create eng ~num_gpus:2 () in
         let nv = Nv.init ctx in
         let p = Proto.create nv ~label:"halo" in
         let s = Nv.sym_malloc nv ~label:"x" 4 in
@@ -214,7 +214,7 @@ let persistent_tests =
         | _ -> Alcotest.fail "expected two roles");
     Alcotest.test_case "oversubscription raises through run_all" `Quick (fun () ->
         let eng = Engine.create () in
-        let ctx = G.Runtime.init eng ~num_gpus:1 () in
+        let ctx = G.Runtime.create eng ~num_gpus:1 () in
         let (_ : Engine.process) =
           Engine.spawn eng ~name:"main" (fun () ->
               Persistent.run_all ctx ~name:"k" ~blocks:4096 ~threads_per_block:1024
@@ -225,7 +225,7 @@ let persistent_tests =
         | exception G.Runtime.Coop_launch_error _ -> ()));
     Alcotest.test_case "max_blocks equals the co-residency limit" `Quick (fun () ->
         let eng = Engine.create () in
-        let ctx = G.Runtime.init eng ~num_gpus:1 () in
+        let ctx = G.Runtime.create eng ~num_gpus:1 () in
         check_int "limit" 108 (Persistent.max_blocks ctx));
   ]
 
@@ -235,7 +235,7 @@ let measure_tests =
   [
     Alcotest.test_case "run reports simulated totals" `Quick (fun () ->
         let r =
-          Measure.run ~label:"x" ~gpus:1 ~iterations:10 (fun ctx ->
+          Measure.run_env ~label:"x" ~gpus:1 ~iterations:10 (fun ctx ->
               Engine.delay (G.Runtime.engine ctx) (Time.us 100))
         in
         check_int "total" 100_000 (Time.to_ns r.Measure.total);
@@ -243,7 +243,7 @@ let measure_tests =
         check_int "gpus" 1 r.Measure.gpus);
     Alcotest.test_case "traced run exposes the trace" `Quick (fun () ->
         let r, trace =
-          Measure.run_traced ~label:"x" ~gpus:2 ~iterations:1 (fun ctx ->
+          Measure.run_traced_env ~label:"x" ~gpus:2 ~iterations:1 (fun ctx ->
               let net = G.Runtime.net ctx in
               G.Interconnect.transfer net ~src:(G.Interconnect.Gpu 0)
                 ~dst:(G.Interconnect.Gpu 1) ~initiator:G.Interconnect.By_device ~bytes:3_000
@@ -254,7 +254,7 @@ let measure_tests =
         check_int "bytes" 3_000 r.Measure.bytes_moved);
     Alcotest.test_case "speedup formula matches the paper" `Quick (fun () ->
         let mk total =
-          Measure.run ~label:"x" ~gpus:1 ~iterations:1 (fun ctx ->
+          Measure.run_env ~label:"x" ~gpus:1 ~iterations:1 (fun ctx ->
               Engine.delay (G.Runtime.engine ctx) total)
         in
         let baseline = mk (Time.us 100) and ours = mk (Time.us 40) in
@@ -263,7 +263,7 @@ let measure_tests =
         let calls = ref 0 in
         let f () =
           incr calls;
-          Measure.run ~label:"x" ~gpus:1 ~iterations:1 (fun ctx ->
+          Measure.run_env ~label:"x" ~gpus:1 ~iterations:1 (fun ctx ->
               Engine.delay (G.Runtime.engine ctx) (Time.us !calls))
         in
         let best = Measure.best_of ~runs:5 f in
@@ -271,7 +271,7 @@ let measure_tests =
         check_int "fastest kept" 1_000 (Time.to_ns best.Measure.total));
     Alcotest.test_case "pp_table renders all rows" `Quick (fun () ->
         let r =
-          Measure.run ~label:"row-one" ~gpus:1 ~iterations:1 (fun _ -> ())
+          Measure.run_env ~label:"row-one" ~gpus:1 ~iterations:1 (fun _ -> ())
         in
         let s = Format.asprintf "%a" (fun fmt -> Measure.pp_table fmt ~header:"H") [ r; r ] in
         check_bool "header" true (Astring.String.is_infix ~affix:"== H ==" s);
@@ -282,7 +282,7 @@ let determinism_tests =
   [
     Alcotest.test_case "identical runs produce identical simulated times" `Quick (fun () ->
         let run () =
-          Measure.run ~label:"d" ~gpus:4 ~iterations:8 (fun ctx ->
+          Measure.run_env ~label:"d" ~gpus:4 ~iterations:8 (fun ctx ->
               let nv = Nv.init ctx in
               let p = Proto.create nv ~label:"h" in
               let s = Nv.sym_malloc nv ~label:"x" 64 in
@@ -347,7 +347,7 @@ let parallel_tests =
         (* Each scenario builds a private engine; fanning them across
            domains must not change any simulated time. *)
         let scenario gpus =
-          Measure.run ~label:"p" ~gpus ~iterations:4 (fun ctx ->
+          Measure.run_env ~label:"p" ~gpus ~iterations:4 (fun ctx ->
               let eng = G.Runtime.engine ctx in
               G.Host.parallel_join ctx ~name:"w" (fun pe ->
                   for _ = 1 to 4 do
@@ -437,7 +437,7 @@ let pdes_tests =
         let problem =
           S.Problem.make (S.Problem.D2 { nx = 64; ny = 64 }) ~iterations:3
         in
-        let run () = S.Harness.run_traced S.Variants.Nvshmem problem ~gpus:2 in
+        let run () = S.Harness.run_traced_env S.Variants.Nvshmem problem ~gpus:2 in
         let r_seq, tr_seq = with_pdes "seq" run in
         let r_win, tr_win = with_pdes "windowed" run in
         check_bool "results identical" true (r_seq = r_win);

@@ -515,7 +515,7 @@ let builder_tests =
         let sdfg = Transforms.gpu_transform (D.Builder.finish b ~start:"init") in
         let built = D.Exec.build_baseline ~backed:true sdfg in
         let (_ : Cpufree_core.Measure.result) =
-          Cpufree_core.Measure.run ~label:"b" ~gpus:2 ~iterations:3 built.D.Exec.program
+          Cpufree_core.Measure.run_env ~label:"b" ~gpus:2 ~iterations:3 built.D.Exec.program
         in
         match built.D.Exec.read_array "A" ~pe:1 with
         | Some buf -> check (Alcotest.float 1e-12) "filled" 2.5 (Cpufree_gpu.Buffer.get buf 7)
@@ -525,7 +525,7 @@ let builder_tests =
 (* --- backend lowering errors ------------------------------------------------ *)
 
 let run_program built gpus =
-  Cpufree_core.Measure.run ~label:"t" ~gpus ~iterations:1 built.D.Exec.program
+  Cpufree_core.Measure.run_env ~label:"t" ~gpus ~iterations:1 built.D.Exec.program
 
 let lowering_tests =
   [

@@ -368,7 +368,13 @@ let trace_tests =
         span "b" Trace.Compute 0 100 t;
         check_int "raw sum double-counts" 22 (Time.to_ns (Trace.busy_time t ~lane:"a"));
         check_int "merged wall-clock" 17 (Time.to_ns (Trace.busy_time_merged t ~lane:"a"));
-        check_int "other lanes untouched" 100 (Time.to_ns (Trace.busy_time_merged t ~lane:"b")));
+        check_int "other lanes untouched" 100 (Time.to_ns (Trace.busy_time_merged t ~lane:"b"));
+        (* An instant covered by k spans contributes k times to the raw sum,
+           not merely twice: a third span over [6, 9) adds its full length. *)
+        span "a" Trace.Compute 6 9 t;
+        check_int "raw sum triple-counts" 25 (Time.to_ns (Trace.busy_time t ~lane:"a"));
+        check_int "merged unchanged by nested span" 17
+          (Time.to_ns (Trace.busy_time_merged t ~lane:"a")));
     Alcotest.test_case "busy time per kind" `Quick (fun () ->
         let t = Trace.create () in
         span "a" Trace.Compute 0 10 t;

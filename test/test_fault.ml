@@ -11,6 +11,7 @@ module Fault = Cpufree_fault.Fault
 module Measure = Cpufree_core.Measure
 module Time = E.Time
 module Engine = E.Engine
+module Env = Cpufree_core.Sim_env
 
 let check = Alcotest.check
 let check_int = check Alcotest.int
@@ -221,8 +222,9 @@ let engine_tests =
 
 let with_fault_machine ?(gpus = 2) ~spec ~seed f =
   let eng = Engine.create () in
-  let plan = Fault.activate spec ~seed ~gpus in
-  let ctx = G.Runtime.init eng ~faults:plan ~num_gpus:gpus () in
+  let env = Env.make ~faults:spec ~fault_seed:seed () in
+  let ctx = G.Runtime.create eng ~env ~num_gpus:gpus () in
+  let plan = Option.get (G.Runtime.faults ctx) in
   let (_ : Engine.process) = Engine.spawn eng ~name:"main" (fun () -> f eng ctx plan) in
   Engine.run eng;
   plan
@@ -306,9 +308,9 @@ let nvshmem_tests =
           let eng = Engine.create () in
           let ctx =
             match spec with
-            | None -> G.Runtime.init eng ~num_gpus:2 ()
+            | None -> G.Runtime.create eng ~num_gpus:2 ()
             | Some s ->
-              G.Runtime.init eng ~faults:(Fault.activate s ~seed:9 ~gpus:2) ~num_gpus:2 ()
+              G.Runtime.create eng ~env:(Env.make ~faults:s ~fault_seed:9 ()) ~num_gpus:2 ()
           in
           let (_ : Engine.process) =
             Engine.spawn eng ~name:"main" (fun () ->
@@ -352,7 +354,9 @@ let chaos_tests =
           S.Problem.make (S.Problem.D2 { nx = 512; ny = 512 }) ~iterations:30
         in
         let cr =
-          S.Harness.run_chaos ~faults:spec ~fault_seed:3 S.Variants.Cpu_free problem ~gpus:4
+          S.Harness.run_chaos_env
+            ~env:(Env.make ~faults:spec ~fault_seed:3 ())
+            S.Variants.Cpu_free problem ~gpus:4
         in
         let c = cr.S.Harness.chaos in
         check_bool "aborted" false c.Measure.completed;
@@ -368,7 +372,8 @@ let chaos_tests =
     Alcotest.test_case "fault-free chaos control completes with zero fault traffic" `Quick
       (fun () ->
         let cr =
-          S.Harness.run_chaos ~faults:(Fault.preset ~intensity:0.0) ~fault_seed:1
+          S.Harness.run_chaos_env
+            ~env:(Env.make ~faults:(Fault.preset ~intensity:0.0) ~fault_seed:1 ())
             S.Variants.Cpu_free small_problem ~gpus:2
         in
         let c = cr.S.Harness.chaos in
@@ -383,7 +388,8 @@ let chaos_tests =
          (fun (intensity, seed) ->
            let run () =
              chaos_digest
-               (S.Harness.run_chaos ~faults:(Fault.preset ~intensity) ~fault_seed:seed
+               (S.Harness.run_chaos_env
+                  ~env:(Env.make ~faults:(Fault.preset ~intensity) ~fault_seed:seed ())
                   S.Variants.Cpu_free small_problem ~gpus:2)
            in
            let seq1 = in_mode "seq" run in
@@ -396,7 +402,8 @@ let chaos_tests =
          (fun seed ->
            let run () =
              chaos_digest
-               (S.Harness.run_chaos ~faults:(Fault.preset ~intensity:1.5) ~fault_seed:seed
+               (S.Harness.run_chaos_env
+                  ~env:(Env.make ~faults:(Fault.preset ~intensity:1.5) ~fault_seed:seed ())
                   S.Variants.Nvshmem small_problem ~gpus:2)
            in
            let seq = in_mode "seq" run in

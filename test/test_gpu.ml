@@ -16,7 +16,7 @@ let arch = G.Arch.a100_hgx
 (* Run a host program on a fresh simulated machine; return (engine, ctx). *)
 let with_machine ?(gpus = 2) f =
   let eng = Engine.create () in
-  let ctx = G.Runtime.init eng ~num_gpus:gpus () in
+  let ctx = G.Runtime.create eng ~num_gpus:gpus () in
   let (_ : Engine.process) = Engine.spawn eng ~name:"main" (fun () -> f eng ctx) in
   Engine.run eng;
   (eng, ctx)
@@ -471,7 +471,7 @@ let runtime_tests =
           (Time.to_ns (Engine.now eng)));
     Alcotest.test_case "runtime device bounds checked" `Quick (fun () ->
         let eng = Engine.create () in
-        let ctx = G.Runtime.init eng ~num_gpus:2 () in
+        let ctx = G.Runtime.create eng ~num_gpus:2 () in
         Alcotest.check_raises "bad" (Invalid_argument "Runtime.device: no such GPU 2")
           (fun () -> ignore (G.Runtime.device ctx 2)));
     Alcotest.test_case "device lanes are namespaced" `Quick (fun () ->

@@ -1,0 +1,416 @@
+(* Tests for the observability layer: the metrics registry (typed
+   instruments, partition sharding, merge laws), the Perfetto trace-event
+   exporter and its structural validator, the Sim_env record, and the
+   end-to-end guarantees — flows pair up, exports are byte-stable across
+   CPUFREE_PDES modes, and the deprecated pre-Sim_env entry points remain
+   byte-identical wrappers. *)
+
+module E = Cpufree_engine
+module G = Cpufree_gpu
+module S = Cpufree_stencil
+module Obs = Cpufree_obs
+module Mx = Obs.Metrics
+module Env = Cpufree_core.Sim_env
+module Measure = Cpufree_core.Measure
+module Trace_json = Cpufree_core.Trace_json
+module Metrics_json = Cpufree_core.Metrics_json
+module J = Cpufree_core.Json
+module Fault = Cpufree_fault.Fault
+module Trace = E.Trace
+module Time = E.Time
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+let check_string = check Alcotest.string
+
+let in_mode mode f =
+  Unix.putenv "CPUFREE_PDES" mode;
+  Fun.protect ~finally:(fun () -> Unix.putenv "CPUFREE_PDES" "seq") f
+
+(* --- metrics registry ----------------------------------------------------- *)
+
+let metrics_tests =
+  [
+    Alcotest.test_case "counter: incr/add/value" `Quick (fun () ->
+        let reg = Mx.create () in
+        let c = Mx.counter reg ~name:"c" () in
+        Mx.Counter.incr c;
+        Mx.Counter.add c 41;
+        check_int "total" 42 (Mx.Counter.value c));
+    Alcotest.test_case "counter slots sum; gauge slots max" `Quick (fun () ->
+        let reg = Mx.create () in
+        let c = Mx.counter reg ~name:"c" ~slots:3 () in
+        Mx.Counter.add ~slot:0 c 1;
+        Mx.Counter.add ~slot:1 c 10;
+        Mx.Counter.add ~slot:2 c 100;
+        check_int "counter sums slots" 111 (Mx.Counter.value c);
+        let g = Mx.gauge reg ~name:"g" ~slots:3 () in
+        Mx.Gauge.set ~slot:0 g 5;
+        Mx.Gauge.set ~slot:2 g 3;
+        check_int "gauge maxes slots" 5 (Mx.Gauge.value g));
+    Alcotest.test_case "histogram count and sum" `Quick (fun () ->
+        let reg = Mx.create () in
+        let h = Mx.histogram reg ~name:"h" ~slots:2 () in
+        Mx.Histogram.observe ~slot:0 h 3;
+        Mx.Histogram.observe ~slot:1 h 100;
+        Mx.Histogram.observe ~slot:1 h 0;
+        check_int "count" 3 (Mx.Histogram.count h);
+        check_int "sum" 103 (Mx.Histogram.sum h));
+    Alcotest.test_case "registration is idempotent per (name, labels)" `Quick (fun () ->
+        let reg = Mx.create () in
+        let a = Mx.counter reg ~name:"c" ~labels:[ ("pe", "0") ] () in
+        let b = Mx.counter reg ~name:"c" ~labels:[ ("pe", "0") ] () in
+        Mx.Counter.incr a;
+        Mx.Counter.incr b;
+        (* same underlying cell *)
+        check_int "one instrument" 2 (Mx.Counter.value a);
+        let other = Mx.counter reg ~name:"c" ~labels:[ ("pe", "1") ] () in
+        check_int "different labels are a fresh cell" 0 (Mx.Counter.value other));
+    Alcotest.test_case "re-registering under another kind is rejected" `Quick (fun () ->
+        let reg = Mx.create () in
+        let (_ : Mx.Counter.h) = Mx.counter reg ~name:"x" () in
+        Alcotest.check_raises "kind clash"
+          (Invalid_argument "Metrics: \"x\" is already registered as a counter")
+          (fun () -> ignore (Mx.gauge reg ~name:"x" ())));
+    Alcotest.test_case "items are in canonical order with slots combined" `Quick (fun () ->
+        let reg = Mx.create () in
+        let b = Mx.counter reg ~name:"b" () in
+        let a = Mx.counter reg ~name:"a" ~slots:2 () in
+        Mx.Counter.add ~slot:1 a 7;
+        Mx.Counter.incr b;
+        match Mx.items reg with
+        | [ ia; ib ] ->
+          check_string "sorted by name" "a" ia.Mx.name;
+          check_bool "slot sum" true (ia.Mx.value = Mx.Counter_v 7);
+          check_bool "b" true (ib.Mx.value = Mx.Counter_v 1)
+        | l -> Alcotest.failf "expected 2 items, got %d" (List.length l));
+  ]
+
+(* Registries as generable values: a few instruments with random bumps. *)
+let arbitrary_bumps =
+  QCheck.(list_of_size Gen.(int_bound 12) (pair (int_bound 2) (int_bound 1000)))
+
+let registry_of bumps =
+  let reg = Mx.create () in
+  let names = [| "alpha"; "beta"; "gamma" |] in
+  List.iter
+    (fun (i, v) ->
+      match i with
+      | 0 -> Mx.Counter.add (Mx.counter reg ~name:names.(0) ()) v
+      | 1 -> Mx.Gauge.set (Mx.gauge reg ~name:names.(1) ()) v
+      | _ -> Mx.Histogram.observe (Mx.histogram reg ~name:names.(2) ()) v)
+    bumps;
+  reg
+
+let merged rs =
+  let into = Mx.create () in
+  Mx.merge_into ~into rs;
+  Mx.items into
+
+let metrics_law_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"merge is associative" ~count:100
+         QCheck.(triple arbitrary_bumps arbitrary_bumps arbitrary_bumps)
+         (fun (a, b, c) ->
+           let ra () = registry_of a and rb () = registry_of b and rc () = registry_of c in
+           let left =
+             let ab = Mx.create () in
+             Mx.merge_into ~into:ab [ ra (); rb () ];
+             merged [ ab; rc () ]
+           in
+           let right =
+             let bc = Mx.create () in
+             Mx.merge_into ~into:bc [ rb (); rc () ];
+             merged [ ra (); bc ]
+           in
+           left = right));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"merge is commutative" ~count:100
+         QCheck.(pair arbitrary_bumps arbitrary_bumps)
+         (fun (a, b) ->
+           merged [ registry_of a; registry_of b ] = merged [ registry_of b; registry_of a ]));
+  ]
+
+(* --- Perfetto exporter and validator -------------------------------------- *)
+
+let sample_trace () =
+  let t = Trace.create ~flows:true () in
+  Trace.add t ~lane:"gpu0.comp" ~label:"interior" ~kind:Trace.Compute ~t0:(Time.ns 0)
+    ~t1:(Time.ns 100);
+  Trace.add t ~lane:"gpu0.comm" ~label:"put:halo" ~kind:Trace.Communication ~t0:(Time.ns 100)
+    ~t1:(Time.ns 130);
+  Trace.add t ~lane:"gpu1.comm" ~label:"deliver:halo" ~kind:Trace.Communication
+    ~t0:(Time.ns 120) ~t1:(Time.ns 140);
+  Trace.add_instant t ~lane:"host" ~label:"fault:drop:halo" ~at:(Time.ns 90);
+  Trace.add_flow t ~id:1 ~label:"halo" ~src_lane:"gpu0.comm" ~src_t:(Time.ns 110)
+    ~dst_lane:"gpu1.comm" ~dst_t:(Time.ns 140);
+  t
+
+let perfetto_tests =
+  [
+    Alcotest.test_case "pid_of_lane maps gpuN to partition N+1" `Quick (fun () ->
+        check_int "gpu0" 1 (Obs.Perfetto.pid_of_lane "gpu0.comp");
+        check_int "gpu3" 4 (Obs.Perfetto.pid_of_lane "gpu3");
+        check_int "host" 0 (Obs.Perfetto.pid_of_lane "host");
+        check_int "fabric" 0 (Obs.Perfetto.pid_of_lane "fabric.nvlink"));
+    Alcotest.test_case "export validates and carries every event phase" `Quick (fun () ->
+        let reg = Mx.create () in
+        Mx.Counter.add (Mx.counter reg ~name:"nvshmem.puts" ()) 3;
+        let s = Obs.Perfetto.to_json_string ~metrics:reg (sample_trace ()) in
+        (match Trace_json.validate_string s with
+        | Ok () -> ()
+        | Error m -> Alcotest.failf "exported doc rejected: %s" m);
+        let doc = match J.of_string s with Ok d -> d | Error m -> Alcotest.failf "parse: %s" m in
+        let phases =
+          match doc with
+          | J.Obj kvs -> (
+            match List.assoc_opt "traceEvents" kvs with
+            | Some (J.List evs) ->
+              List.filter_map
+                (function
+                  | J.Obj e -> (
+                    match List.assoc_opt "ph" e with Some (J.String p) -> Some p | _ -> None)
+                  | _ -> None)
+                evs
+            | _ -> Alcotest.fail "no traceEvents")
+          | _ -> Alcotest.fail "not an object"
+        in
+        List.iter
+          (fun p -> check_bool (Printf.sprintf "has %S event" p) true (List.mem p phases))
+          [ "M"; "X"; "i"; "s"; "f"; "C" ]);
+    Alcotest.test_case "validator rejects a dangling flow start" `Quick (fun () ->
+        let doc =
+          J.Obj
+            [
+              ( "traceEvents",
+                J.List
+                  [
+                    J.Obj
+                      [
+                        ("name", J.String "halo");
+                        ("ph", J.String "s");
+                        ("id", J.Int 7);
+                        ("pid", J.Int 0);
+                        ("tid", J.String "a");
+                        ("ts", J.Float 0.0);
+                      ];
+                  ] );
+            ]
+        in
+        check_bool "rejected" true (Result.is_error (Trace_json.validate doc)));
+    Alcotest.test_case "validator rejects non-monotone lane timestamps" `Quick (fun () ->
+        let ev ts =
+          J.Obj
+            [
+              ("name", J.String "k");
+              ("ph", J.String "X");
+              ("pid", J.Int 0);
+              ("tid", J.String "a");
+              ("ts", J.Float ts);
+              ("dur", J.Float 1.0);
+            ]
+        in
+        let doc = J.Obj [ ("traceEvents", J.List [ ev 5.0; ev 1.0 ]) ] in
+        check_bool "rejected" true (Result.is_error (Trace_json.validate doc)));
+    Alcotest.test_case "flow arrows may not point backwards in time" `Quick (fun () ->
+        let t = Trace.create ~flows:true () in
+        Alcotest.check_raises "reversed flow"
+          (Invalid_argument "Trace.add_flow: arrow arrives before it departs") (fun () ->
+            Trace.add_flow t ~id:1 ~label:"x" ~src_lane:"a" ~src_t:(Time.ns 10) ~dst_lane:"b"
+              ~dst_t:(Time.ns 5)));
+    Alcotest.test_case "flows are dropped unless the trace opts in" `Quick (fun () ->
+        let t = Trace.create () in
+        Trace.add_flow t ~id:1 ~label:"x" ~src_lane:"a" ~src_t:(Time.ns 0) ~dst_lane:"b"
+          ~dst_t:(Time.ns 1);
+        check_int "no flow recorded" 0 (List.length (Trace.flows t));
+        check_bool "flows_enabled off" false (Trace.flows_enabled (Some t));
+        check_bool "flows_enabled on" true
+          (Trace.flows_enabled (Some (Trace.create ~flows:true ()))));
+    Alcotest.test_case "metrics_json round-trips through its validator" `Quick (fun () ->
+        let reg = Mx.create () in
+        Mx.Counter.add (Mx.counter reg ~name:"c" ~labels:[ ("pe", "0") ] ()) 5;
+        Mx.Gauge.set (Mx.gauge reg ~name:"g" ()) 9;
+        Mx.Histogram.observe (Mx.histogram reg ~name:"h" ()) 300;
+        match Metrics_json.validate (Metrics_json.to_json reg) with
+        | Ok () -> ()
+        | Error m -> Alcotest.failf "emitted metrics doc rejected: %s" m);
+  ]
+
+(* --- Sim_env --------------------------------------------------------------- *)
+
+let sim_env_tests =
+  [
+    Alcotest.test_case "default carries nothing" `Quick (fun () ->
+        let e = Env.default in
+        check_bool "no topology" true (e.Env.topology = None);
+        check_bool "no faults" true (e.Env.faults = None);
+        check_int "seed 0" 0 e.Env.fault_seed;
+        check_bool "unobserved" false (Env.observed e));
+    Alcotest.test_case "override replaces only the given fields" `Quick (fun () ->
+        let base = Env.make ~fault_seed:3 () in
+        let e = Env.override ~metrics:(Mx.create ()) base in
+        check_int "seed kept" 3 e.Env.fault_seed;
+        check_bool "metrics attached" true (Env.observed e));
+    Alcotest.test_case "resolve_pdes: explicit field beats CPUFREE_PDES" `Quick (fun () ->
+        in_mode "windowed" (fun () ->
+            check_bool "env var" true (Env.resolve_pdes Env.default = `Windowed);
+            check_bool "field wins" true
+              (Env.resolve_pdes (Env.make ~pdes:`Seq ()) = `Seq)));
+    Alcotest.test_case "pdes_of_env_var rejects junk" `Quick (fun () ->
+        in_mode "bogus" (fun () ->
+            check_bool "raises" true
+              (try
+                 ignore (Env.pdes_of_env_var ());
+                 false
+               with Invalid_argument _ -> true)));
+  ]
+
+(* --- end-to-end: flows, byte-stability, compat ----------------------------- *)
+
+let problem () = S.Problem.make (S.Problem.D2 { nx = 128; ny = 128 }) ~iterations:8
+
+let traced_env () =
+  Env.make ~trace:(Trace.create ~flows:true ()) ~metrics:(Mx.create ()) ()
+
+let export_of_run () =
+  let env = traced_env () in
+  let (_ : Measure.result) = S.Harness.run_env S.Variants.Cpu_free (problem ()) ~gpus:4 ~env in
+  match (env.Env.trace, env.Env.metrics) with
+  | Some tr, Some reg -> Obs.Perfetto.to_json_string ~metrics:reg tr
+  | _ -> assert false
+
+let end_to_end_tests =
+  [
+    Alcotest.test_case "an instrumented stencil run pairs its flows" `Quick (fun () ->
+        let env = traced_env () in
+        let (_ : Measure.result) =
+          S.Harness.run_env S.Variants.Cpu_free (problem ()) ~gpus:4 ~env
+        in
+        let tr = Option.get env.Env.trace in
+        let flows = Trace.flows tr in
+        check_bool "recorded flows" true (flows <> []);
+        List.iter
+          (fun (f : Trace.flow) ->
+            check_bool "arrow moves forward" true (Time.to_ns f.Trace.f_dst_t >= Time.to_ns f.Trace.f_src_t);
+            check_bool "arrow crosses lanes" true (f.Trace.f_src_lane <> f.Trace.f_dst_lane))
+          flows;
+        let deliveries =
+          List.filter
+            (fun (s : Trace.span) ->
+              String.length s.Trace.label >= 8 && String.sub s.Trace.label 0 8 = "deliver:")
+            (Trace.spans tr)
+        in
+        check_bool "delivery spans recorded" true (deliveries <> []);
+        match Trace_json.validate_string (Obs.Perfetto.to_json_string tr) with
+        | Ok () -> ()
+        | Error m -> Alcotest.failf "export rejected: %s" m);
+    Alcotest.test_case "metrics registry sees every layer" `Quick (fun () ->
+        let env = traced_env () in
+        let (_ : Measure.result) =
+          S.Harness.run_env S.Variants.Cpu_free (problem ()) ~gpus:4 ~env
+        in
+        let reg = Option.get env.Env.metrics in
+        let names = List.map (fun it -> it.Mx.name) (Mx.items reg) in
+        List.iter
+          (fun n -> check_bool (Printf.sprintf "has %s" n) true (List.mem n names))
+          [
+            "engine.events";
+            "engine.partitions";
+            "fabric.bytes";
+            "nvshmem.puts";
+            "runtime.launches";
+          ]);
+    Alcotest.test_case "Perfetto export is byte-stable across PDES modes" `Quick (fun () ->
+        let seq = in_mode "seq" export_of_run in
+        let win = in_mode "windowed" export_of_run in
+        check_string "identical documents" seq win);
+    Alcotest.test_case "chaos instants surface in the trace" `Quick (fun () ->
+        let spec =
+          match Fault.of_string "drop=0.3" with Ok s -> s | Error e -> Alcotest.fail e
+        in
+        let env =
+          Env.make ~faults:spec ~fault_seed:1 ~trace:(Trace.create ~flows:true ()) ()
+        in
+        let cr = S.Harness.run_chaos_env S.Variants.Cpu_free (problem ()) ~gpus:2 ~env in
+        check_bool "plan dropped deliveries" true (cr.S.Harness.chaos.Measure.dropped > 0);
+        let tr = Option.get env.Env.trace in
+        let faults =
+          List.filter
+            (fun (s : Trace.span) ->
+              s.Trace.kind = Trace.Marker && String.length s.Trace.label >= 6
+              && String.sub s.Trace.label 0 6 = "fault:")
+            (Trace.spans tr)
+        in
+        check_bool "fault markers recorded" true (faults <> []));
+    Alcotest.test_case "deprecated wrappers are byte-identical" `Quick (fun () ->
+        let p = problem () in
+        let new_r = S.Harness.run_env S.Variants.Cpu_free p ~gpus:4 in
+        let old_r =
+          let open struct
+            [@@@alert "-deprecated"]
+
+            let r = S.Harness.run S.Variants.Cpu_free p ~gpus:4
+          end in
+          r
+        in
+        check_bool "results equal" true (new_r = old_r);
+        let _, new_t = S.Harness.run_traced_env S.Variants.Cpu_free p ~gpus:4 in
+        let old_t =
+          let open struct
+            [@@@alert "-deprecated"]
+
+            let t = snd (S.Harness.run_traced S.Variants.Cpu_free p ~gpus:4)
+          end in
+          t
+        in
+        check_string "chrome json equal" (Trace.to_chrome_json new_t)
+          (Trace.to_chrome_json old_t));
+    Alcotest.test_case "Runtime.create matches deprecated Runtime.init" `Quick (fun () ->
+        let run mk =
+          let eng = E.Engine.create () in
+          let ctx = mk eng in
+          let dev = G.Runtime.device ctx 0 in
+          let stream = G.Stream.create eng ~dev ~name:"s" in
+          let (_ : E.Engine.process) =
+            E.Engine.spawn eng ~name:"main" (fun () ->
+                G.Runtime.launch ctx ~stream ~name:"k" ~cost:(Time.us 3) (fun () -> ());
+                G.Runtime.stream_synchronize ctx stream)
+          in
+          E.Engine.run eng;
+          Time.to_ns (E.Engine.now eng)
+        in
+        let n = run (fun eng -> G.Runtime.create eng ~num_gpus:2 ()) in
+        let o =
+          run (fun eng ->
+              let open struct
+                [@@@alert "-deprecated"]
+
+                let mk eng = G.Runtime.init eng ~num_gpus:2 ()
+              end in
+              mk eng)
+        in
+        check_int "same simulated clock" o n);
+    Alcotest.test_case "plain runs record no v2 events" `Quick (fun () ->
+        let _, tr = S.Harness.run_traced_env S.Variants.Cpu_free (problem ()) ~gpus:4 in
+        check_int "no flows" 0 (List.length (Trace.flows tr));
+        check_bool "no delivery spans or markers" true
+          (List.for_all
+             (fun (s : Trace.span) ->
+               s.Trace.kind <> Trace.Marker
+               && not
+                    (String.length s.Trace.label >= 8
+                    && String.sub s.Trace.label 0 8 = "deliver:"))
+             (Trace.spans tr)));
+  ]
+
+let () =
+  Alcotest.run "obs"
+    [
+      ("metrics", metrics_tests);
+      ("metrics-laws", metrics_law_tests);
+      ("perfetto", perfetto_tests);
+      ("sim-env", sim_env_tests);
+      ("end-to-end", end_to_end_tests);
+    ]

@@ -26,7 +26,7 @@ let verify_case app arm gpus =
     Printf.sprintf "%s %s gpus=%d" (Pipeline.app_name app) (Pipeline.arm_name arm) gpus
   in
   Alcotest.test_case name `Quick (fun () ->
-      match Pipeline.verify app arm ~gpus with
+      match Pipeline.verify_env app arm ~gpus with
       | Ok err -> check_bool "tiny error" true (err <= 1e-9)
       | Error m -> Alcotest.fail m)
 
@@ -135,19 +135,19 @@ let bench2d = Pipeline.Jacobi2d { Programs.nx_global = 2048; ny_global = 2048; t
 let shape_tests =
   [
     Alcotest.test_case "CPU-Free beats the DaCe baseline at 8 GPUs (1D)" `Slow (fun () ->
-        let b = Pipeline.run bench1d Pipeline.Baseline_mpi ~gpus:8 in
-        let f = Pipeline.run bench1d Pipeline.Cpu_free ~gpus:8 in
+        let b = Pipeline.run_env bench1d Pipeline.Baseline_mpi ~gpus:8 in
+        let f = Pipeline.run_env bench1d Pipeline.Cpu_free ~gpus:8 in
         check_bool "faster" true Time.(f.Measure.total < b.Measure.total));
     Alcotest.test_case "CPU-Free wins even bigger on strided 2D" `Slow (fun () ->
-        let b1 = Pipeline.run bench1d Pipeline.Baseline_mpi ~gpus:8 in
-        let f1 = Pipeline.run bench1d Pipeline.Cpu_free ~gpus:8 in
-        let b2 = Pipeline.run bench2d Pipeline.Baseline_mpi ~gpus:8 in
-        let f2 = Pipeline.run bench2d Pipeline.Cpu_free ~gpus:8 in
+        let b1 = Pipeline.run_env bench1d Pipeline.Baseline_mpi ~gpus:8 in
+        let f1 = Pipeline.run_env bench1d Pipeline.Cpu_free ~gpus:8 in
+        let b2 = Pipeline.run_env bench2d Pipeline.Baseline_mpi ~gpus:8 in
+        let f2 = Pipeline.run_env bench2d Pipeline.Cpu_free ~gpus:8 in
         let s1 = Measure.speedup_pct ~baseline:b1 ~ours:f1 in
         let s2 = Measure.speedup_pct ~baseline:b2 ~ours:f2 in
         check_bool "2D speedup larger" true (s2 > s1));
     Alcotest.test_case "baseline 2D is communication-dominated" `Slow (fun () ->
-        let r, trace = Pipeline.run_traced bench2d Pipeline.Baseline_mpi ~gpus:8 in
+        let r, trace = Pipeline.run_traced_env bench2d Pipeline.Baseline_mpi ~gpus:8 in
         let frac = Cpufree_comm.Metrics.comm_fraction trace ~total:r.Measure.total in
         ignore frac;
         (* Host-side control dominates; device communication alone is a lower
@@ -156,7 +156,7 @@ let shape_tests =
     Alcotest.test_case "relaxed barriers are at least as fast as naive" `Slow (fun () ->
         let run relax =
           let built = Pipeline.compile ~relax bench1d Pipeline.Cpu_free ~gpus:4 in
-          Measure.run ~label:"x" ~gpus:4 ~iterations:10 built.D.Exec.program
+          Measure.run_env ~label:"x" ~gpus:4 ~iterations:10 built.D.Exec.program
         in
         let relaxed = run true and naive = run false in
         check_bool "relax helps" true Time.(relaxed.Measure.total <= naive.Measure.total));
@@ -179,7 +179,7 @@ let specialize_tests =
       (fun () ->
         List.iter
           (fun gpus ->
-            match Pipeline.verify ~specialize_tb:true app1d Pipeline.Cpu_free ~gpus with
+            match Pipeline.verify_env ~specialize_tb:true app1d Pipeline.Cpu_free ~gpus with
             | Ok _ -> ()
             | Error m -> Alcotest.fail (Printf.sprintf "gpus=%d: %s" gpus m))
           [ 1; 2; 4; 8 ]);
@@ -187,7 +187,7 @@ let specialize_tests =
       (fun () ->
         List.iter
           (fun gpus ->
-            match Pipeline.verify ~specialize_tb:true app2d Pipeline.Cpu_free ~gpus with
+            match Pipeline.verify_env ~specialize_tb:true app2d Pipeline.Cpu_free ~gpus with
             | Ok _ -> ()
             | Error m -> Alcotest.fail (Printf.sprintf "gpus=%d: %s" gpus m))
           [ 1; 2; 4; 8 ]);
@@ -207,7 +207,7 @@ let specialize_tests =
         in
         let run sp =
           let b = Pipeline.compile ~specialize_tb:sp big Pipeline.Cpu_free ~gpus:4 in
-          Measure.run ~label:"x" ~gpus:4 ~iterations:20 b.D.Exec.program
+          Measure.run_env ~label:"x" ~gpus:4 ~iterations:20 b.D.Exec.program
         in
         let conservative = run false and specialized = run true in
         check_bool "faster" true
@@ -217,7 +217,7 @@ let specialize_tests =
       (fun () ->
         List.iter
           (fun gpus ->
-            match Pipeline.verify ~specialize_tb:true app3d Pipeline.Cpu_free ~gpus with
+            match Pipeline.verify_env ~specialize_tb:true app3d Pipeline.Cpu_free ~gpus with
             | Ok _ -> ()
             | Error m -> Alcotest.fail (Printf.sprintf "gpus=%d: %s" gpus m))
           [ 1; 2; 4 ]);
@@ -249,7 +249,7 @@ let pipeline_props =
          (fun (log_gpus, chunk, tsteps) ->
            let gpus = 1 lsl log_gpus in
            let app = Pipeline.Jacobi1d { Programs.n_global = chunk * gpus; tsteps } in
-           let ok arm = Result.is_ok (Pipeline.verify app arm ~gpus) in
+           let ok arm = Result.is_ok (Pipeline.verify_env app arm ~gpus) in
            ok Pipeline.Baseline_mpi && ok Pipeline.Cpu_free));
   ]
 

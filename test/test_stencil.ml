@@ -190,7 +190,7 @@ let verify_case kind dims gpus iterations =
   in
   Alcotest.test_case name `Quick (fun () ->
       let problem = Problem.make ~backed:true dims ~iterations in
-      match Harness.verify kind problem ~gpus with
+      match Harness.verify_env kind problem ~gpus with
       | Ok err -> check_bool "small error" true (err <= Harness.tolerance)
       | Error m -> Alcotest.fail m)
 
@@ -222,12 +222,12 @@ let variant_misc_tests =
         check_bool "unknown" true (Variants.of_name "nope" = None));
     Alcotest.test_case "two-kernel cpu-free matches the reference" `Quick (fun () ->
         let problem = Problem.make ~backed:true (d2 24 24) ~iterations:4 in
-        match Harness.verify Variants.Cpu_free_multi problem ~gpus:4 with
+        match Harness.verify_env Variants.Cpu_free_multi problem ~gpus:4 with
         | Ok err -> check_bool "small error" true (err <= Harness.tolerance)
         | Error m -> Alcotest.fail m);
     Alcotest.test_case "two-kernel cpu-free matches in 3D too" `Quick (fun () ->
         let problem = Problem.make ~backed:true (d3 6 6 16) ~iterations:3 in
-        match Harness.verify Variants.Cpu_free_multi problem ~gpus:4 with
+        match Harness.verify_env Variants.Cpu_free_multi problem ~gpus:4 with
         | Ok err -> check_bool "small error" true (err <= Harness.tolerance)
         | Error m -> Alcotest.fail m);
     Alcotest.test_case "two-kernel design performs close to single-kernel (the paper's claim)"
@@ -235,22 +235,22 @@ let variant_misc_tests =
         (* Section 4: "We did not observe any significant performance
            improvement or degradation from this design". *)
         let problem = Problem.make (d2 2048 2048) ~iterations:20 in
-        let single = Harness.run Variants.Cpu_free problem ~gpus:8 in
-        let multi = Harness.run Variants.Cpu_free_multi problem ~gpus:8 in
+        let single = Harness.run_env Variants.Cpu_free problem ~gpus:8 in
+        let multi = Harness.run_env Variants.Cpu_free_multi problem ~gpus:8 in
         let ratio =
           Time.to_sec_float multi.Measure.total /. Time.to_sec_float single.Measure.total
         in
         check_bool "within 25%" true (ratio > 0.75 && ratio < 1.25));
     Alcotest.test_case "zero iterations leaves the initial state" `Quick (fun () ->
         let problem = Problem.make ~backed:true (d2 8 8) ~iterations:0 in
-        match Harness.verify Variants.Cpu_free problem ~gpus:2 with
+        match Harness.verify_env Variants.Cpu_free problem ~gpus:2 with
         | Ok err -> check_float "exact" 0.0 err
         | Error m -> Alcotest.fail m);
     Alcotest.test_case "cpu-free needs two planes per PE" `Quick (fun () ->
         let problem = Problem.make (d2 8 4) ~iterations:1 in
         let built = Variants.build Variants.Cpu_free problem ~gpus:4 in
         match
-          Measure.run ~label:"x" ~gpus:4 ~iterations:1 built.Variants.program
+          Measure.run_env ~label:"x" ~gpus:4 ~iterations:1 built.Variants.program
         with
         | (_ : Measure.result) -> Alcotest.fail "expected Invalid_argument"
         | exception Invalid_argument _ -> ());
@@ -258,7 +258,7 @@ let variant_misc_tests =
         let problem = Problem.make ~compute:false (d2 64 64) ~iterations:5 in
         List.iter
           (fun kind ->
-            let r = Harness.run kind problem ~gpus:4 in
+            let r = Harness.run_env kind problem ~gpus:4 in
             check_bool (Variants.name kind ^ " comm") true Time.(r.Measure.comm > Time.zero);
             check_bool (Variants.name kind ^ " bytes") true (r.Measure.bytes_moved > 0))
           Variants.extended);
@@ -271,7 +271,7 @@ let variant_misc_tests =
           (Harness.weak_efficiency pts));
     Alcotest.test_case "phantom mode moves no data but same simulated time" `Quick (fun () ->
         let run backed =
-          Harness.run Variants.Nvshmem
+          Harness.run_env Variants.Nvshmem
             (Problem.make ~backed (d2 32 32) ~iterations:4)
             ~gpus:4
         in
@@ -289,7 +289,7 @@ let variant_props =
          QCheck.(triple (int_range 4 20) (int_range 8 24) (int_range 0 6))
          (fun (nx, ny, iterations) ->
            let problem = Problem.make ~backed:true (Problem.D2 { nx; ny }) ~iterations in
-           match Harness.verify Variants.Cpu_free problem ~gpus:4 with
+           match Harness.verify_env Variants.Cpu_free problem ~gpus:4 with
            | Ok _ -> true
            | Error _ -> false));
     QCheck_alcotest.to_alcotest
@@ -300,7 +300,7 @@ let variant_props =
            let problem =
              Problem.make ~backed:true (Problem.D3 { nx; ny = nx; nz }) ~iterations
            in
-           match Harness.verify Variants.Nvshmem problem ~gpus:2 with
+           match Harness.verify_env Variants.Nvshmem problem ~gpus:2 with
            | Ok _ -> true
            | Error _ -> false));
   ]
@@ -327,14 +327,14 @@ let scaling_tests =
         check_int "points" 2 (List.length pts));
     Alcotest.test_case "verify requires backed buffers" `Quick (fun () ->
         let problem = Problem.make (d2 16 16) ~iterations:1 in
-        match Harness.verify Variants.Copy problem ~gpus:2 with
+        match Harness.verify_env Variants.Copy problem ~gpus:2 with
         | Ok _ -> Alcotest.fail "should refuse phantom"
         | Error m -> check_bool "explains" true (Astring.String.is_infix ~affix:"backed" m));
     Alcotest.test_case "cpu-free beats the fully CPU-controlled baseline (small domain)"
       `Quick (fun () ->
         let problem = Problem.make (d2 256 256) ~iterations:50 in
-        let copy = Harness.run Variants.Copy problem ~gpus:8 in
-        let free = Harness.run Variants.Cpu_free problem ~gpus:8 in
+        let copy = Harness.run_env Variants.Copy problem ~gpus:8 in
+        let free = Harness.run_env Variants.Cpu_free problem ~gpus:8 in
         check_bool "faster" true Time.(free.Measure.total < copy.Measure.total);
         let speedup = Measure.speedup_pct ~baseline:copy ~ours:free in
         check_bool "large speedup" true (speedup > 50.0));
@@ -345,7 +345,7 @@ let scaling_tests =
           let problem =
             Problem.make ?norm_every:norm (d2 512 512) ~iterations:20
           in
-          Harness.run kind problem ~gpus:4
+          Harness.run_env kind problem ~gpus:4
         in
         let base_plain = run Variants.Nvshmem None in
         let base_norm = run Variants.Nvshmem (Some 1) in
@@ -364,7 +364,7 @@ let scaling_tests =
         let problem = Problem.make ~backed:true ~norm_every:2 (d2 16 16) ~iterations:4 in
         List.iter
           (fun kind ->
-            match Harness.verify kind problem ~gpus:4 with
+            match Harness.verify_env kind problem ~gpus:4 with
             | Ok _ -> ()
             | Error m -> Alcotest.fail (Variants.name kind ^ ": " ^ m))
           [ Variants.Copy; Variants.Nvshmem; Variants.Cpu_free; Variants.Cpu_free_multi ]);
@@ -373,12 +373,12 @@ let scaling_tests =
           (fun () -> ignore (Problem.make ~norm_every:0 (d2 4 4) ~iterations:1)));
     Alcotest.test_case "H100 runs the same workload faster" `Quick (fun () ->
         let problem = Problem.make (d2 2048 2048) ~iterations:10 in
-        let a100 = Harness.run ~arch:G.Arch.a100_hgx Variants.Cpu_free problem ~gpus:4 in
-        let h100 = Harness.run ~arch:G.Arch.h100_hgx Variants.Cpu_free problem ~gpus:4 in
+        let a100 = Harness.run_env ~arch:G.Arch.a100_hgx Variants.Cpu_free problem ~gpus:4 in
+        let h100 = Harness.run_env ~arch:G.Arch.h100_hgx Variants.Cpu_free problem ~gpus:4 in
         check_bool "faster" true Time.(h100.Measure.total < a100.Measure.total));
     Alcotest.test_case "traced run produces device lanes" `Quick (fun () ->
         let problem = Problem.make (d2 64 64) ~iterations:2 in
-        let _, trace = Harness.run_traced Variants.Overlap problem ~gpus:2 in
+        let _, trace = Harness.run_traced_env Variants.Overlap problem ~gpus:2 in
         check_bool "lanes" true (List.length (E.Trace.lanes trace) >= 2));
   ]
 
