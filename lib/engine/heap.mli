@@ -20,5 +20,10 @@ val pop : 'a t -> 'a option
 
 val clear : 'a t -> unit
 
+val copy : 'a t -> 'a t
+(** Independent heap with the same contents (elements shared, structure
+    duplicated): mutations on either side never affect the other. The
+    optimistic PDES driver checkpoints partition event queues with this. *)
+
 val to_list_unordered : 'a t -> 'a list
 (** Current contents in unspecified order (for diagnostics). *)

@@ -37,6 +37,7 @@ type t = {
   pair_ports : E.Sync.Resource.t array array;
   pair_pids : int array array; (* topology port ids along each pair's route *)
   look : Time.t;
+  out_look : Time.t array; (* per-source outbound lookahead, indexed like pair_lat rows *)
   min_gpu_wire : Time.t;
   max_gpu_wire : Time.t;
   faults : F.plan option;
@@ -131,6 +132,25 @@ let create ?(topology = M.Topology.Hgx) ?faults ?metrics eng ~arch ~num_gpus =
   let gpu_wire pick fallback =
     match pick topo with Some l -> l | None -> fallback
   in
+  (* Per-source outbound lookahead: the cheapest interaction endpoint [si]
+     can initiate toward any peer. Memoized here so the adaptive driver can
+     widen windows per partition without touching the routing tables again. *)
+  let min_setup =
+    Time.min arch.Arch.host_initiated_latency arch.Arch.gpu_initiated_latency
+  in
+  let out_look =
+    Array.init m (fun si ->
+        let best = ref None in
+        for di = 0 to m - 1 do
+          if di <> si then begin
+            let l = Time.add pair_lat.((si * m) + di) min_setup in
+            match !best with
+            | None -> best := Some l
+            | Some b -> if Time.(l < b) then best := Some l
+          end
+        done;
+        match !best with Some l -> l | None -> look)
+  in
   {
     eng;
     arch;
@@ -143,6 +163,7 @@ let create ?(topology = M.Topology.Hgx) ?faults ?metrics eng ~arch ~num_gpus =
     pair_ports;
     pair_pids;
     look;
+    out_look;
     min_gpu_wire = gpu_wire M.Topology.min_gpu_pair_latency arch.Arch.nvlink_latency;
     max_gpu_wire = gpu_wire M.Topology.max_gpu_pair_latency arch.Arch.nvlink_latency;
     faults;
@@ -183,6 +204,12 @@ let serialization_time t ~k ~bytes =
    partitions plus the host/interconnect partition): the conservative window
    width for {!Cpufree_engine.Engine.run_windowed}. *)
 let lookahead t = t.look
+
+(* Cheapest latency of any interaction [src] itself can initiate — the
+   per-source bound the adaptive windowed driver sizes its windows with. *)
+let source_lookahead t ~src =
+  check_endpoint t src;
+  t.out_look.(match src with Gpu g -> g | Host -> t.n)
 
 let transfer_time t ~src ~dst ~initiator ~bytes =
   check_endpoint t src;

@@ -1,4 +1,21 @@
-type pdes = [ `Seq | `Windowed ]
+type pdes = [ `Seq | `Windowed | `Adaptive | `Optimistic ]
+
+let pdes_modes =
+  [
+    ("seq", `Seq);
+    ("sequential", `Seq);
+    ("windowed", `Windowed);
+    ("pdes", `Windowed);
+    ("adaptive", `Adaptive);
+    ("optimistic", `Optimistic);
+    ("timewarp", `Optimistic);
+  ]
+
+let pdes_to_string = function
+  | `Seq -> "seq"
+  | `Windowed -> "windowed"
+  | `Adaptive -> "adaptive"
+  | `Optimistic -> "optimistic"
 
 type t = {
   topology : Cpufree_machine.Topology.spec option;
@@ -28,12 +45,17 @@ let override ?topology ?faults ?fault_seed ?trace ?metrics ?pdes env =
 let pdes_of_env_var () : pdes =
   match Stdlib.Sys.getenv_opt "CPUFREE_PDES" with
   | None -> `Seq
-  | Some s ->
-    (match String.lowercase_ascii (String.trim s) with
-    | "" | "seq" | "sequential" -> `Seq
-    | "windowed" | "pdes" -> `Windowed
-    | other ->
-      invalid_arg (Printf.sprintf "CPUFREE_PDES=%S: expected \"seq\" or \"windowed\"" other))
+  | Some s -> (
+    match String.lowercase_ascii (String.trim s) with
+    | "" -> `Seq
+    | key -> (
+      match List.assoc_opt key pdes_modes with
+      | Some mode -> mode
+      | None ->
+        invalid_arg
+          (Printf.sprintf "CPUFREE_PDES=%S: valid modes are %s" s
+             (String.concat ", "
+                (List.map (fun (k, _) -> Printf.sprintf "%S" k) pdes_modes)))))
 
 let resolve_pdes env = match env.pdes with Some m -> m | None -> pdes_of_env_var ()
 

@@ -9,7 +9,7 @@
     no observability, HGX topology, execution mode from the [CPUFREE_PDES]
     environment variable. *)
 
-type pdes = [ `Seq | `Windowed ]
+type pdes = [ `Seq | `Windowed | `Adaptive | `Optimistic ]
 
 type t = {
   topology : Cpufree_machine.Topology.spec option;
@@ -50,10 +50,16 @@ val override :
 (** [override ... env]: [env] with the given fields replaced — how the
     deprecated per-field optional arguments fold into an environment. *)
 
+val pdes_to_string : pdes -> string
+(** Canonical lowercase name: ["seq"], ["windowed"], ["adaptive"],
+    ["optimistic"]. *)
+
 val pdes_of_env_var : unit -> pdes
 (** Parse [CPUFREE_PDES]: unset, [""], ["seq"], ["sequential"] are [`Seq];
-    ["windowed"], ["pdes"] are [`Windowed].
-    @raise Invalid_argument on anything else. *)
+    ["windowed"], ["pdes"] are [`Windowed]; ["adaptive"] is [`Adaptive];
+    ["optimistic"], ["timewarp"] are [`Optimistic].
+    @raise Invalid_argument on anything else, with a message listing every
+    valid mode. *)
 
 val resolve_pdes : t -> pdes
 (** The environment's execution mode, falling back to {!pdes_of_env_var}
