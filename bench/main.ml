@@ -881,6 +881,222 @@ let ablations () =
       (points, ()))
 
 (* ---------------------------------------------------------------- *)
+(* Fig K: collectives — device-initiated vs CPU-driven allreduce      *)
+(* ---------------------------------------------------------------- *)
+
+module Nv = Cpufree_comm.Nvshmem
+module Coll = Cpufree_comm.Collective
+module Interconnect = G.Interconnect
+
+(* Allreduce of one scalar per GPU on a cluster-scale machine: the
+   device-initiated schedule (signaled puts inside persistent kernels)
+   against the same schedule driven by the host (memcpy_async +
+   stream_synchronize per step) — the paper's control-path comparison,
+   taken beyond Jacobi to the collective itself. Every run also reports
+   how many endpoint pairs the fabric actually routed: on a 1024-GPU
+   machine the tree touches a sliver of the 10^6 possible pairs, which is
+   what makes the lazy tables pay off. *)
+
+let collective_expected gpus = float_of_int (gpus * (gpus + 1) / 2)
+
+let collective_device ~spec ~algorithm ~gpus =
+  let eng = E.Engine.create () in
+  let ctx =
+    G.Runtime.create eng ~env:(Cpufree_core.Sim_env.make ~topology:spec ()) ~num_gpus:gpus ()
+  in
+  let nv = Nv.init ctx in
+  let coll = Coll.create ~algorithm nv ~label:"coll" in
+  let expected = collective_expected gpus in
+  let ok = ref true in
+  for pe = 0 to gpus - 1 do
+    ignore
+      (E.Engine.spawn eng ~name:(Printf.sprintf "pe%d" pe) (fun () ->
+           if Coll.allreduce_sum coll ~pe (float_of_int (pe + 1)) <> expected then ok := false)
+        : E.Engine.process)
+  done;
+  E.Engine.run eng;
+  if not !ok then begin
+    Printf.eprintf "[collective] FATAL: device allreduce result mismatch\n%!";
+    exit 1
+  end;
+  (E.Engine.now eng, G.Runtime.net ctx)
+
+let collective_host ~spec ~algorithm ~gpus =
+  let eng = E.Engine.create () in
+  let ctx =
+    G.Runtime.create eng ~env:(Cpufree_core.Sim_env.make ~topology:spec ()) ~num_gpus:gpus ()
+  in
+  let out = ref [||] in
+  ignore
+    (E.Engine.spawn eng ~name:"host" (fun () ->
+         out :=
+           Coll.host_allreduce_sum ctx ~algorithm ~label:"coll"
+             (Array.init gpus (fun g -> float_of_int (g + 1))))
+      : E.Engine.process);
+  E.Engine.run eng;
+  let expected = collective_expected gpus in
+  if Array.length !out <> gpus || Array.exists (fun v -> v <> expected) !out then begin
+    Printf.eprintf "[collective] FATAL: host allreduce result mismatch\n%!";
+    exit 1
+  end;
+  (E.Engine.now eng, G.Runtime.net ctx)
+
+let fig_collective ~smoke () =
+  figure "fig.collective" (fun () ->
+      let counts = if smoke then [ 8; 256 ] else [ 8; 64; 256; 1024 ] in
+      let topologies gpus =
+        (if gpus <= 8 then Topology.Hgx else Topology.Dgx { nodes = gpus / 8 })
+        :: [
+             Topology.Fat_tree { arity = 4; rails = 2; gpus_per_node = 8 };
+             Topology.Dragonfly { a = 4; p = 4; h = 2; gpus_per_node = 8 };
+           ]
+      in
+      (* Dense and ring are n^2/n-step schedules — illustrative at small n,
+         pointless wall-clock at cluster scale, where the log-depth
+         schedules are the ones anyone would run. *)
+      let algorithms gpus =
+        if smoke then if gpus <= 8 then [ Coll.Dense; Coll.Tree ] else [ Coll.Tree; Coll.Doubling ]
+        else if gpus <= 64 then [ Coll.Dense; Coll.Ring; Coll.Tree; Coll.Doubling ]
+        else [ Coll.Tree; Coll.Doubling ]
+      in
+      let cells =
+        List.concat_map
+          (fun gpus ->
+            List.concat_map
+              (fun spec -> List.map (fun alg -> (gpus, spec, alg)) (algorithms gpus))
+              (topologies gpus))
+          counts
+      in
+      let runs =
+        Parallel.map
+          (fun (gpus, spec, alg) ->
+            let dev_t, dev_net = collective_device ~spec ~algorithm:alg ~gpus in
+            let host_t, host_net = collective_host ~spec ~algorithm:alg ~gpus in
+            (dev_t, dev_net, host_t, host_net))
+          cells
+      in
+      let grid = List.combine cells runs in
+      header
+        "Fig K  Collectives: device-initiated vs CPU-driven allreduce, one scalar per GPU \
+         (total us; pairs = endpoint pairs routed of gpus^2 possible)";
+      Printf.printf "%6s %16s %10s %12s %12s %8s %12s %10s\n" "gpus" "topology" "algorithm"
+        "device(us)" "host(us)" "speedup" "pairs-dev" "routing";
+      let points =
+        List.map
+          (fun ((gpus, spec, alg), (dev_t, dev_net, host_t, host_net)) ->
+            let routing = Topology.routing_kind (Interconnect.topology dev_net) in
+            let speedup =
+              if Time.to_ns dev_t = 0 then 0.0
+              else Time.to_sec_float host_t /. Time.to_sec_float dev_t
+            in
+            Printf.printf "%6d %16s %10s %12.2f %12.2f %7.2fx %12d %10s\n" gpus
+              (Topology.spec_to_string spec) (Coll.algorithm_to_string alg) (us dev_t)
+              (us host_t) speedup
+              (Interconnect.pairs_resolved dev_net)
+              routing;
+            List.map
+              (fun (driver, total, net) ->
+                J.Obj
+                  [
+                    ("label", J.String (driver ^ ":" ^ Coll.algorithm_to_string alg));
+                    ("driver", J.String driver);
+                    ("algorithm", J.String (Coll.algorithm_to_string alg));
+                    ("gpus", J.Int gpus);
+                    ("topology", J.String (Topology.spec_to_string spec));
+                    ("routing", J.String routing);
+                    ("total_ns", J.Int (Time.to_ns total));
+                    ("pairs_resolved", J.Int (Interconnect.pairs_resolved net));
+                  ])
+              [ ("device", dev_t, dev_net); ("host", host_t, host_net) ])
+          grid
+      in
+      (List.concat points, ()))
+
+(* Documented schema of the fig.collective series: every point names its
+   driver (device or host), algorithm, machine shape and routed-pair
+   footprint, and the figure must include a cluster-scale comparison — a
+   device/host pair on the same >= 256-GPU machine and algorithm. *)
+let validate_collective_doc doc =
+  let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let field kvs name = List.assoc_opt name kvs in
+  let point_shape i p =
+    match p with
+    | J.Obj kvs -> (
+      match
+        ( field kvs "driver",
+          field kvs "algorithm",
+          field kvs "gpus",
+          field kvs "topology",
+          field kvs "routing",
+          field kvs "total_ns",
+          field kvs "pairs_resolved" )
+      with
+      | ( Some (J.String ("device" | "host")),
+          Some (J.String _),
+          Some (J.Int _),
+          Some (J.String _),
+          Some (J.String _),
+          Some (J.Int _),
+          Some (J.Int _) ) ->
+        Ok ()
+      | _ ->
+        fail
+          "collective point %d: needs \"driver\" (device|host), string \
+           \"algorithm\"/\"topology\"/\"routing\", int \"gpus\"/\"total_ns\"/\"pairs_resolved\""
+          i)
+    | _ -> fail "collective point %d: not an object" i
+  in
+  let key kvs =
+    (field kvs "gpus", field kvs "topology", field kvs "algorithm")
+  in
+  let cluster_pair pts =
+    List.exists
+      (function
+        | J.Obj kvs ->
+          field kvs "driver" = Some (J.String "device")
+          && (match field kvs "gpus" with Some (J.Int g) -> g >= 256 | _ -> false)
+          && List.exists
+               (function
+                 | J.Obj kvs' ->
+                   field kvs' "driver" = Some (J.String "host") && key kvs' = key kvs
+                 | _ -> false)
+               pts
+        | _ -> false)
+      pts
+  in
+  match doc with
+  | J.Obj kvs -> (
+    match field kvs "figures" with
+    | Some (J.List figs) -> (
+      let coll =
+        List.filter_map
+          (function
+            | J.Obj f when field f "figure" = Some (J.String "fig.collective") -> Some f
+            | _ -> None)
+          figs
+      in
+      match coll with
+      | [ fig ] -> (
+        match field fig "points" with
+        | Some (J.List (_ :: _ as pts)) ->
+          let rec go i = function
+            | [] -> Ok ()
+            | p :: rest -> (match point_shape i p with Ok () -> go (i + 1) rest | e -> e)
+          in
+          (match go 0 pts with
+          | Error _ as e -> e
+          | Ok () ->
+            if cluster_pair pts then Ok ()
+            else
+              fail
+                "fig.collective has no device/host pair at >= 256 GPUs on the same machine \
+                 and algorithm")
+        | _ -> fail "fig.collective: missing or empty points list")
+      | l -> fail "expected exactly one fig.collective figure, found %d" (List.length l))
+    | _ -> fail "document has no figures list")
+  | _ -> fail "document is not an object"
+
+(* ---------------------------------------------------------------- *)
 (* Engine-throughput microbenchmark (`-- micro`)                     *)
 (* ---------------------------------------------------------------- *)
 
@@ -975,6 +1191,118 @@ let micro_fallback (r : Microbench.report) =
   | E.Engine.Sequential reason -> Some reason
   | E.Engine.Windowed _ | E.Engine.Adaptive _ | E.Engine.Optimistic _ -> None
 
+(* Topology build-time microbenchmark: constructing a 1024-GPU machine must
+   cost O(endpoints), not O(endpoints^2) — structural constructors build no
+   all-pairs tables at all, and even the Dijkstra-backed DGX cluster only
+   allocates empty rows. The one-second ceiling is a ~200x margin over the
+   measured cost; blowing it means an eager all-pairs loop crept back in. *)
+let run_micro_topology () =
+  figure "micro.topology" (fun () ->
+      let gpus = 1024 in
+      let specs =
+        [
+          Topology.Dgx { nodes = gpus / 8 };
+          Topology.Fat_tree { arity = 4; rails = 2; gpus_per_node = 8 };
+          Topology.Dragonfly { a = 4; p = 4; h = 2; gpus_per_node = 8 };
+        ]
+      in
+      Printf.printf "\ntopology build: %d GPUs (structural constructors route on demand)\n" gpus;
+      Printf.printf "%16s %12s %10s %12s %12s\n" "topology" "build(ms)" "vertices" "rows-cached"
+        "routing";
+      let points =
+        List.map
+          (fun spec ->
+            let t0 = wall () in
+            let t = Topology.instantiate spec ~profile:Topology.a100 ~gpus in
+            let build = wall () -. t0 in
+            (* Touch one cross-machine route so the lazy path demonstrably
+               works, then read back how little of the table it filled. *)
+            ignore (Topology.route_latency t ~src:(Topology.gpu_vertex t 0)
+                      ~dst:(Topology.gpu_vertex t (gpus - 1)) : Time.t);
+            let rows = Topology.route_rows_cached t in
+            let routing = Topology.routing_kind t in
+            if build > 1.0 then begin
+              Printf.eprintf
+                "[micro] FATAL: %s build took %.3fs for %d GPUs — lazy routing regressed\n%!"
+                (Topology.spec_to_string spec) build gpus;
+              exit 1
+            end;
+            Printf.printf "%16s %12.2f %10d %12d %12s\n" (Topology.spec_to_string spec)
+              (build *. 1e3) (Topology.num_vertices t) rows routing;
+            J.Obj
+              [
+                ("topology", J.String (Topology.spec_to_string spec));
+                ("gpus", J.Int gpus);
+                ("build_wall_sec", J.Float build);
+                ("vertices", J.Int (Topology.num_vertices t));
+                ("rows_cached", J.Int rows);
+                ("routing", J.String routing);
+              ])
+          specs
+      in
+      (points, ()))
+
+(* Schema of micro.topology: every point carries the machine shape, its
+   build wall-clock and the routing strategy; at least one >= 1024-GPU
+   machine must build structurally (no Dijkstra rows for its own route). *)
+let validate_micro_topology_doc doc =
+  let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let field kvs name = List.assoc_opt name kvs in
+  let point_shape i p =
+    match p with
+    | J.Obj kvs -> (
+      match
+        ( field kvs "topology",
+          field kvs "gpus",
+          field kvs "build_wall_sec",
+          field kvs "rows_cached",
+          field kvs "routing" )
+      with
+      | Some (J.String _), Some (J.Int _), Some (J.Float _), Some (J.Int _), Some (J.String _)
+        ->
+        Ok ()
+      | _ ->
+        fail
+          "micro.topology point %d: needs string \"topology\"/\"routing\", int \
+           \"gpus\"/\"rows_cached\", float \"build_wall_sec\""
+          i)
+    | _ -> fail "micro.topology point %d: not an object" i
+  in
+  let structural_large = function
+    | J.Obj kvs ->
+      (match field kvs "gpus" with Some (J.Int g) -> g >= 1024 | _ -> false)
+      && field kvs "routing" = Some (J.String "structural")
+    | _ -> false
+  in
+  match doc with
+  | J.Obj kvs -> (
+    match field kvs "figures" with
+    | Some (J.List figs) -> (
+      let topo =
+        List.filter_map
+          (function
+            | J.Obj f when field f "figure" = Some (J.String "micro.topology") -> Some f
+            | _ -> None)
+          figs
+      in
+      match topo with
+      | [ fig ] -> (
+        match field fig "points" with
+        | Some (J.List (_ :: _ as pts)) ->
+          let rec go i = function
+            | [] -> Ok ()
+            | p :: rest -> (match point_shape i p with Ok () -> go (i + 1) rest | e -> e)
+          in
+          (match go 0 pts with
+          | Error _ as e -> e
+          | Ok () ->
+            if List.exists structural_large pts then Ok ()
+            else fail "micro.topology has no structurally-routed >= 1024-GPU point")
+        | _ -> fail "micro.topology: missing or empty points list")
+      | l -> fail "expected exactly one micro.topology figure, found %d" (List.length l))
+    | _ -> fail "document has no figures list")
+  | _ -> fail "document is not an object"
+
 let run_micro ~smoke =
   header "Engine throughput: sequential vs conservative windowed partitioned execution";
   let cfg =
@@ -1016,7 +1344,8 @@ let run_micro ~smoke =
       (match micro_fallback win with
       | Some reason -> Printf.printf "note: windowed run fell back to sequential (%s)\n" reason
       | None -> ());
-      ([ micro_point seq ~speedup:1.0; micro_point win ~speedup ], ()))
+      ([ micro_point seq ~speedup:1.0; micro_point win ~speedup ], ()));
+  run_micro_topology ()
 
 (* ---------------------------------------------------------------- *)
 (* Instrumentation-overhead figure (`-- profile`)                    *)
@@ -1556,11 +1885,32 @@ let write_results ~mode ~elapsed =
       ]
   in
   if mode = "micro" || mode = "micro-smoke" then begin
-    match validate_micro_doc doc with
+    (match validate_micro_doc doc with
     | Ok () -> ()
     | Error msg ->
       Printf.eprintf "[micro] FATAL: BENCH_results.json violates the documented schema: %s\n%!"
         msg;
+      exit 1);
+    match validate_micro_topology_doc doc with
+    | Ok () -> ()
+    | Error msg ->
+      Printf.eprintf "[micro] FATAL: BENCH_results.json violates the documented schema: %s\n%!"
+        msg;
+      exit 1
+  end;
+  let has_collective =
+    List.exists
+      (function
+        | J.Obj f -> List.assoc_opt "figure" f = Some (J.String "fig.collective")
+        | _ -> false)
+      !json_figures
+  in
+  if has_collective then begin
+    match validate_collective_doc doc with
+    | Ok () -> ()
+    | Error msg ->
+      Printf.eprintf
+        "[collective] FATAL: BENCH_results.json violates the documented schema: %s\n%!" msg;
       exit 1
   end;
   let has_scaleout =
@@ -1663,6 +2013,15 @@ let () =
     write_results ~mode:(if smoke then "pdes-smoke" else "pdes") ~elapsed:(wall () -. t_start);
     exit 0
   end;
+  if List.mem "collective" args then begin
+    let smoke = List.mem "smoke" args in
+    let t_start = wall () in
+    fig_collective ~smoke ();
+    write_results
+      ~mode:(if smoke then "collective-smoke" else "collective")
+      ~elapsed:(wall () -. t_start);
+    exit 0
+  end;
   if List.mem "profile" args then begin
     let smoke = List.mem "smoke" args in
     let t_start = wall () in
@@ -1686,6 +2045,7 @@ let () =
     ablations ()
   end;
   fig_scaleout ~smoke:quick ();
+  fig_collective ~smoke:quick ();
   if with_bechamel || not quick then bechamel_suite ();
   let elapsed = wall () -. t_start in
   if json then write_results ~mode:(if quick then "quick" else "full") ~elapsed;

@@ -45,8 +45,12 @@ let arch_arg =
 
 let topology_arg =
   let doc =
-    "Machine topology: hgx (single-node NVSwitch all-to-all, the default), ring, pcie, or \
-     dgx[:NODES] (multi-node cluster joined by InfiniBand; GPUs split evenly across nodes)."
+    "Machine topology: hgx (single-node NVSwitch all-to-all, the default), ring, pcie, \
+     dgx[:NODES] (multi-node cluster joined by InfiniBand; GPUs split evenly across nodes), \
+     fat-tree[:ARITY[:RAILS[:GPN]]] (k-ary leaf/spine Clos, RAILS parallel NIC planes, GPN \
+     GPUs per node; defaults 4:1:8) or dragonfly[:A:P:H[:GPN]] (groups of A routers with P \
+     nodes each and H global links per router; defaults 4:2:2:8). The cluster shapes route \
+     structurally on demand, so --gpus can go to 1024 and beyond."
   in
   Arg.(value & opt string "hgx" & info [ "topology"; "t" ] ~docv:"TOPO" ~doc)
 

@@ -3,22 +3,49 @@
     Iterative solvers beyond stencils (conjugate gradient, the other workload
     class PERKS targets) need global reductions inside the persistent kernel
     — with a CPU-controlled runtime these are host round-trips; here every
-    PE contributes with non-blocking signaled single-element puts and no
-    host thread is involved.
+    PE contributes with non-blocking signaled puts and no host thread is
+    involved.
 
-    All operations are {e collective}: every PE of the group must call them,
-    from device-side (kernel) processes, once per logical round; rounds are
-    tracked internally so the scratch state is reusable. *)
+    Four allreduce schedules are available: the dense all-to-all scatter
+    (latency-optimal at small n, n² messages), the bandwidth-optimal ring,
+    the binomial gather/broadcast tree, and recursive doubling. All four are
+    allgathers into the same two-bank slot layout followed by an identical
+    in-order local reduction, so they return bit-identical results — the
+    choice only moves simulated time. A halo-exchange pipeline covers the
+    stencil-shaped pattern. Each has a CPU-driven baseline
+    ({!host_allreduce_sum}, {!host_halo_run}) that runs the same schedule as
+    host-issued [memcpy]/[synchronize] calls, extending the paper's
+    control-path comparison to collectives.
+
+    All device-side operations are {e collective}: every PE of the group
+    must call them, from device-side (kernel) processes, once per logical
+    round; rounds are tracked internally so the scratch state is reusable. *)
+
+(** Allgather schedule backing {!allreduce_sum}/{!allreduce_max}. *)
+type algorithm = Dense | Ring | Tree | Doubling
+
+val algorithm_of_string : string -> (algorithm, string) result
+(** ["dense"], ["ring"], ["tree"]/["binomial"], ["doubling"]/
+    ["recursive-doubling"]. Case-insensitive. *)
+
+val algorithm_to_string : algorithm -> string
 
 type t
 
-val create : Nvshmem.t -> label:string -> t
-(** Allocates the symmetric scratch (one contribution slot per PE and an
-    arrival signal). *)
+val create : ?algorithm:algorithm -> Nvshmem.t -> label:string -> t
+(** Allocates the symmetric scratch (two banks of one slot per PE plus the
+    arrival signals the schedule needs — a single shared counter for
+    [Dense]/[Ring], one signal per tree level / doubling phase for the
+    staged schedules, so a wait can only be satisfied by its own round's
+    senders). [algorithm] picks the communication schedule (default
+    [Dense], the original all-to-all). *)
+
+val algorithm : t -> algorithm
 
 val allreduce_sum : t -> pe:int -> float -> float
 (** Contribute a scalar; returns the sum over all PEs' contributions of this
-    round. Deterministic summation order (by PE index). *)
+    round. Deterministic summation order (by PE index), identical across
+    algorithms. *)
 
 val allreduce_max : t -> pe:int -> float -> float
 
@@ -27,3 +54,42 @@ val barrier : t -> pe:int -> unit
 
 val rounds : t -> pe:int -> int
 (** Completed reduction rounds on a PE (diagnostics). *)
+
+(** {1 Halo-exchange pipeline} *)
+
+type halo
+
+val halo_create : Nvshmem.t -> label:string -> width:int -> halo
+(** Scratch for a 1-D chain halo exchange of [width]-element edges
+    (two banks of out/in regions per side per PE). *)
+
+val halo_exchange :
+  halo -> pe:int -> left:float array -> right:float array -> float array option * float array option
+(** One pipeline stage: send my [left]/[right] edges to the chain
+    neighbours with signaled puts, wait for theirs, return the received
+    (left ghost, right ghost) — [None] at the chain ends. Edge arrays must
+    match the halo width. Stages are tracked internally; no barrier between
+    stages. *)
+
+val halo_stages : halo -> pe:int -> int
+(** Completed exchange stages on a PE (diagnostics). *)
+
+(** {1 CPU-driven baselines}
+
+    The same communication schedules orchestrated by a host thread: every
+    copy is a host-issued [memcpy_async] and every dependency a
+    [stream_synchronize], charging the host-API latencies the
+    device-initiated variants avoid. Call from a host process. *)
+
+val host_allreduce_sum :
+  Cpufree_gpu.Runtime.ctx -> algorithm:algorithm -> label:string -> float array -> float array
+(** Host-driven allreduce over one value per GPU ([values.(g)] lives on GPU
+    [g]); returns each GPU's resulting sum. The reduction order matches the
+    device-side variants, so results are bit-identical to
+    {!allreduce_sum}. *)
+
+val host_halo_run :
+  Cpufree_gpu.Runtime.ctx -> label:string -> width:int -> stages:int -> unit
+(** Host-driven bulk-synchronous halo pipeline: [stages] rounds of
+    edge-[memcpy] to both chain neighbours followed by a full stream
+    synchronize — the control-path cost the device pipeline avoids. *)

@@ -53,27 +53,48 @@ let route_json topo ~src ~dst =
       ("links", Json.List (List.map (fun l -> Json.Int l.T.lid) links));
     ]
 
+(* On a cluster-scale machine the full public-pair route matrix is O(V^2)
+   resolutions — exactly the table the lazy router exists to avoid. Past
+   [sample_cap] public endpoints the document carries the pairs among a
+   deterministic sample (the head and tail of the endpoint list, which
+   spans same-node, cross-node and NIC routes) and says so with a
+   "routes_sampled" marker; smaller machines — every preset that existed
+   before the cluster topologies — keep the exact full matrix and no
+   marker, byte for byte. *)
+let sample_cap = 24
+
+let route_sources publics =
+  let n = List.length publics in
+  if n <= sample_cap then (publics, false)
+  else
+    let arr = Array.of_list publics in
+    let half = sample_cap / 2 in
+    ( List.init half (fun i -> arr.(i)) @ List.init half (fun i -> arr.(n - half + i)),
+      true )
+
 let to_json topo =
   let publics = public_vertices topo in
+  let sample, sampled = route_sources publics in
   let routes =
     List.concat_map
       (fun src ->
         List.filter_map
           (fun dst -> if src.T.vid = dst.T.vid then None else Some (route_json topo ~src ~dst))
-          publics)
-      publics
+          sample)
+      sample
   in
   Json.Obj
-    [
-      ("schema_version", Json.Int schema_version);
-      ("name", Json.String (T.name topo));
-      ("nodes", Json.Int (T.num_nodes topo));
-      ("gpus", Json.Int (T.num_gpus topo));
-      ("endpoints", Json.List (List.map vertex_json (T.vertices topo)));
-      ("ports", Json.List (List.map (fun p -> Json.String p.T.pname) (T.ports topo)));
-      ("links", Json.List (List.map (link_json topo) (T.links topo)));
-      ("routes", Json.List routes);
-    ]
+    ([
+       ("schema_version", Json.Int schema_version);
+       ("name", Json.String (T.name topo));
+       ("nodes", Json.Int (T.num_nodes topo));
+       ("gpus", Json.Int (T.num_gpus topo));
+       ("endpoints", Json.List (List.map vertex_json (T.vertices topo)));
+       ("ports", Json.List (List.map (fun p -> Json.String p.T.pname) (T.ports topo)));
+       ("links", Json.List (List.map (link_json topo) (T.links topo)));
+       ("routes", Json.List routes);
+     ]
+    @ if sampled then [ ("routes_sampled", Json.Bool true) ] else [])
 
 (* Structural schema check, mirroring the benchmark-results validator: every
    emitted document must carry these fields with these shapes, so a consumer

@@ -12,7 +12,13 @@
                       "links"} ... ] }
     v}
     Routes cover every ordered pair of public endpoints (GPUs, hosts, NICs);
-    switch internals appear only as links. *)
+    switch internals appear only as links. On machines with more than 24
+    public endpoints the route list is instead the pair matrix of a
+    deterministic 24-endpoint sample (head and tail of the endpoint list)
+    and the document carries ["routes_sampled"]: true — resolving the full
+    matrix of a 1024-GPU cluster would rebuild the all-pairs table the lazy
+    router avoids. Documents for smaller machines are unchanged and carry
+    no marker. *)
 
 val schema_version : int
 

@@ -8,12 +8,13 @@ type endpoint = Gpu of int | Host
 type initiator = By_host | By_device
 
 (* The fabric is a thin façade over a routed {!Cpufree_machine.Topology}
-   graph: every endpoint pair's static route is folded at [create] into a
-   (wire latency, bottleneck inverse bandwidth, port resources) triple, so
-   the hot path of a stencil halo exchange — millions of [transfer_time]
-   calls per sweep — does no routing, no float division and no repeated
-   [Time] arithmetic, just array reads. Initiator setup cost is added on
-   top of the routed wire latency, exactly as the flat model did. *)
+   graph: the first transfer between an endpoint pair resolves its route
+   into a (wire latency, bottleneck inverse bandwidth, port resources)
+   entry, and every later [transfer_time] call on that pair — millions per
+   stencil sweep — does no routing, no float division and no repeated
+   [Time] arithmetic, just array reads. Only pairs that actually
+   communicate pay anything: a 1024-GPU machine running a ring allreduce
+   resolves ~2 entries per endpoint instead of the full (n+1)² table. *)
 
 (* Metrics instruments (when a registry is attached): run totals plus
    per-port byte and occupancy counters, sharded per engine partition so the
@@ -25,6 +26,17 @@ type instr = {
   m_port_busy : Mx.Counter.h array; (* occupied ns per port *)
 }
 
+(* One resolved endpoint pair. Immutable: concurrent partitions may race on
+   reading the memo slot, and the OCaml 5 memory model makes publishing an
+   immutable record safe — a racer either sees the entry or misses and
+   recomputes the identical one under the lock. *)
+type entry = {
+  e_lat : Time.t; (* wire only; initiator setup added per call *)
+  e_nsb : float;
+  e_ports : E.Sync.Resource.t array;
+  e_pids : int array; (* topology port ids along the route *)
+}
+
 type t = {
   eng : E.Engine.t;
   arch : Arch.t;
@@ -32,12 +44,11 @@ type t = {
   topo : M.Topology.t;
   ports : E.Sync.Resource.t array; (* one per topology port, indexed by pid *)
   setup : Time.t array; (* indexed by initiator *)
-  pair_lat : Time.t array; (* (src_idx * (n+1)) + dst_idx; wire only *)
-  pair_nsb : float array;
-  pair_ports : E.Sync.Resource.t array array;
-  pair_pids : int array array; (* topology port ids along each pair's route *)
+  rows : entry option array option array; (* rows.(src_idx).(dst_idx), lazy *)
+  lock : Mutex.t; (* guards rows/out_look fills *)
   look : Time.t;
-  out_look : Time.t array; (* per-source outbound lookahead, indexed like pair_lat rows *)
+  min_setup : Time.t;
+  out_look : Time.t option array; (* per-source outbound lookahead, lazy *)
   min_gpu_wire : Time.t;
   max_gpu_wire : Time.t;
   faults : F.plan option;
@@ -75,22 +86,6 @@ let create ?(topology = M.Topology.Hgx) ?faults ?metrics eng ~arch ~num_gpus =
   in
   let n = num_gpus in
   let m = n + 1 in
-  let pair_lat = Array.make (m * m) Time.zero in
-  let pair_nsb = Array.make (m * m) 0.0 in
-  let pair_ports = Array.make (m * m) [||] in
-  let pair_pids = Array.make (m * m) [||] in
-  for si = 0 to m - 1 do
-    for di = 0 to m - 1 do
-      let src = endpoint_of_idx n si and dst = endpoint_of_idx n di in
-      let vs, vd = vertex_pair topo ~src ~dst in
-      let k = (si * m) + di in
-      pair_lat.(k) <- M.Topology.route_latency topo ~src:vs ~dst:vd;
-      pair_nsb.(k) <- M.Topology.route_ns_per_byte topo ~src:vs ~dst:vd;
-      let route_pids = M.Topology.route_ports topo ~src:vs ~dst:vd in
-      pair_ports.(k) <- Array.of_list (List.map (fun p -> ports.(p)) route_pids);
-      pair_pids.(k) <- Array.of_list route_pids
-    done
-  done;
   let obs =
     match metrics with
     | None -> None
@@ -110,7 +105,8 @@ let create ?(topology = M.Topology.Hgx) ?faults ?metrics eng ~arch ~num_gpus =
   (* Conservative lookahead: cheapest cross-partition interaction the fabric
      can carry — the cheapest GPU pair plus device initiation, or the
      cheapest host attach plus the cheapest initiation. Mirrors
-     {!Arch.lookahead_bound}, which assumed the flat single-switch fabric. *)
+     {!Arch.lookahead_bound}, which assumed the flat single-switch fabric.
+     O(1) on structural topologies (tier-derived bounds). *)
   let look =
     let host_dev =
       match M.Topology.min_host_gpu_latency topo with
@@ -132,25 +128,6 @@ let create ?(topology = M.Topology.Hgx) ?faults ?metrics eng ~arch ~num_gpus =
   let gpu_wire pick fallback =
     match pick topo with Some l -> l | None -> fallback
   in
-  (* Per-source outbound lookahead: the cheapest interaction endpoint [si]
-     can initiate toward any peer. Memoized here so the adaptive driver can
-     widen windows per partition without touching the routing tables again. *)
-  let min_setup =
-    Time.min arch.Arch.host_initiated_latency arch.Arch.gpu_initiated_latency
-  in
-  let out_look =
-    Array.init m (fun si ->
-        let best = ref None in
-        for di = 0 to m - 1 do
-          if di <> si then begin
-            let l = Time.add pair_lat.((si * m) + di) min_setup in
-            match !best with
-            | None -> best := Some l
-            | Some b -> if Time.(l < b) then best := Some l
-          end
-        done;
-        match !best with Some l -> l | None -> look)
-  in
   {
     eng;
     arch;
@@ -158,12 +135,11 @@ let create ?(topology = M.Topology.Hgx) ?faults ?metrics eng ~arch ~num_gpus =
     topo;
     ports;
     setup = [| arch.Arch.host_initiated_latency; arch.Arch.gpu_initiated_latency |];
-    pair_lat;
-    pair_nsb;
-    pair_ports;
-    pair_pids;
+    rows = Array.make m None;
+    lock = Mutex.create ();
     look;
-    out_look;
+    min_setup = Time.min arch.Arch.host_initiated_latency arch.Arch.gpu_initiated_latency;
+    out_look = Array.make m None;
     min_gpu_wire = gpu_wire M.Topology.min_gpu_pair_latency arch.Arch.nvlink_latency;
     max_gpu_wire = gpu_wire M.Topology.max_gpu_pair_latency arch.Arch.nvlink_latency;
     faults;
@@ -183,22 +159,62 @@ let check_endpoint t = function
   | Gpu i ->
     if i < 0 || i >= t.n then invalid_arg (Printf.sprintf "Interconnect: no such GPU %d" i)
 
-let pair_idx t ~src ~dst =
-  let idx = function Gpu g -> g | Host -> t.n in
-  (idx src * (t.n + 1)) + idx dst
+let idx_of t = function Gpu g -> g | Host -> t.n
+
+(* Resolve an endpoint pair's routing entry, filling the memo on first use.
+   Double-checked: the lock-free fast path either sees the immutable entry
+   or falls through to the locked fill, which re-checks before resolving
+   (route resolution is deterministic, so a lost race costs only time). *)
+let resolve t ~si ~di =
+  let fill () =
+    Mutex.lock t.lock;
+    let row =
+      match t.rows.(si) with
+      | Some row -> row
+      | None ->
+        let row = Array.make (t.n + 1) None in
+        t.rows.(si) <- Some row;
+        row
+    in
+    let e =
+      match row.(di) with
+      | Some e -> e
+      | None ->
+        let src = endpoint_of_idx t.n si and dst = endpoint_of_idx t.n di in
+        let vs, vd = vertex_pair t.topo ~src ~dst in
+        let route_pids = M.Topology.route_ports t.topo ~src:vs ~dst:vd in
+        let e =
+          {
+            e_lat = M.Topology.route_latency t.topo ~src:vs ~dst:vd;
+            e_nsb = M.Topology.route_ns_per_byte t.topo ~src:vs ~dst:vd;
+            e_ports = Array.of_list (List.map (fun p -> t.ports.(p)) route_pids);
+            e_pids = Array.of_list route_pids;
+          }
+        in
+        row.(di) <- Some e;
+        e
+    in
+    Mutex.unlock t.lock;
+    e
+  in
+  match t.rows.(si) with
+  | Some row -> ( match row.(di) with Some e -> e | None -> fill ())
+  | None -> fill ()
+
+let entry_for t ~src ~dst = resolve t ~si:(idx_of t src) ~di:(idx_of t dst)
 
 let wire_latency t ~src ~dst =
   check_endpoint t src;
   check_endpoint t dst;
-  t.pair_lat.(pair_idx t ~src ~dst)
+  (entry_for t ~src ~dst).e_lat
 
 let min_gpu_wire_latency t = t.min_gpu_wire
 let max_gpu_wire_latency t = t.max_gpu_wire
 
-let path_latency t ~k ~initiator = Time.add t.pair_lat.(k) t.setup.(init_idx initiator)
+let path_latency t e ~initiator = Time.add e.e_lat t.setup.(init_idx initiator)
 
-let serialization_time t ~k ~bytes =
-  if bytes = 0 then Time.zero else Time.of_ns_float (float_of_int bytes *. t.pair_nsb.(k))
+let serialization_time e ~bytes =
+  if bytes = 0 then Time.zero else Time.of_ns_float (float_of_int bytes *. e.e_nsb)
 
 (* Cheapest latency of any interaction that crosses partitions (device
    partitions plus the host/interconnect partition): the conservative window
@@ -206,16 +222,46 @@ let serialization_time t ~k ~bytes =
 let lookahead t = t.look
 
 (* Cheapest latency of any interaction [src] itself can initiate — the
-   per-source bound the adaptive windowed driver sizes its windows with. *)
+   per-source bound the adaptive windowed driver sizes its windows with.
+   Resolved lazily per source by querying the topology directly (an O(m)
+   scan of O(path-length) structural lookups), deliberately bypassing the
+   pair memo so sizing windows for 1024 partitions never materializes the
+   quadratic table. *)
 let source_lookahead t ~src =
   check_endpoint t src;
-  t.out_look.(match src with Gpu g -> g | Host -> t.n)
+  let si = idx_of t src in
+  match t.out_look.(si) with
+  | Some l -> l
+  | None ->
+    Mutex.lock t.lock;
+    let l =
+      match t.out_look.(si) with
+      | Some l -> l
+      | None ->
+        let best = ref None in
+        for di = 0 to t.n do
+          if di <> si then begin
+            let sv, dv =
+              vertex_pair t.topo ~src:(endpoint_of_idx t.n si) ~dst:(endpoint_of_idx t.n di)
+            in
+            let l = Time.add (M.Topology.route_latency t.topo ~src:sv ~dst:dv) t.min_setup in
+            match !best with
+            | None -> best := Some l
+            | Some b -> if Time.(l < b) then best := Some l
+          end
+        done;
+        let l = match !best with Some l -> l | None -> t.look in
+        t.out_look.(si) <- Some l;
+        l
+    in
+    Mutex.unlock t.lock;
+    l
 
 let transfer_time t ~src ~dst ~initiator ~bytes =
   check_endpoint t src;
   check_endpoint t dst;
-  let k = pair_idx t ~src ~dst in
-  Time.add (path_latency t ~k ~initiator) (serialization_time t ~k ~bytes)
+  let e = entry_for t ~src ~dst in
+  Time.add (path_latency t e ~initiator) (serialization_time e ~bytes)
 
 (* Whether a transfer crosses node boundaries (and therefore rides a NIC). *)
 let inter_node t ~src ~dst =
@@ -236,9 +282,9 @@ let transfer t ~src ~dst ~initiator ~bytes ?trace_lane ?(label = "xfer") () =
   check_endpoint t src;
   check_endpoint t dst;
   if bytes < 0 then invalid_arg "Interconnect.transfer: negative size";
-  let k = pair_idx t ~src ~dst in
-  let latency = path_latency t ~k ~initiator in
-  let dur = serialization_time t ~k ~bytes in
+  let e = entry_for t ~src ~dst in
+  let latency = path_latency t e ~initiator in
+  let dur = serialization_time e ~bytes in
   (* Fault-plan degradation: link-flap windows multiply serialization on
      every path; a NIC outage holds inter-node transfers to its end. *)
   let latency, dur =
@@ -253,7 +299,7 @@ let transfer t ~src ~dst ~initiator ~bytes ?trace_lane ?(label = "xfer") () =
   in
   let t0 = E.Engine.now t.eng in
   let finish =
-    match t.pair_ports.(k) with
+    match e.e_ports with
     | [||] -> Time.add (Time.add t0 latency) dur
     | ps ->
       let start = E.Sync.Resource.book_many (Array.to_list ps) ~duration:dur in
@@ -272,7 +318,7 @@ let transfer t ~src ~dst ~initiator ~bytes ?trace_lane ?(label = "xfer") () =
       (fun pid ->
         Mx.Counter.add ~slot o.m_port_bytes.(pid) bytes;
         Mx.Counter.add ~slot o.m_port_busy.(pid) dur_ns)
-      t.pair_pids.(k));
+      e.e_pids);
   E.Engine.delay t.eng (Time.sub finish t0);
   match trace_lane with
   | None -> ()
@@ -282,6 +328,17 @@ let transfer t ~src ~dst ~initiator ~bytes ?trace_lane ?(label = "xfer") () =
 
 let bytes_moved t = t.total_bytes
 let transfers t = t.total_transfers
+
+let pairs_resolved t =
+  Mutex.lock t.lock;
+  let c = ref 0 in
+  Array.iter
+    (function
+      | None -> ()
+      | Some row -> Array.iter (function Some _ -> incr c | None -> ()) row)
+    t.rows;
+  Mutex.unlock t.lock;
+  !c
 
 let port_busy t ~gpu =
   if gpu < 0 || gpu >= t.n then invalid_arg "Interconnect.port_busy: no such GPU";

@@ -2,10 +2,12 @@
 
     The fabric instantiates a {!Cpufree_machine.Topology} (NVSwitch HGX node
     by default — the flat all-to-all of the paper's evaluation — or a ring,
-    a PCIe-only box, or a multi-node DGX cluster joined by InfiniBand) and
-    folds every endpoint pair's static route into memoized wire latency,
-    bottleneck inverse bandwidth and contention ports, so the per-transfer
-    hot path stays table lookups.
+    a PCIe-only box, a multi-node DGX cluster, a multi-rail fat tree or a
+    dragonfly) and resolves each endpoint pair's route on first use into a
+    memoized (wire latency, bottleneck inverse bandwidth, contention ports)
+    entry, so the per-transfer hot path stays table lookups while only the
+    pairs that actually communicate ever pay for routing — the memo is
+    O(pairs used), not O(endpoints²).
 
     Each contention point (a GPU's egress/ingress engine, a host PCIe port,
     a NIC direction, a shared PCIe root) is a serially reusable bandwidth
@@ -34,7 +36,9 @@ val create :
 (** Build the fabric for [num_gpus] GPUs arranged per [topology] (default
     {!Cpufree_machine.Topology.Hgx}, which reproduces the flat NVSwitch
     model path for path). Per-pair routed latencies, inverse bandwidths and
-    port sets are memoized here, once. [faults] activates fault-plan
+    port sets are memoized lazily, on each pair's first transfer — creating
+    a 1024-GPU fabric allocates O(endpoints), not O(endpoints²). [faults]
+    activates fault-plan
     degradation on every transfer: link-flap serialization multipliers and
     NIC-outage holds on inter-node paths. [metrics] registers fabric
     instruments in the given registry — run totals ([fabric.transfers],
@@ -60,9 +64,9 @@ val lookahead : t -> Cpufree_engine.Time.t
 val source_lookahead : t -> src:endpoint -> Cpufree_engine.Time.t
 (** Per-source outbound lookahead: the minimum latency of any interaction
     [src] itself can initiate toward a peer (cheapest routed wire plus the
-    cheapest initiation cost). Memoized at {!create}, so the adaptive
-    windowed driver can consult it per window without re-walking the
-    routing tables. *)
+    cheapest initiation cost). Resolved lazily per source and memoized, so
+    the adaptive windowed driver can consult it per window without
+    re-walking the routing tables — and without filling the pair memo. *)
 
 val wire_latency : t -> src:endpoint -> dst:endpoint -> Cpufree_engine.Time.t
 (** Routed wire latency between two endpoints, without initiator setup. *)
@@ -96,5 +100,10 @@ val bytes_moved : t -> int
 (** Total payload bytes transported so far. *)
 
 val transfers : t -> int
+
+val pairs_resolved : t -> int
+(** Number of endpoint pairs whose routes have been resolved into the memo
+    so far — the footprint the lazy fill actually paid for. *)
+
 val port_busy : t -> gpu:int -> Cpufree_engine.Time.t * Cpufree_engine.Time.t
 (** (egress, ingress) cumulative busy time of a GPU's ports. *)

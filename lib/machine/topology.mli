@@ -3,10 +3,20 @@
     A machine is a directed graph of vertices (GPUs, hosts, NICs and internal
     switch fabric) connected by links (NVLink ports, PCIe lanes, InfiniBand
     hops). Every link carries its own first-byte latency, inverse bandwidth
-    and the contention ports a transfer crossing it must book. Static
-    shortest-latency routes between all vertex pairs are computed once at
-    build time (deterministic Dijkstra: ties broken by hop count, then link
-    id), so the per-transfer hot path is a table lookup.
+    and the contention ports a transfer crossing it must book.
+
+    Routes are shortest-latency and resolved {e on demand}. Structural
+    topologies ({!fat_tree}, {!dragonfly}) compute each route in O(path
+    length) from the construction itself — up/down through the tree, minimal
+    local–global–local across the dragonfly — so a 1024-GPU machine never
+    materializes an all-pairs table. Hand-built/irregular topologies (and the
+    rare structural pair the closed form declines, e.g. a core-switch
+    endpoint) fall back to lazy per-source Dijkstra rows behind a bounded
+    FIFO cache ({!set_route_cache}). The Dijkstra is deterministic (ties
+    broken by hop count, then link id) and a recomputed row is identical to
+    an evicted one, so cache size never changes any route; resolution is
+    mutex-guarded, so concurrent domains (the windowed PDES drivers) may
+    query freely.
 
     The single-node HGX constructor reproduces the flat NVSwitch all-to-all
     the paper evaluates on, link for link: a GPU-to-GPU route totals exactly
@@ -43,7 +53,7 @@ type vertex_kind =
   | Gpu of { node : int; device : int }  (** [device] is the index within the node *)
   | Host of { node : int }
   | Nic of { node : int }
-  | Switch of { node : int option }  (** [None]: the global inter-node spine *)
+  | Switch of { node : int option }  (** [None]: inter-node core fabric *)
 
 type vertex = {
   vid : int;
@@ -93,26 +103,55 @@ val pcie_only : profile:profile -> gpus:int -> t
 (** No NVLink at all: every GPU and the host hang off one PCIe root complex.
     All peer traffic shares the root port — the pre-NVLink worst case. *)
 
+val fat_tree :
+  profile:profile -> arity:int -> rails:int -> nodes:int -> gpus_per_node:int -> t
+(** k-ary fat tree of HGX nodes with [rails] independent NIC/leaf/spine
+    planes per node. A leaf switch groups [arity] nodes; planes with more
+    than one leaf add a spine layer every leaf connects to. Intra-leaf
+    inter-node routes cost exactly [2*pcie + ib] (same as the dgx-cluster
+    spine), cross-leaf routes [2*pcie + 2*ib]. Routing is structural
+    up/down; rails and spines are chosen deterministically from the endpoint
+    pair, spreading traffic without a route table. *)
+
+val dragonfly :
+  profile:profile -> a:int -> p:int -> h:int -> nodes:int -> gpus_per_node:int -> t
+(** Dragonfly of HGX nodes: groups of [a] routers with [p] nodes per router
+    and [h] global links per router, groups connected all-to-all by an
+    absolute arrangement. Local router-router hops cost [ib_latency]; global
+    optical hops cost [3*ib_latency], which makes the minimal
+    local–global–local route strictly shortest — structural routing
+    coincides with Dijkstra. Requires [groups - 1 <= a*h] when more than one
+    group is populated. *)
+
 (** {1 Specs (CLI-facing)} *)
 
-type spec = Hgx | Ring | Pcie_only | Dgx of { nodes : int }
+type spec =
+  | Hgx
+  | Ring
+  | Pcie_only
+  | Dgx of { nodes : int }
+  | Fat_tree of { arity : int; rails : int; gpus_per_node : int }
+  | Dragonfly of { a : int; p : int; h : int; gpus_per_node : int }
 
 val spec_of_string : string -> (spec, string) result
-(** ["hgx"], ["ring"], ["pcie"]/["pcie_only"], ["dgx"] (2 nodes) or
-    ["dgx:N"]. Case-insensitive. *)
+(** ["hgx"], ["ring"], ["pcie"]/["pcie_only"], ["dgx"] (2 nodes), ["dgx:N"],
+    ["fat-tree[:ARITY[:RAILS[:GPN]]]"] (defaults 4:1:8) or
+    ["dragonfly[:A:P:H[:GPN]]"] (defaults 4:2:2:8). Case-insensitive. *)
 
 val spec_to_string : spec -> string
 
 val validate : spec -> gpus:int -> (unit, string) result
 (** Check that the spec can be instantiated for [gpus] GPUs — a positive
-    count, splitting evenly across [Dgx] nodes. Lets a CLI reject a bad
+    count, splitting evenly across [Dgx] nodes / [gpus_per_node], dragonfly
+    group count within the global-link budget. Lets a CLI reject a bad
     combination with a friendly message instead of the [Invalid_argument]
     that {!instantiate} raises. *)
 
 val instantiate : spec -> profile:profile -> gpus:int -> t
 (** Build the spec's graph for a total of [gpus] GPUs. For [Dgx] the GPUs are
-    split evenly across nodes; raises [Invalid_argument] if [gpus] is not a
-    positive multiple of the node count. *)
+    split evenly across nodes; for [Fat_tree]/[Dragonfly] the node count is
+    [gpus / gpus_per_node]. Raises [Invalid_argument] when {!validate}
+    would return [Error]. *)
 
 (** {1 Accessors} *)
 
@@ -142,7 +181,7 @@ val gpu_ingress_port : t -> int -> int
 val reachable : t -> src:int -> dst:int -> bool
 
 val route : t -> src:int -> dst:int -> link list
-(** The links of the static shortest-latency route, in travel order. *)
+(** The links of the shortest-latency route, in travel order. *)
 
 val route_latency : t -> src:int -> dst:int -> Time.t
 (** Sum of link latencies along the route. *)
@@ -155,12 +194,38 @@ val route_ports : t -> src:int -> dst:int -> int list
     order. *)
 
 val min_gpu_pair_latency : t -> Time.t option
-(** Cheapest routed latency between two distinct GPUs ([None] with < 2). *)
+(** Cheapest routed latency between two distinct GPUs ([None] with < 2).
+    O(1) on structural topologies (derived from tier latencies); the exact
+    all-pairs fold only runs on irregular table-routed graphs. *)
 
 val max_gpu_pair_latency : t -> Time.t option
+(** Upper bound on routed GPU-pair latency — exact on table-routed graphs,
+    a tier-derived bound on structural ones (every route is guaranteed at or
+    under it). *)
 
 val min_host_gpu_latency : t -> Time.t option
 (** Cheapest routed latency of any host-to-GPU or GPU-to-host route. *)
+
+(** {1 Routing internals (introspection and tests)} *)
+
+val routing_kind : t -> string
+(** ["structural"] (fat-tree/dragonfly closed-form paths) or ["tables"]
+    (lazy per-source Dijkstra rows). *)
+
+val set_route_cache : t -> int -> unit
+(** Cap the number of cached per-source Dijkstra rows (clamped to >= 1);
+    evicts oldest rows immediately if over the new cap. Affects memory and
+    speed only — recomputation is deterministic, so routes are identical at
+    any cache size. Default: 64 rows. *)
+
+val route_rows_cached : t -> int
+(** Number of per-source rows currently cached (structural topologies only
+    count fallback rows — normally 0). *)
+
+val dijkstra_reference : t -> src:int -> dst:int -> (int list * Time.t) option
+(** Freshly computed, never-cached shortest path: the link ids in travel
+    order and the total latency, or [None] if unreachable. The oracle the
+    structural routers are property-tested against. *)
 
 val string_of_link_kind : link_kind -> string
 val string_of_vertex_kind : vertex_kind -> string

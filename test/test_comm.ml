@@ -429,6 +429,154 @@ let collective_tests =
             check_float "self" 7.5 (Collective.allreduce_sum coll ~pe 7.5)));
   ]
 
+(* Every schedule is a position-preserving allgather followed by the same
+   in-order local reduce, so each must reproduce the dense result bit for
+   bit — including the non-power-of-two counts that exercise the tree
+   remainder handling and the doubling pre/post folds. *)
+let algo_run ~algorithm ~gpus =
+  let eng = Engine.create () in
+  let ctx = G.Runtime.create eng ~num_gpus:gpus () in
+  let nv = Nv.init ctx in
+  let coll = Collective.create ~algorithm nv ~label:"c" in
+  let results = Array.make gpus nan in
+  for pe = 0 to gpus - 1 do
+    let (_ : Engine.process) =
+      Engine.spawn eng ~name:(Printf.sprintf "pe%d" pe) (fun () ->
+          let s = Collective.allreduce_sum coll ~pe (float_of_int ((pe * 3) + 1)) in
+          let m = Collective.allreduce_max coll ~pe (float_of_int (pe * 7 mod 5)) in
+          results.(pe) <- s +. (1000.0 *. m))
+    in
+    ()
+  done;
+  Engine.run eng;
+  results
+
+let algorithm_tests =
+  [
+    Alcotest.test_case "every algorithm matches dense bit for bit" `Quick (fun () ->
+        List.iter
+          (fun gpus ->
+            let dense = algo_run ~algorithm:Collective.Dense ~gpus in
+            List.iter
+              (fun algorithm ->
+                if algo_run ~algorithm ~gpus <> dense then
+                  Alcotest.failf "%s differs from dense at %d PEs"
+                    (Collective.algorithm_to_string algorithm)
+                    gpus)
+              [ Collective.Ring; Collective.Tree; Collective.Doubling ])
+          [ 1; 2; 3; 5; 6; 8; 13 ]);
+    Alcotest.test_case "algorithm names round-trip" `Quick (fun () ->
+        List.iter
+          (fun a ->
+            match Collective.algorithm_of_string (Collective.algorithm_to_string a) with
+            | Ok b when b = a -> ()
+            | _ -> Alcotest.failf "%s does not round-trip" (Collective.algorithm_to_string a))
+          [ Collective.Dense; Collective.Ring; Collective.Tree; Collective.Doubling ];
+        check_bool "junk rejected" true
+          (match Collective.algorithm_of_string "butterfly" with Error _ -> true | Ok _ -> false));
+    Alcotest.test_case "halo exchange delivers both edges per stage" `Quick (fun () ->
+        let gpus = 5 and w = 3 in
+        let eng = Engine.create () in
+        let ctx = G.Runtime.create eng ~num_gpus:gpus () in
+        let nv = Nv.init ctx in
+        let h = Collective.halo_create nv ~label:"h" ~width:w in
+        let failures = ref [] in
+        for pe = 0 to gpus - 1 do
+          let (_ : Engine.process) =
+            Engine.spawn eng ~name:(Printf.sprintf "h%d" pe) (fun () ->
+                for stage = 1 to 4 do
+                  let edge base =
+                    Array.init w (fun i -> float_of_int ((stage * 100) + (base * 10) + i))
+                  in
+                  let l, r = Collective.halo_exchange h ~pe ~left:(edge pe) ~right:(edge (pe + 100)) in
+                  (match l with
+                  | Some g ->
+                    if g <> edge (pe - 1 + 100) then
+                      failures := Printf.sprintf "pe %d stage %d left ghost" pe stage :: !failures
+                  | None -> if pe <> 0 then failures := "missing left ghost" :: !failures);
+                  (match r with
+                  | Some g ->
+                    if g <> edge (pe + 1) then
+                      failures := Printf.sprintf "pe %d stage %d right ghost" pe stage :: !failures
+                  | None -> if pe <> gpus - 1 then failures := "missing right ghost" :: !failures)
+                done;
+                check_int "stage count" 4 (Collective.halo_stages h ~pe))
+          in
+          ()
+        done;
+        Engine.run eng;
+        (match !failures with [] -> () | f :: _ -> Alcotest.failf "halo mismatch: %s" f));
+    Alcotest.test_case "host baselines reduce to the same sums" `Quick (fun () ->
+        List.iter
+          (fun (algorithm, gpus) ->
+            let eng = Engine.create () in
+            let ctx = G.Runtime.create eng ~num_gpus:gpus () in
+            let out = ref [||] in
+            let (_ : Engine.process) =
+              Engine.spawn eng ~name:"host" (fun () ->
+                  out :=
+                    Collective.host_allreduce_sum ctx ~algorithm ~label:"hb"
+                      (Array.init gpus (fun g -> float_of_int (g + 1))))
+            in
+            Engine.run eng;
+            let expected = float_of_int (gpus * (gpus + 1) / 2) in
+            Array.iteri
+              (fun g v ->
+                if v <> expected then
+                  Alcotest.failf "host %s at %d PEs: gpu %d got %f, want %f"
+                    (Collective.algorithm_to_string algorithm)
+                    gpus g v expected)
+              !out;
+            check_bool "host run takes simulated time" true Time.(Engine.now eng > zero))
+          [
+            (Collective.Dense, 4);
+            (Collective.Ring, 5);
+            (Collective.Tree, 5);
+            (Collective.Tree, 8);
+            (Collective.Doubling, 5);
+            (Collective.Doubling, 8);
+          ]);
+    Alcotest.test_case "host halo pipeline runs its stages" `Quick (fun () ->
+        let eng = Engine.create () in
+        let ctx = G.Runtime.create eng ~num_gpus:4 () in
+        let (_ : Engine.process) =
+          Engine.spawn eng ~name:"hh" (fun () ->
+              Collective.host_halo_run ctx ~label:"hh" ~width:8 ~stages:3)
+        in
+        Engine.run eng;
+        check_bool "host halo takes simulated time" true Time.(Engine.now eng > zero));
+  ]
+
+(* --- Fabric: lazy pair tables -------------------------------------------- *)
+
+let fabric_tests =
+  [
+    Alcotest.test_case "pair memo fills per pair used, not eagerly" `Quick (fun () ->
+        let eng = Engine.create () in
+        let net = G.Interconnect.create eng ~arch:G.Arch.a100_hgx ~num_gpus:8 in
+        check_int "nothing routed at creation" 0 (G.Interconnect.pairs_resolved net);
+        ignore (G.Interconnect.lookahead net : Time.t);
+        ignore (G.Interconnect.min_gpu_wire_latency net : Time.t);
+        ignore (G.Interconnect.max_gpu_wire_latency net : Time.t);
+        check_int "bounds come from the topology, not the memo" 0
+          (G.Interconnect.pairs_resolved net);
+        let t01 =
+          G.Interconnect.transfer_time net ~src:(G.Interconnect.Gpu 0)
+            ~dst:(G.Interconnect.Gpu 1) ~initiator:G.Interconnect.By_device ~bytes:4096
+        in
+        check_int "one transfer routes one pair" 1 (G.Interconnect.pairs_resolved net);
+        let again =
+          G.Interconnect.transfer_time net ~src:(G.Interconnect.Gpu 0)
+            ~dst:(G.Interconnect.Gpu 1) ~initiator:G.Interconnect.By_device ~bytes:4096
+        in
+        check_bool "repeat hits the memo" true (Time.equal t01 again);
+        check_int "still one pair" 1 (G.Interconnect.pairs_resolved net);
+        ignore
+          (G.Interconnect.wire_latency net ~src:(G.Interconnect.Gpu 2) ~dst:G.Interconnect.Host
+            : Time.t);
+        check_int "distinct pair adds one entry" 2 (G.Interconnect.pairs_resolved net));
+  ]
+
 let comm_props =
   [
     QCheck_alcotest.to_alcotest
@@ -482,5 +630,6 @@ let () =
       ("host-path", host_path_tests);
       ("p2p", p2p_tests);
       ("metrics", metrics_tests);
-      ("collective", collective_tests @ comm_props);
+      ("collective", collective_tests @ algorithm_tests @ comm_props);
+      ("fabric", fabric_tests);
     ]

@@ -119,6 +119,92 @@ let test_pcie_only () =
     [ "gpu0.egress"; "pcie.root"; "gpu3.ingress" ]
     (port_names t ~src:a ~dst:b)
 
+(* ---------------- cluster fabrics: fat tree and dragonfly ----------------- *)
+
+let test_fat_tree_classes () =
+  let t = T.fat_tree ~profile:T.a100 ~arity:2 ~rails:2 ~nodes:4 ~gpus_per_node:2 in
+  check_str "routes structurally" "structural" (T.routing_kind t);
+  check_int "8 GPUs" 8 (T.num_gpus t);
+  let g n = T.gpu_vertex t n in
+  check_int "same-node pair rides the NVSwitch" 1_500 (lat t ~src:(g 0) ~dst:(g 1));
+  (* Nodes 0 and 1 share leaf 0 (arity 2); node 2 hangs off leaf 1. *)
+  check_int "intra-leaf pair costs 2*pcie + ib" 6_300 (lat t ~src:(g 0) ~dst:(g 2));
+  check_int "cross-leaf pair adds one more ib hop" 7_600 (lat t ~src:(g 0) ~dst:(g 4));
+  check_int "min gpu pair is the same-node one" 1_500
+    (match T.min_gpu_pair_latency t with Some l -> Time.to_ns l | None -> -1);
+  check_int "max gpu pair is the cross-leaf one" 7_600
+    (match T.max_gpu_pair_latency t with Some l -> Time.to_ns l | None -> -1);
+  check_int "host attach stays pcie" 2_500
+    (match T.min_host_gpu_latency t with Some l -> Time.to_ns l | None -> -1);
+  check_int "structural routing caches no rows" 0 (T.route_rows_cached t)
+
+let test_dragonfly_classes () =
+  let t = T.dragonfly ~profile:T.a100 ~a:2 ~p:2 ~h:1 ~nodes:8 ~gpus_per_node:2 in
+  check_str "routes structurally" "structural" (T.routing_kind t);
+  let g n = T.gpu_vertex t n in
+  check_int "same-node pair rides the NVSwitch" 1_500 (lat t ~src:(g 0) ~dst:(g 1));
+  (* p = 2: nodes 0 and 1 share a router; node 2 is the same group's other
+     router; node 4 opens group 1. *)
+  check_int "same-router pair costs 2*pcie + ib" 6_300 (lat t ~src:(g 0) ~dst:(g 2));
+  check_int "same-group pair adds a local hop" 7_600 (lat t ~src:(g 0) ~dst:(g 4));
+  (* Nodes 0 and 4 sit on the routers that own the inter-group link, so the
+     minimal route is local-free; nodes 2 and 6 (routers 1) detour one local
+     hop on each side. *)
+  check_int "cross-group pair pays the optical hop" 10_200 (lat t ~src:(g 0) ~dst:(g 8));
+  check_int "cross-group pair off the owner routers adds two local hops" 12_800
+    (lat t ~src:(g 4) ~dst:(g 12));
+  check_int "max gpu pair is the worst cross-group one" 12_800
+    (match T.max_gpu_pair_latency t with Some l -> Time.to_ns l | None -> -1);
+  check_int "structural routing caches no rows" 0 (T.route_rows_cached t)
+
+(* Building a 1024-GPU machine must cost O(endpoints): no all-pairs tables,
+   no Dijkstra rows — the bound is a wide margin over the measured build
+   (a few MB) but far below what one eager row per source would allocate. *)
+let test_cluster_build_lazy () =
+  let budget = 64e6 in
+  let check_build name t allocated =
+    check_bool (name ^ " build allocates O(endpoints)") true (allocated < budget);
+    check_str (name ^ " routes structurally") "structural" (T.routing_kind t);
+    check_int (name ^ " caches no rows at build") 0 (T.route_rows_cached t);
+    let src = T.gpu_vertex t 0 and dst = T.gpu_vertex t 1023 in
+    check_bool (name ^ " routes a cross-machine pair") true (lat t ~src ~dst > 1_500);
+    check_int (name ^ " structural route caches nothing") 0 (T.route_rows_cached t)
+  in
+  let b0 = Gc.allocated_bytes () in
+  let ft = T.fat_tree ~profile:T.a100 ~arity:4 ~rails:2 ~nodes:128 ~gpus_per_node:8 in
+  let b1 = Gc.allocated_bytes () in
+  let df = T.dragonfly ~profile:T.a100 ~a:4 ~p:4 ~h:2 ~nodes:128 ~gpus_per_node:8 in
+  let b2 = Gc.allocated_bytes () in
+  check_build "fat tree" ft (b1 -. b0);
+  check_build "dragonfly" df (b2 -. b1)
+
+(* The Dijkstra row cache is a speed/memory knob only: routes resolved with
+   a single cached row must be identical — links, ports and latency — to
+   the default cache, because eviction forces deterministic recomputation. *)
+let test_cache_size_invariance () =
+  let t_full = T.dgx_cluster ~profile:T.a100 ~nodes:3 ~gpus_per_node:2 in
+  let t_one = T.dgx_cluster ~profile:T.a100 ~nodes:3 ~gpus_per_node:2 in
+  T.set_route_cache t_one 1;
+  let n = T.num_vertices t_full in
+  check_int "same graph" n (T.num_vertices t_one);
+  for a = 0 to n - 1 do
+    for b = 0 to n - 1 do
+      if T.reachable t_full ~src:a ~dst:b then begin
+        if lat t_full ~src:a ~dst:b <> lat t_one ~src:a ~dst:b then
+          Alcotest.failf "latency differs at cache size 1 for %d->%d" a b;
+        let lids t = List.map (fun l -> l.T.lid) (T.route t ~src:a ~dst:b) in
+        if lids t_full <> lids t_one then
+          Alcotest.failf "route differs at cache size 1 for %d->%d" a b;
+        if T.route_ports t_full ~src:a ~dst:b <> T.route_ports t_one ~src:a ~dst:b then
+          Alcotest.failf "ports differ at cache size 1 for %d->%d" a b
+      end
+    done
+  done;
+  check_bool "cache honours its cap" true (T.route_rows_cached t_one <= 1);
+  (* Shrinking an already-warm cache trims immediately. *)
+  T.set_route_cache t_full 2;
+  check_bool "trim on shrink" true (T.route_rows_cached t_full <= 2)
+
 (* ---------------- specs --------------------------------------------------- *)
 
 let test_spec_parsing () =
@@ -142,7 +228,26 @@ let test_spec_parsing () =
     (try
        ignore (T.instantiate (T.Dgx { nodes = 3 }) ~profile:T.a100 ~gpus:8);
        false
-     with Invalid_argument _ -> true)
+     with Invalid_argument _ -> true);
+  ok "fat-tree" (T.Fat_tree { arity = 4; rails = 1; gpus_per_node = 8 });
+  ok "fat_tree:8" (T.Fat_tree { arity = 8; rails = 1; gpus_per_node = 8 });
+  ok "FatTree:4:2:4" (T.Fat_tree { arity = 4; rails = 2; gpus_per_node = 4 });
+  ok "dragonfly" (T.Dragonfly { a = 4; p = 2; h = 2; gpus_per_node = 8 });
+  ok "Dragonfly:2:1:1:2" (T.Dragonfly { a = 2; p = 1; h = 1; gpus_per_node = 2 });
+  check_str "fat-tree roundtrip" "fat-tree:4:2:8"
+    (T.spec_to_string (T.Fat_tree { arity = 4; rails = 2; gpus_per_node = 8 }));
+  check_str "dragonfly roundtrip" "dragonfly:4:2:2:8"
+    (T.spec_to_string (T.Dragonfly { a = 4; p = 2; h = 2; gpus_per_node = 8 }));
+  check_bool "fat-tree:0 rejected" true
+    (match T.spec_of_string "fat-tree:0" with Error _ -> true | Ok _ -> false);
+  check_bool "partial dragonfly spec rejected" true
+    (match T.spec_of_string "dragonfly:2" with Error _ -> true | Ok _ -> false);
+  check_bool "dragonfly over its global-link budget rejected" true
+    (match
+       T.validate (T.Dragonfly { a = 1; p = 1; h = 1; gpus_per_node = 1 }) ~gpus:8
+     with
+    | Error _ -> true
+    | Ok () -> false)
 
 let test_bad_lookups () =
   let t = T.hgx ~profile:T.a100 ~gpus:2 in
@@ -169,10 +274,19 @@ let gen_topology =
           return T.Ring;
           return T.Pcie_only;
           map (fun n -> T.Dgx { nodes = n }) (int_range 2 4);
+          map2
+            (fun arity rails -> T.Fat_tree { arity; rails; gpus_per_node = 2 })
+            (int_range 2 3) (int_range 1 2);
+          map (fun h -> T.Dragonfly { a = 2; p = 2; h; gpus_per_node = 2 }) (int_range 1 2);
         ]
     in
     let* per = int_range 1 6 in
-    let gpus = match spec with T.Dgx { nodes } -> nodes * per | _ -> per + 1 in
+    let gpus =
+      match spec with
+      | T.Dgx { nodes } -> nodes * per
+      | T.Fat_tree _ | T.Dragonfly _ -> 2 * per
+      | _ -> per + 1
+    in
     return (T.instantiate spec ~profile ~gpus))
 
 let arb_topology =
@@ -247,6 +361,51 @@ let prop_route_well_formed =
       done;
       !ok)
 
+(* Structural routing is property-tested against the uncached Dijkstra
+   oracle: same reachability, same latency on every vertex pair. The paths
+   themselves may differ (equal-cost multipath across rails/spines), the
+   costs may not. *)
+let gen_structural =
+  QCheck.Gen.(
+    let* profile = oneofl [ T.a100; T.h100 ] in
+    oneof
+      [
+        (let* arity = int_range 2 4 in
+         let* rails = int_range 1 3 in
+         let* nodes = int_range 1 8 in
+         let* gpus_per_node = int_range 1 3 in
+         return (T.fat_tree ~profile ~arity ~rails ~nodes ~gpus_per_node));
+        (let* a = int_range 2 3 in
+         let* p = int_range 1 2 in
+         let* h = int_range 1 2 in
+         let* nodes = int_range 1 8 in
+         let* gpus_per_node = int_range 1 2 in
+         let nodes = min nodes (a * p * ((a * h) + 1)) in
+         return (T.dragonfly ~profile ~a ~p ~h ~nodes ~gpus_per_node));
+      ])
+
+let arb_structural =
+  QCheck.make ~print:(fun t -> Format.asprintf "%a" T.pp t) gen_structural
+
+let prop_structural_matches_dijkstra =
+  QCheck.Test.make ~name:"structural routing equals reference Dijkstra" ~count:40
+    arb_structural (fun t ->
+      if T.routing_kind t <> "structural" then QCheck.Test.fail_report "not structural";
+      let n = T.num_vertices t in
+      let ok = ref true in
+      for a = 0 to n - 1 do
+        for b = 0 to n - 1 do
+          match T.dijkstra_reference t ~src:a ~dst:b with
+          | None -> ok := !ok && not (T.reachable t ~src:a ~dst:b)
+          | Some (_, reference) ->
+            ok :=
+              !ok
+              && T.reachable t ~src:a ~dst:b
+              && Time.equal (T.route_latency t ~src:a ~dst:b) reference
+        done
+      done;
+      !ok)
+
 let () =
   Alcotest.run "machine"
     [
@@ -267,6 +426,13 @@ let () =
           Alcotest.test_case "ring multi-hop" `Quick test_ring_multihop;
           Alcotest.test_case "pcie only" `Quick test_pcie_only;
         ] );
+      ( "cluster fabrics",
+        [
+          Alcotest.test_case "fat tree latency classes" `Quick test_fat_tree_classes;
+          Alcotest.test_case "dragonfly latency classes" `Quick test_dragonfly_classes;
+          Alcotest.test_case "1024-GPU build is lazy" `Quick test_cluster_build_lazy;
+          Alcotest.test_case "route cache size is invisible" `Quick test_cache_size_invariance;
+        ] );
       ( "specs",
         [
           Alcotest.test_case "parsing" `Quick test_spec_parsing;
@@ -275,5 +441,10 @@ let () =
       ( "laws",
         List.map
           (fun p -> QCheck_alcotest.to_alcotest p)
-          [ prop_route_symmetry; prop_triangle; prop_route_well_formed ] );
+          [
+            prop_route_symmetry;
+            prop_triangle;
+            prop_route_well_formed;
+            prop_structural_matches_dijkstra;
+          ] );
     ]
