@@ -1870,6 +1870,256 @@ let bechamel_suite () =
   List.iter benchmark tests
 
 (* ---------------------------------------------------------------- *)
+(* fig.autotune — the generic auto-offload pass vs the hand-built     *)
+(* pipelines (tentpole of the pass-architecture refactor)             *)
+(* ---------------------------------------------------------------- *)
+
+(* Documented schema of the fig.autotune series (EXPERIMENTS.md): one point
+   per program. [generic] marks the programs that exist only outside the
+   app enum — their [hand_plan]/[hand_ns] column is the best non-generic
+   single-device port instead of a hand-built distributed pipeline. *)
+let autotune_required_fields =
+  [
+    ("label", `String);
+    ("gpus", `Int);
+    ("generic", `Bool);
+    ("plan", `String);
+    ("predicted_ns", `Int);
+    ("hand_plan", `String);
+    ("hand_ns", `Int);
+    ("margin_pct", `Float);
+    ("candidates", `Int);
+  ]
+
+let validate_autotune_doc doc =
+  let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let field kvs name = List.assoc_opt name kvs in
+  let check_point i p =
+    match p with
+    | J.Obj kvs ->
+      List.fold_left
+        (fun acc (name, ty) ->
+          match acc with
+          | Error _ -> acc
+          | Ok () ->
+            (match (field kvs name, ty) with
+            | None, _ -> fail "point %d: missing field %S" i name
+            | Some (J.String _), `String
+            | Some (J.Int _), `Int
+            | Some (J.Float _), `Float
+            | Some (J.Bool _), `Bool ->
+              Ok ()
+            | Some _, _ -> fail "point %d: field %S has the wrong JSON type" i name))
+        (Ok ()) autotune_required_fields
+    | _ -> fail "point %d: not an object" i
+  in
+  match doc with
+  | J.Obj kvs ->
+    (match field kvs "figures" with
+    | Some (J.List figs) ->
+      let auto =
+        List.filter_map
+          (function
+            | J.Obj f when field f "figure" = Some (J.String "fig.autotune") -> Some f
+            | _ -> None)
+          figs
+      in
+      (match auto with
+      | [ fig ] ->
+        (match field fig "points" with
+        | Some (J.List (_ :: _ as pts)) ->
+          let rec go i = function
+            | [] -> Ok ()
+            | p :: rest -> (match check_point i p with Ok () -> go (i + 1) rest | e -> e)
+          in
+          (match go 0 pts with
+          | Error _ as e -> e
+          | Ok () ->
+            (* The figure must cover a program that exists only generically
+               (outside the app enum), and every hand-built pipeline must be
+               matched or beaten — the pass's two headline claims. *)
+            let generic =
+              List.exists
+                (function J.Obj p -> field p "generic" = Some (J.Bool true) | _ -> false)
+                pts
+            in
+            let beaten =
+              List.for_all
+                (function
+                  | J.Obj p -> (
+                    match (field p "predicted_ns", field p "hand_ns") with
+                    | Some (J.Int pr), Some (J.Int h) -> pr <= h
+                    | _ -> false)
+                  | _ -> false)
+                pts
+            in
+            if not generic then fail "fig.autotune: no generic (non-enum) program point"
+            else if not beaten then
+              fail "fig.autotune: a searched plan lost to its hand-built pipeline"
+            else Ok ())
+        | _ -> fail "fig.autotune: missing or empty points list")
+      | l -> fail "expected exactly one fig.autotune figure, found %d" (List.length l))
+    | _ -> fail "document has no figures list")
+  | _ -> fail "document is not an object"
+
+let fig_autotune ~smoke () =
+  header
+    "Fig AUTO  Generic auto-offload pass: searched transformation sequence vs the hand-built \
+     CPU-free pipelines";
+  let n1d = if smoke then 256 else 4096 in
+  let n2d = if smoke then 256 else 1024 in
+  let n3d = if smoke then 16 else 32 in
+  let iters = if smoke then 5 else 50 in
+  (* Big enough that offloading and 1-D sharding pay for the launch and
+     exchange overheads the simulator charges. *)
+  let sm = { D.Programs.sm_n = 262144; sm_steps = 16 } in
+  let fatal fmt = Printf.ksprintf (fun s -> Printf.eprintf "[autotune] FATAL: %s\n%!" s; exit 1) fmt in
+  let search sdfg ~gpus ~iterations ~env =
+    match D.Autotune.search ~env sdfg ~gpus ~iterations with
+    | Ok d -> d
+    | Error e -> fatal "search failed: %s" e
+  in
+  let probe_cost ~label ~gpus ~iterations (built : D.Exec.built) =
+    Measure.probe_env ~label ~gpus ~iterations built.D.Exec.program
+  in
+  figure "fig.autotune" (fun () ->
+      let gpus = 4 in
+      let enum_cases =
+        [
+          ("jacobi1d", D.Pipeline.Jacobi1d { D.Programs.n_global = n1d; tsteps = iters });
+          ( "jacobi2d",
+            D.Pipeline.Jacobi2d { D.Programs.nx_global = n2d; ny_global = n2d; tsteps = iters } );
+          ("heat3d", D.Pipeline.Heat3d { D.Programs.nx3 = n3d; ny3 = n3d; nz3 = n3d; tsteps3 = iters });
+        ]
+      in
+      Printf.printf "%-10s %5s  %-38s %12s  %-30s %12s %8s\n" "program" "gpus" "searched plan"
+        "predicted" "hand-built" "cost" "margin";
+      let enum_points =
+        List.map
+          (fun (name, app) ->
+            let arm = D.Pipeline.Cpu_free in
+            let sdfg = D.Pipeline.frontend app arm ~gpus in
+            let hand_plan = D.Pipeline.hand_plan arm ~gpus in
+            let hand_ns =
+              Time.to_ns
+                (probe_cost ~label:(name ^ "/hand") ~gpus ~iterations:iters
+                   (D.Autotune.build hand_plan sdfg))
+            in
+            let d = search sdfg ~gpus ~iterations:iters ~env:Cpufree_obs.Sim_env.default in
+            let predicted_ns = Time.to_ns d.D.Autotune.predicted in
+            if predicted_ns > hand_ns then
+              fatal "%s: searched plan %s (%dns) lost to hand-built %s (%dns)" name
+                (D.Autotune.plan_to_string d.D.Autotune.best)
+                predicted_ns
+                (D.Autotune.plan_to_string hand_plan)
+                hand_ns;
+            let margin =
+              100.0 *. (float_of_int (hand_ns - predicted_ns) /. float_of_int hand_ns)
+            in
+            Printf.printf "%-10s %5d  %-38s %12s  %-30s %12s %7.1f%%\n" name gpus
+              (D.Autotune.plan_to_string d.D.Autotune.best)
+              (Time.to_string d.D.Autotune.predicted)
+              (D.Autotune.plan_to_string hand_plan)
+              (Time.to_string (Time.ns hand_ns))
+              margin;
+            J.Obj
+              [
+                ("label", J.String name);
+                ("gpus", J.Int gpus);
+                ("generic", J.Bool false);
+                ("plan", J.String (D.Autotune.plan_to_string d.D.Autotune.best));
+                ("predicted_ns", J.Int predicted_ns);
+                ("hand_plan", J.String (D.Autotune.plan_to_string hand_plan));
+                ("hand_ns", J.Int hand_ns);
+                ("margin_pct", J.Float margin);
+                ("candidates", J.Int (List.length d.D.Autotune.evaluated));
+              ])
+          enum_cases
+      in
+      (* The generic program: exists only outside the app enum; its
+         comparison column is the best non-generic single-device port. *)
+      let sdfg = D.Programs.smoother_global sm in
+      let d =
+        search sdfg ~gpus ~iterations:sm.D.Programs.sm_steps ~env:Cpufree_obs.Sim_env.default
+      in
+      if not d.D.Autotune.best.D.Autotune.shard then
+        fatal "smoother: searched plan %s does not shard across the machine"
+          (D.Autotune.plan_to_string d.D.Autotune.best);
+      let naive_plan =
+        {
+          D.Autotune.shard = false;
+          gpus_used = 1;
+          offload = D.Autotune.Offload_discrete { fusion = true };
+        }
+      in
+      let naive_ns =
+        Time.to_ns
+          (probe_cost ~label:"smoother/naive" ~gpus:1 ~iterations:sm.D.Programs.sm_steps
+             (D.Autotune.build naive_plan sdfg))
+      in
+      let predicted_ns = Time.to_ns d.D.Autotune.predicted in
+      if predicted_ns > naive_ns then
+        fatal "smoother: searched plan lost to the naive single-device port";
+      let margin = 100.0 *. (float_of_int (naive_ns - predicted_ns) /. float_of_int naive_ns) in
+      Printf.printf "%-10s %5d  %-38s %12s  %-30s %12s %7.1f%%\n" "smoother" gpus
+        (D.Autotune.plan_to_string d.D.Autotune.best)
+        (Time.to_string d.D.Autotune.predicted)
+        (D.Autotune.plan_to_string naive_plan)
+        (Time.to_string (Time.ns naive_ns))
+        margin;
+      let generic_point =
+        J.Obj
+          [
+            ("label", J.String "smoother");
+            ("gpus", J.Int gpus);
+            ("generic", J.Bool true);
+            ("plan", J.String (D.Autotune.plan_to_string d.D.Autotune.best));
+            ("predicted_ns", J.Int predicted_ns);
+            ("hand_plan", J.String (D.Autotune.plan_to_string naive_plan));
+            ("hand_ns", J.Int naive_ns);
+            ("margin_pct", J.Float margin);
+            ("candidates", J.Int (List.length d.D.Autotune.evaluated));
+          ]
+      in
+      (* Determinism gate: the plan choice must survive re-running the
+         search and pinning the candidate probe's ambient environment to
+         different PDES drivers. *)
+      let plan_of env = D.Autotune.plan_to_string (search sdfg ~gpus ~iterations:sm.D.Programs.sm_steps ~env).D.Autotune.best in
+      let p0 = D.Autotune.plan_to_string d.D.Autotune.best in
+      List.iter
+        (fun (what, env) ->
+          let p = plan_of env in
+          if p <> p0 then fatal "plan choice is not deterministic (%s): %s vs %s" what p0 p)
+        [
+          ("re-run", Cpufree_obs.Sim_env.default);
+          ("pdes=seq", Cpufree_obs.Sim_env.make ~pdes:`Seq ());
+          ("pdes=optimistic", Cpufree_obs.Sim_env.make ~pdes:`Optimistic ());
+        ];
+      Printf.printf "plan choice deterministic across re-runs and PDES modes\n";
+      (* End-to-end gate: execute the searched plan with real buffers and
+         check the generic program's result against its sequential
+         reference. *)
+      let built = D.Autotune.build ~backed:true d.D.Autotune.best sdfg in
+      let (_ : Measure.result) =
+        Measure.run_env ~label:"smoother/verify" ~gpus:d.D.Autotune.best.D.Autotune.gpus_used
+          ~iterations:sm.D.Programs.sm_steps built.D.Exec.program
+      in
+      let reference = D.Programs.reference_smoother sm in
+      let local = sm.D.Programs.sm_n / gpus in
+      let worst = ref 0.0 in
+      for pe = 0 to gpus - 1 do
+        match built.D.Exec.read_array "U" ~pe with
+        | None -> fatal "smoother rank %d: array U missing after the run" pe
+        | Some buf ->
+          for i = 1 to local do
+            let err = Float.abs (G.Buffer.get buf i -. reference.((pe * local) + i)) in
+            if err > !worst then worst := err
+          done
+      done;
+      if !worst > 1e-9 then fatal "smoother verification failed: max |err| = %.3e" !worst;
+      Printf.printf "smoother verified against the sequential reference (max |err| = %.2e)\n"
+        !worst;
+      (enum_points @ [ generic_point ], ()))
 
 let write_results ~mode ~elapsed =
   let doc =
@@ -1958,6 +2208,21 @@ let write_results ~mode ~elapsed =
         msg;
       exit 1
   end;
+  let has_autotune =
+    List.exists
+      (function
+        | J.Obj f -> List.assoc_opt "figure" f = Some (J.String "fig.autotune")
+        | _ -> false)
+      !json_figures
+  in
+  if has_autotune then begin
+    match validate_autotune_doc doc with
+    | Ok () -> ()
+    | Error msg ->
+      Printf.eprintf "[autotune] FATAL: BENCH_results.json violates the documented schema: %s\n%!"
+        msg;
+      exit 1
+  end;
   let has_profile =
     List.exists
       (function
@@ -2013,6 +2278,15 @@ let () =
     write_results ~mode:(if smoke then "pdes-smoke" else "pdes") ~elapsed:(wall () -. t_start);
     exit 0
   end;
+  if List.mem "autotune" args then begin
+    let smoke = List.mem "smoke" args in
+    let t_start = wall () in
+    fig_autotune ~smoke ();
+    write_results
+      ~mode:(if smoke then "autotune-smoke" else "autotune")
+      ~elapsed:(wall () -. t_start);
+    exit 0
+  end;
   if List.mem "collective" args then begin
     let smoke = List.mem "smoke" args in
     let t_start = wall () in
@@ -2046,6 +2320,7 @@ let () =
   end;
   fig_scaleout ~smoke:quick ();
   fig_collective ~smoke:quick ();
+  fig_autotune ~smoke:quick ();
   if with_bechamel || not quick then bechamel_suite ();
   let elapsed = wall () -. t_start in
   if json then write_results ~mode:(if quick then "quick" else "full") ~elapsed;

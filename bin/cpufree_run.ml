@@ -33,6 +33,7 @@ type common = {
   fault_seed : int;
   trace_out : string option;
   metrics_out : string option;
+  pdes : Obs.Sim_env.pdes option;
 }
 
 let gpus_arg =
@@ -78,6 +79,21 @@ let metrics_out_arg =
   let doc = "Write the run's metrics registry as schema-validated JSON to $(docv)." in
   Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
 
+let pdes_arg =
+  let doc =
+    "PDES driver: seq (sequential event loop), windowed (conservative windows), adaptive \
+     (windows resized from observed lookahead) or optimistic (Time Warp). Overrides the \
+     CPUFREE_PDES variable; all drivers produce bit-identical results."
+  in
+  Arg.(value & opt (some string) None & info [ "pdes" ] ~docv:"MODE" ~doc)
+
+let resolve_pdes name =
+  match Env.pdes_of_string name with
+  | Ok mode -> mode
+  | Error msg ->
+    Printf.eprintf "bad --pdes mode %s\n" msg;
+    exit 2
+
 let resolve_arch name =
   match G.Arch.of_name name with
   | Some a -> a
@@ -108,7 +124,7 @@ let resolve_faults spec =
     exit 2
 
 let common_term =
-  let make arch_name topo_name gpus faults fault_seed trace_out metrics_out =
+  let make arch_name topo_name gpus faults fault_seed trace_out metrics_out pdes =
     {
       arch = resolve_arch arch_name;
       topology = resolve_topology topo_name ~gpus;
@@ -117,11 +133,12 @@ let common_term =
       fault_seed;
       trace_out;
       metrics_out;
+      pdes = Option.map resolve_pdes pdes;
     }
   in
   Term.(
     const make $ arch_arg $ topology_arg $ gpus_arg $ faults_arg $ fault_seed_arg
-    $ trace_out_arg $ metrics_out_arg)
+    $ trace_out_arg $ metrics_out_arg $ pdes_arg)
 
 (* A fresh simulation environment for one run under these options: trace and
    metrics sinks exist exactly when an output file was requested, so runs
@@ -129,11 +146,12 @@ let common_term =
 let env_of_common c =
   let trace = if c.trace_out = None then None else Some (E.Trace.create ~flows:true ()) in
   let metrics = if c.metrics_out = None then None else Some (Obs.Metrics.create ()) in
-  Env.make ~topology:c.topology ?faults:c.faults ~fault_seed:c.fault_seed ?trace ?metrics ()
+  Env.make ~topology:c.topology ?faults:c.faults ~fault_seed:c.fault_seed ?trace ?metrics
+    ?pdes:c.pdes ()
 
 (* The same environment minus the observability sinks, for auxiliary runs
    (verification) that must not pollute the main run's artifacts. *)
-let quiet_env c = Env.make ~topology:c.topology ()
+let quiet_env c = Env.make ~topology:c.topology ?pdes:c.pdes ()
 
 (* Write (and self-validate) whatever sinks the environment carries. *)
 let write_observability c (env : Env.t) =
@@ -312,7 +330,10 @@ let stencil_cmd =
 (* --- dace command ---------------------------------------------------------- *)
 
 let app_arg =
-  let doc = "Benchmark program: jacobi1d, jacobi2d or heat3d." in
+  let doc =
+    "Benchmark program: jacobi1d, jacobi2d or heat3d — or, with --auto, smoother (a global \
+     single-address-space program only the generic pass can distribute)."
+  in
   Arg.(value & opt string "jacobi2d" & info [ "app"; "a" ] ~docv:"APP" ~doc)
 
 let arm_arg =
@@ -327,6 +348,15 @@ let emit_arg =
   let doc = "Print the CUDA-like code the chosen pipeline generates." in
   Arg.(value & flag & info [ "emit-code" ] ~doc)
 
+let auto_arg =
+  let doc =
+    "Ignore the hand-built pipeline: analyze the program, enumerate candidate transformation \
+     sequences (offload on/off, fusion, sharding, persistent-kernel variants), pick the \
+     cheapest by simulating each candidate, report the chosen plan against the hand-built \
+     cost, then execute the winner."
+  in
+  Arg.(value & flag & info [ "auto" ] ~doc)
+
 let specialize_arg =
   let doc =
     "Apply thread-block specialization to the persistent kernel (communication on a dedicated \
@@ -334,8 +364,92 @@ let specialize_arg =
   in
   Arg.(value & flag & info [ "specialize-tb" ] ~doc)
 
-let run_dace common iters app_name arm_name size emit specialize_tb verify timeline chrome =
+(* dace --auto: the generic pass end to end. Search under a quiet probe of
+   the same topology (the probe pins the PDES mode, so the choice is the
+   same whatever --pdes says), report every candidate and the margin over
+   the hand-built pipeline, then execute the winner under the full
+   environment. *)
+let run_dace_auto common iters app_name arm size specialize_tb timeline chrome =
   let gpus = common.gpus in
+  let sdfg, hand, label =
+    match app_name with
+    | "smoother" ->
+      (D.Programs.smoother_global { D.Programs.sm_n = size; sm_steps = iters }, None, "smoother")
+    | _ ->
+      let app =
+        match app_name with
+        | "jacobi1d" -> D.Pipeline.Jacobi1d { D.Programs.n_global = size; tsteps = iters }
+        | "jacobi2d" ->
+          D.Pipeline.Jacobi2d { D.Programs.nx_global = size; ny_global = size; tsteps = iters }
+        | "heat3d" ->
+          D.Pipeline.Heat3d { D.Programs.nx3 = size; ny3 = size; nz3 = size; tsteps3 = iters }
+        | other ->
+          Printf.eprintf "unknown app %S (expected jacobi1d, jacobi2d, heat3d or smoother)\n"
+            other;
+          exit 2
+      in
+      let plan = D.Pipeline.hand_plan ~specialize_tb arm ~gpus in
+      (D.Pipeline.frontend app arm ~gpus, Some plan, D.Pipeline.app_name app)
+  in
+  let probe = quiet_env common in
+  let a = D.Analysis.analyze sdfg in
+  Printf.printf "%s: %d maps, comm=%s, %s\n" label (List.length a.D.Analysis.maps)
+    (D.Analysis.comm_form_to_string a.D.Analysis.comm)
+    (if a.D.Analysis.distributed then "distributed" else "global");
+  match D.Autotune.search ~arch:common.arch ~env:probe sdfg ~gpus ~iterations:iters with
+  | Error e ->
+    Printf.eprintf "autotune failed: %s\n" e;
+    exit 1
+  | Ok d ->
+    List.iter
+      (fun (p, t) ->
+        Printf.printf "  %c %-42s %s\n"
+          (if p = d.D.Autotune.best then '*' else ' ')
+          (D.Autotune.plan_to_string p) (Time.to_string t))
+      d.D.Autotune.evaluated;
+    Printf.printf "chosen plan: %s (predicted %s)\n"
+      (D.Autotune.plan_to_string d.D.Autotune.best)
+      (Time.to_string d.D.Autotune.predicted);
+    (match hand with
+    | None -> ()
+    | Some plan ->
+      let hand_built = D.Autotune.build plan sdfg in
+      let hand_cost =
+        Measure.probe_env ~arch:common.arch ~env:probe ~label:"hand" ~gpus ~iterations:iters
+          hand_built.D.Exec.program
+      in
+      Printf.printf "hand-built %s: %s — searched plan %s\n"
+        (D.Autotune.plan_to_string plan) (Time.to_string hand_cost)
+        (if Time.(d.D.Autotune.predicted < hand_cost) then "beats it" else "matches it"));
+    let built = D.Autotune.build d.D.Autotune.best sdfg in
+    let env = env_of_common common in
+    let r, trace =
+      Measure.run_traced_env ~arch:common.arch ~env ~label:(label ^ "/auto")
+        ~gpus:d.D.Autotune.best.D.Autotune.gpus_used ~iterations:iters built.D.Exec.program
+    in
+    if timeline then print_timeline trace;
+    maybe_write_chrome chrome trace;
+    write_observability common env;
+    Format.printf "%a@." Measure.pp_result r;
+    0
+
+let run_dace common iters app_name arm_name size emit auto specialize_tb verify timeline chrome
+    =
+  let gpus = common.gpus in
+  let arm =
+    match arm_name with
+    | "baseline" | "mpi" -> D.Pipeline.Baseline_mpi
+    | "cpu-free" | "cpufree" -> D.Pipeline.Cpu_free
+    | other ->
+      Printf.eprintf "unknown arm %S (expected baseline or cpu-free)\n" other;
+      exit 2
+  in
+  if auto then begin
+    if emit || verify then
+      Printf.eprintf "note: --emit-code/--verify are ignored with --auto\n";
+    run_dace_auto common iters app_name arm size specialize_tb timeline chrome
+  end
+  else begin
   let app =
     match app_name with
     | "jacobi1d" -> D.Pipeline.Jacobi1d { D.Programs.n_global = size; tsteps = iters }
@@ -345,14 +459,6 @@ let run_dace common iters app_name arm_name size emit specialize_tb verify timel
       D.Pipeline.Heat3d { D.Programs.nx3 = size; ny3 = size; nz3 = size; tsteps3 = iters }
     | other ->
       Printf.eprintf "unknown app %S (expected jacobi1d, jacobi2d or heat3d)\n" other;
-      exit 2
-  in
-  let arm =
-    match arm_name with
-    | "baseline" | "mpi" -> D.Pipeline.Baseline_mpi
-    | "cpu-free" | "cpufree" -> D.Pipeline.Cpu_free
-    | other ->
-      Printf.eprintf "unknown arm %S (expected baseline or cpu-free)\n" other;
       exit 2
   in
   if emit then begin
@@ -398,6 +504,7 @@ let run_dace common iters app_name arm_name size emit specialize_tb verify timel
     write_observability common env;
     Format.printf "%a@." Measure.pp_result r;
     0
+  end
 
 let dace_cmd =
   let doc = "Compile and run a distributed DaCe benchmark through a pipeline arm (paper §6.2)." in
@@ -405,7 +512,7 @@ let dace_cmd =
     (Cmd.info "dace" ~doc)
     Term.(
       const run_dace $ common_term $ iters_arg $ app_arg $ arm_arg $ size_arg $ emit_arg
-      $ specialize_arg $ verify_arg $ timeline_arg $ chrome_arg)
+      $ auto_arg $ specialize_arg $ verify_arg $ timeline_arg $ chrome_arg)
 
 (* --- machine command -------------------------------------------------------- *)
 

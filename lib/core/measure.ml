@@ -128,6 +128,9 @@ let run_env ?arch ?(env = Obs.Sim_env.default) ~label ~gpus ~iterations program 
 let run_traced_env ?arch ?(env = Obs.Sim_env.default) ~label ~gpus ~iterations program =
   run_core ?arch ~env ~label ~gpus ~iterations program
 
+let probe_env ?arch ?(env = Obs.Sim_env.default) ?pdes ~label ~gpus ~iterations program =
+  (run_env ?arch ~env:(Obs.Sim_env.probe ?pdes env) ~label ~gpus ~iterations program).total
+
 let run_traced ?arch ?topology ?seed:_ ~label ~gpus ~iterations program =
   run_core ?arch ~env:(Obs.Sim_env.make ?topology ()) ~label ~gpus ~iterations program
 

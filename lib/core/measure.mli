@@ -61,6 +61,19 @@ val run_traced_env :
     (spans in recording order — what the timeline renderers consume). The
     environment's sinks are still honoured. *)
 
+val probe_env :
+  ?arch:Cpufree_gpu.Arch.t ->
+  ?env:Cpufree_obs.Sim_env.t ->
+  ?pdes:Cpufree_obs.Sim_env.pdes ->
+  label:string -> gpus:int -> iterations:int ->
+  (Cpufree_gpu.Runtime.ctx -> unit) -> Cpufree_engine.Time.t
+(** Cheap cost probe for candidate evaluation (the autotuner's oracle): run
+    the program under {!Cpufree_obs.Sim_env.probe}[ env] — observability
+    sinks and fault plan stripped, PDES mode pinned (default [`Windowed]) —
+    and return only the simulated wall-clock. Because the mode is pinned and
+    the drivers are bit-identical, the returned cost does not depend on the
+    ambient [CPUFREE_PDES], so searches ranked by it are deterministic. *)
+
 val run :
   ?arch:Cpufree_gpu.Arch.t ->
   ?topology:Cpufree_machine.Topology.spec ->

@@ -1,0 +1,61 @@
+(** SDFG analysis: the front half of the generic auto-offload pass.
+
+    Mirrors the auto-offloading pipeline of Oats (parallelism analyzer +
+    data-dependency analyzer): classify every map statement as data-parallel
+    or loop-carried, infer how far each map reads past its own index (the
+    halo), and summarize the program's communication form — facts
+    {!Placement} and {!Autotune} decide on. Works over arbitrary {!Sdfg.t}
+    values, not just the built-in benchmark programs. *)
+
+type parallelism =
+  | Data_parallel
+      (** each index writes only its own positions and no written array is
+          also read: iterations commute, safe to offload and shard *)
+  | Loop_carried  (** in-place update: iteration order is semantic *)
+
+type map_info = {
+  mi_state : string;  (** enclosing state *)
+  mi_var : string;  (** map variable *)
+  mi_parallelism : parallelism;
+  mi_halo : int;  (** neighbour distance read on the mapped axis (0 = none) *)
+  mi_reads : string list;  (** arrays read, sorted *)
+  mi_writes : string list;  (** arrays written, sorted *)
+}
+
+type comm_form =
+  | Comm_none  (** no library communication nodes: a single-address-space program *)
+  | Comm_mpi  (** host-driven MPI exchange (the baseline frontend form) *)
+  | Comm_nvshmem  (** device-initiated NVSHMEM exchange (the CPU-free form) *)
+  | Comm_mixed  (** both — no single pipeline applies *)
+
+type t = {
+  maps : map_info list;  (** every map, in state order *)
+  comm : comm_form;
+  distributed : bool;
+      (** already SPMD per-rank form (communicates or mentions ["rank"]) *)
+  halo_arrays : string list;
+      (** arrays some map reads with a halo — the arrays whose shards must
+          exchange boundaries when the program is partitioned *)
+  stencil_states : (string * string) list;
+      (** (state, source array) for each single-source stencil state — where
+          {!Placement.shard_1d} inserts halo exchanges *)
+}
+
+val analyze : Sdfg.t -> t
+
+val classify_sem : Sdfg.map_sem -> parallelism
+val sem_halo : Sdfg.map_sem -> int
+
+val comm_form : Sdfg.t -> comm_form
+val distributed : Sdfg.t -> bool
+
+val maps_of : Sdfg.t -> (string * Sdfg.map_stmt) list
+(** Every map statement with its enclosing state name, in state order
+    (descending into conditional and role bodies). *)
+
+val free_symbols : Sdfg.t -> string list
+(** Every symbol mentioned by any expression in the SDFG (states and
+    interstate edges), sorted and deduplicated. *)
+
+val parallelism_to_string : parallelism -> string
+val comm_form_to_string : comm_form -> string

@@ -247,6 +247,17 @@ let make_env rt ~rank (sdfg : Sdfg.t) =
 
 (* --- baseline (CPU-controlled) backend --------------------------------- *)
 
+(* A map left on [Sequential] schedule executes on the host CPU. Host DRAM
+   streams roughly an order of magnitude below device HBM for these
+   memory-bound stencils, so charge the device memory-bound time scaled by
+   this factor. Nothing in the hand-built pipelines reaches this path (they
+   all run [Transforms.gpu_transform] first); it exists so the autotuner's
+   "offload off" candidate has an honest cost instead of a free ride. *)
+let host_dram_slowdown = 12.0
+
+let host_map_cost env (m : map_stmt) =
+  Time.scale (map_cost env ~efficiency:1.0 m) host_dram_slowdown
+
 let exec_state_baseline env stream st =
   let ctx = env.rt.ctx in
   let used_gpu = ref false in
@@ -258,7 +269,10 @@ let exec_state_baseline env stream st =
         let cost = map_cost env ~efficiency:1.0 m in
         G.Runtime.launch ctx ~stream ~name:("map_" ^ m.m_var) ~cost (fun () ->
             run_map_body env m)
-      | Sequential -> run_map_body env m
+      | Sequential ->
+        let cost = host_map_cost env m in
+        if Time.(cost > Time.zero) then E.Engine.delay (G.Runtime.engine ctx) cost;
+        run_map_body env m
       | Gpu_persistent -> fail "persistent-scheduled map in the baseline backend")
     | S_copy { c_src; c_src_region; c_dst; c_dst_region } ->
       used_gpu := true;

@@ -29,34 +29,27 @@ let frontend app arm ~gpus =
   | Heat3d cfg, Baseline_mpi -> Programs.heat3d_mpi cfg ~gpus
   | Heat3d cfg, Cpu_free -> Programs.heat3d_nvshmem cfg ~gpus
 
-let compile_sdfg app arm ~gpus =
-  let sdfg = frontend app arm ~gpus in
+(* The hand-built arms as plans for the generic pass: compiling an app/arm
+   pair is now Autotune.build of this plan — the same transformation
+   sequence as before, selected by plan instead of hard-coded per arm. The
+   autotuner enumerates these among its candidates, so for every app the
+   searched plan can only match or beat the hand-built one. *)
+let hand_plan ?(relax = true) ?(specialize_tb = false) arm ~gpus =
   match arm with
   | Baseline_mpi ->
-    let sdfg = Transforms.gpu_transform sdfg in
-    let sdfg, _fused = Transforms.map_fusion sdfg in
-    Validate.check_exn sdfg;
-    sdfg
+    { Autotune.shard = false; gpus_used = gpus; offload = Autotune.Offload_discrete { fusion = true } }
   | Cpu_free ->
-    let sdfg = Transforms.gpu_transform sdfg in
-    let sdfg = Transforms.nvshmem_array sdfg in
-    let sdfg = Transforms.expand_nvshmem sdfg in
-    (match Transforms.replace_mpi_with_nvshmem_check sdfg with
-    | Ok () -> ()
-    | Error e -> invalid_arg e);
-    Validate.check_exn ~require_symmetric:true sdfg;
-    sdfg
+    {
+      Autotune.shard = false;
+      gpus_used = gpus;
+      offload = Autotune.Offload_persistent { relax; specialize_tb };
+    }
 
-let compile ?backed ?(relax = true) ?(specialize_tb = false) app arm ~gpus =
-  let sdfg = compile_sdfg app arm ~gpus in
-  match arm with
-  | Baseline_mpi -> Exec.build_baseline ?backed sdfg
-  | Cpu_free -> (
-    match Persistent_fusion.apply ~relax sdfg with
-    | Ok p ->
-      let p = if specialize_tb then fst (Persistent_fusion.specialize_tb p) else p in
-      Exec.build_persistent ?backed p
-    | Error e -> invalid_arg ("GPUPersistentKernel fusion failed: " ^ e))
+let compile_sdfg app arm ~gpus =
+  Autotune.transform (hand_plan arm ~gpus) (frontend app arm ~gpus)
+
+let compile ?backed ?relax ?specialize_tb app arm ~gpus =
+  Autotune.build ?backed (hand_plan ?relax ?specialize_tb arm ~gpus) (frontend app arm ~gpus)
 
 let run_traced_env ?arch ?env app arm ~gpus =
   let built = compile app arm ~gpus in

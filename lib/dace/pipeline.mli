@@ -18,6 +18,14 @@ val arm_name : arm -> string
 val frontend : app -> arm -> gpus:int -> Sdfg.t
 (** The program as written (before any transformation). *)
 
+val hand_plan : ?relax:bool -> ?specialize_tb:bool -> arm -> gpus:int -> Autotune.plan
+(** The arm's hand-built pipeline as a plan for the generic pass:
+    [Offload_discrete { fusion = true }] for the baseline,
+    [Offload_persistent { relax; specialize_tb }] for CPU-free. {!compile}
+    is [Autotune.build] of this plan, and {!Autotune.search} enumerates it
+    among its candidates — so the searched plan matches or beats the
+    hand-built one by construction. *)
+
 val compile : ?backed:bool -> ?relax:bool -> ?specialize_tb:bool -> app -> arm -> gpus:int -> Exec.built
 (** Run the full pipeline for an arm.
 

@@ -1,0 +1,25 @@
+(** Data placement: shard a global (single-address-space) SDFG across GPUs
+    and insert NVSHMEM library nodes where dependencies cross shard
+    boundaries — the middle of the generic auto-offload pass.
+
+    {!shard_1d} takes a 1-D stencil program written over the whole domain
+    (arrays of N + 2 cells, data-parallel maps over [1, N], no ["rank"]
+    symbol, no communication) and produces the SPMD per-rank form the
+    hand-built frontends write directly: arrays cut to N/gpus + 2 cells,
+    init maps offset by [rank * n], and a signal-carrying put/wait halo
+    exchange state inserted before every stencil state whose source halo is
+    stale (never exchanged this iteration, or rewritten since). The result
+    feeds the same GPUTransform → NVSHMEMArray → expansion → persistent
+    fusion chain as the built-in apps. *)
+
+type sharded = {
+  sh_sdfg : Sdfg.t;  (** the SPMD per-rank form, validated *)
+  sh_local : int;  (** interior cells per rank (n = N/gpus) *)
+  sh_global : int;  (** global interior width N *)
+}
+
+val shard_1d : Sdfg.t -> gpus:int -> (sharded, string) result
+(** [Error] explains why the program is not shardable: already distributed,
+    no canonical loop, loop-carried (in-place) stencils, non-constant or
+    mismatched ranges, width not divisible by [gpus], or map species beyond
+    the 1-D stencil/init/fill family. *)

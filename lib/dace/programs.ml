@@ -698,3 +698,78 @@ let reference3d cfg =
     step b a
   done;
   a
+
+(* ---------------------------------------------------------------- *)
+(* Triple-buffer smoother (global form)                              *)
+(* ---------------------------------------------------------------- *)
+
+type config_smoother = { sm_n : int; sm_steps : int }
+
+let smoother_global cfg =
+  let n = cfg.sm_n in
+  let init arr =
+    S_map
+      {
+        m_var = "i";
+        m_lo = c 0;
+        m_hi = c (n + 1);
+        m_schedule = Sequential;
+        m_sem = Init_global { dst = arr; global_off = c 0 };
+        m_work = c 1;
+      }
+  in
+  let smooth ~name ~src ~dst =
+    {
+      st_name = name;
+      stmts =
+        [
+          S_map
+            {
+              m_var = "i";
+              m_lo = c 1;
+              m_hi = c n;
+              m_schedule = Sequential;
+              m_sem = Jacobi1d { src; dst };
+              m_work = c 1;
+            };
+        ];
+    }
+  in
+  let arr name =
+    { arr_name = name; arr_size = c (n + 2); storage = Host_heap; transient = false }
+  in
+  let body = [ "smooth_V"; "smooth_W"; "smooth_U" ] in
+  {
+    sdfg_name = "smoother";
+    arrays = [ arr "U"; arr "V"; arr "W" ];
+    sdfg_signals = [];
+    states =
+      [
+        { st_name = "init"; stmts = [ init "U"; init "V"; init "W" ] };
+        { st_name = "guard"; stmts = [] };
+        smooth ~name:"smooth_V" ~src:"U" ~dst:"V";
+        smooth ~name:"smooth_W" ~src:"V" ~dst:"W";
+        smooth ~name:"smooth_U" ~src:"W" ~dst:"U";
+        { st_name = "done"; stmts = [] };
+      ];
+    edges = loop_cfg ~body_states:body ~tsteps:cfg.sm_steps;
+    start_state = "init";
+    symbols = [ ("N", n); ("STEPS", cfg.sm_steps) ];
+  }
+
+let reference_smoother cfg =
+  let n = cfg.sm_n in
+  let u = Array.init (n + 2) Exec.init_value in
+  let v = Array.copy u in
+  let w = Array.copy u in
+  let step src dst =
+    for i = 1 to n do
+      dst.(i) <- (src.(i - 1) +. src.(i) +. src.(i + 1)) /. 3.0
+    done
+  in
+  for _ = 1 to cfg.sm_steps do
+    step u v;
+    step v w;
+    step w u
+  done;
+  u

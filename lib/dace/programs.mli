@@ -49,3 +49,15 @@ val heat3d_nvshmem : config3d -> gpus:int -> Sdfg.t
 
 val reference3d : config3d -> float array
 (** Sequential result, padded global storage. *)
+
+type config_smoother = { sm_n : int; sm_steps : int }
+
+val smoother_global : config_smoother -> Sdfg.t
+(** A program that exists only generically — not in {!Pipeline.app}: a
+    triple-buffered 1-D smoother (U → V → W → U per step) written in global,
+    single-address-space form. No ranks, no communication nodes; the generic
+    pass ({!Placement.shard_1d} under {!Autotune.search}) is the only way it
+    reaches multiple GPUs. *)
+
+val reference_smoother : config_smoother -> float array
+(** Sequential result, global storage [sm_n + 2]; the smoothed [U]. *)

@@ -123,47 +123,59 @@ let check ?(require_symmetric = false) sdfg =
       check_expr ~in_state what ge_value
     | Nv_quiet -> ()
   in
-  let rec check_sem ~in_state = function
+  (* Name the offending node in every message: maps carry their variable
+     (["map(i)"]), copies their endpoints — so an error in a many-statement
+     state points at the statement, not just the state. *)
+  let rec check_sem ~in_state ~who = function
     | Jacobi1d { src; dst } ->
-      check_array ~in_state "jacobi1d map" src;
-      check_array ~in_state "jacobi1d map" dst
+      check_array ~in_state (who "jacobi1d") src;
+      check_array ~in_state (who "jacobi1d") dst
     | Jacobi2d { src; dst; row_width; col_lo; col_hi } ->
-      check_array ~in_state "jacobi2d map" src;
-      check_array ~in_state "jacobi2d map" dst;
-      check_expr ~in_state "jacobi2d map" row_width;
-      check_expr ~in_state "jacobi2d map" col_lo;
-      check_expr ~in_state "jacobi2d map" col_hi
+      check_array ~in_state (who "jacobi2d") src;
+      check_array ~in_state (who "jacobi2d") dst;
+      check_expr ~in_state (who "jacobi2d") row_width;
+      check_expr ~in_state (who "jacobi2d") col_lo;
+      check_expr ~in_state (who "jacobi2d") col_hi
     | Jacobi3d { src; dst; row_width; plane_width; ny } ->
-      check_array ~in_state "jacobi3d map" src;
-      check_array ~in_state "jacobi3d map" dst;
-      List.iter (check_expr ~in_state "jacobi3d map") [ row_width; plane_width; ny ]
+      check_array ~in_state (who "jacobi3d") src;
+      check_array ~in_state (who "jacobi3d") dst;
+      List.iter (check_expr ~in_state (who "jacobi3d")) [ row_width; plane_width; ny ]
     | Copy_elems { src; dst; src_off; dst_off } ->
-      check_array ~in_state "copy map" src;
-      check_array ~in_state "copy map" dst;
-      check_expr ~in_state "copy map" src_off;
-      check_expr ~in_state "copy map" dst_off
-    | Fill { dst; _ } -> check_array ~in_state "fill map" dst
+      check_array ~in_state (who "copy") src;
+      check_array ~in_state (who "copy") dst;
+      check_expr ~in_state (who "copy") src_off;
+      check_expr ~in_state (who "copy") dst_off
+    | Fill { dst; _ } -> check_array ~in_state (who "fill") dst
     | Init_global { dst; global_off } ->
-      check_array ~in_state "init map" dst;
-      check_expr ~in_state "init map" global_off
+      check_array ~in_state (who "init") dst;
+      check_expr ~in_state (who "init") global_off
     | Init_global2d { dst; row_width; global_row0; global_row_width; global_col0 } ->
-      check_array ~in_state "init2d map" dst;
-      List.iter (check_expr ~in_state "init2d map") [ row_width; global_row0; global_row_width; global_col0 ]
-    | Multi sems -> List.iter (check_sem ~in_state) sems
+      check_array ~in_state (who "init2d") dst;
+      List.iter
+        (check_expr ~in_state (who "init2d"))
+        [ row_width; global_row0; global_row_width; global_col0 ]
+    | Multi sems -> List.iter (check_sem ~in_state ~who) sems
   in
   let rec check_stmt ~in_state = function
     | S_map m ->
-      check_expr ~in_state "map range" m.m_lo;
-      check_expr ~in_state "map range" m.m_hi;
-      check_expr ~in_state "map work" m.m_work;
-      check_sem ~in_state m.m_sem
+      let who kind = Printf.sprintf "%s map(%s)" kind m.m_var in
+      check_expr ~in_state (Printf.sprintf "map(%s) range" m.m_var) m.m_lo;
+      check_expr ~in_state (Printf.sprintf "map(%s) range" m.m_var) m.m_hi;
+      check_expr ~in_state (Printf.sprintf "map(%s) work" m.m_var) m.m_work;
+      check_sem ~in_state ~who m.m_sem
     | S_copy { c_src; c_src_region; c_dst; c_dst_region } ->
-      check_array ~in_state "copy" c_src;
-      check_array ~in_state "copy" c_dst;
-      check_region ~in_state "copy" c_src_region;
-      check_region ~in_state "copy" c_dst_region
+      let what = Printf.sprintf "copy %s -> %s" c_src c_dst in
+      check_array ~in_state what c_src;
+      check_array ~in_state what c_dst;
+      check_region ~in_state what c_src_region;
+      check_region ~in_state what c_dst_region
     | S_lib node -> check_lib ~in_state node
-    | S_cond { then_; _ } -> List.iter (check_stmt ~in_state) then_
+    | S_cond { cond; then_ } ->
+      (match cond with
+      | Symbolic.Lt (a, b) | Symbolic.Le (a, b) | Symbolic.Eq (a, b) | Symbolic.Ge (a, b) ->
+        check_expr ~in_state "branch condition" a;
+        check_expr ~in_state "branch condition" b);
+      List.iter (check_stmt ~in_state) then_
     | S_role { body; _ } -> List.iter (check_stmt ~in_state) body
     | S_grid_sync -> ()
   in

@@ -42,21 +42,29 @@ let override ?topology ?faults ?fault_seed ?trace ?metrics ?pdes env =
     pdes = (match pdes with Some _ -> pdes | None -> env.pdes);
   }
 
+let pdes_of_string s : (pdes, string) result =
+  match String.lowercase_ascii (String.trim s) with
+  | "" -> Ok `Seq
+  | key -> (
+    match List.assoc_opt key pdes_modes with
+    | Some mode -> Ok mode
+    | None ->
+      Error
+        (Printf.sprintf "%S: valid modes are %s" s
+           (String.concat ", " (List.map (fun (k, _) -> Printf.sprintf "%S" k) pdes_modes))))
+
 let pdes_of_env_var () : pdes =
   match Stdlib.Sys.getenv_opt "CPUFREE_PDES" with
   | None -> `Seq
   | Some s -> (
-    match String.lowercase_ascii (String.trim s) with
-    | "" -> `Seq
-    | key -> (
-      match List.assoc_opt key pdes_modes with
-      | Some mode -> mode
-      | None ->
-        invalid_arg
-          (Printf.sprintf "CPUFREE_PDES=%S: valid modes are %s" s
-             (String.concat ", "
-                (List.map (fun (k, _) -> Printf.sprintf "%S" k) pdes_modes)))))
+    match pdes_of_string s with
+    | Ok mode -> mode
+    | Error msg -> invalid_arg ("CPUFREE_PDES=" ^ msg))
 
 let resolve_pdes env = match env.pdes with Some m -> m | None -> pdes_of_env_var ()
 
 let observed env = env.trace <> None || env.metrics <> None
+
+let quiet env = { env with trace = None; metrics = None }
+
+let probe ?(pdes = `Windowed) env = { (quiet env) with faults = None; pdes = Some pdes }

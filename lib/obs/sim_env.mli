@@ -54,6 +54,13 @@ val pdes_to_string : pdes -> string
 (** Canonical lowercase name: ["seq"], ["windowed"], ["adaptive"],
     ["optimistic"]. *)
 
+val pdes_of_string : string -> (pdes, string) result
+(** Parse a user-supplied mode name (CLI flags, env vars): [""], ["seq"],
+    ["sequential"] are [`Seq]; ["windowed"], ["pdes"] are [`Windowed];
+    ["adaptive"] is [`Adaptive]; ["optimistic"], ["timewarp"] are
+    [`Optimistic]. [Error] carries a friendly message listing every valid
+    mode. *)
+
 val pdes_of_env_var : unit -> pdes
 (** Parse [CPUFREE_PDES]: unset, [""], ["seq"], ["sequential"] are [`Seq];
     ["windowed"], ["pdes"] are [`Windowed]; ["adaptive"] is [`Adaptive];
@@ -67,3 +74,16 @@ val resolve_pdes : t -> pdes
 
 val observed : t -> bool
 (** Whether a trace or metrics sink is attached. *)
+
+val quiet : t -> t
+(** [env] with the observability sinks removed, for auxiliary runs
+    (verification, candidate probing) that must not pollute the main run's
+    artifacts. *)
+
+val probe : ?pdes:pdes -> t -> t
+(** The candidate-evaluation environment derived from [env]: sinks and fault
+    plan removed and the PDES mode pinned (default [`Windowed], the cheap
+    conservative driver). Pinning makes a search that ranks simulated costs
+    independent of the ambient [CPUFREE_PDES] setting — every driver is
+    bit-identical on these models, so the pin costs nothing and guarantees
+    reproducible plan choices. *)

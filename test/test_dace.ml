@@ -73,6 +73,45 @@ let symbolic_props =
              exprs));
   ]
 
+(* Random expression trees over two symbols, for the simplification laws. *)
+let arb_expr =
+  let open QCheck.Gen in
+  let leaf = oneof [ map Sym.int (int_range (-20) 20); oneofl [ Sym.sym "x"; Sym.sym "y" ] ] in
+  let node self n =
+    let sub = self (n / 2) in
+    oneof
+      [
+        map2 (fun a b -> Sym.(a + b)) sub sub;
+        map2 (fun a b -> Sym.(a - b)) sub sub;
+        map2 (fun a b -> Sym.(a * b)) sub sub;
+        map2 (fun a b -> Sym.(a / b)) sub sub;
+      ]
+  in
+  let gen = sized (fix (fun self n -> if n <= 0 then leaf else oneof [ leaf; node self n ])) in
+  QCheck.make ~print:Sym.to_string gen
+
+let symbolic_laws =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"simplify is idempotent" ~count:500 arb_expr (fun e ->
+           let once = Sym.simplify e in
+           Sym.simplify once = once));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"eval agrees before and after simplify" ~count:500
+         QCheck.(pair arb_expr (pair (int_range (-9) 9) (int_range (-9) 9)))
+         (fun (e, (x, y)) ->
+           let env = env_of [ ("x", x); ("y", y) ] in
+           match Sym.eval ~env e with
+           | exception Division_by_zero -> true  (* law holds vacuously *)
+           | value -> Sym.eval ~env (Sym.simplify e) = value));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"simplify preserves the free-symbol budget" ~count:500
+         arb_expr (fun e ->
+           List.for_all
+             (fun s -> List.mem s (Sym.free_symbols e))
+             (Sym.free_symbols (Sym.simplify e))));
+  ]
+
 (* --- Sdfg helpers --------------------------------------------------------- *)
 
 let tiny_sdfg () = Programs.jacobi1d_mpi { Programs.n_global = 32; tsteps = 3 } ~gpus:4
@@ -171,6 +210,24 @@ let validate_tests =
             (List.exists
                (fun e -> Astring.String.is_infix ~affix:"mystery" (Validate.error_to_string e))
                es));
+    Alcotest.test_case "errors name the offending node and state" `Quick (fun () ->
+        let s = tiny_sdfg () in
+        let bad =
+          Sdfg.map_stmts s ~f:(fun stmt ->
+              match stmt with
+              | Sdfg.S_map m -> [ Sdfg.S_map { m with Sdfg.m_hi = v "mystery" } ]
+              | _ -> [ stmt ])
+        in
+        match Validate.check bad with
+        | Ok () -> Alcotest.fail "expected error"
+        | Error es ->
+          let msgs = List.map Validate.error_to_string es in
+          (* the message carries the map variable and its enclosing state,
+             not just the bad symbol *)
+          check_bool "names the map" true
+            (List.exists (Astring.String.is_infix ~affix:"map(i) range") msgs);
+          check_bool "names the state" true
+            (List.exists (Astring.String.is_infix ~affix:"[state comp_B]") msgs));
     Alcotest.test_case "require_symmetric flags non-symmetric NVSHMEM targets" `Quick
       (fun () ->
         let s = Programs.jacobi1d_nvshmem { Programs.n_global = 32; tsteps = 3 } ~gpus:4 in
@@ -593,14 +650,41 @@ let lowering_tests =
             (Cpufree_gpu.Buffer.get buf idx));
   ]
 
+(* Where transformation passes are claimed independent of application order,
+   check it on randomly sized frontends: NVSHMEMArray only retargets storage
+   (GPUTransform's Host_heap guard skips what it already moved), and
+   in-kernel expansion rewrites only library nodes NVSHMEMArray never looks
+   past. *)
+let transforms_props =
+  let arb_cfg =
+    QCheck.(pair (oneofl [ 1; 2; 4; 8 ]) (pair (int_range 1 8) (int_range 1 4)))
+  in
+  let frontend (gpus, (k, tsteps)) =
+    Programs.jacobi1d_nvshmem { Programs.n_global = gpus * k * 2; tsteps } ~gpus
+  in
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"GPUTransform and NVSHMEMArray commute" ~count:50 arb_cfg
+         (fun cfg ->
+           let s = frontend cfg in
+           Transforms.gpu_transform (Transforms.nvshmem_array s)
+           = Transforms.nvshmem_array (Transforms.gpu_transform s)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"expansion and NVSHMEMArray commute" ~count:50 arb_cfg
+         (fun cfg ->
+           let s = frontend cfg in
+           Transforms.expand_nvshmem (Transforms.nvshmem_array s)
+           = Transforms.nvshmem_array (Transforms.expand_nvshmem s)));
+  ]
+
 let () =
   Alcotest.run "dace"
     [
-      ("symbolic", symbolic_tests @ symbolic_props);
+      ("symbolic", symbolic_tests @ symbolic_props @ symbolic_laws);
       ("sdfg", sdfg_tests);
       ("validate", validate_tests);
       ("loop", loop_tests);
-      ("transforms", transforms_tests);
+      ("transforms", transforms_tests @ transforms_props);
       ("persistent-fusion", fusion_tests);
       ("rank-grid", rank_grid_tests);
       ("lowering", lowering_tests);
