@@ -688,6 +688,245 @@ let validate_chaos_doc doc =
   | _ -> fail "document is not an object"
 
 (* ---------------------------------------------------------------- *)
+(* Fig R: fail-stop kills and checkpoint/restart recovery             *)
+(* ---------------------------------------------------------------- *)
+
+let recovery_seed = 77
+
+let recovery_modes : Cpufree_core.Sim_env.pdes list = [ `Seq; `Windowed; `Adaptive; `Optimistic ]
+
+(* Everything the self-healing layer decides about one run; bit-equality of
+   this digest across the four PDES drivers is the recovery FATAL gate. *)
+let resilient_digest (r : S.Harness.resilient_run) =
+  ( Time.to_ns r.S.Harness.r_total,
+    Time.to_ns r.S.Harness.r_restart_cost,
+    r.S.Harness.r_killed,
+    r.S.Harness.r_survivors,
+    r.S.Harness.r_checkpoint,
+    r.S.Harness.r_work_saved,
+    (r.S.Harness.r_completed, r.S.Harness.r_degraded),
+    Array.to_list r.S.Harness.r_first.S.Harness.progress,
+    match r.S.Harness.r_resume with
+    | None -> []
+    | Some res -> Array.to_list res.S.Harness.progress )
+
+(* Time-to-recover and completed work of the checkpoint/restart harness, as
+   a function of the checkpoint interval and the kill time (both relative to
+   a fault-free control of the same workload). Two FATAL gates guard the
+   fail-stop layer's determinism:
+   - the fault-free control must be byte-identical to the plain (no chaos
+     machinery at all) driver in all four CPUFREE_PDES modes, and
+   - every recovery scenario's full digest must be bit-identical across the
+     four modes. *)
+let fig_recovery ~smoke () =
+  figure "fig.recovery" (fun () ->
+      let gpus = 4 in
+      let iters = if smoke then 24 else 48 in
+      let problem = S.Problem.make (S.Problem.D2 { nx = 96; ny = 96 }) ~iterations:iters in
+      let kind = S.Variants.Cpu_free in
+      let kname = S.Variants.name kind in
+      let plain_total pdes =
+        (S.Harness.run_env ~env:(Cpufree_core.Sim_env.make ~pdes ()) kind problem ~gpus)
+          .Measure.total
+      in
+      let control_total pdes =
+        let cr =
+          S.Harness.run_chaos_env
+            ~env:
+              (Cpufree_core.Sim_env.make ~faults:Fault.none ~fault_seed:recovery_seed ~pdes ())
+            kind problem ~gpus
+        in
+        if not cr.S.Harness.chaos.Measure.completed then begin
+          Printf.eprintf "[recovery] FATAL: fault-free control aborted\n%!";
+          exit 1
+        end;
+        cr.S.Harness.chaos.Measure.base.Measure.total
+      in
+      let seq_plain = plain_total `Seq in
+      List.iter
+        (fun pdes ->
+          let p = plain_total pdes and c = control_total pdes in
+          if not (Time.equal p seq_plain && Time.equal c seq_plain) then begin
+            Printf.eprintf
+              "[recovery] FATAL: fault-free control differs under %s (plain %d ns, chaos %d \
+               ns, seq %d ns) — the fail-stop layer perturbed an unfaulted run\n%!"
+              (Cpufree_core.Sim_env.pdes_to_string pdes)
+              (Time.to_ns p) (Time.to_ns c) (Time.to_ns seq_plain);
+            exit 1
+          end)
+        recovery_modes;
+      let control_ns = Time.to_ns seq_plain in
+      let kill_fracs = if smoke then [ 0.4 ] else [ 0.25; 0.6 ] in
+      let scratch_k = 2 * iters in
+      let intervals = (if smoke then [ 2 ] else [ 1; 2; 4; 8 ]) @ [ scratch_k ] in
+      header
+        (Printf.sprintf
+           "Fig R  Fail-stop recovery: 2D Jacobi 96^2 x %d iters on %d GPUs, kill one GPU; \
+            control %.2f us (identical in all four PDES modes)"
+           iters gpus (us seq_plain));
+      Printf.printf "  %8s %10s %10s %9s %10s %12s %12s %6s\n" "kill_us" "ckpt_every"
+        "checkpoint" "saved_it" "restart_us" "end2end_us" "vs_scratch" "status";
+      let points = ref [] in
+      List.iter
+        (fun frac ->
+          let kill_ns = int_of_float (float_of_int control_ns *. frac) in
+          let spec = { Fault.none with Fault.kills = [ (1, Time.ns kill_ns) ] } in
+          let scratch_total = ref None in
+          List.iter
+            (fun k ->
+              let run pdes =
+                S.Harness.run_resilient
+                  ~env:
+                    (Cpufree_core.Sim_env.make ~faults:spec ~fault_seed:recovery_seed ~pdes ())
+                  ~checkpoint_every:k kind problem ~gpus
+              in
+              let r = run `Seq in
+              let d = resilient_digest r in
+              List.iter
+                (fun pdes ->
+                  if pdes <> `Seq && resilient_digest (run pdes) <> d then begin
+                    Printf.eprintf
+                      "[recovery] FATAL: recovery digest under %s differs from sequential \
+                       (kill at %d ns, checkpoint every %d)\n%!"
+                      (Cpufree_core.Sim_env.pdes_to_string pdes)
+                      kill_ns k;
+                    exit 1
+                  end)
+                recovery_modes;
+              let scratch = k >= scratch_k in
+              if scratch then scratch_total := Some r.S.Harness.r_total;
+              let vs_scratch =
+                match !scratch_total with
+                | Some s when not scratch && Time.(s > zero) ->
+                  Printf.sprintf "%+.1f%%"
+                    ((us r.S.Harness.r_total -. us s) /. us s *. 100.0)
+                | _ -> "-"
+              in
+              Printf.printf "  %8.2f %10s %9d  %8d %10.2f %12.2f %12s %6s\n"
+                (float_of_int kill_ns /. 1e3)
+                (if scratch then "scratch" else string_of_int k)
+                r.S.Harness.r_checkpoint r.S.Harness.r_work_saved
+                (us r.S.Harness.r_restart_cost) (us r.S.Harness.r_total) vs_scratch
+                (if r.S.Harness.r_completed then
+                   if r.S.Harness.r_degraded then "ok*" else "ok"
+                 else "AB");
+              points :=
+                point ~label:kname ~gpus r.S.Harness.r_first.S.Harness.chaos.Measure.base
+                  ~extra:
+                    [
+                      ("fault_seed", J.Int recovery_seed);
+                      ("kill_us", J.Float (float_of_int kill_ns /. 1e3));
+                      ("checkpoint_every", J.Int k);
+                      ("scratch", J.Bool scratch);
+                      ( "killed_pe",
+                        J.Int (match r.S.Harness.r_killed with Some pe -> pe | None -> -1) );
+                      ("survivors", J.Int r.S.Harness.r_survivors);
+                      ("checkpoint", J.Int r.S.Harness.r_checkpoint);
+                      ("work_saved", J.Int r.S.Harness.r_work_saved);
+                      ("restart_us", J.Float (us r.S.Harness.r_restart_cost));
+                      ("end_to_end_us", J.Float (us r.S.Harness.r_total));
+                      ("control_us", J.Float (us seq_plain));
+                      ("completed", J.Bool r.S.Harness.r_completed);
+                      ("degraded", J.Bool r.S.Harness.r_degraded);
+                    ]
+                :: !points)
+            (* Scratch first so the vs_scratch column can reference it. *)
+            (scratch_k :: List.filter (fun k -> k <> scratch_k) intervals))
+        kill_fracs;
+      Printf.printf "  (ok* = completed degraded on the survivors)\n";
+      (List.rev !points, ()))
+
+(* Documented schema of the fig.recovery series. Beyond the field shape, the
+   figure must demonstrate actual self-healing: at least one point completed
+   degraded on the survivors, and at least one checkpointed point strictly
+   beats the restart-from-scratch point for the same kill time. *)
+let validate_recovery_doc doc =
+  let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let field kvs name = List.assoc_opt name kvs in
+  let point_shape i p =
+    match p with
+    | J.Obj kvs -> (
+      match
+        ( field kvs "kill_us",
+          field kvs "checkpoint_every",
+          field kvs "scratch",
+          field kvs "work_saved",
+          field kvs "end_to_end_us",
+          field kvs "completed",
+          field kvs "degraded" )
+      with
+      | ( Some (J.Float _),
+          Some (J.Int _),
+          Some (J.Bool _),
+          Some (J.Int _),
+          Some (J.Float _),
+          Some (J.Bool _),
+          Some (J.Bool _) ) ->
+        Ok ()
+      | _ ->
+        fail
+          "recovery point %d: needs float \"kill_us\"/\"end_to_end_us\", int \
+           \"checkpoint_every\"/\"work_saved\", bool \"scratch\"/\"completed\"/\"degraded\""
+          i)
+    | _ -> fail "recovery point %d: not an object" i
+  in
+  let healed = function
+    | J.Obj kvs ->
+      field kvs "completed" = Some (J.Bool true) && field kvs "degraded" = Some (J.Bool true)
+    | _ -> false
+  in
+  let beats_scratch pts p =
+    match p with
+    | J.Obj kvs -> (
+      match (field kvs "kill_us", field kvs "scratch", field kvs "work_saved",
+             field kvs "end_to_end_us") with
+      | Some kill, Some (J.Bool false), Some (J.Int saved), Some (J.Float t) when saved > 0 ->
+        List.exists
+          (function
+            | J.Obj q -> (
+              field q "kill_us" = Some kill
+              && field q "scratch" = Some (J.Bool true)
+              && match field q "end_to_end_us" with Some (J.Float s) -> t < s | _ -> false)
+            | _ -> false)
+          pts
+      | _ -> false)
+    | _ -> false
+  in
+  match doc with
+  | J.Obj kvs -> (
+    match field kvs "figures" with
+    | Some (J.List figs) -> (
+      let recovery =
+        List.filter_map
+          (function
+            | J.Obj f when field f "figure" = Some (J.String "fig.recovery") -> Some f
+            | _ -> None)
+          figs
+      in
+      match recovery with
+      | [ fig ] -> (
+        match field fig "points" with
+        | Some (J.List (_ :: _ as pts)) ->
+          let rec go i = function
+            | [] -> Ok ()
+            | p :: rest -> (match point_shape i p with Ok () -> go (i + 1) rest | e -> e)
+          in
+          (match go 0 pts with
+          | Error _ as e -> e
+          | Ok () ->
+            if not (List.exists healed pts) then
+              fail "fig.recovery has no point that completed degraded on the survivors"
+            else if not (List.exists (beats_scratch pts) pts) then
+              fail
+                "fig.recovery has no checkpointed point that beats restart-from-scratch for \
+                 the same kill time"
+            else Ok ())
+        | _ -> fail "fig.recovery: missing or empty points list")
+      | l -> fail "expected exactly one fig.recovery figure, found %d" (List.length l))
+    | _ -> fail "document has no figures list")
+  | _ -> fail "document is not an object"
+
+(* ---------------------------------------------------------------- *)
 (* Headline speedups                                                  *)
 (* ---------------------------------------------------------------- *)
 
@@ -2193,6 +2432,21 @@ let write_results ~mode ~elapsed =
         msg;
       exit 1
   end;
+  let has_recovery =
+    List.exists
+      (function
+        | J.Obj f -> List.assoc_opt "figure" f = Some (J.String "fig.recovery")
+        | _ -> false)
+      !json_figures
+  in
+  if has_recovery then begin
+    match validate_recovery_doc doc with
+    | Ok () -> ()
+    | Error msg ->
+      Printf.eprintf
+        "[recovery] FATAL: BENCH_results.json violates the documented schema: %s\n%!" msg;
+      exit 1
+  end;
   let has_pdes =
     List.exists
       (function
@@ -2269,6 +2523,15 @@ let () =
     let t_start = wall () in
     fig_chaos ~smoke ();
     write_results ~mode:(if smoke then "chaos-smoke" else "chaos") ~elapsed:(wall () -. t_start);
+    exit 0
+  end;
+  if List.mem "recovery" args then begin
+    let smoke = List.mem "smoke" args in
+    let t_start = wall () in
+    fig_recovery ~smoke ();
+    write_results
+      ~mode:(if smoke then "recovery-smoke" else "recovery")
+      ~elapsed:(wall () -. t_start);
     exit 0
   end;
   if List.mem "pdes" args then begin

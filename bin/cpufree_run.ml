@@ -58,8 +58,11 @@ let topology_arg =
 let faults_arg =
   let doc =
     "Deterministic fault-injection spec: comma-separated clauses drop=P, delay=P@NS, \
-     straggler=GxM, flap=PERIOD_US@DUTYxM, nic=START_US+DUR_US, retry=TIMEOUT_USxN, backoff=F \
-     (or 'none'). Example: drop=0.02,delay=0.1@2000,straggler=1x1.5."
+     straggler=GxM, flap=PERIOD_US@DUTYxM, nic=START_US+DUR_US, kill=GPU@T_US, \
+     linkfail=SRC-DST@T_US, switchfail=NAME@T_US, retry=TIMEOUT_USxN, backoff=F (or 'none'). \
+     The fail-stop clauses (kill/linkfail/switchfail) permanently stop a GPU / kill every \
+     link between two named topology vertices / kill a named switch and its links at the \
+     given virtual time. Example: drop=0.02,delay=0.1@2000,kill=1@500."
   in
   Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"SPEC" ~doc)
 
@@ -152,6 +155,11 @@ let env_of_common c =
 (* The same environment minus the observability sinks, for auxiliary runs
    (verification) that must not pollute the main run's artifacts. *)
 let quiet_env c = Env.make ~topology:c.topology ?pdes:c.pdes ()
+
+(* Sinkless but fault-carrying: the per-variant environments of a
+   multi-variant chaos run. *)
+let chaos_env c =
+  Env.make ~topology:c.topology ?faults:c.faults ~fault_seed:c.fault_seed ?pdes:c.pdes ()
 
 (* Write (and self-validate) whatever sinks the environment carries. *)
 let write_observability c (env : Env.t) =
@@ -284,7 +292,7 @@ let run_stencil common iters dims variant no_compute verify timeline chrome =
     Printf.printf "chaos run: faults=%s seed=%d\n" (Fault.to_string spec) common.fault_seed;
     List.iter
       (fun kind ->
-        let env = if single then env_of_common common else quiet_env common in
+        let env = if single then env_of_common common else chaos_env common in
         let cr = S.Harness.run_chaos_env ~arch ~env kind problem ~gpus in
         print_chaos_report cr.S.Harness.chaos ~progress:cr.S.Harness.progress;
         if single then write_observability common env)

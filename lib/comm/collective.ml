@@ -1,4 +1,5 @@
 module G = Cpufree_gpu
+module F = Cpufree_fault.Fault
 
 type algorithm = Dense | Ring | Tree | Doubling
 
@@ -40,99 +41,191 @@ type channels =
   | Tree_sigs of { up : Nvshmem.signal array; down : Nvshmem.signal }
   | Dbl_sigs of { pre : Nvshmem.signal; step : Nvshmem.signal array; post : Nvshmem.signal }
 
+(* A membership view: the PEs participating in the schedule (rank order)
+   plus the signal set the schedule rides. The full group is built at
+   [create]; fail-stop shrinks build smaller groups keyed by the dead set,
+   with fresh signals so counts from an abandoned round cannot satisfy a
+   shrunk round's waits. Schedules run in {e rank} space (a rank is an
+   index into [members]); on the healthy full group rank = PE id, keeping
+   fault-free runs byte-identical to the pre-fail-stop layer. *)
+type group = {
+  members : int array;  (* rank -> PE id, ascending *)
+  arrived : Nvshmem.signal;  (* counts contributions delivered to this PE *)
+  chans : channels;
+  gkey : string;  (* canonical dead-set key; "" = full membership *)
+}
+
 type t = {
   nv : Nvshmem.t;
   alg : algorithm;
+  clabel : string;
   contrib : Nvshmem.sym;  (* per PE: one slot per contributor *)
-  arrived : Nvshmem.signal;  (* counts contributions delivered to this PE *)
-  chans : channels;
+  groups : (string, group) Hashtbl.t;  (* dead-set key -> group, shared *)
+  pe_grp : group array;  (* per-PE adopted membership view *)
   round : int array;  (* completed rounds, per PE *)
   expect : int array;  (* cumulative arrival count each PE waits for *)
+  rbase : int array;  (* rounds completed before adopting pe_grp.(pe) *)
+  mutable shrunk : bool;  (* any membership shrink performed *)
+  mutable revoked : bool;
 }
+
+exception Revoked
+
+let make_channels nv ~label ~m = function
+  | Dense | Ring -> Shared
+  | Tree ->
+    Tree_sigs
+      {
+        up =
+          Array.init (ceil_pow2 m) (fun k ->
+              Nvshmem.signal_malloc nv ~label:(Printf.sprintf "%s.up%d" label k) ());
+        down = Nvshmem.signal_malloc nv ~label:(label ^ ".down") ();
+      }
+  | Doubling ->
+    Dbl_sigs
+      {
+        pre = Nvshmem.signal_malloc nv ~label:(label ^ ".pre") ();
+        step =
+          Array.init (ceil_pow2 m) (fun k ->
+              Nvshmem.signal_malloc nv ~label:(Printf.sprintf "%s.st%d" label k) ());
+        post = Nvshmem.signal_malloc nv ~label:(label ^ ".post") ();
+      }
 
 let create ?(algorithm = Dense) nv ~label =
   let n = Nvshmem.n_pes nv in
-  let chans =
-    match algorithm with
-    | Dense | Ring -> Shared
-    | Tree ->
-      Tree_sigs
-        {
-          up =
-            Array.init (ceil_pow2 n) (fun k ->
-                Nvshmem.signal_malloc nv ~label:(Printf.sprintf "%s.up%d" label k) ());
-          down = Nvshmem.signal_malloc nv ~label:(label ^ ".down") ();
-        }
-    | Doubling ->
-      Dbl_sigs
-        {
-          pre = Nvshmem.signal_malloc nv ~label:(label ^ ".pre") ();
-          step =
-            Array.init (ceil_pow2 n) (fun k ->
-                Nvshmem.signal_malloc nv ~label:(Printf.sprintf "%s.st%d" label k) ());
-          post = Nvshmem.signal_malloc nv ~label:(label ^ ".post") ();
-        }
-  in
+  let chans = make_channels nv ~label ~m:n algorithm in
+  (* Two banks of n slots, alternating by round parity: every algorithm
+     here is a full allgather, so a PE finishing round R+1 proves every
+     other PE entered R+1 — i.e. finished reading bank R — before any
+     round-R+2 write can touch that bank. No barrier needed. *)
+  let contrib = Nvshmem.sym_malloc nv ~label:(label ^ ".contrib") (2 * n) in
+  let arrived = Nvshmem.signal_malloc nv ~label:(label ^ ".arrived") () in
+  let full = { members = Array.init n (fun pe -> pe); arrived; chans; gkey = "" } in
+  let groups = Hashtbl.create 4 in
+  Hashtbl.add groups "" full;
   {
     nv;
     alg = algorithm;
-    (* Two banks of n slots, alternating by round parity: every algorithm
-       here is a full allgather, so a PE finishing round R+1 proves every
-       other PE entered R+1 — i.e. finished reading bank R — before any
-       round-R+2 write can touch that bank. No barrier needed. *)
-    contrib = Nvshmem.sym_malloc nv ~label:(label ^ ".contrib") (2 * n);
-    arrived = Nvshmem.signal_malloc nv ~label:(label ^ ".arrived") ();
-    chans;
+    clabel = label;
+    contrib;
+    groups;
+    pe_grp = Array.make n full;
     round = Array.make n 0;
     expect = Array.make n 0;
+    rbase = Array.make n 0;
+    shrunk = false;
+    revoked = false;
   }
 
 let n t = Nvshmem.n_pes t.nv
 
 let algorithm t = t.alg
 
+let degraded t = t.shrunk
+
+let members t ~pe = Array.copy t.pe_grp.(pe).members
+
+(* ------------------------------------------------------------------ *)
+(* Fail-stop plumbing                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* All membership decisions are pure functions of (spec, virtual now) —
+   the kill schedule, not the mutable registry — so every survivor
+   derives the same dead set and the same shrunk group under every PDES
+   driver. The checks are compiled out (None) without fail-stop clauses,
+   keeping those runs byte-identical. *)
+let failstop t =
+  match Nvshmem.faults t.nv with
+  | None -> None
+  | Some plan ->
+    let spec = F.spec_of plan in
+    if F.has_failstop spec then Some (plan, spec) else None
+
+let self_dead t ~pe =
+  match failstop t with
+  | None -> false
+  | Some (_, spec) -> F.dead spec ~pe ~now:(Nvshmem.now t.nv)
+
+let dead_now t =
+  match failstop t with
+  | None -> []
+  | Some (_, spec) -> F.killed_by spec ~now:(Nvshmem.now t.nv)
+
+let dead_key dead = String.concat "." (List.map (fun (d, _) -> string_of_int d) dead)
+
+let rank_of g pe =
+  let r = ref (-1) in
+  Array.iteri (fun i q -> if q = pe then r := i) g.members;
+  if !r < 0 then invalid_arg (Printf.sprintf "Collective: PE %d is not a group member" pe);
+  !r
+
+let check_revoked t = if t.revoked then raise Revoked
+
+(* Collective-level signal wait. A revoked communicator raises {!Revoked}
+   once the revocation bump wakes the waiter. A kill diagnosis
+   ({!F.Killed} from the resilient wait) propagates to the round-retry
+   handler only when it carries new information; a timeout naming only
+   deaths this PE's membership already excludes is spurious (the shrunk
+   schedule is merely slow) and the wait resumes. *)
+let coll_wait t ~pe ~sig_var v =
+  let rec go () =
+    match Nvshmem.signal_wait_ge t.nv ~pe ~sig_var v with
+    | () -> ()
+    | exception (F.Killed _ as ex) ->
+      if String.equal (dead_key (dead_now t)) t.pe_grp.(pe).gkey && not (self_dead t ~pe)
+      then go ()
+      else raise ex
+  in
+  go ();
+  check_revoked t
+
 (* Position-preserving signaled put: slot [pos] of my bank lands in slot
    [pos] of [peer]'s, bumping [sig_var]'s count at the peer by the element
-   count (put-then-signal ordering makes each arrival a data guarantee). *)
-let send_on t ~sig_var ~pe ~peer ~pos ~len =
-  Nvshmem.putmem_signal_nbi t.nv ~from_pe:pe ~to_pe:peer
-    ~src:(Nvshmem.local t.contrib ~pe) ~src_pos:pos ~dst:t.contrib ~dst_pos:pos ~len
+   count (put-then-signal ordering makes each arrival a data guarantee).
+   [rank]/[peer] are rank-space; the group maps them to PE ids. *)
+let send_on t g ~sig_var ~rank ~peer ~pos ~len =
+  let from_pe = g.members.(rank) and to_pe = g.members.(peer) in
+  Nvshmem.putmem_signal_nbi t.nv ~from_pe ~to_pe
+    ~src:(Nvshmem.local t.contrib ~pe:from_pe) ~src_pos:pos ~dst:t.contrib ~dst_pos:pos ~len
     ~sig_var ~sig_op:Nvshmem.Signal_add ~sig_value:len
 
-let send t ~pe ~peer ~pos ~len = send_on t ~sig_var:t.arrived ~pe ~peer ~pos ~len
+let send t g ~rank ~peer ~pos ~len = send_on t g ~sig_var:g.arrived ~rank ~peer ~pos ~len
 
 (* Block until [extra] more elements than everything awaited so far have
-   arrived on the shared counter. Cumulative, so it never needs a reset. *)
-let wait t ~pe ~extra =
+   arrived on the shared counter. Cumulative, so it never needs a reset
+   — [expect] restarts from zero when a PE adopts a shrunk group's fresh
+   counter. *)
+let wait t g ~pe ~extra =
   t.expect.(pe) <- t.expect.(pe) + extra;
-  Nvshmem.signal_wait_ge t.nv ~pe ~sig_var:t.arrived t.expect.(pe)
+  coll_wait t ~pe ~sig_var:g.arrived t.expect.(pe)
 
-(* Dense: scatter my slot to every peer at once, wait for all n-1. The
-   original all-to-all — latency-optimal at small n, n² messages. *)
-let gather_dense t ~pe ~bank =
-  let nn = n t in
-  for peer = 0 to nn - 1 do
-    if peer <> pe then send t ~pe ~peer ~pos:(bank + pe) ~len:1
+(* Dense: scatter my slot to every peer at once, wait for all m-1. The
+   original all-to-all — latency-optimal at small m, m² messages. *)
+let gather_dense t g ~pe ~rank ~bank =
+  let m = Array.length g.members in
+  for peer = 0 to m - 1 do
+    if peer <> rank then send t g ~rank ~peer ~pos:(bank + rank) ~len:1
   done;
-  wait t ~pe ~extra:(nn - 1)
+  wait t g ~pe ~extra:(m - 1)
 
-(* Ring: n-1 steps, each forwarding the slot received in the previous step
+(* Ring: m-1 steps, each forwarding the slot received in the previous step
    to the successor. Bandwidth-optimal; every message rides a neighbour
    link, which is what makes it the right shape on the ring topology. *)
-let gather_ring t ~pe ~bank =
-  let nn = n t in
-  let succ = (pe + 1) mod nn in
-  for s = 0 to nn - 2 do
-    let slot = (pe - s + nn) mod nn in
-    send t ~pe ~peer:succ ~pos:(bank + slot) ~len:1;
-    wait t ~pe ~extra:1
+let gather_ring t g ~pe ~rank ~bank =
+  let m = Array.length g.members in
+  let succ = (rank + 1) mod m in
+  for s = 0 to m - 2 do
+    let slot = (rank - s + m) mod m in
+    send t g ~rank ~peer:succ ~pos:(bank + slot) ~len:1;
+    wait t g ~pe ~extra:1
   done
 
 (* Per-channel wait: one sender, a fixed count per round, cumulative
-   threshold [round * per_round] — per-sender FIFO makes this sound even
-   when other channels' messages arrive out of order. *)
+   threshold [(round - rbase) * per_round] — per-sender FIFO makes this
+   sound even when other channels' messages arrive out of order, and the
+   base offset restarts the count on a shrunk group's fresh signals. *)
 let wait_on t ~sig_var ~pe ~per_round =
-  Nvshmem.signal_wait_ge t.nv ~pe ~sig_var (t.round.(pe) * per_round)
+  coll_wait t ~pe ~sig_var ((t.round.(pe) - t.rbase.(pe)) * per_round)
 
 (* Binomial tree: gather blocks up to PE 0 (each PE sends its whole held
    block to its parent the round its lowest set bit fires), then broadcast
@@ -141,20 +234,20 @@ let wait_on t ~sig_var ~pe ~per_round =
    broadcast likewise comes only from the parent). The down-phase overwrite
    of a child's own slots is benign: the root's copy carries the same
    values the child contributed. *)
-let gather_tree t ~pe ~bank ~up ~down =
-  let nn = n t in
-  if nn > 1 then begin
-    let kmax = ceil_pow2 nn in
+let gather_tree t g ~pe ~rank ~bank ~up ~down =
+  let m = Array.length g.members in
+  if m > 1 then begin
+    let kmax = ceil_pow2 m in
     (try
        for k = 0 to kmax - 1 do
          let step = 1 lsl k in
-         if pe land step <> 0 then begin
-           send_on t ~sig_var:up.(k) ~pe ~peer:(pe - step) ~pos:(bank + pe)
-             ~len:(min step (nn - pe));
+         if rank land step <> 0 then begin
+           send_on t g ~sig_var:up.(k) ~rank ~peer:(rank - step) ~pos:(bank + rank)
+             ~len:(min step (m - rank));
            raise Exit
          end
-         else if pe + step < nn then
-           wait_on t ~sig_var:up.(k) ~pe ~per_round:(min step (nn - (pe + step)))
+         else if rank + step < m then
+           wait_on t ~sig_var:up.(k) ~pe ~per_round:(min step (m - (rank + step)))
        done
      with Exit -> ());
     let lowbit p =
@@ -164,11 +257,11 @@ let gather_tree t ~pe ~bank ~up ~down =
       done;
       !k
     in
-    let top = if pe = 0 then kmax - 1 else lowbit pe - 1 in
-    if pe <> 0 then wait_on t ~sig_var:down ~pe ~per_round:nn;
+    let top = if rank = 0 then kmax - 1 else lowbit rank - 1 in
+    if rank <> 0 then wait_on t ~sig_var:down ~pe ~per_round:m;
     for k = top downto 0 do
-      let child = pe + (1 lsl k) in
-      if child < nn then send_on t ~sig_var:down ~pe ~peer:child ~pos:bank ~len:nn
+      let child = rank + (1 lsl k) in
+      if child < m then send_on t g ~sig_var:down ~rank ~peer:child ~pos:bank ~len:m
     done
   end
 
@@ -179,57 +272,125 @@ let gather_tree t ~pe ~bank ~up ~down =
    its own signal — the pre-fold partner is far while the first exchange
    partner is adjacent, so a shared counter would let the near message
    satisfy the far wait. *)
-let gather_doubling t ~pe ~bank ~pre ~step_sig ~post =
-  let nn = n t in
-  let pp = 1 lsl (ceil_pow2 nn) in
-  let pp = if pp > nn then pp lsr 1 else pp in
-  let r = nn - pp in
-  if pe >= pp then begin
-    send_on t ~sig_var:pre ~pe ~peer:(pe - pp) ~pos:(bank + pe) ~len:1;
-    wait_on t ~sig_var:post ~pe ~per_round:nn
+let gather_doubling t g ~pe ~rank ~bank ~pre ~step_sig ~post =
+  let m = Array.length g.members in
+  let pp = 1 lsl (ceil_pow2 m) in
+  let pp = if pp > m then pp lsr 1 else pp in
+  let r = m - pp in
+  if rank >= pp then begin
+    send_on t g ~sig_var:pre ~rank ~peer:(rank - pp) ~pos:(bank + rank) ~len:1;
+    wait_on t ~sig_var:post ~pe ~per_round:m
   end
   else begin
-    if pe < r then wait_on t ~sig_var:pre ~pe ~per_round:1;
+    if rank < r then wait_on t ~sig_var:pre ~pe ~per_round:1;
     let k = ref 0 in
     while 1 lsl !k < pp do
       let s = 1 lsl !k in
-      let partner = pe lxor s in
-      let base = pe land lnot (s - 1) in
-      send_on t ~sig_var:step_sig.(!k) ~pe ~peer:partner ~pos:(bank + base) ~len:s;
+      let partner = rank lxor s in
+      let base = rank land lnot (s - 1) in
+      send_on t g ~sig_var:step_sig.(!k) ~rank ~peer:partner ~pos:(bank + base) ~len:s;
       let sh = max 0 (min (base + s) r - base) in
-      if sh > 0 then send_on t ~sig_var:step_sig.(!k) ~pe ~peer:partner ~pos:(bank + pp + base) ~len:sh;
+      if sh > 0 then
+        send_on t g ~sig_var:step_sig.(!k) ~rank ~peer:partner ~pos:(bank + pp + base) ~len:sh;
       let pbase = partner land lnot (s - 1) in
       let psh = max 0 (min (pbase + s) r - pbase) in
       wait_on t ~sig_var:step_sig.(!k) ~pe ~per_round:(s + psh);
       incr k
     done;
-    if pe < r then send_on t ~sig_var:post ~pe ~peer:(pe + pp) ~pos:bank ~len:nn
+    if rank < r then send_on t g ~sig_var:post ~rank ~peer:(rank + pp) ~pos:bank ~len:m
   end
 
-(* Allgather my value into every PE's bank for this round, then wait until
-   all n contributions have arrived here. Returns the bank offset to read.
-   Every algorithm leaves the identical slot layout (slot q = PE q's
-   value), so the reduction below is numerically identical across them. *)
+(* Survivor agreement on a shrink: derive the dead set from the kill
+   schedule at virtual [now] (every survivor that diagnoses the same
+   deaths derives the same set, in any order), record the obituaries, and
+   adopt the group keyed by that set — building it (fresh membership,
+   fresh signals) only on first adoption, so later diagnosers join the
+   same schedule. Returns [false] when the diagnosis carries no new
+   deaths for this PE: the failed round cannot be repaired by shrinking
+   again (a mid-round partial contribution), and the caller aborts with
+   the diagnosed kill instead. *)
+let shrink t ~pe =
+  match failstop t with
+  | None -> false
+  | Some (plan, spec) ->
+    let dead = F.killed_by spec ~now:(Nvshmem.now t.nv) in
+    List.iter (fun (dpe, dat) -> F.note_obituary plan ~pe:dpe ~at:dat) dead;
+    let key = dead_key dead in
+    if String.equal key t.pe_grp.(pe).gkey then false
+    else begin
+      let g =
+        match Hashtbl.find_opt t.groups key with
+        | Some g -> g
+        | None ->
+          let corpses = List.map fst dead in
+          let members =
+            Array.of_list
+              (List.filter (fun q -> not (List.mem q corpses)) (List.init (n t) Fun.id))
+          in
+          let label = Printf.sprintf "%s.x%s" t.clabel key in
+          let arrived = Nvshmem.signal_malloc t.nv ~label:(label ^ ".arrived") () in
+          let chans = make_channels t.nv ~label ~m:(Array.length members) t.alg in
+          let g = { members; arrived; chans; gkey = key } in
+          Hashtbl.add t.groups key g;
+          F.note_shrink plan;
+          g
+      in
+      if Array.length g.members = 0 then false
+      else begin
+        t.pe_grp.(pe) <- g;
+        t.expect.(pe) <- 0;
+        t.rbase.(pe) <- t.round.(pe) - 1;
+        t.shrunk <- true;
+        true
+      end
+    end
+
+let run_schedule t g ~pe ~rank ~bank =
+  match t.alg, g.chans with
+  | Dense, _ -> gather_dense t g ~pe ~rank ~bank
+  | Ring, _ -> gather_ring t g ~pe ~rank ~bank
+  | Tree, Tree_sigs { up; down } -> gather_tree t g ~pe ~rank ~bank ~up ~down
+  | Doubling, Dbl_sigs { pre; step; post } ->
+    gather_doubling t g ~pe ~rank ~bank ~pre ~step_sig:step ~post
+  | (Tree | Doubling), _ -> assert false
+
+(* One attempt at the current round on this PE's adopted group; a kill
+   diagnosed mid-schedule shrinks the membership and redoes the round
+   over the survivors (fresh signals, so the abandoned attempt's counts
+   cannot satisfy the redo's waits; the redo repopulates every slot the
+   reduction reads). A corpse woken by its own timeout abandons the
+   round silently — its result is never consumed. *)
+let rec attempt t ~pe ~bank value =
+  let g = t.pe_grp.(pe) in
+  let rank = rank_of g pe in
+  G.Buffer.set (Nvshmem.local t.contrib ~pe) (bank + rank) value;
+  match run_schedule t g ~pe ~rank ~bank with
+  | () -> ()
+  | exception (F.Killed _ as ex) ->
+    if self_dead t ~pe then ()
+    else if shrink t ~pe then attempt t ~pe ~bank value
+    else raise ex
+
+(* Allgather my value into every member's bank for this round, then wait
+   until all m contributions have arrived here. Returns the bank offset to
+   read. Every algorithm leaves the identical slot layout (slot r = rank
+   r's value), so the reduction below is numerically identical across
+   them. A PE whose scheduled death has passed contributes nothing and
+   waits for nothing. *)
 let gather_round t ~pe value =
+  check_revoked t;
   t.round.(pe) <- t.round.(pe) + 1;
   let bank = (t.round.(pe) land 1) * n t in
-  let own = Nvshmem.local t.contrib ~pe in
-  G.Buffer.set own (bank + pe) value;
-  (match t.alg, t.chans with
-  | Dense, _ -> gather_dense t ~pe ~bank
-  | Ring, _ -> gather_ring t ~pe ~bank
-  | Tree, Tree_sigs { up; down } -> gather_tree t ~pe ~bank ~up ~down
-  | Doubling, Dbl_sigs { pre; step; post } ->
-    gather_doubling t ~pe ~bank ~pre ~step_sig:step ~post
-  | (Tree | Doubling), _ -> assert false);
+  if not (self_dead t ~pe) then attempt t ~pe ~bank value;
   bank
 
 let reduce t ~pe ~init ~f value =
   let bank = gather_round t ~pe value in
   let own = Nvshmem.local t.contrib ~pe in
+  let g = t.pe_grp.(pe) in
   let acc = ref init in
-  for peer = 0 to n t - 1 do
-    acc := f !acc (G.Buffer.get own (bank + peer))
+  for slot = 0 to Array.length g.members - 1 do
+    acc := f !acc (G.Buffer.get own (bank + slot))
   done;
   !acc
 
@@ -237,6 +398,40 @@ let allreduce_sum t ~pe value = reduce t ~pe ~init:0.0 ~f:( +. ) value
 let allreduce_max t ~pe value = reduce t ~pe ~init:neg_infinity ~f:Float.max value
 let barrier t ~pe = Nvshmem.barrier_all t.nv ~pe
 let rounds t ~pe = t.round.(pe)
+
+(* ------------------------------------------------------------------ *)
+(* Communicator revocation                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Large enough to cross any cumulative wait threshold, small enough that
+   a stray Signal_add on top cannot overflow. *)
+let revoke_bump = max_int / 4
+
+let revoke t =
+  if not t.revoked then begin
+    t.revoked <- true;
+    let bump s =
+      for pe = 0 to n t - 1 do
+        Nvshmem.signal_bump t.nv ~pe ~sig_var:s revoke_bump
+      done
+    in
+    let wake g =
+      bump g.arrived;
+      match g.chans with
+      | Shared -> ()
+      | Tree_sigs { up; down } ->
+        Array.iter bump up;
+        bump down
+      | Dbl_sigs { pre; step; post } ->
+        bump pre;
+        Array.iter bump step;
+        bump post
+    in
+    (* Deterministic wake order: groups sorted by dead-set key. *)
+    Hashtbl.fold (fun k _ acc -> k :: acc) t.groups []
+    |> List.sort compare
+    |> List.iter (fun k -> wake (Hashtbl.find t.groups k))
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Halo-exchange pipeline                                              *)

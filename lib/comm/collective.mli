@@ -55,6 +55,39 @@ val barrier : t -> pe:int -> unit
 val rounds : t -> pe:int -> int
 (** Completed reduction rounds on a PE (diagnostics). *)
 
+(** {1 Fail-stop shrink and revocation}
+
+    Under a fault plan with fail-stop clauses the waits inside a schedule
+    are resilient; a timeout against a peer whose scheduled death has
+    passed diagnoses the kill, and the group {e shrinks}: survivors agree
+    on the new membership (derived from the kill schedule at virtual now
+    — deterministic under every [CPUFREE_PDES] driver), rebuild the
+    dense/ring/tree/doubling schedule over the survivor set on fresh
+    signals, and redo the failed round, completing the reduction over
+    survivors only. Supported when the dead PE contributed nothing to the
+    failed round (it died before the round began — the quiesced-failure
+    model); a mid-round partial contribution cannot be repaired by
+    shrinking and deterministically aborts with the diagnosed
+    {!Cpufree_fault.Fault.Killed} instead. *)
+
+val degraded : t -> bool
+(** Whether any fail-stop shrink has been performed: reductions since
+    then cover survivors only. [false] on every fault-free run. *)
+
+val members : t -> pe:int -> int array
+(** The PE's adopted membership view (rank order). The full PE set until
+    a shrink; after one, the survivor set the PE agreed on. *)
+
+exception Revoked
+(** Raised (on every participating PE) by a collective call on a revoked
+    communicator. *)
+
+val revoke : t -> unit
+(** Revoke the communicator: wake every wait of every schedule the
+    group ever built and make all subsequent (and in-flight) collective
+    calls raise {!Revoked} — so a fault handler can drain blocked
+    participants instead of deadlocking them. Idempotent. *)
+
 (** {1 Halo-exchange pipeline} *)
 
 type halo

@@ -206,9 +206,24 @@ let delivery t ~from_pe ~to_pe ~bytes ~label ~commit ~signal_after () =
 let draw_fate t ~from_pe =
   match t.faults with None -> F.Deliver | Some plan -> F.delivery_fate plan ~from_pe
 
+(* Fail-stop: whether the issuing PE's scheduled death has passed. A dead
+   PE initiates nothing — its puts and signal updates are suppressed before
+   any cost, fate draw or registry entry, so to every peer it simply goes
+   silent (the resilient waiter diagnoses it from the schedule). A pure
+   function of (spec, now), hence identical under every PDES driver; false
+   without fail-stop clauses, keeping those runs byte-identical. *)
+let sender_dead t ~pe =
+  match t.faults with
+  | None -> false
+  | Some plan ->
+    let spec = F.spec_of plan in
+    F.has_failstop spec && F.dead spec ~pe ~now:(E.Engine.now t.eng)
+
 let put_common t ~from_pe ~to_pe ~bytes ~label ~commit ~signal_after =
   check_pe t from_pe "put";
   check_pe t to_pe "put";
+  if sender_dead t ~pe:from_pe then ()
+  else begin
   E.Engine.delay t.eng (issue_overhead t);
   note_put t ~from_pe ~bytes;
   let fc = flow_ctx t ~from_pe in
@@ -241,6 +256,7 @@ let put_common t ~from_pe ~to_pe ~bytes ~label ~commit ~signal_after =
          (delivery t ~from_pe ~to_pe ~bytes ~label:(label ^ ".resend") ~commit
             ~signal_after));
     deliver_async t ~from_pe ~label (fun () -> ())
+  end
 
 let putmem_nbi t ~from_pe ~to_pe ~src ~src_pos ~dst ~dst_pos ~len =
   let dst_buf = local dst ~pe:to_pe in
@@ -262,6 +278,8 @@ let putmem_signal_nbi t ~from_pe ~to_pe ~src ~src_pos ~dst ~dst_pos ~len ~sig_va
 let iput_nbi t ~from_pe ~to_pe ~src ~src_pos ~src_stride ~dst ~dst_pos ~dst_stride ~count =
   check_pe t from_pe "iput";
   check_pe t to_pe "iput";
+  if sender_dead t ~pe:from_pe then ()
+  else begin
   E.Engine.delay t.eng (issue_overhead t);
   note_put t ~from_pe ~bytes:(count * G.Buffer.elem_bytes);
   let a = arch t in
@@ -290,16 +308,20 @@ let iput_nbi t ~from_pe ~to_pe ~src ~src_pos ~src_stride ~dst ~dst_pos ~dst_stri
     mark_fault t ~pe:from_pe ~label:"fault:drop:iput";
     F.record_lost (Option.get t.faults) ~key:(put_key ~from_pe) deliver;
     deliver_async t ~from_pe ~label:"iput_nbi" (fun () -> ())
+  end
 
 let p t ~from_pe ~to_pe ~value ~dst ~dst_pos =
   check_pe t from_pe "p";
   check_pe t to_pe "p";
+  if sender_dead t ~pe:from_pe then ()
+  else begin
   E.Engine.delay t.eng (issue_overhead t);
   note_put t ~from_pe ~bytes:G.Buffer.elem_bytes;
   G.Interconnect.transfer (net t) ~src:(G.Interconnect.Gpu from_pe)
     ~dst:(G.Interconnect.Gpu to_pe) ~initiator:G.Interconnect.By_device
     ~bytes:G.Buffer.elem_bytes ~trace_lane:(lane t from_pe) ~label:"p" ();
   G.Buffer.set (local dst ~pe:to_pe) dst_pos value
+  end
 
 let quiet t ~pe =
   check_pe t pe "quiet";
@@ -332,6 +354,8 @@ let signal_wire t ~from_pe ~to_pe =
 let signal_op_remote t ~from_pe ~to_pe ~sig_var ~sig_op ~sig_value =
   check_pe t from_pe "signal_op";
   check_pe t to_pe "signal_op";
+  if sender_dead t ~pe:from_pe then ()
+  else begin
   (* Ordered after prior puts from this PE: fence by waiting for them. *)
   quiet t ~pe:from_pe;
   bump t (fun o -> o.m_signal_ops);
@@ -362,6 +386,7 @@ let signal_op_remote t ~from_pe ~to_pe ~sig_var ~sig_op ~sig_value =
       (fun () ->
         wire ();
         apply_signal sig_var to_pe sig_op sig_value)
+  end
 
 (* Timeout/retry/resend wait (fault runs only): each timeout first asks the
    fabric to retransmit any delivery lost on the way to this flag, then
@@ -378,7 +403,21 @@ let resilient_wait t ~pe ~waits_on ~plan ~sig_var pred =
     | `Ok -> ()
     | `Timeout -> (
       match F.recover_lost plan ~key with
-      | [] ->
+      | [] -> (
+        (* Nothing to replay. Before pacing another retry, consult the
+           fail-stop schedule: a peer whose death has passed will never
+           supply this signal, so retrying is futile — diagnose the kill
+           instead. The check is a pure function of (spec, now), making
+           the detection round identical under every PDES driver; without
+           fail-stop clauses it is compiled out of the path entirely. *)
+        match
+          if F.has_failstop spec then F.killed_by spec ~now:(E.Engine.now t.eng) else []
+        with
+        | (dead_pe, at) :: _ as dead ->
+          List.iter (fun (dpe, dat) -> F.note_obituary plan ~pe:dpe ~at:dat) dead;
+          mark_fault t ~pe ~label:(Printf.sprintf "fault:kill:pe%d" dead_pe);
+          raise (F.Killed { pe = dead_pe; at })
+        | [] ->
         if retries >= spec.F.max_retries then
           raise
             (E.Engine.Stall
@@ -394,7 +433,7 @@ let resilient_wait t ~pe ~waits_on ~plan ~sig_var pred =
           bump t (fun o -> o.m_retries);
           mark_fault t ~pe ~label:("fault:retry:" ^ sig_var.glabel);
           attempt (retries + 1) (Time.scale timeout spec.F.backoff)
-        end
+        end)
       | lost ->
         (* Replay lost deliveries — data first, then signal, as the
            originals would have arrived — charging the retransmission
@@ -447,3 +486,11 @@ let barrier_all t ~pe =
 let pending t ~pe =
   check_pe t pe "pending";
   E.Sync.Flag.get t.pending.(pe)
+
+let faults t = t.faults
+
+let now t = E.Engine.now t.eng
+
+let signal_bump t ~pe ~sig_var v =
+  check_pe t pe "signal_bump";
+  E.Sync.Flag.add sig_var.flags.(pe) v

@@ -88,3 +88,19 @@ val barrier_all : t -> pe:int -> unit
 
 val pending : t -> pe:int -> int
 (** Outstanding non-blocking deliveries for a PE (diagnostics/tests). *)
+
+(** {1 Recovery-layer hooks}
+
+    Used by the fault-tolerant collective layer; no fabric cost. *)
+
+val faults : t -> Cpufree_fault.Fault.plan option
+(** The runtime context's fault plan, if any — lets recovery layers
+    consult the fail-stop schedule and obituary registry. *)
+
+val now : t -> Cpufree_engine.Time.t
+(** Current virtual time of the engine the PEs run on. *)
+
+val signal_bump : t -> pe:int -> sig_var:signal -> int -> unit
+(** Locally add to [pe]'s instance of [sig_var], waking any blocked
+    waiter, without charging fabric cost. The wake mechanism behind
+    communicator revocation. *)

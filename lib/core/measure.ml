@@ -158,6 +158,16 @@ let run_chaos_env ?arch ?watchdog ?(env = Obs.Sim_env.default) ~label ~gpus ~ite
     | None -> invalid_arg "Measure.run_chaos_env: env carries no fault spec"
   in
   let mode = Obs.Sim_env.resolve_pdes env in
+  (* Scheduled fabric deaths (linkfail/switchfail) mutate the shared
+     topology mid-run; a partitioned driver could observe the mutation in
+     wall-clock rather than virtual-time order. Those runs honestly degrade
+     to the sequential driver — same simulated output, only the driver
+     differs (the same contract as the optimistic driver's fallback). GPU
+     kills mutate nothing (suppression and detection are pure functions of
+     virtual time), so they run under every driver. *)
+  let mode =
+    if spec.F.link_fails <> [] || spec.F.switch_fails <> [] then `Seq else mode
+  in
   let watchdog =
     match watchdog with
     | Some w -> w
@@ -188,6 +198,23 @@ let run_chaos_env ?arch ?watchdog ?(env = Obs.Sim_env.default) ~label ~gpus ~ite
           ~at:report.E.Engine.stall_at;
       (false, E.Engine.stall_lines report, Some report.E.Engine.stall_trigger)
     | exception E.Engine.Deadlock lines -> (false, "deadlock:" :: lines, Some "deadlock")
+    | exception F.Killed { pe; at } ->
+      (* A resilient waiter diagnosed a fail-stop GPU death that no layer
+         below chose to absorb: report it as an aborted run with a [kill:]
+         trigger so a recovery harness can shrink and restart. *)
+      F.note_obituary plan ~pe ~at;
+      let trig = Printf.sprintf "kill:pe%d" pe in
+      if flows then
+        E.Trace.add_instant trace ~lane:"host" ~label:("stall:" ^ trig)
+          ~at:(E.Engine.now eng);
+      ( false,
+        [
+          Printf.sprintf "fail-stop: pe%d died at %s, diagnosed at %s" pe (Time.to_string at)
+            (Time.to_string (E.Engine.now eng));
+        ],
+        Some trig )
+    | exception Cpufree_machine.Topology.Partitioned msg ->
+      (false, [ "partitioned: " ^ msg ], Some "partitioned")
   in
   let stats = F.stats plan in
   let base = measure ~label ~gpus ~iterations eng ctx trace in
@@ -199,7 +226,15 @@ let run_chaos_env ?arch ?watchdog ?(env = Obs.Sim_env.default) ~label ~gpus ~ite
     c "fault.dropped" stats.F.dropped;
     c "fault.delayed" stats.F.delayed;
     c "fault.resent" stats.F.resent;
-    c "fault.retried" stats.F.retried);
+    c "fault.retried" stats.F.retried;
+    (* Self-healing counters only exist on fail-stop runs, so metric dumps
+       of every pre-existing chaos scenario stay byte-identical. *)
+    if F.has_failstop spec then begin
+      let r = F.recovery plan in
+      c "fault.kills_detected" r.F.kills_detected;
+      c "fault.shrinks" r.F.shrinks;
+      c "fault.restarts" r.F.restarts
+    end);
   {
     base;
     completed;

@@ -10,6 +10,9 @@ type spec = {
   stragglers : (int * float) list;
   flap : flap option;
   nic_outages : (Time.t * Time.t) list;
+  kills : (int * Time.t) list;
+  link_fails : ((string * string) * Time.t) list;
+  switch_fails : (string * Time.t) list;
   retry_timeout : Time.t;
   max_retries : int;
   backoff : float;
@@ -23,15 +26,20 @@ let none =
     stragglers = [];
     flap = None;
     nic_outages = [];
+    kills = [];
+    link_fails = [];
+    switch_fails = [];
     retry_timeout = Time.us 25;
     max_retries = 6;
     backoff = 2.0;
   }
 
+let has_failstop s = s.kills <> [] || s.link_fails <> [] || s.switch_fails <> []
+
 let is_active s =
   s.drop_prob > 0.0 || s.delay_prob > 0.0
   || List.exists (fun (_, m) -> m <> 1.0) s.stragglers
-  || s.flap <> None || s.nic_outages <> []
+  || s.flap <> None || s.nic_outages <> [] || has_failstop s
 
 (* ------------------------------------------------------------------ *)
 (* Spec grammar                                                        *)
@@ -114,6 +122,25 @@ let parse_clause acc clause =
             acc.nic_outages
             @ [ (Time.of_ns_float (start *. 1e3), Time.of_ns_float (dur *. 1e3)) ];
         }
+    | "kill" ->
+      let* g, t = split1 "kill" ~on:'@' v in
+      let* g = parse_int "kill gpu" g in
+      let* t = parse_float "kill time (us)" t in
+      Ok { acc with kills = acc.kills @ [ (g, Time.of_ns_float (t *. 1e3)) ] }
+    | "linkfail" ->
+      let* ep, t = split1 "linkfail" ~on:'@' v in
+      let* src, dst = split1 "linkfail" ~on:'-' ep in
+      let* t = parse_float "linkfail time (us)" t in
+      if String.equal src "" || String.equal dst "" then
+        Error (Printf.sprintf "linkfail: expected SRC-DST vertex names, got %S" ep)
+      else
+        Ok
+          { acc with link_fails = acc.link_fails @ [ ((src, dst), Time.of_ns_float (t *. 1e3)) ] }
+    | "switchfail" ->
+      let* name, t = split1 "switchfail" ~on:'@' v in
+      let* t = parse_float "switchfail time (us)" t in
+      if String.equal name "" then Error "switchfail: expected a switch vertex name"
+      else Ok { acc with switch_fails = acc.switch_fails @ [ (name, Time.of_ns_float (t *. 1e3)) ] }
     | "retry" ->
       let* timeout, n = split1 "retry" ~on:'x' v in
       let* timeout = parse_float "retry timeout (us)" timeout in
@@ -124,7 +151,13 @@ let parse_clause acc clause =
       let* b = parse_float "backoff" v in
       if b < 1.0 then Error (Printf.sprintf "backoff %g is below 1" b)
       else Ok { acc with backoff = b }
-    | other -> Error (Printf.sprintf "unknown fault clause %S" other))
+    | other ->
+      Error
+        (Printf.sprintf
+           "unknown fault clause %S; known clauses: drop=P; delay=P@NS; straggler=GxM; \
+            flap=PERIOD_US@DUTYxM; nic=START_US+DUR_US; kill=GPU@T_US; linkfail=SRC-DST@T_US; \
+            switchfail=NAME@T_US; retry=TIMEOUT_USxN; backoff=F; none"
+           other))
 
 let of_string s =
   (* Clauses separate on ';' or ',' — commas are friendlier inside shell
@@ -153,6 +186,11 @@ let to_string s =
   List.iter
     (fun (start, dur) -> addf "nic=%g+%g" (Time.to_us_float start) (Time.to_us_float dur))
     s.nic_outages;
+  List.iter (fun (g, t) -> addf "kill=%d@%g" g (Time.to_us_float t)) s.kills;
+  List.iter
+    (fun ((a, b), t) -> addf "linkfail=%s-%s@%g" a b (Time.to_us_float t))
+    s.link_fails;
+  List.iter (fun (n, t) -> addf "switchfail=%s@%g" n (Time.to_us_float t)) s.switch_fails;
   addf "retry=%gx%d" (Time.to_us_float s.retry_timeout) s.max_retries;
   addf "backoff=%g" s.backoff;
   if Stdlib.Buffer.length b = 0 then "none" else Stdlib.Buffer.contents b
@@ -188,10 +226,43 @@ let retry_budget s =
 let default_watchdog s = Time.max (Time.ms 10) (Time.scale (retry_budget s) 4.0)
 
 (* ------------------------------------------------------------------ *)
+(* Fail-stop schedule queries                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Fail-stop deaths are part of the spec, not the seeded plan: they are
+   scheduled at fixed virtual times, so every query below is a pure
+   function of (spec, now) — identical under every PDES driver. *)
+
+let kill_time s ~pe =
+  List.fold_left
+    (fun acc (g, t) ->
+      if g <> pe then acc
+      else match acc with None -> Some t | Some t' -> Some (Time.min t t'))
+    None s.kills
+
+let dead s ~pe ~now =
+  List.exists (fun (g, t) -> g = pe && Time.(t <= now)) s.kills
+
+let killed_by s ~now =
+  let due = List.filter (fun (_, t) -> Time.(t <= now)) s.kills in
+  let earliest =
+    List.fold_left
+      (fun acc (g, t) ->
+        match List.assoc_opt g acc with
+        | Some t' when Time.(t' <= t) -> acc
+        | _ -> (g, t) :: List.remove_assoc g acc)
+      [] due
+  in
+  List.sort (fun (a, _) (b, _) -> compare a b) earliest
+
+(* ------------------------------------------------------------------ *)
 (* Plans                                                               *)
 (* ------------------------------------------------------------------ *)
 
 type stats = { dropped : int; delayed : int; resent : int; retried : int }
+type recovery_stats = { kills_detected : int; shrinks : int; restarts : int }
+
+exception Killed of { pe : int; at : Time.t }
 
 type plan = {
   spec : spec;
@@ -205,6 +276,10 @@ type plan = {
   mutable delayed : int;
   mutable resent : int;
   mutable retried : int;
+  mutable obituaries : (int * Time.t) list;  (* detected deaths, unordered *)
+  mutable kills_detected : int;
+  mutable shrinks : int;
+  mutable restarts : int;
 }
 
 let activate spec ~seed ~gpus =
@@ -232,6 +307,10 @@ let activate spec ~seed ~gpus =
     delayed = 0;
     resent = 0;
     retried = 0;
+    obituaries = [];
+    kills_detected = 0;
+    shrinks = 0;
+    restarts = 0;
   }
 
 let spec_of p = p.spec
@@ -300,3 +379,20 @@ let lost_count p = p.n_lost
 let stats p = { dropped = p.dropped; delayed = p.delayed; resent = p.resent; retried = p.retried }
 let note_retry p = p.retried <- p.retried + 1
 let note_resent p n = p.resent <- p.resent + n
+
+(* ------------------------------------------------------------------ *)
+(* Obituary registry and recovery accounting                           *)
+(* ------------------------------------------------------------------ *)
+
+let note_obituary p ~pe ~at =
+  if not (List.mem_assoc pe p.obituaries) then begin
+    p.obituaries <- (pe, at) :: p.obituaries;
+    p.kills_detected <- p.kills_detected + 1
+  end
+
+let obituaries p = List.sort (fun (a, _) (b, _) -> compare a b) p.obituaries
+let note_shrink p = p.shrinks <- p.shrinks + 1
+let note_restart p = p.restarts <- p.restarts + 1
+
+let recovery p =
+  { kills_detected = p.kills_detected; shrinks = p.shrinks; restarts = p.restarts }

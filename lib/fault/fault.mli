@@ -37,6 +37,17 @@ type spec = {
   stragglers : (int * float) list;  (** per-GPU compute multipliers, >= 1 *)
   flap : flap option;
   nic_outages : (Time.t * Time.t) list;  (** (start, duration) intervals *)
+  kills : (int * Time.t) list;
+      (** fail-stop GPU deaths: [(pe, at)] — the device stops initiating
+          and acknowledging fabric traffic permanently at virtual time
+          [at] *)
+  link_fails : ((string * string) * Time.t) list;
+      (** permanent link deaths: [((src_vertex, dst_vertex), at)], both
+          directions of every parallel link between the named topology
+          vertices *)
+  switch_fails : (string * Time.t) list;
+      (** permanent switch/vertex deaths: [(vertex_name, at)], taking
+          every incident link down with the vertex *)
   retry_timeout : Time.t;  (** first resilient-wait timeout *)
   max_retries : int;  (** retries before a diagnosed stall *)
   backoff : float;  (** timeout multiplier per retry, >= 1 *)
@@ -50,11 +61,19 @@ val is_active : spec -> bool
     only tunes the retry policy) is inactive; inactive specs leave every
     run byte-identical to an unfaulted one. *)
 
+val has_failstop : spec -> bool
+(** Whether the spec schedules any permanent fail-stop death (GPU kill,
+    link failure, or switch failure). *)
+
 val of_string : string -> (spec, string) result
 (** Parse the CLI fault grammar: semicolon-separated clauses
     [drop=P], [delay=P\@NS], [straggler=GxM], [flap=PERIOD_US\@DUTYxM],
-    [nic=START_US+DUR_US], [retry=TIMEOUT_USxN], [backoff=F], or [none].
-    Example: ["drop=0.02;delay=0.1\@2000;straggler=3x1.5;nic=100+200"]. *)
+    [nic=START_US+DUR_US], [kill=GPU\@T_US], [linkfail=SRC-DST\@T_US],
+    [switchfail=NAME\@T_US], [retry=TIMEOUT_USxN], [backoff=F], or
+    [none]. Example:
+    ["drop=0.02;delay=0.1\@2000;straggler=3x1.5;kill=2\@500"].
+    An unknown clause fails with a message naming the offending token
+    and listing the complete grammar. *)
 
 val to_string : spec -> string
 (** Canonical rendering; [of_string (to_string s)] round-trips. *)
@@ -69,6 +88,23 @@ val default_watchdog : spec -> Time.t
 (** A stall-watchdog bound safely above the spec's full retry budget, so
     the watchdog only fires on genuine livelock (never on a recoverable
     wait that retries are still pacing). *)
+
+(** {1 Fail-stop schedule queries}
+
+    Fail-stop deaths are scheduled at fixed virtual times in the spec
+    itself (not drawn from the seeded plan streams), so every query here
+    is a pure function of [(spec, now)] — identical under every
+    [CPUFREE_PDES] driver. *)
+
+val kill_time : spec -> pe:int -> Time.t option
+(** The (earliest) scheduled death time of [pe], if any. *)
+
+val dead : spec -> pe:int -> now:Time.t -> bool
+(** Whether [pe]'s scheduled death has already happened at [now]. *)
+
+val killed_by : spec -> now:Time.t -> (int * Time.t) list
+(** All PEs whose scheduled death time is [<= now], each with its
+    earliest death time, sorted by PE. *)
 
 (** {1 Plans} *)
 
@@ -129,3 +165,34 @@ type stats = {
 val stats : plan -> stats
 val note_retry : plan -> unit
 val note_resent : plan -> int -> unit
+
+(** {1 Fail-stop detection and self-healing accounting}
+
+    When a resilient waiter exhausts its retries against a peer whose
+    scheduled death has passed, it diagnoses the fail-stop by raising
+    {!Killed} instead of a generic stall. Recovery layers (shrinking
+    collectives, checkpoint/restart harnesses) record the death in the
+    plan's obituary registry so later detections agree on membership,
+    and bump the self-healing counters below. *)
+
+exception Killed of { pe : int; at : Time.t }
+(** Raised by a resilient waiter that diagnoses a dead peer: [pe] is the
+    dead PE, [at] its scheduled death time. *)
+
+val note_obituary : plan -> pe:int -> at:Time.t -> unit
+(** Record a detected death. Idempotent per PE: only the first report
+    registers (and counts in {!recovery}). *)
+
+val obituaries : plan -> (int * Time.t) list
+(** The detected deaths so far, sorted by PE — the membership ground
+    truth survivors agree on when shrinking a group. *)
+
+type recovery_stats = {
+  kills_detected : int;  (** distinct dead PEs diagnosed *)
+  shrinks : int;  (** collective membership shrinks performed *)
+  restarts : int;  (** checkpoint/restart resumptions performed *)
+}
+
+val recovery : plan -> recovery_stats
+val note_shrink : plan -> unit
+val note_restart : plan -> unit

@@ -37,6 +37,8 @@ type entry = {
   e_pids : int array; (* topology port ids along the route *)
 }
 
+type fail_action = Fail_link of string * string | Fail_switch of string
+
 type t = {
   eng : E.Engine.t;
   arch : Arch.t;
@@ -55,6 +57,8 @@ type t = {
   obs : instr option;
   mutable total_bytes : int;
   mutable total_transfers : int;
+  mutable epoch : int; (* topology route_epoch the memo was filled under *)
+  mutable pending_fails : (Time.t * fail_action) list; (* ascending by time *)
 }
 
 let init_idx = function By_host -> 0 | By_device -> 1
@@ -146,6 +150,19 @@ let create ?(topology = M.Topology.Hgx) ?faults ?metrics eng ~arch ~num_gpus =
     obs;
     total_bytes = 0;
     total_transfers = 0;
+    epoch = M.Topology.route_epoch topo;
+    pending_fails =
+      (* Scheduled fabric deaths from the fault plan, enacted lazily when
+         virtual time first reaches them (see [sync_failures]). Empty for
+         every plan without fail-stop clauses — those runs never touch any
+         of the degradation machinery. *)
+      (match faults with
+      | None -> []
+      | Some plan ->
+        let s = F.spec_of plan in
+        List.map (fun ((a, b), at) -> (at, Fail_link (a, b))) s.F.link_fails
+        @ List.map (fun (nm, at) -> (at, Fail_switch nm)) s.F.switch_fails
+        |> List.stable_sort (fun (a, _) (b, _) -> compare (Time.to_ns a) (Time.to_ns b)));
   }
 
 let num_gpus t = t.n
@@ -161,11 +178,39 @@ let check_endpoint t = function
 
 let idx_of t = function Gpu g -> g | Host -> t.n
 
+(* Enact any scheduled fabric death whose virtual time has arrived, then
+   drop the whole pair memo if the topology's route epoch moved (whether we
+   moved it or a caller degraded the topology directly): entries resolved on
+   the healthy graph must not outlive a failure. Runs with scheduled fabric
+   deaths are driven sequentially (see [Measure.run_chaos_env]), so the
+   mutation is single-threaded; on every other run [pending_fails] is empty
+   and the epoch never moves, leaving only two reads on the fast path. *)
+let rec enact_failures t =
+  match t.pending_fails with
+  | (at, act) :: rest when Time.(at <= E.Engine.now t.eng) ->
+    t.pending_fails <- rest;
+    (match act with
+    | Fail_link (a, b) -> M.Topology.fail_link t.topo ~src:a ~dst:b
+    | Fail_switch nm -> M.Topology.fail_switch t.topo ~name:nm);
+    enact_failures t
+  | _ -> ()
+
+let sync_failures t =
+  if t.pending_fails <> [] then enact_failures t;
+  let epoch = M.Topology.route_epoch t.topo in
+  if t.epoch <> epoch then begin
+    Mutex.lock t.lock;
+    Array.iteri (fun i _ -> t.rows.(i) <- None) t.rows;
+    t.epoch <- epoch;
+    Mutex.unlock t.lock
+  end
+
 (* Resolve an endpoint pair's routing entry, filling the memo on first use.
    Double-checked: the lock-free fast path either sees the immutable entry
    or falls through to the locked fill, which re-checks before resolving
    (route resolution is deterministic, so a lost race costs only time). *)
 let resolve t ~si ~di =
+  sync_failures t;
   let fill () =
     Mutex.lock t.lock;
     let row =

@@ -100,6 +100,8 @@ type structural = {
 
 type router = Tables of tables | Structural of structural
 
+exception Partitioned of string
+
 type t = {
   tname : string;
   nodes : int;
@@ -116,6 +118,10 @@ type t = {
   lock : Mutex.t; (* guards router caches and the dedup scratch *)
   dedup : Bytes.t; (* reusable port bitset for route_ports *)
   mutable cap : int; (* route-cache capacity, in rows *)
+  dead_vs : bool array; (* fail-stopped vertices *)
+  dead_ls : bool array; (* fail-stopped links *)
+  mutable degraded : bool; (* any fail_link/fail_switch applied *)
+  mutable route_epoch : int; (* bumped on every route invalidation *)
 }
 
 (* Parameters the fat-tree/dragonfly constructors hand to [build]. The
@@ -169,8 +175,17 @@ let add_link b ~src ~dst ~kind ~latency ~ns_per_byte ~ports =
 (* Deterministic single-source Dijkstra: shortest total latency, ties broken
    by fewest hops, then by the incoming link id — a pure function of the
    graph, independent of hash order and of when (or how often) it runs, so
-   lazy resolution is byte-identical to the old eager all-pairs build. *)
-let dijkstra_row ~nv ~(adj : link list array) src =
+   lazy resolution is byte-identical to the old eager all-pairs build.
+   [?dead] restricts the search to the surviving subgraph after fail-stop
+   events: dead vertices are never visited and dead links never relaxed, so
+   a row computed while degraded routes around the corpses (a row from a
+   dead source reaches nothing). *)
+let dijkstra_row ?dead ~nv ~(adj : link list array) src =
+  let dead_v, dead_l =
+    match dead with
+    | None -> ((fun _ -> false), fun _ -> false)
+    | Some (dvs, dls) -> ((fun (v : int) -> dvs.(v)), fun (l : int) -> dls.(l))
+  in
   let inf = max_int in
   let dist = Array.make nv inf in
   let hops = Array.make nv inf in
@@ -183,7 +198,7 @@ let dijkstra_row ~nv ~(adj : link list array) src =
        actually queried, and structural topologies rarely get here at all. *)
     let u = ref (-1) in
     for v = 0 to nv - 1 do
-      if (not visited.(v)) && dist.(v) < inf then
+      if (not visited.(v)) && (not (dead_v v)) && dist.(v) < inf then
         if
           !u < 0
           || dist.(v) < dist.(!u)
@@ -196,7 +211,7 @@ let dijkstra_row ~nv ~(adj : link list array) src =
       List.iter
         (fun l ->
           let v = l.ldst in
-          if not visited.(v) then begin
+          if (not visited.(v)) && (not (dead_l l.lid)) && not (dead_v v) then begin
             let nd = dist.(u) + Time.to_ns l.llatency in
             let nh = hops.(u) + 1 in
             let better =
@@ -308,6 +323,10 @@ let build ?structural b ~name ~nodes ~gpu_vid ~host_vid ~gpu_eport ~gpu_iport =
     lock = Mutex.create ();
     dedup = Bytes.make (max 1 b.np) '\000';
     cap = default_route_cache;
+    dead_vs = Array.make (max 1 b.nv) false;
+    dead_ls = Array.make (max 1 b.nl) false;
+    degraded = false;
+    route_epoch = 0;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -1013,13 +1032,18 @@ let with_lock t f =
     Mutex.unlock t.lock;
     raise e
 
+(* The dead-component restriction for route computation: [None] while the
+   machine is healthy (keeping the fault-free search byte-identical to the
+   pre-failure code path), the surviving-subgraph predicate once degraded. *)
+let dead_of t = if t.degraded then Some (t.dead_vs, t.dead_ls) else None
+
 (* Fetch (or compute) the cached shortest-path row for [src], evicting the
    oldest row first when the cache is full. Caller holds the lock. *)
 let row_for t tb src =
   match tb.rows.(src) with
   | Some r -> r
   | None ->
-    let r = dijkstra_row ~nv:(Array.length t.vs) ~adj:t.adj src in
+    let r = dijkstra_row ?dead:(dead_of t) ~nv:(Array.length t.vs) ~adj:t.adj src in
     if tb.live >= t.cap then begin
       match List.rev tb.fifo with
       | [] -> ()
@@ -1059,6 +1083,26 @@ let links_of_vseq t (s : structural) vseq =
   in
   Array.of_list (go vseq)
 
+(* Whether a structural vertex path survives the dead set: every vertex
+   alive and every consecutive hop's (lowest-id) link alive. Only consulted
+   while degraded — a failed rail, spine or router sends the pair to the
+   Dijkstra fallback, which re-routes over the surviving graph and thereby
+   exploits the fabric's remaining path diversity. A missing edge is left
+   for {!links_of_vseq} to diagnose, as before. *)
+let vseq_alive t (s : structural) vseq =
+  let nv = Array.length t.vs in
+  let rec go = function
+    | [] -> true
+    | [ u ] -> not t.dead_vs.(u)
+    | u :: (v :: _ as rest) ->
+      (not t.dead_vs.(u))
+      && (match Hashtbl.find_opt s.edge ((u * nv) + v) with
+         | Some lid -> not t.dead_ls.(lid)
+         | None -> true)
+      && go rest
+  in
+  go vseq
+
 (* The links of the shortest route, or None when unreachable. Caller holds
    the lock. *)
 let resolve_links t ~src ~dst =
@@ -1068,8 +1112,8 @@ let resolve_links t ~src ~dst =
     | Tables tb -> links_of_row t (row_for t tb src) dst
     | Structural s -> (
       match s.spath src dst with
-      | Some vseq -> Some (links_of_vseq t s vseq)
-      | None -> links_of_row t (row_for t s.stables src) dst)
+      | Some vseq when (not t.degraded) || vseq_alive t s vseq -> Some (links_of_vseq t s vseq)
+      | Some _ | None -> links_of_row t (row_for t s.stables src) dst)
 
 let resolve_latency t ~src ~dst =
   if src = dst then Some Time.zero
@@ -1083,8 +1127,8 @@ let resolve_latency t ~src ~dst =
       if r.dist.(dst) = max_int then None else Some (Time.ns r.dist.(dst))
     | Structural s -> (
       match s.spath src dst with
-      | Some vseq -> Some (sum (links_of_vseq t s vseq))
-      | None ->
+      | Some vseq when (not t.degraded) || vseq_alive t s vseq -> Some (sum (links_of_vseq t s vseq))
+      | Some _ | None ->
         let r = row_for t s.stables src in
         if r.dist.(dst) = max_int then None else Some (Time.ns r.dist.(dst)))
 
@@ -1121,6 +1165,79 @@ let route_rows_cached t =
   with_lock t (fun () ->
       match t.router with Tables tb -> tb.live | Structural s -> s.stables.live)
 
+(* ------------------------------------------------------------------ *)
+(* Fail-stop degradation                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Drop every cached shortest-path row and bump the epoch. Rows cached
+   before a failure were computed on the then-healthy graph; recomputation
+   under [dead_of t] re-resolves around the corpses. The epoch lets
+   downstream per-pair memos (the interconnect) notice staleness without a
+   callback protocol. Caller holds the lock. *)
+let flush_routes t =
+  let flush tb =
+    List.iter (fun s -> tb.rows.(s) <- None) tb.fifo;
+    tb.fifo <- [];
+    tb.live <- 0
+  in
+  (match t.router with Tables tb -> flush tb | Structural s -> flush s.stables);
+  t.degraded <- true;
+  t.route_epoch <- t.route_epoch + 1
+
+let vertex_named t name =
+  let n = String.lowercase_ascii (String.trim name) in
+  let found = ref None in
+  Array.iter (fun v -> if !found = None && String.equal v.vname n then found := Some v.vid) t.vs;
+  !found
+
+let require_vertex t name op =
+  match vertex_named t name with
+  | Some v -> v
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Topology.%s: no vertex named %S in %s (see pp_links for names)" op name
+         t.tname)
+
+let fail_link t ~src ~dst =
+  let u = require_vertex t src "fail_link" and v = require_vertex t dst "fail_link" in
+  with_lock t (fun () ->
+      let hit = ref false in
+      Array.iter
+        (fun l ->
+          if
+            ((l.lsrc = u && l.ldst = v) || (l.lsrc = v && l.ldst = u))
+            && not t.dead_ls.(l.lid)
+          then begin
+            t.dead_ls.(l.lid) <- true;
+            hit := true
+          end)
+        t.ls;
+      if !hit then flush_routes t)
+
+let fail_switch t ~name =
+  let v = require_vertex t name "fail_switch" in
+  with_lock t (fun () ->
+      let hit = ref (not t.dead_vs.(v)) in
+      t.dead_vs.(v) <- true;
+      Array.iter
+        (fun l ->
+          if (l.lsrc = v || l.ldst = v) && not t.dead_ls.(l.lid) then begin
+            t.dead_ls.(l.lid) <- true;
+            hit := true
+          end)
+        t.ls;
+      if !hit then flush_routes t)
+
+let degraded t = t.degraded
+let route_epoch t = t.route_epoch
+
+let dead_vertices t =
+  t.vs |> Array.to_list
+  |> List.filter_map (fun v -> if t.dead_vs.(v.vid) then Some v.vname else None)
+
+let dead_link_count t =
+  Array.fold_left (fun acc d -> if d then acc + 1 else acc) 0 t.dead_ls
+
 let check_gpu t g op =
   if g < 0 || g >= t.gpus then invalid_arg (Printf.sprintf "Topology.%s: no such GPU %d" op g)
 
@@ -1150,8 +1267,27 @@ let check_vid t v op =
     invalid_arg (Printf.sprintf "Topology.%s: no such vertex %d" op v)
 
 let no_route t ~src ~dst op =
-  invalid_arg
-    (Printf.sprintf "Topology.%s: no route from %s to %s" op t.vs.(src).vname t.vs.(dst).vname)
+  let msg =
+    Printf.sprintf "Topology.%s: no route from %s to %s" op t.vs.(src).vname t.vs.(dst).vname
+  in
+  if not t.degraded then invalid_arg msg
+  else begin
+    (* On a healthy machine an unroutable public pair is a caller bug; on a
+       degraded one it is a diagnosed network partition. *)
+    let count a = Array.fold_left (fun acc d -> if d then acc + 1 else acc) 0 a in
+    let dead_names =
+      t.vs |> Array.to_list
+      |> List.filter_map (fun v -> if t.dead_vs.(v.vid) then Some v.vname else None)
+    in
+    raise
+      (Partitioned
+         (Printf.sprintf "%s: network partitioned by fail-stop events (%d dead link%s, %d dead vertex%s%s)"
+            msg (count t.dead_ls)
+            (if count t.dead_ls = 1 then "" else "s")
+            (count t.dead_vs)
+            (if count t.dead_vs = 1 then "" else "es")
+            (match dead_names with [] -> "" | ns -> ": " ^ String.concat ", " ns)))
+  end
 
 let reachable t ~src ~dst =
   check_vid t src "reachable";
@@ -1211,13 +1347,14 @@ let route_ports t ~src ~dst =
 
 (* Reference shortest path, always freshly computed with the deterministic
    Dijkstra and never cached: the oracle the structural routers are tested
-   against. *)
+   against. Computed on the surviving graph once the machine is degraded,
+   so it doubles as the degraded-routing oracle. *)
 let dijkstra_reference t ~src ~dst =
   check_vid t src "dijkstra_reference";
   check_vid t dst "dijkstra_reference";
   if src = dst then Some ([], Time.zero)
   else
-    let r = dijkstra_row ~nv:(Array.length t.vs) ~adj:t.adj src in
+    let r = dijkstra_row ?dead:(dead_of t) ~nv:(Array.length t.vs) ~adj:t.adj src in
     match links_of_row t r dst with
     | None -> None
     | Some lids -> Some (Array.to_list lids, Time.ns r.dist.(dst))

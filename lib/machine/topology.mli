@@ -206,6 +206,47 @@ val max_gpu_pair_latency : t -> Time.t option
 val min_host_gpu_latency : t -> Time.t option
 (** Cheapest routed latency of any host-to-GPU or GPU-to-host route. *)
 
+(** {1 Fail-stop degradation}
+
+    Permanent component deaths. [fail_link]/[fail_switch] mark the named
+    components dead, invalidate every cached route row and bump
+    {!route_epoch}; later route queries re-resolve on the surviving
+    subgraph (structural fabrics whose closed-form path crosses a corpse
+    fall back to Dijkstra, which exploits the remaining rail/spine/router
+    path diversity). Once degraded, an unroutable pair raises the
+    diagnosed {!Partitioned} instead of [Invalid_argument]. Both
+    operations are idempotent and mutex-guarded. *)
+
+exception Partitioned of string
+(** No surviving route between two endpoints on a degraded machine; the
+    payload names the pair and the dead components. *)
+
+val fail_link : t -> src:string -> dst:string -> unit
+(** Kill every parallel link between the two named vertices, in both
+    directions. Raises [Invalid_argument] if either name is unknown. *)
+
+val fail_switch : t -> name:string -> unit
+(** Kill the named vertex and every link incident to it. Raises
+    [Invalid_argument] if the name is unknown. *)
+
+val degraded : t -> bool
+(** Whether any fail-stop event has been applied. [false] guarantees
+    routing behaviour byte-identical to a machine that never had the
+    fail-stop layer. *)
+
+val route_epoch : t -> int
+(** Monotonic counter bumped by every route invalidation — downstream
+    per-pair memos compare it to decide staleness. 0 on a healthy
+    machine. *)
+
+val vertex_named : t -> string -> int option
+(** Vertex id of the (case-insensitive) vertex name, if any. *)
+
+val dead_vertices : t -> string list
+(** Names of fail-stopped vertices, in vertex-id order. *)
+
+val dead_link_count : t -> int
+
 (** {1 Routing internals (introspection and tests)} *)
 
 val routing_kind : t -> string
@@ -225,7 +266,9 @@ val route_rows_cached : t -> int
 val dijkstra_reference : t -> src:int -> dst:int -> (int list * Time.t) option
 (** Freshly computed, never-cached shortest path: the link ids in travel
     order and the total latency, or [None] if unreachable. The oracle the
-    structural routers are property-tested against. *)
+    structural routers are property-tested against. Computed on the
+    surviving subgraph once the machine is {!degraded}, so it is also the
+    degraded-routing oracle. *)
 
 val string_of_link_kind : link_kind -> string
 val string_of_vertex_kind : vertex_kind -> string

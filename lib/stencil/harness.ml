@@ -28,6 +28,140 @@ let run_chaos_env ?arch ?watchdog ?env kind problem ~gpus =
   in
   { chaos; progress }
 
+(* ------------------------------------------------------------------ *)
+(* Checkpoint/restart: self-healing from a fail-stop GPU kill          *)
+(* ------------------------------------------------------------------ *)
+
+module Time = Cpufree_engine.Time
+module F = Cpufree_fault.Fault
+
+type resilient_run = {
+  r_first : chaos_run;
+  r_resume : chaos_run option;
+  r_killed : int option;
+  r_survivors : int;
+  r_checkpoint : int;
+  r_restart_cost : Time.t;
+  r_total : Time.t;
+  r_completed : bool;
+  r_degraded : bool;
+  r_work_saved : int;
+}
+
+let parse_kill_trigger trigger =
+  match trigger with
+  | Some s when String.length s > 7 && String.equal (String.sub s 0 7) "kill:pe" ->
+    int_of_string_opt (String.sub s 7 (String.length s - 7))
+  | Some _ | None -> None
+
+let strip_failstop (s : F.spec) = { s with F.kills = []; link_fails = []; switch_fails = [] }
+
+(* Modeled cost of the recovery transition: tear down and relaunch the
+   persistent kernels on the survivors, plus redistributing the dead PE's
+   shard (its share of the global state) across them over NVLink — each
+   survivor pulls an equal slice, so the wire time is the shard size over
+   the aggregate per-direction NVLink bandwidth. Pure arithmetic on the
+   problem geometry: deterministic, and identical under every PDES
+   driver. *)
+let restart_cost problem ~gpus ~survivors =
+  let profile = Cpufree_machine.Topology.a100 in
+  let shard_elems = Problem.total_elems problem / max 1 gpus in
+  let shard_bytes = float_of_int (shard_elems * 8) in
+  let ns_per_byte = 1.0 /. profile.Cpufree_machine.Topology.nvlink_gbs in
+  let wire = Time.of_ns_float (shard_bytes *. ns_per_byte /. float_of_int (max 1 survivors)) in
+  Time.add (Time.us 20) wire
+
+let run_resilient ?arch ?watchdog ?(env = Env.default) ~checkpoint_every kind problem ~gpus =
+  if checkpoint_every <= 0 then
+    invalid_arg "Harness.run_resilient: checkpoint interval must be positive";
+  let spec =
+    match env.Env.faults with
+    | Some s -> s
+    | None -> invalid_arg "Harness.run_resilient: env.faults must be set"
+  in
+  let first = run_chaos_env ?arch ?watchdog ~env kind problem ~gpus in
+  if first.chaos.Measure.completed then
+    {
+      r_first = first;
+      r_resume = None;
+      r_killed = None;
+      r_survivors = gpus;
+      r_checkpoint = 0;
+      r_restart_cost = Time.zero;
+      r_total = first.chaos.Measure.base.Measure.total;
+      r_completed = true;
+      r_degraded = false;
+      r_work_saved = 0;
+    }
+  else
+    match parse_kill_trigger first.chaos.Measure.trigger with
+    | None ->
+      (* Not a diagnosed kill (genuine stall, partition): nothing to heal. *)
+      {
+        r_first = first;
+        r_resume = None;
+        r_killed = None;
+        r_survivors = gpus;
+        r_checkpoint = 0;
+        r_restart_cost = Time.zero;
+        r_total = first.chaos.Measure.base.Measure.total;
+        r_completed = false;
+        r_degraded = false;
+        r_work_saved = 0;
+      }
+    | Some dead_pe ->
+      let survivors = gpus - 1 in
+      (* The state every survivor can restore: the last checkpoint at or
+         below the least-advanced survivor's completed iteration count. *)
+      let min_progress = ref max_int in
+      Array.iteri
+        (fun pe p -> if pe <> dead_pe && p < !min_progress then min_progress := p)
+        first.progress;
+      let min_progress = if !min_progress = max_int then 0 else !min_progress in
+      let checkpoint = min_progress / checkpoint_every * checkpoint_every in
+      let remaining = problem.Problem.iterations - checkpoint in
+      let cost = restart_cost problem ~gpus ~survivors in
+      if survivors < 1 || remaining <= 0 then
+        {
+          r_first = first;
+          r_resume = None;
+          r_killed = Some dead_pe;
+          r_survivors = survivors;
+          r_checkpoint = checkpoint;
+          r_restart_cost = cost;
+          r_total = first.chaos.Measure.base.Measure.total;
+          r_completed = false;
+          r_degraded = false;
+          r_work_saved = 0;
+        }
+      else begin
+        (* Resume on the shrunk machine from the checkpoint: the same global
+           problem re-sharded over the survivors, fail-stop clauses stripped
+           (the dead device is gone, not dying again), every other fault
+           clause kept. *)
+        let resume_env =
+          { env with Env.faults = Some (strip_failstop spec) }
+        in
+        let resume_problem = { problem with Problem.iterations = remaining } in
+        let resume =
+          run_chaos_env ?arch ?watchdog ~env:resume_env kind resume_problem ~gpus:survivors
+        in
+        {
+          r_first = first;
+          r_resume = Some resume;
+          r_killed = Some dead_pe;
+          r_survivors = survivors;
+          r_checkpoint = checkpoint;
+          r_restart_cost = cost;
+          r_total =
+            Time.add first.chaos.Measure.base.Measure.total
+              (Time.add cost resume.chaos.Measure.base.Measure.total);
+          r_completed = resume.chaos.Measure.completed;
+          r_degraded = resume.chaos.Measure.completed;
+          r_work_saved = checkpoint * survivors;
+        }
+      end
+
 type scenario = {
   sc_kind : Variants.kind;
   sc_problem : Problem.t;

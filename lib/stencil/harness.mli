@@ -35,6 +35,44 @@ val run_chaos_env :
     diagnosed abort; the per-iteration progress each PE reached is reported
     either way. *)
 
+(** {2 Checkpoint/restart self-healing} *)
+
+type resilient_run = {
+  r_first : chaos_run;  (** the faulted attempt *)
+  r_resume : chaos_run option;
+      (** the survivor run resumed from the checkpoint, when a kill was
+          diagnosed *)
+  r_killed : int option;  (** the diagnosed dead PE, if any *)
+  r_survivors : int;  (** PEs the resumed run executes on *)
+  r_checkpoint : int;  (** iteration the survivors restored from *)
+  r_restart_cost : Cpufree_engine.Time.t;
+      (** modeled relaunch + dead-shard redistribution cost *)
+  r_total : Cpufree_engine.Time.t;
+      (** end-to-end: faulted attempt + restart cost + resumed run *)
+  r_completed : bool;  (** the workload finished (possibly degraded) *)
+  r_degraded : bool;  (** finished on fewer PEs than it started with *)
+  r_work_saved : int;
+      (** survivor iterations not redone thanks to checkpointing:
+          [checkpoint * survivors] *)
+}
+
+val run_resilient :
+  ?arch:Cpufree_gpu.Arch.t -> ?watchdog:Cpufree_engine.Time.t ->
+  ?env:Cpufree_obs.Sim_env.t -> checkpoint_every:int ->
+  Variants.kind -> Problem.t -> gpus:int -> resilient_run
+(** Self-healing driver: run the variant under [env]'s fault plan
+    (which must be set), snapshotting state every [checkpoint_every]
+    iterations. A fault-free (or survived) run returns unchanged — the
+    control stays byte-identical. When the run aborts on a diagnosed
+    fail-stop GPU kill ([kill:peN] trigger), the harness restores the
+    last checkpoint at or below the least-advanced survivor's progress,
+    re-shards the global problem over the survivors (paying a modeled
+    relaunch + shard-redistribution cost), strips the already-fired
+    fail-stop clauses from the spec, and resumes for the remaining
+    iterations. Every quantity is deterministic for a fixed
+    [(spec, seed)] under every [CPUFREE_PDES] driver. Single-kill
+    scenarios are supported: the first diagnosed kill drives recovery. *)
+
 val verify_env :
   ?arch:Cpufree_gpu.Arch.t -> ?env:Cpufree_obs.Sim_env.t ->
   Variants.kind -> Problem.t -> gpus:int -> (float, string) result

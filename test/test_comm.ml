@@ -547,6 +547,114 @@ let algorithm_tests =
         check_bool "host halo takes simulated time" true Time.(Engine.now eng > zero));
   ]
 
+(* --- Fail-stop shrink and revocation ------------------------------------- *)
+
+module Fault = Cpufree_fault.Fault
+module Env = Cpufree_obs.Sim_env
+
+let kill_spec ~pe ~at_us = { Fault.none with Fault.kills = [ (pe, Time.us at_us) ] }
+
+let recovery_tests =
+  [
+    Alcotest.test_case "group shrinks around a quiesced kill and completes" `Quick (fun () ->
+        let gpus = 4 in
+        let env = Env.make ~faults:(kill_spec ~pe:2 ~at_us:200) ~fault_seed:1 () in
+        let eng = Engine.create () in
+        let ctx = G.Runtime.create eng ~env ~num_gpus:gpus () in
+        let nv = Nv.init ctx in
+        let coll = Collective.create nv ~label:"c" in
+        let first = Array.make gpus nan and second = Array.make gpus nan in
+        for pe = 0 to gpus - 1 do
+          let (_ : Engine.process) =
+            Engine.spawn eng ~name:(Printf.sprintf "pe%d" pe) (fun () ->
+                first.(pe) <- Collective.allreduce_sum coll ~pe (float_of_int (pe + 1));
+                (* Everyone pauses past PE 2's scheduled death, so the next
+                   round starts with the corpse fully quiesced. *)
+                Engine.delay eng (Time.us 300);
+                second.(pe) <- Collective.allreduce_sum coll ~pe (float_of_int (pe + 1)))
+          in
+          ()
+        done;
+        Engine.run eng;
+        (* Round 1, everyone alive: 1+2+3+4. *)
+        Array.iter (fun v -> check_float "healthy round" 10.0 v) first;
+        (* Round 2 stalls on the corpse; survivors diagnose the kill,
+           shrink to {0,1,3} and redo: 1+2+4. *)
+        List.iter (fun pe -> check_float "survivor round" 7.0 second.(pe)) [ 0; 1; 3 ];
+        check_bool "degraded" true (Collective.degraded coll);
+        check (Alcotest.array Alcotest.int) "membership" [| 0; 1; 3 |]
+          (Collective.members coll ~pe:0);
+        check (Alcotest.array Alcotest.int) "agreement" (Collective.members coll ~pe:0)
+          (Collective.members coll ~pe:3));
+    Alcotest.test_case "shrunk group keeps reducing over survivors" `Quick (fun () ->
+        let gpus = 3 in
+        let env = Env.make ~faults:(kill_spec ~pe:0 ~at_us:100) ~fault_seed:1 () in
+        let eng = Engine.create () in
+        let ctx = G.Runtime.create eng ~env ~num_gpus:gpus () in
+        let nv = Nv.init ctx in
+        let coll = Collective.create nv ~label:"c" in
+        let sums = Array.make gpus [] in
+        for pe = 0 to gpus - 1 do
+          let (_ : Engine.process) =
+            Engine.spawn eng ~name:(Printf.sprintf "pe%d" pe) (fun () ->
+                Engine.delay eng (Time.us 150);
+                for round = 1 to 3 do
+                  let s = Collective.allreduce_sum coll ~pe (float_of_int (round * (pe + 1))) in
+                  sums.(pe) <- s :: sums.(pe)
+                done)
+          in
+          ()
+        done;
+        Engine.run eng;
+        (* PE 0 is dead before any round: survivors {1,2} shrink on round 1
+           and every later round reduces over them alone — round r gives
+           r*2 + r*3. *)
+        List.iter
+          (fun pe ->
+            check (Alcotest.list (Alcotest.float 1e-9)) "survivor series"
+              [ 5.0; 10.0; 15.0 ] (List.rev sums.(pe)))
+          [ 1; 2 ]);
+    Alcotest.test_case "revoke drains blocked participants" `Quick (fun () ->
+        let gpus = 3 in
+        let eng = Engine.create () in
+        let ctx = G.Runtime.create eng ~num_gpus:gpus () in
+        let nv = Nv.init ctx in
+        let coll = Collective.create nv ~label:"c" in
+        let drained = Array.make gpus false in
+        for pe = 0 to gpus - 2 do
+          let (_ : Engine.process) =
+            Engine.spawn eng ~name:(Printf.sprintf "pe%d" pe) (fun () ->
+                match Collective.allreduce_sum coll ~pe 1.0 with
+                | (_ : float) -> Alcotest.fail "collective completed without PE 2"
+                | exception Collective.Revoked ->
+                  Nv.quiet nv ~pe;
+                  drained.(pe) <- true)
+          in
+          ()
+        done;
+        let (_ : Engine.process) =
+          Engine.spawn eng ~name:"revoker" (fun () ->
+              (* Let the others block inside the dense gather first. *)
+              Engine.delay eng (Time.us 50);
+              Collective.revoke coll;
+              (* A call after revocation is refused outright. *)
+              (match Collective.allreduce_sum coll ~pe:(gpus - 1) 1.0 with
+              | (_ : float) -> Alcotest.fail "revoked communicator accepted a call"
+              | exception Collective.Revoked -> ());
+              drained.(gpus - 1) <- true)
+        in
+        (* The engine drains — no Deadlock — and every PE got the poison. *)
+        Engine.run eng;
+        Array.iteri (fun pe b -> check_bool (Printf.sprintf "pe%d drained" pe) true b) drained);
+    Alcotest.test_case "fault-free groups never shrink" `Quick (fun () ->
+        let results = Array.make 4 nan in
+        run_on_all_pes ~gpus:4 (fun coll pe ->
+            results.(pe) <- Collective.allreduce_sum coll ~pe 1.0;
+            check_bool "not degraded" false (Collective.degraded coll);
+            check_int "full membership" 4 (Array.length (Collective.members coll ~pe)));
+        Array.iter (fun v -> check_float "sum" 4.0 v) results);
+  ]
+
 (* --- Fabric: lazy pair tables -------------------------------------------- *)
 
 let fabric_tests =
@@ -631,5 +739,6 @@ let () =
       ("p2p", p2p_tests);
       ("metrics", metrics_tests);
       ("collective", collective_tests @ algorithm_tests @ comm_props);
+      ("recovery", recovery_tests);
       ("fabric", fabric_tests);
     ]

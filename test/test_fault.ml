@@ -61,6 +61,38 @@ let spec_tests =
             | Ok _ -> Alcotest.failf "spec %S should not parse" bad
             | Error msg -> check_bool "message" true (String.length msg > 0))
           [ "drop=2"; "bogus"; "straggler=0x0.5"; "delay=0.1"; "" ]);
+    Alcotest.test_case "fail-stop clauses parse, render and activate the spec" `Quick
+      (fun () ->
+        match Fault.of_string "kill=2@500;linkfail=gpu0-sw1@800;switchfail=nvsw0@1000" with
+        | Error e -> Alcotest.failf "parse failed: %s" e
+        | Ok s ->
+          check_bool "failstop" true (Fault.has_failstop s);
+          check_bool "active" true (Fault.is_active s);
+          check
+            (Alcotest.option (Alcotest.int))
+            "kill time" (Some 500_000)
+            (Option.map Time.to_ns (Fault.kill_time s ~pe:2));
+          check_bool "alive before" false (Fault.dead s ~pe:2 ~now:(Time.us 499));
+          check_bool "dead after" true (Fault.dead s ~pe:2 ~now:(Time.us 500));
+          check_int "links" 1 (List.length s.Fault.link_fails);
+          check_int "switches" 1 (List.length s.Fault.switch_fails);
+          (match Fault.of_string (Fault.to_string s) with
+          | Ok s' -> check_bool "round-trip" true (s = s')
+          | Error e -> Alcotest.failf "re-parse failed: %s" e));
+    Alcotest.test_case "unknown clause names the token and lists the grammar" `Quick
+      (fun () ->
+        match Fault.of_string "drop=0.1;gremlin=3@4" with
+        | Ok _ -> Alcotest.fail "gremlin should not parse"
+        | Error msg ->
+          check_bool "names the offender" true
+            (Astring.String.is_infix ~affix:"\"gremlin\"" msg);
+          List.iter
+            (fun clause ->
+              check_bool (clause ^ " listed") true (Astring.String.is_infix ~affix:clause msg))
+            [
+              "drop=P"; "delay=P@NS"; "straggler=GxM"; "kill=GPU@T_US";
+              "linkfail=SRC-DST@T_US"; "switchfail=NAME@T_US"; "retry=TIMEOUT_USxN";
+            ]);
     Alcotest.test_case "none is inactive, presets above zero are active" `Quick (fun () ->
         check_bool "none" false (Fault.is_active Fault.none);
         check_bool "preset 0" false (Fault.is_active (Fault.preset ~intensity:0.0));
@@ -74,6 +106,44 @@ let spec_tests =
           t := Time.scale !t s.Fault.backoff
         done;
         check_bool "watchdog > budget" true Time.(Fault.default_watchdog s > !budget));
+    (* Generated specs use values that print exactly under %g, so structural
+       equality is the right round-trip check. *)
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"of_string (to_string s) = Ok s" ~count:200
+         (QCheck.make ~print:Fault.to_string
+            QCheck.Gen.(
+              let prob = oneofl [ 0.0; 0.01; 0.05; 0.1; 0.25; 0.5 ] in
+              let mult = oneofl [ 1.0; 1.5; 2.0; 2.5 ] in
+              let us = map Time.us (int_range 1 900) in
+              let vertex = oneofl [ "gpu0"; "gpu1"; "sw0"; "nvsw1" ] in
+              let* drop_prob = prob in
+              let* delay_prob = prob in
+              let* delay_ns = if delay_prob > 0.0 then int_range 1 5000 else return 0 in
+              let* stragglers = list_size (int_bound 2) (pair (int_bound 7) mult) in
+              let* flap =
+                opt
+                  (let* p = int_range 1 100 in
+                   let* duty = oneofl [ 0.0; 0.25; 0.5; 1.0 ] in
+                   let* m = mult in
+                   return
+                     { Fault.flap_period = Time.us p; flap_duty = duty; flap_mult = m })
+              in
+              let* nic_outages = list_size (int_bound 2) (pair us us) in
+              let* kills = list_size (int_bound 2) (pair (int_bound 7) us) in
+              let* link_fails = list_size (int_bound 2) (pair (pair vertex vertex) us) in
+              let* switch_fails = list_size (int_bound 2) (pair vertex us) in
+              let* retry_timeout = us in
+              let* max_retries = int_bound 6 in
+              let* backoff = mult in
+              return
+                {
+                  Fault.drop_prob; delay_prob; delay_ns; stragglers; flap; nic_outages;
+                  kills; link_fails; switch_fails; retry_timeout; max_retries; backoff;
+                }))
+         (fun s ->
+           match Fault.of_string (Fault.to_string s) with
+           | Ok s' -> s' = s
+           | Error _ -> false));
   ]
 
 (* --- plan determinism --------------------------------------------------- *)
@@ -409,6 +479,31 @@ let chaos_tests =
            let seq = in_mode "seq" run in
            let win = in_mode "windowed" run in
            seq = win));
+    (* Fail-stop kills abort through the resilient-wait diagnosis; the
+       optimistic driver must neither double-count the fault traffic across
+       rollbacks nor move the diagnosis, so the full chaos digest (time,
+       counters, trigger, per-PE progress) is bit-identical in every mode. *)
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"fail-stop chaos is bit-identical in all four modes" ~count:6
+         QCheck.(triple (int_bound 1) (int_range 20 400) (int_bound 999))
+         (fun (victim, t_us, seed) ->
+           let spec =
+             match Fault.of_string (Printf.sprintf "drop=0.01;kill=%d@%d" victim t_us) with
+             | Ok s -> s
+             | Error e -> Alcotest.failf "spec: %s" e
+           in
+           let run () =
+             let cr =
+               S.Harness.run_chaos_env
+                 ~env:(Env.make ~faults:spec ~fault_seed:seed ())
+                 S.Variants.Cpu_free small_problem ~gpus:2
+             in
+             (chaos_digest cr, cr.S.Harness.chaos.Measure.trigger)
+           in
+           let seq = in_mode "seq" run in
+           List.for_all
+             (fun mode -> in_mode mode run = seq)
+             [ "windowed"; "adaptive"; "optimistic" ]));
   ]
 
 let () =

@@ -406,6 +406,145 @@ let prop_structural_matches_dijkstra =
       done;
       !ok)
 
+(* ---------------- degraded routing ---------------------------------------- *)
+
+let test_ring_reroutes_around_dead_link () =
+  let t = T.ring ~profile:T.a100 ~gpus:4 in
+  let g0 = T.gpu_vertex t 0 and g1 = T.gpu_vertex t 1 in
+  let healthy = lat t ~src:g0 ~dst:g1 in
+  check_bool "starts healthy" false (T.degraded t);
+  check_int "epoch starts at zero" 0 (T.route_epoch t);
+  T.fail_link t ~src:"gpu0" ~dst:"gpu1";
+  check_bool "degraded" true (T.degraded t);
+  check_bool "epoch bumped" true (T.route_epoch t > 0);
+  check_bool "still reachable" true (T.reachable t ~src:g0 ~dst:g1);
+  (* The ring reroutes the long way round: three live hops. *)
+  check_int "detour latency" (3 * healthy) (lat t ~src:g0 ~dst:g1);
+  List.iter
+    (fun l ->
+      check_bool "route avoids the corpse" false
+        ((l.T.lsrc = g0 && l.T.ldst = g1) || (l.T.lsrc = g1 && l.T.ldst = g0)))
+    (T.route t ~src:g0 ~dst:g1);
+  (* Idempotent: killing the same link again changes nothing. *)
+  let epoch = T.route_epoch t in
+  T.fail_link t ~src:"gpu0" ~dst:"gpu1";
+  check_int "idempotent" epoch (T.route_epoch t)
+
+let test_second_failure_partitions () =
+  let t = T.ring ~profile:T.a100 ~gpus:4 in
+  T.fail_link t ~src:"gpu0" ~dst:"gpu1";
+  T.fail_link t ~src:"gpu1" ~dst:"gpu2";
+  let g0 = T.gpu_vertex t 0 and g1 = T.gpu_vertex t 1 in
+  check_bool "gpu1 cut off" false (T.reachable t ~src:g0 ~dst:g1);
+  (match T.route_latency t ~src:g0 ~dst:g1 with
+  | (_ : Time.t) -> Alcotest.fail "expected Partitioned"
+  | exception T.Partitioned msg ->
+    check_bool "diagnosis names the endpoints" true
+      (Astring.String.is_infix ~affix:"gpu0" msg && Astring.String.is_infix ~affix:"gpu1" msg));
+  check_bool "dead links counted" true (T.dead_link_count t > 0);
+  (* The rest of the ring still talks. *)
+  check_bool "survivors route" true
+    (T.reachable t ~src:g0 ~dst:(T.gpu_vertex t 3))
+
+let test_switch_failure_cuts_node () =
+  let t = T.dgx_cluster ~profile:T.a100 ~nodes:2 ~gpus_per_node:2 in
+  T.fail_switch t ~name:"node1.nvswitch";
+  Alcotest.(check (list string)) "obituary" [ "node1.nvswitch" ] (T.dead_vertices t);
+  let g0 = T.gpu_vertex t 0 and g2 = T.gpu_vertex t 2 in
+  (* Node 1's GPUs hang off the dead switch: unreachable from node 0. *)
+  check_bool "cross-node dead" false (T.reachable t ~src:g0 ~dst:g2);
+  (* Node 0 stays intact. *)
+  check_bool "node0 intact" true (T.reachable t ~src:g0 ~dst:(T.gpu_vertex t 1))
+
+(* Degraded routing is property-tested against the same Dijkstra oracle,
+   which recomputes on the surviving subgraph: after a deterministic
+   link/switch kill, re-resolved routes must match the oracle, avoid the
+   corpse, and keep the metric laws. *)
+
+let apply_kill t pick =
+  let vs = Array.of_list (T.vertices t) in
+  let links = Array.of_list (T.links t) in
+  let switches =
+    List.filter
+      (fun v -> match v.T.kind with T.Switch _ -> true | _ -> false)
+      (T.vertices t)
+  in
+  if pick land 1 = 1 && switches <> [] then begin
+    let v = List.nth switches (pick / 2 mod List.length switches) in
+    T.fail_switch t ~name:v.T.vname;
+    None
+  end
+  else begin
+    let l = links.(pick / 2 mod Array.length links) in
+    T.fail_link t ~src:vs.(l.T.lsrc).T.vname ~dst:vs.(l.T.ldst).T.vname;
+    Some (l.T.lsrc, l.T.ldst)
+  end
+
+let arb_degraded =
+  QCheck.make
+    ~print:(fun (t, pick) -> Format.asprintf "%a kill=%d" T.pp t pick)
+    QCheck.Gen.(pair gen_topology (int_bound 9999))
+
+let prop_degraded_matches_dijkstra =
+  QCheck.Test.make ~name:"degraded routing equals the dead-aware Dijkstra oracle"
+    ~count:60 arb_degraded (fun (t, pick) ->
+      let vs = Array.of_list (T.vertices t) in
+      let killed_pair = apply_kill t pick in
+      if not (T.degraded t) then QCheck.Test.fail_report "kill did not degrade";
+      let dead = T.dead_vertices t in
+      let n = T.num_vertices t in
+      let ok = ref true in
+      for a = 0 to n - 1 do
+        for b = 0 to n - 1 do
+          match T.dijkstra_reference t ~src:a ~dst:b with
+          | None -> ok := !ok && not (T.reachable t ~src:a ~dst:b)
+          | Some (_, reference) ->
+            ok :=
+              !ok
+              && T.reachable t ~src:a ~dst:b
+              && Time.equal (T.route_latency t ~src:a ~dst:b) reference
+              && T.reachable t ~src:b ~dst:a
+              && Time.equal (T.route_latency t ~src:b ~dst:a) reference;
+            if a <> b && !ok then
+              List.iter
+                (fun l ->
+                  if
+                    List.mem vs.(l.T.lsrc).T.vname dead
+                    || List.mem vs.(l.T.ldst).T.vname dead
+                  then ok := false;
+                  match killed_pair with
+                  | Some (x, y) ->
+                    if (l.T.lsrc = x && l.T.ldst = y) || (l.T.lsrc = y && l.T.ldst = x)
+                    then ok := false
+                  | None -> ())
+                (T.route t ~src:a ~dst:b)
+        done
+      done;
+      !ok)
+
+let prop_degraded_triangle =
+  QCheck.Test.make ~name:"degraded latency keeps symmetry and the triangle inequality"
+    ~count:40 arb_degraded (fun (t, pick) ->
+      let (_ : (int * int) option) = apply_kill t pick in
+      let n = T.num_vertices t in
+      let ok = ref true in
+      for a = 0 to n - 1 do
+        for b = 0 to n - 1 do
+          for c = 0 to n - 1 do
+            if
+              T.reachable t ~src:a ~dst:b && T.reachable t ~src:b ~dst:c
+              && T.reachable t ~src:a ~dst:c
+            then
+              ok :=
+                !ok
+                && Time.to_ns (T.route_latency t ~src:a ~dst:c)
+                   <= Time.to_ns (T.route_latency t ~src:a ~dst:b)
+                      + Time.to_ns (T.route_latency t ~src:b ~dst:c)
+          done
+        done
+      done;
+      !ok)
+
 let () =
   Alcotest.run "machine"
     [
@@ -438,6 +577,15 @@ let () =
           Alcotest.test_case "parsing" `Quick test_spec_parsing;
           Alcotest.test_case "bad lookups" `Quick test_bad_lookups;
         ] );
+      ( "degraded",
+        [
+          Alcotest.test_case "ring reroutes around a dead link" `Quick
+            test_ring_reroutes_around_dead_link;
+          Alcotest.test_case "second failure partitions with a diagnosis" `Quick
+            test_second_failure_partitions;
+          Alcotest.test_case "switch failure cuts its node off" `Quick
+            test_switch_failure_cuts_node;
+        ] );
       ( "laws",
         List.map
           (fun p -> QCheck_alcotest.to_alcotest p)
@@ -446,5 +594,7 @@ let () =
             prop_triangle;
             prop_route_well_formed;
             prop_structural_matches_dijkstra;
+            prop_degraded_matches_dijkstra;
+            prop_degraded_triangle;
           ] );
     ]

@@ -382,6 +382,84 @@ let scaling_tests =
         check_bool "lanes" true (List.length (E.Trace.lanes trace) >= 2));
   ]
 
+(* --- resilience: checkpoint/restart self-healing ------------------------- *)
+
+module Fault = Cpufree_fault.Fault
+module Env = Cpufree_obs.Sim_env
+
+let kill_env s =
+  match Fault.of_string s with
+  | Ok spec -> Env.make ~faults:spec ~fault_seed:1 ()
+  | Error e -> Alcotest.failf "spec: %s" e
+
+let chaos_digest (cr : Harness.chaos_run) =
+  let c = cr.Harness.chaos in
+  ( Time.to_ns c.Measure.base.Measure.total,
+    c.Measure.completed,
+    Array.to_list cr.Harness.progress )
+
+let resilience_tests =
+  [
+    Alcotest.test_case "a mid-run kill heals onto the survivors" `Quick (fun () ->
+        let problem = Problem.make (d2 96 96) ~iterations:12 in
+        let r =
+          Harness.run_resilient ~env:(kill_env "kill=1@25") ~checkpoint_every:2
+            Variants.Cpu_free problem ~gpus:3
+        in
+        check_bool "first attempt aborted" false
+          r.Harness.r_first.Harness.chaos.Measure.completed;
+        check (Alcotest.option Alcotest.int) "diagnosed the corpse" (Some 1) r.Harness.r_killed;
+        check_int "survivors" 2 r.Harness.r_survivors;
+        check_bool "resumed" true (r.Harness.r_resume <> None);
+        check_bool "completed" true r.Harness.r_completed;
+        check_bool "degraded" true r.Harness.r_degraded;
+        check_int "checkpoint aligned" 0 (r.Harness.r_checkpoint mod 2);
+        check_bool "restored from a real checkpoint" true (r.Harness.r_checkpoint > 0);
+        check_int "work saved accounts every survivor" (2 * r.Harness.r_checkpoint)
+          r.Harness.r_work_saved;
+        check_bool "restart cost charged" true Time.(r.Harness.r_restart_cost > zero);
+        check_bool "total covers attempt + restart + resume" true
+          Time.(
+            r.Harness.r_total
+            > Time.add r.Harness.r_first.Harness.chaos.Measure.base.Measure.total
+                r.Harness.r_restart_cost);
+        match r.Harness.r_resume with
+        | None -> Alcotest.fail "no resume run"
+        | Some res ->
+          check (Alcotest.list Alcotest.int) "survivors finish the remainder"
+            [ 12 - r.Harness.r_checkpoint; 12 - r.Harness.r_checkpoint ]
+            (Array.to_list res.Harness.progress));
+    Alcotest.test_case "fault-free control is byte-identical to a plain run" `Quick (fun () ->
+        let problem = Problem.make (d2 96 96) ~iterations:6 in
+        let env = kill_env "kill=0@100000" in
+        let r =
+          Harness.run_resilient ~env ~checkpoint_every:3 Variants.Cpu_free problem ~gpus:2
+        in
+        check_bool "completed" true r.Harness.r_completed;
+        check_bool "not degraded" false r.Harness.r_degraded;
+        check_bool "no resume" true (r.Harness.r_resume = None);
+        check_int "no restart cost" 0 (Time.to_ns r.Harness.r_restart_cost);
+        let plain = Harness.run_chaos_env ~env Variants.Cpu_free problem ~gpus:2 in
+        check_bool "digest matches the plain chaos run" true
+          (chaos_digest r.Harness.r_first = chaos_digest plain);
+        check_int "total is the plain total" (Time.to_ns plain.Harness.chaos.Measure.base.Measure.total)
+          (Time.to_ns r.Harness.r_total));
+    Alcotest.test_case "bad arguments are rejected" `Quick (fun () ->
+        let problem = Problem.make (d2 32 32) ~iterations:2 in
+        Alcotest.check_raises "zero interval"
+          (Invalid_argument "Harness.run_resilient: checkpoint interval must be positive")
+          (fun () ->
+            ignore
+              (Harness.run_resilient ~env:(kill_env "kill=0@10") ~checkpoint_every:0
+                 Variants.Cpu_free problem ~gpus:2));
+        Alcotest.check_raises "missing fault plan"
+          (Invalid_argument "Harness.run_resilient: env.faults must be set")
+          (fun () ->
+            ignore
+              (Harness.run_resilient ~env:(Env.make ()) ~checkpoint_every:2
+                 Variants.Cpu_free problem ~gpus:2)));
+  ]
+
 let () =
   Alcotest.run "stencil"
     [
@@ -391,4 +469,5 @@ let () =
       ("variants-verify", verification_tests);
       ("variants-misc", variant_misc_tests @ variant_props);
       ("harness", scaling_tests);
+      ("resilience", resilience_tests);
     ]
