@@ -33,6 +33,8 @@ module Parallel = Cpufree_core.Parallel
 module J = Cpufree_core.Json
 module Metrics = Cpufree_comm.Metrics
 module Time = E.Time
+module Serve = Cpufree_serve
+module Scenario = Cpufree_core.Scenario
 
 let gpu_counts = [ 1; 2; 4; 8 ]
 let iterations = 50
@@ -2360,6 +2362,239 @@ let fig_autotune ~smoke () =
         !worst;
       (enum_points @ [ generic_point ], ()))
 
+(* ---------------------------------------------------------------- *)
+(* fig.serve: scenario daemon — cold-cache vs warm-cache saturation  *)
+(* ---------------------------------------------------------------- *)
+
+let serve_required_fields =
+  [
+    ("phase", `String);
+    ("requests", `Int);
+    ("wall_clock_sec", `Float);
+    ("req_per_sec", `Float);
+    ("mean_latency_us", `Float);
+    ("hits", `Int);
+    ("simulations", `Int);
+  ]
+
+let validate_serve_doc doc =
+  let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let field kvs name = List.assoc_opt name kvs in
+  let check_point i p =
+    match p with
+    | J.Obj kvs ->
+      List.fold_left
+        (fun acc (name, ty) ->
+          match acc with
+          | Error _ -> acc
+          | Ok () ->
+            (match (field kvs name, ty) with
+            | None, _ -> fail "point %d: missing field %S" i name
+            | Some (J.String _), `String | Some (J.Int _), `Int | Some (J.Float _), `Float ->
+              Ok ()
+            | Some _, _ -> fail "point %d: field %S has the wrong JSON type" i name))
+        (Ok ()) serve_required_fields
+    | _ -> fail "point %d: not an object" i
+  in
+  match doc with
+  | J.Obj kvs ->
+    (match field kvs "figures" with
+    | Some (J.List figs) ->
+      let serve =
+        List.filter_map
+          (function
+            | J.Obj f when field f "figure" = Some (J.String "fig.serve") -> Some f
+            | _ -> None)
+          figs
+      in
+      (match serve with
+      | [ fig ] ->
+        (match field fig "points" with
+        | Some (J.List (_ :: _ as pts)) ->
+          let rec go i = function
+            | [] -> Ok ()
+            | p :: rest -> (match check_point i p with Ok () -> go (i + 1) rest | e -> e)
+          in
+          (match go 0 pts with
+          | Error _ as e -> e
+          | Ok () ->
+            let find_phase name =
+              List.find_map
+                (function
+                  | J.Obj p when field p "phase" = Some (J.String name) -> Some p
+                  | _ -> None)
+                pts
+            in
+            (match (find_phase "cold", find_phase "warm") with
+            | None, _ -> fail "fig.serve: no cold-cache point"
+            | _, None -> fail "fig.serve: no warm-cache point"
+            | Some cold, Some warm ->
+              let rps p =
+                match field p "req_per_sec" with Some (J.Float f) -> f | _ -> 0.0
+              in
+              let int_field p name =
+                match field p name with Some (J.Int n) -> n | _ -> -1
+              in
+              if int_field warm "hits" < 1 then
+                fail "fig.serve: warm phase recorded no cache hits"
+              else if int_field warm "simulations" <> 0 then
+                fail "fig.serve: warm phase re-simulated a cached scenario"
+              else if int_field cold "simulations" < 1 then
+                fail "fig.serve: cold phase ran no simulations"
+              else if rps warm < 10.0 *. rps cold then
+                fail "fig.serve: warm throughput %.0f req/s is under 10x cold %.0f req/s"
+                  (rps warm) (rps cold)
+              else Ok ()))
+        | _ -> fail "fig.serve: missing or empty points list")
+      | l -> fail "expected exactly one fig.serve figure, found %d" (List.length l))
+    | _ -> fail "document has no figures list")
+  | _ -> fail "document is not an object"
+
+(* The daemon saturation figure: fork a scenario daemon, replay a fixed set
+   of distinct scenarios once against the empty cache (every request
+   simulates), then replay the same set several more times (every request is
+   a content-hash hit). The per-phase throughput and request counters come
+   back over the wire from the daemon's own stats op, so the figure measures
+   the full socket round-trip, not an in-process shortcut. Rates go to
+   stderr with the rest of the wall-clock chatter; stdout keeps only the
+   deterministic counters. *)
+let fig_serve ~smoke () =
+  header "Fig SERVE  Scenario daemon: cold-cache vs warm-cache saturation";
+  let fatal fmt =
+    Printf.ksprintf
+      (fun s ->
+        Printf.eprintf "[serve] FATAL: %s\n%!" s;
+        exit 1)
+      fmt
+  in
+  let n_cold = if smoke then 6 else 24 in
+  let reps = if smoke then 4 else 8 in
+  let dims = if smoke then "2d:256x256" else "2d:384x384" in
+  let base_iters = if smoke then 25 else 40 in
+  let scenario i =
+    Scenario.make ~gpus:4
+      (Scenario.Stencil
+         { variant = "cpu-free"; dims; iters = base_iters + i; no_compute = false })
+  in
+  let scenarios = Array.init n_cold scenario in
+  let socket_path = Printf.sprintf "bench-serve-%d.sock" (Unix.getpid ()) in
+  (* The daemon must be a separate process: Server.run blocks its calling
+     domain, and killing it from inside would tear down our own runtime. *)
+  flush stdout;
+  flush stderr;
+  let child =
+    match Unix.fork () with
+    | 0 ->
+      (try
+         Serve.Server.run
+           {
+             (Serve.Server.default_config ~socket_path) with
+             Serve.Server.cache_capacity = (2 * n_cold) + 4;
+           }
+       with e -> Printf.eprintf "[serve] daemon died: %s\n%!" (Printexc.to_string e));
+      exit 0
+    | pid -> pid
+  in
+  let reaped = ref false in
+  at_exit (fun () ->
+    if not !reaped then begin
+      (try Unix.kill child Sys.sigkill with Unix.Unix_error _ -> ());
+      try ignore (Unix.waitpid [] child) with Unix.Unix_error _ -> ()
+    end);
+  let rec connect tries =
+    match Serve.Client.connect socket_path with
+    | Ok c -> c
+    | Error e ->
+      if tries = 0 then fatal "cannot reach the daemon: %s" e
+      else begin
+        Unix.sleepf 0.02;
+        connect (tries - 1)
+      end
+  in
+  let client = connect 250 in
+  let next_id = ref 0 in
+  let run_one sc =
+    incr next_id;
+    match Serve.Client.run client ~id:!next_id sc with
+    | Ok (Serve.Protocol.Ok_resp { body = Serve.Protocol.Run_result _; cached; _ }) -> cached
+    | Ok (Serve.Protocol.Error_resp { message; _ }) ->
+      fatal "request %d refused: %s" !next_id message
+    | Ok (Serve.Protocol.Overload_resp _) -> fatal "request %d hit admission control" !next_id
+    | Ok _ -> fatal "request %d: unexpected response" !next_id
+    | Error e -> fatal "request %d: %s" !next_id e
+  in
+  let stats () =
+    incr next_id;
+    match Serve.Client.stats client ~id:!next_id with
+    | Ok s -> s
+    | Error e -> fatal "stats: %s" e
+  in
+  figure "fig.serve" (fun () ->
+      let s0 = stats () in
+      let t0 = wall () in
+      Array.iter (fun sc -> ignore (run_one sc)) scenarios;
+      let cold_t = Float.max (wall () -. t0) 1e-9 in
+      let s1 = stats () in
+      let t1 = wall () in
+      for _ = 1 to reps do
+        Array.iter
+          (fun sc -> if not (run_one sc) then fatal "warm request missed the cache")
+          scenarios
+      done;
+      let warm_t = Float.max (wall () -. t1) 1e-9 in
+      let s2 = stats () in
+      let n_warm = reps * n_cold in
+      let cold_sims = s1.Serve.Protocol.simulations - s0.Serve.Protocol.simulations in
+      let cold_hits = s1.Serve.Protocol.hits - s0.Serve.Protocol.hits in
+      let warm_sims = s2.Serve.Protocol.simulations - s1.Serve.Protocol.simulations in
+      let warm_hits = s2.Serve.Protocol.hits - s1.Serve.Protocol.hits in
+      if cold_sims <> n_cold then
+        fatal "cold phase: expected %d simulations, daemon reports %d" n_cold cold_sims;
+      if warm_sims <> 0 then fatal "warm phase: daemon re-simulated %d cached runs" warm_sims;
+      if warm_hits <> n_warm then
+        fatal "warm phase: expected %d cache hits, daemon reports %d" n_warm warm_hits;
+      let cold_rps = float_of_int n_cold /. cold_t in
+      let warm_rps = float_of_int n_warm /. warm_t in
+      if warm_rps < 10.0 *. cold_rps then
+        fatal "warm-cache throughput %.0f req/s is under 10x cold-cache %.0f req/s" warm_rps
+          cold_rps;
+      (match Serve.Client.shutdown client ~id:(incr next_id; !next_id) with
+      | Ok () -> ()
+      | Error e -> fatal "shutdown: %s" e);
+      Serve.Client.close client;
+      (match Unix.waitpid [] child with
+      | _, Unix.WEXITED 0 -> reaped := true
+      | _, Unix.WEXITED c -> fatal "daemon exited with status %d" c
+      | _, Unix.WSIGNALED s -> fatal "daemon killed by signal %d" s
+      | _, Unix.WSTOPPED s -> fatal "daemon stopped by signal %d" s);
+      Printf.printf "  %-6s %10s %6s %6s\n" "phase" "requests" "hits" "sims";
+      Printf.printf "  %-6s %10d %6d %6d\n" "cold" n_cold cold_hits cold_sims;
+      Printf.printf "  %-6s %10d %6d %6d\n%!" "warm" n_warm warm_hits warm_sims;
+      Printf.eprintf
+        "[serve] cold %.0f req/s (%.1f ms/req)  warm %.0f req/s (%.3f ms/req)  speedup %.0fx\n%!"
+        cold_rps
+        (cold_t *. 1e3 /. float_of_int n_cold)
+        warm_rps
+        (warm_t *. 1e3 /. float_of_int n_warm)
+        (warm_rps /. cold_rps);
+      let phase_point name ~requests ~elapsed ~hits ~sims =
+        J.Obj
+          [
+            ("phase", J.String name);
+            ("requests", J.Int requests);
+            ("wall_clock_sec", J.Float elapsed);
+            ("req_per_sec", J.Float (float_of_int requests /. elapsed));
+            ("mean_latency_us", J.Float (elapsed *. 1e6 /. float_of_int requests));
+            ("hits", J.Int hits);
+            ("simulations", J.Int sims);
+          ]
+      in
+      ( [
+          phase_point "cold" ~requests:n_cold ~elapsed:cold_t ~hits:cold_hits ~sims:cold_sims;
+          phase_point "warm" ~requests:n_warm ~elapsed:warm_t ~hits:warm_hits ~sims:warm_sims;
+        ],
+        () ))
+
 let write_results ~mode ~elapsed =
   let doc =
     J.Obj
@@ -2477,6 +2712,21 @@ let write_results ~mode ~elapsed =
         msg;
       exit 1
   end;
+  let has_serve =
+    List.exists
+      (function
+        | J.Obj f -> List.assoc_opt "figure" f = Some (J.String "fig.serve")
+        | _ -> false)
+      !json_figures
+  in
+  if has_serve then begin
+    match validate_serve_doc doc with
+    | Ok () -> ()
+    | Error msg ->
+      Printf.eprintf "[serve] FATAL: BENCH_results.json violates the documented schema: %s\n%!"
+        msg;
+      exit 1
+  end;
   let has_profile =
     List.exists
       (function
@@ -2497,11 +2747,44 @@ let write_results ~mode ~elapsed =
   close_out oc;
   Printf.eprintf "[bench] wrote BENCH_results.json (%d figures)\n%!" (List.length !json_figures)
 
+(* Every token the harness understands; anything else is a typo the run
+   must refuse loudly — a silently ignored "chaso" would regenerate the
+   default figure set and look like a passing chaos run. *)
+let known_args =
+  [
+    "quick";
+    "json";
+    "bechamel";
+    "smoke";
+    "micro";
+    "scaleout";
+    "chaos";
+    "recovery";
+    "pdes";
+    "autotune";
+    "collective";
+    "profile";
+    "serve";
+  ]
+
 let () =
   let args = Array.to_list Sys.argv in
+  (match List.filter (fun a -> not (List.mem a known_args)) (List.tl args) with
+  | [] -> ()
+  | bad :: _ ->
+    Printf.eprintf "unknown bench argument %S\n" bad;
+    Printf.eprintf "usage: main.exe [%s]\n" (String.concat "|" known_args);
+    exit 2);
   let quick = List.mem "quick" args in
   let json = List.mem "json" args in
   let with_bechamel = List.mem "bechamel" args in
+  if List.mem "serve" args then begin
+    let smoke = List.mem "smoke" args in
+    let t_start = wall () in
+    fig_serve ~smoke ();
+    write_results ~mode:(if smoke then "serve-smoke" else "serve") ~elapsed:(wall () -. t_start);
+    exit 0
+  end;
   if List.mem "micro" args then begin
     let smoke = List.mem "smoke" args in
     let t_start = wall () in

@@ -3,11 +3,15 @@
    cpufree_run stencil  --variant cpu-free --dims 2d:2048x2048 --gpus 8 ...
    cpufree_run dace     --app jacobi2d --arm cpu-free --gpus 8 ...
    cpufree_run machine  (print the simulated architecture)
+   cpufree_run serve    --socket /tmp/cpufree.sock   (scenario daemon)
+   cpufree_run client   --socket ... --scenario "stencil variant=cpu-free ..."
 
    Every subcommand parses the same machine/fault/observability options
    (--arch, --topology, --gpus, --faults, --fault-seed, --trace-out,
-   --metrics-out) through one shared spec table, resolved into a
-   [Cpufree_core.Sim_env.t]. *)
+   --metrics-out) through one shared spec table. The measured-run commands
+   assemble their flags into a first-class [Cpufree_core.Scenario.t] and
+   execute through the same [of_scenario] constructors the serving daemon
+   uses, so CLI and daemon cannot drift apart. *)
 
 module E = Cpufree_engine
 module G = Cpufree_gpu
@@ -16,6 +20,8 @@ module D = Cpufree_dace
 module Obs = Cpufree_obs
 module Measure = Cpufree_core.Measure
 module Env = Cpufree_core.Sim_env
+module Scenario = Cpufree_core.Scenario
+module Serve = Cpufree_serve
 module Fault = Cpufree_fault.Fault
 module Time = E.Time
 open Cmdliner
@@ -24,9 +30,11 @@ open Cmdliner
 
 (* Every subcommand sees the same option set, resolved and validated in one
    place so a bad combination (e.g. "--topology dgx:3 --gpus 8") exits with
-   the same usage message everywhere. *)
+   the same usage message everywhere. [arch_name] keeps the user's spelling
+   for the scenario record, which carries names, not resolved values. *)
 type common = {
   arch : G.Arch.t;
+  arch_name : string;
   topology : Cpufree_machine.Topology.spec;
   gpus : int;
   faults : Fault.spec option;
@@ -130,6 +138,7 @@ let common_term =
   let make arch_name topo_name gpus faults fault_seed trace_out metrics_out pdes =
     {
       arch = resolve_arch arch_name;
+      arch_name;
       topology = resolve_topology topo_name ~gpus;
       gpus;
       faults = Option.map resolve_faults faults;
@@ -155,11 +164,6 @@ let env_of_common c =
 (* The same environment minus the observability sinks, for auxiliary runs
    (verification) that must not pollute the main run's artifacts. *)
 let quiet_env c = Env.make ~topology:c.topology ?pdes:c.pdes ()
-
-(* Sinkless but fault-carrying: the per-variant environments of a
-   multi-variant chaos run. *)
-let chaos_env c =
-  Env.make ~topology:c.topology ?faults:c.faults ~fault_seed:c.fault_seed ?pdes:c.pdes ()
 
 (* Write (and self-validate) whatever sinks the environment carries. *)
 let write_observability c (env : Env.t) =
@@ -229,30 +233,11 @@ let verify_arg =
   let doc = "Run with real data and check against the sequential reference." in
   Arg.(value & flag & info [ "verify" ] ~doc)
 
-let parse_dims s =
-  let fail () =
-    `Error (Printf.sprintf "bad dims %S: expected 2d:NXxNY or 3d:NXxNYxNZ" s)
-  in
-  match String.split_on_char ':' (String.lowercase_ascii s) with
-  | [ "2d"; rest ] -> (
-    match String.split_on_char 'x' rest with
-    | [ a; b ] -> (
-      match (int_of_string_opt a, int_of_string_opt b) with
-      | Some nx, Some ny -> `Ok (S.Problem.D2 { nx; ny })
-      | _ -> fail ())
-    | _ -> fail ())
-  | [ "3d"; rest ] -> (
-    match String.split_on_char 'x' rest with
-    | [ a; b; c ] -> (
-      match (int_of_string_opt a, int_of_string_opt b, int_of_string_opt c) with
-      | Some nx, Some ny, Some nz -> `Ok (S.Problem.D3 { nx; ny; nz })
-      | _ -> fail ())
-    | _ -> fail ())
-  | _ -> fail ()
-
 let dims_conv =
   let printer fmt d = Format.pp_print_string fmt (S.Problem.dims_to_string d) in
-  Arg.conv ((fun s -> match parse_dims s with `Ok d -> Ok d | `Error e -> Error (`Msg e)), printer)
+  Arg.conv
+    ( (fun s -> Result.map_error (fun e -> `Msg e) (S.Problem.dims_of_string s)),
+      printer )
 
 let dims_arg =
   let doc = "Global domain: 2d:NXxNY or 3d:NXxNYxNZ." in
@@ -272,6 +257,23 @@ let no_compute_arg =
   let doc = "Disable computation: measure the pure communication/sync floor." in
   Arg.(value & flag & info [ "no-compute" ] ~doc)
 
+(* One scenario per selected execution scheme: the flag table becomes a
+   [Scenario.t] and runs through [Harness.of_scenario] — the daemon's path.
+   Artifact sinks are only requested for single-variant runs (a shared sink
+   across a comparison sweep would interleave runs). *)
+let stencil_scenario common ~single ~iters ~dims ~no_compute kind =
+  Scenario.make ~arch:common.arch_name ~topology:common.topology ~gpus:common.gpus
+    ?faults:common.faults ~fault_seed:common.fault_seed ?pdes:common.pdes
+    ~trace:(single && common.trace_out <> None)
+    ~metrics:(single && common.metrics_out <> None)
+    (Scenario.Stencil
+       {
+         variant = S.Variants.name kind;
+         dims = S.Problem.dims_to_spec_string dims;
+         iters;
+         no_compute;
+       })
+
 let run_stencil common iters dims variant no_compute verify timeline chrome =
   let arch = common.arch and gpus = common.gpus in
   let kinds =
@@ -286,31 +288,42 @@ let run_stencil common iters dims variant no_compute verify timeline chrome =
         exit 2)
   in
   let single = List.length kinds = 1 in
-  let problem = S.Problem.make ~compute:(not no_compute) ~backed:verify dims ~iterations:iters in
+  let interpret kind =
+    match
+      S.Harness.of_scenario (stencil_scenario common ~single ~iters ~dims ~no_compute kind)
+    with
+    | Ok s -> s
+    | Error e ->
+      Printf.eprintf "%s\n" e;
+      exit 2
+  in
   match common.faults with
   | Some spec ->
     Printf.printf "chaos run: faults=%s seed=%d\n" (Fault.to_string spec) common.fault_seed;
     List.iter
       (fun kind ->
-        let env = if single then env_of_common common else chaos_env common in
-        let cr = S.Harness.run_chaos_env ~arch ~env kind problem ~gpus in
+        let hsc = interpret kind in
+        let cr = S.Harness.run_scenario_chaos hsc in
         print_chaos_report cr.S.Harness.chaos ~progress:cr.S.Harness.progress;
-        if single then write_observability common env)
+        if single then write_observability common (S.Harness.scenario_sim_env hsc))
       kinds;
     0
   | None ->
     let results =
       List.map
         (fun kind ->
-          let env = if single then env_of_common common else quiet_env common in
-          let r, trace = S.Harness.run_traced_env ~arch ~env kind problem ~gpus in
+          let hsc = interpret kind in
+          let r, trace = S.Harness.run_scenario_traced hsc in
           if timeline && single then print_timeline trace;
           if single then begin
             maybe_write_chrome chrome trace;
-            write_observability common env
+            write_observability common (S.Harness.scenario_sim_env hsc)
           end;
           if verify then begin
-            match S.Harness.verify_env ~arch ~env:(quiet_env common) kind problem ~gpus with
+            let backed =
+              S.Problem.make ~compute:(not no_compute) ~backed:true dims ~iterations:iters
+            in
+            match S.Harness.verify_env ~arch ~env:(quiet_env common) kind backed ~gpus with
             | Ok err ->
               Printf.printf "%-22s verification OK (max |err| = %.2e)\n" (S.Variants.name kind)
                 err
@@ -458,6 +471,22 @@ let run_dace common iters app_name arm_name size emit auto specialize_tb verify 
     run_dace_auto common iters app_name arm size specialize_tb timeline chrome
   end
   else begin
+  (* The measured run goes through the first-class scenario (the daemon's
+     path); [of_scenario] re-validates app/arm and compiles the program. *)
+  let sc =
+    Scenario.make ~arch:common.arch_name ~topology:common.topology ~gpus
+      ?faults:common.faults ~fault_seed:common.fault_seed ?pdes:common.pdes
+      ~trace:(common.trace_out <> None)
+      ~metrics:(common.metrics_out <> None)
+      (Scenario.Dace { app = app_name; arm = arm_name; size; iters; specialize_tb })
+  in
+  let dsc =
+    match D.Pipeline.of_scenario sc with
+    | Ok d -> d
+    | Error e ->
+      Printf.eprintf "%s\n" e;
+      exit 2
+  in
   let app =
     match app_name with
     | "jacobi1d" -> D.Pipeline.Jacobi1d { D.Programs.n_global = size; tsteps = iters }
@@ -489,27 +518,18 @@ let run_dace common iters app_name arm_name size emit auto specialize_tb verify 
       Printf.printf "verification FAILED: %s\n" m;
       exit 1
   end;
-  let built = D.Pipeline.compile ~specialize_tb app arm ~gpus in
-  let label =
-    Printf.sprintf "%s/%s%s" (D.Pipeline.app_name app) (D.Pipeline.arm_name arm)
-      (if specialize_tb then "/specialized" else "")
-  in
   match common.faults with
   | Some spec ->
     Printf.printf "chaos run: faults=%s seed=%d\n" (Fault.to_string spec) common.fault_seed;
-    let env = env_of_common common in
-    let c = Measure.run_chaos_env ~env ~label ~gpus ~iterations:iters built.D.Exec.program in
+    let c = D.Pipeline.run_scenario_chaos dsc in
     print_chaos_report c ~progress:[||];
-    write_observability common env;
+    write_observability common dsc.D.Pipeline.sc_env;
     0
   | None ->
-    let env = env_of_common common in
-    let r, trace =
-      Measure.run_traced_env ~env ~label ~gpus ~iterations:iters built.D.Exec.program
-    in
+    let r, trace = D.Pipeline.run_scenario_traced dsc in
     if timeline then print_timeline trace;
     maybe_write_chrome chrome trace;
-    write_observability common env;
+    write_observability common dsc.D.Pipeline.sc_env;
     Format.printf "%a@." Measure.pp_result r;
     0
   end
@@ -568,9 +588,182 @@ let machine_cmd =
   in
   Cmd.v (Cmd.info "machine" ~doc) Term.(const run_machine $ common_term $ json_arg)
 
+(* --- serve command ---------------------------------------------------------- *)
+
+let socket_arg =
+  let doc = "Unix domain socket path the daemon binds (or the client connects to)." in
+  Arg.(required & opt (some string) None & info [ "socket"; "s" ] ~docv:"PATH" ~doc)
+
+let cache_arg =
+  let doc = "Result-cache capacity (entries, LRU)." in
+  Arg.(value & opt int 128 & info [ "cache" ] ~docv:"N" ~doc)
+
+let max_queue_arg =
+  let doc = "Admission bound: in-flight simulations beyond which runs are refused." in
+  Arg.(value & opt int 64 & info [ "max-queue" ] ~docv:"N" ~doc)
+
+let serve_jobs_arg =
+  let doc = "Simulation pool width (default: CPUFREE_JOBS or the host core count)." in
+  Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
+let run_serve socket cache max_queue jobs =
+  if cache < 1 then begin
+    Printf.eprintf "bad --cache %d: capacity must be positive\n" cache;
+    exit 2
+  end;
+  if max_queue < 1 then begin
+    Printf.eprintf "bad --max-queue %d: bound must be positive\n" max_queue;
+    exit 2
+  end;
+  let cfg =
+    { (Serve.Server.default_config ~socket_path:socket) with
+      Serve.Server.cache_capacity = cache;
+      max_queue;
+    }
+  in
+  let cfg = match jobs with None -> cfg | Some j -> { cfg with Serve.Server.jobs = j } in
+  Printf.printf "serving on %s (cache=%d entries, max-queue=%d, jobs=%d)\n%!" socket
+    cfg.Serve.Server.cache_capacity cfg.Serve.Server.max_queue cfg.Serve.Server.jobs;
+  Serve.Server.run cfg;
+  Printf.printf "shut down\n";
+  0
+
+let serve_cmd =
+  let doc =
+    "Run the scenario daemon: a long-running simulation service over a Unix socket, batching \
+     concurrent requests onto a shared domain pool and memoizing results by canonical \
+     scenario hash."
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc)
+    Term.(const run_serve $ socket_arg $ cache_arg $ max_queue_arg $ serve_jobs_arg)
+
+(* --- client command --------------------------------------------------------- *)
+
+let scenario_arg =
+  let doc =
+    "Scenario spec in the canonical textual form, e.g. 'stencil variant=cpu-free \
+     dims=2d:512x512 iters=30 gpus=4' or 'dace app=jacobi2d arm=cpu-free size=1024 \
+     iters=20'. See Cpufree_core.Scenario."
+  in
+  Arg.(value & opt (some string) None & info [ "scenario" ] ~docv:"SPEC" ~doc)
+
+let repeat_arg =
+  let doc = "Submit the scenario $(docv) times (repeats exercise the result cache)." in
+  Arg.(value & opt int 1 & info [ "repeat" ] ~docv:"N" ~doc)
+
+let stats_flag =
+  let doc = "Print the daemon's request/cache counters." in
+  Arg.(value & flag & info [ "stats" ] ~doc)
+
+let shutdown_flag =
+  let doc = "Ask the daemon to drain and exit (after any --scenario requests)." in
+  Arg.(value & flag & info [ "shutdown" ] ~doc)
+
+let print_run_response = function
+  | Serve.Protocol.Ok_resp
+      { cached; digest; body = Serve.Protocol.Run_result p; _ } ->
+    Printf.printf "%-26s gpus=%d iters=%d total=%s per-iter=%s overlap=%.1f%% bytes=%d%s\n"
+      p.Serve.Protocol.label p.Serve.Protocol.gpus p.Serve.Protocol.iterations
+      (Time.to_string (Time.ns p.Serve.Protocol.total_ns))
+      (Time.to_string (Time.ns p.Serve.Protocol.per_iter_ns))
+      (100.0 *. p.Serve.Protocol.overlap)
+      p.Serve.Protocol.bytes_moved
+      (if cached then "  [cached]" else "");
+    (match p.Serve.Protocol.chaos with
+    | None -> ()
+    | Some c ->
+      Printf.printf "  chaos: %s dropped=%d delayed=%d resent=%d retries=%d\n"
+        (if c.Serve.Protocol.completed then "completed" else "ABORTED")
+        c.Serve.Protocol.dropped c.Serve.Protocol.delayed c.Serve.Protocol.resent
+        c.Serve.Protocol.retried);
+    (match digest with Some d -> Printf.printf "  digest: %s\n" d | None -> ());
+    true
+  | Serve.Protocol.Ok_resp _ ->
+    Printf.eprintf "unexpected response body\n";
+    false
+  | Serve.Protocol.Error_resp { message; _ } ->
+    Printf.eprintf "error: %s\n" message;
+    false
+  | Serve.Protocol.Overload_resp _ ->
+    Printf.eprintf "overloaded: the daemon refused the run; retry later\n";
+    false
+
+let run_client socket scenario repeat stats shutdown =
+  if scenario = None && not stats && not shutdown then begin
+    Printf.eprintf "nothing to do: pass --scenario, --stats and/or --shutdown\n";
+    exit 2
+  end;
+  let sc =
+    match scenario with
+    | None -> None
+    | Some spec -> (
+      match Scenario.of_string spec with
+      | Ok sc -> Some sc
+      | Error e ->
+        Printf.eprintf "bad --scenario: %s\n" e;
+        exit 2)
+  in
+  match Serve.Client.connect socket with
+  | Error e ->
+    Printf.eprintf "%s\n" e;
+    1
+  | Ok c ->
+    let ok = ref true in
+    (match sc with
+    | None -> ()
+    | Some sc ->
+      for id = 1 to max 1 repeat do
+        match Serve.Client.run c ~id sc with
+        | Ok resp -> if not (print_run_response resp) then ok := false
+        | Error e ->
+          Printf.eprintf "%s\n" e;
+          ok := false
+      done);
+    if stats then begin
+      match Serve.Client.stats c ~id:0 with
+      | Ok s ->
+        Printf.printf
+          "stats: requests=%d hits=%d misses=%d coalesced=%d overloads=%d errors=%d \
+           simulations=%d cache=%d\n"
+          s.Serve.Protocol.requests s.Serve.Protocol.hits s.Serve.Protocol.misses
+          s.Serve.Protocol.coalesced s.Serve.Protocol.overloads s.Serve.Protocol.errors
+          s.Serve.Protocol.simulations s.Serve.Protocol.cache_entries
+      | Error e ->
+        Printf.eprintf "%s\n" e;
+        ok := false
+    end;
+    if shutdown then begin
+      match Serve.Client.shutdown c ~id:0 with
+      | Ok () -> Printf.printf "daemon shut down\n"
+      | Error e ->
+        Printf.eprintf "%s\n" e;
+        ok := false
+    end;
+    Serve.Client.close c;
+    if !ok then 0 else 1
+
+let client_cmd =
+  let doc = "Submit scenarios to a running daemon (and/or query its counters)." in
+  Cmd.v
+    (Cmd.info "client" ~doc)
+    Term.(
+      const run_client $ socket_arg $ scenario_arg $ repeat_arg $ stats_flag $ shutdown_flag)
+
 (* --- entry ------------------------------------------------------------------- *)
 
 let () =
   let doc = "CPU-Free multi-GPU execution model simulator (paper reproduction)" in
   let info = Cmd.info "cpufree_run" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ stencil_cmd; dace_cmd; machine_cmd ]))
+  let group =
+    Cmd.group info [ stencil_cmd; dace_cmd; machine_cmd; serve_cmd; client_cmd ]
+  in
+  (* eval_value, not eval': a command-line the parser rejects (unknown flag,
+     bad option value, unknown subcommand) must exit 2 — cmdliner has
+     already printed the offending token and a usage line on stderr. *)
+  exit
+    (match Cmd.eval_value group with
+    | Ok (`Ok code) -> code
+    | Ok (`Version | `Help) -> 0
+    | Error (`Parse | `Term) -> 2
+    | Error `Exn -> 125)

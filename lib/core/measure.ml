@@ -131,11 +131,15 @@ let run_traced_env ?arch ?(env = Obs.Sim_env.default) ~label ~gpus ~iterations p
 let probe_env ?arch ?(env = Obs.Sim_env.default) ?pdes ~label ~gpus ~iterations program =
   (run_env ?arch ~env:(Obs.Sim_env.probe ?pdes env) ~label ~gpus ~iterations program).total
 
-let run_traced ?arch ?topology ?seed:_ ~label ~gpus ~iterations program =
-  run_core ?arch ~env:(Obs.Sim_env.make ?topology ()) ~label ~gpus ~iterations program
+(* The measurement-layer view of a Scenario: architecture resolved, a fresh
+   environment built. Workload interpretation stays downstream — this is
+   what Harness.of_scenario and Pipeline.of_scenario build on. *)
+type run_spec = { rs_arch : Cpufree_gpu.Arch.t; rs_env : Obs.Sim_env.t; rs_gpus : int }
 
-let run ?arch ?topology ?seed:_ ~label ~gpus ~iterations program =
-  run_env ?arch ~env:(Obs.Sim_env.make ?topology ()) ~label ~gpus ~iterations program
+let of_scenario (sc : Scenario.t) =
+  match Scenario.arch_of sc with
+  | Error _ as e -> e
+  | Ok arch -> Ok { rs_arch = arch; rs_env = Scenario.env sc; rs_gpus = sc.Scenario.gpus }
 
 module F = Cpufree_fault.Fault
 
@@ -245,11 +249,6 @@ let run_chaos_env ?arch ?watchdog ?(env = Obs.Sim_env.default) ~label ~gpus ~ite
     resent = stats.F.resent;
     retried = stats.F.retried;
   }
-
-let run_chaos ?arch ?topology ?watchdog ~faults ~fault_seed ~label ~gpus ~iterations program =
-  run_chaos_env ?arch ?watchdog
-    ~env:(Obs.Sim_env.make ?topology ~faults ~fault_seed ())
-    ~label ~gpus ~iterations program
 
 let best_of ~runs f =
   if runs < 1 then invalid_arg "Measure.best_of: need at least one run";

@@ -1,11 +1,11 @@
 (** Experiment harness: build a simulated machine, run a host program on it,
     and report the quantities the paper's evaluation plots.
 
-    Entry points come in two flavours. The canonical ones ([run_env],
-    [run_chaos_env]) take a {!Cpufree_obs.Sim_env.t} bundling topology,
-    fault plan, observability sinks and PDES mode; the older per-field
-    optional-argument forms are kept as deprecated thin wrappers with
-    byte-identical outputs. *)
+    The canonical entry points ([run_env], [run_chaos_env]) take a
+    {!Cpufree_obs.Sim_env.t} bundling topology, fault plan, observability
+    sinks and PDES mode; {!of_scenario} builds that environment (plus the
+    resolved architecture and GPU count) from a first-class {!Scenario.t},
+    so the CLI and the serving daemon drive runs through one path. *)
 
 type result = {
   label : string;
@@ -74,25 +74,22 @@ val probe_env :
     the drivers are bit-identical, the returned cost does not depend on the
     ambient [CPUFREE_PDES], so searches ranked by it are deterministic. *)
 
-val run :
-  ?arch:Cpufree_gpu.Arch.t ->
-  ?topology:Cpufree_machine.Topology.spec ->
-  ?seed:int -> label:string -> gpus:int -> iterations:int ->
-  (Cpufree_gpu.Runtime.ctx -> unit) -> result
-[@@alert deprecated "Use Measure.run_env with a Cpufree_obs.Sim_env.t instead."]
-(** Deprecated pre-{!Cpufree_obs.Sim_env} form of {!run_env}; byte-identical
-    output. [seed] is accepted and ignored (the simulator is deterministic). *)
+type run_spec = {
+  rs_arch : Cpufree_gpu.Arch.t;  (** resolved device architecture *)
+  rs_env : Cpufree_obs.Sim_env.t;
+      (** a fresh environment for one run: sinks per the scenario's
+          artifact booleans — never share it between concurrent runs *)
+  rs_gpus : int;
+}
+(** The measurement-layer view of a {!Scenario.t}: everything below the
+    workload, resolved and ready to pass to {!run_env} /
+    {!run_chaos_env}. *)
 
-val run_traced :
-  ?arch:Cpufree_gpu.Arch.t ->
-  ?topology:Cpufree_machine.Topology.spec ->
-  ?seed:int -> label:string -> gpus:int -> iterations:int ->
-  (Cpufree_gpu.Runtime.ctx -> unit) -> result * Cpufree_engine.Trace.t
-[@@alert deprecated
-    "Use Measure.run_env with an env carrying a Trace.t sink instead."]
-(** Deprecated: as the old [run] but also returns the execution trace (for
-    timelines). New code should pass a trace sink via [env.trace] on
-    {!run_env} instead. *)
+val of_scenario : Scenario.t -> (run_spec, string) Stdlib.result
+(** Resolve a scenario's architecture name and build its environment
+    ({!Scenario.env}). Workload interpretation (variant, dims, app, arm)
+    belongs to the layer that owns those names — [Harness.of_scenario] and
+    [Dace.Pipeline.of_scenario] build on this. *)
 
 type chaos = {
   base : result;
@@ -127,18 +124,6 @@ val run_chaos_env :
     [env.fault_seed] in both [CPUFREE_PDES] modes.
 
     @raise Invalid_argument when [env.faults] is [None]. *)
-
-val run_chaos :
-  ?arch:Cpufree_gpu.Arch.t ->
-  ?topology:Cpufree_machine.Topology.spec ->
-  ?watchdog:Cpufree_engine.Time.t ->
-  faults:Cpufree_fault.Fault.spec ->
-  fault_seed:int ->
-  label:string -> gpus:int -> iterations:int ->
-  (Cpufree_gpu.Runtime.ctx -> unit) -> chaos
-[@@alert deprecated "Use Measure.run_chaos_env with a Cpufree_obs.Sim_env.t instead."]
-(** Deprecated pre-{!Cpufree_obs.Sim_env} form of {!run_chaos_env};
-    byte-identical output. *)
 
 val best_of :
   runs:int ->

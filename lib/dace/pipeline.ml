@@ -59,11 +59,68 @@ let run_traced_env ?arch ?env app arm ~gpus =
 
 let run_env ?arch ?env app arm ~gpus = fst (run_traced_env ?arch ?env app arm ~gpus)
 
-let run_traced ?arch ?topology app arm ~gpus =
-  run_traced_env ?arch ~env:(Cpufree_obs.Sim_env.make ?topology ()) app arm ~gpus
+(* The dace interpretation of a first-class scenario: app/arm strings
+   resolved (the CLI's accepted spellings), the program compiled, the label
+   carrying the /specialized suffix the CLI prints. One path for the CLI
+   and the daemon. *)
+type scenario = {
+  sc_label : string;
+  sc_gpus : int;
+  sc_iterations : int;
+  sc_arch : Cpufree_gpu.Arch.t;
+  sc_env : Cpufree_obs.Sim_env.t;
+  sc_program : Cpufree_gpu.Runtime.ctx -> unit;
+}
 
-let run ?arch ?topology app arm ~gpus =
-  run_env ?arch ~env:(Cpufree_obs.Sim_env.make ?topology ()) app arm ~gpus
+let of_scenario (sc : Cpufree_core.Scenario.t) =
+  match sc.Cpufree_core.Scenario.workload with
+  | Cpufree_core.Scenario.Stencil _ -> Error "not a dace scenario"
+  | Cpufree_core.Scenario.Dace { app; arm; size; iters; specialize_tb } -> (
+    let arm =
+      match arm with
+      | "baseline" | "mpi" -> Ok Baseline_mpi
+      | "cpu-free" | "cpufree" -> Ok Cpu_free
+      | other -> Error (Printf.sprintf "unknown arm %S (expected baseline or cpu-free)" other)
+    in
+    match arm with
+    | Error _ as e -> e
+    | Ok arm -> (
+      let app =
+        match app with
+        | "jacobi1d" -> Ok (Jacobi1d { Programs.n_global = size; tsteps = iters })
+        | "jacobi2d" ->
+          Ok (Jacobi2d { Programs.nx_global = size; ny_global = size; tsteps = iters })
+        | "heat3d" -> Ok (Heat3d { Programs.nx3 = size; ny3 = size; nz3 = size; tsteps3 = iters })
+        | other ->
+          Error (Printf.sprintf "unknown app %S (expected jacobi1d, jacobi2d or heat3d)" other)
+      in
+      match app with
+      | Error _ as e -> e
+      | Ok app -> (
+        match Cpufree_core.Measure.of_scenario sc with
+        | Error _ as e -> e
+        | Ok rs ->
+          let gpus = rs.Cpufree_core.Measure.rs_gpus in
+          let built = compile ~specialize_tb app arm ~gpus in
+          Ok
+            {
+              sc_label =
+                Printf.sprintf "%s/%s%s" (app_name app) (arm_name arm)
+                  (if specialize_tb then "/specialized" else "");
+              sc_gpus = gpus;
+              sc_iterations = iterations app;
+              sc_arch = rs.Cpufree_core.Measure.rs_arch;
+              sc_env = rs.Cpufree_core.Measure.rs_env;
+              sc_program = built.Exec.program;
+            })))
+
+let run_scenario_traced s =
+  Measure.run_traced_env ~arch:s.sc_arch ~env:s.sc_env ~label:s.sc_label ~gpus:s.sc_gpus
+    ~iterations:s.sc_iterations s.sc_program
+
+let run_scenario_chaos ?watchdog s =
+  Measure.run_chaos_env ~arch:s.sc_arch ?watchdog ~env:s.sc_env ~label:s.sc_label
+    ~gpus:s.sc_gpus ~iterations:s.sc_iterations s.sc_program
 
 let verify_env ?arch ?env ?relax ?specialize_tb app arm ~gpus =
   let built = compile ~backed:true ?relax ?specialize_tb app arm ~gpus in
@@ -150,5 +207,3 @@ let verify_env ?arch ?env ?relax ?specialize_tb app arm ~gpus =
     if !worst <= tolerance then Ok !worst
     else Error (Printf.sprintf "max abs error %.3e exceeds tolerance %.1e" !worst tolerance)
 
-let verify ?arch ?relax ?specialize_tb app arm ~gpus =
-  verify_env ?arch ?relax ?specialize_tb app arm ~gpus

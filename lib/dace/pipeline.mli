@@ -61,22 +61,34 @@ val verify_env :
     [A] against the sequential reference: [Ok max_abs_err] or
     [Error reason]. *)
 
-val run :
-  ?arch:Cpufree_gpu.Arch.t -> ?topology:Cpufree_machine.Topology.spec ->
-  app -> arm -> gpus:int -> Cpufree_core.Measure.result
-[@@alert deprecated "Use Pipeline.run_env with a Cpufree_obs.Sim_env.t instead."]
-(** Deprecated pre-[Sim_env] form of {!run_env}; byte-identical output. *)
+type scenario = {
+  sc_label : string;
+      (** what the CLI prints: [app/arm], plus [/specialized] when
+          thread-block specialization is on *)
+  sc_gpus : int;
+  sc_iterations : int;
+  sc_arch : Cpufree_gpu.Arch.t;
+  sc_env : Cpufree_obs.Sim_env.t;
+      (** fresh, with sinks per the scenario's artifact booleans — run it
+          once *)
+  sc_program : Cpufree_gpu.Runtime.ctx -> unit;  (** the compiled program *)
+}
+(** A first-class {!Cpufree_core.Scenario.t} interpreted and compiled as a
+    dace run — the single execution path shared by the CLI and the serving
+    daemon. *)
 
-val run_traced :
-  ?arch:Cpufree_gpu.Arch.t -> ?topology:Cpufree_machine.Topology.spec ->
-  app -> arm -> gpus:int ->
-  Cpufree_core.Measure.result * Cpufree_engine.Trace.t
-[@@alert deprecated "Use Pipeline.run_traced_env instead."]
+val of_scenario : Cpufree_core.Scenario.t -> (scenario, string) result
+(** Resolve the workload's [app]/[arm] strings (the CLI's accepted
+    spellings), compile the program, and build architecture and environment
+    via {!Cpufree_core.Measure.of_scenario}. [Error] on a stencil workload
+    or any unresolvable name, with a friendly message. *)
 
-val verify :
-  ?arch:Cpufree_gpu.Arch.t -> ?relax:bool -> ?specialize_tb:bool -> app -> arm -> gpus:int ->
-  (float, string) result
-[@@alert deprecated "Use Pipeline.verify_env instead."]
-(** Deprecated pre-[Sim_env] form of {!verify_env}; byte-identical output. *)
+val run_scenario_traced :
+  scenario -> Cpufree_core.Measure.result * Cpufree_engine.Trace.t
+
+val run_scenario_chaos :
+  ?watchdog:Cpufree_engine.Time.t -> scenario -> Cpufree_core.Measure.chaos
+(** Run under the scenario environment's fault plan
+    ({!Cpufree_core.Measure.run_chaos_env}; [sc_env.faults] must be set). *)
 
 val iterations : app -> int

@@ -67,9 +67,6 @@ let create eng ?(arch = Arch.a100_hgx) ?(env = Obs.Sim_env.default) ~num_gpus ()
     ~partitioned:(E.Engine.num_partitions eng > 1)
     ~num_gpus ()
 
-let init eng ?(arch = Arch.a100_hgx) ?topology ?faults ?(partitioned = false) ~num_gpus () =
-  build eng ~arch ?topology ?faults ~partitioned ~num_gpus ()
-
 let engine t = t.eng
 let arch t = t.arch
 let num_gpus t = t.n

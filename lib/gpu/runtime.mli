@@ -31,27 +31,6 @@ val create :
     partition means the windowed layout (partition 0 = host + fabric,
     partition [g+1] = device [g]). *)
 
-val init :
-  Cpufree_engine.Engine.t ->
-  ?arch:Arch.t ->
-  ?topology:Cpufree_machine.Topology.spec ->
-  ?faults:Cpufree_fault.Fault.plan ->
-  ?partitioned:bool ->
-  num_gpus:int ->
-  unit ->
-  ctx
-[@@alert deprecated "Use Runtime.create with a Cpufree_obs.Sim_env.t instead."]
-(** Deprecated constructor predating {!Cpufree_obs.Sim_env}. [topology]
-    selects the machine graph the fabric instantiates (default: the
-    single-node NVSwitch HGX of the paper's evaluation). [partitioned]
-    declares that the engine was created with one partition per GPU plus a
-    host/interconnect partition (partition 0) and that device processes
-    should be tagged accordingly; default [false] puts everything in
-    partition 0 (the classic sequential layout). [faults] activates a
-    fault-injection plan for this run: the fabric degrades per the plan, and
-    kernel costs on straggler devices are scaled by {!compute_scale}.
-    Byte-identical to {!create} for equivalent inputs. *)
-
 val engine : ctx -> Cpufree_engine.Engine.t
 val arch : ctx -> Arch.t
 val num_gpus : ctx -> int

@@ -1,0 +1,45 @@
+(* LRU by logical clock: every touch stamps the entry with a fresh tick,
+   eviction scans for the minimum stamp. The scan is O(capacity), which is
+   fine at the daemon's scale (default 128 entries, eviction only on
+   insert-at-capacity); the payoff is that there is no intrusive list to
+   get wrong. *)
+
+type entry = { payload : Protocol.run_payload; mutable stamp : int }
+
+type t = {
+  capacity : int;
+  entries : (string, entry) Hashtbl.t;
+  mutable clock : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Cache.create: capacity must be positive";
+  { capacity; entries = Hashtbl.create (2 * capacity); clock = 0 }
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+let find t digest =
+  match Hashtbl.find_opt t.entries digest with
+  | None -> None
+  | Some e ->
+    e.stamp <- tick t;
+    Some e.payload
+
+let evict_lru t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun k e ->
+      match !victim with
+      | Some (_, s) when s <= e.stamp -> ()
+      | _ -> victim := Some (k, e.stamp))
+    t.entries;
+  match !victim with None -> () | Some (k, _) -> Hashtbl.remove t.entries k
+
+let add t digest payload =
+  if not (Hashtbl.mem t.entries digest) && Hashtbl.length t.entries >= t.capacity then
+    evict_lru t;
+  Hashtbl.replace t.entries digest { payload; stamp = tick t }
+
+let length t = Hashtbl.length t.entries

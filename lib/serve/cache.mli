@@ -1,0 +1,21 @@
+(** LRU result cache keyed by {!Cpufree_core.Scenario.digest}.
+
+    Values are completed {!Protocol.run_payload}s — pure data, safe to hand
+    to any number of clients. Capacity is a bound on entries, not bytes:
+    payloads are small (artifact strings dominate, and only observed
+    scenarios carry them). Not thread-safe; the server serializes access
+    under its own lock. *)
+
+type t
+
+val create : capacity:int -> t
+(** @raise Invalid_argument when [capacity < 1]. *)
+
+val find : t -> string -> Protocol.run_payload option
+(** Lookup by digest; a hit refreshes the entry's recency. *)
+
+val add : t -> string -> Protocol.run_payload -> unit
+(** Insert (or overwrite) an entry, evicting the least recently used one
+    when over capacity. *)
+
+val length : t -> int

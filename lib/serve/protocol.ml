@@ -1,0 +1,324 @@
+module J = Cpufree_core.Json
+module Scenario = Cpufree_core.Scenario
+
+type op =
+  | Run of Scenario.t
+  | Stats
+  | Shutdown
+
+type request = { req_id : int; req_op : op }
+
+type chaos_summary = {
+  completed : bool;
+  trigger : string option;
+  dropped : int;
+  delayed : int;
+  resent : int;
+  retried : int;
+}
+
+type run_payload = {
+  label : string;
+  gpus : int;
+  iterations : int;
+  total_ns : int;
+  per_iter_ns : int;
+  comm_ns : int;
+  overlap : float;
+  bytes_moved : int;
+  chaos : chaos_summary option;
+  metrics : string option;
+  trace : string option;
+}
+
+type stats_payload = {
+  requests : int;
+  hits : int;
+  misses : int;
+  coalesced : int;
+  overloads : int;
+  errors : int;
+  simulations : int;
+  cache_entries : int;
+}
+
+type body =
+  | Run_result of run_payload
+  | Stats_result of stats_payload
+  | Shutdown_ack
+
+type response =
+  | Ok_resp of { id : int; cached : bool; digest : string option; body : body }
+  | Error_resp of { id : int; message : string }
+  | Overload_resp of { id : int }
+
+(* --- JSON ----------------------------------------------------------------- *)
+
+let opt_string = function None -> J.Null | Some s -> J.String s
+
+let request_to_json { req_id; req_op } =
+  let base = [ ("id", J.Int req_id) ] in
+  J.Obj
+    (match req_op with
+    | Run sc -> base @ [ ("op", J.String "run"); ("scenario", Scenario.to_json sc) ]
+    | Stats -> base @ [ ("op", J.String "stats") ]
+    | Shutdown -> base @ [ ("op", J.String "shutdown") ])
+
+let int_field name j =
+  match J.member name j with
+  | Some (J.Int i) -> Ok i
+  | _ -> Error (Printf.sprintf "request: missing or non-integer %S" name)
+
+let request_of_json j =
+  let ( let* ) = Result.bind in
+  let* id = int_field "id" j in
+  match J.member "op" j with
+  | Some (J.String "run") -> (
+    match J.member "scenario" j with
+    | None -> Error "run request: missing \"scenario\""
+    | Some sj -> (
+      match Scenario.of_json sj with
+      | Ok sc -> Ok { req_id = id; req_op = Run sc }
+      | Error e -> Error ("run request: " ^ e)))
+  | Some (J.String "stats") -> Ok { req_id = id; req_op = Stats }
+  | Some (J.String "shutdown") -> Ok { req_id = id; req_op = Shutdown }
+  | Some (J.String other) -> Error (Printf.sprintf "unknown op %S" other)
+  | _ -> Error "request: missing or non-string \"op\""
+
+let chaos_to_json c =
+  J.Obj
+    [
+      ("completed", J.Bool c.completed);
+      ("trigger", opt_string c.trigger);
+      ("dropped", J.Int c.dropped);
+      ("delayed", J.Int c.delayed);
+      ("resent", J.Int c.resent);
+      ("retried", J.Int c.retried);
+    ]
+
+let chaos_of_json j =
+  let ( let* ) = Result.bind in
+  let* dropped = int_field "dropped" j in
+  let* delayed = int_field "delayed" j in
+  let* resent = int_field "resent" j in
+  let* retried = int_field "retried" j in
+  let* completed =
+    match J.member "completed" j with
+    | Some (J.Bool b) -> Ok b
+    | _ -> Error "chaos: missing \"completed\""
+  in
+  let* trigger =
+    match J.member "trigger" j with
+    | Some J.Null | None -> Ok None
+    | Some (J.String s) -> Ok (Some s)
+    | _ -> Error "chaos: bad \"trigger\""
+  in
+  Ok { completed; trigger; dropped; delayed; resent; retried }
+
+let payload_to_json p =
+  J.Obj
+    [
+      ("label", J.String p.label);
+      ("gpus", J.Int p.gpus);
+      ("iterations", J.Int p.iterations);
+      ("total_ns", J.Int p.total_ns);
+      ("per_iter_ns", J.Int p.per_iter_ns);
+      ("comm_ns", J.Int p.comm_ns);
+      ("overlap", J.Float p.overlap);
+      ("bytes_moved", J.Int p.bytes_moved);
+      ("chaos", match p.chaos with None -> J.Null | Some c -> chaos_to_json c);
+      ( "artifacts",
+        J.Obj [ ("metrics", opt_string p.metrics); ("trace", opt_string p.trace) ] );
+    ]
+
+let opt_string_field ctx name j =
+  match J.member name j with
+  | Some J.Null | None -> Ok None
+  | Some (J.String s) -> Ok (Some s)
+  | _ -> Error (Printf.sprintf "%s: bad %S" ctx name)
+
+let payload_of_json j =
+  let ( let* ) = Result.bind in
+  let* label =
+    match J.member "label" j with
+    | Some (J.String s) -> Ok s
+    | _ -> Error "result: missing \"label\""
+  in
+  let* gpus = int_field "gpus" j in
+  let* iterations = int_field "iterations" j in
+  let* total_ns = int_field "total_ns" j in
+  let* per_iter_ns = int_field "per_iter_ns" j in
+  let* comm_ns = int_field "comm_ns" j in
+  let* bytes_moved = int_field "bytes_moved" j in
+  let* overlap =
+    match J.member "overlap" j with
+    | Some (J.Float f) -> Ok f
+    | Some (J.Int i) -> Ok (float_of_int i)
+    | _ -> Error "result: missing \"overlap\""
+  in
+  let* chaos =
+    match J.member "chaos" j with
+    | Some J.Null | None -> Ok None
+    | Some cj -> Result.map Option.some (chaos_of_json cj)
+  in
+  let arts = match J.member "artifacts" j with Some a -> a | None -> J.Obj [] in
+  let* metrics = opt_string_field "artifacts" "metrics" arts in
+  let* trace = opt_string_field "artifacts" "trace" arts in
+  Ok
+    {
+      label;
+      gpus;
+      iterations;
+      total_ns;
+      per_iter_ns;
+      comm_ns;
+      overlap;
+      bytes_moved;
+      chaos;
+      metrics;
+      trace;
+    }
+
+let stats_to_json s =
+  J.Obj
+    [
+      ("requests", J.Int s.requests);
+      ("hits", J.Int s.hits);
+      ("misses", J.Int s.misses);
+      ("coalesced", J.Int s.coalesced);
+      ("overloads", J.Int s.overloads);
+      ("errors", J.Int s.errors);
+      ("simulations", J.Int s.simulations);
+      ("cache_entries", J.Int s.cache_entries);
+    ]
+
+let stats_of_json j =
+  let ( let* ) = Result.bind in
+  let* requests = int_field "requests" j in
+  let* hits = int_field "hits" j in
+  let* misses = int_field "misses" j in
+  let* coalesced = int_field "coalesced" j in
+  let* overloads = int_field "overloads" j in
+  let* errors = int_field "errors" j in
+  let* simulations = int_field "simulations" j in
+  let* cache_entries = int_field "cache_entries" j in
+  Ok { requests; hits; misses; coalesced; overloads; errors; simulations; cache_entries }
+
+let response_to_json = function
+  | Ok_resp { id; cached; digest; body } ->
+    let body_fields =
+      match body with
+      | Run_result p -> [ ("result", payload_to_json p) ]
+      | Stats_result s -> [ ("stats", stats_to_json s) ]
+      | Shutdown_ack -> [ ("shutdown", J.Bool true) ]
+    in
+    J.Obj
+      ([
+         ("id", J.Int id);
+         ("status", J.String "ok");
+         ("cached", J.Bool cached);
+         ("digest", opt_string digest);
+       ]
+      @ body_fields)
+  | Error_resp { id; message } ->
+    J.Obj [ ("id", J.Int id); ("status", J.String "error"); ("error", J.String message) ]
+  | Overload_resp { id } -> J.Obj [ ("id", J.Int id); ("status", J.String "overload") ]
+
+let response_of_json j =
+  let ( let* ) = Result.bind in
+  let* id = int_field "id" j in
+  match J.member "status" j with
+  | Some (J.String "ok") ->
+    let* cached =
+      match J.member "cached" j with
+      | Some (J.Bool b) -> Ok b
+      | _ -> Error "response: missing \"cached\""
+    in
+    let* digest = opt_string_field "response" "digest" j in
+    let* body =
+      match (J.member "result" j, J.member "stats" j, J.member "shutdown" j) with
+      | Some rj, _, _ -> Result.map (fun p -> Run_result p) (payload_of_json rj)
+      | None, Some sj, _ -> Result.map (fun s -> Stats_result s) (stats_of_json sj)
+      | None, None, Some _ -> Ok Shutdown_ack
+      | None, None, None -> Error "ok response: no body"
+    in
+    Ok (Ok_resp { id; cached; digest; body })
+  | Some (J.String "error") -> (
+    match J.member "error" j with
+    | Some (J.String message) -> Ok (Error_resp { id; message })
+    | _ -> Error "error response: missing \"error\"")
+  | Some (J.String "overload") -> Ok (Overload_resp { id })
+  | _ -> Error "response: missing or unknown \"status\""
+
+let payload_equal (a : run_payload) (b : run_payload) = a = b
+
+(* --- framing -------------------------------------------------------------- *)
+
+let max_frame = 16 * 1024 * 1024
+
+let rec write_all fd bytes off len =
+  if len > 0 then begin
+    let n = Unix.write fd bytes off len in
+    write_all fd bytes (off + n) (len - n)
+  end
+
+let write_frame fd payload =
+  let frame = Printf.sprintf "%d\n%s" (String.length payload) payload in
+  write_all fd (Bytes.unsafe_of_string frame) 0 (String.length frame)
+
+module Framebuf = struct
+  type t = { mutable data : Bytes.t; mutable len : int }
+
+  let create () = { data = Bytes.create 4096; len = 0 }
+
+  let feed t bytes ~len =
+    if len > 0 then begin
+      let need = t.len + len in
+      if need > Bytes.length t.data then begin
+        let grown = Bytes.create (max need (2 * Bytes.length t.data)) in
+        Bytes.blit t.data 0 grown 0 t.len;
+        t.data <- grown
+      end;
+      Bytes.blit bytes 0 t.data t.len len;
+      t.len <- need
+    end
+
+  let drop t n =
+    Bytes.blit t.data n t.data 0 (t.len - n);
+    t.len <- t.len - n
+
+  let next t =
+    match Bytes.index_opt (Bytes.sub t.data 0 t.len) '\n' with
+    | None ->
+      (* A frame header is at most the digits of [max_frame] plus the
+         newline; anything longer without one is garbage. *)
+      if t.len > 24 then Error "framing: no length header" else Ok None
+    | Some nl -> (
+      let header = Bytes.sub_string t.data 0 nl in
+      match int_of_string_opt (String.trim header) with
+      | None -> Error (Printf.sprintf "framing: bad length header %S" header)
+      | Some n when n < 0 || n > max_frame ->
+        Error (Printf.sprintf "framing: length %d out of bounds" n)
+      | Some n ->
+        if t.len - nl - 1 < n then Ok None
+        else begin
+          let payload = Bytes.sub_string t.data (nl + 1) n in
+          drop t (nl + 1 + n);
+          Ok (Some payload)
+        end)
+end
+
+let read_frame fd buf =
+  let chunk = Bytes.create 65536 in
+  let rec go () =
+    match Framebuf.next buf with
+    | Error _ as e -> e
+    | Ok (Some frame) -> Ok frame
+    | Ok None -> (
+      match Unix.read fd chunk 0 (Bytes.length chunk) with
+      | 0 -> Error "connection closed"
+      | n ->
+        Framebuf.feed buf chunk ~len:n;
+        go ())
+  in
+  go ()

@@ -176,13 +176,47 @@ let scenario_env ?arch ?(env = Env.default) kind problem ~gpus =
 let run_scenario s =
   run_env ?arch:s.sc_arch ~env:s.sc_env s.sc_kind s.sc_problem ~gpus:s.sc_gpus
 
+let run_scenario_traced s =
+  run_traced_env ?arch:s.sc_arch ~env:s.sc_env s.sc_kind s.sc_problem ~gpus:s.sc_gpus
+
+let run_scenario_chaos ?watchdog s =
+  run_chaos_env ?arch:s.sc_arch ?watchdog ~env:s.sc_env s.sc_kind s.sc_problem
+    ~gpus:s.sc_gpus
+
+let scenario_sim_env s = s.sc_env
+
 let run_many ?jobs scenarios = Parallel.map ?jobs run_scenario scenarios
 
-let run_many_traced ?jobs scenarios =
-  Parallel.map ?jobs
-    (fun s ->
-      run_traced_env ?arch:s.sc_arch ~env:s.sc_env s.sc_kind s.sc_problem ~gpus:s.sc_gpus)
-    scenarios
+let run_many_traced ?jobs scenarios = Parallel.map ?jobs run_scenario_traced scenarios
+
+(* The stencil interpretation of a first-class scenario: the workload's
+   neutral strings resolved into a variant and a problem, everything below
+   resolved by Measure.of_scenario. One path for the CLI and the daemon. *)
+let of_scenario (sc : Cpufree_core.Scenario.t) =
+  match sc.Cpufree_core.Scenario.workload with
+  | Cpufree_core.Scenario.Dace _ -> Error "not a stencil scenario"
+  | Cpufree_core.Scenario.Stencil { variant; dims; iters; no_compute } -> (
+    match Variants.of_name variant with
+    | None ->
+      Error
+        (Printf.sprintf "unknown variant %S; use one of: %s" variant
+           (String.concat ", " (List.map Variants.name Variants.all)))
+    | Some kind -> (
+      match Problem.dims_of_string dims with
+      | Error _ as e -> e
+      | Ok dims -> (
+        match Cpufree_core.Measure.of_scenario sc with
+        | Error _ as e -> e
+        | Ok rs ->
+          let problem = Problem.make ~compute:(not no_compute) dims ~iterations:iters in
+          Ok
+            {
+              sc_kind = kind;
+              sc_problem = problem;
+              sc_gpus = rs.Cpufree_core.Measure.rs_gpus;
+              sc_arch = Some rs.Cpufree_core.Measure.rs_arch;
+              sc_env = rs.Cpufree_core.Measure.rs_env;
+            })))
 
 let tolerance = 1e-9
 
@@ -258,21 +292,3 @@ let weak_efficiency points =
         (p.gpus, if tn = 0.0 then 1.0 else t1 /. tn))
       points
 
-(* Deprecated pre-Sim_env entry points: thin wrappers, byte-identical. *)
-
-let run ?arch ?topology kind problem ~gpus =
-  run_env ?arch ~env:(Env.make ?topology ()) kind problem ~gpus
-
-let run_traced ?arch ?topology kind problem ~gpus =
-  run_traced_env ?arch ~env:(Env.make ?topology ()) kind problem ~gpus
-
-let run_chaos ?arch ?topology ?watchdog ~faults ~fault_seed kind problem ~gpus =
-  run_chaos_env ?arch ?watchdog
-    ~env:(Env.make ?topology ~faults ~fault_seed ())
-    kind problem ~gpus
-
-let scenario ?arch ?topology kind problem ~gpus =
-  scenario_env ?arch ~env:(Env.make ?topology ()) kind problem ~gpus
-
-let verify ?arch ?topology kind problem ~gpus =
-  verify_env ?arch ~env:(Env.make ?topology ()) kind problem ~gpus

@@ -3,8 +3,9 @@
     weak/strong scaling series of Figures 6.1 and 6.2.
 
     Canonical entry points take a {!Cpufree_obs.Sim_env.t} (topology, fault
-    plan, observability sinks, PDES mode); the pre-[Sim_env] per-field forms
-    are kept as deprecated thin wrappers with byte-identical outputs. *)
+    plan, observability sinks, PDES mode); {!of_scenario} builds a runnable
+    scenario from a first-class {!Cpufree_core.Scenario.t}, so the CLI and
+    the serving daemon execute stencil requests through one path. *)
 
 val run_env :
   ?arch:Cpufree_gpu.Arch.t -> ?env:Cpufree_obs.Sim_env.t ->
@@ -100,7 +101,27 @@ val scenario_env :
   ?arch:Cpufree_gpu.Arch.t -> ?env:Cpufree_obs.Sim_env.t ->
   Variants.kind -> Problem.t -> gpus:int -> scenario
 
+val of_scenario : Cpufree_core.Scenario.t -> (scenario, string) result
+(** Interpret a first-class scenario spec as a stencil run: the workload's
+    [variant] and [dims] strings resolved ({!Variants.of_name},
+    {!Problem.dims_of_string}), architecture and environment built by
+    {!Cpufree_core.Measure.of_scenario}. [Error] on a dace workload or any
+    unresolvable name, with a friendly message. The embedded environment is
+    fresh — run the returned scenario once. *)
+
 val run_scenario : scenario -> Cpufree_core.Measure.result
+
+val run_scenario_traced :
+  scenario -> Cpufree_core.Measure.result * Cpufree_engine.Trace.t
+
+val run_scenario_chaos :
+  ?watchdog:Cpufree_engine.Time.t -> scenario -> chaos_run
+(** Run one scenario under its environment's fault plan
+    ({!run_chaos_env}; the scenario's [env.faults] must be set). *)
+
+val scenario_sim_env : scenario -> Cpufree_obs.Sim_env.t
+(** The environment embedded in a scenario — where a caller collects the
+    trace/metrics sinks after running it. *)
 
 val run_many : ?jobs:int -> scenario list -> Cpufree_core.Measure.result list
 (** Execute every scenario on the domain pool ([?jobs] as in
@@ -131,33 +152,3 @@ val strong_scaling :
 
 val weak_efficiency : scaling_point list -> (int * float) list
 (** Per point: time(1 GPU) / time(n GPUs) — 1.0 is perfect weak scaling. *)
-
-(** {2 Deprecated pre-[Sim_env] entry points} *)
-
-val run :
-  ?arch:Cpufree_gpu.Arch.t -> ?topology:Cpufree_machine.Topology.spec ->
-  Variants.kind -> Problem.t -> gpus:int -> Cpufree_core.Measure.result
-[@@alert deprecated "Use Harness.run_env with a Cpufree_obs.Sim_env.t instead."]
-
-val run_traced :
-  ?arch:Cpufree_gpu.Arch.t -> ?topology:Cpufree_machine.Topology.spec ->
-  Variants.kind -> Problem.t -> gpus:int ->
-  Cpufree_core.Measure.result * Cpufree_engine.Trace.t
-[@@alert deprecated "Use Harness.run_traced_env instead."]
-
-val run_chaos :
-  ?arch:Cpufree_gpu.Arch.t -> ?topology:Cpufree_machine.Topology.spec ->
-  ?watchdog:Cpufree_engine.Time.t ->
-  faults:Cpufree_fault.Fault.spec -> fault_seed:int ->
-  Variants.kind -> Problem.t -> gpus:int -> chaos_run
-[@@alert deprecated "Use Harness.run_chaos_env with a Cpufree_obs.Sim_env.t instead."]
-
-val scenario :
-  ?arch:Cpufree_gpu.Arch.t -> ?topology:Cpufree_machine.Topology.spec ->
-  Variants.kind -> Problem.t -> gpus:int -> scenario
-[@@alert deprecated "Use Harness.scenario_env with a Cpufree_obs.Sim_env.t instead."]
-
-val verify :
-  ?arch:Cpufree_gpu.Arch.t -> ?topology:Cpufree_machine.Topology.spec ->
-  Variants.kind -> Problem.t -> gpus:int -> (float, string) result
-[@@alert deprecated "Use Harness.verify_env with a Cpufree_obs.Sim_env.t instead."]

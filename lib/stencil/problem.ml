@@ -28,6 +28,32 @@ let dims_to_string = function
   | D2 { nx; ny } -> Printf.sprintf "%dx%d" ny nx
   | D3 { nx; ny; nz } -> Printf.sprintf "%dx%dx%d" nz ny nx
 
+(* The CLI/scenario spelling, dimension-tagged so it parses back without
+   guessing: "2d:NXxNY" / "3d:NXxNYxNZ". [dims_to_string] above stays the
+   table-friendly display form (slowest axis first, untagged). *)
+let dims_to_spec_string = function
+  | D2 { nx; ny } -> Printf.sprintf "2d:%dx%d" nx ny
+  | D3 { nx; ny; nz } -> Printf.sprintf "3d:%dx%dx%d" nx ny nz
+
+let dims_of_string s =
+  let fail () = Error (Printf.sprintf "bad dims %S: expected 2d:NXxNY or 3d:NXxNYxNZ" s) in
+  match String.split_on_char ':' (String.lowercase_ascii (String.trim s)) with
+  | [ "2d"; rest ] -> (
+    match String.split_on_char 'x' rest with
+    | [ a; b ] -> (
+      match (int_of_string_opt a, int_of_string_opt b) with
+      | Some nx, Some ny when nx > 0 && ny > 0 -> Ok (D2 { nx; ny })
+      | _ -> fail ())
+    | _ -> fail ())
+  | [ "3d"; rest ] -> (
+    match String.split_on_char 'x' rest with
+    | [ a; b; c ] -> (
+      match (int_of_string_opt a, int_of_string_opt b, int_of_string_opt c) with
+      | Some nx, Some ny, Some nz when nx > 0 && ny > 0 && nz > 0 -> Ok (D3 { nx; ny; nz })
+      | _ -> fail ())
+    | _ -> fail ())
+  | _ -> fail ()
+
 let is_power_of_two n = n > 0 && n land (n - 1) = 0
 
 let weak_scale dims ~gpus =

@@ -35,6 +35,14 @@ val planes_global : t -> int
 val total_elems : t -> int
 val dims_to_string : dims -> string
 
+val dims_to_spec_string : dims -> string
+(** The CLI/scenario spelling: ["2d:NXxNY"] or ["3d:NXxNYxNZ"] —
+    dimension-tagged, so it round-trips through {!dims_of_string}. *)
+
+val dims_of_string : string -> (dims, string) result
+(** Parse ["2d:NXxNY"] / ["3d:NXxNYxNZ"] (case-insensitive; extents must be
+    positive). [Error] carries a friendly message naming the bad spec. *)
+
 val weak_scale : dims -> gpus:int -> dims
 (** Grow a single-GPU base domain for a weak-scaling run by doubling one axis
     per doubling of GPUs, alternating axes (paper §6.1.2), starting with the

@@ -1,0 +1,82 @@
+(* CI smoke for the scenario daemon (dune alias [serve-smoke]): boot a
+   daemon with the cache self-check armed, issue three requests — two
+   distinct scenarios and one repeat of the first with artifacts enabled —
+   and assert the repeat is served from the cache with a byte-identical
+   payload (artifacts included), the counters agree, and shutdown removes
+   the socket. Exits non-zero on any deviation. *)
+
+module Serve = Cpufree_serve
+module P = Serve.Protocol
+module Scenario = Cpufree_core.Scenario
+
+let fail fmt =
+  Printf.ksprintf
+    (fun s ->
+      prerr_endline ("serve-smoke: FAIL: " ^ s);
+      exit 1)
+    fmt
+
+let () =
+  let path = Printf.sprintf "serve-smoke-%d.sock" (Unix.getpid ()) in
+  let cfg =
+    {
+      (Serve.Server.default_config ~socket_path:path) with
+      Serve.Server.jobs = 2;
+      selfcheck = true;
+    }
+  in
+  let srv = Domain.spawn (fun () -> Serve.Server.run cfg) in
+  let rec connect tries =
+    match Serve.Client.connect path with
+    | Ok c -> c
+    | Error e ->
+      if tries = 0 then fail "connect: %s" e
+      else begin
+        Unix.sleepf 0.01;
+        connect (tries - 1)
+      end
+  in
+  let c = connect 300 in
+  let sc_a =
+    Scenario.make ~gpus:2 ~trace:true ~metrics:true
+      (Scenario.Stencil { variant = "cpu-free"; dims = "2d:96x96"; iters = 12; no_compute = false })
+  in
+  let sc_b =
+    Scenario.make ~gpus:4
+      (Scenario.Stencil
+         { variant = "baseline-overlap"; dims = "2d:64x64"; iters = 8; no_compute = false })
+  in
+  let run id sc =
+    match Serve.Client.run c ~id sc with
+    | Ok (P.Ok_resp { cached; body = P.Run_result p; _ }) -> (cached, p)
+    | Ok (P.Error_resp { message; _ }) -> fail "request %d refused: %s" id message
+    | Ok _ -> fail "request %d: unexpected response" id
+    | Error e -> fail "request %d: %s" id e
+  in
+  let cached_a, pay_a = run 1 sc_a in
+  let cached_b, _ = run 2 sc_b in
+  let cached_a2, pay_a2 = run 3 sc_a in
+  if cached_a then fail "first request claimed a cache hit on an empty cache";
+  if cached_b then fail "a distinct scenario claimed a cache hit";
+  if not cached_a2 then fail "the repeated scenario was not served from the cache";
+  if not (P.payload_equal pay_a pay_a2) then
+    fail "the cache hit is not byte-identical to the original run";
+  (match (pay_a.P.trace, pay_a.P.metrics) with
+  | Some _, Some _ -> ()
+  | _ -> fail "artifacts missing from the traced run");
+  (match Serve.Client.stats c ~id:4 with
+  | Ok st ->
+    if st.P.simulations <> 2 then fail "expected 2 simulations, daemon reports %d" st.P.simulations;
+    if st.P.hits <> 1 then fail "expected 1 cache hit, daemon reports %d" st.P.hits;
+    if st.P.errors <> 0 || st.P.overloads <> 0 then
+      fail "spurious errors (%d) or overloads (%d)" st.P.errors st.P.overloads
+  | Error e -> fail "stats: %s" e);
+  (match Serve.Client.shutdown c ~id:5 with
+  | Ok () -> ()
+  | Error e -> fail "shutdown: %s" e);
+  Serve.Client.close c;
+  Domain.join srv;
+  (match Unix.stat path with
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+  | _ -> fail "socket file left behind after shutdown");
+  print_endline "serve-smoke: OK (3 requests, 1 byte-identical cache hit, clean shutdown)"

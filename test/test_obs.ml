@@ -2,11 +2,10 @@
    instruments, partition sharding, merge laws), the Perfetto trace-event
    exporter and its structural validator, the Sim_env record, and the
    end-to-end guarantees — flows pair up, exports are byte-stable across
-   CPUFREE_PDES modes, and the deprecated pre-Sim_env entry points remain
-   byte-identical wrappers. *)
+   CPUFREE_PDES modes, and the Scenario-driven execution path matches the
+   hand-assembled one byte for byte. *)
 
 module E = Cpufree_engine
-module G = Cpufree_gpu
 module S = Cpufree_stencil
 module Obs = Cpufree_obs
 module Mx = Obs.Metrics
@@ -265,6 +264,64 @@ let sim_env_tests =
                  ignore (Env.pdes_of_env_var ());
                  false
                with Invalid_argument _ -> true)));
+    Alcotest.test_case "of_string refuses live sinks" `Quick (fun () ->
+        (match Env.of_string "trace=on" with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "trace=on accepted");
+        match Env.of_string "metrics=on" with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "metrics=on accepted");
+  ]
+
+(* Sink-free environments as generable values: every component drawn from a
+   small pool by index, so shrinking stays meaningful and every draw is a
+   valid env by construction. *)
+let topology_pool =
+  [|
+    None;
+    Some Cpufree_machine.Topology.Hgx;
+    Some Cpufree_machine.Topology.Ring;
+    Some Cpufree_machine.Topology.Pcie_only;
+    Some (Cpufree_machine.Topology.Dgx { nodes = 4 });
+    Some (Cpufree_machine.Topology.Fat_tree { arity = 4; rails = 2; gpus_per_node = 8 });
+    Some (Cpufree_machine.Topology.Dragonfly { a = 4; p = 2; h = 2; gpus_per_node = 8 });
+  |]
+
+let fault_pool =
+  Array.of_list
+    ((None :: List.map (fun i -> Some (Fault.preset ~intensity:i)) [ 0.5; 1.0 ])
+    @ List.map
+        (fun s ->
+          match Fault.of_string s with
+          | Ok spec -> Some spec
+          | Error e -> failwith ("fault pool: " ^ e))
+        [ "drop=0.3"; "delay=0.1@2000;straggler=1x1.5"; "kill=2@500;retry=50x6;backoff=2" ])
+
+let pdes_pool = [| None; Some `Seq; Some `Windowed; Some `Adaptive; Some `Optimistic |]
+
+let arbitrary_env =
+  QCheck.(
+    map
+      (fun (t, f, (seed, p)) ->
+        Env.make ?topology:topology_pool.(t) ?faults:fault_pool.(f) ~fault_seed:seed
+          ?pdes:pdes_pool.(p) ())
+      (triple
+         (int_bound (Array.length topology_pool - 1))
+         (int_bound (Array.length fault_pool - 1))
+         (pair (int_bound 1000) (int_bound (Array.length pdes_pool - 1)))))
+
+let sim_env_law_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"of_string (to_string env) = Ok env" ~count:200 arbitrary_env
+         (fun env -> Env.of_string (Env.to_string env) = Ok env));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"digest equality implies structural equality" ~count:200
+         QCheck.(pair arbitrary_env arbitrary_env)
+         (fun (a, b) -> if Env.digest a = Env.digest b then a = b else true));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"digest is a pure function of the env" ~count:100 arbitrary_env
+         (fun env -> Env.digest env = Env.digest env));
   ]
 
 (* --- end-to-end: flows, byte-stability, compat ----------------------------- *)
@@ -344,54 +401,25 @@ let end_to_end_tests =
             (Trace.spans tr)
         in
         check_bool "fault markers recorded" true (faults <> []));
-    Alcotest.test_case "deprecated wrappers are byte-identical" `Quick (fun () ->
-        let p = problem () in
-        let new_r = S.Harness.run_env S.Variants.Cpu_free p ~gpus:4 in
-        let old_r =
-          let open struct
-            [@@@alert "-deprecated"]
-
-            let r = S.Harness.run S.Variants.Cpu_free p ~gpus:4
-          end in
-          r
+    Alcotest.test_case "scenario path is byte-identical to the direct path" `Quick (fun () ->
+        (* The Scenario.t → Harness.of_scenario route (what the CLI and the
+           daemon run) must match a hand-assembled run_traced_env exactly. *)
+        let sc =
+          Cpufree_core.Scenario.make ~gpus:4
+            (Cpufree_core.Scenario.Stencil
+               { variant = "cpu-free"; dims = "2d:64x64"; iters = 5; no_compute = false })
         in
-        check_bool "results equal" true (new_r = old_r);
-        let _, new_t = S.Harness.run_traced_env S.Variants.Cpu_free p ~gpus:4 in
-        let old_t =
-          let open struct
-            [@@@alert "-deprecated"]
-
-            let t = snd (S.Harness.run_traced S.Variants.Cpu_free p ~gpus:4)
-          end in
-          t
+        let hsc =
+          match S.Harness.of_scenario sc with Ok s -> s | Error e -> Alcotest.fail e
         in
-        check_string "chrome json equal" (Trace.to_chrome_json new_t)
-          (Trace.to_chrome_json old_t));
-    Alcotest.test_case "Runtime.create matches deprecated Runtime.init" `Quick (fun () ->
-        let run mk =
-          let eng = E.Engine.create () in
-          let ctx = mk eng in
-          let dev = G.Runtime.device ctx 0 in
-          let stream = G.Stream.create eng ~dev ~name:"s" in
-          let (_ : E.Engine.process) =
-            E.Engine.spawn eng ~name:"main" (fun () ->
-                G.Runtime.launch ctx ~stream ~name:"k" ~cost:(Time.us 3) (fun () -> ());
-                G.Runtime.stream_synchronize ctx stream)
-          in
-          E.Engine.run eng;
-          Time.to_ns (E.Engine.now eng)
+        let sr, st = S.Harness.run_scenario_traced hsc in
+        let p = S.Problem.make (S.Problem.D2 { nx = 64; ny = 64 }) ~iterations:5 in
+        let dr, dt =
+          S.Harness.run_traced_env ~env:(Env.make ~fault_seed:1 ()) S.Variants.Cpu_free p
+            ~gpus:4
         in
-        let n = run (fun eng -> G.Runtime.create eng ~num_gpus:2 ()) in
-        let o =
-          run (fun eng ->
-              let open struct
-                [@@@alert "-deprecated"]
-
-                let mk eng = G.Runtime.init eng ~num_gpus:2 ()
-              end in
-              mk eng)
-        in
-        check_int "same simulated clock" o n);
+        check_bool "results equal" true (sr = dr);
+        check_string "chrome json equal" (Trace.to_chrome_json st) (Trace.to_chrome_json dt));
     Alcotest.test_case "plain runs record no v2 events" `Quick (fun () ->
         let _, tr = S.Harness.run_traced_env S.Variants.Cpu_free (problem ()) ~gpus:4 in
         check_int "no flows" 0 (List.length (Trace.flows tr));
@@ -412,5 +440,6 @@ let () =
       ("metrics-laws", metrics_law_tests);
       ("perfetto", perfetto_tests);
       ("sim-env", sim_env_tests);
+      ("sim-env-laws", sim_env_law_tests);
       ("end-to-end", end_to_end_tests);
     ]
